@@ -1,0 +1,81 @@
+// Command datagen generates join workloads in the paper's setup (dense
+// unique build keys, foreign-key probe side, optional Zipf skew and
+// domain holes) and stores them in the binary workload format, so that
+// expensive datasets are generated once and reused across runs.
+//
+// Usage:
+//
+//	datagen -build 16000000 -probe 160000000 -o workload.mmjw
+//	datagen -build 4000000 -probe 4000000 -zipf 0.99 -o skewed.mmjw
+//	datagen -inspect workload.mmjw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmjoin/internal/datagen"
+)
+
+func main() {
+	var (
+		build   = flag.Int("build", 1_000_000, "|R|: number of build tuples")
+		probe   = flag.Int("probe", 10_000_000, "|S|: number of probe tuples")
+		zipf    = flag.Float64("zipf", 0, "probe-side Zipf skew factor in [0,1)")
+		holes   = flag.Int("holes", 0, "domain factor k: keys drawn from [0, k*|R|)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		out     = flag.String("o", "", "output file (required unless -inspect)")
+		inspect = flag.String("inspect", "", "print the header of an existing workload file")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w, err := datagen.ReadWorkload(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("build tuples:  %d\nprobe tuples:  %d\nkey domain:    %d\n",
+			len(w.Build), len(w.Probe), w.Domain)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -o is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize:  *build,
+		ProbeSize:  *probe,
+		Zipf:       *zipf,
+		HoleFactor: *holes,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := datagen.WriteWorkload(f, w); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: |R|=%d |S|=%d domain=%d (%.1f MB)\n",
+		*out, len(w.Build), len(w.Probe), w.Domain,
+		float64(w.Build.SizeBytes()+w.Probe.SizeBytes())/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

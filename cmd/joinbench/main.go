@@ -1,0 +1,77 @@
+// Command joinbench regenerates the tables and figures of Schuh et al.
+// (SIGMOD 2016) from this reproduction. Each experiment prints the
+// paper's expected shape next to the measured (or simulated) rows.
+//
+// Usage:
+//
+//	joinbench -list
+//	joinbench -run fig1
+//	joinbench -run all -scale 64 -threads 16
+//	joinbench -run fig10 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mmjoin/internal/bench"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id (fig1..fig19, tab3, tab4) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Int("scale", 64, "divide the paper's tuple counts by this factor")
+		threads = flag.Int("threads", 0, "worker threads (0 = auto)")
+		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		quick   = flag.Bool("quick", false, "trim sweeps for a fast pass")
+		repeat  = flag.Int("repeat", 1, "repeat measured joins, report the fastest")
+		format  = flag.String("format", "text", "output format: text or markdown")
+		out     = flag.String("o", "", "write reports to a file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "joinbench: -run or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	for _, id := range ids {
+		rep, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "joinbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "markdown" {
+			rep.RenderMarkdown(dst)
+		} else {
+			rep.Render(dst)
+		}
+	}
+}

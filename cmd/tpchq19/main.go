@@ -1,0 +1,73 @@
+// Command tpchq19 runs the TPC-H Query 19 study of Section 8: a real
+// query around the joins, with late materialization, dictionary-coded
+// predicates and per-algorithm executors.
+//
+// Usage:
+//
+//	tpchq19 -sf 1 -algo all
+//	tpchq19 -sf 1 -algo CPRA -threads 16
+//	tpchq19 -sf 1 -selectivity 0.5 -algo NOP
+//	tpchq19 -sf 1 -morph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmjoin/internal/tpch"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 1, "TPC-H scale factor (paper: 100)")
+		threads = flag.Int("threads", 8, "worker threads")
+		algo    = flag.String("algo", "all", "join executor: NOP, NOPA, CPRL, CPRA or all")
+		sel     = flag.Float64("selectivity", 0.0357, "pushed-down predicate selectivity (paper's Q19: 3.57%)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		morph   = flag.Bool("morph", false, "run the Appendix G morphing variants instead")
+	)
+	flag.Parse()
+
+	tb, err := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: *seed, ShipSelectivity: *sel})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("TPC-H sf=%.2f: %d parts, %d lineitems, pushdown selectivity %.2f%%\n\n",
+		*sf, tb.Part.NumTuples, tb.Lineitem.NumTuples, tpch.Selectivity(tb.Lineitem)*100)
+
+	if *morph {
+		fmt.Println("Appendix G: morphing the microbenchmark into Q19 (NOP)")
+		for v := tpch.MorphPrefiltered; v <= tpch.MorphPipelined; v++ {
+			res, err := tpch.RunMorph(tb, v, *threads)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  variant %d: total %8.1fms  candidates %8d  matches %7d\n",
+				v, ms(res.Total), res.JoinCandidates, res.Matches)
+		}
+		return
+	}
+
+	algos := []string{*algo}
+	if *algo == "all" {
+		algos = []string{"NOP", "NOPA", "CPRL", "CPRA"}
+	}
+	for _, a := range algos {
+		res, err := tpch.RunQ19(tb, a, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-5s total %8.1fms (build %7.1fms, probe+rest %8.1fms)  revenue %14.2f  matches %d\n",
+			a, ms(res.Total), ms(res.BuildTime), ms(res.ProbeTime), res.Revenue, res.Matches)
+	}
+}
+
+func ms(d interface{ Microseconds() int64 }) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpchq19:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+package mmjoin_test
+
+import (
+	"fmt"
+
+	"mmjoin"
+)
+
+// The smallest possible use: generate the paper's canonical PK/FK
+// workload and join it.
+func Example() {
+	w, err := mmjoin.Generate(mmjoin.WorkloadConfig{
+		BuildSize: 1000,
+		ProbeSize: 5000,
+		Seed:      42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := mmjoin.MustNew("CPRA").Run(w.Build, w.Probe,
+		&mmjoin.Options{Threads: 4, Domain: w.Domain})
+	if err != nil {
+		panic(err)
+	}
+	// Every probe tuple references a build key, so |matches| = |S|.
+	fmt.Println(res.Matches)
+	// Output: 5000
+}
+
+// All thirteen algorithms are interchangeable: same inputs, same
+// matches.
+func Example_allAlgorithms() {
+	w, _ := mmjoin.Generate(mmjoin.WorkloadConfig{BuildSize: 512, ProbeSize: 2048, Seed: 7})
+	distinct := map[int64]bool{}
+	for _, name := range mmjoin.Names() {
+		res, err := mmjoin.MustNew(name).Run(w.Build, w.Probe,
+			&mmjoin.Options{Threads: 2, Domain: w.Domain})
+		if err != nil {
+			panic(err)
+		}
+		distinct[res.Matches] = true
+	}
+	fmt.Println(len(mmjoin.Names()), "algorithms,", len(distinct), "distinct answer")
+	// Output: 13 algorithms, 1 distinct answer
+}
+
+// The Section 9 advisor encodes the paper's lessons learned.
+func ExampleRecommend() {
+	rec := mmjoin.Recommend(mmjoin.WorkloadProfile{
+		BuildTuples: 128 << 20,
+		ProbeTuples: 1280 << 20,
+		KeysDense:   true,
+		Threads:     60,
+	})
+	fmt.Println(rec.Algorithm)
+
+	skewed := mmjoin.Recommend(mmjoin.WorkloadProfile{
+		BuildTuples: 128 << 20,
+		ProbeTuples: 1280 << 20,
+		ZipfSkew:    0.99,
+		Threads:     60,
+	})
+	fmt.Println(skewed.Algorithm)
+	// Output:
+	// CPRA
+	// NOP
+}
+
+// The registry reproduces Table 2 of the paper.
+func ExampleAlgorithms() {
+	for _, spec := range mmjoin.Algorithms()[:4] {
+		fmt.Printf("%-5s %s\n", spec.Name, spec.Class)
+	}
+	// Output:
+	// PRB   partition-based
+	// NOP   no-partitioning
+	// CHTJ  no-partitioning
+	// MWAY  sort-merge
+}

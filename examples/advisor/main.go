@@ -1,0 +1,95 @@
+// Advisor: Section 9 of the paper closes with "a guideline for
+// practitioners implementing massive main-memory joins". This example
+// uses that guideline as code — join.Recommend — across the corners of
+// the parameter space the study mapped out, then verifies the pick
+// against a measured bake-off on a scaled-down instance of the
+// workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/join"
+)
+
+type scenario struct {
+	name    string
+	profile join.WorkloadProfile
+	// scaled-down generator config for the bake-off
+	gen datagen.Config
+}
+
+func main() {
+	const threads = 8
+	scenarios := []scenario{
+		{
+			name: "star-schema fact/dimension join (large, dense, uniform)",
+			profile: join.WorkloadProfile{
+				BuildTuples: 128 << 20, ProbeTuples: 1280 << 20,
+				KeysDense: true, Threads: 60,
+			},
+			gen: datagen.Config{BuildSize: 1 << 20, ProbeSize: 10 << 20, Seed: 4},
+		},
+		{
+			name: "small lookup table join",
+			profile: join.WorkloadProfile{
+				BuildTuples: 1 << 20, ProbeTuples: 64 << 20,
+				KeysDense: true, Threads: 60,
+			},
+			gen: datagen.Config{BuildSize: 1 << 16, ProbeSize: 4 << 20, Seed: 5},
+		},
+		{
+			name: "heavily skewed probe side (zipf 0.99)",
+			profile: join.WorkloadProfile{
+				BuildTuples: 128 << 20, ProbeTuples: 1280 << 20,
+				KeysDense: true, ZipfSkew: 0.99, Threads: 60,
+			},
+			gen: datagen.Config{BuildSize: 1 << 20, ProbeSize: 10 << 20, Zipf: 0.99, Seed: 6},
+		},
+		{
+			name: "sparse key domain (k=20)",
+			profile: join.WorkloadProfile{
+				BuildTuples: 128 << 20, ProbeTuples: 1280 << 20,
+				KeysDense: true, DomainSize: 20 * 128 << 20, Threads: 60,
+			},
+			gen: datagen.Config{BuildSize: 1 << 20, ProbeSize: 10 << 20, HoleFactor: 20, Seed: 7},
+		},
+	}
+
+	for _, sc := range scenarios {
+		rec := join.Recommend(sc.profile)
+		fmt.Printf("%s\n  -> advisor picks %s", sc.name, rec.Algorithm)
+		if rec.RadixBits > 0 {
+			fmt.Printf(" with %d radix bits", rec.RadixBits)
+		}
+		fmt.Println()
+		for _, why := range rec.Rationale {
+			fmt.Printf("     %s\n", why)
+		}
+
+		// Bake-off at reduced scale: the recommendation vs the two
+		// family champions.
+		w, err := datagen.Generate(sc.gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		candidates := map[string]bool{rec.Algorithm: true, "NOP": true, "CPRL": true}
+		best, bestTp := "", 0.0
+		fmt.Printf("  bake-off (scaled to |R|=%d):", len(w.Build))
+		for name := range candidates {
+			res, err := join.MustNew(name).Run(w.Build, w.Probe,
+				&join.Options{Threads: threads, Domain: w.Domain})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tp := res.ThroughputMTuplesPerSec()
+			fmt.Printf("  %s %.0fM/s", name, tp)
+			if tp > bestTp {
+				best, bestTp = name, tp
+			}
+		}
+		fmt.Printf("  => measured winner: %s\n\n", best)
+	}
+}

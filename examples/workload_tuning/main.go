@@ -1,0 +1,70 @@
+// Workload tuning: the paper's central finding is that no join wins
+// everywhere. This example sweeps the two workload knobs that flip the
+// winner — probe-side skew (Appendix A) and holes in the key domain
+// (Appendix C) — and shows the crossover between the no-partitioning
+// and partition-based families, plus what the Section 9 advisor would
+// have picked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/join"
+)
+
+const (
+	buildSize = 512 << 10
+	probeSize = 4 << 20
+	threads   = 8
+)
+
+func run(name string, w *datagen.Workload, extra join.Options) *join.Result {
+	extra.Threads = threads
+	extra.Domain = w.Domain
+	res, err := join.MustNew(name).Run(w.Build, w.Probe, &extra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("-- skew sweep: NOP (no-partitioning) vs CPRL (partition-based) --")
+	for _, zipf := range []float64{0, 0.5, 0.9, 0.99} {
+		w, err := datagen.Generate(datagen.Config{
+			BuildSize: buildSize, ProbeSize: probeSize, Zipf: zipf, Seed: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nop := run("NOP", w, join.Options{})
+		cprl := run("CPRL", w, join.Options{})
+		rec := join.Recommend(join.WorkloadProfile{
+			BuildTuples: buildSize, ProbeTuples: probeSize,
+			ZipfSkew: zipf, Threads: threads,
+		})
+		fmt.Printf("zipf %.2f: NOP %7.1f M/s   CPRL %7.1f M/s   advisor: %s\n",
+			zipf, nop.ThroughputMTuplesPerSec(), cprl.ThroughputMTuplesPerSec(), rec.Algorithm)
+	}
+
+	fmt.Println("\n-- domain holes: NOPA vs CPRA, with and without adaptive bits --")
+	for _, k := range []int{1, 8, 20} {
+		w, err := datagen.Generate(datagen.Config{
+			BuildSize: buildSize, ProbeSize: probeSize, HoleFactor: k, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nopa := run("NOPA", w, join.Options{})
+		cpra := run("CPRA", w, join.Options{})
+		adaptive := run("CPRA", w, join.Options{AdaptBitsToDomain: true})
+		fmt.Printf("k=%2d: NOPA %7.1f M/s   CPRA %7.1f M/s   CPRA+adaptive %7.1f M/s\n",
+			k, nopa.ThroughputMTuplesPerSec(), cpra.ThroughputMTuplesPerSec(),
+			adaptive.ThroughputMTuplesPerSec())
+	}
+
+	fmt.Println("\nLesson (7): arrays are unbeatable on dense keys; lesson (3): only heavy")
+	fmt.Println("skew (>0.9) hands the win back to the no-partitioning family.")
+}

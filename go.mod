@@ -1,0 +1,3 @@
+module mmjoin
+
+go 1.23

@@ -1,0 +1,251 @@
+// Package bench is the experiment harness: one experiment per table and
+// figure of the paper's evaluation, each regenerating the corresponding
+// rows or series. Experiments run at a configurable fraction of the
+// paper's data sizes (the paper's headline workload of |R|=128M,
+// |S|=1280M tuples needs ~11 GB and a 60-core box) and print the
+// measured shape next to the paper's expectation so divergence is
+// visible at a glance.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/join"
+	"mmjoin/internal/tuple"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale divides the paper's tuple counts. 64 keeps the headline
+	// workload at |R|=2M, |S|=20M (~176 MB of tuples).
+	Scale int
+	// Threads is the worker count for measured runs; simulated runs
+	// use the paper's thread counts regardless.
+	Threads int
+	// Seed feeds the generators.
+	Seed uint64
+	// Quick trims sweeps to a few points for smoke tests.
+	Quick bool
+	// Repeat re-runs each measured join this many times and keeps the
+	// fastest (single-run variance on a shared host is substantial);
+	// 0 means 1.
+	Repeat int
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Scale < 1 {
+		c.Scale = 64
+	}
+	if c.Threads < 1 {
+		c.Threads = runtime.GOMAXPROCS(0) * 4
+		// The paper uses 32 threads for most figures; goroutines beyond
+		// the core count still exercise the concurrent structure.
+		if c.Threads < 8 {
+			c.Threads = 8
+		}
+		if c.Threads > 32 {
+			c.Threads = 32
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 20160626 // SIGMOD'16 opening day
+	}
+	return c
+}
+
+// paperM converts a paper size given in million tuples to this run's
+// tuple count.
+func (c Config) paperM(millions int) int {
+	n := millions * 1_000_000 / c.Scale
+	if n < 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string
+	Title string
+	// PaperExpectation states the shape the paper reports, for
+	// side-by-side comparison in EXPERIMENTS.md.
+	PaperExpectation string
+	Columns          []string
+	Rows             [][]string
+	Notes            []string
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(w, "paper: %s\n", r.PaperExpectation)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+var experiments = map[string]Experiment{}
+
+func registerExperiment(e Experiment) { experiments[e.ID] = e }
+
+// Experiments lists all registered experiments sorted by id.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(experiments))
+	for _, e := range experiments {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return experimentOrder(out[i].ID) < experimentOrder(out[j].ID) })
+	return out
+}
+
+// experimentOrder sorts fig1..fig19 numerically, then tables.
+func experimentOrder(id string) int {
+	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "tab3", "tab4",
+		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder"}
+	for i, v := range order {
+		if v == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// Run executes the named experiment.
+func Run(id string, cfg Config) (*Report, error) {
+	e, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, ids())
+	}
+	return e.Run(cfg.normalize())
+}
+
+func ids() string {
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.ID)
+	}
+	return strings.Join(names, ", ")
+}
+
+// generate builds a workload, caching nothing: experiments are run one
+// at a time and workloads at these scales generate in seconds.
+func generate(c Config, buildTuples, probeTuples int, zipf float64, holes int) (*datagen.Workload, error) {
+	return datagen.Generate(datagen.Config{
+		BuildSize:  buildTuples,
+		ProbeSize:  probeTuples,
+		Zipf:       zipf,
+		HoleFactor: holes,
+		Seed:       c.Seed,
+	})
+}
+
+// runJoin executes one algorithm with a GC fence so the collector does
+// not bill one algorithm for another's garbage. With Config.Repeat > 1
+// the fastest of the repeats is reported.
+func runJoin(name string, w *datagen.Workload, opts join.Options) (*join.Result, error) {
+	return runJoinRepeat(name, w, opts, 1)
+}
+
+func runJoinRepeat(name string, w *datagen.Workload, opts join.Options, repeat int) (*join.Result, error) {
+	algo, err := join.New(name)
+	if err != nil {
+		return nil, err
+	}
+	opts.Domain = w.Domain
+	var best *join.Result
+	for i := 0; i < max(repeat, 1); i++ {
+		runtime.GC()
+		res, err := algo.Run(w.Build, w.Probe, &opts)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Total < best.Total {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// runJoinRelations is runJoin for raw relations (the TPC-H
+// microbenchmarks feed pre-filtered column data instead of generated
+// workloads).
+func runJoinRelations(name string, build, probe tuple.Relation, domain int, c Config) (*join.Result, error) {
+	algo, err := join.New(name)
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	return algo.Run(build, probe, &join.Options{Threads: c.Threads, Domain: domain})
+}
+
+// fmtThroughput renders M tuples/s with sensible precision.
+func fmtThroughput(r *join.Result) string {
+	return fmt.Sprintf("%.1f", r.ThroughputMTuplesPerSec())
+}
+
+func fmtMillis(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+// fmtTuples renders a tuple count in M with one decimal.
+func fmtTuples(n int) string {
+	return fmt.Sprintf("%.2gM", float64(n)/1e6)
+}
+
+// inputBytes is |R|+|S| in bytes for SetBytes-style accounting.
+func inputBytes(w *datagen.Workload) int64 {
+	return int64(len(w.Build)+len(w.Probe)) * tuple.Bytes
+}
+
+// RenderMarkdown writes the report as a GitHub-flavored markdown
+// section, the format EXPERIMENTS.md is assembled from.
+func (r *Report) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(w, "**Paper:** %s\n\n", r.PaperExpectation)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(r.Columns, " | "))
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// joinOptions is a test helper constructing minimal options.
+func joinOptions(threads int) join.Options {
+	return join.Options{Threads: threads}
+}

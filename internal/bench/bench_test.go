@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickConfig keeps experiment smoke tests fast.
+func quickConfig() Config {
+	return Config{Scale: 1024, Threads: 4, Seed: 7, Quick: true}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "tab3", "tab4",
+		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Fatalf("experiment %s lacks a title", e.ID)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", quickConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment in quick mode and
+// validates report structure. This is the harness's own integration
+// test; the real runs (larger scale) feed EXPERIMENTS.md.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := Run(e.ID, quickConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report id %s", rep.ID)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if rep.PaperExpectation == "" {
+				t.Fatalf("%s lacks the paper expectation", e.ID)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Columns) {
+					t.Fatalf("%s: row %v does not match columns %v", e.ID, row, rep.Columns)
+				}
+			}
+			var buf bytes.Buffer
+			rep.Render(&buf)
+			out := buf.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, rep.Columns[0]) {
+				t.Fatalf("%s render incomplete:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Scale != 64 || c.Threads < 8 || c.Seed == 0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if got := (Config{Scale: 64}).paperM(128); got != 2_000_000 {
+		t.Fatalf("paperM(128) at scale 64 = %d", got)
+	}
+	if got := (Config{Scale: 1 << 20}).paperM(1); got != 1024 {
+		t.Fatalf("paperM floor = %d", got)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		ID: "figX", Title: "T", PaperExpectation: "E",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n1"},
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	for _, want := range []string{"figX", "paper: E", "a", "1", "note: n1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	rep := &Report{
+		ID: "figX", Title: "T", PaperExpectation: "E",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x|y"}},
+		Notes:   []string{"n1"},
+	}
+	var buf bytes.Buffer
+	rep.RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### figX — T", "**Paper:** E", "| a | b |", "| --- | --- |", `x\|y`, "*n1*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJoinRepeatReturnsFastest(t *testing.T) {
+	w, err := generate(Config{Seed: 5}.normalize(), 1<<12, 1<<13, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runJoinRepeat("NOP", w, joinOptions(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := runJoinRepeat("NOP", w, joinOptions(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != single.Matches {
+		t.Fatal("repeat changed the answer")
+	}
+	if res.Total <= 0 {
+		t.Fatal("no timing")
+	}
+}

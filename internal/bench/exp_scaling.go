@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mmjoin/internal/join"
+	"mmjoin/internal/radix"
+	"mmjoin/internal/tuple"
+)
+
+// Scaling experiments of Section 7.3: dataset-size scaling, the radix
+// bit sweeps, the partition-phase comparison and the Equation (1)
+// validation.
+
+func init() {
+	registerExperiment(Experiment{
+		ID:    "fig9",
+		Title: "Per-tuple cost vs radix bits across |R| (L2-fit vs optimal bits)",
+		Run:   runFig9,
+	})
+	registerExperiment(Experiment{
+		ID:    "fig10",
+		Title: "Throughput when scaling the dataset size (both workloads)",
+		Run:   runFig10,
+	})
+	registerExperiment(Experiment{
+		ID:    "fig11",
+		Title: "Partition-phase scalability: chunked vs non-chunked",
+		Run:   runFig11,
+	})
+	registerExperiment(Experiment{
+		ID:    "fig12",
+		Title: "CPRL runtime with Equation (1) bits vs explicit bit range",
+		Run:   runFig12,
+	})
+}
+
+// nsPerTuple renders total time per processed input tuple.
+func nsPerTuple(res *join.Result) float64 {
+	if res.InputTuples == 0 {
+		return 0
+	}
+	return float64(res.Total.Nanoseconds()) / float64(res.InputTuples)
+}
+
+func runFig9(c Config) (*Report, error) {
+	algos := []string{"PROiS", "PRAiS", "PRLiS", "CPRL", "CPRA"}
+	sizesM := []int{16, 64, 256}
+	if c.Quick {
+		algos = []string{"CPRL"}
+		sizesM = []int{16}
+	}
+	rep := &Report{
+		ID:               "fig9",
+		Title:            "Average time per tuple vs radix bits",
+		PaperExpectation: "L2-fit bits (Eq. 1, first regime) are near-optimal until the SWWCBs outgrow the shared LLC; for large |R| the optimal bit count flattens (LLC regime) while L2-fit partitioning cost explodes",
+		Columns:          []string{"algorithm", "|R|", "L2-fit bits", "ns/tuple @L2-fit", "best bits in ±2", "ns/tuple @best"},
+		Notes:            []string{"workload |S| = |R| (Figure 9, right column); bits swept ±2 around the Equation (1) choice"},
+	}
+	for _, m := range sizesM {
+		n := c.paperM(m)
+		w, err := generate(c, n, n, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algos {
+			kind := "chained"
+			switch algo {
+			case "PRLiS", "CPRL":
+				kind = "linear"
+			case "PRAiS", "CPRA":
+				kind = "array"
+			}
+			fit := radix.PredictBits(n, radix.LoadFactorFor(kind), c.Threads, radix.PaperMachine())
+			bestBits, bestNs := uint(0), 0.0
+			var fitNs float64
+			for delta := -2; delta <= 2; delta++ {
+				bits := int(fit) + delta
+				if bits < 1 {
+					continue
+				}
+				res, err := runJoin(algo, w, join.Options{Threads: c.Threads, RadixBits: uint(bits)})
+				if err != nil {
+					return nil, err
+				}
+				ns := nsPerTuple(res)
+				if delta == 0 {
+					fitNs = ns
+				}
+				if bestBits == 0 || ns < bestNs {
+					bestBits, bestNs = uint(bits), ns
+				}
+			}
+			rep.Rows = append(rep.Rows, []string{
+				algo, fmtTuples(n), fmt.Sprintf("%d", fit),
+				fmt.Sprintf("%.2f", fitNs),
+				fmt.Sprintf("%d", bestBits),
+				fmt.Sprintf("%.2f", bestNs),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func runFig10(c Config) (*Report, error) {
+	algos := []string{"MWAY", "CHTJ", "NOP", "NOPA", "CPRL", "CPRA", "PROiS", "PRLiS", "PRAiS"}
+	sizesA := []int{1, 4, 16, 64, 256, 512}
+	sizesB := []int{1, 16, 256, 2048}
+	if c.Quick {
+		algos = []string{"NOP", "NOPA", "CPRL", "PRAiS"}
+		sizesA = []int{1, 16}
+		sizesB = []int{16}
+	}
+	rep := &Report{
+		ID:               "fig10",
+		Title:            "Throughput scaling with dataset size",
+		PaperExpectation: "NOP* strong only while R fits caches (<= ~4M tuples), then flat and low; PR*iS/CPR* pull ahead with size; CHTJ most size-sensitive; MWAY stable and last among radix joins",
+		Columns:          []string{"workload", "|R|", "algorithm", "throughput [M/s]", "radix bits"},
+	}
+	run := func(tag string, sizes []int, probeFactor int) error {
+		for _, m := range sizes {
+			n := c.paperM(m)
+			w, err := generate(c, n, n*probeFactor, 0, 0)
+			if err != nil {
+				return err
+			}
+			for _, algo := range algos {
+				res, err := runJoinRepeat(algo, w, join.Options{Threads: c.Threads}, c.Repeat)
+				if err != nil {
+					return err
+				}
+				rep.Rows = append(rep.Rows, []string{
+					tag, fmtTuples(n), algo, fmtThroughput(res), fmt.Sprintf("%d", res.Bits),
+				})
+			}
+		}
+		return nil
+	}
+	if err := run("|S|=10|R|", sizesA, 10); err != nil {
+		return nil, err
+	}
+	if err := run("|S|=|R|", sizesB, 1); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func runFig11(c Config) (*Report, error) {
+	sizesM := []int{16, 32, 64, 128, 256}
+	if c.Quick {
+		sizesM = []int{16, 64}
+	}
+	rep := &Report{
+		ID:               "fig11",
+		Title:            "Average partition time per tuple, chunked vs global",
+		PaperExpectation: "flat per-tuple cost up to 2^15 partitions, then sharp deterioration once the SWWCBs exceed the shared LLC; chunked partitioning tracks or beats non-chunked throughout",
+		Columns:          []string{"|R|", "partitions", "global [ns/tuple]", "chunked [ns/tuple]"},
+	}
+	for i, m := range sizesM {
+		n := c.paperM(m)
+		rel := generateUniform(c, n)
+		bits := uint(11 + i) // the figure doubles partitions with |R|
+		start := time.Now()
+		radix.PartitionGlobal(rel, bits, c.Threads, true)
+		global := time.Since(start)
+		start = time.Now()
+		radix.PartitionChunked(rel, bits, c.Threads, true)
+		chunked := time.Since(start)
+		rep.Rows = append(rep.Rows, []string{
+			fmtTuples(n), fmt.Sprintf("2^%d", bits),
+			fmt.Sprintf("%.2f", float64(global.Nanoseconds())/float64(n)),
+			fmt.Sprintf("%.2f", float64(chunked.Nanoseconds())/float64(n)),
+		})
+	}
+	return rep, nil
+}
+
+func generateUniform(c Config, n int) tuple.Relation {
+	w, err := generate(c, n, 0, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	return w.Build
+}
+
+func runFig12(c Config) (*Report, error) {
+	sizesM := []int{16, 64, 256}
+	bitRange := []uint{8, 10, 12, 14, 16, 18}
+	if c.Quick {
+		sizesM = []int{16}
+		bitRange = []uint{8, 12}
+	}
+	rep := &Report{
+		ID:               "fig12",
+		Title:            "CPRL: Equation (1) bits vs explicit range",
+		PaperExpectation: "the Equation (1) choice sits at or near the minimum of the bit sweep for every input size",
+		Columns:          []string{"|R|", "Eq.(1) bits", "ns/tuple @Eq.(1)", "best in sweep", "ns/tuple @sweep-best", "worst in sweep"},
+	}
+	for _, m := range sizesM {
+		n := c.paperM(m)
+		w, err := generate(c, n, n, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		pred := radix.PredictBits(n, radix.LoadFactorFor("linear"), c.Threads, radix.PaperMachine())
+		res, err := runJoin("CPRL", w, join.Options{Threads: c.Threads, RadixBits: pred})
+		if err != nil {
+			return nil, err
+		}
+		predNs := nsPerTuple(res)
+		bestBits, bestNs, worstNs := uint(0), 0.0, 0.0
+		for _, bits := range bitRange {
+			r, err := runJoin("CPRL", w, join.Options{Threads: c.Threads, RadixBits: bits})
+			if err != nil {
+				return nil, err
+			}
+			ns := nsPerTuple(r)
+			if bestBits == 0 || ns < bestNs {
+				bestBits, bestNs = bits, ns
+			}
+			if ns > worstNs {
+				worstNs = ns
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmtTuples(n), fmt.Sprintf("%d", pred), fmt.Sprintf("%.2f", predNs),
+			fmt.Sprintf("%d", bestBits), fmt.Sprintf("%.2f", bestNs),
+			fmt.Sprintf("%.2f", worstNs),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,202 @@
+package colstore
+
+import (
+	"math"
+	"testing"
+
+	"mmjoin/internal/tpch"
+	"mmjoin/internal/tuple"
+)
+
+func TestDictColumnRoundTrip(t *testing.T) {
+	c := NewDictColumn("x", []string{"a", "b", "a", "c", "b"})
+	if c.Len() != 5 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	for i, want := range []string{"a", "b", "a", "c", "b"} {
+		if got := c.Value(i); got != want {
+			t.Fatalf("row %d = %q", i, got)
+		}
+	}
+	if code, ok := c.Code("b"); !ok || c.Codes[1] != code {
+		t.Fatal("code lookup broken")
+	}
+	if _, ok := c.Code("zzz"); ok {
+		t.Fatal("phantom dictionary entry")
+	}
+}
+
+func TestDictColumnOverflowPanics(t *testing.T) {
+	values := make([]string, 257)
+	for i := range values {
+		values[i] = string(rune(i)) + "x"
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dictionary overflow not detected")
+		}
+	}()
+	NewDictColumn("big", values)
+}
+
+func TestTableSchemaChecks(t *testing.T) {
+	tbl := NewTable("t")
+	if err := tbl.Add(NewUint32Column("a", []uint32{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(NewUint32Column("b", []uint32{1})); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := tbl.Add(NewUint32Column("a", []uint32{3, 4})); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := tbl.Column("missing"); err == nil {
+		t.Fatal("missing column found")
+	}
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	qty := NewUint32Column("q", []uint32{5, 15, 25, 35})
+	sv := FilterUint32(qty, FullSelection(4), func(v uint32) bool { return v >= 15 && v <= 25 })
+	if len(sv) != 2 || sv[0] != 1 || sv[1] != 2 {
+		t.Fatalf("sv = %v", sv)
+	}
+	mode := NewDictColumn("m", []string{"AIR", "RAIL", "AIR REG", "SHIP"})
+	sv = FilterDictIn(mode, FullSelection(4), "AIR", "AIR REG")
+	if len(sv) != 2 || sv[0] != 0 || sv[1] != 2 {
+		t.Fatalf("sv = %v", sv)
+	}
+	// Filtering with an absent value selects nothing extra.
+	sv = FilterDictIn(mode, FullSelection(4), "TRUCK")
+	if len(sv) != 0 {
+		t.Fatalf("sv = %v", sv)
+	}
+}
+
+func TestHashJoinPairs(t *testing.T) {
+	build := NewKeyColumn("pk", []tuple.Key{0, 1, 2, 3})
+	probe := NewKeyColumn("fk", []tuple.Key{3, 3, 0, 9})
+	pairs := HashJoin(build, FullSelection(4), probe, FullSelection(4), 2)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	seen := map[JoinPair]bool{}
+	for _, p := range pairs {
+		seen[p] = true
+	}
+	for _, want := range []JoinPair{{3, 0}, {3, 1}, {0, 2}} {
+		if !seen[want] {
+			t.Fatalf("missing pair %v in %v", want, pairs)
+		}
+	}
+}
+
+func TestHashJoinRespectsSelections(t *testing.T) {
+	build := NewKeyColumn("pk", []tuple.Key{0, 1, 2, 3})
+	probe := NewKeyColumn("fk", []tuple.Key{0, 1, 2, 3})
+	// Only build rows {1,2} and probe rows {2,3} survive upstream.
+	pairs := HashJoin(build, SelectionVector{1, 2}, probe, SelectionVector{2, 3}, 1)
+	if len(pairs) != 1 || pairs[0] != (JoinPair{2, 2}) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestHashJoinEmptySides(t *testing.T) {
+	build := NewKeyColumn("pk", []tuple.Key{1})
+	probe := NewKeyColumn("fk", []tuple.Key{1})
+	if pairs := HashJoin(build, nil, probe, FullSelection(1), 2); pairs != nil {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestQ19OperatorPlanMatchesReference(t *testing.T) {
+	tb, err := tpch.Generate(tpch.Config{ScaleFactor: 0.02, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tpch.ReferenceQ19(tb)
+	lineitem, part := FromTPCH(tb)
+	for _, threads := range []int{1, 4} {
+		res := RunQ19(lineitem, part, threads)
+		if res.Matches != ref.Matches || res.JoinCandidates != ref.JoinCandidates {
+			t.Fatalf("operator plan (%d thr): %d/%d, want %d/%d",
+				threads, res.Matches, res.JoinCandidates, ref.Matches, ref.JoinCandidates)
+		}
+		if math.Abs(res.Revenue-ref.Revenue) > math.Abs(ref.Revenue)*1e-9 {
+			t.Fatalf("revenue %.2f, want %.2f", res.Revenue, ref.Revenue)
+		}
+	}
+}
+
+func TestDictionariesMatchTPCHCodes(t *testing.T) {
+	// The static dictionaries must assign exactly the codes
+	// internal/tpch generates.
+	tb, err := tpch.Generate(tpch.Config{ScaleFactor: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineitem, part := FromTPCH(tb)
+	si := lineitem.Dict("l_shipinstruct")
+	if code, ok := si.Code("DELIVER IN PERSON"); !ok || code != tpch.ShipInstructDeliverInPerson {
+		t.Fatal("shipinstruct dictionary misaligned")
+	}
+	sm := lineitem.Dict("l_shipmode")
+	if code, ok := sm.Code("AIR REG"); !ok || code != tpch.ShipModeAirReg {
+		t.Fatal("shipmode dictionary misaligned")
+	}
+	br := part.Dict("p_brand")
+	if code, ok := br.Code("Brand#23"); !ok || code != tpch.Brand23 {
+		t.Fatal("brand dictionary misaligned")
+	}
+	ct := part.Dict("p_container")
+	if code, ok := ct.Code("MED BAG"); !ok || code != tpch.Container(1, 2) {
+		t.Fatal("container dictionary misaligned")
+	}
+}
+
+func TestTypedAccessorsPanicOnWrongType(t *testing.T) {
+	tbl := NewTable("t").MustAdd(NewUint32Column("a", []uint32{1}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-type accessor did not panic")
+		}
+	}()
+	tbl.Float32("a")
+}
+
+func TestFilterPairsAndSum(t *testing.T) {
+	pairs := []JoinPair{{0, 0}, {1, 1}, {2, 2}}
+	kept := FilterPairs(pairs, func(l, r uint32) bool { return l != 1 })
+	if len(kept) != 2 {
+		t.Fatalf("kept %v", kept)
+	}
+	sum := SumFloatExpr(kept, func(l, r uint32) float64 { return float64(l) + float64(r) })
+	if sum != 4 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+func TestFullSelection(t *testing.T) {
+	sv := FullSelection(3)
+	if len(sv) != 3 || sv[0] != 0 || sv[2] != 2 {
+		t.Fatalf("sv = %v", sv)
+	}
+	if len(FullSelection(0)) != 0 {
+		t.Fatal("empty selection")
+	}
+}
+
+func TestKeyColumnPayloadIsRowID(t *testing.T) {
+	kc := NewKeyColumn("k", []tuple.Key{9, 8, 7})
+	for i, tp := range kc.Tuples {
+		if int(tp.Payload) != i {
+			t.Fatalf("payload[%d] = %d", i, tp.Payload)
+		}
+	}
+	if kc.Len() != 3 || kc.Name() != "k" {
+		t.Fatal("metadata")
+	}
+}

@@ -1,0 +1,274 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/tuple"
+)
+
+func TestGenerateDenseKeysArePermutation(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 1000, ProbeSize: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 1000)
+	for _, tp := range w.Build {
+		if int(tp.Key) >= 1000 {
+			t.Fatalf("key %d out of dense domain", tp.Key)
+		}
+		if seen[tp.Key] {
+			t.Fatalf("duplicate key %d", tp.Key)
+		}
+		seen[tp.Key] = true
+	}
+}
+
+func TestGenerateBuildPayloadIsRowID(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range w.Build {
+		if tp.Payload != tuple.Payload(i) {
+			t.Fatalf("payload[%d] = %d", i, tp.Payload)
+		}
+	}
+}
+
+func TestGenerateShuffles(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 4096, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOrder := 0
+	for i, tp := range w.Build {
+		if int(tp.Key) == i {
+			inOrder++
+		}
+	}
+	if inOrder > 64 {
+		t.Fatalf("build relation barely shuffled: %d/4096 fixed points", inOrder)
+	}
+}
+
+func TestProbeKeysReferenceBuild(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 100, ProbeSize: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[tuple.Key]bool, 100)
+	for _, tp := range w.Build {
+		valid[tp.Key] = true
+	}
+	for _, tp := range w.Probe {
+		if !valid[tp.Key] {
+			t.Fatalf("probe key %d not in build", tp.Key)
+		}
+	}
+}
+
+func TestProbeKeysReferenceBuildWithHolesAndSkew(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 100, ProbeSize: 500, Zipf: 0.9, HoleFactor: 7, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[tuple.Key]bool, 100)
+	for _, tp := range w.Build {
+		valid[tp.Key] = true
+	}
+	for _, tp := range w.Probe {
+		if !valid[tp.Key] {
+			t.Fatalf("probe key %d not in build", tp.Key)
+		}
+	}
+}
+
+func TestHoleFactorDomain(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 200, HoleFactor: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Domain != 1000 {
+		t.Fatalf("domain = %d, want 1000", w.Domain)
+	}
+	seen := make(map[tuple.Key]bool)
+	outside := false
+	for _, tp := range w.Build {
+		if seen[tp.Key] {
+			t.Fatalf("duplicate key %d in hole workload", tp.Key)
+		}
+		seen[tp.Key] = true
+		if int(tp.Key) >= 1000 {
+			t.Fatalf("key %d outside domain 1000", tp.Key)
+		}
+		if int(tp.Key) >= 200 {
+			outside = true
+		}
+	}
+	if !outside {
+		t.Fatal("hole workload produced a fully dense prefix; holes missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{BuildSize: 500, ProbeSize: 500, Zipf: 0.5, Seed: 42})
+	b, _ := Generate(Config{BuildSize: 500, ProbeSize: 500, Zipf: 0.5, Seed: 42})
+	for i := range a.Build {
+		if a.Build[i] != b.Build[i] {
+			t.Fatalf("build diverges at %d", i)
+		}
+	}
+	for i := range a.Probe {
+		if a.Probe[i] != b.Probe[i] {
+			t.Fatalf("probe diverges at %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{BuildSize: 500, Seed: 1})
+	b, _ := Generate(Config{BuildSize: 500, Seed: 2})
+	same := 0
+	for i := range a.Build {
+		if a.Build[i].Key == b.Build[i].Key {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different seeds produced identical build relations")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{BuildSize: 0},
+		{BuildSize: -1},
+		{BuildSize: 10, ProbeSize: -1},
+		{BuildSize: 10, Zipf: 1.0},
+		{BuildSize: 10, Zipf: -0.1},
+		{BuildSize: 1 << 30, HoleFactor: 16},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v validated", c)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	r := newRNG(9)
+	z := NewZipf(r, 10000, 0.99)
+	const draws = 200000
+	top10 := 0
+	for i := 0; i < draws; i++ {
+		if z.Next() < 10 {
+			top10++
+		}
+	}
+	frac := float64(top10) / draws
+	if frac < 0.30 {
+		t.Fatalf("theta=0.99 put only %.2f of mass on top-10 ranks", frac)
+	}
+	// Uniform comparison: top-10 of 10000 should get ~0.1%.
+	uni := 0
+	for i := 0; i < draws; i++ {
+		if r.intn(10000) < 10 {
+			uni++
+		}
+	}
+	if float64(uni)/draws > 0.01 {
+		t.Fatalf("uniform control drew %.4f on top-10", float64(uni)/draws)
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	r := newRNG(10)
+	z := NewZipf(r, 100, 0.5)
+	for i := 0; i < 10000; i++ {
+		rank := z.Next()
+		if rank < 0 || rank >= 100 {
+			t.Fatalf("rank %d out of [0,100)", rank)
+		}
+	}
+}
+
+func TestZipfMonotoneFrequency(t *testing.T) {
+	r := newRNG(11)
+	z := NewZipf(r, 50, 0.9)
+	counts := make([]int, 50)
+	for i := 0; i < 500000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 10 must dominate rank 40, with slack for
+	// sampling noise.
+	if !(counts[0] > counts[10] && counts[10] > counts[40]) {
+		t.Fatalf("frequencies not decreasing: c0=%d c10=%d c40=%d", counts[0], counts[10], counts[40])
+	}
+}
+
+func TestZetaStatic(t *testing.T) {
+	// theta=0: zeta(n, 0) = n.
+	if got := zetaStatic(10, 0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("zeta(10,0) = %g", got)
+	}
+	// Harmonic number H_3 = 1 + 1/2 + 1/3.
+	if got := zetaStatic(3, 1.0); math.Abs(got-(1+0.5+1.0/3)) > 1e-9 {
+		t.Fatalf("zeta(3,1) = %g", got)
+	}
+}
+
+func TestUniformRelationDomain(t *testing.T) {
+	rel := UniformRelation(5000, 37, 3)
+	seen := make(map[tuple.Key]int)
+	for _, tp := range rel {
+		if int(tp.Key) >= 37 {
+			t.Fatalf("key %d out of domain", tp.Key)
+		}
+		seen[tp.Key]++
+	}
+	if len(seen) != 37 {
+		t.Fatalf("only %d/37 keys drawn over 5000 tuples", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := newRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hole-domain build keys are always distinct, for arbitrary
+// sizes and hole factors.
+func TestBuildKeysDistinctProperty(t *testing.T) {
+	f := func(nRaw, kRaw, seed uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw%6) + 1
+		w, err := Generate(Config{BuildSize: n, HoleFactor: k, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		seen := make(map[tuple.Key]bool, n)
+		for _, tp := range w.Build {
+			if seen[tp.Key] || int(tp.Key) >= n*k {
+				return false
+			}
+			seen[tp.Key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mmjoin/internal/tuple"
+)
+
+// Binary workload format used by cmd/datagen so that expensive workloads
+// can be generated once and joined many times:
+//
+//	magic "MMJW" | version u32 | domain u64 | buildLen u64 | probeLen u64
+//	| build tuples (key u32, payload u32)... | probe tuples ...
+//
+// All integers are little-endian.
+
+const (
+	workloadMagic   = "MMJW"
+	workloadVersion = 1
+)
+
+// WriteWorkload serializes w.
+func WriteWorkload(dst io.Writer, w *Workload) error {
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	if _, err := bw.WriteString(workloadMagic); err != nil {
+		return err
+	}
+	header := make([]byte, 4+8+8+8)
+	binary.LittleEndian.PutUint32(header[0:], workloadVersion)
+	binary.LittleEndian.PutUint64(header[4:], uint64(w.Domain))
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(w.Build)))
+	binary.LittleEndian.PutUint64(header[20:], uint64(len(w.Probe)))
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	if err := writeRelation(bw, w.Build); err != nil {
+		return err
+	}
+	if err := writeRelation(bw, w.Probe); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeRelation(bw *bufio.Writer, rel tuple.Relation) error {
+	var buf [8]byte
+	for _, tp := range rel {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(tp.Key))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(tp.Payload))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWorkload deserializes a workload written by WriteWorkload.
+func ReadWorkload(src io.Reader) (*Workload, error) {
+	br := bufio.NewReaderSize(src, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("datagen: reading magic: %w", err)
+	}
+	if string(magic) != workloadMagic {
+		return nil, fmt.Errorf("datagen: bad magic %q", magic)
+	}
+	header := make([]byte, 4+8+8+8)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("datagen: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(header[0:]); v != workloadVersion {
+		return nil, fmt.Errorf("datagen: unsupported version %d", v)
+	}
+	w := &Workload{Domain: int(binary.LittleEndian.Uint64(header[4:]))}
+	buildLen := binary.LittleEndian.Uint64(header[12:])
+	probeLen := binary.LittleEndian.Uint64(header[20:])
+	const maxTuples = 1 << 34
+	if buildLen > maxTuples || probeLen > maxTuples {
+		return nil, fmt.Errorf("datagen: implausible tuple counts %d/%d", buildLen, probeLen)
+	}
+	var err error
+	if w.Build, err = readRelation(br, int(buildLen)); err != nil {
+		return nil, err
+	}
+	if w.Probe, err = readRelation(br, int(probeLen)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func readRelation(br *bufio.Reader, n int) (tuple.Relation, error) {
+	rel := make(tuple.Relation, n)
+	var buf [8]byte
+	for i := range rel {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("datagen: truncated relation at tuple %d: %w", i, err)
+		}
+		rel[i] = tuple.Tuple{
+			Key:     tuple.Key(binary.LittleEndian.Uint32(buf[0:])),
+			Payload: tuple.Payload(binary.LittleEndian.Uint32(buf[4:])),
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,72 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	w, err := Generate(Config{BuildSize: 1000, ProbeSize: 3000, Zipf: 0.5, HoleFactor: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != w.Domain {
+		t.Fatalf("domain %d != %d", got.Domain, w.Domain)
+	}
+	if len(got.Build) != len(w.Build) || len(got.Probe) != len(w.Probe) {
+		t.Fatal("lengths changed")
+	}
+	for i := range w.Build {
+		if got.Build[i] != w.Build[i] {
+			t.Fatalf("build tuple %d differs", i)
+		}
+	}
+	for i := range w.Probe {
+		if got.Probe[i] != w.Probe[i] {
+			t.Fatalf("probe tuple %d differs", i)
+		}
+	}
+}
+
+func TestReadWorkloadRejectsGarbage(t *testing.T) {
+	if _, err := ReadWorkload(strings.NewReader("not a workload at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadWorkload(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadWorkloadRejectsTruncation(t *testing.T) {
+	w, _ := Generate(Config{BuildSize: 100, ProbeSize: 100, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-13]
+	if _, err := ReadWorkload(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated workload accepted")
+	}
+}
+
+func TestReadWorkloadRejectsWrongVersion(t *testing.T) {
+	w, _ := Generate(Config{BuildSize: 1, ProbeSize: 1, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, err := ReadWorkload(bytes.NewReader(b)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

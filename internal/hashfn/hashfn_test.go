@@ -1,0 +1,120 @@
+package hashfn
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/tuple"
+)
+
+func TestIdentity(t *testing.T) {
+	if Identity(12345) != 12345 {
+		t.Fatal("identity changed the key")
+	}
+}
+
+func TestMultiplicativeDeterministicAndSpreads(t *testing.T) {
+	if Multiplicative(1) == Multiplicative(2) {
+		t.Fatal("collision on adjacent keys")
+	}
+	if Multiplicative(7) != Multiplicative(7) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestMurmurAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Murmur(0x12345678)
+	flipped := Murmur(0x12345679)
+	diff := base ^ flipped
+	pop := 0
+	for diff != 0 {
+		pop += int(diff & 1)
+		diff >>= 1
+	}
+	if pop < 16 || pop > 48 {
+		t.Fatalf("murmur avalanche weak: %d bits flipped", pop)
+	}
+}
+
+func TestCRCMatchesStdlib(t *testing.T) {
+	// Our software CRC32C over the 4 little-endian key bytes must agree
+	// with the standard library's Castagnoli implementation.
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	keys := []tuple.Key{0, 1, 0xdeadbeef, 0xffffffff, 42}
+	for _, k := range keys {
+		b := []byte{byte(k), byte(k >> 8), byte(k >> 16), byte(k >> 24)}
+		want := uint64(crc32.Checksum(b, tab))
+		if got := CRC(k); got != want {
+			t.Fatalf("CRC(%#x) = %#x, want %#x", k, got, want)
+		}
+	}
+}
+
+func TestCRCPropertyMatchesStdlib(t *testing.T) {
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	f := func(k uint32) bool {
+		b := []byte{byte(k), byte(k >> 8), byte(k >> 16), byte(k >> 24)}
+		return CRC(k) == uint64(crc32.Checksum(b, tab))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"identity", "", "multiplicative", "murmur", "crc"} {
+		if ByName(name) == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestRadixBits(t *testing.T) {
+	if got := RadixBits(0b101101, 3); got != 0b101 {
+		t.Fatalf("RadixBits = %b", got)
+	}
+	if got := RadixBits(0xffffffff, 14); got != (1<<14)-1 {
+		t.Fatalf("RadixBits 14 = %d", got)
+	}
+	if got := RadixBits(123, 0); got != 0 {
+		t.Fatalf("RadixBits 0 = %d", got)
+	}
+}
+
+func TestRadixBitsDensePartitioningIsBalanced(t *testing.T) {
+	// Dense keys 0..2^16 split over 2^4 partitions must be perfectly
+	// balanced — this is why the identity hash works in the paper.
+	counts := make([]int, 16)
+	for k := 0; k < 1<<16; k++ {
+		counts[RadixBits(tuple.Key(k), 4)]++
+	}
+	for p, c := range counts {
+		if c != 1<<12 {
+			t.Fatalf("partition %d got %d keys, want %d", p, c, 1<<12)
+		}
+	}
+}
+
+func TestScramblersSpreadLowBits(t *testing.T) {
+	// Keys that collide in their low bits must separate after Murmur /
+	// Multiplicative — the property that matters for radix partitioning
+	// of sparse domains.
+	for _, fn := range []struct {
+		name string
+		f    Func
+	}{{"murmur", Murmur}, {"multiplicative", Multiplicative}} {
+		buckets := make(map[uint64]int)
+		for i := 0; i < 1024; i++ {
+			k := tuple.Key(i << 10) // all zero in the low 10 bits
+			buckets[fn.f(k)&1023]++
+		}
+		if len(buckets) < 256 {
+			t.Fatalf("%s left %d/1024 low-bit buckets used", fn.name, len(buckets))
+		}
+	}
+}

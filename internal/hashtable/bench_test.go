@@ -1,0 +1,131 @@
+package hashtable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/tuple"
+)
+
+// Microbenchmarks of the table designs: build and probe costs per tuple
+// at the sizes the per-partition joins use (L2-resident) and at global
+// NOP-table sizes (cache-busting).
+
+func benchTuples(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		// Golden-ratio stride covers the key space in shuffled order.
+		ts[i] = tuple.Tuple{Key: tuple.Key(uint32(i) * 2654435761 % uint32(n)), Payload: tuple.Payload(i)}
+	}
+	return ts
+}
+
+func BenchmarkTableBuild(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 20} {
+		tuples := benchTuples(n)
+		b.Run(fmt.Sprintf("chained-%dk", n>>10), func(b *testing.B) {
+			b.SetBytes(int64(n) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				t := NewChainedTable(n, hashfn.Identity)
+				for _, tp := range tuples {
+					t.Insert(tp)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("linear-%dk", n>>10), func(b *testing.B) {
+			b.SetBytes(int64(n) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				t := NewLinearTable(n, hashfn.Identity)
+				for _, tp := range tuples {
+					t.Insert(tp)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cht-%dk", n>>10), func(b *testing.B) {
+			b.SetBytes(int64(n) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				BuildCHT(tuples, hashfn.Identity)
+			}
+		})
+		b.Run(fmt.Sprintf("array-%dk", n>>10), func(b *testing.B) {
+			b.SetBytes(int64(n) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				t := NewArrayTable(0, n)
+				for _, tp := range tuples {
+					t.Insert(tp)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("robinhood-%dk", n>>10), func(b *testing.B) {
+			b.SetBytes(int64(n) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				t := NewRobinHoodTable(n, 0, hashfn.Identity)
+				for _, tp := range tuples {
+					t.Insert(tp)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableProbe(b *testing.B) {
+	const n = 1 << 18
+	tuples := benchTuples(n)
+	probes := benchTuples(n) // same keys, shuffled order
+
+	ct := NewChainedTable(n, hashfn.Identity)
+	lt := NewLinearTable(n, hashfn.Identity)
+	at := NewArrayTable(0, n)
+	rh := NewRobinHoodTable(n, 0, hashfn.Identity)
+	st := NewSparseTable(n, hashfn.Identity)
+	for _, tp := range tuples {
+		ct.Insert(tp)
+		lt.Insert(tp)
+		at.Insert(tp)
+		rh.Insert(tp)
+		st.Insert(tp)
+	}
+	cht := BuildCHT(tuples, hashfn.Identity)
+
+	probe := func(b *testing.B, tbl Table) {
+		b.SetBytes(int64(n) * tuple.Bytes)
+		var sink tuple.Payload
+		for i := 0; i < b.N; i++ {
+			for _, tp := range probes {
+				if p, ok := tbl.Lookup(tp.Key); ok {
+					sink += p
+				}
+			}
+		}
+		_ = sink
+	}
+	b.Run("chained", func(b *testing.B) { probe(b, ct) })
+	b.Run("linear", func(b *testing.B) { probe(b, lt) })
+	b.Run("cht", func(b *testing.B) { probe(b, cht) })
+	b.Run("array", func(b *testing.B) { probe(b, at) })
+	b.Run("robinhood", func(b *testing.B) { probe(b, rh) })
+	b.Run("sparse", func(b *testing.B) { probe(b, st) })
+}
+
+func BenchmarkLinearInsertConcurrent(b *testing.B) {
+	const n = 1 << 16
+	const workers = 8
+	tuples := benchTuples(n)
+	b.SetBytes(int64(n) * tuple.Bytes)
+	for i := 0; i < b.N; i++ {
+		t := NewLinearTable(n, hashfn.Identity)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < n; j += workers {
+					t.InsertConcurrent(tuples[j])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,187 @@
+package hashtable
+
+import (
+	"sync/atomic"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/tuple"
+)
+
+// chainedBucketTuples is the number of tuples stored inline per bucket.
+// With two 8-byte tuples, a 4-byte latch/count word and a next pointer,
+// a bucket is 32 bytes: two buckets per cache line, the layout argued
+// for by Balkesen et al. as the fix for the pointer-heavy design of
+// Blanas et al.
+const chainedBucketTuples = 2
+
+type chainedBucket struct {
+	// meta packs the latch (bit 31) and the in-bucket tuple count
+	// (low bits); manipulated atomically during concurrent builds and
+	// plainly during single-threaded per-partition builds.
+	meta   uint32
+	tuples [chainedBucketTuples]tuple.Tuple
+	next   *chainedBucket
+}
+
+const chainedLatchBit = 1 << 31
+
+// ChainedTable is a bucket-chaining hash table whose head buckets live in
+// one contiguous array holding latches and tuples together. Overflow
+// buckets are allocated from a growing arena to keep them dense in
+// memory and cheap to allocate.
+type ChainedTable struct {
+	buckets []chainedBucket
+	mask    uint64
+	hash    hashfn.Func
+	arena   []chainedBucket // overflow bucket storage (single-threaded builds)
+	n       int
+}
+
+// NewChainedTable creates a table for about n tuples. The bucket count is
+// the next power of two of n/chainedBucketTuples so the expected chain
+// length stays at one bucket.
+func NewChainedTable(n int, hash hashfn.Func) *ChainedTable {
+	checkCapacity(n)
+	if hash == nil {
+		hash = hashfn.Identity
+	}
+	nb := NextPow2((n + chainedBucketTuples - 1) / chainedBucketTuples)
+	return &ChainedTable{
+		buckets: make([]chainedBucket, nb),
+		mask:    uint64(nb - 1),
+		hash:    hash,
+	}
+}
+
+// Reset clears the table for reuse with the same capacity, avoiding
+// reallocation between co-partition joins.
+func (t *ChainedTable) Reset() {
+	for i := range t.buckets {
+		t.buckets[i].meta = 0
+		t.buckets[i].next = nil
+	}
+	t.arena = t.arena[:0]
+	t.n = 0
+}
+
+// Insert adds one tuple. Not safe for concurrent use; the radix joins
+// build one table per co-partition on a single thread.
+func (t *ChainedTable) Insert(tp tuple.Tuple) {
+	b := &t.buckets[t.hash(tp.Key)&t.mask]
+	for {
+		cnt := int(b.meta)
+		if cnt < chainedBucketTuples {
+			b.tuples[cnt] = tp
+			b.meta = uint32(cnt + 1)
+			t.n++
+			return
+		}
+		if b.next == nil {
+			t.arena = append(t.arena, chainedBucket{})
+			nb := &t.arena[len(t.arena)-1]
+			// Appending may move the arena; earlier next pointers keep
+			// referring to the old backing array, which stays alive, so
+			// chains remain valid. Pre-size the arena with Reserve to
+			// keep overflow buckets in one block.
+			b.next = nb
+		}
+		b = b.next
+	}
+}
+
+// ReserveOverflow pre-allocates arena capacity for n overflow buckets.
+func (t *ChainedTable) ReserveOverflow(n int) {
+	if cap(t.arena) < n {
+		arena := make([]chainedBucket, len(t.arena), n)
+		copy(arena, t.arena)
+		t.arena = arena
+	}
+}
+
+// InsertConcurrent adds one tuple under the bucket latch, following the
+// latched concurrent build of Blanas/Balkesen-style no-partitioning
+// joins. Overflow buckets are heap-allocated here since an arena cannot
+// be shared without more synchronization than the latch provides.
+func (t *ChainedTable) InsertConcurrent(tp tuple.Tuple) {
+	head := &t.buckets[t.hash(tp.Key)&t.mask]
+	t.lock(head)
+	b := head
+	for {
+		cnt := int(b.meta &^ chainedLatchBit)
+		if b == head {
+			cnt = int(atomic.LoadUint32(&b.meta) &^ chainedLatchBit)
+		}
+		if cnt < chainedBucketTuples {
+			b.tuples[cnt] = tp
+			if b == head {
+				atomic.StoreUint32(&b.meta, uint32(cnt+1)|chainedLatchBit)
+			} else {
+				b.meta = uint32(cnt + 1)
+			}
+			break
+		}
+		if b.next == nil {
+			b.next = &chainedBucket{}
+		}
+		b = b.next
+	}
+	// Release: clear the latch bit. We are the only writer while the
+	// latch is held, so a load+store pair is safe.
+	atomic.StoreUint32(&head.meta, atomic.LoadUint32(&head.meta)&^uint32(chainedLatchBit))
+}
+
+func (t *ChainedTable) lock(b *chainedBucket) {
+	for {
+		old := atomic.LoadUint32(&b.meta)
+		if old&chainedLatchBit == 0 && atomic.CompareAndSwapUint32(&b.meta, old, old|chainedLatchBit) {
+			return
+		}
+	}
+}
+
+// FinishConcurrentBuild must be called after all InsertConcurrent calls
+// completed; it fixes up the element count (which concurrent inserts do
+// not maintain globally).
+func (t *ChainedTable) FinishConcurrentBuild() {
+	n := 0
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.next {
+			n += int(b.meta &^ chainedLatchBit)
+		}
+	}
+	t.n = n
+}
+
+// Lookup implements Table.
+func (t *ChainedTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
+	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
+		cnt := int(b.meta &^ chainedLatchBit)
+		for i := 0; i < cnt; i++ {
+			if b.tuples[i].Key == k {
+				return b.tuples[i].Payload, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ForEachMatch implements Table.
+func (t *ChainedTable) ForEachMatch(k tuple.Key, fn func(tuple.Payload)) {
+	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
+		cnt := int(b.meta &^ chainedLatchBit)
+		for i := 0; i < cnt; i++ {
+			if b.tuples[i].Key == k {
+				fn(b.tuples[i].Payload)
+			}
+		}
+	}
+}
+
+// Len implements Table.
+func (t *ChainedTable) Len() int { return t.n }
+
+// SizeBytes implements Table.
+func (t *ChainedTable) SizeBytes() int64 {
+	const bucketBytes = 32
+	return int64(len(t.buckets)+len(t.arena)) * bucketBytes
+}

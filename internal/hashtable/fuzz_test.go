@@ -1,0 +1,58 @@
+package hashtable
+
+import (
+	"testing"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/tuple"
+)
+
+// Fuzz target: every table design agrees with a map for arbitrary
+// unique-key insert sequences and arbitrary hash choice.
+func FuzzTablesAgainstMap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 7}, uint8(1))
+	hashes := []hashfn.Func{hashfn.Identity, hashfn.Murmur, hashfn.Multiplicative, hashfn.CRC}
+	f.Fuzz(func(t *testing.T, keys []byte, hsel uint8) {
+		if len(keys) > 4096 {
+			t.Skip()
+		}
+		h := hashes[int(hsel)%len(hashes)]
+		ref := map[tuple.Key]tuple.Payload{}
+		var tuples []tuple.Tuple
+		for i := 0; i+1 < len(keys); i += 2 {
+			k := tuple.Key(keys[i])<<8 | tuple.Key(keys[i+1])
+			if _, dup := ref[k]; dup {
+				continue
+			}
+			ref[k] = tuple.Payload(i)
+			tuples = append(tuples, tuple.Tuple{Key: k, Payload: tuple.Payload(i)})
+		}
+		ct := NewChainedTable(len(tuples), h)
+		lt := NewLinearTable(len(tuples), h)
+		rh := NewRobinHoodTable(len(tuples), 0, h)
+		st := NewSparseTable(len(tuples), h)
+		at := NewArrayTable(0, 1<<16)
+		for _, tp := range tuples {
+			ct.Insert(tp)
+			lt.Insert(tp)
+			rh.Insert(tp)
+			st.Insert(tp)
+			at.Insert(tp)
+		}
+		cht := BuildCHT(tuples, h)
+		for _, tbl := range []Table{ct, lt, rh, st, at, cht} {
+			if tbl.Len() != len(ref) {
+				t.Fatalf("%T len %d, want %d", tbl, tbl.Len(), len(ref))
+			}
+			for k, v := range ref {
+				if p, ok := tbl.Lookup(k); !ok || p != v {
+					t.Fatalf("%T lost key %d", tbl, k)
+				}
+			}
+			if _, ok := tbl.Lookup(1 << 17); ok {
+				t.Fatalf("%T phantom hit", tbl)
+			}
+		}
+	})
+}

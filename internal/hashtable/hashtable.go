@@ -1,0 +1,62 @@
+// Package hashtable implements the four hash-table designs the thirteen
+// join algorithms of Schuh et al. (SIGMOD 2016) are built on:
+//
+//   - ChainedTable: bucket chaining with in-bucket latches and tuples and
+//     locks in a single array, following the cache-efficient layout of
+//     Balkesen et al. (ICDE 2013). Used by PRB and PRO.
+//   - LinearTable: a lock-free linear-probing table synchronized with
+//     compare-and-swap, following Lang et al. (IMDM 2013). Used by NOP,
+//     PRL, CPRL and the iS variants.
+//   - CHT: the Concise Hash Table of Barber et al. (PVLDB 2014): a
+//     bitmap with interleaved population counts over a dense tuple
+//     array, bulk-loaded once. Used by CHTJ.
+//   - ArrayTable: a plain payload array indexed by key for dense
+//     domains. Used by NOPA, PRA, CPRA.
+//
+// All tables use a pluggable hash function (identity by default, see
+// internal/hashfn) and are sized to powers of two so the hash reduces
+// with a mask.
+package hashtable
+
+import (
+	"fmt"
+
+	"mmjoin/internal/tuple"
+)
+
+// Table is the common read API of all four designs; the write/build APIs
+// differ by design (CAS inserts, latched inserts, bulk loads) and are
+// concrete methods. Join algorithms use the concrete types; the interface
+// exists so that correctness tests and the advisor example can treat all
+// designs uniformly.
+type Table interface {
+	// Lookup returns the payload stored for key. For tables holding
+	// duplicate keys it returns one arbitrary match; the paper's
+	// workloads have unique build keys, making Lookup exact.
+	Lookup(k tuple.Key) (tuple.Payload, bool)
+	// ForEachMatch invokes fn for every tuple with the given key.
+	ForEachMatch(k tuple.Key, fn func(tuple.Payload))
+	// Len returns the number of tuples stored.
+	Len() int
+	// SizeBytes returns the memory footprint of the structure, the
+	// metric studied by Barber et al.
+	SizeBytes() int64
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func checkCapacity(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hashtable: negative capacity %d", n))
+	}
+}

@@ -1,0 +1,497 @@
+package hashtable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/tuple"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-5: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// buildTable constructs each table kind over the given tuples.
+func buildTables(tuples []tuple.Tuple, domain int, hash hashfn.Func) map[string]Table {
+	ct := NewChainedTable(len(tuples), hash)
+	lt := NewLinearTable(len(tuples), hash)
+	at := NewArrayTable(0, domain)
+	for _, tp := range tuples {
+		ct.Insert(tp)
+		lt.Insert(tp)
+		at.Insert(tp)
+	}
+	cht := BuildCHT(tuples, hash)
+	return map[string]Table{"chained": ct, "linear": lt, "array": at, "cht": cht}
+}
+
+func denseTuples(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i * 3)}
+	}
+	return ts
+}
+
+func TestAllTablesLookupDense(t *testing.T) {
+	const n = 4096
+	tuples := denseTuples(n)
+	for name, tbl := range buildTables(tuples, n, hashfn.Identity) {
+		if tbl.Len() != n {
+			t.Fatalf("%s: len = %d, want %d", name, tbl.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			p, ok := tbl.Lookup(tuple.Key(i))
+			if !ok || p != tuple.Payload(i*3) {
+				t.Fatalf("%s: Lookup(%d) = %d,%v", name, i, p, ok)
+			}
+		}
+	}
+}
+
+func TestAllTablesMissDense(t *testing.T) {
+	const n = 1024
+	tuples := denseTuples(n)
+	for name, tbl := range buildTables(tuples, 2*n, hashfn.Identity) {
+		for k := n; k < 2*n; k++ {
+			if _, ok := tbl.Lookup(tuple.Key(k)); ok {
+				t.Fatalf("%s: phantom hit for %d", name, k)
+			}
+		}
+	}
+}
+
+func TestAllTablesScrambledHash(t *testing.T) {
+	// Murmur forces collisions in the masked bits, exercising chains,
+	// probe sequences and CHT displacement.
+	const n = 2000
+	tuples := denseTuples(n)
+	ct := NewChainedTable(n, hashfn.Murmur)
+	lt := NewLinearTable(n, hashfn.Murmur)
+	for _, tp := range tuples {
+		ct.Insert(tp)
+		lt.Insert(tp)
+	}
+	cht := BuildCHT(tuples, hashfn.Murmur)
+	for name, tbl := range map[string]Table{"chained": ct, "linear": lt, "cht": cht} {
+		for i := 0; i < n; i++ {
+			p, ok := tbl.Lookup(tuple.Key(i))
+			if !ok || p != tuple.Payload(i*3) {
+				t.Fatalf("%s: Lookup(%d) = %d,%v", name, i, p, ok)
+			}
+		}
+		if _, ok := tbl.Lookup(tuple.Key(n + 5)); ok {
+			t.Fatalf("%s: phantom hit", name)
+		}
+	}
+}
+
+func TestChainedDuplicateKeys(t *testing.T) {
+	ct := NewChainedTable(16, hashfn.Identity)
+	for i := 0; i < 5; i++ {
+		ct.Insert(tuple.Tuple{Key: 7, Payload: tuple.Payload(i)})
+	}
+	seen := map[tuple.Payload]bool{}
+	ct.ForEachMatch(7, func(p tuple.Payload) { seen[p] = true })
+	if len(seen) != 5 {
+		t.Fatalf("duplicates lost: %v", seen)
+	}
+}
+
+func TestLinearDuplicateKeys(t *testing.T) {
+	lt := NewLinearTable(16, hashfn.Identity)
+	for i := 0; i < 5; i++ {
+		lt.Insert(tuple.Tuple{Key: 3, Payload: tuple.Payload(i)})
+	}
+	count := 0
+	lt.ForEachMatch(3, func(tuple.Payload) { count++ })
+	if count != 5 {
+		t.Fatalf("found %d duplicates, want 5", count)
+	}
+}
+
+func TestChainedOverflowChains(t *testing.T) {
+	// Force every key into the same bucket: constant hash.
+	constHash := func(tuple.Key) uint64 { return 0 }
+	ct := NewChainedTable(4, constHash)
+	const n = 100
+	for i := 0; i < n; i++ {
+		ct.Insert(tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)})
+	}
+	if ct.Len() != n {
+		t.Fatalf("len = %d", ct.Len())
+	}
+	for i := 0; i < n; i++ {
+		if p, ok := ct.Lookup(tuple.Key(i)); !ok || p != tuple.Payload(i) {
+			t.Fatalf("Lookup(%d) failed after chaining", i)
+		}
+	}
+}
+
+func TestChainedReset(t *testing.T) {
+	ct := NewChainedTable(8, hashfn.Identity)
+	for i := 0; i < 32; i++ {
+		ct.Insert(tuple.Tuple{Key: tuple.Key(i), Payload: 1})
+	}
+	ct.Reset()
+	if ct.Len() != 0 {
+		t.Fatalf("len after reset = %d", ct.Len())
+	}
+	if _, ok := ct.Lookup(3); ok {
+		t.Fatal("stale entry after reset")
+	}
+	ct.Insert(tuple.Tuple{Key: 5, Payload: 9})
+	if p, ok := ct.Lookup(5); !ok || p != 9 {
+		t.Fatal("insert after reset failed")
+	}
+}
+
+func TestLinearReset(t *testing.T) {
+	lt := NewLinearTable(8, hashfn.Identity)
+	lt.Insert(tuple.Tuple{Key: 1, Payload: 2})
+	lt.Reset()
+	if lt.Len() != 0 {
+		t.Fatal("len after reset")
+	}
+	if _, ok := lt.Lookup(1); ok {
+		t.Fatal("stale entry after reset")
+	}
+}
+
+func TestArrayReset(t *testing.T) {
+	at := NewArrayTable(0, 64)
+	at.Insert(tuple.Tuple{Key: 10, Payload: 3})
+	at.Reset()
+	if _, ok := at.Lookup(10); ok {
+		t.Fatal("stale entry after reset")
+	}
+}
+
+func TestLinearConcurrentBuild(t *testing.T) {
+	const n = 1 << 14
+	const workers = 8
+	lt := NewLinearTable(n, hashfn.Identity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				lt.InsertConcurrent(tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i + 1)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lt.Len() != n {
+		t.Fatalf("len = %d, want %d", lt.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		p, ok := lt.Lookup(tuple.Key(i))
+		if !ok || p != tuple.Payload(i+1) {
+			t.Fatalf("Lookup(%d) = %d,%v after concurrent build", i, p, ok)
+		}
+	}
+}
+
+func TestLinearConcurrentBuildCollisions(t *testing.T) {
+	// All workers fight over a tiny probe window via a constant-ish
+	// hash, maximizing CAS contention.
+	lowHash := func(k tuple.Key) uint64 { return uint64(k) & 3 }
+	lt := NewLinearTableLoadFactor(256, 0.5, lowHash)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				k := tuple.Key(w*32 + i)
+				lt.InsertConcurrent(tuple.Tuple{Key: k, Payload: tuple.Payload(k)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := tuple.Key(0); k < 256; k++ {
+		if p, ok := lt.Lookup(k); !ok || p != tuple.Payload(k) {
+			t.Fatalf("key %d lost under contention", k)
+		}
+	}
+}
+
+func TestChainedConcurrentBuild(t *testing.T) {
+	const n = 1 << 13
+	const workers = 8
+	ct := NewChainedTable(n/4, hashfn.Identity) // undersized: forces chains
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				ct.InsertConcurrent(tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	ct.FinishConcurrentBuild()
+	if ct.Len() != n {
+		t.Fatalf("len = %d, want %d", ct.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if p, ok := ct.Lookup(tuple.Key(i)); !ok || p != tuple.Payload(i) {
+			t.Fatalf("Lookup(%d) failed after concurrent chained build", i)
+		}
+	}
+}
+
+func TestArrayConcurrentBuild(t *testing.T) {
+	const n = 1 << 14
+	at := NewArrayTable(0, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				at.InsertConcurrent(tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	at.FinishConcurrentBuild()
+	if at.Len() != n {
+		t.Fatalf("len = %d, want %d", at.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if p, ok := at.Lookup(tuple.Key(i)); !ok || p != tuple.Payload(i) {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestArrayTableBaseOffset(t *testing.T) {
+	at := NewArrayTable(1000, 100)
+	at.Insert(tuple.Tuple{Key: 1050, Payload: 7})
+	if p, ok := at.Lookup(1050); !ok || p != 7 {
+		t.Fatal("offset lookup failed")
+	}
+	if _, ok := at.Lookup(999); ok {
+		t.Fatal("below-base key hit")
+	}
+	if _, ok := at.Lookup(1100); ok {
+		t.Fatal("above-domain key hit")
+	}
+	if _, ok := at.Lookup(1049); ok {
+		t.Fatal("hole key hit")
+	}
+}
+
+func TestCHTOverflowPath(t *testing.T) {
+	// A constant hash pushes everything past the displacement bound.
+	constHash := func(tuple.Key) uint64 { return 5 }
+	tuples := denseTuples(300)
+	cht := BuildCHT(tuples, constHash)
+	if cht.OverflowLen() == 0 {
+		t.Fatal("expected overflow with constant hash")
+	}
+	if cht.Len() != 300 {
+		t.Fatalf("len = %d", cht.Len())
+	}
+	for i := 0; i < 300; i++ {
+		p, ok := cht.Lookup(tuple.Key(i))
+		if !ok || p != tuple.Payload(i*3) {
+			t.Fatalf("Lookup(%d) through overflow failed", i)
+		}
+	}
+}
+
+func TestCHTNoOverflowOnDenseIdentity(t *testing.T) {
+	cht := BuildCHT(denseTuples(1<<12), hashfn.Identity)
+	if cht.OverflowLen() != 0 {
+		t.Fatalf("dense identity build overflowed %d tuples", cht.OverflowLen())
+	}
+}
+
+func TestCHTSpaceEfficiency(t *testing.T) {
+	// The headline claim of Barber et al.: CHT is far smaller than a
+	// 50%-loaded linear table. 8n bits + n tuples vs 2n slots of 8B.
+	const n = 1 << 14
+	tuples := denseTuples(n)
+	cht := BuildCHT(tuples, hashfn.Identity)
+	lt := NewLinearTable(n, hashfn.Identity)
+	for _, tp := range tuples {
+		lt.Insert(tp)
+	}
+	if cht.SizeBytes() >= lt.SizeBytes() {
+		t.Fatalf("CHT %dB not smaller than linear %dB", cht.SizeBytes(), lt.SizeBytes())
+	}
+}
+
+func TestCHTParallelRegionBuild(t *testing.T) {
+	const n = 1 << 13
+	const regions = 8
+	tuples := denseTuples(n)
+	b := NewCHTBuilder(n, regions, hashfn.Identity)
+	parts := make([][]tuple.Tuple, b.Regions())
+	for _, tp := range tuples {
+		r := b.RegionOf(tp.Key)
+		parts[r] = append(parts[r], tp)
+	}
+	var wg sync.WaitGroup
+	for r := range parts {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			b.LoadRegion(r, parts[r])
+		}(r)
+	}
+	wg.Wait()
+	cht := b.Finalize()
+	if cht.Len() != n {
+		t.Fatalf("len = %d, want %d", cht.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		p, ok := cht.Lookup(tuple.Key(i))
+		if !ok || p != tuple.Payload(i*3) {
+			t.Fatalf("parallel CHT Lookup(%d) = %d,%v", i, p, ok)
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		if _, ok := cht.Lookup(tuple.Key(i)); ok {
+			t.Fatalf("parallel CHT phantom hit %d", i)
+		}
+	}
+}
+
+func TestCHTRegionBuilderClampsRegions(t *testing.T) {
+	b := NewCHTBuilder(4, 1024, hashfn.Identity)
+	if b.Regions() > 1024 || b.Regions() < 1 {
+		t.Fatalf("regions = %d", b.Regions())
+	}
+	// Regions may not exceed the group count.
+	if b.Regions() > 1 { // 4 tuples → 32 buckets → 1 group
+		t.Fatalf("regions = %d for tiny table", b.Regions())
+	}
+}
+
+func TestCHTEmpty(t *testing.T) {
+	cht := BuildCHT(nil, hashfn.Identity)
+	if cht.Len() != 0 {
+		t.Fatalf("len = %d", cht.Len())
+	}
+	if _, ok := cht.Lookup(0); ok {
+		t.Fatal("hit in empty CHT")
+	}
+}
+
+// Property test: for random key/payload sets with random hash choice,
+// every inserted tuple is found and no phantom appears, on every design.
+func TestTablesProperty(t *testing.T) {
+	hashes := []hashfn.Func{hashfn.Identity, hashfn.Murmur, hashfn.Multiplicative}
+	f := func(keysRaw []uint16, hsel uint8) bool {
+		// Deduplicate keys (the paper's build sides are unique PKs).
+		seen := map[tuple.Key]bool{}
+		var tuples []tuple.Tuple
+		for i, kr := range keysRaw {
+			k := tuple.Key(kr)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tuples = append(tuples, tuple.Tuple{Key: k, Payload: tuple.Payload(i)})
+		}
+		h := hashes[int(hsel)%len(hashes)]
+		tables := map[string]Table{}
+		ct := NewChainedTable(len(tuples), h)
+		lt := NewLinearTable(len(tuples), h)
+		at := NewArrayTable(0, 1<<16)
+		for _, tp := range tuples {
+			ct.Insert(tp)
+			lt.Insert(tp)
+			at.Insert(tp)
+		}
+		tables["chained"], tables["linear"], tables["array"] = ct, lt, at
+		tables["cht"] = BuildCHT(tuples, h)
+		for _, tbl := range tables {
+			if tbl.Len() != len(tuples) {
+				return false
+			}
+			for _, tp := range tuples {
+				if p, ok := tbl.Lookup(tp.Key); !ok || p != tp.Payload {
+					return false
+				}
+			}
+			// A key guaranteed absent (beyond the uint16 key space).
+			if _, ok := tbl.Lookup(1 << 17); ok && tbl != tables["array"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainedSizeBytesGrowsWithOverflow(t *testing.T) {
+	ct := NewChainedTable(4, func(tuple.Key) uint64 { return 0 })
+	before := ct.SizeBytes()
+	for i := 0; i < 64; i++ {
+		ct.Insert(tuple.Tuple{Key: tuple.Key(i)})
+	}
+	if ct.SizeBytes() <= before {
+		t.Fatal("overflow buckets not accounted")
+	}
+}
+
+func TestLinearTableFullPanics(t *testing.T) {
+	lt := NewLinearTableLoadFactor(2, 1.0, hashfn.Identity) // 4 slots
+	for i := 0; i < 4; i++ {
+		lt.Insert(tuple.Tuple{Key: tuple.Key(i), Payload: 0})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull insert did not panic")
+		}
+	}()
+	lt.Insert(tuple.Tuple{Key: 99})
+}
+
+func TestLinearTableLookupTerminatesWhenFull(t *testing.T) {
+	lt := NewLinearTableLoadFactor(2, 1.0, hashfn.Identity)
+	for i := 0; i < lt.Slots(); i++ {
+		lt.Insert(tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)})
+	}
+	// Absent key in a 100%-full table must return a miss, not spin.
+	if _, ok := lt.Lookup(1 << 20); ok {
+		t.Fatal("phantom hit")
+	}
+	count := 0
+	lt.ForEachMatch(1<<20, func(tuple.Payload) { count++ })
+	if count != 0 {
+		t.Fatal("phantom matches")
+	}
+	// Present keys still found.
+	for i := 0; i < lt.Slots(); i++ {
+		if _, ok := lt.Lookup(tuple.Key(i)); !ok {
+			t.Fatalf("key %d lost in full table", i)
+		}
+	}
+}
+
+func TestArrayTableOutOfDomainPanics(t *testing.T) {
+	at := NewArrayTable(0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain insert did not panic")
+		}
+	}()
+	at.Insert(tuple.Tuple{Key: 8})
+}

@@ -1,0 +1,248 @@
+package hashtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/tuple"
+)
+
+func TestSparseTableDense(t *testing.T) {
+	const n = 4096
+	st := NewSparseTable(n, hashfn.Identity)
+	for _, tp := range denseTuples(n) {
+		st.Insert(tp)
+	}
+	if st.Len() != n {
+		t.Fatalf("len = %d", st.Len())
+	}
+	for i := 0; i < n; i++ {
+		p, ok := st.Lookup(tuple.Key(i))
+		if !ok || p != tuple.Payload(i*3) {
+			t.Fatalf("Lookup(%d) = %d,%v", i, p, ok)
+		}
+	}
+	if _, ok := st.Lookup(n + 7); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestSparseTableCollisions(t *testing.T) {
+	constHash := func(tuple.Key) uint64 { return 3 }
+	st := NewSparseTable(64, constHash)
+	for i := 0; i < 200; i++ {
+		st.Insert(tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)})
+	}
+	for i := 0; i < 200; i++ {
+		if p, ok := st.Lookup(tuple.Key(i)); !ok || p != tuple.Payload(i) {
+			t.Fatalf("key %d lost under collisions", i)
+		}
+	}
+}
+
+func TestSparseTableDelete(t *testing.T) {
+	st := NewSparseTable(256, hashfn.Murmur)
+	for _, tp := range denseTuples(256) {
+		st.Insert(tp)
+	}
+	// Delete the evens; odds must survive the run repairs.
+	for i := 0; i < 256; i += 2 {
+		if !st.Delete(tuple.Key(i)) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if st.Len() != 128 {
+		t.Fatalf("len after deletes = %d", st.Len())
+	}
+	for i := 0; i < 256; i++ {
+		p, ok := st.Lookup(tuple.Key(i))
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d still present", i)
+			}
+		} else if !ok || p != tuple.Payload(i*3) {
+			t.Fatalf("surviving key %d lost (ok=%v)", i, ok)
+		}
+	}
+	if st.Delete(9999) {
+		t.Fatal("deleted an absent key")
+	}
+	// Reinsert the evens.
+	for i := 0; i < 256; i += 2 {
+		st.Insert(tuple.Tuple{Key: tuple.Key(i), Payload: 7})
+	}
+	if p, ok := st.Lookup(0); !ok || p != 7 {
+		t.Fatal("reinsert after delete failed")
+	}
+}
+
+func TestSparseTableSpaceComparableToCHT(t *testing.T) {
+	const n = 1 << 14
+	tuples := denseTuples(n)
+	st := NewSparseTable(n, hashfn.Identity)
+	for _, tp := range tuples {
+		st.Insert(tp)
+	}
+	lt := NewLinearTable(n, hashfn.Identity)
+	for _, tp := range tuples {
+		lt.Insert(tp)
+	}
+	// The dynamic sparse layout pays slice headers per group but must
+	// still undercut the 50%-loaded linear table.
+	if st.SizeBytes() >= lt.SizeBytes() {
+		t.Fatalf("sparse %dB not below linear %dB", st.SizeBytes(), lt.SizeBytes())
+	}
+}
+
+// Property: sparse table behaves like a map under random insert/delete
+// interleavings (unique keys).
+func TestSparseTableProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint8) bool {
+		st := NewSparseTable(64, hashfn.Murmur)
+		ref := map[tuple.Key]tuple.Payload{}
+		for i, op := range ops {
+			k := tuple.Key(op % 512)
+			if op%3 == 0 {
+				if _, exists := ref[k]; exists {
+					delete(ref, k)
+					if !st.Delete(k) {
+						return false
+					}
+				}
+			} else if _, exists := ref[k]; !exists {
+				ref[k] = tuple.Payload(i)
+				st.Insert(tuple.Tuple{Key: k, Payload: tuple.Payload(i)})
+			}
+		}
+		if st.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if p, ok := st.Lookup(k); !ok || p != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobinHoodDense(t *testing.T) {
+	const n = 4096
+	rh := NewRobinHoodTable(n, 0, hashfn.Identity)
+	for _, tp := range denseTuples(n) {
+		rh.Insert(tp)
+	}
+	if rh.Len() != n {
+		t.Fatalf("len = %d", rh.Len())
+	}
+	for i := 0; i < n; i++ {
+		p, ok := rh.Lookup(tuple.Key(i))
+		if !ok || p != tuple.Payload(i*3) {
+			t.Fatalf("Lookup(%d) failed", i)
+		}
+	}
+	if _, ok := rh.Lookup(n + 1); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestRobinHoodHighLoadFactor(t *testing.T) {
+	// Robin Hood's raison d'être: stays correct and bounded at 90% load
+	// with a colliding hash.
+	const n = 1000
+	rh := NewRobinHoodTable(n, 0.9, hashfn.Multiplicative)
+	for i := 0; i < n; i++ {
+		rh.Insert(tuple.Tuple{Key: tuple.Key(i * 13), Payload: tuple.Payload(i)})
+	}
+	for i := 0; i < n; i++ {
+		p, ok := rh.Lookup(tuple.Key(i * 13))
+		if !ok || p != tuple.Payload(i) {
+			t.Fatalf("key %d lost at high load", i*13)
+		}
+	}
+	if _, ok := rh.Lookup(7); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestRobinHoodDuplicates(t *testing.T) {
+	rh := NewRobinHoodTable(32, 0, hashfn.Identity)
+	for i := 0; i < 5; i++ {
+		rh.Insert(tuple.Tuple{Key: 7, Payload: tuple.Payload(i)})
+	}
+	count := 0
+	rh.ForEachMatch(7, func(tuple.Payload) { count++ })
+	if count != 5 {
+		t.Fatalf("found %d duplicates, want 5", count)
+	}
+}
+
+func TestRobinHoodEqualizesProbeDistances(t *testing.T) {
+	// With a clustering hash, Robin Hood's max probe distance must be
+	// at most the plain linear table's.
+	clusterHash := func(k tuple.Key) uint64 { return uint64(k) / 8 }
+	const n = 512
+	rh := NewRobinHoodTable(n, 0.7, clusterHash)
+	lt := NewLinearTableLoadFactor(n, 0.7, clusterHash)
+	for i := 0; i < n; i++ {
+		tp := tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)}
+		rh.Insert(tp)
+		lt.Insert(tp)
+	}
+	maxRH := 0
+	for _, d := range rh.dist {
+		if int(d) > maxRH {
+			maxRH = int(d)
+		}
+	}
+	// Linear max displacement: walk each key's probe length.
+	maxLT := 0
+	for i := 0; i < n; i++ {
+		k := tuple.Key(i)
+		home := clusterHash(k) & lt.mask
+		j := home
+		steps := 0
+		for lt.keys[j] != uint32(k)+1 {
+			j = (j + 1) & lt.mask
+			steps++
+		}
+		if steps > maxLT {
+			maxLT = steps
+		}
+	}
+	if maxRH > maxLT {
+		t.Fatalf("robin hood max distance %d exceeds linear %d", maxRH, maxLT)
+	}
+}
+
+func TestRobinHoodProperty(t *testing.T) {
+	f := func(keysRaw []uint16) bool {
+		seen := map[tuple.Key]bool{}
+		rh := NewRobinHoodTable(len(keysRaw)+1, 0, hashfn.Murmur)
+		var inserted []tuple.Tuple
+		for i, kr := range keysRaw {
+			k := tuple.Key(kr)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tp := tuple.Tuple{Key: k, Payload: tuple.Payload(i)}
+			rh.Insert(tp)
+			inserted = append(inserted, tp)
+		}
+		for _, tp := range inserted {
+			if p, ok := rh.Lookup(tp.Key); !ok || p != tp.Payload {
+				return false
+			}
+		}
+		_, ok := rh.Lookup(1 << 18)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

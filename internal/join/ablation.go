@@ -1,0 +1,108 @@
+package join
+
+import (
+	"time"
+
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/sched"
+	"mmjoin/internal/tuple"
+)
+
+// Ablation algorithms: variants the paper discusses when explaining the
+// contradictions between earlier studies, but which are not among the
+// thirteen of Table 2. They register under AblationAlgorithms so that
+// Table 2 (join.Algorithms) stays exactly thirteen entries.
+
+var ablationRegistry []Spec
+
+func registerAblation(s Spec) { ablationRegistry = append(ablationRegistry, s) }
+
+// AblationAlgorithms lists the extra variants.
+func AblationAlgorithms() []Spec {
+	out := make([]Spec, len(ablationRegistry))
+	copy(out, ablationRegistry)
+	return out
+}
+
+// NewAny resolves names from both the Table 2 registry and the ablation
+// registry.
+func NewAny(name string) (Algorithm, error) {
+	for _, s := range ablationRegistry {
+		if s.Name == name {
+			return s.New(), nil
+		}
+	}
+	return New(name)
+}
+
+func init() {
+	registerAblation(Spec{
+		Name:  "NOPC",
+		Class: NoPartition,
+		Description: "No-partitioning hash join with a latched chaining hash table " +
+			"(the Blanas-style implementation the 2011 study used)",
+		Paper: "Blanas et al. [7]",
+		New:   func() Algorithm { return &nopChainedJoin{} },
+	})
+}
+
+// nopChainedJoin is the no-partitioning join in its 2011 form: one
+// global chained hash table built concurrently under per-bucket latches.
+// Section 1 of the paper traces the NOP-vs-PRB contradictions between
+// studies to exactly this implementation difference (linked lists +
+// latches vs Lang's lock-free linear probing), so having both makes the
+// contradiction reproducible.
+type nopChainedJoin struct{}
+
+func (j *nopChainedJoin) Name() string { return "NOPC" }
+func (j *nopChainedJoin) Class() Class { return NoPartition }
+func (j *nopChainedJoin) Description() string {
+	return "No-partitioning hash join with a latched chaining hash table"
+}
+
+func (j *nopChainedJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	o := opts.normalize()
+	res := &Result{
+		Algorithm:   "NOPC",
+		Threads:     o.Threads,
+		InputTuples: int64(len(build) + len(probe)),
+	}
+	buildChunks := tuple.Chunks(len(build), o.Threads)
+	probeChunks := tuple.Chunks(len(probe), o.Threads)
+	sinks := make([]sink, o.Threads)
+	for i := range sinks {
+		sinks[i].materialize = o.Materialize
+	}
+
+	start := time.Now()
+	ht := hashtable.NewChainedTable(len(build), o.Hash)
+	sched.RunWorkers(o.Threads, func(w int) {
+		c := buildChunks[w]
+		for _, tp := range build[c.Begin:c.End] {
+			ht.InsertConcurrent(tp)
+		}
+	})
+	ht.FinishConcurrentBuild()
+	buildDone := time.Now()
+
+	sched.RunWorkers(o.Threads, func(w int) {
+		s := &sinks[w]
+		c := probeChunks[w]
+		for _, tp := range probe[c.Begin:c.End] {
+			if p, ok := ht.Lookup(tp.Key); ok {
+				s.emit(p, tp.Payload)
+			}
+		}
+	})
+	end := time.Now()
+
+	res.BuildOrPartition = buildDone.Sub(start)
+	res.ProbeOrJoin = end.Sub(buildDone)
+	res.Total = end.Sub(start)
+	mergeSinks(res, sinks)
+
+	if o.Traffic != nil {
+		accountNoPartitionTraffic(&o, len(build), len(probe), ht.SizeBytes())
+	}
+	return res, nil
+}

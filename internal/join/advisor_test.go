@@ -1,0 +1,68 @@
+package join
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecommendSmallInputsAvoidCPR(t *testing.T) {
+	rec := Recommend(WorkloadProfile{BuildTuples: 1 << 20, ProbeTuples: 10 << 20, KeysDense: true, Threads: 32})
+	if rec.Algorithm != "NOPA" {
+		t.Fatalf("small dense input recommended %s, want NOPA (lessons 1+7)", rec.Algorithm)
+	}
+	rec = Recommend(WorkloadProfile{BuildTuples: 1 << 20, ProbeTuples: 10 << 20, Threads: 32})
+	if rec.Algorithm != "NOP" {
+		t.Fatalf("small sparse input recommended %s, want NOP", rec.Algorithm)
+	}
+}
+
+func TestRecommendLargeUniform(t *testing.T) {
+	rec := Recommend(WorkloadProfile{BuildTuples: 128 << 20, ProbeTuples: 1280 << 20, KeysDense: true, Threads: 60})
+	if rec.Algorithm != "CPRA" {
+		t.Fatalf("large dense input recommended %s, want CPRA", rec.Algorithm)
+	}
+	if rec.RadixBits == 0 {
+		t.Fatal("partition-based pick must set radix bits (lesson 6)")
+	}
+	rec = Recommend(WorkloadProfile{BuildTuples: 128 << 20, ProbeTuples: 1280 << 20, Threads: 60})
+	if rec.Algorithm != "CPRL" {
+		t.Fatalf("large sparse input recommended %s, want CPRL", rec.Algorithm)
+	}
+}
+
+func TestRecommendHighSkewFlipsToNOP(t *testing.T) {
+	base := WorkloadProfile{BuildTuples: 128 << 20, ProbeTuples: 1280 << 20, Threads: 60}
+	mild := base
+	mild.ZipfSkew = 0.5
+	if rec := Recommend(mild); rec.Algorithm != "CPRL" {
+		t.Fatalf("mild skew flipped to %s; lesson 3 says partitioned still wins", rec.Algorithm)
+	}
+	heavy := base
+	heavy.ZipfSkew = 0.99
+	if rec := Recommend(heavy); rec.Algorithm != "NOP" {
+		t.Fatalf("heavy skew recommended %s, want NOP (lesson 3)", rec.Algorithm)
+	}
+}
+
+func TestRecommendSparseDomainDisablesArray(t *testing.T) {
+	rec := Recommend(WorkloadProfile{
+		BuildTuples: 128 << 20, ProbeTuples: 1280 << 20,
+		KeysDense: true, DomainSize: 20 * 128 << 20, Threads: 60,
+	})
+	if rec.Algorithm != "CPRL" {
+		t.Fatalf("k=20 domain recommended %s; Appendix C says arrays stop paying off", rec.Algorithm)
+	}
+}
+
+func TestRecommendationCarriesRationale(t *testing.T) {
+	rec := Recommend(WorkloadProfile{BuildTuples: 64 << 20, ProbeTuples: 640 << 20, KeysDense: true, Threads: 32})
+	joined := strings.Join(rec.Rationale, "\n")
+	for _, want := range []string{"lesson (6)", "lesson (4)", "lesson (5)"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("rationale missing %q:\n%s", want, joined)
+		}
+	}
+	if _, err := New(rec.Algorithm); err != nil {
+		t.Fatalf("advisor recommended unknown algorithm %s", rec.Algorithm)
+	}
+}

@@ -1,0 +1,90 @@
+package join
+
+import (
+	"sync"
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/tuple"
+)
+
+// Per-algorithm microbenchmarks on the canonical 1:10 workload. The
+// figure-level sweeps live in the repository root's bench_test.go; these
+// give a quick per-algorithm number for development.
+
+var (
+	benchOnce sync.Once
+	benchWL   *datagen.Workload
+)
+
+func benchWorkload(b *testing.B) *datagen.Workload {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchWL, err = datagen.Generate(datagen.Config{
+			BuildSize: 1 << 18, ProbeSize: 10 << 18, Seed: 99,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchWL
+}
+
+func BenchmarkAlgorithms(b *testing.B) {
+	w := benchWorkload(b)
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			algo := MustNew(name)
+			opts := &Options{Threads: 8, Domain: w.Domain}
+			b.SetBytes(int64(len(w.Build)+len(w.Probe)) * tuple.Bytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := algo.Run(w.Build, w.Probe, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	w := benchWorkload(b)
+	for _, spec := range AblationAlgorithms() {
+		b.Run(spec.Name, func(b *testing.B) {
+			algo := spec.New()
+			opts := &Options{Threads: 8, Domain: w.Domain}
+			b.SetBytes(int64(len(w.Build)+len(w.Probe)) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := algo.Run(w.Build, w.Probe, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSkewSplitting(b *testing.B) {
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize: 1 << 16, ProbeSize: 10 << 16, Zipf: 0.99, Seed: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, split := range []bool{false, true} {
+		name := "plain"
+		if split {
+			name = "split"
+		}
+		b.Run("CPRL-zipf099-"+name, func(b *testing.B) {
+			algo := MustNew("CPRL")
+			opts := &Options{Threads: 8, Domain: w.Domain, SplitSkewedTasks: split}
+			b.SetBytes(int64(len(w.Build)+len(w.Probe)) * tuple.Bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := algo.Run(w.Build, w.Probe, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package join
+
+import (
+	"testing"
+
+	"mmjoin/internal/datagen"
+)
+
+// Fuzz target: any workload shape, any algorithm, any thread count —
+// the result must match the reference oracle. Seeds cover the corner
+// regimes; `go test -fuzz=FuzzJoinEquivalence` explores beyond them.
+func FuzzJoinEquivalence(f *testing.F) {
+	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0))
+	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9))
+	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1))
+	names := Names()
+	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw uint8) {
+		build := int(buildRaw%4000) + 1
+		probe := int(probeRaw % 16000)
+		threads := 1 << (threadsRaw % 5)
+		algo := names[int(algoRaw)%len(names)]
+		bits := uint(bitsRaw % 10)
+		w, err := datagen.Generate(datagen.Config{BuildSize: build, ProbeSize: probe, Seed: uint64(seed)})
+		if err != nil {
+			t.Skip()
+		}
+		ref, err := (Reference{}).Run(w.Build, w.Probe, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MustNew(algo).Run(w.Build, w.Probe, &Options{
+			Threads: threads, Domain: w.Domain, RadixBits: bits,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+			t.Fatalf("%s diverged: %d matches vs %d", algo, res.Matches, ref.Matches)
+		}
+	})
+}

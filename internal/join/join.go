@@ -1,0 +1,280 @@
+// Package join implements the thirteen main-memory equi-join algorithms
+// compared by Schuh, Chen and Dittrich, "An Experimental Comparison of
+// Thirteen Relational Equi-Joins in Main Memory" (SIGMOD 2016), behind a
+// single Algorithm interface:
+//
+//	partition-based:  PRB, PRO, PRL, PRA, PROiS, PRLiS, PRAiS, CPRL, CPRA
+//	no-partitioning:  NOP, NOPA, CHTJ
+//	sort-merge:       MWAY
+//
+// Every algorithm reports the paper's two-phase time split ("build or
+// partition" vs "probe or join", Table 3) and can account the NUMA
+// traffic its memory access pattern would generate on the paper's
+// four-socket machine (see internal/numa and DESIGN.md for the
+// simulation contract).
+package join
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/numa"
+	"mmjoin/internal/radix"
+	"mmjoin/internal/tuple"
+)
+
+// Class is the taxonomy of Section 3.
+type Class string
+
+const (
+	// Partition marks partition-based hash joins.
+	Partition Class = "partition-based"
+	// NoPartition marks no-partitioning hash joins.
+	NoPartition Class = "no-partitioning"
+	// SortMerge marks sort-merge joins.
+	SortMerge Class = "sort-merge"
+)
+
+// Options configures one join execution.
+type Options struct {
+	// Threads is the worker count; 0 means 1.
+	Threads int
+	// RadixBits is the total radix bits for partition-based joins.
+	// 0 selects Equation (1) via radix.PredictBits (except PRB, which
+	// keeps its fixed 7+7 two-pass split from Balkesen et al.).
+	RadixBits uint
+	// Hash overrides the hash function (default identity, Section 7.1).
+	Hash hashfn.Func
+	// Domain is the key-domain size for the array joins (keys are in
+	// [0, Domain)). 0 derives it from the maximum build key.
+	Domain int
+	// Materialize collects the matched payload pairs in Result.Pairs
+	// instead of only counting.
+	Materialize bool
+	// Topology is the modeled NUMA machine; the zero value means the
+	// paper's four-socket topology.
+	Topology numa.Topology
+	// Traffic, when non-nil, receives the NUMA byte-traffic the join's
+	// access pattern generates under the modeled topology.
+	Traffic *numa.Traffic
+	// AdaptBitsToDomain grows the radix bit count with the key domain
+	// so per-partition arrays keep fitting in cache — the dashed-line
+	// remedy of Appendix C (array joins only).
+	AdaptBitsToDomain bool
+	// ForceTwoPass makes the one-pass radix joins partition in two
+	// passes (bits split evenly) while keeping their other
+	// optimizations — the pass-count ablation of Figure 2.
+	ForceTwoPass bool
+	// SplitSkewedTasks enables skew-aware task decomposition in the
+	// radix joins: oversized co-partitions are probed by several
+	// workers against a shared prebuilt table. An extension the paper
+	// notes but does not exploit (Appendix A).
+	SplitSkewedTasks bool
+	// Geometry is the cache geometry for Equation (1); zero value means
+	// the paper machine.
+	Geometry radix.CacheGeometry
+}
+
+func (o *Options) normalize() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Threads < 1 {
+		out.Threads = 1
+	}
+	if out.Hash == nil {
+		out.Hash = hashfn.Identity
+	}
+	if out.Topology.Nodes == 0 {
+		out.Topology = numa.PaperTopology()
+	}
+	if out.Geometry.L2Bytes == 0 {
+		out.Geometry = radix.PaperMachine()
+	}
+	return out
+}
+
+// Result is the outcome of one join execution.
+type Result struct {
+	// Algorithm is the algorithm name (Table 2 abbreviation).
+	Algorithm string
+	// Matches is the number of result tuples.
+	Matches int64
+	// Checksum is an order-independent checksum over the emitted payload
+	// pairs; two correct algorithms agree on it for the same inputs.
+	Checksum uint64
+	// Pairs holds the materialized result when Options.Materialize.
+	Pairs []tuple.Pair
+	// BuildOrPartition and ProbeOrJoin are the paper's two-phase time
+	// split (Table 3: "Build or Partition Phase", "Probe or Join
+	// Phase").
+	BuildOrPartition time.Duration
+	ProbeOrJoin      time.Duration
+	// Total is the end-to-end join time.
+	Total time.Duration
+	// Bits is the radix bit count actually used (partition joins).
+	Bits uint
+	// Threads echoes the worker count used.
+	Threads int
+	// InputTuples is |R|+|S|.
+	InputTuples int64
+	// MaxTaskShare is the probe-tuple share of the largest join-phase
+	// task, in units of the perfectly balanced share (1.0 = balanced;
+	// >> 1 marks the stragglers behind Appendix A's "unbalanced loads
+	// between threads"). Zero for non-partitioned joins.
+	MaxTaskShare float64
+}
+
+// ThroughputMTuplesPerSec is the paper's input-based throughput metric,
+// (|R|+|S|) / runtime, in million tuples per second.
+func (r *Result) ThroughputMTuplesPerSec() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.InputTuples) / r.Total.Seconds() / 1e6
+}
+
+// Algorithm is one of the thirteen joins.
+type Algorithm interface {
+	// Name returns the Table 2 abbreviation, e.g. "CPRL".
+	Name() string
+	// Class returns the Section 3 taxonomy class.
+	Class() Class
+	// Description is the one-line summary from Table 2.
+	Description() string
+	// Run joins build ⋈ probe on the join keys and returns measurements.
+	Run(build, probe tuple.Relation, opts *Options) (*Result, error)
+}
+
+// sink accumulates matches for one worker: counting always, pairs only
+// when materializing. Keeping it concrete (not an interface) keeps the
+// per-match cost to a couple of adds in the hot probe loops.
+type sink struct {
+	matches     int64
+	checksum    uint64
+	pairs       []tuple.Pair
+	materialize bool
+}
+
+func (s *sink) emit(buildPayload, probePayload tuple.Payload) {
+	s.matches++
+	s.checksum += uint64(buildPayload)<<32 | uint64(probePayload)
+	if s.materialize {
+		s.pairs = append(s.pairs, tuple.Pair{BuildPayload: buildPayload, ProbePayload: probePayload})
+	}
+}
+
+// mergeSinks folds per-worker sinks into a result.
+func mergeSinks(res *Result, sinks []sink) {
+	for i := range sinks {
+		res.Matches += sinks[i].matches
+		res.Checksum += sinks[i].checksum
+		res.Pairs = append(res.Pairs, sinks[i].pairs...)
+	}
+}
+
+// maxKeyDomain returns max key + 1 over the relation (0 for empty).
+func maxKeyDomain(rel tuple.Relation) int {
+	var m tuple.Key
+	seen := false
+	for _, tp := range rel {
+		if !seen || tp.Key > m {
+			m = tp.Key
+			seen = true
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return int(m) + 1
+}
+
+// Spec describes one algorithm for the Table 2 registry.
+type Spec struct {
+	Name        string
+	Class       Class
+	Description string
+	// Paper cites where the algorithm was introduced, "this" for the
+	// paper's own contributions (Table 2's Paper column).
+	Paper string
+	New   func() Algorithm
+}
+
+var registry []Spec
+
+func register(s Spec) { registry = append(registry, s) }
+
+// Algorithms returns the specs of all registered algorithms in Table 2
+// order.
+func Algorithms() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		return table2Order(out[i].Name) < table2Order(out[j].Name)
+	})
+	return out
+}
+
+// table2Order gives the row order of Table 2.
+func table2Order(name string) int {
+	order := []string{"PRB", "NOP", "CHTJ", "MWAY", "NOPA", "PRO", "PRL", "PRA",
+		"CPRL", "CPRA", "PROiS", "PRLiS", "PRAiS"}
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// New returns a fresh instance of the named algorithm.
+func New(name string) (Algorithm, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("join: unknown algorithm %q", name)
+}
+
+// MustNew is New for static names in examples and benchmarks.
+func MustNew(name string) Algorithm {
+	a, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names returns all registered algorithm names in Table 2 order.
+func Names() []string {
+	specs := Algorithms()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// maxTaskShare computes the largest task's probe share relative to a
+// perfectly balanced split over all tasks.
+func maxTaskShare(parts int, probeLen func(int) int) float64 {
+	if parts == 0 {
+		return 0
+	}
+	total, largest := 0, 0
+	for p := 0; p < parts; p++ {
+		n := probeLen(p)
+		total += n
+		if n > largest {
+			largest = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(largest) / (float64(total) / float64(parts))
+}

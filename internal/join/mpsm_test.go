@@ -1,0 +1,107 @@
+package join
+
+import (
+	"testing"
+
+	"mmjoin/internal/datagen"
+)
+
+func TestMPSMMatchesReference(t *testing.T) {
+	for _, cfg := range []datagen.Config{
+		{BuildSize: 4000, ProbeSize: 16000, Seed: 41},
+		{BuildSize: 4000, ProbeSize: 16000, Zipf: 0.99, Seed: 42},
+		{BuildSize: 2000, ProbeSize: 8000, HoleFactor: 7, Seed: 43},
+		{BuildSize: 1, ProbeSize: 5, Seed: 44},
+		{BuildSize: 100, ProbeSize: 0, Seed: 45},
+	} {
+		w, err := datagen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := (Reference{}).Run(w.Build, w.Probe, &Options{})
+		for _, threads := range []int{1, 3, 8} {
+			algo, err := NewAny("MPSM")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := algo.Run(w.Build, w.Probe, &Options{Threads: threads, Domain: w.Domain})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				t.Fatalf("MPSM (%+v, %d threads): %d matches, want %d",
+					cfg, threads, res.Matches, ref.Matches)
+			}
+		}
+	}
+}
+
+func TestMPSMClassAndMetadata(t *testing.T) {
+	algo, err := NewAny("MPSM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Class() != SortMerge {
+		t.Fatalf("MPSM class = %s", algo.Class())
+	}
+	found := false
+	for _, s := range AblationAlgorithms() {
+		if s.Name == "MPSM" {
+			found = true
+			if s.Paper == "" {
+				t.Fatal("MPSM lacks paper attribution")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("MPSM not in the ablation registry")
+	}
+}
+
+func TestRangePartitionCoversAndOrders(t *testing.T) {
+	w, _ := datagen.Generate(datagen.Config{BuildSize: 10000, Seed: 46})
+	const ranges = 8
+	domain := w.Domain
+	rangeOf := func(k uint32) int {
+		r := int(uint64(k) * ranges / uint64(domain))
+		if r >= ranges {
+			r = ranges - 1
+		}
+		return r
+	}
+	parts := rangePartition(w.Build, ranges, 4, rangeOf)
+	total := 0
+	for r, part := range parts {
+		total += len(part)
+		for _, tp := range part {
+			if rangeOf(uint32(tp.Key)) != r {
+				t.Fatalf("key %d in range %d", tp.Key, r)
+			}
+		}
+	}
+	if total != len(w.Build) {
+		t.Fatalf("coverage %d, want %d", total, len(w.Build))
+	}
+	// Ranges are ordered: max of range r < min of range r+1.
+	for r := 0; r+1 < ranges; r++ {
+		if len(parts[r]) == 0 || len(parts[r+1]) == 0 {
+			continue
+		}
+		var maxR, minNext uint32
+		maxR = 0
+		minNext = ^uint32(0)
+		for _, tp := range parts[r] {
+			if uint32(tp.Key) > maxR {
+				maxR = uint32(tp.Key)
+			}
+		}
+		for _, tp := range parts[r+1] {
+			if uint32(tp.Key) < minNext {
+				minNext = uint32(tp.Key)
+			}
+		}
+		if maxR >= minNext {
+			t.Fatalf("ranges %d and %d overlap (%d >= %d)", r, r+1, maxR, minNext)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package join
+
+import (
+	"time"
+
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/numa"
+	"mmjoin/internal/sched"
+	"mmjoin/internal/tuple"
+)
+
+func init() {
+	register(Spec{
+		Name:        "NOP",
+		Class:       NoPartition,
+		Description: "No-partitioning hash join (lock-free linear probing, CAS inserts)",
+		Paper:       "Lang et al. [14]",
+		New:         func() Algorithm { return &nopJoin{name: "NOP"} },
+	})
+	register(Spec{
+		Name:        "NOPA",
+		Class:       NoPartition,
+		Description: "Same as NOP except using an array as the hash table",
+		Paper:       "this",
+		New:         func() Algorithm { return &nopJoin{name: "NOPA", array: true} },
+	})
+}
+
+// nopJoin is the no-partitioning hash join of Lang et al.: all threads
+// build one global hash table over their chunks of the build relation
+// (lock-free CAS inserts into an interleaved allocation), then all
+// threads probe their chunks of the probe relation. nopJoin also covers
+// NOPA, which swaps the linear-probing table for a key-indexed array
+// (Section 5.2). The build side must hold unique keys (the paper's
+// primary-key workloads).
+type nopJoin struct {
+	name  string
+	array bool
+}
+
+func (j *nopJoin) Name() string { return j.name }
+func (j *nopJoin) Class() Class { return NoPartition }
+
+func (j *nopJoin) Description() string {
+	if j.array {
+		return "Same as NOP except using an array as the hash table"
+	}
+	return "No-partitioning hash join"
+}
+
+func (j *nopJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	o := opts.normalize()
+	res := &Result{
+		Algorithm:   j.name,
+		Threads:     o.Threads,
+		InputTuples: int64(len(build) + len(probe)),
+	}
+	domain := o.Domain
+	if j.array && domain == 0 {
+		domain = maxKeyDomain(build)
+	}
+
+	buildChunks := tuple.Chunks(len(build), o.Threads)
+	probeChunks := tuple.Chunks(len(probe), o.Threads)
+	sinks := make([]sink, o.Threads)
+	for i := range sinks {
+		sinks[i].materialize = o.Materialize
+	}
+
+	start := time.Now()
+	var at *hashtable.ArrayTable
+	var lt *hashtable.LinearTable
+	if j.array {
+		at = hashtable.NewArrayTable(0, domain)
+		sched.RunWorkers(o.Threads, func(w int) {
+			c := buildChunks[w]
+			for _, tp := range build[c.Begin:c.End] {
+				at.InsertConcurrent(tp)
+			}
+		})
+		at.FinishConcurrentBuild()
+	} else {
+		lt = hashtable.NewLinearTable(len(build), o.Hash)
+		sched.RunWorkers(o.Threads, func(w int) {
+			c := buildChunks[w]
+			for _, tp := range build[c.Begin:c.End] {
+				lt.InsertConcurrent(tp)
+			}
+		})
+	}
+	buildDone := time.Now()
+
+	sched.RunWorkers(o.Threads, func(w int) {
+		s := &sinks[w]
+		c := probeChunks[w]
+		if j.array {
+			for _, tp := range probe[c.Begin:c.End] {
+				if p, ok := at.Lookup(tp.Key); ok {
+					s.emit(p, tp.Payload)
+				}
+			}
+		} else {
+			for _, tp := range probe[c.Begin:c.End] {
+				if p, ok := lt.Lookup(tp.Key); ok {
+					s.emit(p, tp.Payload)
+				}
+			}
+		}
+	})
+	end := time.Now()
+
+	res.BuildOrPartition = buildDone.Sub(start)
+	res.ProbeOrJoin = end.Sub(buildDone)
+	res.Total = end.Sub(start)
+	mergeSinks(res, sinks)
+
+	if o.Traffic != nil {
+		var tableBytes int64
+		if j.array {
+			tableBytes = at.SizeBytes()
+		} else {
+			tableBytes = lt.SizeBytes()
+		}
+		accountNoPartitionTraffic(&o, len(build), len(probe), tableBytes)
+	}
+	return res, nil
+}
+
+// accountNoPartitionTraffic charges the NUMA traffic model of a
+// no-partitioning join: every worker streams its input chunks from their
+// chunked home regions and performs one cache-line-sized random access
+// into the page-interleaved global table per build and probe tuple
+// (two for CHTJ, which passes perProbeLines=2).
+func accountNoPartitionTraffic(o *Options, buildLen, probeLen int, tableBytes int64) {
+	accountNoPartitionTrafficLines(o, buildLen, probeLen, tableBytes, 1)
+}
+
+func accountNoPartitionTrafficLines(o *Options, buildLen, probeLen int, tableBytes int64, perProbeLines int) {
+	topo := o.Topology
+	buildRegion := numa.Place(topo, numa.Chunked, int64(buildLen)*tuple.Bytes, 0)
+	probeRegion := numa.Place(topo, numa.Chunked, int64(probeLen)*tuple.Bytes, 0)
+	_ = tableBytes
+	buildChunks := tuple.Chunks(buildLen, o.Threads)
+	probeChunks := tuple.Chunks(probeLen, o.Threads)
+	for w := 0; w < o.Threads; w++ {
+		node := topo.NodeOfWorker(w, o.Threads)
+		bc, pc := buildChunks[w], probeChunks[w]
+		if bc.Len() > 0 {
+			o.Traffic.AddReadRegion(node, buildRegion, int64(bc.Begin)*tuple.Bytes, int64(bc.End)*tuple.Bytes)
+		}
+		if pc.Len() > 0 {
+			o.Traffic.AddReadRegion(node, probeRegion, int64(pc.Begin)*tuple.Bytes, int64(pc.End)*tuple.Bytes)
+		}
+		// Random table accesses hit the interleaved allocation evenly:
+		// one line written per build tuple, perProbeLines read per
+		// probe tuple.
+		perNodeBuild := int64(bc.Len()) * tuple.CacheLineBytes / int64(topo.Nodes)
+		perNodeProbe := int64(pc.Len()) * tuple.CacheLineBytes * int64(perProbeLines) / int64(topo.Nodes)
+		for m := 0; m < topo.Nodes; m++ {
+			o.Traffic.AddWrite(node, m, perNodeBuild)
+			o.Traffic.AddRead(node, m, perNodeProbe)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/datagen"
+)
+
+// Property: every algorithm agrees with the reference oracle for random
+// workload shapes, thread counts, and bit settings.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	names := Names()
+	f := func(seed uint16, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw uint8, zipfRaw uint8, holesRaw uint8) bool {
+		build := int(buildRaw%2000) + 1
+		probe := int(probeRaw % 8000)
+		threads := 1 << (threadsRaw % 5) // 1..16, power of two for MWAY
+		algo := names[int(algoRaw)%len(names)]
+		bits := uint(bitsRaw % 9) // 0 = Equation (1)
+		zipf := 0.0
+		if zipfRaw%3 == 1 {
+			zipf = 0.9
+		}
+		holes := int(holesRaw%4)*3 + 1
+		w, err := datagen.Generate(datagen.Config{
+			BuildSize: build, ProbeSize: probe, Zipf: zipf, HoleFactor: holes,
+			Seed: uint64(seed),
+		})
+		if err != nil {
+			return false
+		}
+		ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{})
+		if err != nil {
+			return false
+		}
+		res, err := MustNew(algo).Run(w.Build, w.Probe, &Options{
+			Threads: threads, Domain: w.Domain, RadixBits: bits,
+			SplitSkewedTasks: seed%2 == 0,
+		})
+		if err != nil {
+			return false
+		}
+		return res.Matches == ref.Matches && res.Checksum == ref.Checksum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the two-phase split always sums to at most the total (the
+// phases are disjoint measured sections of the same run).
+func TestPhaseSplitProperty(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 2000, ProbeSize: 8000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		res, err := MustNew(name).Run(w.Build, w.Probe, &Options{Threads: 4, Domain: w.Domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := res.BuildOrPartition + res.ProbeOrJoin
+		if sum > res.Total+res.Total/10 {
+			t.Fatalf("%s: phases %v exceed total %v", name, sum, res.Total)
+		}
+	}
+}
+
+// Options normalization: nil options must work on every algorithm.
+func TestNilOptions(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 256, ProbeSize: 1024, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := (Reference{}).Run(w.Build, w.Probe, nil)
+	for _, name := range Names() {
+		res, err := MustNew(name).Run(w.Build, w.Probe, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != ref.Matches {
+			t.Fatalf("%s with nil options: %d matches, want %d", name, res.Matches, ref.Matches)
+		}
+	}
+}
+
+// The iS variants must produce identical results to their base variants
+// (scheduling only changes order, never output).
+func TestISVariantsMatchBase(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 4096, ProbeSize: 16384, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]string{{"PRO", "PROiS"}, {"PRL", "PRLiS"}, {"PRA", "PRAiS"}}
+	for _, pair := range pairs {
+		a, err := MustNew(pair[0]).Run(w.Build, w.Probe, &Options{Threads: 8, Domain: w.Domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MustNew(pair[1]).Run(w.Build, w.Probe, &Options{Threads: 8, Domain: w.Domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Matches != b.Matches || a.Checksum != b.Checksum {
+			t.Fatalf("%s and %s disagree", pair[0], pair[1])
+		}
+		if a.Bits != b.Bits {
+			t.Fatalf("%s and %s picked different bits", pair[0], pair[1])
+		}
+	}
+}

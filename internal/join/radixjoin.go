@@ -1,0 +1,424 @@
+package join
+
+import (
+	"time"
+
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/radix"
+	"mmjoin/internal/sched"
+	"mmjoin/internal/tuple"
+)
+
+// tableKind selects the per-co-partition join data structure
+// (Section 5.2: chained vs linear probing vs array).
+type tableKind int
+
+const (
+	chainedKind tableKind = iota
+	linearKind
+	arrayKind
+)
+
+func (k tableKind) String() string {
+	switch k {
+	case chainedKind:
+		return "chained"
+	case linearKind:
+		return "linear"
+	case arrayKind:
+		return "array"
+	}
+	return "unknown"
+}
+
+func init() {
+	register(Spec{
+		Name:        "PRB",
+		Class:       Partition,
+		Description: "Basic two-pass parallel radix join without software managed buffer and non-temporal streaming",
+		Paper:       "Balkesen et al. [5]",
+		New: func() Algorithm {
+			return &radixJoin{name: "PRB", twoPass: true, table: chainedKind}
+		},
+	})
+	register(Spec{
+		Name:        "PRO",
+		Class:       Partition,
+		Description: "One-pass parallel radix join with software managed buffer and non-temporal streaming",
+		Paper:       "Balkesen et al. [5]",
+		New: func() Algorithm {
+			return &radixJoin{name: "PRO", swwcb: true, table: chainedKind}
+		},
+	})
+	register(Spec{
+		Name:        "PRL",
+		Class:       Partition,
+		Description: "Same as PRO except using linear probing hashing instead of bucket chaining",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "PRL", swwcb: true, table: linearKind}
+		},
+	})
+	register(Spec{
+		Name:        "PRA",
+		Class:       Partition,
+		Description: "Same as PRO except using arrays as hash tables",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "PRA", swwcb: true, table: arrayKind}
+		},
+	})
+	register(Spec{
+		Name:        "CPRL",
+		Class:       Partition,
+		Description: "Chunked parallel radix join with software managed buffer and non-temporal streaming",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "CPRL", swwcb: true, chunked: true, table: linearKind}
+		},
+	})
+	register(Spec{
+		Name:        "CPRA",
+		Class:       Partition,
+		Description: "Same as CPRL except using arrays as hash tables",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "CPRA", swwcb: true, chunked: true, table: arrayKind}
+		},
+	})
+	register(Spec{
+		Name:        "PROiS",
+		Class:       Partition,
+		Description: "PRO with improved scheduling",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "PROiS", swwcb: true, table: chainedKind, improvedSched: true}
+		},
+	})
+	register(Spec{
+		Name:        "PRLiS",
+		Class:       Partition,
+		Description: "Same as PROiS except using linear probing hashing instead of bucket chaining",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "PRLiS", swwcb: true, table: linearKind, improvedSched: true}
+		},
+	})
+	register(Spec{
+		Name:        "PRAiS",
+		Class:       Partition,
+		Description: "PRA with improved scheduling",
+		Paper:       "this",
+		New: func() Algorithm {
+			return &radixJoin{name: "PRAiS", swwcb: true, table: arrayKind, improvedSched: true}
+		},
+	})
+}
+
+// radixJoin is the shared driver of all PR*- and CPR*-joins: partition
+// both inputs by the low radix bits of the key, then join each
+// co-partition independently with a per-task table. The flags select the
+// Table 2 variant.
+type radixJoin struct {
+	name string
+	// twoPass partitions in two radix passes without SWWCB (PRB).
+	twoPass bool
+	// swwcb scatters through software write-combine buffers (PRO+).
+	swwcb bool
+	// chunked uses local-histogram chunked partitioning (CPR*).
+	chunked bool
+	// improvedSched inserts join tasks round-robin over NUMA nodes
+	// (the iS variants of Section 6.2).
+	improvedSched bool
+	table         tableKind
+}
+
+func (j *radixJoin) Name() string { return j.name }
+func (j *radixJoin) Class() Class { return Partition }
+
+func (j *radixJoin) Description() string {
+	for _, s := range registry {
+		if s.Name == j.name {
+			return s.Description
+		}
+	}
+	return j.name
+}
+
+// prbTotalBits is PRB's fixed two-pass budget: 7 bits per pass
+// (Section 7.2: "In each of the two radix passes PRB partitions along
+// 7 bits = 128 partitions").
+const prbTotalBits = 14
+
+// pickBits resolves the radix bit count for this run.
+func (j *radixJoin) pickBits(o *Options, buildLen, domain int) uint {
+	if o.RadixBits != 0 {
+		return o.RadixBits
+	}
+	if j.twoPass {
+		return prbTotalBits
+	}
+	bits := radix.PredictBits(buildLen, radix.LoadFactorFor(j.table.String()), o.Threads, o.Geometry)
+	if j.table == arrayKind && o.AdaptBitsToDomain && domain > buildLen {
+		// Appendix C remedy: partition finer so the per-partition array
+		// (4 bytes per domain slot) keeps fitting the cache.
+		domBits := radix.PredictBits(domain, radix.LoadFactorFor("array"), o.Threads, o.Geometry)
+		if domBits > bits {
+			bits = domBits
+		}
+	}
+	return bits
+}
+
+func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	o := opts.normalize()
+	res := &Result{
+		Algorithm:   j.name,
+		Threads:     o.Threads,
+		InputTuples: int64(len(build) + len(probe)),
+	}
+	domain := o.Domain
+	if j.table == arrayKind && domain == 0 {
+		domain = maxKeyDomain(build)
+	}
+	bits := j.pickBits(&o, len(build), domain)
+	res.Bits = bits
+	parts := 1 << bits
+
+	sinks := make([]sink, o.Threads)
+	for i := range sinks {
+		sinks[i].materialize = o.Materialize
+	}
+
+	start := time.Now()
+	// Partition phase.
+	var (
+		prG, psG *radix.Partitioned
+		prC, psC *radix.ChunkedPartitioned
+	)
+	switch {
+	case j.chunked:
+		prC = radix.PartitionChunked(build, bits, o.Threads, j.swwcb)
+		psC = radix.PartitionChunked(probe, bits, o.Threads, j.swwcb)
+	case j.twoPass || o.ForceTwoPass:
+		b1 := bits / 2
+		b2 := bits - b1
+		prG = radix.PartitionTwoPass(build, b1, b2, o.Threads, j.swwcb)
+		psG = radix.PartitionTwoPass(probe, b1, b2, o.Threads, j.swwcb)
+	default:
+		prG = radix.PartitionGlobal(build, bits, o.Threads, j.swwcb)
+		psG = radix.PartitionGlobal(probe, bits, o.Threads, j.swwcb)
+	}
+	partitionDone := time.Now()
+
+	// Join phase: co-partitions are inserted into a task queue —
+	// ascending (the original LIFO stack) or round-robin over the NUMA
+	// nodes holding the build partitions (iS).
+	order := sched.SequentialOrder(parts)
+	if j.improvedSched {
+		nodeOf := j.partitionNode(&o, prG, prC, len(build))
+		order = sched.RoundRobinOrder(parts, o.Topology.Nodes, nodeOf)
+	}
+	domainPerPart := (domain >> bits) + 1
+	buildFrags := func(p int) []tuple.Relation {
+		if j.chunked {
+			return prC.Fragments(p)
+		}
+		return []tuple.Relation{prG.Part(p)}
+	}
+	probeFrags := func(p int) []tuple.Relation {
+		if j.chunked {
+			return psC.Fragments(p)
+		}
+		return []tuple.Relation{psG.Part(p)}
+	}
+	buildLen := func(p int) int {
+		if j.chunked {
+			return prC.PartLen(p)
+		}
+		return prG.PartLen(p)
+	}
+	if o.SplitSkewedTasks {
+		j.runJoinPhaseSkewAware(&o, bits, order, parts, buildFrags, probeFrags, buildLen, domainPerPart, sinks)
+	} else {
+		queue := sched.NewLIFO(order)
+		sched.RunWorkers(o.Threads, func(w int) {
+			wk := newWorkerState(j.table, o.Hash, domainPerPart)
+			s := &sinks[w]
+			for {
+				p, ok := queue.Pop()
+				if !ok {
+					return
+				}
+				j.joinTask(wk, s, bits, buildFrags(p), probeFrags(p), buildLen(p))
+			}
+		})
+	}
+	end := time.Now()
+
+	res.BuildOrPartition = partitionDone.Sub(start)
+	res.ProbeOrJoin = end.Sub(partitionDone)
+	res.Total = end.Sub(start)
+	mergeSinks(res, sinks)
+	res.MaxTaskShare = maxTaskShare(parts, func(p int) int {
+		n := 0
+		for _, f := range probeFrags(p) {
+			n += len(f)
+		}
+		return n
+	})
+
+	if o.Traffic != nil {
+		passes := 1
+		if j.twoPass {
+			passes = 2
+		}
+		if j.chunked {
+			accountChunkedPartitionTraffic(&o, len(build))
+			accountChunkedPartitionTraffic(&o, len(probe))
+			accountChunkedJoinTraffic(&o, order, prC, psC)
+		} else {
+			accountGlobalPartitionTraffic(&o, len(build), passes)
+			accountGlobalPartitionTraffic(&o, len(probe), passes)
+			accountGlobalJoinTraffic(&o, order, prG, psG, len(build), len(probe))
+		}
+	}
+	return res, nil
+}
+
+// partitionNode maps a co-partition to the NUMA node holding its build
+// data under the chunked allocation of the partition buffers.
+func (j *radixJoin) partitionNode(o *Options, prG *radix.Partitioned, prC *radix.ChunkedPartitioned, buildLen int) func(int) int {
+	region := numaRegionFor(o, buildLen)
+	if j.chunked {
+		// A chunked partition is spread over all chunks; its "home" is
+		// where its first fragment lives. (iS is a no-op for CPR* —
+		// Section 6.2 — but the mapping must still be defined.)
+		return func(p int) int {
+			if prC.PartLen(p) == 0 {
+				return 0
+			}
+			for ci := range prC.Chunks {
+				if prC.Fences[ci][p+1] > prC.Fences[ci][p] {
+					return region.NodeAt(int64(prC.Fences[ci][p]) * tuple.Bytes)
+				}
+			}
+			return 0
+		}
+	}
+	return func(p int) int {
+		if buildLen == 0 {
+			return 0
+		}
+		off := int64(prG.Start(p)) * tuple.Bytes
+		if off >= region.Size() {
+			off = region.Size() - 1
+		}
+		return region.NodeAt(off)
+	}
+}
+
+// workerState holds one worker's reusable join table so that thousands
+// of co-partition tasks do not allocate thousands of tables.
+type workerState struct {
+	kind          tableKind
+	hash          func(tuple.Key) uint64
+	chained       *hashtable.ChainedTable
+	chainedCap    int
+	linear        *hashtable.LinearTable
+	array         *hashtable.ArrayTable
+	domainPerPart int
+}
+
+func newWorkerState(kind tableKind, hash func(tuple.Key) uint64, domainPerPart int) *workerState {
+	wk := &workerState{kind: kind, hash: hash, domainPerPart: domainPerPart}
+	if kind == arrayKind {
+		wk.array = hashtable.NewArrayTable(0, domainPerPart)
+	}
+	return wk
+}
+
+// chainedFor returns a chained table sized for n tuples, reusing the
+// cached one when possible.
+func (wk *workerState) chainedFor(n int) *hashtable.ChainedTable {
+	if wk.chained == nil || n > wk.chainedCap {
+		wk.chained = hashtable.NewChainedTable(n, wk.hash)
+		wk.chainedCap = n
+	} else {
+		wk.chained.Reset()
+	}
+	return wk.chained
+}
+
+// linearFor returns a linear-probing table with capacity for n tuples.
+func (wk *workerState) linearFor(n int) *hashtable.LinearTable {
+	if wk.linear == nil || n*2 > wk.linear.Slots() {
+		wk.linear = hashtable.NewLinearTable(n, wk.hash)
+	} else {
+		wk.linear.Reset()
+	}
+	return wk.linear
+}
+
+// joinTask joins one co-partition: build a table over the build
+// fragments, probe the probe fragments. Reading the (possibly
+// NUMA-remote) fragments sequentially while loading them into a local
+// table is exactly the CPRL join step of Section 6.1; for the PR*
+// variants there is a single fragment per side.
+//
+// Keys inside partition p all share their low `bits` bits, so the
+// per-partition tables index on the remaining high bits (k >> bits),
+// exactly like the radix-join implementations of Balkesen et al. —
+// hashing the raw key into a table smaller than 2^bits slots would send
+// the whole partition to one slot. Shifted equality is full equality
+// within a partition, so lookups stay exact.
+func (j *radixJoin) joinTask(wk *workerState, s *sink, bits uint, buildFrags, probeFrags []tuple.Relation, buildLen int) {
+	if buildLen == 0 {
+		return
+	}
+	switch wk.kind {
+	case chainedKind:
+		ht := wk.chainedFor(buildLen)
+		for _, frag := range buildFrags {
+			for _, tp := range frag {
+				ht.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
+			}
+		}
+		for _, frag := range probeFrags {
+			for _, tp := range frag {
+				if p, ok := ht.Lookup(tp.Key >> bits); ok {
+					s.emit(p, tp.Payload)
+				}
+			}
+		}
+	case linearKind:
+		ht := wk.linearFor(buildLen)
+		for _, frag := range buildFrags {
+			for _, tp := range frag {
+				ht.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
+			}
+		}
+		for _, frag := range probeFrags {
+			for _, tp := range frag {
+				if p, ok := ht.Lookup(tp.Key >> bits); ok {
+					s.emit(p, tp.Payload)
+				}
+			}
+		}
+	case arrayKind:
+		at := wk.array
+		at.Reset()
+		for _, frag := range buildFrags {
+			for _, tp := range frag {
+				at.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
+			}
+		}
+		for _, frag := range probeFrags {
+			for _, tp := range frag {
+				if p, ok := at.Lookup(tp.Key >> bits); ok {
+					s.emit(p, tp.Payload)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package join
+
+import (
+	"time"
+
+	"mmjoin/internal/tuple"
+)
+
+// Reference is a deliberately simple single-threaded hash join used as
+// the correctness oracle for the thirteen algorithms. It handles
+// arbitrary key multiplicities on both sides.
+type Reference struct{}
+
+// Name implements Algorithm.
+func (Reference) Name() string { return "REF" }
+
+// Class implements Algorithm.
+func (Reference) Class() Class { return NoPartition }
+
+// Description implements Algorithm.
+func (Reference) Description() string { return "Single-threaded reference hash join (oracle)" }
+
+// Run implements Algorithm.
+func (Reference) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	o := opts.normalize()
+	res := &Result{
+		Algorithm:   "REF",
+		Threads:     1,
+		InputTuples: int64(len(build) + len(probe)),
+	}
+	s := sink{materialize: o.Materialize}
+	start := time.Now()
+	ht := make(map[tuple.Key][]tuple.Payload, len(build))
+	for _, tp := range build {
+		ht[tp.Key] = append(ht[tp.Key], tp.Payload)
+	}
+	buildDone := time.Now()
+	for _, tp := range probe {
+		for _, bp := range ht[tp.Key] {
+			s.emit(bp, tp.Payload)
+		}
+	}
+	end := time.Now()
+	res.BuildOrPartition = buildDone.Sub(start)
+	res.ProbeOrJoin = end.Sub(buildDone)
+	res.Total = end.Sub(start)
+	mergeSinks(res, []sink{s})
+	return res, nil
+}

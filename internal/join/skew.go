@@ -1,0 +1,236 @@
+package join
+
+import (
+	"sync"
+
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/sched"
+	"mmjoin/internal/tuple"
+)
+
+// Skew-aware task decomposition: an extension the paper points at but
+// leaves unexploited (Appendix A: "We do not exploit the possibility to
+// use multiple threads to process the join on the largest partitions in
+// parallel", and lesson (3)'s caveat that partition-based joins suffer
+// unbalanced loads under heavy skew). With Options.SplitSkewedTasks the
+// radix joins detect oversized co-partitions, build their tables once up
+// front, and let several workers probe disjoint ranges of the oversized
+// probe side concurrently — removing the straggler task that otherwise
+// dominates the makespan at Zipf 0.99.
+
+// skewSplitFactor: a co-partition whose probe side exceeds this multiple
+// of the average becomes a shared-table task split into probe ranges.
+const skewSplitFactor = 4
+
+type sharedTable struct {
+	linear  *hashtable.LinearTable
+	chained *hashtable.ChainedTable
+	array   *hashtable.ArrayTable
+}
+
+type skewTask struct {
+	part int
+	// split marks tasks probing a range of an oversized partition
+	// against a prebuilt shared table.
+	split   bool
+	probeLo int // index into the concatenated probe fragments
+	probeHi int
+}
+
+// planSkewSplit decides which partitions to split. probeLens[p] is the
+// probe-side tuple count of partition p; order is the scheduling order
+// of the partitions.
+func planSkewSplit(probeLens []int, order []int, threads int) []skewTask {
+	total := 0
+	for _, n := range probeLens {
+		total += n
+	}
+	parts := len(probeLens)
+	if parts == 0 || total == 0 {
+		out := make([]skewTask, len(order))
+		for i, p := range order {
+			out[i] = skewTask{part: p, probeHi: probeLens[p]}
+		}
+		return out
+	}
+	avg := total / parts
+	if avg < 1 {
+		avg = 1
+	}
+	threshold := avg * skewSplitFactor
+	var tasks []skewTask
+	for _, p := range order {
+		n := probeLens[p]
+		if n <= threshold {
+			tasks = append(tasks, skewTask{part: p, probeHi: n})
+			continue
+		}
+		// Split into ~threads ranges of at least avg tuples each.
+		ranges := threads
+		if ranges > n/avg {
+			ranges = n / avg
+		}
+		if ranges < 2 {
+			ranges = 2
+		}
+		for _, ch := range tuple.Chunks(n, ranges) {
+			tasks = append(tasks, skewTask{part: p, split: true, probeLo: ch.Begin, probeHi: ch.End})
+		}
+	}
+	return tasks
+}
+
+// buildSharedTable builds the read-only table for one oversized
+// partition.
+func (j *radixJoin) buildSharedTable(bits uint, frags []tuple.Relation, buildLen, domainPerPart int, hash func(tuple.Key) uint64) *sharedTable {
+	st := &sharedTable{}
+	switch j.table {
+	case chainedKind:
+		st.chained = hashtable.NewChainedTable(buildLen, hash)
+		for _, frag := range frags {
+			for _, tp := range frag {
+				st.chained.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
+			}
+		}
+	case linearKind:
+		st.linear = hashtable.NewLinearTable(buildLen, hash)
+		for _, frag := range frags {
+			for _, tp := range frag {
+				st.linear.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
+			}
+		}
+	case arrayKind:
+		st.array = hashtable.NewArrayTable(0, domainPerPart)
+		for _, frag := range frags {
+			for _, tp := range frag {
+				st.array.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
+			}
+		}
+	}
+	return st
+}
+
+// probeShared probes one probe range against a prebuilt table.
+func (j *radixJoin) probeShared(st *sharedTable, s *sink, bits uint, probe []tuple.Tuple) {
+	switch j.table {
+	case chainedKind:
+		for _, tp := range probe {
+			if p, ok := st.chained.Lookup(tp.Key >> bits); ok {
+				s.emit(p, tp.Payload)
+			}
+		}
+	case linearKind:
+		for _, tp := range probe {
+			if p, ok := st.linear.Lookup(tp.Key >> bits); ok {
+				s.emit(p, tp.Payload)
+			}
+		}
+	case arrayKind:
+		for _, tp := range probe {
+			if p, ok := st.array.Lookup(tp.Key >> bits); ok {
+				s.emit(p, tp.Payload)
+			}
+		}
+	}
+}
+
+// concatFragments flattens per-chunk fragments into one slice so probe
+// ranges can be split by index. Regular (non-split) tasks avoid this
+// copy.
+func concatFragments(frags []tuple.Relation) tuple.Relation {
+	n := 0
+	for _, f := range frags {
+		n += len(f)
+	}
+	out := make(tuple.Relation, 0, n)
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// runJoinPhaseSkewAware replaces the plain partition-per-task join phase
+// when Options.SplitSkewedTasks is set. buildFrags/probeFrags expose a
+// partition's fragments; probeLens its probe tuple count.
+func (j *radixJoin) runJoinPhaseSkewAware(
+	o *Options,
+	bits uint,
+	order []int,
+	parts int,
+	buildFrags, probeFrags func(p int) []tuple.Relation,
+	buildLen func(p int) int,
+	domainPerPart int,
+	sinks []sink,
+) {
+	probeLens := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		n := 0
+		for _, f := range probeFrags(p) {
+			n += len(f)
+		}
+		probeLens[p] = n
+	}
+	tasks := planSkewSplit(probeLens, order, o.Threads)
+
+	// Phase A: prebuild shared tables and concatenated probe sides for
+	// all split partitions, in parallel (one partition per worker).
+	splitParts := map[int]bool{}
+	for _, t := range tasks {
+		if t.split {
+			splitParts[t.part] = true
+		}
+	}
+	splitList := make([]int, 0, len(splitParts))
+	for p := range splitParts {
+		splitList = append(splitList, p)
+	}
+	shared := make(map[int]*sharedTable, len(splitList))
+	sharedProbe := make(map[int]tuple.Relation, len(splitList))
+	var mu sync.Mutex
+	buildQueue := sched.NewFIFO(sched.SequentialOrder(len(splitList)))
+	sched.RunWorkers(o.Threads, func(worker int) {
+		for {
+			i, ok := buildQueue.Pop()
+			if !ok {
+				return
+			}
+			p := splitList[i]
+			st := j.buildSharedTable(bits, buildFrags(p), buildLen(p), domainPerPart, o.Hash)
+			probe := concatFragments(probeFrags(p))
+			mu.Lock()
+			shared[p] = st
+			sharedProbe[p] = probe
+			mu.Unlock()
+		}
+	})
+
+	// Phase B: run the task list; split tasks probe ranges against the
+	// shared tables, regular tasks run the usual per-partition join.
+	queue := sched.NewLIFO(taskOrder(tasks))
+	sched.RunWorkers(o.Threads, func(worker int) {
+		wk := newWorkerState(j.table, o.Hash, domainPerPart)
+		s := &sinks[worker]
+		for {
+			ti, ok := queue.Pop()
+			if !ok {
+				return
+			}
+			t := tasks[ti]
+			if t.split {
+				j.probeShared(shared[t.part], s, bits, sharedProbe[t.part][t.probeLo:t.probeHi])
+				continue
+			}
+			j.joinTask(wk, s, bits, buildFrags(t.part), probeFrags(t.part), buildLen(t.part))
+		}
+	})
+}
+
+// taskOrder returns indices 0..n-1 (the tasks slice is already in
+// scheduling order).
+func taskOrder(tasks []skewTask) []int {
+	out := make([]int, len(tasks))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package join
+
+import (
+	"testing"
+
+	"mmjoin/internal/datagen"
+)
+
+func TestPlanSkewSplitUniform(t *testing.T) {
+	probeLens := []int{10, 10, 10, 10}
+	tasks := planSkewSplit(probeLens, []int{0, 1, 2, 3}, 4)
+	if len(tasks) != 4 {
+		t.Fatalf("uniform workload split into %d tasks", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.split {
+			t.Fatal("uniform partition was split")
+		}
+	}
+}
+
+func TestPlanSkewSplitOversized(t *testing.T) {
+	// One partition holds 91% of the probe side.
+	probeLens := []int{1000, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	tasks := planSkewSplit(probeLens, SequentialTestOrder(10), 8)
+	splitTasks := 0
+	covered := 0
+	for _, task := range tasks {
+		if task.part == 0 {
+			if !task.split {
+				t.Fatal("oversized partition not split")
+			}
+			splitTasks++
+			covered += task.probeHi - task.probeLo
+		}
+	}
+	if splitTasks < 2 {
+		t.Fatalf("oversized partition produced only %d tasks", splitTasks)
+	}
+	if covered != 1000 {
+		t.Fatalf("split tasks cover %d probe tuples, want 1000", covered)
+	}
+}
+
+func TestPlanSkewSplitEmpty(t *testing.T) {
+	tasks := planSkewSplit([]int{0, 0}, []int{0, 1}, 4)
+	if len(tasks) != 2 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+}
+
+// SequentialTestOrder avoids importing sched in this test file.
+func SequentialTestOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestSkewSplitCorrectness(t *testing.T) {
+	// Heavy skew: most probe tuples hit a handful of keys, creating
+	// oversized partitions that must be split without changing results.
+	w, err := datagen.Generate(datagen.Config{BuildSize: 4096, ProbeSize: 1 << 16, Zipf: 0.99, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := (Reference{}).Run(w.Build, w.Probe, &Options{})
+	for _, name := range []string{"PRO", "PRL", "PRA", "CPRL", "CPRA", "PROiS", "PRAiS"} {
+		res, err := MustNew(name).Run(w.Build, w.Probe, &Options{
+			Threads: 8, Domain: w.Domain, SplitSkewedTasks: true, RadixBits: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+			t.Fatalf("%s with skew splitting: %d matches (checksum ok=%v), want %d",
+				name, res.Matches, res.Checksum == ref.Checksum, ref.Matches)
+		}
+	}
+}
+
+func TestSkewSplitCorrectnessUniform(t *testing.T) {
+	// No partition qualifies for splitting: the path must degrade to
+	// the plain join.
+	w, err := datagen.Generate(datagen.Config{BuildSize: 4096, ProbeSize: 1 << 14, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := (Reference{}).Run(w.Build, w.Probe, &Options{})
+	res, err := MustNew("CPRL").Run(w.Build, w.Probe, &Options{
+		Threads: 4, Domain: w.Domain, SplitSkewedTasks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+		t.Fatalf("uniform + splitting changed the result")
+	}
+}
+
+func TestSkewSplitMaterialized(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 512, ProbeSize: 1 << 13, Zipf: 0.9, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpts := Options{Materialize: true}
+	ref, _ := (Reference{}).Run(w.Build, w.Probe, &refOpts)
+	res, err := MustNew("PRL").Run(w.Build, w.Probe, &Options{
+		Threads: 8, Domain: w.Domain, SplitSkewedTasks: true, Materialize: true, RadixBits: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(ref.Pairs) {
+		t.Fatalf("materialized %d pairs, want %d", len(res.Pairs), len(ref.Pairs))
+	}
+}

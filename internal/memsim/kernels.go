@@ -1,0 +1,388 @@
+package memsim
+
+import (
+	"fmt"
+
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/radix"
+	"mmjoin/internal/tuple"
+)
+
+// This file contains instrumented twins of the join kernels: they follow
+// the same control flow as internal/radix and internal/join over the
+// same data, but instead of moving tuples they issue the address stream
+// into a simulated Hierarchy. Structure layouts (8-byte tuples, 64-byte
+// SWWCBs, 32-byte chained buckets, 8-byte linear slots, 4-byte array
+// cells) mirror the real implementations.
+
+// space is a bump allocator for the simulated virtual address space.
+// Allocations are page-aligned so that structures do not share TLB
+// entries accidentally.
+type space struct{ next uint64 }
+
+func (s *space) alloc(bytes int64, pageBytes int64) uint64 {
+	base := s.next
+	s.next += uint64((bytes + pageBytes - 1) / pageBytes * pageBytes)
+	if s.next == base {
+		s.next += uint64(pageBytes)
+	}
+	return base
+}
+
+// PhaseStats is the per-phase counter split reported in Table 4.
+type PhaseStats struct {
+	Algorithm string
+	// Partition covers the "Sort or Build or Partition Phase" column
+	// group; Join covers "Probe or Join Phase".
+	Partition Stats
+	Join      Stats
+}
+
+// ModeledTotalNanos is the modeled runtime of both phases.
+func (p *PhaseStats) ModeledTotalNanos(g Geometry) float64 {
+	return g.ModeledNanos(p.Partition) + g.ModeledNanos(p.Join)
+}
+
+// simHistogram replays one histogram pass: sequential input reads plus
+// one histogram-cell access per tuple.
+func simHistogram(h *Hierarchy, keys tuple.Relation, inBase, histBase uint64, bits uint) {
+	mask := tuple.Key(1<<bits - 1)
+	h.AddInstructions(int64(len(keys)) * 6) // load, mask, increment, loop
+	for i, tp := range keys {
+		h.Access(inBase+uint64(i)*tuple.Bytes, false)
+		h.Access(histBase+uint64(tp.Key&mask)*8, false)
+	}
+}
+
+// simScatterDirect replays the unbuffered scatter of PRB: sequential
+// input reads, a cursor access and a random output write per tuple.
+func simScatterDirect(h *Hierarchy, keys tuple.Relation, inBase, outBase, curBase uint64, bits uint, cursors []int64) {
+	mask := tuple.Key(1<<bits - 1)
+	h.AddInstructions(int64(len(keys)) * 10) // load, mask, cursor load/store, tuple store, loop
+	for i, tp := range keys {
+		h.Access(inBase+uint64(i)*tuple.Bytes, false)
+		p := tp.Key & mask
+		h.Access(curBase+uint64(p)*8, true)
+		h.Access(outBase+uint64(cursors[p])*tuple.Bytes, true)
+		cursors[p]++
+	}
+}
+
+// simScatterSWWCB replays the buffered scatter of PRO: tuple writes land
+// in the per-partition cache-line buffer; full buffers are flushed with
+// one non-temporal line store.
+func simScatterSWWCB(h *Hierarchy, keys tuple.Relation, inBase, outBase, bufBase uint64, bits uint, cursors []int64) {
+	mask := tuple.Key(1<<bits - 1)
+	h.AddInstructions(int64(len(keys)) * 13) // buffer write, fill bookkeeping, flush check
+	fill := make([]int, 1<<bits)
+	for i, tp := range keys {
+		h.Access(inBase+uint64(i)*tuple.Bytes, false)
+		p := tp.Key & mask
+		h.Access(bufBase+uint64(p)*tuple.CacheLineBytes+uint64(fill[p])*tuple.Bytes, true)
+		fill[p]++
+		if fill[p] == tuple.TuplesPerCacheLine {
+			h.NTStore(outBase + uint64(cursors[p])*tuple.Bytes)
+			cursors[p] += tuple.TuplesPerCacheLine
+			fill[p] = 0
+		}
+	}
+	for p := range fill {
+		if fill[p] > 0 {
+			h.NTStore(outBase + uint64(cursors[p])*tuple.Bytes)
+		}
+	}
+}
+
+// simPartitionPass simulates one complete partitioning pass (histogram +
+// scatter) and returns the base address of the partition output.
+func simPartitionPass(h *Hierarchy, sp *space, keys tuple.Relation, bits uint, swwcb bool, pageBytes int64) uint64 {
+	parts := int64(1) << bits
+	inBase := sp.alloc(int64(len(keys))*tuple.Bytes, pageBytes)
+	outBase := sp.alloc(int64(len(keys))*tuple.Bytes, pageBytes)
+	histBase := sp.alloc(parts*8, pageBytes)
+	hist := radix.Histogram(keys, bits)
+	cursors := make([]int64, parts)
+	pos := int64(0)
+	for p, c := range hist {
+		cursors[p] = pos
+		pos += int64(c)
+	}
+	simHistogram(h, keys, inBase, histBase, bits)
+	if swwcb {
+		bufBase := sp.alloc(parts*tuple.CacheLineBytes, pageBytes)
+		simScatterSWWCB(h, keys, inBase, outBase, bufBase, bits, cursors)
+	} else {
+		simScatterDirect(h, keys, inBase, outBase, histBase, bits, cursors)
+	}
+	return outBase
+}
+
+// tableLayout describes the simulated per-partition join table of one
+// table kind.
+type tableLayout struct {
+	kind       string // "chained", "linear", "array", "cht"
+	entryBytes uint64
+	slots      func(buildLen int) uint64
+	slotOf     func(k tuple.Key, buildLen int, bits uint) uint64
+}
+
+func layoutFor(kind string, domain int) tableLayout {
+	switch kind {
+	case "chained":
+		// 32-byte buckets, ~1 tuple-pair per bucket.
+		return tableLayout{
+			kind:       kind,
+			entryBytes: 32,
+			slots:      func(n int) uint64 { return uint64(hashtable.NextPow2((n + 1) / 2)) },
+			slotOf: func(k tuple.Key, n int, bits uint) uint64 {
+				return uint64(k>>bits) & (uint64(hashtable.NextPow2((n+1)/2)) - 1)
+			},
+		}
+	case "linear":
+		// 8-byte slots at 50% load.
+		return tableLayout{
+			kind:       kind,
+			entryBytes: 8,
+			slots:      func(n int) uint64 { return uint64(hashtable.NextPow2(n*2 + 1)) },
+			slotOf: func(k tuple.Key, n int, bits uint) uint64 {
+				return uint64(k>>bits) & (uint64(hashtable.NextPow2(n*2+1)) - 1)
+			},
+		}
+	default: // array
+		return tableLayout{
+			kind:       kind,
+			entryBytes: 4,
+			slots: func(n int) uint64 {
+				_ = n
+				return uint64(domain) + 1
+			},
+			slotOf: func(k tuple.Key, n int, bits uint) uint64 {
+				return uint64(k >> bits)
+			},
+		}
+	}
+}
+
+// simCoPartitionJoin replays the join phase of a PR*/CPR* join: for each
+// co-partition, build a per-worker table (reused base address — the
+// worker keeps its table hot) and probe it.
+func simCoPartitionJoin(h *Hierarchy, sp *space, pr, ps *radix.Partitioned, kind string, bits uint, domain int, pageBytes int64) {
+	lay := layoutFor(kind, (domain>>bits)+1)
+	// One reused table allocation, like workerState in internal/join.
+	maxPart := 0
+	for p := 0; p < pr.Parts(); p++ {
+		if pr.PartLen(p) > maxPart {
+			maxPart = pr.PartLen(p)
+		}
+	}
+	tblBase := sp.alloc(int64(lay.slots(maxPart)*lay.entryBytes), pageBytes)
+	rBase := sp.alloc(int64(len(pr.Data))*tuple.Bytes, pageBytes)
+	sBase := sp.alloc(int64(len(ps.Data))*tuple.Bytes, pageBytes)
+	buildInstr, probeInstr := tableInstrCost(kind)
+	for p := 0; p < pr.Parts(); p++ {
+		bpart := pr.Part(p)
+		if len(bpart) == 0 {
+			continue
+		}
+		h.AddInstructions(int64(len(bpart)) * buildInstr)
+		h.AddInstructions(int64(ps.PartLen(p)) * probeInstr)
+		for i, tp := range bpart {
+			h.Access(rBase+uint64(pr.Start(p)+i)*tuple.Bytes, false)
+			h.Access(tblBase+lay.slotOf(tp.Key, len(bpart), bits)*lay.entryBytes, true)
+		}
+		spart := ps.Part(p)
+		for i, tp := range spart {
+			h.Access(sBase+uint64(ps.Start(p)+i)*tuple.Bytes, false)
+			h.Access(tblBase+lay.slotOf(tp.Key, len(bpart), bits)*lay.entryBytes, false)
+		}
+	}
+}
+
+// tableInstrCost estimates retired instructions per build and probe
+// tuple for a table kind, following the instruction mixes of the
+// original implementations (chained buckets branch more; arrays are a
+// shift and a bounds check).
+func tableInstrCost(kind string) (build, probe int64) {
+	switch kind {
+	case "chained":
+		return 16, 15
+	case "linear":
+		return 13, 11
+	case "cht":
+		return 14, 20 // probe: bitmap test + popcount + array compare
+	default: // array
+		return 9, 8
+	}
+}
+
+// simGlobalTableJoin replays the NOP-family: one global table, random
+// accesses per build and probe tuple. perProbe controls dependent
+// accesses per probe (2 for CHTJ's bitmap + array walk).
+func simGlobalTableJoin(h *Hierarchy, sp *space, build, probe tuple.Relation, kind string, domain int, pageBytes int64) (buildStats, probeStats Stats) {
+	lay := layoutFor(kind, domain)
+	slots := lay.slots(len(build))
+	tblBase := sp.alloc(int64(slots*lay.entryBytes), pageBytes)
+	bBase := sp.alloc(int64(len(build))*tuple.Bytes, pageBytes)
+	pBase := sp.alloc(int64(len(probe))*tuple.Bytes, pageBytes)
+	var arrayBase uint64
+	if kind == "cht" {
+		// Dense tuple array next to the bitmap structure.
+		arrayBase = sp.alloc(int64(len(build))*tuple.Bytes, pageBytes)
+	}
+	h.ResetStats()
+	buildInstr, probeInstr := tableInstrCost(kind)
+	// NOP builds pay the CAS on top of the plain insert.
+	h.AddInstructions(int64(len(build)) * (buildInstr + 5))
+	for i, tp := range build {
+		h.Access(bBase+uint64(i)*tuple.Bytes, false)
+		h.Access(tblBase+lay.slotOf(tp.Key, len(build), 0)*lay.entryBytes, true)
+		if kind == "cht" {
+			h.Access(arrayBase+(uint64(tp.Key)%uint64(len(build)+1))*tuple.Bytes, true)
+		}
+	}
+	buildStats = h.TakeStats()
+	h.AddInstructions(int64(len(probe)) * probeInstr)
+	for i, tp := range probe {
+		h.Access(pBase+uint64(i)*tuple.Bytes, false)
+		h.Access(tblBase+lay.slotOf(tp.Key, len(build), 0)*lay.entryBytes, false)
+		if kind == "cht" {
+			h.Access(arrayBase+(uint64(tp.Key)%uint64(len(build)+1))*tuple.Bytes, false)
+		}
+	}
+	probeStats = h.TakeStats()
+	return buildStats, probeStats
+}
+
+// chtLayout gives CHTJ its bitmap-group addressing: 8 bytes per 32
+// buckets over an 8n-bucket bitmap.
+func chtSlotOf(k tuple.Key, n int) uint64 {
+	buckets := uint64(hashtable.NextPow2(n)) * 8
+	bucket := (uint64(k) * 8) & (buckets - 1)
+	return bucket >> 5 // group index
+}
+
+// Simulate replays one algorithm over the workload at the given radix
+// bits and returns the per-phase counters. Supported names are the
+// Table 2 abbreviations. The simulation runs the access stream of one
+// core; multi-threaded totals scale linearly with thread count for
+// every stream except the shared L3, which the scaled geometry
+// compensates for (see EXPERIMENTS.md). The CPR* join phase reuses the
+// contiguous-partition layout: per-fragment gathers are sequential runs
+// with identical cache behaviour, and their NUMA cost is the domain of
+// internal/numasim, not this simulator.
+func Simulate(name string, build, probe tuple.Relation, bits uint, geo Geometry) (*PhaseStats, error) {
+	h := NewHierarchy(geo)
+	sp := &space{next: uint64(geo.PageBytes)}
+	ps := &PhaseStats{Algorithm: name}
+	domain := 0
+	for _, tp := range build {
+		if int(tp.Key) >= domain {
+			domain = int(tp.Key) + 1
+		}
+	}
+	switch name {
+	case "NOP":
+		ps.Partition, ps.Join = simGlobalTableJoin(h, sp, build, probe, "linear", domain, geo.PageBytes)
+	case "NOPA":
+		ps.Partition, ps.Join = simGlobalTableJoin(h, sp, build, probe, "array", domain, geo.PageBytes)
+	case "CHTJ":
+		ps.Partition, ps.Join = simCHTJ(h, sp, build, probe, geo.PageBytes)
+	case "MWAY":
+		simMWAY(h, sp, build, probe, geo.PageBytes)
+		ps.Partition = h.TakeStats()
+		// Merge join: one sequential pass over both sorted inputs.
+		simSequentialPass(h, sp, int64(len(build)+len(probe))*tuple.Bytes, false, geo.PageBytes)
+		ps.Join = h.TakeStats()
+	case "PRB", "PRO", "PRL", "PRA", "PROiS", "PRLiS", "PRAiS", "CPRL", "CPRA":
+		kind := "chained"
+		switch name {
+		case "PRL", "PRLiS", "CPRL":
+			kind = "linear"
+		case "PRA", "PRAiS", "CPRA":
+			kind = "array"
+		}
+		swwcb := name != "PRB"
+		if name == "PRB" {
+			b1 := bits / 2
+			b2 := bits - b1
+			simPartitionPass(h, sp, build, b1, false, geo.PageBytes)
+			simPartitionPass(h, sp, build, b2, false, geo.PageBytes)
+			simPartitionPass(h, sp, probe, b1, false, geo.PageBytes)
+			simPartitionPass(h, sp, probe, b2, false, geo.PageBytes)
+		} else {
+			simPartitionPass(h, sp, build, bits, swwcb, geo.PageBytes)
+			simPartitionPass(h, sp, probe, bits, swwcb, geo.PageBytes)
+		}
+		ps.Partition = h.TakeStats()
+		pr := radix.PartitionGlobal(build, bits, 1, false)
+		psPart := radix.PartitionGlobal(probe, bits, 1, false)
+		simCoPartitionJoin(h, sp, pr, psPart, kind, bits, domain, geo.PageBytes)
+		ps.Join = h.TakeStats()
+	default:
+		return nil, fmt.Errorf("memsim: unknown algorithm %q", name)
+	}
+	return ps, nil
+}
+
+// simCHTJ replays CHTJ: a build pass writing bitmap groups and the dense
+// array, then probes doing the two dependent accesses of Table 4.
+func simCHTJ(h *Hierarchy, sp *space, build, probe tuple.Relation, pageBytes int64) (Stats, Stats) {
+	n := len(build)
+	groups := int64(hashtable.NextPow2(max(n, 4))) * 8 / 32
+	grpBase := sp.alloc(groups*8, pageBytes)
+	arrBase := sp.alloc(int64(n)*tuple.Bytes, pageBytes)
+	bBase := sp.alloc(int64(n)*tuple.Bytes, pageBytes)
+	pBase := sp.alloc(int64(len(probe))*tuple.Bytes, pageBytes)
+	h.ResetStats()
+	h.AddInstructions(int64(n) * 14)
+	for i, tp := range build {
+		h.Access(bBase+uint64(i)*tuple.Bytes, false)
+		h.Access(grpBase+chtSlotOf(tp.Key, n)*8, true)
+		h.Access(arrBase+uint64(i)*tuple.Bytes, true)
+	}
+	buildStats := h.TakeStats()
+	h.AddInstructions(int64(len(probe)) * 20)
+	for i, tp := range probe {
+		h.Access(pBase+uint64(i)*tuple.Bytes, false)
+		h.Access(grpBase+chtSlotOf(tp.Key, n)*8, false)
+		h.Access(arrBase+(uint64(tp.Key)%uint64(max(n, 1)))*tuple.Bytes, false)
+	}
+	return buildStats, h.TakeStats()
+}
+
+// simMWAY replays MWAY's phase 1: SWWCB range partitioning of both
+// inputs plus two read+write merge passes per input.
+func simMWAY(h *Hierarchy, sp *space, build, probe tuple.Relation, pageBytes int64) {
+	const partBits = 5 // 32 "threads"
+	simPartitionPass(h, sp, build, partBits, true, pageBytes)
+	simPartitionPass(h, sp, probe, partBits, true, pageBytes)
+	for pass := 0; pass < 2; pass++ {
+		simSequentialPass(h, sp, int64(len(build))*tuple.Bytes, true, pageBytes)
+		simSequentialPass(h, sp, int64(len(probe))*tuple.Bytes, true, pageBytes)
+	}
+}
+
+// simSequentialPass streams size bytes (read, optionally writing the
+// same volume to a second buffer, as a merge pass does).
+func simSequentialPass(h *Hierarchy, sp *space, size int64, write bool, pageBytes int64) {
+	// Sorting and merging cost ~15 instructions per 8-byte tuple.
+	h.AddInstructions(size / 8 * 15)
+	base := sp.alloc(size, pageBytes)
+	var wbase uint64
+	if write {
+		wbase = sp.alloc(size, pageBytes)
+	}
+	for off := int64(0); off < size; off += tuple.CacheLineBytes {
+		h.Access(base+uint64(off), false)
+		if write {
+			h.Access(wbase+uint64(off), true)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package memsim
+
+import (
+	"testing"
+
+	"mmjoin/internal/radix"
+	"mmjoin/internal/tuple"
+)
+
+// Kernel-level invariants: the instrumented twins must issue exactly the
+// access volumes the real algorithms' structure implies.
+
+func seqTuples(n int) tuple.Relation {
+	rel := make(tuple.Relation, n)
+	for i := range rel {
+		rel[i] = tuple.Tuple{Key: tuple.Key(i * 7 % n), Payload: tuple.Payload(i)}
+	}
+	return rel
+}
+
+func TestSimHistogramAccessCount(t *testing.T) {
+	geo := PaperGeometry(4 << 10)
+	h := NewHierarchy(geo)
+	rel := seqTuples(1000)
+	simHistogram(h, rel, 0, 1<<20, 4)
+	// Two accesses per tuple: the input read and the histogram cell.
+	if got := h.Stats().Accesses; got != 2000 {
+		t.Fatalf("histogram accesses = %d, want 2000", got)
+	}
+}
+
+func TestSimScatterDirectAccessCount(t *testing.T) {
+	geo := PaperGeometry(4 << 10)
+	h := NewHierarchy(geo)
+	rel := seqTuples(1000)
+	cursors := make([]int64, 16)
+	hist := radix.Histogram(rel, 4)
+	pos := int64(0)
+	for p, c := range hist {
+		cursors[p] = pos
+		pos += int64(c)
+	}
+	simScatterDirect(h, rel, 0, 1<<20, 1<<22, 4, cursors)
+	// Three accesses per tuple: input read, cursor update, output write.
+	if got := h.Stats().Accesses; got != 3000 {
+		t.Fatalf("direct scatter accesses = %d, want 3000", got)
+	}
+}
+
+func TestSimScatterSWWCBFlushCount(t *testing.T) {
+	geo := PaperGeometry(4 << 10)
+	h := NewHierarchy(geo)
+	const n = 1024
+	rel := seqTuples(n)
+	const bits = 3
+	cursors := make([]int64, 1<<bits)
+	hist := radix.Histogram(rel, bits)
+	pos := int64(0)
+	for p, c := range hist {
+		cursors[p] = pos
+		pos += int64(c)
+	}
+	simScatterSWWCB(h, rel, 0, 1<<20, 1<<22, bits, cursors)
+	s := h.Stats()
+	// One NT store per full cache line plus at most one partial flush
+	// per partition.
+	minFlushes := int64(n / tuple.TuplesPerCacheLine)
+	maxFlushes := minFlushes + int64(1<<bits)
+	if s.NTStores < minFlushes || s.NTStores > maxFlushes {
+		t.Fatalf("NT stores = %d, want in [%d,%d]", s.NTStores, minFlushes, maxFlushes)
+	}
+	// Buffer writes: one per tuple (plus input reads).
+	if s.Accesses < 2*n {
+		t.Fatalf("accesses = %d, want >= %d", s.Accesses, 2*n)
+	}
+}
+
+func TestSimulatePhasesConsistent(t *testing.T) {
+	// The two-pass PRB simulation must issue roughly twice the
+	// partition-phase accesses of the one-pass PRO simulation.
+	build, probe := seqTuples(1<<14), seqTuples(1<<15)
+	geo := ScaledGeometry(4<<10, 16)
+	pro, err := Simulate("PRO", build, probe, 8, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prb, err := Simulate("PRB", build, probe, 8, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(prb.Partition.Accesses) / float64(pro.Partition.Accesses)
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("PRB/PRO partition access ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestSimulateJoinPhaseTouchesAllTuples(t *testing.T) {
+	build, probe := seqTuples(1<<12), seqTuples(1<<13)
+	geo := ScaledGeometry(4<<10, 16)
+	res, err := Simulate("PRL", build, probe, 6, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join phase: >= 2 accesses per build tuple (read + table write) and
+	// >= 2 per probe tuple (read + table probe).
+	min := int64(2*len(build) + 2*len(probe))
+	if res.Join.Accesses < min {
+		t.Fatalf("join accesses = %d, want >= %d", res.Join.Accesses, min)
+	}
+}
+
+func TestCHTSlotWithinGroups(t *testing.T) {
+	n := 1000
+	groups := int64(hashtable2Pow(n)) * 8 / 32
+	for k := 0; k < n; k++ {
+		g := chtSlotOf(tuple.Key(k), n)
+		if int64(g) >= groups {
+			t.Fatalf("key %d maps to group %d of %d", k, g, groups)
+		}
+	}
+}
+
+// hashtable2Pow mirrors hashtable.NextPow2 for the test without the
+// import.
+func hashtable2Pow(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func TestScaledGeometryFloors(t *testing.T) {
+	g := ScaledGeometry(4<<10, 1<<20)
+	if g.L1.SizeBytes < g.L1.LineBytes*g.L1.Ways {
+		t.Fatal("L1 scaled below one set")
+	}
+	if g.TLB.Entries != 256 {
+		t.Fatal("scaling must not change TLB entries")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	build, probe := seqTuples(1<<12), seqTuples(1<<12)
+	geo := ScaledGeometry(4<<10, 16)
+	a, _ := Simulate("CPRA", build, probe, 5, geo)
+	b, _ := Simulate("CPRA", build, probe, 5, geo)
+	if *a != *b {
+		t.Fatalf("simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestIPCShapeMatchesTable4(t *testing.T) {
+	// Table 4: the partition-based joins reach a far higher join-phase
+	// IPC (cache-resident tables) than NOP (every probe is a DRAM miss).
+	build, probe := seqTuples(1<<15), seqTuples(1<<16)
+	geo := ScaledGeometry(2<<20, 64)
+	nop, err := Simulate("NOP", build, probe, 0, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cprl, err := Simulate("CPRL", build, probe, 8, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cprl.Join.IPC(geo) <= nop.Join.IPC(geo) {
+		t.Fatalf("CPRL join IPC %.2f not above NOP %.2f",
+			cprl.Join.IPC(geo), nop.Join.IPC(geo))
+	}
+	if nop.Join.IPC(geo) >= 1 {
+		t.Fatalf("NOP join IPC %.2f should be well below 1", nop.Join.IPC(geo))
+	}
+	if nop.Join.Instructions == 0 || cprl.Partition.Instructions == 0 {
+		t.Fatal("instruction counters not populated")
+	}
+}

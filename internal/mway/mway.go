@@ -1,0 +1,279 @@
+// Package mway provides the sort-merge machinery behind the MWAY join of
+// Balkesen et al. (PVLDB 2013) as reproduced in Schuh et al.: sorting of
+// small runs with branch-light merge networks, multiway merging of many
+// runs through a tree of losers, and the final merge-join over two
+// sorted relations.
+//
+// The original vectorizes its bitonic sort and merge networks with AVX;
+// Go has no intrinsics, so the networks here are scalar compare-exchange
+// sequences with identical structure (see DESIGN.md). Multi-way merging
+// is kept because its purpose — one pass over memory instead of log(n)
+// pairwise passes — is an algorithmic property, not a SIMD one.
+package mway
+
+import (
+	"mmjoin/internal/tuple"
+)
+
+// sortRunSize is the length of the runs created by the in-place run
+// former before multiway merging takes over.
+const sortRunSize = 64
+
+// mergeFanIn is the maximum number of runs merged in one multiway pass.
+// 64 runs keeps the loser tree within the L1 cache while collapsing a
+// million-tuple partition in two passes.
+const mergeFanIn = 64
+
+// Sort sorts rel by key (ascending; ties keep no particular order) and
+// returns the sorted relation. The input slice is used as one of the two
+// ping-pong buffers and may be reordered; the returned slice is either
+// the input or the internal scratch buffer.
+func Sort(rel tuple.Relation) tuple.Relation {
+	n := len(rel)
+	if n <= 1 {
+		return rel
+	}
+	for lo := 0; lo < n; lo += sortRunSize {
+		hi := lo + sortRunSize
+		if hi > n {
+			hi = n
+		}
+		sortRun(rel[lo:hi])
+	}
+	src := rel
+	dst := make(tuple.Relation, n)
+	runLen := sortRunSize
+	for runLen < n {
+		mergedLen := multiwayPass(dst, src, runLen)
+		src, dst = dst, src
+		runLen = mergedLen
+	}
+	return src
+}
+
+// sortRun sorts a short run in place. Runs of up to 4 tuples go through
+// explicit compare-exchange networks (the scalar analogue of the
+// original's 4-wide bitonic kernels); longer runs use insertion sort,
+// which is the right tool at this size.
+func sortRun(r tuple.Relation) {
+	switch len(r) {
+	case 0, 1:
+		return
+	case 2:
+		cmpExch(r, 0, 1)
+		return
+	case 3:
+		cmpExch(r, 0, 1)
+		cmpExch(r, 1, 2)
+		cmpExch(r, 0, 1)
+		return
+	case 4:
+		// 5-comparator sorting network for 4 elements.
+		cmpExch(r, 0, 1)
+		cmpExch(r, 2, 3)
+		cmpExch(r, 0, 2)
+		cmpExch(r, 1, 3)
+		cmpExch(r, 1, 2)
+		return
+	}
+	// Sort 4-tuple blocks with the network, then insertion-merge.
+	for i := 1; i < len(r); i++ {
+		t := r[i]
+		j := i - 1
+		for j >= 0 && r[j].Key > t.Key {
+			r[j+1] = r[j]
+			j--
+		}
+		r[j+1] = t
+	}
+}
+
+// cmpExch orders r[i] and r[j] — one comparator of a sorting network.
+func cmpExch(r tuple.Relation, i, j int) {
+	if r[i].Key > r[j].Key {
+		r[i], r[j] = r[j], r[i]
+	}
+}
+
+// multiwayPass merges consecutive groups of up to mergeFanIn runs of
+// runLen tuples from src into dst and returns the new run length.
+func multiwayPass(dst, src tuple.Relation, runLen int) int {
+	n := len(src)
+	groupLen := runLen * mergeFanIn
+	for lo := 0; lo < n; lo += groupLen {
+		hi := lo + groupLen
+		if hi > n {
+			hi = n
+		}
+		mergeRuns(dst[lo:hi], src[lo:hi], runLen)
+	}
+	return groupLen
+}
+
+// mergeRuns merges the runs of src (each runLen long, last may be short)
+// into dst using a tree of losers.
+func mergeRuns(dst, src tuple.Relation, runLen int) {
+	runs := (len(src) + runLen - 1) / runLen
+	if runs == 1 {
+		copy(dst, src)
+		return
+	}
+	if runs == 2 {
+		merge2(dst, src[:runLen], src[runLen:])
+		return
+	}
+	heads := make([]tuple.Relation, runs)
+	for i := range heads {
+		lo := i * runLen
+		hi := lo + runLen
+		if hi > len(src) {
+			hi = len(src)
+		}
+		heads[i] = src[lo:hi]
+	}
+	lt := newLoserTree(heads)
+	for i := range dst {
+		dst[i] = lt.pop()
+	}
+}
+
+// merge2 is the classic two-way merge, used when the fan-in degenerates.
+func merge2(dst, a, b tuple.Relation) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Key <= b[j].Key {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// loserTree is a tournament tree over k run cursors: pop returns the
+// globally smallest head in O(log k) comparisons with a linear memory
+// footprint, the structure behind bandwidth-saving multiway merges.
+// Head keys are cached next to the tree so the replay loop touches only
+// two small arrays.
+type loserTree struct {
+	runs []tuple.Relation // remaining tuples per run
+	tree []int            // internal nodes: loser run index; tree[0] = winner
+	keys []uint64         // cached head key per run (sentinel when drained)
+	k    int
+}
+
+const exhaustedKey = uint64(1) << 40
+
+func newLoserTree(runs []tuple.Relation) *loserTree {
+	k := len(runs)
+	lt := &loserTree{runs: runs, tree: make([]int, k), keys: make([]uint64, k), k: k}
+	for i := range lt.tree {
+		lt.tree[i] = -1
+	}
+	for r := 0; r < k; r++ {
+		if len(runs[r]) == 0 {
+			lt.keys[r] = exhaustedKey
+		} else {
+			lt.keys[r] = uint64(runs[r][0].Key)
+		}
+	}
+	// Play each run up the tree: a climb either fills the first empty
+	// node it meets (becoming a stored loser) or carries the winner all
+	// the way to tree[0]. Exactly one climb reaches the root.
+	for r := 0; r < k; r++ {
+		lt.adjust(r)
+	}
+	return lt
+}
+
+// adjust replays run r from its leaf to the root during initialization.
+func (lt *loserTree) adjust(r int) {
+	node := (r + lt.k) / 2
+	cur := r
+	for node > 0 {
+		if lt.tree[node] == -1 {
+			lt.tree[node] = cur
+			return
+		}
+		if lt.keys[lt.tree[node]] < lt.keys[cur] {
+			cur, lt.tree[node] = lt.tree[node], cur
+		}
+		node /= 2
+	}
+	lt.tree[0] = cur
+}
+
+// pop removes and returns the smallest head among all runs. Calling pop
+// more times than there are tuples is a programming error.
+func (lt *loserTree) pop() tuple.Tuple {
+	w := lt.tree[0]
+	run := lt.runs[w]
+	t := run[0]
+	run = run[1:]
+	lt.runs[w] = run
+	if len(run) == 0 {
+		lt.keys[w] = exhaustedKey
+	} else {
+		lt.keys[w] = uint64(run[0].Key)
+	}
+	// Replay from the leaf: the new head competes against stored losers.
+	cur := w
+	curKey := lt.keys[w]
+	tree := lt.tree
+	keys := lt.keys
+	for node := (w + lt.k) / 2; node > 0; node /= 2 {
+		if l := tree[node]; l != -1 && keys[l] < curKey {
+			tree[node] = cur
+			cur = l
+			curKey = keys[l]
+		}
+	}
+	tree[0] = cur
+	return t
+}
+
+// IsSorted reports whether rel is ascending by key.
+func IsSorted(rel tuple.Relation) bool {
+	for i := 1; i < len(rel); i++ {
+		if rel[i-1].Key > rel[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeJoin joins two relations sorted by key, emitting every matching
+// payload pair. Duplicate keys on both sides produce the full cross
+// product of the duplicate groups, as the relational join requires.
+func MergeJoin(r, s tuple.Relation, emit func(rPayload, sPayload tuple.Payload)) {
+	i, j := 0, 0
+	for i < len(r) && j < len(s) {
+		rk, sk := r[i].Key, s[j].Key
+		switch {
+		case rk < sk:
+			i++
+		case rk > sk:
+			j++
+		default:
+			// Find the duplicate groups on both sides.
+			i2 := i + 1
+			for i2 < len(r) && r[i2].Key == rk {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(s) && s[j2].Key == rk {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					emit(r[a].Payload, s[b].Payload)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+}

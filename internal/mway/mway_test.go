@@ -1,0 +1,202 @@
+package mway
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/tuple"
+)
+
+func TestSortRunNetworks(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		// All permutations of [0..n) via Heap's algorithm would be
+		// thorough; for n<=4 brute force over a few seeds suffices and
+		// we additionally check every rotation.
+		for rot := 0; rot < n+1; rot++ {
+			r := make(tuple.Relation, n)
+			for i := range r {
+				r[i] = tuple.Tuple{Key: tuple.Key((i + rot) % max(n, 1))}
+			}
+			sortRun(r)
+			if !IsSorted(r) {
+				t.Fatalf("n=%d rot=%d not sorted: %v", n, rot, r)
+			}
+		}
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 1000, sortRunSize * mergeFanIn, sortRunSize*mergeFanIn + 7, 300000} {
+		rel := datagen.UniformRelation(n, 1<<20, uint64(n)+1)
+		got := Sort(rel)
+		if len(got) != n {
+			t.Fatalf("n=%d: len changed to %d", n, len(got))
+		}
+		if !IsSorted(got) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+	}
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	rel := datagen.UniformRelation(50000, 999, 5)
+	want := map[tuple.Tuple]int{}
+	for _, tp := range rel {
+		want[tp]++
+	}
+	got := Sort(rel)
+	gotCount := map[tuple.Tuple]int{}
+	for _, tp := range got {
+		gotCount[tp]++
+	}
+	if len(want) != len(gotCount) {
+		t.Fatal("distinct tuple count changed")
+	}
+	for k, v := range want {
+		if gotCount[k] != v {
+			t.Fatalf("tuple %v count %d -> %d", k, v, gotCount[k])
+		}
+	}
+}
+
+func TestSortManyDuplicates(t *testing.T) {
+	rel := make(tuple.Relation, 10000)
+	for i := range rel {
+		rel[i] = tuple.Tuple{Key: tuple.Key(i % 3), Payload: tuple.Payload(i)}
+	}
+	got := Sort(rel)
+	if !IsSorted(got) {
+		t.Fatal("not sorted with heavy duplicates")
+	}
+}
+
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	n := 10000
+	asc := make(tuple.Relation, n)
+	desc := make(tuple.Relation, n)
+	for i := 0; i < n; i++ {
+		asc[i] = tuple.Tuple{Key: tuple.Key(i)}
+		desc[i] = tuple.Tuple{Key: tuple.Key(n - i)}
+	}
+	if !IsSorted(Sort(asc)) || !IsSorted(Sort(desc)) {
+		t.Fatal("sort failed on monotone inputs")
+	}
+}
+
+func TestSortPropertyAgainstStdlib(t *testing.T) {
+	f := func(keys []uint32) bool {
+		rel := make(tuple.Relation, len(keys))
+		want := make([]uint32, len(keys))
+		for i, k := range keys {
+			rel[i] = tuple.Tuple{Key: k, Payload: tuple.Payload(i)}
+			want[i] = k
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := Sort(rel)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if uint32(got[i].Key) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoserTreeManyRuns(t *testing.T) {
+	// Directly exercise fan-ins 3, 5, and 64 with uneven final runs.
+	for _, runs := range []int{3, 5, 64} {
+		var src tuple.Relation
+		runLen := 10
+		for r := 0; r < runs; r++ {
+			for i := 0; i < runLen; i++ {
+				src = append(src, tuple.Tuple{Key: tuple.Key(r + i*runs)})
+			}
+			sortRun(src[len(src)-runLen:])
+		}
+		dst := make(tuple.Relation, len(src))
+		mergeRuns(dst, src, runLen)
+		if !IsSorted(dst) {
+			t.Fatalf("fan-in %d merge not sorted", runs)
+		}
+	}
+}
+
+func TestMergeJoinBasic(t *testing.T) {
+	r := tuple.Relation{{Key: 1, Payload: 10}, {Key: 3, Payload: 30}, {Key: 5, Payload: 50}}
+	s := tuple.Relation{{Key: 0, Payload: 100}, {Key: 3, Payload: 300}, {Key: 3, Payload: 301}, {Key: 6, Payload: 600}}
+	var got []tuple.Pair
+	MergeJoin(r, s, func(a, b tuple.Payload) {
+		got = append(got, tuple.Pair{BuildPayload: a, ProbePayload: b})
+	})
+	want := []tuple.Pair{{BuildPayload: 30, ProbePayload: 300}, {BuildPayload: 30, ProbePayload: 301}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeJoinCrossProductOfDuplicates(t *testing.T) {
+	r := tuple.Relation{{Key: 7, Payload: 1}, {Key: 7, Payload: 2}}
+	s := tuple.Relation{{Key: 7, Payload: 3}, {Key: 7, Payload: 4}, {Key: 7, Payload: 5}}
+	count := 0
+	MergeJoin(r, s, func(a, b tuple.Payload) { count++ })
+	if count != 6 {
+		t.Fatalf("cross product size %d, want 6", count)
+	}
+}
+
+func TestMergeJoinEmptySides(t *testing.T) {
+	r := tuple.Relation{{Key: 1, Payload: 1}}
+	MergeJoin(r, nil, func(a, b tuple.Payload) { t.Fatal("emit on empty side") })
+	MergeJoin(nil, r, func(a, b tuple.Payload) { t.Fatal("emit on empty side") })
+}
+
+// Property: merge join over sorted inputs equals a reference hash join.
+func TestMergeJoinProperty(t *testing.T) {
+	f := func(rKeys, sKeys []uint8) bool {
+		r := make(tuple.Relation, len(rKeys))
+		for i, k := range rKeys {
+			r[i] = tuple.Tuple{Key: tuple.Key(k), Payload: tuple.Payload(i)}
+		}
+		s := make(tuple.Relation, len(sKeys))
+		for i, k := range sKeys {
+			s[i] = tuple.Tuple{Key: tuple.Key(k), Payload: tuple.Payload(i)}
+		}
+		r = Sort(r)
+		s = Sort(s)
+		got := 0
+		MergeJoin(r, s, func(a, b tuple.Payload) { got++ })
+		// Reference count: sum over keys of count_r * count_s.
+		cr := map[tuple.Key]int{}
+		for _, tp := range r {
+			cr[tp.Key]++
+		}
+		want := 0
+		for _, tp := range s {
+			want += cr[tp.Key]
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+// Package numa models the NUMA topology of the paper's evaluation
+// machine (four Intel Xeon E7-4870 v2 sockets) on hardware that has no
+// NUMA: it tracks *where* every memory region would live and *how many*
+// bytes each (cpu node, memory node) pair moves, so that the
+// discrete-event simulator in internal/numasim can replay the paper's
+// bandwidth behaviour from real access profiles.
+//
+// The placement policies mirror Section 6: join inputs and working
+// memory are allocated in equal node-sized chunks across all regions
+// ("one quarter of each input relation is physically allocated on one of
+// the NUMA-regions"), while the NOP global hash table is page-interleaved
+// (Section 3.2, "interleave hash table allocation among all available
+// NUMA nodes").
+package numa
+
+import "fmt"
+
+// Topology is a NUMA machine shape.
+type Topology struct {
+	// Nodes is the number of NUMA nodes (sockets).
+	Nodes int
+	// CoresPerNode is the number of physical cores per socket.
+	CoresPerNode int
+}
+
+// PaperTopology returns the four-socket, 60-core machine of Section 7.1.
+func PaperTopology() Topology { return Topology{Nodes: 4, CoresPerNode: 15} }
+
+// Cores returns the total physical core count.
+func (t Topology) Cores() int { return t.Nodes * t.CoresPerNode }
+
+// NodeOfWorker maps worker w of `threads` workers to its NUMA node.
+// Threads are distributed evenly across regions (Appendix B) in blocks
+// that line up with the chunked data placement: worker w's input chunk
+// is the w-th of `threads` equal pieces, and the chunked allocation puts
+// that piece on node w*Nodes/threads — so with this pinning every worker
+// reads its own chunk locally, which is what the original
+// implementations achieve through local (first-touch) allocation.
+func (t Topology) NodeOfWorker(w, threads int) int {
+	if t.Nodes == 0 || threads <= 0 {
+		return 0
+	}
+	n := (w % threads) * t.Nodes / threads
+	if n >= t.Nodes {
+		n = t.Nodes - 1
+	}
+	return n
+}
+
+// Policy is a memory placement strategy for a region.
+type Policy int
+
+const (
+	// Chunked divides a region into Nodes equal consecutive chunks,
+	// chunk i on node i — the allocation of the join relations and
+	// partition buffers in the radix joins.
+	Chunked Policy = iota
+	// PageInterleaved round-robins pages over nodes — the NOP global
+	// hash table allocation.
+	PageInterleaved
+	// Local places the whole region on one node.
+	Local
+)
+
+// PageBytes is the page granularity of interleaved placement. The
+// paper's huge-page configuration uses 2 MB pages.
+const PageBytes = 2 << 20
+
+// Region is a placed memory range of a given byte size.
+type Region struct {
+	topo   Topology
+	policy Policy
+	size   int64
+	node   int // for Local
+}
+
+// Place describes a memory region of size bytes under the policy.
+// For Local, node selects the owner.
+func Place(topo Topology, policy Policy, size int64, node int) Region {
+	if node < 0 || node >= topo.Nodes {
+		node = 0
+	}
+	return Region{topo: topo, policy: policy, size: size, node: node}
+}
+
+// Size returns the region's byte size.
+func (r Region) Size() int64 { return r.size }
+
+// NodeAt returns the home node of byte offset off.
+func (r Region) NodeAt(off int64) int {
+	if off < 0 || off >= r.size {
+		panic(fmt.Sprintf("numa: offset %d outside region of %d bytes", off, r.size))
+	}
+	switch r.policy {
+	case Chunked:
+		n := int(off * int64(r.topo.Nodes) / r.size)
+		if n >= r.topo.Nodes {
+			n = r.topo.Nodes - 1
+		}
+		return n
+	case PageInterleaved:
+		return int((off / PageBytes) % int64(r.topo.Nodes))
+	default:
+		return r.node
+	}
+}
+
+// BytesPerNode returns how many bytes of [lo, hi) live on each node.
+func (r Region) BytesPerNode(lo, hi int64) []int64 {
+	out := make([]int64, r.topo.Nodes)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > r.size {
+		hi = r.size
+	}
+	for lo < hi {
+		n := r.NodeAt(lo)
+		// Advance to the next placement boundary.
+		var boundary int64
+		switch r.policy {
+		case Chunked:
+			boundary = (int64(n) + 1) * r.size / int64(r.topo.Nodes)
+			// Integer division may leave the boundary at lo; ensure
+			// progress.
+			if boundary <= lo {
+				boundary = lo + 1
+			}
+		case PageInterleaved:
+			boundary = (lo/PageBytes + 1) * PageBytes
+		default:
+			boundary = hi
+		}
+		if boundary > hi {
+			boundary = hi
+		}
+		out[n] += boundary - lo
+		lo = boundary
+	}
+	return out
+}
+
+// Traffic accumulates bytes moved between cpu nodes and memory nodes.
+// It is the access profile handed to internal/numasim.
+type Traffic struct {
+	topo Topology
+	// Read[c][m] is bytes read by a core on node c from memory node m;
+	// Write likewise for stores.
+	Read  [][]int64
+	Write [][]int64
+}
+
+// NewTraffic creates an empty traffic matrix for the topology.
+func NewTraffic(topo Topology) *Traffic {
+	t := &Traffic{topo: topo}
+	t.Read = make([][]int64, topo.Nodes)
+	t.Write = make([][]int64, topo.Nodes)
+	for i := 0; i < topo.Nodes; i++ {
+		t.Read[i] = make([]int64, topo.Nodes)
+		t.Write[i] = make([]int64, topo.Nodes)
+	}
+	return t
+}
+
+// AddRead records bytes read by cpuNode from memNode.
+func (t *Traffic) AddRead(cpuNode, memNode int, bytes int64) {
+	t.Read[cpuNode][memNode] += bytes
+}
+
+// AddWrite records bytes written by cpuNode to memNode.
+func (t *Traffic) AddWrite(cpuNode, memNode int, bytes int64) {
+	t.Write[cpuNode][memNode] += bytes
+}
+
+// AddReadRegion charges a sequential read of region bytes [lo,hi) to
+// cpuNode.
+func (t *Traffic) AddReadRegion(cpuNode int, r Region, lo, hi int64) {
+	for m, b := range r.BytesPerNode(lo, hi) {
+		t.Read[cpuNode][m] += b
+	}
+}
+
+// AddWriteRegion charges a sequential write of region bytes [lo,hi) to
+// cpuNode.
+func (t *Traffic) AddWriteRegion(cpuNode int, r Region, lo, hi int64) {
+	for m, b := range r.BytesPerNode(lo, hi) {
+		t.Write[cpuNode][m] += b
+	}
+}
+
+// Merge adds other into t.
+func (t *Traffic) Merge(other *Traffic) {
+	for c := 0; c < t.topo.Nodes; c++ {
+		for m := 0; m < t.topo.Nodes; m++ {
+			t.Read[c][m] += other.Read[c][m]
+			t.Write[c][m] += other.Write[c][m]
+		}
+	}
+}
+
+// Local returns the total bytes moved between a core and its own node.
+func (t *Traffic) Local() int64 {
+	var sum int64
+	for n := 0; n < t.topo.Nodes; n++ {
+		sum += t.Read[n][n] + t.Write[n][n]
+	}
+	return sum
+}
+
+// Remote returns the total bytes crossing socket boundaries.
+func (t *Traffic) Remote() int64 {
+	var sum int64
+	for c := 0; c < t.topo.Nodes; c++ {
+		for m := 0; m < t.topo.Nodes; m++ {
+			if c != m {
+				sum += t.Read[c][m] + t.Write[c][m]
+			}
+		}
+	}
+	return sum
+}
+
+// RemoteWriteShare returns the fraction of written bytes that crossed
+// sockets — the quantity CPRL eliminates in the partition phase.
+func (t *Traffic) RemoteWriteShare() float64 {
+	var local, remote int64
+	for c := 0; c < t.topo.Nodes; c++ {
+		for m := 0; m < t.topo.Nodes; m++ {
+			if c == m {
+				local += t.Write[c][m]
+			} else {
+				remote += t.Write[c][m]
+			}
+		}
+	}
+	if local+remote == 0 {
+		return 0
+	}
+	return float64(remote) / float64(local+remote)
+}

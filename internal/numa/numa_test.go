@@ -1,0 +1,179 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTopology(t *testing.T) {
+	topo := PaperTopology()
+	if topo.Cores() != 60 {
+		t.Fatalf("cores = %d, want 60", topo.Cores())
+	}
+}
+
+func TestNodeOfWorkerRoundRobin(t *testing.T) {
+	topo := PaperTopology()
+	counts := make([]int, topo.Nodes)
+	for w := 0; w < 32; w++ {
+		counts[topo.NodeOfWorker(w, 32)]++
+	}
+	for n, c := range counts {
+		if c != 8 {
+			t.Fatalf("node %d got %d of 32 workers", n, c)
+		}
+	}
+}
+
+func TestChunkedPlacementQuarters(t *testing.T) {
+	topo := PaperTopology()
+	r := Place(topo, Chunked, 4000, 0)
+	if r.NodeAt(0) != 0 || r.NodeAt(999) != 0 {
+		t.Fatal("first quarter not on node 0")
+	}
+	if r.NodeAt(1000) != 1 || r.NodeAt(3999) != 3 {
+		t.Fatal("chunk boundaries wrong")
+	}
+}
+
+func TestChunkedPlacementUnevenSize(t *testing.T) {
+	topo := Topology{Nodes: 3, CoresPerNode: 2}
+	r := Place(topo, Chunked, 10, 0)
+	for off := int64(0); off < 10; off++ {
+		n := r.NodeAt(off)
+		if n < 0 || n >= 3 {
+			t.Fatalf("NodeAt(%d) = %d", off, n)
+		}
+	}
+}
+
+func TestPageInterleavedPlacement(t *testing.T) {
+	topo := PaperTopology()
+	r := Place(topo, PageInterleaved, 16*PageBytes, 0)
+	for p := int64(0); p < 16; p++ {
+		want := int(p % 4)
+		if got := r.NodeAt(p * PageBytes); got != want {
+			t.Fatalf("page %d on node %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestLocalPlacement(t *testing.T) {
+	topo := PaperTopology()
+	r := Place(topo, Local, 1000, 2)
+	if r.NodeAt(0) != 2 || r.NodeAt(999) != 2 {
+		t.Fatal("local region moved")
+	}
+	// Out-of-range node clamps to 0.
+	r = Place(topo, Local, 10, 99)
+	if r.NodeAt(5) != 0 {
+		t.Fatal("invalid node not clamped")
+	}
+}
+
+func TestNodeAtPanicsOutsideRegion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range offset")
+		}
+	}()
+	Place(PaperTopology(), Chunked, 10, 0).NodeAt(10)
+}
+
+func TestBytesPerNodeCoversRange(t *testing.T) {
+	topo := PaperTopology()
+	for _, policy := range []Policy{Chunked, PageInterleaved, Local} {
+		r := Place(topo, policy, 10*PageBytes, 1)
+		b := r.BytesPerNode(12345, 7*PageBytes+17)
+		var sum int64
+		for _, v := range b {
+			sum += v
+		}
+		want := int64(7*PageBytes+17) - 12345
+		if sum != want {
+			t.Fatalf("policy %v: bytes sum %d, want %d", policy, sum, want)
+		}
+	}
+}
+
+func TestBytesPerNodeClampsBounds(t *testing.T) {
+	r := Place(PaperTopology(), Chunked, 100, 0)
+	b := r.BytesPerNode(-5, 200)
+	var sum int64
+	for _, v := range b {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("clamped sum = %d", sum)
+	}
+}
+
+// Property: BytesPerNode agrees with per-byte NodeAt attribution.
+func TestBytesPerNodeMatchesNodeAtProperty(t *testing.T) {
+	topo := Topology{Nodes: 4, CoresPerNode: 1}
+	f := func(sizeRaw uint16, loRaw, hiRaw uint16, policyRaw uint8) bool {
+		size := int64(sizeRaw%1000) + 1
+		lo := int64(loRaw) % size
+		hi := lo + int64(hiRaw)%(size-lo+1)
+		policy := Policy(policyRaw % 3)
+		r := Place(topo, policy, size, 1)
+		want := make([]int64, 4)
+		for off := lo; off < hi; off++ {
+			want[r.NodeAt(off)]++
+		}
+		got := r.BytesPerNode(lo, hi)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	topo := PaperTopology()
+	tr := NewTraffic(topo)
+	tr.AddRead(0, 0, 100)
+	tr.AddRead(0, 1, 50)
+	tr.AddWrite(2, 2, 30)
+	tr.AddWrite(2, 3, 20)
+	if tr.Local() != 130 {
+		t.Fatalf("local = %d", tr.Local())
+	}
+	if tr.Remote() != 70 {
+		t.Fatalf("remote = %d", tr.Remote())
+	}
+	if got := tr.RemoteWriteShare(); got != 0.4 {
+		t.Fatalf("remote write share = %g", got)
+	}
+}
+
+func TestTrafficRegionCharging(t *testing.T) {
+	topo := PaperTopology()
+	tr := NewTraffic(topo)
+	r := Place(topo, Chunked, 400, 0)
+	tr.AddReadRegion(0, r, 0, 400) // spans all four nodes
+	if tr.Read[0][0] != 100 || tr.Read[0][3] != 100 {
+		t.Fatalf("read distribution: %v", tr.Read[0])
+	}
+	tr2 := NewTraffic(topo)
+	tr2.AddWriteRegion(1, r, 100, 200) // entirely node 1
+	if tr2.Write[1][1] != 100 || tr2.Remote() != 0 {
+		t.Fatalf("write distribution: %v", tr2.Write[1])
+	}
+	tr.Merge(tr2)
+	if tr.Write[1][1] != 100 {
+		t.Fatal("merge lost writes")
+	}
+}
+
+func TestRemoteWriteShareEmpty(t *testing.T) {
+	tr := NewTraffic(PaperTopology())
+	if tr.RemoteWriteShare() != 0 {
+		t.Fatal("empty traffic should report 0 share")
+	}
+}

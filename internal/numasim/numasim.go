@@ -1,0 +1,376 @@
+// Package numasim is a discrete-event (fluid) simulator of a multi-socket
+// NUMA machine executing a queue of memory-bound join tasks. It supplies
+// what a single-core container cannot: the contention of many concurrent
+// workers for per-node memory-controller bandwidth, which is the
+// mechanism behind the paper's Figure 6 bandwidth profiles, the ~20%
+// gain of the NUMA-aware iS scheduling (Figure 7), and the thread
+// scaling curves of Figure 16 / Table 3.
+//
+// The model: each worker is pinned to a core on one node and executes
+// tasks from a shared queue in order. A task is a sequence of segments,
+// each demanding a byte volume from one memory node. At any instant a
+// worker's progress rate is the minimum of its core's compute rate and
+// its share of the demanded memory node's bandwidth (with a penalty for
+// crossing the interconnect). Rates are piecewise constant between
+// events (segment completions), so the simulation is exact for the
+// model.
+package numasim
+
+import (
+	"fmt"
+	"math"
+
+	"mmjoin/internal/numa"
+)
+
+// Machine describes the simulated hardware.
+type Machine struct {
+	Topo numa.Topology
+	// NodeBandwidth is the memory bandwidth of one node's controller in
+	// bytes/second, shared by all cores reading from it.
+	NodeBandwidth float64
+	// RemotePenalty scales the rate of a worker accessing a remote
+	// node (interconnect overhead), 0 < RemotePenalty <= 1.
+	RemotePenalty float64
+	// CoreRate is the maximum bytes/second one core can process when
+	// memory is not the bottleneck.
+	CoreRate float64
+	// SMTPenalty scales per-worker compute when more workers than
+	// physical cores run (hyper-threading shares private caches —
+	// Appendix B observed partition joins regressing beyond 60
+	// threads). 1 disables the penalty.
+	SMTPenalty float64
+}
+
+// PaperMachine models the four-socket Xeon E7-4870 v2: ~28 GB/s
+// streaming bandwidth per node and ~2/3 efficiency across QPI. CoreRate
+// is calibrated against the paper's own numbers: Table 3's 4-thread
+// throughputs put one core's join processing at ~0.5–0.7 GB/s of input,
+// and its ~11x speedups at 60 threads imply the machine just brushes
+// bandwidth saturation there — which a 2.5 GB/s peak per-core rate under
+// the remote penalty reproduces.
+func PaperMachine() Machine {
+	return Machine{
+		Topo:          numa.PaperTopology(),
+		NodeBandwidth: 28e9,
+		RemotePenalty: 0.6,
+		CoreRate:      2.5e9,
+		SMTPenalty:    0.75,
+	}
+}
+
+// Segment is one contiguous access burst of a task against one node.
+type Segment struct {
+	MemNode int
+	Bytes   float64
+}
+
+// Task is a unit of join work: its segments are processed in order.
+type Task struct {
+	Segments []Segment
+}
+
+// TotalBytes returns the byte volume of the task.
+func (t Task) TotalBytes() float64 {
+	var sum float64
+	for _, s := range t.Segments {
+		sum += s.Bytes
+	}
+	return sum
+}
+
+// Sample is one piecewise-constant interval of the bandwidth timeline.
+type Sample struct {
+	// Start and End bound the interval in seconds.
+	Start, End float64
+	// NodeBW is the bandwidth drawn from each memory node during the
+	// interval, bytes/second.
+	NodeBW []float64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Makespan is the completion time of the last task, seconds.
+	Makespan float64
+	// Timeline is the per-node bandwidth usage over time.
+	Timeline []Sample
+	// TaskEnd[i] is the completion time of order[i].
+	TaskEnd []float64
+}
+
+// NodeUtilization integrates the timeline into each node's average
+// bandwidth share of its capacity over the makespan.
+func (r *Result) NodeUtilization(m Machine) []float64 {
+	util := make([]float64, m.Topo.Nodes)
+	if r.Makespan <= 0 {
+		return util
+	}
+	for _, s := range r.Timeline {
+		dt := s.End - s.Start
+		for n, bw := range s.NodeBW {
+			util[n] += bw * dt
+		}
+	}
+	for n := range util {
+		util[n] /= m.NodeBandwidth * r.Makespan
+	}
+	return util
+}
+
+// ActiveNodesOverTime reports, for `buckets` equal time slices, how many
+// nodes were drawing more than `threshold` of their bandwidth — the
+// compact reading of Figure 6 (PRO: mostly 1; PROiS/CPRL: all 4).
+func (r *Result) ActiveNodesOverTime(m Machine, buckets int, threshold float64) []int {
+	out := make([]int, buckets)
+	if r.Makespan <= 0 || buckets == 0 {
+		return out
+	}
+	width := r.Makespan / float64(buckets)
+	// Integrate node bandwidth per bucket.
+	acc := make([][]float64, buckets)
+	for b := range acc {
+		acc[b] = make([]float64, m.Topo.Nodes)
+	}
+	for _, s := range r.Timeline {
+		for b := 0; b < buckets; b++ {
+			lo := float64(b) * width
+			hi := lo + width
+			overlap := math.Min(hi, s.End) - math.Max(lo, s.Start)
+			if overlap <= 0 {
+				continue
+			}
+			for n, bw := range s.NodeBW {
+				acc[b][n] += bw * overlap
+			}
+		}
+	}
+	for b := range acc {
+		count := 0
+		for _, v := range acc[b] {
+			if v/width > threshold*m.NodeBandwidth {
+				count++
+			}
+		}
+		out[b] = count
+	}
+	return out
+}
+
+// worker tracks one simulated worker's position in its current task.
+type worker struct {
+	node      int
+	taskIdx   int // task id currently executing, -1 when idle/done
+	slot      int // TaskEnd index for the current task
+	segIdx    int
+	remaining float64
+}
+
+// Simulate runs `workers` workers over the tasks, popping them from one
+// shared queue in the given order. Tasks are indices into tasks; pass
+// the order produced by internal/sched (already LIFO-reversed if the
+// caller wants stack semantics). Result.TaskEnd is indexed by queue
+// position.
+func Simulate(m Machine, tasks []Task, order []int, workers int) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("numasim: workers = %d", workers)
+	}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(tasks) {
+			return nil, fmt.Errorf("numasim: order references task %d of %d", idx, len(tasks))
+		}
+	}
+	return simulateEngine(m, tasks, order, nil, workers)
+}
+
+// simulateEngine is the shared fluid engine. Exactly one of order
+// (shared queue) and perWorker (pinned assignment) is non-nil.
+func simulateEngine(m Machine, tasks []Task, order []int, perWorker [][]int, workers int) (*Result, error) {
+	if m.Topo.Nodes == 0 || m.NodeBandwidth <= 0 || m.CoreRate <= 0 {
+		return nil, fmt.Errorf("numasim: invalid machine %+v", m)
+	}
+
+	coreRate := m.CoreRate
+	physCores := m.Topo.Cores()
+	if workers > physCores && physCores > 0 {
+		penalty := m.SMTPenalty
+		if penalty <= 0 || penalty > 1 {
+			penalty = 1
+		}
+		coreRate = m.CoreRate * float64(physCores) / float64(workers) * penalty
+	}
+
+	slots := len(tasks)
+	if order != nil {
+		slots = len(order)
+	}
+	res := &Result{TaskEnd: make([]float64, slots)}
+	ws := make([]*worker, workers)
+	next := 0                       // shared-queue cursor
+	cursors := make([]int, workers) // pinned cursors
+	// popNext assigns worker w its next task; slot is the TaskEnd index
+	// (queue position for shared, task id for pinned).
+	popNext := func(wi int, w *worker) {
+		for {
+			var task, slot int
+			if order != nil {
+				if next >= len(order) {
+					w.taskIdx = -1
+					return
+				}
+				slot = next
+				task = order[next]
+				next++
+			} else {
+				if cursors[wi] >= len(perWorker[wi]) {
+					w.taskIdx = -1
+					return
+				}
+				task = perWorker[wi][cursors[wi]]
+				slot = task
+				cursors[wi]++
+			}
+			t := tasks[task]
+			if len(t.Segments) == 0 || t.TotalBytes() == 0 {
+				res.TaskEnd[slot] = res.Makespan
+				continue
+			}
+			w.taskIdx = task
+			w.slot = slot
+			w.segIdx = 0
+			w.remaining = t.Segments[0].Bytes
+			return
+		}
+	}
+	for i := range ws {
+		ws[i] = &worker{node: m.Topo.NodeOfWorker(i, workers), taskIdx: -1}
+		popNext(i, ws[i])
+	}
+
+	now := 0.0
+	for {
+		// Demand per memory node.
+		demand := make([]int, m.Topo.Nodes)
+		active := 0
+		for _, w := range ws {
+			if w.taskIdx >= 0 {
+				seg := tasks[w.taskIdx].Segments[w.segIdx]
+				demand[seg.MemNode]++
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		// Rates.
+		rates := make([]float64, len(ws))
+		nodeBW := make([]float64, m.Topo.Nodes)
+		minDT := math.Inf(1)
+		for i, w := range ws {
+			if w.taskIdx < 0 {
+				continue
+			}
+			seg := tasks[w.taskIdx].Segments[w.segIdx]
+			share := m.NodeBandwidth / float64(demand[seg.MemNode])
+			rate := math.Min(coreRate, share)
+			if seg.MemNode != w.node {
+				rate *= m.RemotePenalty
+			}
+			rates[i] = rate
+			nodeBW[seg.MemNode] += rate
+			if dt := w.remaining / rate; dt < minDT {
+				minDT = dt
+			}
+		}
+		if math.IsInf(minDT, 1) {
+			break
+		}
+		// Advance to the next segment completion.
+		res.Timeline = append(res.Timeline, Sample{Start: now, End: now + minDT, NodeBW: nodeBW})
+		now += minDT
+		res.Makespan = now
+		for i, w := range ws {
+			if w.taskIdx < 0 {
+				continue
+			}
+			w.remaining -= rates[i] * minDT
+			if w.remaining > 1e-6 {
+				continue
+			}
+			w.segIdx++
+			t := tasks[w.taskIdx]
+			if w.segIdx < len(t.Segments) {
+				w.remaining = t.Segments[w.segIdx].Bytes
+				continue
+			}
+			res.TaskEnd[w.slot] = now
+			popNext(i, w)
+		}
+	}
+	return res, nil
+}
+
+// SpeedupOver reports r's makespan relative to base (base/r), the
+// relative-speedup metric of Table 3.
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return base.Makespan / r.Makespan
+}
+
+// SimulatePinned runs tasks with a fixed worker assignment instead of a
+// shared queue: worker w executes tasks w, w+workers, w+2*workers, ... in
+// order. This models phases without task queues — the partition phase,
+// where worker w processes chunk w by construction — and so preserves
+// the chunk/worker node affinity a shared queue would scramble.
+func SimulatePinned(m Machine, tasks []Task, workers int) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("numasim: workers = %d", workers)
+	}
+	perWorker := make([][]int, workers)
+	for i := range tasks {
+		w := i % workers
+		perWorker[w] = append(perWorker[w], i)
+	}
+	return simulateEngine(m, tasks, nil, perWorker, workers)
+}
+
+// SimulatePerNodeQueues runs tasks with one queue per NUMA node — the
+// alternative Section 6.2 mentions ("use a different queue for each
+// NUMA-region"): every worker drains the queue of its own node, so each
+// task is executed by a core local to its data. nodeOf maps a task to
+// the node holding it. Unlike the real per-node queues in
+// internal/sched, this model does not steal across nodes; an imbalanced
+// nodeOf therefore shows up as idle controllers, which is the
+// phenomenon this alternative trades against the round-robin order.
+func SimulatePerNodeQueues(m Machine, tasks []Task, nodeOf func(int) int, workers int) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("numasim: workers = %d", workers)
+	}
+	if m.Topo.Nodes == 0 {
+		return nil, fmt.Errorf("numasim: invalid machine %+v", m)
+	}
+	// Distribute each node's tasks round-robin over the workers pinned
+	// to that node.
+	perWorker := make([][]int, workers)
+	nodeWorkers := make([][]int, m.Topo.Nodes)
+	for w := 0; w < workers; w++ {
+		n := m.Topo.NodeOfWorker(w, workers)
+		nodeWorkers[n] = append(nodeWorkers[n], w)
+	}
+	rr := make([]int, m.Topo.Nodes)
+	for i := range tasks {
+		n := nodeOf(i)
+		if n < 0 || n >= m.Topo.Nodes || len(nodeWorkers[n]) == 0 {
+			n = 0
+		}
+		ws := nodeWorkers[n]
+		if len(ws) == 0 {
+			return nil, fmt.Errorf("numasim: no worker pinned to node %d", n)
+		}
+		w := ws[rr[n]%len(ws)]
+		rr[n]++
+		perWorker[w] = append(perWorker[w], i)
+	}
+	return simulateEngine(m, tasks, nil, perWorker, workers)
+}

@@ -1,0 +1,124 @@
+package numasim
+
+import (
+	"mmjoin/internal/numa"
+	"mmjoin/internal/radix"
+	"mmjoin/internal/tuple"
+)
+
+// This file maps the metadata of real partitioning runs (fences, chunk
+// boundaries) onto simulator task lists, so Figures 6, 7 and 16 replay
+// the byte volumes and placements an actual join produced.
+
+// FromGlobalPartitions builds one join task per co-partition of a
+// PR*-style join: the task streams its contiguous build and probe
+// partitions from the nodes the chunked partition-buffer allocation put
+// them on.
+func FromGlobalPartitions(topo numa.Topology, pr, ps *radix.Partitioned) []Task {
+	rRegion := numa.Place(topo, numa.Chunked, int64(len(pr.Data))*tuple.Bytes, 0)
+	sRegion := numa.Place(topo, numa.Chunked, int64(len(ps.Data))*tuple.Bytes, 0)
+	tasks := make([]Task, pr.Parts())
+	for p := range tasks {
+		tasks[p].Segments = appendRegionSegments(tasks[p].Segments, rRegion,
+			int64(pr.Start(p))*tuple.Bytes, int64(pr.PartLen(p))*tuple.Bytes)
+		tasks[p].Segments = appendRegionSegments(tasks[p].Segments, sRegion,
+			int64(ps.Start(p))*tuple.Bytes, int64(ps.PartLen(p))*tuple.Bytes)
+	}
+	return tasks
+}
+
+// FromChunkedPartitions builds one join task per logical co-partition of
+// a CPR*-style join: the task gathers one fragment per chunk, each from
+// that chunk's home node. Fragment order is rotated per partition so
+// that concurrently started tasks do not all hit chunk 0's node first —
+// in a fluid model with synchronized task starts, a fixed order would
+// convoy every worker onto one controller, which real out-of-order
+// overlap does not do.
+func FromChunkedPartitions(topo numa.Topology, pr, ps *radix.ChunkedPartitioned) []Task {
+	rRegion := numa.Place(topo, numa.Chunked, int64(len(pr.Data))*tuple.Bytes, 0)
+	sRegion := numa.Place(topo, numa.Chunked, int64(len(ps.Data))*tuple.Bytes, 0)
+	tasks := make([]Task, pr.Parts())
+	for p := range tasks {
+		nc := len(pr.Chunks)
+		for i := 0; i < nc; i++ {
+			ci := (i + p) % nc
+			lo := int64(pr.Fences[ci][p]) * tuple.Bytes
+			hi := int64(pr.Fences[ci][p+1]) * tuple.Bytes
+			tasks[p].Segments = appendRegionSegments(tasks[p].Segments, rRegion, lo, hi-lo)
+		}
+		nc = len(ps.Chunks)
+		for i := 0; i < nc; i++ {
+			ci := (i + p) % nc
+			lo := int64(ps.Fences[ci][p]) * tuple.Bytes
+			hi := int64(ps.Fences[ci][p+1]) * tuple.Bytes
+			tasks[p].Segments = appendRegionSegments(tasks[p].Segments, sRegion, lo, hi-lo)
+		}
+	}
+	return tasks
+}
+
+// appendRegionSegments splits the byte range [off, off+size) into one
+// segment per home node.
+func appendRegionSegments(segs []Segment, region numa.Region, off, size int64) []Segment {
+	if size <= 0 {
+		return segs
+	}
+	for node, bytes := range region.BytesPerNode(off, off+size) {
+		if bytes > 0 {
+			segs = append(segs, Segment{MemNode: node, Bytes: float64(bytes)})
+		}
+	}
+	return segs
+}
+
+// HomeNodeOfPartition returns the node holding (the start of) partition
+// p of a globally partitioned relation — the nodeOf function for the iS
+// round-robin scheduling order.
+func HomeNodeOfPartition(topo numa.Topology, pr *radix.Partitioned) func(int) int {
+	region := numa.Place(topo, numa.Chunked, int64(len(pr.Data))*tuple.Bytes, 0)
+	return func(p int) int {
+		if len(pr.Data) == 0 || pr.PartLen(p) == 0 {
+			return 0
+		}
+		return region.NodeAt(int64(pr.Start(p)) * tuple.Bytes)
+	}
+}
+
+// PartitionPhaseTasks builds one task per worker for the partition
+// phase: the worker reads its chunk twice (histogram + scatter) from the
+// chunk's home nodes and writes the chunk volume either scattered across
+// all nodes (global partitioning) or back to its own range (chunked
+// partitioning). Run with workers equal to len(tasks) and sequential
+// order.
+func PartitionPhaseTasks(topo numa.Topology, tuples, threads int, chunkedWrites bool) []Task {
+	region := numa.Place(topo, numa.Chunked, int64(tuples)*tuple.Bytes, 0)
+	chunks := tuple.Chunks(tuples, threads)
+	tasks := make([]Task, threads)
+	for w := range tasks {
+		c := chunks[w]
+		lo, size := int64(c.Begin)*tuple.Bytes, int64(c.Len())*tuple.Bytes
+		if size == 0 {
+			continue
+		}
+		// Two read passes.
+		tasks[w].Segments = appendRegionSegments(tasks[w].Segments, region, lo, size)
+		tasks[w].Segments = appendRegionSegments(tasks[w].Segments, region, lo, size)
+		if chunkedWrites {
+			tasks[w].Segments = appendRegionSegments(tasks[w].Segments, region, lo, size)
+		} else {
+			// Scatter: writes proportional to every node's share of the
+			// output region, rotated per worker so that the fluid model
+			// does not convoy all workers onto node 0 at once (real
+			// scatters interleave their destinations continuously).
+			total := region.BytesPerNode(0, region.Size())
+			for i := range total {
+				node := (i + w) % len(total)
+				b := float64(size) * float64(total[node]) / float64(region.Size())
+				if b > 0 {
+					tasks[w].Segments = append(tasks[w].Segments, Segment{MemNode: node, Bytes: b})
+				}
+			}
+		}
+	}
+	return tasks
+}

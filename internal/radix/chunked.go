@@ -1,0 +1,93 @@
+package radix
+
+import (
+	"sync"
+
+	"mmjoin/internal/tuple"
+)
+
+// ChunkedPartitioned is the output of the chunked partitioning of CPRL
+// (Figure 4(c)): every thread radix-partitions its horizontal chunk
+// locally, guided only by its local histogram. There is no global
+// histogram barrier and — on the paper's NUMA machine — no remote
+// writes: each chunk's partitions stay inside the chunk's memory range.
+// A logical co-partition is therefore the union of one fragment per
+// chunk.
+type ChunkedPartitioned struct {
+	// Data holds the input rearranged chunk by chunk; chunk c occupies
+	// the same index range it did in the input.
+	Data tuple.Relation
+	// Chunks are the per-thread input ranges.
+	Chunks []tuple.Chunk
+	// Fences[c] are the partition fences of chunk c, as absolute
+	// offsets into Data (length parts+1).
+	Fences [][]int
+	// Bits is the number of radix bits used.
+	Bits uint
+}
+
+// Parts returns the partition count.
+func (c *ChunkedPartitioned) Parts() int { return 1 << c.Bits }
+
+// Fragments returns the per-chunk fragments of logical partition p.
+// The join phase reads these (possibly NUMA-remote) fragments
+// sequentially — CPRL's trade of small random remote writes for large
+// sequential remote reads.
+func (c *ChunkedPartitioned) Fragments(p int) []tuple.Relation {
+	frags := make([]tuple.Relation, 0, len(c.Chunks))
+	for ci := range c.Chunks {
+		f := c.Data[c.Fences[ci][p]:c.Fences[ci][p+1]]
+		if len(f) > 0 {
+			frags = append(frags, f)
+		}
+	}
+	return frags
+}
+
+// PartLen returns the total tuple count of logical partition p.
+func (c *ChunkedPartitioned) PartLen(p int) int {
+	n := 0
+	for ci := range c.Chunks {
+		n += c.Fences[ci][p+1] - c.Fences[ci][p]
+	}
+	return n
+}
+
+// PartitionChunked performs CPRL's chunked radix partitioning: phase (1)
+// local histograms, then directly phase (3) — each thread scatters its
+// chunk into its own range of the output using only its local histogram
+// (no phase (2) global merge). swwcb selects buffered scatter.
+func PartitionChunked(src tuple.Relation, bits uint, threads int, swwcb bool) *ChunkedPartitioned {
+	if threads < 1 {
+		threads = 1
+	}
+	parts := 1 << bits
+	chunks := tuple.Chunks(len(src), threads)
+	dst := make(tuple.Relation, len(src))
+	fences := make([][]int, threads)
+
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			chunk := src[chunks[t].Begin:chunks[t].End]
+			hist := Histogram(chunk, bits)
+			local := prefixFences(hist)
+			// Rebase fences to absolute offsets.
+			for i := range local {
+				local[i] += chunks[t].Begin
+			}
+			cursor := make([]int, parts)
+			copy(cursor, local[:parts])
+			if swwcb {
+				scatterBuffered(dst, chunk, 0, bits, cursor)
+			} else {
+				scatterDirect(dst, chunk, 0, bits, cursor)
+			}
+			fences[t] = local
+		}(t)
+	}
+	wg.Wait()
+	return &ChunkedPartitioned{Data: dst, Chunks: chunks, Fences: fences, Bits: bits}
+}

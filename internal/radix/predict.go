@@ -1,0 +1,79 @@
+package radix
+
+import "math"
+
+// CacheGeometry carries the cache parameters of Equation (1). Defaults
+// mirror the paper's Intel Xeon E7-4870 v2 (Section 7.1).
+type CacheGeometry struct {
+	// L2Bytes is the per-core L2 data cache size.
+	L2Bytes int
+	// LLCBytes is the size of the shared last-level cache of one socket.
+	LLCBytes int
+	// TupleBytes is the size of one tuple (st in the paper).
+	TupleBytes int
+	// BufferBytes is the size of one software write-combine buffer
+	// (sb), one cache line.
+	BufferBytes int
+}
+
+// PaperMachine is the cache geometry of the evaluation machine.
+func PaperMachine() CacheGeometry {
+	return CacheGeometry{
+		L2Bytes:     256 << 10,
+		LLCBytes:    30 << 20,
+		TupleBytes:  8,
+		BufferBytes: 64,
+	}
+}
+
+// PredictBits implements Equation (1): the number of radix bits np such
+// that a hash table over one partition fits in L2 — as long as all
+// write-combine buffers together still fit into a thread's share of the
+// LLC — and otherwise the minimal bits making partitions fit the LLC
+// share:
+//
+//	np(|R|) = log2(|R|·st / (l·L2))     if |R|·sb·st/(L2·l) < LLCt
+//	          log2(|R|·st / (l·LLCt))   otherwise
+//
+// where l is the intended hash-table load factor and LLCt the per-thread
+// share of the last-level cache. The result is clamped to at least 1.
+func PredictBits(buildTuples int, loadFactor float64, threads int, g CacheGeometry) uint {
+	if buildTuples <= 0 || threads < 1 {
+		return 1
+	}
+	if loadFactor <= 0 {
+		loadFactor = 1
+	}
+	llcPerThread := float64(g.LLCBytes) / float64(threads)
+	rBytes := float64(buildTuples) * float64(g.TupleBytes)
+	var np float64
+	if rBytes*float64(g.BufferBytes)/(float64(g.L2Bytes)*loadFactor) < llcPerThread {
+		np = math.Log2(rBytes / (loadFactor * float64(g.L2Bytes)))
+	} else {
+		np = math.Log2(rBytes / (loadFactor * llcPerThread))
+	}
+	bits := uint(math.Ceil(np))
+	if np <= 0 || bits < 1 {
+		return 1
+	}
+	return bits
+}
+
+// LoadFactorFor returns the effective load factor term l of Equation (1)
+// for a hash-table kind, reflecting the space efficiency differences
+// discussed with Figure 9: an array join stores only the 4-byte payload
+// (keys are implicit), a linear-probing table runs half full, and a
+// chained table stores tuples at roughly full density in buckets.
+func LoadFactorFor(kind string) float64 {
+	switch kind {
+	case "array":
+		// Payload-only array: half the bytes of a full tuple table.
+		return 2.0
+	case "linear":
+		return 0.5
+	case "chained":
+		return 1.0
+	default:
+		return 1.0
+	}
+}

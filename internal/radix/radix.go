@@ -1,0 +1,265 @@
+// Package radix implements the parallel radix-partitioning machinery the
+// PR*- and CPR*-joins of Schuh et al. (SIGMOD 2016) are built on:
+//
+//   - histogram-based single-pass partitioning with a global histogram
+//     and precomputed output ranges (Figure 4(a): scan → histogram →
+//     barrier → scatter), used by PRO and descendants;
+//   - two-pass partitioning (PRB's 7+7-bit scheme from Balkesen et al.);
+//   - software write-combine buffers (SWWCB, Algorithm 1) that flush
+//     whole cache lines to keep TLB pressure at one page per buffer;
+//   - chunked partitioning (Figure 4(c)): each thread partitions its
+//     chunk locally with no global histogram and no remote writes, the
+//     core of the CPRL/CPRA contribution;
+//   - the Equation (1) predictor for the optimal number of radix bits.
+//
+// Partitioning always uses the low `bits` bits of the key (see
+// hashfn.RadixBits), matching the dense-key workloads of the study.
+package radix
+
+import (
+	"sync"
+
+	"mmjoin/internal/tuple"
+)
+
+// Partitioned is a relation scattered into 2^bits partitions. Each
+// partition occupies one contiguous range of Data; the ranges need not
+// be ordered by partition number (two-pass partitioning orders them by
+// (coarse, fine) instead).
+type Partitioned struct {
+	// Data holds all partitions.
+	Data tuple.Relation
+	// starts/ends give partition p as Data[starts[p]:ends[p]].
+	starts, ends []int
+	// Bits is the number of radix bits used.
+	Bits uint
+}
+
+// Parts returns the partition count.
+func (p *Partitioned) Parts() int { return len(p.starts) }
+
+// Part returns partition i as a sub-slice of Data.
+func (p *Partitioned) Part(i int) tuple.Relation {
+	return p.Data[p.starts[i]:p.ends[i]]
+}
+
+// PartLen returns the tuple count of partition i without slicing.
+func (p *Partitioned) PartLen(i int) int { return p.ends[i] - p.starts[i] }
+
+// Start returns the offset of partition i in Data. The NUMA placement
+// model uses it to locate a partition's home node.
+func (p *Partitioned) Start(i int) int { return p.starts[i] }
+
+// Histogram counts, for every radix partition, the tuples of rel that
+// fall into it.
+func Histogram(rel tuple.Relation, bits uint) []int {
+	h := make([]int, 1<<bits)
+	mask := tuple.Key(1<<bits - 1)
+	for _, tp := range rel {
+		h[tp.Key&mask]++
+	}
+	return h
+}
+
+// prefixFences turns a histogram into fence offsets (exclusive prefix
+// sums with a final terminator).
+func prefixFences(hist []int) []int {
+	fences := make([]int, len(hist)+1)
+	sum := 0
+	for i, c := range hist {
+		fences[i] = sum
+		sum += c
+	}
+	fences[len(hist)] = sum
+	return fences
+}
+
+// PartitionGlobal performs the one-pass parallel radix partitioning of
+// PRO (Figure 4(a)): per-thread histograms over equal chunks, a merge
+// into global per-thread output offsets, then a parallel scatter. With
+// swwcb enabled the scatter goes through software write-combine buffers.
+func PartitionGlobal(src tuple.Relation, bits uint, threads int, swwcb bool) *Partitioned {
+	if threads < 1 {
+		threads = 1
+	}
+	parts := 1 << bits
+	chunks := tuple.Chunks(len(src), threads)
+
+	// Phase 1: local histograms.
+	local := make([][]int, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			local[t] = Histogram(src[chunks[t].Begin:chunks[t].End], bits)
+		}(t)
+	}
+	wg.Wait()
+
+	// Phase 2: merge into global fences and per-thread write cursors.
+	// Thread t writes partition p at fences[p] + counts of earlier
+	// threads for p, so the scatter needs no further synchronization.
+	global := make([]int, parts)
+	for _, l := range local {
+		for p, c := range l {
+			global[p] += c
+		}
+	}
+	fences := prefixFences(global)
+	cursors := make([][]int, threads)
+	running := make([]int, parts)
+	for t := 0; t < threads; t++ {
+		cursors[t] = make([]int, parts)
+		for p := 0; p < parts; p++ {
+			cursors[t][p] = fences[p] + running[p]
+			running[p] += local[t][p]
+		}
+	}
+
+	// Phase 3: scatter.
+	dst := make(tuple.Relation, len(src))
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			chunk := src[chunks[t].Begin:chunks[t].End]
+			if swwcb {
+				scatterBuffered(dst, chunk, 0, bits, cursors[t])
+			} else {
+				scatterDirect(dst, chunk, 0, bits, cursors[t])
+			}
+		}(t)
+	}
+	wg.Wait()
+	return &Partitioned{Data: dst, starts: fences[:parts], ends: fences[1:], Bits: bits}
+}
+
+// scatterDirect writes each tuple straight to its output position — the
+// PRB behaviour without software buffers. The partition of a tuple is
+// bits [shift, shift+bits) of its key.
+func scatterDirect(dst, chunk tuple.Relation, shift, bits uint, cursor []int) {
+	mask := tuple.Key(1<<bits - 1)
+	for _, tp := range chunk {
+		p := (tp.Key >> shift) & mask
+		dst[cursor[p]] = tp
+		cursor[p]++
+	}
+}
+
+// swwcb is one software write-combine buffer: a cache line worth of
+// tuples staged locally before being flushed to the destination, per
+// Algorithm 1 of the paper. Unaligned destination ranges are handled by
+// shrinking the first flush to the next cache-line boundary, so the
+// output needs no padding and partitions stay contiguous. The cache-line
+// copy is the scalar stand-in for the original's non-temporal streaming
+// stores (see DESIGN.md).
+type swwcb struct {
+	line [tuple.TuplesPerCacheLine]tuple.Tuple
+	fill int // tuples currently staged
+	dest int // output position of line[0]
+	room int // tuples until the next flush boundary
+}
+
+// scatterBuffered scatters a chunk through per-partition write-combine
+// buffers keyed on bits [shift, shift+bits) of the key. The masked
+// buffer index keeps the hot loop free of bounds checks.
+func scatterBuffered(dst, chunk tuple.Relation, shift, bits uint, cursor []int) {
+	mask := tuple.Key(1<<bits - 1)
+	bufs := make([]swwcb, 1<<bits)
+	for p := range bufs {
+		b := &bufs[p]
+		b.dest = cursor[p]
+		b.room = tuple.TuplesPerCacheLine - b.dest%tuple.TuplesPerCacheLine
+	}
+	for _, tp := range chunk {
+		b := &bufs[(tp.Key>>shift)&mask]
+		b.line[b.fill&(tuple.TuplesPerCacheLine-1)] = tp
+		b.fill++
+		if b.fill == b.room {
+			copy(dst[b.dest:b.dest+b.fill], b.line[:b.fill])
+			b.dest += b.fill
+			b.fill = 0
+			b.room = tuple.TuplesPerCacheLine
+		}
+	}
+	for p := range bufs {
+		b := &bufs[p]
+		if b.fill > 0 {
+			copy(dst[b.dest:b.dest+b.fill], b.line[:b.fill])
+		}
+	}
+}
+
+// PartitionTwoPass performs PRB's two-pass radix partitioning: a global
+// first pass over bits1 (the low bits), then each first-pass partition
+// is repartitioned by the next bits2 bits as an independent task pulled
+// from a shared queue (Section 3.1). The result is equivalent to a
+// single pass over bits1+bits2 bits but never has more than
+// 2^max(bits1,bits2) open write targets, the TLB-driven motivation of
+// the design.
+func PartitionTwoPass(src tuple.Relation, bits1, bits2 uint, threads int, swwcb bool) *Partitioned {
+	if threads < 1 {
+		threads = 1
+	}
+	first := PartitionGlobal(src, bits1, threads, swwcb)
+	totalBits := bits1 + bits2
+	parts := 1 << totalBits
+	dst := make(tuple.Relation, len(src))
+	subFences := make([][]int, 1<<bits1)
+
+	// Second pass: each coarse partition is one task; workers pull tasks
+	// from a shared queue and run a single-threaded histogram + scatter
+	// within the coarse partition's range.
+	tasks := make(chan int, 1<<bits1)
+	for c := 0; c < 1<<bits1; c++ {
+		tasks <- c
+	}
+	close(tasks)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range tasks {
+				part := first.Part(c)
+				out := dst[first.starts[c]:first.ends[c]]
+				subFences[c] = subPartition(out, part, bits1, bits2, swwcb)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Partition v = fine<<bits1 | coarse lives at coarse's base plus the
+	// fine-local fences.
+	starts := make([]int, parts)
+	ends := make([]int, parts)
+	for c := 0; c < 1<<bits1; c++ {
+		base := first.starts[c]
+		for f := 0; f < 1<<bits2; f++ {
+			v := f<<bits1 | c
+			starts[v] = base + subFences[c][f]
+			ends[v] = base + subFences[c][f+1]
+		}
+	}
+	return &Partitioned{Data: dst, starts: starts, ends: ends, Bits: totalBits}
+}
+
+// subPartition scatters one coarse partition into its 2^bits2
+// sub-partitions inside out (same length as part) and returns the local
+// fence offsets (len 2^bits2 + 1).
+func subPartition(out, part tuple.Relation, bits1, bits2 uint, swwcb bool) []int {
+	hist := make([]int, 1<<bits2)
+	for _, tp := range part {
+		hist[(tp.Key>>bits1)&tuple.Key(1<<bits2-1)]++
+	}
+	fences := prefixFences(hist)
+	cursor := make([]int, 1<<bits2)
+	copy(cursor, fences[:1<<bits2])
+	if swwcb {
+		scatterBuffered(out, part, bits1, bits2, cursor)
+	} else {
+		scatterDirect(out, part, bits1, bits2, cursor)
+	}
+	return fences
+}

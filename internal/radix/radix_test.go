@@ -1,0 +1,357 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/tuple"
+)
+
+// verifyPartitioned checks the Partitioned contract: every tuple is in
+// the partition matching its low bits, partitions tile the data, and the
+// multiset of tuples is preserved.
+func verifyPartitioned(t *testing.T, p *Partitioned, src tuple.Relation) {
+	t.Helper()
+	mask := tuple.Key(1<<p.Bits - 1)
+	total := 0
+	for i := 0; i < p.Parts(); i++ {
+		part := p.Part(i)
+		total += len(part)
+		for _, tp := range part {
+			if tp.Key&mask != tuple.Key(i) {
+				t.Fatalf("tuple %v in wrong partition %d", tp, i)
+			}
+		}
+	}
+	if total != len(src) {
+		t.Fatalf("partitions cover %d tuples, want %d", total, len(src))
+	}
+	// Multiset equality via payload sum and per-key counts on a sample.
+	var sumSrc, sumDst uint64
+	for _, tp := range src {
+		sumSrc += uint64(tp.Key)<<20 + uint64(tp.Payload)
+	}
+	for _, tp := range p.Data {
+		sumDst += uint64(tp.Key)<<20 + uint64(tp.Payload)
+	}
+	if sumSrc != sumDst {
+		t.Fatal("tuple multiset changed during partitioning")
+	}
+}
+
+func testRelation(n int) tuple.Relation {
+	return datagen.UniformRelation(n, 1<<20, 99)
+}
+
+func TestPartitionGlobalVariants(t *testing.T) {
+	src := testRelation(10000)
+	for _, threads := range []int{1, 3, 8} {
+		for _, swwcb := range []bool{false, true} {
+			p := PartitionGlobal(src, 6, threads, swwcb)
+			if p.Parts() != 64 {
+				t.Fatalf("parts = %d", p.Parts())
+			}
+			verifyPartitioned(t, p, src)
+		}
+	}
+}
+
+func TestPartitionGlobalStableWithinThreadChunks(t *testing.T) {
+	// Tuples from the same chunk must keep their relative order inside
+	// a partition (histogram partitioning is stable per thread).
+	src := testRelation(5000)
+	p := PartitionGlobal(src, 4, 1, false)
+	mask := tuple.Key(15)
+	idx := 0
+	for i := 0; i < 16; i++ {
+		prev := -1
+		for _, tp := range p.Part(i) {
+			_ = tp
+			idx++
+			_ = prev
+		}
+	}
+	// With one thread the concatenation of partitions must be a stable
+	// bucket sort of src.
+	var stable [16][]tuple.Tuple
+	for _, tp := range src {
+		stable[tp.Key&mask] = append(stable[tp.Key&mask], tp)
+	}
+	for i := 0; i < 16; i++ {
+		got := p.Part(i)
+		if len(got) != len(stable[i]) {
+			t.Fatalf("partition %d size mismatch", i)
+		}
+		for j := range got {
+			if got[j] != stable[i][j] {
+				t.Fatalf("partition %d not stable at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPartitionTwoPassEqualsOnePass(t *testing.T) {
+	src := testRelation(20000)
+	for _, swwcb := range []bool{false, true} {
+		one := PartitionGlobal(src, 8, 4, swwcb)
+		two := PartitionTwoPass(src, 4, 4, 4, swwcb)
+		if one.Parts() != two.Parts() {
+			t.Fatalf("parts: %d vs %d", one.Parts(), two.Parts())
+		}
+		verifyPartitioned(t, two, src)
+		for i := 0; i < one.Parts(); i++ {
+			if len(one.Part(i)) != len(two.Part(i)) {
+				t.Fatalf("partition %d: one-pass %d tuples, two-pass %d",
+					i, len(one.Part(i)), len(two.Part(i)))
+			}
+		}
+	}
+}
+
+func TestPartitionTwoPassUnevenBits(t *testing.T) {
+	src := testRelation(8000)
+	p := PartitionTwoPass(src, 7, 3, 2, false)
+	if p.Parts() != 1<<10 {
+		t.Fatalf("parts = %d", p.Parts())
+	}
+	verifyPartitioned(t, p, src)
+}
+
+func TestPartitionChunkedCoversAndClassifies(t *testing.T) {
+	src := testRelation(12345)
+	for _, threads := range []int{1, 4, 7} {
+		for _, swwcb := range []bool{false, true} {
+			c := PartitionChunked(src, 5, threads, swwcb)
+			mask := tuple.Key(31)
+			total := 0
+			for p := 0; p < c.Parts(); p++ {
+				for _, frag := range c.Fragments(p) {
+					total += len(frag)
+					for _, tp := range frag {
+						if tp.Key&mask != tuple.Key(p) {
+							t.Fatalf("tuple %v in fragment of partition %d", tp, p)
+						}
+					}
+				}
+				if got := c.PartLen(p); got != lenFragments(c, p) {
+					t.Fatalf("PartLen(%d) = %d, fragments sum %d", p, got, lenFragments(c, p))
+				}
+			}
+			if total != len(src) {
+				t.Fatalf("fragments cover %d, want %d", total, len(src))
+			}
+		}
+	}
+}
+
+func lenFragments(c *ChunkedPartitioned, p int) int {
+	n := 0
+	for _, f := range c.Fragments(p) {
+		n += len(f)
+	}
+	return n
+}
+
+func TestPartitionChunkedStaysInChunk(t *testing.T) {
+	// CPRL's defining property: chunk c's tuples stay inside chunk c's
+	// index range (no writes outside the local chunk).
+	src := testRelation(9999)
+	c := PartitionChunked(src, 4, 5, true)
+	for ci, ch := range c.Chunks {
+		want := map[tuple.Tuple]int{}
+		for _, tp := range src[ch.Begin:ch.End] {
+			want[tp]++
+		}
+		got := map[tuple.Tuple]int{}
+		for _, tp := range c.Data[ch.Begin:ch.End] {
+			got[tp]++
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("chunk %d lost tuple %v", ci, k)
+			}
+		}
+	}
+}
+
+func TestPartitionEmptyAndTiny(t *testing.T) {
+	empty := tuple.Relation{}
+	p := PartitionGlobal(empty, 4, 4, true)
+	verifyPartitioned(t, p, empty)
+	c := PartitionChunked(empty, 4, 4, true)
+	if c.PartLen(0) != 0 {
+		t.Fatal("empty chunked partition non-empty")
+	}
+	one := tuple.Relation{{Key: 5, Payload: 1}}
+	p = PartitionGlobal(one, 3, 8, true)
+	verifyPartitioned(t, p, one)
+	if len(p.Part(5)) != 1 {
+		t.Fatal("single tuple not in partition 5")
+	}
+}
+
+func TestPartitionSkewedInput(t *testing.T) {
+	// All tuples in one partition: exercises full-buffer flush loops.
+	src := make(tuple.Relation, 1000)
+	for i := range src {
+		src[i] = tuple.Tuple{Key: 32, Payload: tuple.Payload(i)} // 32&15 == 0
+	}
+	p := PartitionGlobal(src, 4, 4, true)
+	verifyPartitioned(t, p, src)
+	if len(p.Part(0)) != 1000 {
+		t.Fatalf("partition 0 has %d", len(p.Part(0)))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	src := tuple.Relation{{Key: 0}, {Key: 1}, {Key: 1}, {Key: 5}}
+	h := Histogram(src, 2)
+	want := []int{1, 3, 0, 0} // 5&3 == 1
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist = %v", h)
+		}
+	}
+}
+
+// Property: global and chunked partitioning agree on per-partition
+// tuple counts for random inputs, thread counts, and bit widths.
+func TestGlobalVsChunkedCountsProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint16, bitsRaw, threadsRaw uint8) bool {
+		n := int(nRaw%4000) + 1
+		bits := uint(bitsRaw%8) + 1
+		threads := int(threadsRaw%6) + 1
+		src := datagen.UniformRelation(n, 1<<16, uint64(seed))
+		g := PartitionGlobal(src, bits, threads, seed%2 == 0)
+		c := PartitionChunked(src, bits, threads, seed%2 == 1)
+		for p := 0; p < g.Parts(); p++ {
+			if len(g.Part(p)) != c.PartLen(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictBitsGrowsWithData(t *testing.T) {
+	g := PaperMachine()
+	small := PredictBits(16<<20, 1, 32, g)
+	large := PredictBits(256<<20, 1, 32, g)
+	if large <= small {
+		t.Fatalf("bits did not grow: %d -> %d", small, large)
+	}
+}
+
+func TestPredictBitsPaperAnchors(t *testing.T) {
+	// Figure 9(a)/(c): for |R|=128M, l=1, 32 threads the sweet spot is
+	// 13–14 bits; Equation (1) switches to the LLC regime for the very
+	// large inputs of Figure 9(b)/(d).
+	g := PaperMachine()
+	bits := PredictBits(128<<20, 1, 32, g)
+	if bits < 12 || bits > 15 {
+		t.Fatalf("PredictBits(128M) = %d, want ~13", bits)
+	}
+	// Large |R| must hit the LLC-share regime and stop growing as fast.
+	b1 := PredictBits(512<<20, 1, 32, g)
+	b2 := PredictBits(2048<<20, 1, 32, g)
+	if b2 < b1 {
+		t.Fatalf("predictor not monotone: %d then %d", b1, b2)
+	}
+}
+
+func TestPredictBitsClamps(t *testing.T) {
+	g := PaperMachine()
+	if PredictBits(0, 1, 32, g) != 1 {
+		t.Fatal("zero tuples should clamp to 1 bit")
+	}
+	if PredictBits(10, 1, 32, g) != 1 {
+		t.Fatal("tiny relation should clamp to 1 bit")
+	}
+}
+
+func TestLoadFactorFor(t *testing.T) {
+	if LoadFactorFor("array") <= LoadFactorFor("chained") {
+		t.Fatal("array must be denser than chained")
+	}
+	if LoadFactorFor("linear") >= LoadFactorFor("chained") {
+		t.Fatal("linear must be sparser than chained")
+	}
+	if LoadFactorFor("unknown") != 1 {
+		t.Fatal("unknown kind default")
+	}
+}
+
+func BenchmarkPartitionSWWCBvsDirect(b *testing.B) {
+	src := testRelation(1 << 20)
+	b.Run("direct-14bits", func(b *testing.B) {
+		b.SetBytes(int64(len(src)) * tuple.Bytes)
+		for i := 0; i < b.N; i++ {
+			PartitionGlobal(src, 14, 1, false)
+		}
+	})
+	b.Run("swwcb-14bits", func(b *testing.B) {
+		b.SetBytes(int64(len(src)) * tuple.Bytes)
+		for i := 0; i < b.N; i++ {
+			PartitionGlobal(src, 14, 1, true)
+		}
+	})
+}
+
+func TestScatterBufferedUnalignedCursors(t *testing.T) {
+	// Force unaligned partition starts: 3 partitions with odd sizes so
+	// every cursor begins mid-cache-line, exercising the shortened
+	// first flush.
+	src := make(tuple.Relation, 0, 99)
+	for i := 0; i < 33; i++ {
+		src = append(src,
+			tuple.Tuple{Key: 0, Payload: tuple.Payload(i)},
+			tuple.Tuple{Key: 1, Payload: tuple.Payload(i)},
+			tuple.Tuple{Key: 2, Payload: tuple.Payload(i)})
+	}
+	p := PartitionGlobal(src, 2, 1, true)
+	verifyPartitioned(t, p, src)
+	if len(p.Part(0)) != 33 || len(p.Part(1)) != 33 || len(p.Part(2)) != 33 {
+		t.Fatalf("partition sizes %d/%d/%d", len(p.Part(0)), len(p.Part(1)), len(p.Part(2)))
+	}
+}
+
+func TestPartitionTwoPassZeroFineBits(t *testing.T) {
+	src := testRelation(500)
+	p := PartitionTwoPass(src, 4, 0, 2, true)
+	if p.Parts() != 16 {
+		t.Fatalf("parts = %d", p.Parts())
+	}
+	verifyPartitioned(t, p, src)
+}
+
+func TestPartitionGlobalMoreThreadsThanTuples(t *testing.T) {
+	src := testRelation(3)
+	p := PartitionGlobal(src, 2, 16, true)
+	verifyPartitioned(t, p, src)
+	c := PartitionChunked(src, 2, 16, true)
+	total := 0
+	for i := 0; i < c.Parts(); i++ {
+		total += c.PartLen(i)
+	}
+	if total != 3 {
+		t.Fatalf("chunked coverage %d", total)
+	}
+}
+
+func TestPartitionedStartOffsets(t *testing.T) {
+	src := testRelation(4096)
+	p := PartitionGlobal(src, 4, 2, false)
+	for i := 0; i < p.Parts(); i++ {
+		part := p.Part(i)
+		if len(part) == 0 {
+			continue
+		}
+		if &p.Data[p.Start(i)] != &part[0] {
+			t.Fatalf("Start(%d) does not point at the partition", i)
+		}
+	}
+}

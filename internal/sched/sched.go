@@ -1,0 +1,166 @@
+// Package sched provides the join-task scheduling strategies compared in
+// Section 6.2 of Schuh et al. (SIGMOD 2016): the original LIFO
+// co-partition queue that serializes all early tasks onto one NUMA
+// region, and the round-robin-by-node insertion order of the improved
+// "iS" variants that spreads concurrent tasks over all memory
+// controllers. It also holds the small worker-pool helper all parallel
+// phases share.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue hands out task ids to workers. Implementations are safe for
+// concurrent Pop.
+type Queue interface {
+	// Pop returns the next task id, or ok=false when drained.
+	Pop() (id int, ok bool)
+	// Len returns the initial number of tasks.
+	Len() int
+}
+
+// lifo pops tasks in reverse insertion order — the stack the paper
+// found in the PR* implementations ("a LIFO-task queue (which is
+// actually a stack)").
+type lifo struct {
+	order []int
+	next  int64 // counts down from len(order)
+}
+
+// NewLIFO builds a stack that pops the given insertion order in reverse.
+func NewLIFO(order []int) Queue {
+	return &lifo{order: order, next: int64(len(order))}
+}
+
+func (q *lifo) Pop() (int, bool) {
+	i := atomic.AddInt64(&q.next, -1)
+	if i < 0 {
+		return 0, false
+	}
+	return q.order[i], true
+}
+
+func (q *lifo) Len() int { return len(q.order) }
+
+// fifo pops tasks in insertion order.
+type fifo struct {
+	order []int
+	next  int64
+}
+
+// NewFIFO builds a queue that pops the given order front to back.
+func NewFIFO(order []int) Queue {
+	return &fifo{order: order}
+}
+
+func (q *fifo) Pop() (int, bool) {
+	i := atomic.AddInt64(&q.next, 1) - 1
+	if i >= int64(len(q.order)) {
+		return 0, false
+	}
+	return q.order[i], true
+}
+
+func (q *fifo) Len() int { return len(q.order) }
+
+// SequentialOrder returns 0..n-1: ascending partition indices, the
+// insertion order of the original PR* and CPR* implementations. Because
+// consecutive partitions are consecutive in virtual memory, the first
+// |threads| tasks popped all read from the same NUMA region.
+func SequentialOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// RoundRobinOrder reorders task ids so consecutive pops come from
+// different NUMA nodes (Section 6.2: "we insert co-partitions into the
+// task queue in a round-robin manner"). nodeOf maps a task to the node
+// holding its data. Within a node, the original relative order is kept.
+func RoundRobinOrder(n int, nodes int, nodeOf func(task int) int) []int {
+	perNode := make([][]int, nodes)
+	for i := 0; i < n; i++ {
+		nd := nodeOf(i)
+		if nd < 0 || nd >= nodes {
+			nd = 0
+		}
+		perNode[nd] = append(perNode[nd], i)
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		for nd := 0; nd < nodes; nd++ {
+			if len(perNode[nd]) > 0 {
+				order = append(order, perNode[nd][0])
+				perNode[nd] = perNode[nd][1:]
+			}
+		}
+	}
+	return order
+}
+
+// PerNodeQueues is the alternative mentioned in Section 6.2: one queue
+// per NUMA region, workers prefer their own node's queue and steal from
+// others once it drains.
+type PerNodeQueues struct {
+	queues []Queue
+}
+
+// NewPerNodeQueues partitions tasks by node into per-node FIFO queues.
+func NewPerNodeQueues(n int, nodes int, nodeOf func(task int) int) *PerNodeQueues {
+	perNode := make([][]int, nodes)
+	for i := 0; i < n; i++ {
+		nd := nodeOf(i)
+		if nd < 0 || nd >= nodes {
+			nd = 0
+		}
+		perNode[nd] = append(perNode[nd], i)
+	}
+	qs := make([]Queue, nodes)
+	for nd := range qs {
+		qs[nd] = NewFIFO(perNode[nd])
+	}
+	return &PerNodeQueues{queues: qs}
+}
+
+// Pop returns the next task for a worker on the given node, stealing
+// from subsequent nodes when the local queue is empty.
+func (p *PerNodeQueues) Pop(node int) (int, bool) {
+	nodes := len(p.queues)
+	for i := 0; i < nodes; i++ {
+		if id, ok := p.queues[(node+i)%nodes].Pop(); ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the total task count.
+func (p *PerNodeQueues) Len() int {
+	n := 0
+	for _, q := range p.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// RunWorkers starts `threads` goroutines executing fn(worker) and waits
+// for all of them — the fork/join primitive of every parallel phase.
+func RunWorkers(threads int, fn func(worker int)) {
+	if threads <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package tpch
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce sync.Once
+	benchTB   *Tables
+)
+
+func benchTables(b *testing.B) *Tables {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchTB, err = Generate(Config{ScaleFactor: 0.1, Seed: 1, ShipSelectivity: 0.0357})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchTB
+}
+
+func BenchmarkQ19(b *testing.B) {
+	tb := benchTables(b)
+	for _, algo := range []string{"NOP", "NOPA", "CPRL", "CPRA"} {
+		b.Run(algo, func(b *testing.B) {
+			b.SetBytes(int64(tb.Lineitem.NumTuples) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunQ19(tb, algo, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQ19Compacted(b *testing.B) {
+	tb := benchTables(b)
+	for _, algo := range []string{"CPRL", "CPRA"} {
+		b.Run(algo, func(b *testing.B) {
+			b.SetBytes(int64(tb.Lineitem.NumTuples) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunQ19Compacted(tb, algo, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{ScaleFactor: 0.05, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterLineitem(b *testing.B) {
+	tb := benchTables(b)
+	b.SetBytes(int64(tb.Lineitem.NumTuples) * 8)
+	for i := 0; i < b.N; i++ {
+		FilterLineitem(tb.Lineitem)
+	}
+}

@@ -1,0 +1,254 @@
+// Package tpch emulates the column-store TPC-H environment of Section 8:
+// the Part and Lineitem tables restricted to the columns Query 19
+// touches (Listing 2), dictionary-compressed string columns, the Q19
+// predicates (Listing 3), and pipelined query executors in the style of
+// Listing 4 for the NOP, NOPA, CPRL and CPRA joins — plus the
+// microbenchmark-to-query morphing variants of Appendix G and the
+// selectivity scaling of Appendix E.
+package tpch
+
+import (
+	"fmt"
+
+	"mmjoin/internal/tuple"
+)
+
+// Dictionary codes for the string columns. Only the values Q19 touches
+// get distinguished codes; the remaining TPC-H values share the
+// distribution but are interchangeable for this query.
+const (
+	// l_shipinstruct (4 TPC-H values).
+	ShipInstructDeliverInPerson uint8 = iota
+	ShipInstructCollectCOD
+	ShipInstructNone
+	ShipInstructTakeBackReturn
+	shipInstructCount
+)
+
+const (
+	// l_shipmode (7 TPC-H values).
+	ShipModeAir uint8 = iota
+	ShipModeAirReg
+	ShipModeMail
+	ShipModeShip
+	ShipModeTruck
+	ShipModeRail
+	ShipModeFob
+	shipModeCount
+)
+
+// Brand codes: TPC-H has 25 brands "Brand#MN", M,N in 1..5. Brand#12,
+// Brand#23 and Brand#34 are the ones Q19 names.
+const (
+	Brand12    uint8 = 1*5 + 2 - 6 // Brand#MN -> (M-1)*5 + (N-1)
+	Brand23    uint8 = 2*5 + 3 - 6
+	Brand34    uint8 = 3*5 + 4 - 6
+	brandCount       = 25
+)
+
+// Container codes: 40 TPC-H combinations of {SM, MED, LG, JUMBO, WRAP} x
+// {CASE, BOX, BAG, JAR, PKG, PACK, CAN, DRUM}.
+const (
+	containerSizes = 5
+	containerKinds = 8
+	containerCount = containerSizes * containerKinds
+)
+
+// Container returns the dictionary code of a container combination.
+func Container(size, kind int) uint8 { return uint8(size*containerKinds + kind) }
+
+// The container groups each Q19 branch accepts (SM CASE/BOX/PACK/PKG
+// etc.). Kind indices: CASE=0, BOX=1, BAG=2, JAR=3, PKG=4, PACK=5,
+// CAN=6, DRUM=7; size indices: SM=0, MED=1, LG=2, JUMBO=3, WRAP=4.
+var (
+	smContainers  = []uint8{Container(0, 0), Container(0, 1), Container(0, 5), Container(0, 4)}
+	medContainers = []uint8{Container(1, 2), Container(1, 1), Container(1, 4), Container(1, 5)}
+	lgContainers  = []uint8{Container(2, 0), Container(2, 1), Container(2, 5), Container(2, 4)}
+)
+
+// LineitemTable is the struct-of-arrays layout of Listing 2.
+type LineitemTable struct {
+	NumTuples     int
+	ExtendedPrice []float32
+	Discount      []float32
+	// PartKey is the l_partkey column as <key, rowID> pairs, ready to
+	// feed the join implementations (Section 8).
+	PartKey      []tuple.Tuple
+	Quantity     []uint32
+	ShipMode     []uint8
+	ShipInstruct []uint8
+}
+
+// PartTable is the struct-of-arrays layout of Listing 2.
+type PartTable struct {
+	NumTuples int
+	PartKey   []tuple.Tuple
+	Brand     []uint8
+	Container []uint8
+	Size      []uint32
+}
+
+// Config controls table generation.
+type Config struct {
+	// ScaleFactor follows TPC-H: SF s means 200,000*s parts and
+	// 6,000,000*s lineitems. Fractional factors are allowed.
+	ScaleFactor float64
+	// Seed makes generation deterministic.
+	Seed uint64
+	// ShipSelectivity overrides the natural frequency of the pushed-down
+	// lineitem predicate (shipmode AIR/AIR REG and DELIVER IN PERSON).
+	// 0 keeps TPC-H's natural rate (2/7 * 1/4 ≈ 7.1%); Appendix E's
+	// sweep sets explicit values in (0, 1].
+	ShipSelectivity float64
+}
+
+// Tables bundles the generated pair.
+type Tables struct {
+	Lineitem *LineitemTable
+	Part     *PartTable
+}
+
+// rng is the same splitmix64 generator the workload generators use.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int        { return int(r.next() % uint64(n)) }
+func (r *rng) float32() float32      { return float32(r.next()>>40) / float32(1<<24) }
+func (r *rng) chance(p float64) bool { return float64(r.next()>>11)/float64(1<<53) < p }
+
+// Generate builds the two tables. The Part table is generated in sorted
+// primary-key order (the paper points out dbgen does this, which gives
+// NOPA an ideal sequential build pattern).
+func Generate(c Config) (*Tables, error) {
+	if c.ScaleFactor <= 0 {
+		return nil, fmt.Errorf("tpch: scale factor must be positive, got %g", c.ScaleFactor)
+	}
+	parts := int(200_000 * c.ScaleFactor)
+	lineitems := int(6_000_000 * c.ScaleFactor)
+	if parts < 1 || lineitems < 1 {
+		return nil, fmt.Errorf("tpch: scale factor %g too small", c.ScaleFactor)
+	}
+	r := newRNG(c.Seed)
+
+	p := &PartTable{
+		NumTuples: parts,
+		PartKey:   make([]tuple.Tuple, parts),
+		Brand:     make([]uint8, parts),
+		Container: make([]uint8, parts),
+		Size:      make([]uint32, parts),
+	}
+	for i := 0; i < parts; i++ {
+		p.PartKey[i] = tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)}
+		p.Brand[i] = uint8(r.intn(brandCount))
+		p.Container[i] = uint8(r.intn(containerCount))
+		p.Size[i] = uint32(r.intn(50)) + 1
+	}
+
+	l := &LineitemTable{
+		NumTuples:     lineitems,
+		ExtendedPrice: make([]float32, lineitems),
+		Discount:      make([]float32, lineitems),
+		PartKey:       make([]tuple.Tuple, lineitems),
+		Quantity:      make([]uint32, lineitems),
+		ShipMode:      make([]uint8, lineitems),
+		ShipInstruct:  make([]uint8, lineitems),
+	}
+	for i := 0; i < lineitems; i++ {
+		l.PartKey[i] = tuple.Tuple{Key: tuple.Key(r.intn(parts)), Payload: tuple.Payload(i)}
+		l.Quantity[i] = uint32(r.intn(50)) + 1
+		l.Discount[i] = float32(r.intn(11)) / 100
+		l.ExtendedPrice[i] = 900 + r.float32()*104000
+		if c.ShipSelectivity > 0 {
+			// Appendix E: force the pushed-down predicate to pass with
+			// exactly the requested probability.
+			if r.chance(c.ShipSelectivity) {
+				l.ShipInstruct[i] = ShipInstructDeliverInPerson
+				if r.intn(2) == 0 {
+					l.ShipMode[i] = ShipModeAir
+				} else {
+					l.ShipMode[i] = ShipModeAirReg
+				}
+			} else {
+				l.ShipInstruct[i] = ShipInstructCollectCOD + uint8(r.intn(int(shipInstructCount)-1))
+				l.ShipMode[i] = ShipModeMail + uint8(r.intn(int(shipModeCount)-2))
+			}
+		} else {
+			l.ShipInstruct[i] = uint8(r.intn(int(shipInstructCount)))
+			l.ShipMode[i] = uint8(r.intn(int(shipModeCount)))
+		}
+	}
+	return &Tables{Lineitem: l, Part: p}, nil
+}
+
+// PreJoin is the pushed-down lineitem predicate of Listing 3.
+func PreJoin(l *LineitemTable, rowID int) bool {
+	return l.ShipInstruct[rowID] == ShipInstructDeliverInPerson &&
+		(l.ShipMode[rowID] == ShipModeAir || l.ShipMode[rowID] == ShipModeAirReg)
+}
+
+// PostJoin is the residual Q19 predicate of Listing 3, evaluated after
+// the join over reconstructed tuples.
+func PostJoin(l *LineitemTable, p *PartTable, rowIDL, rowIDP int) bool {
+	brand := p.Brand[rowIDP]
+	container := p.Container[rowIDP]
+	quantity := l.Quantity[rowIDL]
+	size := p.Size[rowIDP]
+	switch brand {
+	case Brand12:
+		return containsContainer(smContainers, container) &&
+			quantity >= 1 && quantity <= 1+10 && 1 <= size && size <= 5
+	case Brand23:
+		return containsContainer(medContainers, container) &&
+			quantity >= 10 && quantity <= 10+10 && 1 <= size && size <= 10
+	case Brand34:
+		return containsContainer(lgContainers, container) &&
+			quantity >= 20 && quantity <= 20+10 && 1 <= size && size <= 15
+	}
+	return false
+}
+
+func containsContainer(set []uint8, c uint8) bool {
+	for _, v := range set {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterLineitem materializes the pre-filtered, pre-materialized probe
+// input the micro-benchmarks receive: the <partkey, rowID> pairs of all
+// lineitems passing the pushed-down predicate.
+func FilterLineitem(l *LineitemTable) tuple.Relation {
+	out := make(tuple.Relation, 0, l.NumTuples/8)
+	for i := 0; i < l.NumTuples; i++ {
+		if PreJoin(l, i) {
+			out = append(out, l.PartKey[i])
+		}
+	}
+	return out
+}
+
+// Selectivity reports the fraction of lineitems passing the pushed-down
+// predicate.
+func Selectivity(l *LineitemTable) float64 {
+	if l.NumTuples == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < l.NumTuples; i++ {
+		if PreJoin(l, i) {
+			n++
+		}
+	}
+	return float64(n) / float64(l.NumTuples)
+}

@@ -1,0 +1,285 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+)
+
+func testTables(t *testing.T) *Tables {
+	t.Helper()
+	tb, err := Generate(Config{ScaleFactor: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestGenerateSizes(t *testing.T) {
+	tb := testTables(t)
+	if tb.Part.NumTuples != 2000 {
+		t.Fatalf("parts = %d", tb.Part.NumTuples)
+	}
+	if tb.Lineitem.NumTuples != 60000 {
+		t.Fatalf("lineitems = %d", tb.Lineitem.NumTuples)
+	}
+	if _, err := Generate(Config{ScaleFactor: 0}); err == nil {
+		t.Fatal("zero scale factor accepted")
+	}
+}
+
+func TestPartKeysSortedDense(t *testing.T) {
+	tb := testTables(t)
+	for i, tp := range tb.Part.PartKey {
+		if int(tp.Key) != i || int(tp.Payload) != i {
+			t.Fatalf("part key %d = %v; dbgen order is sorted dense", i, tp)
+		}
+	}
+}
+
+func TestLineitemReferencesParts(t *testing.T) {
+	tb := testTables(t)
+	for i, tp := range tb.Lineitem.PartKey {
+		if int(tp.Key) >= tb.Part.NumTuples {
+			t.Fatalf("lineitem %d references part %d", i, tp.Key)
+		}
+		if int(tp.Payload) != i {
+			t.Fatalf("lineitem %d payload %d is not its row id", i, tp.Payload)
+		}
+	}
+}
+
+func TestColumnDomains(t *testing.T) {
+	tb := testTables(t)
+	l, p := tb.Lineitem, tb.Part
+	for i := 0; i < l.NumTuples; i++ {
+		if l.Quantity[i] < 1 || l.Quantity[i] > 50 {
+			t.Fatalf("quantity %d", l.Quantity[i])
+		}
+		if l.Discount[i] < 0 || l.Discount[i] > 0.10001 {
+			t.Fatalf("discount %g", l.Discount[i])
+		}
+		if l.ShipMode[i] >= shipModeCount || l.ShipInstruct[i] >= shipInstructCount {
+			t.Fatal("dictionary code out of range")
+		}
+	}
+	for i := 0; i < p.NumTuples; i++ {
+		if p.Size[i] < 1 || p.Size[i] > 50 {
+			t.Fatalf("size %d", p.Size[i])
+		}
+		if p.Brand[i] >= brandCount || p.Container[i] >= containerCount {
+			t.Fatal("dictionary code out of range")
+		}
+	}
+}
+
+func TestNaturalSelectivityNearSevenPercent(t *testing.T) {
+	tb := testTables(t)
+	sel := Selectivity(tb.Lineitem)
+	// 1/4 * 2/7 ≈ 7.14%.
+	if sel < 0.05 || sel > 0.09 {
+		t.Fatalf("natural pushdown selectivity = %.4f", sel)
+	}
+}
+
+func TestShipSelectivityOverride(t *testing.T) {
+	for _, want := range []float64{0.0357, 0.2, 0.8} {
+		tb, err := Generate(Config{ScaleFactor: 0.01, Seed: 9, ShipSelectivity: want})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Selectivity(tb.Lineitem)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("selectivity = %.4f, want %.4f", got, want)
+		}
+	}
+}
+
+func TestFilterLineitemMatchesPreJoin(t *testing.T) {
+	tb := testTables(t)
+	f := FilterLineitem(tb.Lineitem)
+	want := int(Selectivity(tb.Lineitem) * float64(tb.Lineitem.NumTuples))
+	if math.Abs(float64(len(f)-want)) > 1 {
+		t.Fatalf("filtered %d rows, selectivity says %d", len(f), want)
+	}
+	for _, tp := range f {
+		if !PreJoin(tb.Lineitem, int(tp.Payload)) {
+			t.Fatal("filtered row fails the predicate")
+		}
+	}
+}
+
+func TestPostJoinBranches(t *testing.T) {
+	l := &LineitemTable{NumTuples: 3,
+		Quantity: []uint32{5, 15, 25},
+	}
+	p := &PartTable{NumTuples: 3,
+		Brand:     []uint8{Brand12, Brand23, Brand34},
+		Container: []uint8{smContainers[0], medContainers[1], lgContainers[2]},
+		Size:      []uint32{3, 8, 12},
+	}
+	for i := 0; i < 3; i++ {
+		if !PostJoin(l, p, i, i) {
+			t.Fatalf("branch %d should match", i)
+		}
+	}
+	// Wrong quantity for the brand.
+	if PostJoin(l, p, 2, 0) {
+		t.Fatal("quantity 25 matched Brand#12 branch")
+	}
+	// Unnamed brand never matches.
+	p.Brand[0] = Brand12 + 1
+	if PostJoin(l, p, 0, 0) {
+		t.Fatal("non-Q19 brand matched")
+	}
+}
+
+func TestQ19ExecutorsAgreeWithReference(t *testing.T) {
+	tb := testTables(t)
+	ref := ReferenceQ19(tb)
+	if ref.JoinCandidates == 0 {
+		t.Fatal("degenerate workload: no candidates")
+	}
+	for _, algo := range []string{"NOP", "NOPA", "CPRL", "CPRA"} {
+		for _, threads := range []int{1, 4} {
+			res, err := RunQ19(tb, algo, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.JoinCandidates != ref.JoinCandidates {
+				t.Fatalf("%s/%dthr: matches %d/%d, want %d/%d", algo, threads,
+					res.Matches, res.JoinCandidates, ref.Matches, ref.JoinCandidates)
+			}
+			if math.Abs(res.Revenue-ref.Revenue) > math.Abs(ref.Revenue)*1e-9 {
+				t.Fatalf("%s: revenue %.2f, want %.2f", algo, res.Revenue, ref.Revenue)
+			}
+			if res.Total <= 0 {
+				t.Fatalf("%s: no time measured", algo)
+			}
+		}
+	}
+}
+
+func TestQ19UnknownAlgorithm(t *testing.T) {
+	tb := testTables(t)
+	if _, err := RunQ19(tb, "MWAY", 2); err == nil {
+		t.Fatal("executor for unsupported algorithm")
+	}
+}
+
+func TestMorphVariants(t *testing.T) {
+	tb := testTables(t)
+	ref := ReferenceQ19(tb)
+	for variant := MorphPrefiltered; variant <= MorphPipelined; variant++ {
+		res, err := RunMorph(tb, variant, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.JoinCandidates != ref.JoinCandidates {
+			t.Fatalf("variant %d: candidates %d, want %d", variant, res.JoinCandidates, ref.JoinCandidates)
+		}
+		switch variant {
+		case MorphIndexThenFinish, MorphPipelined:
+			if res.Matches != ref.Matches {
+				t.Fatalf("variant %d: matches %d, want %d", variant, res.Matches, ref.Matches)
+			}
+			if math.Abs(res.Revenue-ref.Revenue) > math.Abs(ref.Revenue)*1e-9 {
+				t.Fatalf("variant %d: revenue %.2f, want %.2f", variant, res.Revenue, ref.Revenue)
+			}
+		default:
+			if res.Revenue != 0 || res.Matches != 0 {
+				t.Fatalf("variant %d should stop before aggregation", variant)
+			}
+		}
+	}
+	if _, err := RunMorph(tb, 0, 2); err == nil {
+		t.Fatal("invalid variant accepted")
+	}
+}
+
+func TestMorphPipelineEqualsQ19NOP(t *testing.T) {
+	tb := testTables(t)
+	a, err := RunMorph(tb, MorphPipelined, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunQ19(tb, "NOP", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Matches != b.Matches || math.Abs(a.Revenue-b.Revenue) > 1e-6 {
+		t.Fatalf("morph 5 (%d, %.2f) != Q19 NOP (%d, %.2f)",
+			a.Matches, a.Revenue, b.Matches, b.Revenue)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{ScaleFactor: 0.01, Seed: 5})
+	b, _ := Generate(Config{ScaleFactor: 0.01, Seed: 5})
+	ra, rb := ReferenceQ19(a), ReferenceQ19(b)
+	if ra.Revenue != rb.Revenue || ra.Matches != rb.Matches {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestContainerCodesDisjoint(t *testing.T) {
+	seen := map[uint8]bool{}
+	for _, set := range [][]uint8{smContainers, medContainers, lgContainers} {
+		for _, c := range set {
+			if seen[c] {
+				t.Fatalf("container code %d reused across branches", c)
+			}
+			seen[c] = true
+			if int(c) >= containerCount {
+				t.Fatalf("container code %d out of dictionary", c)
+			}
+		}
+	}
+}
+
+func TestBrandCodesDistinct(t *testing.T) {
+	if Brand12 == Brand23 || Brand23 == Brand34 || Brand12 == Brand34 {
+		t.Fatal("brand codes collide")
+	}
+	if Brand12 >= brandCount || Brand23 >= brandCount || Brand34 >= brandCount {
+		t.Fatal("brand codes out of dictionary")
+	}
+}
+
+func TestQ19CompactedAgreesWithReference(t *testing.T) {
+	tb := testTables(t)
+	ref := ReferenceQ19(tb)
+	for _, algo := range []string{"CPRL", "CPRA"} {
+		res, err := RunQ19Compacted(tb, algo, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != ref.Matches || res.JoinCandidates != ref.JoinCandidates {
+			t.Fatalf("%s compacted: matches %d/%d, want %d/%d", algo,
+				res.Matches, res.JoinCandidates, ref.Matches, ref.JoinCandidates)
+		}
+		if math.Abs(res.Revenue-ref.Revenue) > math.Abs(ref.Revenue)*1e-9 {
+			t.Fatalf("%s compacted: revenue %.2f, want %.2f", algo, res.Revenue, ref.Revenue)
+		}
+	}
+	if _, err := RunQ19Compacted(tb, "NOP", 4); err == nil {
+		t.Fatal("compacted executor accepted NOP")
+	}
+}
+
+func TestQ19ZeroThreadsClamps(t *testing.T) {
+	tb := testTables(t)
+	res, err := RunQ19(tb, "NOP", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ReferenceQ19(tb)
+	if res.Matches != ref.Matches {
+		t.Fatalf("matches %d, want %d", res.Matches, ref.Matches)
+	}
+	if _, err := RunMorph(tb, MorphPipelined, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunQ19Compacted(tb, "CPRL", 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package tuple defines the relational building blocks shared by every
+// join algorithm in this repository: the 8-byte <Key, Payload> tuple used
+// throughout the paper, relations as flat tuple slices, and helpers for
+// splitting relations into per-thread chunks.
+//
+// The layout follows the experimental setup of Schuh et al. (SIGMOD 2016,
+// Section 7.1): a 4-byte integer join key and a 4-byte integer payload,
+// stored column-agnostic as an array of pairs. Keeping the tuple at
+// exactly 8 bytes means 8 tuples fit in one 64-byte cache line, which the
+// software write-combine buffers in internal/radix rely on.
+package tuple
+
+import "fmt"
+
+// Key is the 4-byte join key domain used by all algorithms.
+type Key = uint32
+
+// Payload is the 4-byte payload carried next to each key. In the TPC-H
+// experiments it holds a row id used for late materialization.
+type Payload = uint32
+
+// Tuple is one <Key, Payload> pair. It is exactly 8 bytes so that
+// TuplesPerCacheLine tuples fill one cache line.
+type Tuple struct {
+	Key     Key
+	Payload Payload
+}
+
+// CacheLineBytes is the cache line size assumed by the buffered
+// partitioning code and the memory-hierarchy simulator.
+const CacheLineBytes = 64
+
+// Bytes is the size of one Tuple in memory.
+const Bytes = 8
+
+// TuplesPerCacheLine is the number of tuples that fit in one cache line;
+// it is the flush granularity of the software write-combine buffers.
+const TuplesPerCacheLine = CacheLineBytes / Bytes
+
+// Relation is a flat, in-memory relation of tuples. The slice layout is
+// the column-store <key,payload> pair representation from the paper.
+type Relation []Tuple
+
+// NewRelation allocates a relation of n tuples in one contiguous block.
+func NewRelation(n int) Relation { return make(Relation, n) }
+
+// Len returns the number of tuples in the relation.
+func (r Relation) Len() int { return len(r) }
+
+// SizeBytes returns the in-memory footprint of the relation.
+func (r Relation) SizeBytes() int64 { return int64(len(r)) * Bytes }
+
+// Chunk is a half-open tuple index range [Begin, End) of a relation,
+// typically the share of one worker thread.
+type Chunk struct {
+	Begin int
+	End   int
+}
+
+// Len returns the number of tuples covered by the chunk.
+func (c Chunk) Len() int { return c.End - c.Begin }
+
+// Chunks splits n tuples into parts near-equal chunks. The first n%parts
+// chunks are one tuple longer, so the sizes differ by at most one and
+// every tuple is covered exactly once. parts must be >= 1.
+func Chunks(n, parts int) []Chunk {
+	if parts < 1 {
+		panic(fmt.Sprintf("tuple: Chunks called with parts=%d", parts))
+	}
+	out := make([]Chunk, parts)
+	base := n / parts
+	extra := n % parts
+	pos := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Chunk{Begin: pos, End: pos + size}
+		pos += size
+	}
+	return out
+}
+
+// JoinResult accumulates the output of a join. The paper's throughput
+// metric only needs the match count, but the TPC-H executors and the
+// correctness tests need materialized pairs, so both modes are supported.
+type JoinResult struct {
+	// Matches is the number of joined output tuples.
+	Matches int64
+	// Pairs holds materialized <build payload, probe payload> matches
+	// when the join ran in materializing mode, nil otherwise.
+	Pairs []Pair
+}
+
+// Pair is one materialized join match: the payloads of the two sides.
+type Pair struct {
+	BuildPayload Payload
+	ProbePayload Payload
+}
+
+// Collector receives join matches. Implementations must be safe for use
+// by a single goroutine; each worker thread owns one Collector and the
+// results are merged afterwards.
+type Collector interface {
+	// Emit records one match between a build-side and probe-side tuple.
+	Emit(buildPayload, probePayload Payload)
+	// Result returns what the collector accumulated.
+	Result() JoinResult
+}
+
+// CountingCollector counts matches and additionally checksums the payload
+// pairs so that two algorithms can be compared for identical output
+// without materializing it.
+type CountingCollector struct {
+	matches  int64
+	checksum uint64
+}
+
+// Emit implements Collector.
+func (c *CountingCollector) Emit(buildPayload, probePayload Payload) {
+	c.matches++
+	// Order-independent checksum: addition commutes, so two runs that
+	// emit the same multiset of pairs in different orders agree.
+	c.checksum += uint64(buildPayload)<<32 | uint64(probePayload)
+}
+
+// Result implements Collector.
+func (c *CountingCollector) Result() JoinResult {
+	return JoinResult{Matches: c.matches}
+}
+
+// Checksum returns the order-independent checksum over all emitted pairs.
+func (c *CountingCollector) Checksum() uint64 { return c.checksum }
+
+// Matches returns the number of matches emitted so far.
+func (c *CountingCollector) Matches() int64 { return c.matches }
+
+// MaterializingCollector stores every match. Used by correctness tests
+// and by the TPC-H join-index variants.
+type MaterializingCollector struct {
+	pairs []Pair
+}
+
+// Emit implements Collector.
+func (c *MaterializingCollector) Emit(buildPayload, probePayload Payload) {
+	c.pairs = append(c.pairs, Pair{BuildPayload: buildPayload, ProbePayload: probePayload})
+}
+
+// Result implements Collector.
+func (c *MaterializingCollector) Result() JoinResult {
+	return JoinResult{Matches: int64(len(c.pairs)), Pairs: c.pairs}
+}
+
+// MergeResults combines per-worker results into one. Pair order across
+// workers is the worker order, which is deterministic for a fixed thread
+// count.
+func MergeResults(parts []JoinResult) JoinResult {
+	var total JoinResult
+	for _, p := range parts {
+		total.Matches += p.Matches
+		total.Pairs = append(total.Pairs, p.Pairs...)
+	}
+	return total
+}

@@ -1,0 +1,164 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestTupleIsEightBytes(t *testing.T) {
+	if got := unsafe.Sizeof(Tuple{}); got != Bytes {
+		t.Fatalf("Tuple size = %d, want %d", got, Bytes)
+	}
+}
+
+func TestTuplesPerCacheLine(t *testing.T) {
+	if TuplesPerCacheLine != 8 {
+		t.Fatalf("TuplesPerCacheLine = %d, want 8", TuplesPerCacheLine)
+	}
+}
+
+func TestChunksExact(t *testing.T) {
+	cs := Chunks(10, 2)
+	if len(cs) != 2 {
+		t.Fatalf("len = %d, want 2", len(cs))
+	}
+	if cs[0] != (Chunk{0, 5}) || cs[1] != (Chunk{5, 10}) {
+		t.Fatalf("chunks = %v", cs)
+	}
+}
+
+func TestChunksRemainderSpread(t *testing.T) {
+	cs := Chunks(11, 4)
+	wantLens := []int{3, 3, 3, 2}
+	for i, c := range cs {
+		if c.Len() != wantLens[i] {
+			t.Fatalf("chunk %d len = %d, want %d (%v)", i, c.Len(), wantLens[i], cs)
+		}
+	}
+}
+
+func TestChunksMorePartsThanTuples(t *testing.T) {
+	cs := Chunks(2, 5)
+	total := 0
+	for _, c := range cs {
+		if c.Len() < 0 {
+			t.Fatalf("negative chunk %v", c)
+		}
+		total += c.Len()
+	}
+	if total != 2 {
+		t.Fatalf("coverage = %d, want 2", total)
+	}
+}
+
+func TestChunksZeroTuples(t *testing.T) {
+	cs := Chunks(0, 3)
+	for _, c := range cs {
+		if c.Len() != 0 {
+			t.Fatalf("chunk %v not empty", c)
+		}
+	}
+}
+
+func TestChunksPanicsOnZeroParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chunks(1, 0) did not panic")
+		}
+	}()
+	Chunks(1, 0)
+}
+
+// Property: chunks always tile [0,n) contiguously with sizes differing by
+// at most one.
+func TestChunksProperty(t *testing.T) {
+	f := func(n uint16, parts uint8) bool {
+		p := int(parts%64) + 1
+		cs := Chunks(int(n), p)
+		if len(cs) != p {
+			return false
+		}
+		pos := 0
+		minLen, maxLen := int(n)+1, -1
+		for _, c := range cs {
+			if c.Begin != pos || c.End < c.Begin {
+				return false
+			}
+			pos = c.End
+			if c.Len() < minLen {
+				minLen = c.Len()
+			}
+			if c.Len() > maxLen {
+				maxLen = c.Len()
+			}
+		}
+		return pos == int(n) && maxLen-minLen <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingCollector(t *testing.T) {
+	var c CountingCollector
+	c.Emit(1, 2)
+	c.Emit(3, 4)
+	if c.Matches() != 2 {
+		t.Fatalf("matches = %d, want 2", c.Matches())
+	}
+	if got := c.Result().Matches; got != 2 {
+		t.Fatalf("result matches = %d, want 2", got)
+	}
+}
+
+func TestCountingChecksumOrderIndependent(t *testing.T) {
+	var a, b CountingCollector
+	a.Emit(1, 2)
+	a.Emit(3, 4)
+	b.Emit(3, 4)
+	b.Emit(1, 2)
+	if a.Checksum() != b.Checksum() {
+		t.Fatalf("checksums differ: %d vs %d", a.Checksum(), b.Checksum())
+	}
+}
+
+func TestCountingChecksumDistinguishesPairs(t *testing.T) {
+	var a, b CountingCollector
+	a.Emit(1, 2)
+	b.Emit(2, 1)
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksum failed to distinguish swapped payloads")
+	}
+}
+
+func TestMaterializingCollector(t *testing.T) {
+	var c MaterializingCollector
+	c.Emit(7, 8)
+	res := c.Result()
+	if res.Matches != 1 || len(res.Pairs) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Pairs[0] != (Pair{7, 8}) {
+		t.Fatalf("pair = %+v", res.Pairs[0])
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	r1 := JoinResult{Matches: 2, Pairs: []Pair{{1, 1}, {2, 2}}}
+	r2 := JoinResult{Matches: 1, Pairs: []Pair{{3, 3}}}
+	m := MergeResults([]JoinResult{r1, r2})
+	if m.Matches != 3 || len(m.Pairs) != 3 {
+		t.Fatalf("merged = %+v", m)
+	}
+}
+
+func TestRelationSizeBytes(t *testing.T) {
+	r := NewRelation(100)
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.SizeBytes() != 800 {
+		t.Fatalf("bytes = %d", r.SizeBytes())
+	}
+}

@@ -1,0 +1,80 @@
+package mmjoin_test
+
+import (
+	"testing"
+
+	"mmjoin"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w, err := mmjoin.Generate(mmjoin.WorkloadConfig{BuildSize: 1 << 10, ProbeSize: 1 << 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mmjoin.Names()) != 13 || len(mmjoin.Algorithms()) != 13 {
+		t.Fatal("facade does not expose thirteen algorithms")
+	}
+	var matches []int64
+	for _, name := range mmjoin.Names() {
+		algo, err := mmjoin.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := algo.Run(w.Build, w.Probe, &mmjoin.Options{Threads: 4, Domain: w.Domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches = append(matches, res.Matches)
+	}
+	for i := 1; i < len(matches); i++ {
+		if matches[i] != matches[0] {
+			t.Fatalf("algorithms disagree through the facade: %v", matches)
+		}
+	}
+}
+
+func TestFacadeClasses(t *testing.T) {
+	if mmjoin.MustNew("NOP").Class() != mmjoin.NoPartition {
+		t.Fatal("NOP class")
+	}
+	if mmjoin.MustNew("CPRL").Class() != mmjoin.Partition {
+		t.Fatal("CPRL class")
+	}
+	if mmjoin.MustNew("MWAY").Class() != mmjoin.SortMerge {
+		t.Fatal("MWAY class")
+	}
+}
+
+func TestFacadeRecommend(t *testing.T) {
+	rec := mmjoin.Recommend(mmjoin.WorkloadProfile{
+		BuildTuples: 64 << 20, ProbeTuples: 640 << 20, KeysDense: true, Threads: 32,
+	})
+	if _, err := mmjoin.New(rec.Algorithm); err != nil {
+		t.Fatalf("advisor recommended unknown algorithm: %v", err)
+	}
+	if len(rec.Rationale) == 0 {
+		t.Fatal("no rationale")
+	}
+}
+
+func TestFacadeNewUnknown(t *testing.T) {
+	if _, err := mmjoin.New("BOGUS"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(mmjoin.Experiments()) < 19 {
+		t.Fatalf("only %d experiments exposed", len(mmjoin.Experiments()))
+	}
+	rep, err := mmjoin.RunExperiment("fig1", mmjoin.ExperimentConfig{Scale: 4096, Threads: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig1" || len(rep.Rows) == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, err := mmjoin.RunExperiment("nope", mmjoin.ExperimentConfig{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
