@@ -8,6 +8,7 @@
 //	joinbench -run fig1
 //	joinbench -run all -scale 64 -threads 16
 //	joinbench -run fig10 -quick
+//	joinbench -run fig1 -json
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "trim sweeps for a fast pass")
 		repeat  = flag.Int("repeat", 1, "repeat measured joins, report the fastest")
 		format  = flag.String("format", "text", "output format: text or markdown")
+		asJSON  = flag.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
 		out     = flag.String("o", "", "write reports to a file instead of stdout")
 	)
 	flag.Parse()
@@ -68,9 +70,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "joinbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		if *format == "markdown" {
+		switch {
+		case *asJSON:
+			if err := rep.RenderJSON(dst); err != nil {
+				fmt.Fprintln(os.Stderr, "joinbench:", err)
+				os.Exit(1)
+			}
+		case *format == "markdown":
 			rep.RenderMarkdown(dst)
-		} else {
+		default:
 			rep.Render(dst)
 		}
 	}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
 	"mmjoin/internal/tuple"
 )
@@ -81,6 +83,63 @@ type Report struct {
 	Columns          []string
 	Rows             [][]string
 	Notes            []string
+	// Records holds the machine-readable per-algorithm results behind
+	// the rendered rows, for -json output.
+	Records []Record
+}
+
+// Record is one measured join run in machine-readable form.
+type Record struct {
+	Experiment string `json:"experiment"`
+	Algorithm  string `json:"algorithm"`
+	// Label distinguishes runs of the same algorithm within one
+	// experiment (radix bits, zipf factor, variant, ...).
+	Label              string      `json:"label,omitempty"`
+	Threads            int         `json:"threads"`
+	InputTuples        int64       `json:"input_tuples"`
+	Matches            int64       `json:"matches"`
+	ThroughputMPerSec  float64     `json:"throughput_mtuples_per_sec"`
+	PartitionOrBuildMs float64     `json:"partition_or_build_ms"`
+	JoinOrProbeMs      float64     `json:"join_or_probe_ms"`
+	TotalMs            float64     `json:"total_ms"`
+	Exec               *exec.Stats `json:"exec,omitempty"`
+}
+
+// addRecord captures one join result as a Record.
+func (r *Report) addRecord(name, label string, res *join.Result) {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	r.Records = append(r.Records, Record{
+		Experiment:         r.ID,
+		Algorithm:          name,
+		Label:              label,
+		Threads:            res.Threads,
+		InputTuples:        res.InputTuples,
+		Matches:            res.Matches,
+		ThroughputMPerSec:  res.ThroughputMTuplesPerSec(),
+		PartitionOrBuildMs: ms(res.BuildOrPartition),
+		JoinOrProbeMs:      ms(res.ProbeOrJoin),
+		TotalMs:            ms(res.Total),
+		Exec:               res.Exec,
+	})
+}
+
+// RenderJSON writes the report's per-algorithm records as one JSON
+// document. Experiments that only simulate (numasim/memsim rows) have no
+// measured records; their Records slice is empty.
+func (r *Report) RenderJSON(w io.Writer) error {
+	recs := r.Records
+	if recs == nil {
+		// Simulation-only experiments measure nothing; consumers still
+		// get an empty array rather than null.
+		recs = []Record{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID      string   `json:"experiment"`
+		Title   string   `json:"title"`
+		Records []Record `json:"records"`
+	}{r.ID, r.Title, recs})
 }
 
 // Render writes the report as an aligned text table.

@@ -61,6 +61,7 @@ func throughputReport(c Config, id, title, expectation string, names []string, p
 		rep.Rows = append(rep.Rows, []string{
 			name, fmtThroughput(res), fmtMillis(res.BuildOrPartition), fmtMillis(res.ProbeOrJoin),
 		})
+		rep.addRecord(name, "", res)
 	}
 	return rep, nil
 }
@@ -111,6 +112,8 @@ func runFig2(c Config) (*Report, error) {
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%d", bits), fmtThroughput(one), fmtThroughput(two),
 		})
+		rep.addRecord("PRO", fmt.Sprintf("bits=%d,1-pass", bits), one)
+		rep.addRecord("PRO", fmt.Sprintf("bits=%d,2-pass", bits), two)
 	}
 	return rep, nil
 }
@@ -141,6 +144,7 @@ func breakdownReport(c Config, id, title, expectation string, names []string) (*
 			fmtMillis(res.Total),
 			fmtThroughput(res),
 		})
+		rep.addRecord(name, "", res)
 	}
 	return rep, nil
 }

@@ -133,6 +133,7 @@ func runFig10(c Config) (*Report, error) {
 				rep.Rows = append(rep.Rows, []string{
 					tag, fmtTuples(n), algo, fmtThroughput(res), fmt.Sprintf("%d", res.Bits),
 				})
+				rep.addRecord(algo, fmt.Sprintf("%s,|R|=%s", tag, fmtTuples(n)), res)
 			}
 		}
 		return nil

@@ -54,6 +54,7 @@ func runFig15(c Config) (*Report, error) {
 				rep.Rows = append(rep.Rows, []string{
 					tag, fmt.Sprintf("%.2f", z), algo, fmtThroughput(res),
 				})
+				rep.addRecord(algo, fmt.Sprintf("%s,zipf=%.2f", tag, z), res)
 			}
 		}
 		if c.Quick {
@@ -98,6 +99,7 @@ func runFig17(c Config) (*Report, error) {
 			rep.Rows = append(rep.Rows, []string{
 				fmt.Sprintf("%d", k), algo, fmtThroughput(res), adaptive,
 			})
+			rep.addRecord(algo, fmt.Sprintf("k=%d", k), res)
 		}
 	}
 	return rep, nil

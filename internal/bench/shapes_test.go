@@ -65,11 +65,13 @@ func TestShapeNOPAdvantageShrinksWithSize(t *testing.T) {
 // Figure 2: one-pass partitioning beats two-pass at the same bit count.
 func TestShapeOnePassBeatsTwoPass(t *testing.T) {
 	w := shapeWorkload(t, 1<<18, 10<<18, 0)
-	one, err := runJoinRepeat("PRO", w, join.Options{Threads: 8, RadixBits: 8}, 3)
+	// min-of-6: the margin narrowed when the arena started recycling the
+	// two-pass intermediate buffer, so min-of-3 flips under CPU load.
+	one, err := runJoinRepeat("PRO", w, join.Options{Threads: 8, RadixBits: 8}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := runJoinRepeat("PRO", w, join.Options{Threads: 8, RadixBits: 8, ForceTwoPass: true}, 3)
+	two, err := runJoinRepeat("PRO", w, join.Options{Threads: 8, RadixBits: 8, ForceTwoPass: true}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"math/bits"
+	"sync"
+
+	"mmjoin/internal/tuple"
+)
+
+// Arena recycles the large transient buffers of a join — partition
+// output buffers, histograms, cursor arrays — across repeated
+// executions. The target workload is a server running millions of
+// small joins: without reuse every Run reallocates (and the GC
+// retires) buffers proportional to |R|+|S| per join.
+//
+// Buffers are kept in power-of-two size classes backed by sync.Pool,
+// so memory is returned to the runtime under GC pressure rather than
+// pinned forever. The zero value is ready to use; a nil *Arena
+// degrades to plain allocation.
+type Arena struct {
+	tuples [maxClass]sync.Pool // elements are *[]tuple.Tuple
+	ints   [maxClass]sync.Pool // elements are *[]int
+}
+
+// maxClass bounds the size classes at 2^47 elements — far above any
+// relation this repository can hold.
+const maxClass = 48
+
+// Shared is the process-wide arena every pool uses by default. Joins
+// running anywhere in the process recycle each other's buffers.
+var Shared = NewArena()
+
+// NewArena returns an empty private arena.
+func NewArena() *Arena { return &Arena{} }
+
+// classFor returns the smallest class c with 1<<c >= n (n >= 1).
+func classFor(n int) int { return bits.Len(uint(n - 1)) }
+
+// Tuples returns a tuple buffer of length n with arbitrary contents
+// (callers overwrite every slot; partition scatters do). The backing
+// array comes from the arena when a large-enough buffer is pooled.
+func (a *Arena) Tuples(n int) []tuple.Tuple {
+	if n == 0 {
+		return nil
+	}
+	c := classFor(n)
+	if a == nil || c >= maxClass {
+		return make([]tuple.Tuple, n)
+	}
+	if v := a.tuples[c].Get(); v != nil {
+		return (*v.(*[]tuple.Tuple))[:n]
+	}
+	return make([]tuple.Tuple, n, 1<<c)
+}
+
+// PutTuples returns a buffer to the arena. The caller must not use the
+// slice (or any alias of it) afterwards.
+func (a *Arena) PutTuples(buf []tuple.Tuple) {
+	if a == nil || cap(buf) == 0 {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a
+	// future Tuples(n) for that class always fits.
+	c := bits.Len(uint(cap(buf))) - 1
+	if c >= maxClass {
+		return
+	}
+	full := buf[:0]
+	a.tuples[c].Put(&full)
+}
+
+// Ints returns a zeroed int buffer of length n (histograms rely on
+// starting at zero).
+func (a *Arena) Ints(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	c := classFor(n)
+	if a == nil || c >= maxClass {
+		return make([]int, n)
+	}
+	if v := a.ints[c].Get(); v != nil {
+		buf := (*v.(*[]int))[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]int, n, 1<<c)
+}
+
+// PutInts returns an int buffer to the arena.
+func (a *Arena) PutInts(buf []int) {
+	if a == nil || cap(buf) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(buf))) - 1
+	if c >= maxClass {
+		return
+	}
+	full := buf[:0]
+	a.ints[c].Put(&full)
+}

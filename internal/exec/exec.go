@@ -1,0 +1,235 @@
+// Package exec is the shared execution layer under every parallel phase
+// of the thirteen joins: a cancellable morsel-driven worker pool
+// (exec.Pool), a buffer-recycling tier (exec.Arena), and per-phase
+// execution statistics (exec.Stats).
+//
+// The layering is strict: internal/sched contributes task *orders*
+// (LIFO, round-robin-by-node — the scheduling policies of Section 6.2),
+// exec contributes the *machinery* that runs them (goroutine fan-out,
+// cancellation, memory reuse, instrumentation), and internal/join wires
+// algorithm logic on top. No package outside exec spawns join
+// goroutines directly.
+//
+// Cancellation contract: every phase observes the pool's context at
+// morsel and task-pop boundaries. A cancelled pool finishes the morsel
+// in flight, joins all workers (no goroutine outlives a phase), and
+// returns ctx.Err() from the phase call.
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MorselTuples is the stride in which chunk-parallel phases walk their
+// input: large enough that the cancellation check between morsels is
+// noise, small enough that cancellation is prompt (a morsel of 8-byte
+// tuples is 512 KB of streaming work).
+const MorselTuples = 1 << 16
+
+// Queue hands out task ids to workers; implementations must be safe for
+// concurrent Pop. The queues of internal/sched satisfy it.
+type Queue interface {
+	// Pop returns the next task id, or ok=false when drained.
+	Pop() (id int, ok bool)
+	// Len returns the initial number of tasks.
+	Len() int
+}
+
+// rangeQueue hands out 0..n-1 in ascending order.
+type rangeQueue struct {
+	n    int64
+	next int64
+}
+
+// NewRange returns a queue over task ids 0..n-1 in ascending order —
+// the plain work list for phases with no scheduling policy of their
+// own.
+func NewRange(n int) Queue { return &rangeQueue{n: int64(n)} }
+
+func (q *rangeQueue) Pop() (int, bool) {
+	i := atomic.AddInt64(&q.next, 1) - 1
+	if i >= q.n {
+		return 0, false
+	}
+	return int(i), true
+}
+
+func (q *rangeQueue) Len() int { return int(q.n) }
+
+// Pool runs the phases of one join execution: a fixed worker count, a
+// context consulted at every task boundary, an arena for buffer reuse,
+// and a Stats record that accumulates one entry per phase.
+//
+// A Pool is owned by a single driver goroutine; phases run one at a
+// time (Run and RunQueue block until the phase completes or is
+// cancelled).
+type Pool struct {
+	ctx       context.Context
+	threads   int
+	arena     *Arena
+	stats     Stats
+	phaseHook func(phase string)
+}
+
+// NewPool creates a pool of `threads` workers (minimum 1) bound to ctx.
+// Buffers recycle through the process-wide Shared arena unless
+// SetArena overrides it.
+func NewPool(ctx context.Context, threads int) *Pool {
+	if threads < 1 {
+		threads = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Pool{ctx: ctx, threads: threads, arena: Shared,
+		stats: Stats{Workers: threads}}
+}
+
+// SetArena redirects buffer recycling to a private arena (tests and
+// callers that need isolated reuse accounting).
+func (p *Pool) SetArena(a *Arena) {
+	if a != nil {
+		p.arena = a
+	}
+}
+
+// SetPhaseHook installs a callback invoked with the phase name at the
+// start of every phase, before any worker runs. Used for tracing and
+// for deterministic cancellation tests.
+func (p *Pool) SetPhaseHook(fn func(phase string)) { p.phaseHook = fn }
+
+// SetQueueStrategy records the scheduling strategy of the join phase
+// (e.g. "lifo(sequential)", "lifo(round-robin)") in the stats.
+func (p *Pool) SetQueueStrategy(s string) { p.stats.Queue = s }
+
+// Threads returns the worker count.
+func (p *Pool) Threads() int { return p.threads }
+
+// Arena returns the pool's buffer arena.
+func (p *Pool) Arena() *Arena { return p.arena }
+
+// Context returns the pool's context.
+func (p *Pool) Context() context.Context { return p.ctx }
+
+// Err returns the context error, if any.
+func (p *Pool) Err() error { return p.ctx.Err() }
+
+// Stats returns the accumulated per-phase statistics. The pointer is
+// only safe to read between phases (drivers read it once, after the
+// last phase).
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// Worker is one worker's view of a running phase. Workers are handed to
+// the phase function; w.ID indexes per-worker state (chunks, sinks).
+type Worker struct {
+	// ID is the worker index in [0, Threads).
+	ID      int
+	pool    *Pool
+	tasks   int
+	counted bool
+	_       [4]byte // separate hot counters of adjacent workers
+}
+
+// Cancelled reports whether the pool's context is done. Cheap enough
+// for morsel boundaries, not for per-tuple loops.
+func (w *Worker) Cancelled() bool { return w.pool.ctx.Err() != nil }
+
+// Morsels iterates [0, n) in MorselTuples strides, calling fn(begin,
+// end) per stride with a cancellation check in between. It returns
+// false if the phase was cancelled before covering all of n. Each
+// stride counts as one executed task in the phase stats.
+func (w *Worker) Morsels(n int, fn func(begin, end int)) bool {
+	w.counted = true
+	ctx := w.pool.ctx
+	for begin := 0; begin < n; begin += MorselTuples {
+		if ctx.Err() != nil {
+			return false
+		}
+		end := begin + MorselTuples
+		if end > n {
+			end = n
+		}
+		w.tasks++
+		fn(begin, end)
+	}
+	return true
+}
+
+// Run executes fn once per worker (the fork/join shape of the
+// chunk-parallel phases) and waits for all workers. It returns the
+// context error if the pool was cancelled before or during the phase;
+// workers are expected to poll cancellation via Morsels or Cancelled.
+// With one worker the phase runs inline on the caller's goroutine.
+func (p *Pool) Run(phase string, fn func(w *Worker)) error {
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	if p.phaseHook != nil {
+		p.phaseHook(phase)
+	}
+	start := time.Now()
+	workers := make([]Worker, p.threads)
+	for i := range workers {
+		workers[i] = Worker{ID: i, pool: p}
+	}
+	if p.threads == 1 {
+		fn(&workers[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range workers {
+			wg.Add(1)
+			go func(w *Worker) {
+				defer wg.Done()
+				fn(w)
+			}(&workers[i])
+		}
+		wg.Wait()
+	}
+	p.record(phase, start, workers)
+	return p.ctx.Err()
+}
+
+// RunQueue drains q with all workers: each worker loops popping task
+// ids and calling fn until the queue is empty or the pool is cancelled.
+// Cancellation is checked before every pop, so a cancelled phase stops
+// after at most one task per worker.
+func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) error {
+	return p.Run(phase, func(w *Worker) {
+		w.counted = true
+		ctx := p.ctx
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			t, ok := q.Pop()
+			if !ok {
+				return
+			}
+			w.tasks++
+			fn(w, t)
+		}
+	})
+}
+
+// record appends the phase's stats entry.
+func (p *Pool) record(phase string, start time.Time, workers []Worker) {
+	st := PhaseStat{
+		Name:           phase,
+		Wall:           time.Since(start),
+		TasksPerWorker: make([]int, len(workers)),
+	}
+	for i := range workers {
+		n := workers[i].tasks
+		if !workers[i].counted {
+			// A plain fork/join worker that tracked no morsels still
+			// executed its one chunk.
+			n = 1
+		}
+		st.TasksPerWorker[i] = n
+		st.Tasks += n
+	}
+	p.stats.Phases = append(p.stats.Phases, st)
+}

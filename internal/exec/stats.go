@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PhaseStat is the execution record of one pool phase.
+type PhaseStat struct {
+	// Name is the phase label, e.g. "partition(R)/scatter" or "join".
+	Name string `json:"name"`
+	// Wall is the phase's wall-clock time.
+	Wall time.Duration `json:"wall_ns"`
+	// Tasks is the number of tasks (queue pops or morsels) executed.
+	Tasks int `json:"tasks"`
+	// TasksPerWorker breaks Tasks down by worker id — the load-balance
+	// view behind the paper's straggler discussion (Appendix A).
+	TasksPerWorker []int `json:"tasks_per_worker,omitempty"`
+}
+
+// Stats is the execution telemetry of one join run: every parallel
+// phase it executed, in order, plus the worker count and the join
+// phase's queue strategy. All thirteen algorithms populate it on
+// Result.Exec.
+type Stats struct {
+	// Workers is the pool's worker count.
+	Workers int `json:"workers"`
+	// Queue names the join-phase scheduling strategy ("lifo(sequential)",
+	// "lifo(round-robin)", "fifo", ...); empty for algorithms without a
+	// task queue.
+	Queue string `json:"queue,omitempty"`
+	// Phases lists one entry per executed phase, in execution order.
+	Phases []PhaseStat `json:"phases"`
+}
+
+// Phase returns the first phase with the given name, or nil.
+func (s *Stats) Phase(name string) *PhaseStat {
+	for i := range s.Phases {
+		if s.Phases[i].Name == name {
+			return &s.Phases[i]
+		}
+	}
+	return nil
+}
+
+// TotalTasks sums executed tasks over all phases.
+func (s *Stats) TotalTasks() int {
+	n := 0
+	for i := range s.Phases {
+		n += s.Phases[i].Tasks
+	}
+	return n
+}
+
+// String renders a compact one-line-per-phase summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers=%d", s.Workers)
+	if s.Queue != "" {
+		fmt.Fprintf(&b, " queue=%s", s.Queue)
+	}
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		fmt.Fprintf(&b, " %s=%.2fms/%d", p.Name, float64(p.Wall.Microseconds())/1000, p.Tasks)
+	}
+	return b.String()
+}

@@ -1,10 +1,11 @@
 package join
 
 import (
+	"context"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashtable"
-	"mmjoin/internal/sched"
 	"mmjoin/internal/tuple"
 )
 
@@ -61,12 +62,17 @@ func (j *nopChainedJoin) Description() string {
 }
 
 func (j *nopChainedJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return j.RunContext(context.Background(), build, probe, opts)
+}
+
+func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	res := &Result{
 		Algorithm:   "NOPC",
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pool := newPool(ctx, &o)
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
 	sinks := make([]sink, o.Threads)
@@ -76,24 +82,34 @@ func (j *nopChainedJoin) Run(build, probe tuple.Relation, opts *Options) (*Resul
 
 	start := time.Now()
 	ht := hashtable.NewChainedTable(len(build), o.Hash)
-	sched.RunWorkers(o.Threads, func(w int) {
-		c := buildChunks[w]
-		for _, tp := range build[c.Begin:c.End] {
-			ht.InsertConcurrent(tp)
-		}
+	err := pool.Run("build", func(w *exec.Worker) {
+		c := buildChunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			for _, tp := range build[c.Begin+begin : c.Begin+end] {
+				ht.InsertConcurrent(tp)
+			}
+		})
 	})
 	ht.FinishConcurrentBuild()
+	if err != nil {
+		return nil, err
+	}
 	buildDone := time.Now()
 
-	sched.RunWorkers(o.Threads, func(w int) {
-		s := &sinks[w]
-		c := probeChunks[w]
-		for _, tp := range probe[c.Begin:c.End] {
-			if p, ok := ht.Lookup(tp.Key); ok {
-				s.emit(p, tp.Payload)
+	err = pool.Run("probe", func(w *exec.Worker) {
+		s := &sinks[w.ID]
+		c := probeChunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+				if p, ok := ht.Lookup(tp.Key); ok {
+					s.emit(p, tp.Payload)
+				}
 			}
-		}
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = buildDone.Sub(start)
@@ -104,5 +120,6 @@ func (j *nopChainedJoin) Run(build, probe tuple.Relation, opts *Options) (*Resul
 	if o.Traffic != nil {
 		accountNoPartitionTraffic(&o, len(build), len(probe), ht.SizeBytes())
 	}
+	res.Exec = pool.Stats()
 	return res, nil
 }

@@ -1,0 +1,146 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mmjoin/internal/datagen"
+)
+
+// cancelWorkload is large enough that every algorithm runs multiple
+// morsels per phase, so a mid-phase cancellation has strides left to
+// skip.
+func cancelWorkload(t *testing.T) *datagen.Workload {
+	t.Helper()
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 18, ProbeSize: 1 << 19, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runCancelAt cancels the context the moment the named phase starts and
+// asserts the join returns ctx.Err() promptly with no Result and no
+// leaked goroutines.
+func runCancelAt(t *testing.T, algo, phase string) {
+	t.Helper()
+	w := cancelWorkload(t)
+	a, err := NewAny(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hookFired := false
+	opts := &Options{
+		Threads: 4,
+		PhaseHook: func(p string) {
+			if p == phase {
+				hookFired = true
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	res, err := a.RunContext(ctx, w.Build, w.Probe, opts)
+	elapsed := time.Since(start)
+	if !hookFired {
+		t.Fatalf("%s never entered phase %q", algo, phase)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("%s cancelled at %q: err = %v, want context.Canceled", algo, phase, err)
+	}
+	if res != nil {
+		t.Fatalf("%s returned a partial result after cancellation", algo)
+	}
+	// Prompt return: the contract allows one in-flight morsel per worker
+	// (~512 KB of streaming work each), far under a second.
+	if elapsed > 5*time.Second {
+		t.Fatalf("%s took %v to observe cancellation", algo, elapsed)
+	}
+	// No leaked goroutines: the count returns to the baseline once the
+	// pool's workers join. Poll briefly — the runtime needs a moment to
+	// retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("%s leaked goroutines: %d > baseline %d", algo, n, baseline)
+	}
+}
+
+// One algorithm per class (Table 2): PRO for the partition-based joins,
+// NOP for the no-partitioning joins, MWAY for the sort-merge joins.
+// Each is cancelled once mid-partition/build and once mid-probe/join.
+
+func TestCancelPROMidPartition(t *testing.T) {
+	runCancelAt(t, "PRO", "partition(S)/scatter")
+}
+
+func TestCancelPROMidJoin(t *testing.T) {
+	runCancelAt(t, "PRO", "join")
+}
+
+func TestCancelNOPMidBuild(t *testing.T) {
+	runCancelAt(t, "NOP", "build")
+}
+
+func TestCancelNOPMidProbe(t *testing.T) {
+	runCancelAt(t, "NOP", "probe")
+}
+
+func TestCancelMWAYMidPartition(t *testing.T) {
+	runCancelAt(t, "MWAY", "partition(S)/scatter")
+}
+
+func TestCancelMWAYMidMerge(t *testing.T) {
+	runCancelAt(t, "MWAY", "merge-join")
+}
+
+func TestCancelBeforeRun(t *testing.T) {
+	w := cancelWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"PRO", "NOP", "MWAY"} {
+		a, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.RunContext(ctx, w.Build, w.Probe, &Options{Threads: 4})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: result on pre-cancelled context", name)
+		}
+	}
+}
+
+// TestRunContextMatchesRun confirms the wrapper and the context path
+// produce identical results.
+func TestRunContextMatchesRun(t *testing.T) {
+	w := cancelWorkload(t)
+	for _, name := range []string{"PRO", "NOP", "MWAY", "CHTJ"} {
+		a, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := a.Run(w.Build, w.Probe, &Options{Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := a.RunContext(context.Background(), w.Build, w.Probe, &Options{Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Matches != r2.Matches {
+			t.Fatalf("%s: Run found %d matches, RunContext %d", name, r1.Matches, r2.Matches)
+		}
+	}
+}

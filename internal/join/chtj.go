@@ -1,10 +1,11 @@
 package join
 
 import (
+	"context"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashtable"
-	"mmjoin/internal/sched"
 	"mmjoin/internal/tuple"
 )
 
@@ -33,6 +34,10 @@ func (j *chtJoin) Class() Class        { return NoPartition }
 func (j *chtJoin) Description() string { return "Concise hash table join" }
 
 func (j *chtJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return j.RunContext(context.Background(), build, probe, opts)
+}
+
+func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	res := &Result{
 		Algorithm:   "CHTJ",
@@ -46,6 +51,8 @@ func (j *chtJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, erro
 	userHash := o.Hash
 	spread := func(k tuple.Key) uint64 { return userHash(k) * 8 }
 
+	pool := newPool(ctx, &o)
+	pool.SetQueueStrategy("fifo")
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
 	sinks := make([]sink, o.Threads)
@@ -60,45 +67,51 @@ func (j *chtJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, erro
 	// Step 1: partition the build side by target bitmap region.
 	// Each worker classifies its chunk into per-(worker, region) lists.
 	perWorker := make([][][]tuple.Tuple, o.Threads)
-	sched.RunWorkers(o.Threads, func(w int) {
+	err := pool.Run("classify", func(w *exec.Worker) {
 		lists := make([][]tuple.Tuple, regions)
-		c := buildChunks[w]
-		for _, tp := range build[c.Begin:c.End] {
-			r := builder.RegionOf(tp.Key)
-			lists[r] = append(lists[r], tp)
-		}
-		perWorker[w] = lists
+		c := buildChunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			for _, tp := range build[c.Begin+begin : c.Begin+end] {
+				r := builder.RegionOf(tp.Key)
+				lists[r] = append(lists[r], tp)
+			}
+		})
+		perWorker[w.ID] = lists
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Step 2: each region is bulk-loaded by one worker, pulling region
 	// tasks from a queue.
-	queue := sched.NewFIFO(sched.SequentialOrder(regions))
-	sched.RunWorkers(o.Threads, func(w int) {
-		for {
-			r, ok := queue.Pop()
-			if !ok {
-				return
-			}
-			var merged []tuple.Tuple
-			for _, lists := range perWorker {
-				merged = append(merged, lists[r]...)
-			}
-			builder.LoadRegion(r, merged)
+	err = pool.RunQueue("bulkload", exec.NewRange(regions), func(w *exec.Worker, r int) {
+		var merged []tuple.Tuple
+		for _, lists := range perWorker {
+			merged = append(merged, lists[r]...)
 		}
+		builder.LoadRegion(r, merged)
 	})
+	if err != nil {
+		return nil, err
+	}
 	cht := builder.Finalize()
 	buildDone := time.Now()
 
 	// Probe phase: identical to NOP against the read-only global CHT.
-	sched.RunWorkers(o.Threads, func(w int) {
-		s := &sinks[w]
-		c := probeChunks[w]
-		for _, tp := range probe[c.Begin:c.End] {
-			if p, ok := cht.Lookup(tp.Key); ok {
-				s.emit(p, tp.Payload)
+	err = pool.Run("probe", func(w *exec.Worker) {
+		s := &sinks[w.ID]
+		c := probeChunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+				if p, ok := cht.Lookup(tp.Key); ok {
+					s.emit(p, tp.Payload)
+				}
 			}
-		}
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = buildDone.Sub(start)
@@ -111,5 +124,6 @@ func (j *chtJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, erro
 		// then dense array) — the 2x cache-miss factor of Table 4.
 		accountNoPartitionTrafficLines(&o, len(build), len(probe), cht.SizeBytes(), 2)
 	}
+	res.Exec = pool.Stats()
 	return res, nil
 }

@@ -15,10 +15,12 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/numa"
 	"mmjoin/internal/radix"
@@ -75,6 +77,14 @@ type Options struct {
 	// Geometry is the cache geometry for Equation (1); zero value means
 	// the paper machine.
 	Geometry radix.CacheGeometry
+	// Arena recycles partition buffers, histograms and scratch arrays
+	// across repeated joins. nil means the process-wide exec.Shared
+	// arena; tests needing isolated reuse accounting pass their own.
+	Arena *exec.Arena
+	// PhaseHook, when non-nil, is invoked with each phase name as the
+	// execution layer starts it — a tracing point, also used by the
+	// cancellation tests to cancel at an exact phase boundary.
+	PhaseHook func(phase string)
 }
 
 func (o *Options) normalize() Options {
@@ -126,6 +136,10 @@ type Result struct {
 	// >> 1 marks the stragglers behind Appendix A's "unbalanced loads
 	// between threads"). Zero for non-partitioned joins.
 	MaxTaskShare float64
+	// Exec is the execution layer's telemetry: per-phase wall times,
+	// tasks executed per worker, morsel counts, and the join-phase
+	// queue strategy. Populated by every algorithm.
+	Exec *exec.Stats
 }
 
 // ThroughputMTuplesPerSec is the paper's input-based throughput metric,
@@ -146,7 +160,24 @@ type Algorithm interface {
 	// Description is the one-line summary from Table 2.
 	Description() string
 	// Run joins build ⋈ probe on the join keys and returns measurements.
+	// It is RunContext with a background context.
 	Run(build, probe tuple.Relation, opts *Options) (*Result, error)
+	// RunContext is Run under a context: a cancelled or expired ctx
+	// makes the join return promptly with ctx.Err(), with all worker
+	// goroutines joined (none leak) and no partial Result. Cancellation
+	// is observed at morsel and task-pop boundaries of the execution
+	// layer (internal/exec), so the latency to return is one morsel of
+	// work per worker.
+	RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error)
+}
+
+// newPool builds the exec pool for one join execution from the
+// normalized options.
+func newPool(ctx context.Context, o *Options) *exec.Pool {
+	pool := exec.NewPool(ctx, o.Threads)
+	pool.SetArena(o.Arena)
+	pool.SetPhaseHook(o.PhaseHook)
+	return pool
 }
 
 // sink accumulates matches for one worker: counting always, pairs only

@@ -1,11 +1,12 @@
 package join
 
 import (
+	"context"
 	"sort"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/mway"
-	"mmjoin/internal/sched"
 	"mmjoin/internal/tuple"
 )
 
@@ -46,6 +47,10 @@ func (j *mpsmJoin) Description() string {
 }
 
 func (j *mpsmJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return j.RunContext(context.Background(), build, probe, opts)
+}
+
+func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	res := &Result{
 		Algorithm:   "MPSM",
@@ -53,6 +58,7 @@ func (j *mpsmJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, err
 		InputTuples: int64(len(build) + len(probe)),
 	}
 	t := o.Threads
+	pool := newPool(ctx, &o)
 	sinks := make([]sink, t)
 	for i := range sinks {
 		sinks[i].materialize = o.Materialize
@@ -75,32 +81,44 @@ func (j *mpsmJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, err
 		}
 		return r
 	}
-	rParts := rangePartition(build, t, o.Threads, rangeOf)
+	rParts, err := rangePartition(pool, build, t, rangeOf)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 2: sort each R range and each local S chunk, in parallel.
 	sChunks := tuple.Chunks(len(probe), t)
 	sRuns := make([]tuple.Relation, t)
-	sched.RunWorkers(t, func(w int) {
-		rParts[w] = mway.Sort(rParts[w])
+	err = pool.Run("sort", func(w *exec.Worker) {
+		rParts[w.ID] = mway.Sort(rParts[w.ID])
+		if w.Cancelled() {
+			return
+		}
 		// Sort a copy of the local S chunk: MPSM leaves S in place
 		// conceptually; the copy stands in for the run storage.
-		chunk := probe[sChunks[w].Begin:sChunks[w].End]
+		chunk := probe[sChunks[w.ID].Begin:sChunks[w.ID].End]
 		run := make(tuple.Relation, len(chunk))
 		copy(run, chunk)
-		sRuns[w] = mway.Sort(run)
+		sRuns[w.ID] = mway.Sort(run)
 	})
+	if err != nil {
+		return nil, err
+	}
 	sortDone := time.Now()
 
 	// Phase 3: worker w joins its R range against the matching
 	// key sub-range of every S run.
-	sched.RunWorkers(t, func(w int) {
-		s := &sinks[w]
-		r := rParts[w]
+	err = pool.Run("merge-join", func(w *exec.Worker) {
+		s := &sinks[w.ID]
+		r := rParts[w.ID]
 		if len(r) == 0 {
 			return
 		}
 		lo, hi := r[0].Key, r[len(r)-1].Key
 		for _, run := range sRuns {
+			if w.Cancelled() {
+				return
+			}
 			// Binary-search the run for the worker's key range.
 			begin := sort.Search(len(run), func(i int) bool { return run[i].Key >= lo })
 			end := sort.Search(len(run), func(i int) bool { return run[i].Key > hi })
@@ -109,28 +127,40 @@ func (j *mpsmJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, err
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = sortDone.Sub(start)
 	res.ProbeOrJoin = end.Sub(sortDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	res.Exec = pool.Stats()
 	return res, nil
 }
 
 // rangePartition scatters rel into `ranges` buckets by rangeOf, using
-// per-worker local histograms like the chunked radix partitioner.
-func rangePartition(rel tuple.Relation, ranges, threads int, rangeOf func(tuple.Key) int) []tuple.Relation {
+// per-worker local histograms like the chunked radix partitioner. Both
+// passes run as phases on the caller's pool.
+func rangePartition(pool *exec.Pool, rel tuple.Relation, ranges int, rangeOf func(tuple.Key) int) ([]tuple.Relation, error) {
+	threads := pool.Threads()
 	chunks := tuple.Chunks(len(rel), threads)
 	// Per-worker, per-range counts.
 	counts := make([][]int, threads)
-	sched.RunWorkers(threads, func(w int) {
+	err := pool.Run("range-histogram", func(w *exec.Worker) {
 		c := make([]int, ranges)
-		for _, tp := range rel[chunks[w].Begin:chunks[w].End] {
-			c[rangeOf(tp.Key)]++
-		}
-		counts[w] = c
+		chunk := rel[chunks[w.ID].Begin:chunks[w.ID].End]
+		w.Morsels(len(chunk), func(begin, end int) {
+			for _, tp := range chunk[begin:end] {
+				c[rangeOf(tp.Key)]++
+			}
+		})
+		counts[w.ID] = c
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Allocate contiguous buckets and per-worker cursors.
 	total := make([]int, ranges)
 	for _, c := range counts {
@@ -151,13 +181,19 @@ func rangePartition(rel tuple.Relation, ranges, threads int, rangeOf func(tuple.
 			running[r] += counts[w][r]
 		}
 	}
-	sched.RunWorkers(threads, func(w int) {
-		cur := cursors[w]
-		for _, tp := range rel[chunks[w].Begin:chunks[w].End] {
-			r := rangeOf(tp.Key)
-			parts[r][cur[r]] = tp
-			cur[r]++
-		}
+	err = pool.Run("range-scatter", func(w *exec.Worker) {
+		cur := cursors[w.ID]
+		chunk := rel[chunks[w.ID].Begin:chunks[w.ID].End]
+		w.Morsels(len(chunk), func(begin, end int) {
+			for _, tp := range chunk[begin:end] {
+				r := rangeOf(tp.Key)
+				parts[r][cur[r]] = tp
+				cur[r]++
+			}
+		})
 	})
-	return parts
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
 }

@@ -1,9 +1,11 @@
 package join
 
 import (
+	"context"
 	"testing"
 
 	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
 )
 
 func TestMPSMMatchesReference(t *testing.T) {
@@ -69,7 +71,11 @@ func TestRangePartitionCoversAndOrders(t *testing.T) {
 		}
 		return r
 	}
-	parts := rangePartition(w.Build, ranges, 4, rangeOf)
+	pool := exec.NewPool(context.Background(), 4)
+	parts, err := rangePartition(pool, w.Build, ranges, rangeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 0
 	for r, part := range parts {
 		total += len(part)

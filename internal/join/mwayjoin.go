@@ -1,13 +1,14 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/mway"
 	"mmjoin/internal/radix"
-	"mmjoin/internal/sched"
 	"mmjoin/internal/tuple"
 )
 
@@ -35,6 +36,10 @@ func (j *mwayJoin) Class() Class        { return SortMerge }
 func (j *mwayJoin) Description() string { return "Multi-way sort merge join" }
 
 func (j *mwayJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return j.RunContext(context.Background(), build, probe, opts)
+}
+
+func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	if o.Threads&(o.Threads-1) != 0 {
 		return nil, fmt.Errorf("join: MWAY requires a power-of-two thread count, got %d", o.Threads)
@@ -46,6 +51,8 @@ func (j *mwayJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, err
 	}
 	partBits := uint(bits.TrailingZeros(uint(o.Threads)))
 	res.Bits = partBits
+	pool := newPool(ctx, &o)
+	arena := pool.Arena()
 	sinks := make([]sink, o.Threads)
 	for i := range sinks {
 		sinks[i].materialize = o.Materialize
@@ -54,23 +61,45 @@ func (j *mwayJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, err
 	start := time.Now()
 	// Phase 1a: partition both inputs into one co-partition per thread
 	// (single pass, few partitions, SWWCB — Section 3.3).
-	pr := radix.PartitionGlobal(build, partBits, o.Threads, true)
-	ps := radix.PartitionGlobal(probe, partBits, o.Threads, true)
+	pr, err := radix.PartitionGlobalExec(pool, "partition(R)", build, partBits, true)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := radix.PartitionGlobalExec(pool, "partition(S)", probe, partBits, true)
+	if err != nil {
+		pr.Release(arena)
+		return nil, err
+	}
+	release := func() {
+		pr.Release(arena)
+		ps.Release(arena)
+	}
 
 	// Phase 1b: each thread merge-sorts its co-partition pair.
 	sortedR := make([]tuple.Relation, o.Threads)
 	sortedS := make([]tuple.Relation, o.Threads)
-	sched.RunWorkers(o.Threads, func(w int) {
-		sortedR[w] = mway.Sort(pr.Part(w))
-		sortedS[w] = mway.Sort(ps.Part(w))
+	err = pool.Run("sort", func(w *exec.Worker) {
+		sortedR[w.ID] = mway.Sort(pr.Part(w.ID))
+		if w.Cancelled() {
+			return
+		}
+		sortedS[w.ID] = mway.Sort(ps.Part(w.ID))
 	})
+	if err != nil {
+		release()
+		return nil, err
+	}
 	sortDone := time.Now()
 
 	// Phase 2: merge join each sorted co-partition pair.
-	sched.RunWorkers(o.Threads, func(w int) {
-		s := &sinks[w]
-		mway.MergeJoin(sortedR[w], sortedS[w], s.emit)
+	err = pool.Run("merge-join", func(w *exec.Worker) {
+		s := &sinks[w.ID]
+		mway.MergeJoin(sortedR[w.ID], sortedS[w.ID], s.emit)
 	})
+	if err != nil {
+		release()
+		return nil, err
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = sortDone.Sub(start)
@@ -88,5 +117,7 @@ func (j *mwayJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, err
 		accountSortAndMergeTraffic(&o, pr)
 		accountSortAndMergeTraffic(&o, ps)
 	}
+	res.Exec = pool.Stats()
+	release()
 	return res, nil
 }

@@ -1,11 +1,12 @@
 package join
 
 import (
+	"context"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashtable"
 	"mmjoin/internal/numa"
-	"mmjoin/internal/sched"
 	"mmjoin/internal/tuple"
 )
 
@@ -49,6 +50,10 @@ func (j *nopJoin) Description() string {
 }
 
 func (j *nopJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return j.RunContext(context.Background(), build, probe, opts)
+}
+
+func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	res := &Result{
 		Algorithm:   j.name,
@@ -60,6 +65,7 @@ func (j *nopJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, erro
 		domain = maxKeyDomain(build)
 	}
 
+	pool := newPool(ctx, &o)
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
 	sinks := make([]sink, o.Threads)
@@ -70,43 +76,56 @@ func (j *nopJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, erro
 	start := time.Now()
 	var at *hashtable.ArrayTable
 	var lt *hashtable.LinearTable
+	var err error
 	if j.array {
 		at = hashtable.NewArrayTable(0, domain)
-		sched.RunWorkers(o.Threads, func(w int) {
-			c := buildChunks[w]
-			for _, tp := range build[c.Begin:c.End] {
-				at.InsertConcurrent(tp)
-			}
+		err = pool.Run("build", func(w *exec.Worker) {
+			c := buildChunks[w.ID]
+			w.Morsels(c.Len(), func(begin, end int) {
+				for _, tp := range build[c.Begin+begin : c.Begin+end] {
+					at.InsertConcurrent(tp)
+				}
+			})
 		})
 		at.FinishConcurrentBuild()
 	} else {
 		lt = hashtable.NewLinearTable(len(build), o.Hash)
-		sched.RunWorkers(o.Threads, func(w int) {
-			c := buildChunks[w]
-			for _, tp := range build[c.Begin:c.End] {
-				lt.InsertConcurrent(tp)
-			}
+		err = pool.Run("build", func(w *exec.Worker) {
+			c := buildChunks[w.ID]
+			w.Morsels(c.Len(), func(begin, end int) {
+				for _, tp := range build[c.Begin+begin : c.Begin+end] {
+					lt.InsertConcurrent(tp)
+				}
+			})
 		})
+	}
+	if err != nil {
+		return nil, err
 	}
 	buildDone := time.Now()
 
-	sched.RunWorkers(o.Threads, func(w int) {
-		s := &sinks[w]
-		c := probeChunks[w]
-		if j.array {
-			for _, tp := range probe[c.Begin:c.End] {
-				if p, ok := at.Lookup(tp.Key); ok {
-					s.emit(p, tp.Payload)
+	err = pool.Run("probe", func(w *exec.Worker) {
+		s := &sinks[w.ID]
+		c := probeChunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			if j.array {
+				for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+					if p, ok := at.Lookup(tp.Key); ok {
+						s.emit(p, tp.Payload)
+					}
+				}
+			} else {
+				for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+					if p, ok := lt.Lookup(tp.Key); ok {
+						s.emit(p, tp.Payload)
+					}
 				}
 			}
-		} else {
-			for _, tp := range probe[c.Begin:c.End] {
-				if p, ok := lt.Lookup(tp.Key); ok {
-					s.emit(p, tp.Payload)
-				}
-			}
-		}
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = buildDone.Sub(start)
@@ -123,6 +142,7 @@ func (j *nopJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, erro
 		}
 		accountNoPartitionTraffic(&o, len(build), len(probe), tableBytes)
 	}
+	res.Exec = pool.Stats()
 	return res, nil
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package join
+
+const raceEnabled = false

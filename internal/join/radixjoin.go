@@ -1,8 +1,10 @@
 package join
 
 import (
+	"context"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashtable"
 	"mmjoin/internal/radix"
 	"mmjoin/internal/sched"
@@ -171,6 +173,10 @@ func (j *radixJoin) pickBits(o *Options, buildLen, domain int) uint {
 }
 
 func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return j.RunContext(context.Background(), build, probe, opts)
+}
+
+func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	res := &Result{
 		Algorithm:   j.name,
@@ -185,6 +191,8 @@ func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, er
 	res.Bits = bits
 	parts := 1 << bits
 
+	pool := newPool(ctx, &o)
+	arena := pool.Arena()
 	sinks := make([]sink, o.Threads)
 	for i := range sinks {
 		sinks[i].materialize = o.Materialize
@@ -195,19 +203,49 @@ func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, er
 	var (
 		prG, psG *radix.Partitioned
 		prC, psC *radix.ChunkedPartitioned
+		err      error
 	)
-	switch {
-	case j.chunked:
-		prC = radix.PartitionChunked(build, bits, o.Threads, j.swwcb)
-		psC = radix.PartitionChunked(probe, bits, o.Threads, j.swwcb)
-	case j.twoPass || o.ForceTwoPass:
-		b1 := bits / 2
-		b2 := bits - b1
-		prG = radix.PartitionTwoPass(build, b1, b2, o.Threads, j.swwcb)
-		psG = radix.PartitionTwoPass(probe, b1, b2, o.Threads, j.swwcb)
-	default:
-		prG = radix.PartitionGlobal(build, bits, o.Threads, j.swwcb)
-		psG = radix.PartitionGlobal(probe, bits, o.Threads, j.swwcb)
+	release := func() {
+		if prG != nil {
+			prG.Release(arena)
+		}
+		if psG != nil {
+			psG.Release(arena)
+		}
+		if prC != nil {
+			prC.Release(arena)
+		}
+		if psC != nil {
+			psC.Release(arena)
+		}
+	}
+	partition := func() error {
+		switch {
+		case j.chunked:
+			if prC, err = radix.PartitionChunkedExec(pool, "partition(R)", build, bits, j.swwcb); err != nil {
+				return err
+			}
+			psC, err = radix.PartitionChunkedExec(pool, "partition(S)", probe, bits, j.swwcb)
+			return err
+		case j.twoPass || o.ForceTwoPass:
+			b1 := bits / 2
+			b2 := bits - b1
+			if prG, err = radix.PartitionTwoPassExec(pool, "partition(R)", build, b1, b2, j.swwcb); err != nil {
+				return err
+			}
+			psG, err = radix.PartitionTwoPassExec(pool, "partition(S)", probe, b1, b2, j.swwcb)
+			return err
+		default:
+			if prG, err = radix.PartitionGlobalExec(pool, "partition(R)", build, bits, j.swwcb); err != nil {
+				return err
+			}
+			psG, err = radix.PartitionGlobalExec(pool, "partition(S)", probe, bits, j.swwcb)
+			return err
+		}
+	}
+	if err := partition(); err != nil {
+		release()
+		return nil, err
 	}
 	partitionDone := time.Now()
 
@@ -218,6 +256,9 @@ func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, er
 	if j.improvedSched {
 		nodeOf := j.partitionNode(&o, prG, prC, len(build))
 		order = sched.RoundRobinOrder(parts, o.Topology.Nodes, nodeOf)
+		pool.SetQueueStrategy("lifo(round-robin)")
+	} else {
+		pool.SetQueueStrategy("lifo(sequential)")
 	}
 	domainPerPart := (domain >> bits) + 1
 	buildFrags := func(p int) []tuple.Relation {
@@ -238,21 +279,29 @@ func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, er
 		}
 		return prG.PartLen(p)
 	}
+	probeLen := func(p int) int {
+		n := 0
+		for _, f := range probeFrags(p) {
+			n += len(f)
+		}
+		return n
+	}
 	if o.SplitSkewedTasks {
-		j.runJoinPhaseSkewAware(&o, bits, order, parts, buildFrags, probeFrags, buildLen, domainPerPart, sinks)
+		err = j.runJoinPhaseSkewAware(pool, &o, bits, order, parts, buildFrags, probeFrags, buildLen, domainPerPart, sinks)
 	} else {
-		queue := sched.NewLIFO(order)
-		sched.RunWorkers(o.Threads, func(w int) {
-			wk := newWorkerState(j.table, o.Hash, domainPerPart)
-			s := &sinks[w]
-			for {
-				p, ok := queue.Pop()
-				if !ok {
-					return
-				}
-				j.joinTask(wk, s, bits, buildFrags(p), probeFrags(p), buildLen(p))
+		states := make([]*workerState, o.Threads)
+		err = pool.RunQueue("join", sched.NewLIFO(order), func(w *exec.Worker, p int) {
+			wk := states[w.ID]
+			if wk == nil {
+				wk = newWorkerState(j.table, o.Hash, domainPerPart)
+				states[w.ID] = wk
 			}
+			j.joinTask(wk, &sinks[w.ID], bits, buildFrags(p), probeFrags(p), buildLen(p))
 		})
+	}
+	if err != nil {
+		release()
+		return nil, err
 	}
 	end := time.Now()
 
@@ -260,13 +309,7 @@ func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, er
 	res.ProbeOrJoin = end.Sub(partitionDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
-	res.MaxTaskShare = maxTaskShare(parts, func(p int) int {
-		n := 0
-		for _, f := range probeFrags(p) {
-			n += len(f)
-		}
-		return n
-	})
+	res.MaxTaskShare = maxTaskShare(parts, probeLen)
 
 	if o.Traffic != nil {
 		passes := 1
@@ -283,6 +326,8 @@ func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, er
 			accountGlobalJoinTraffic(&o, order, prG, psG, len(build), len(probe))
 		}
 	}
+	res.Exec = pool.Stats()
+	release()
 	return res, nil
 }
 

@@ -1,8 +1,10 @@
 package join
 
 import (
+	"context"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/tuple"
 )
 
@@ -21,29 +23,52 @@ func (Reference) Class() Class { return NoPartition }
 func (Reference) Description() string { return "Single-threaded reference hash join (oracle)" }
 
 // Run implements Algorithm.
-func (Reference) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+func (r Reference) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	return r.RunContext(context.Background(), build, probe, opts)
+}
+
+// RunContext implements Algorithm. The oracle runs on a single-worker
+// pool so that even it honours cancellation and reports phase stats.
+func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, opts *Options) (*Result, error) {
 	o := opts.normalize()
 	res := &Result{
 		Algorithm:   "REF",
 		Threads:     1,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	o.Threads = 1
+	pool := newPool(ctx, &o)
 	s := sink{materialize: o.Materialize}
 	start := time.Now()
 	ht := make(map[tuple.Key][]tuple.Payload, len(build))
-	for _, tp := range build {
-		ht[tp.Key] = append(ht[tp.Key], tp.Payload)
+	err := pool.Run("build", func(w *exec.Worker) {
+		w.Morsels(len(build), func(begin, end int) {
+			for _, tp := range build[begin:end] {
+				ht[tp.Key] = append(ht[tp.Key], tp.Payload)
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 	buildDone := time.Now()
-	for _, tp := range probe {
-		for _, bp := range ht[tp.Key] {
-			s.emit(bp, tp.Payload)
-		}
+	err = pool.Run("probe", func(w *exec.Worker) {
+		w.Morsels(len(probe), func(begin, end int) {
+			for _, tp := range probe[begin:end] {
+				for _, bp := range ht[tp.Key] {
+					s.emit(bp, tp.Payload)
+				}
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 	end := time.Now()
 	res.BuildOrPartition = buildDone.Sub(start)
 	res.ProbeOrJoin = end.Sub(buildDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, []sink{s})
+	res.Exec = pool.Stats()
 	return res, nil
 }

@@ -3,6 +3,7 @@ package join
 import (
 	"sync"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashtable"
 	"mmjoin/internal/sched"
 	"mmjoin/internal/tuple"
@@ -151,8 +152,11 @@ func concatFragments(frags []tuple.Relation) tuple.Relation {
 
 // runJoinPhaseSkewAware replaces the plain partition-per-task join phase
 // when Options.SplitSkewedTasks is set. buildFrags/probeFrags expose a
-// partition's fragments; probeLens its probe tuple count.
+// partition's fragments; probeLens its probe tuple count. Both of its
+// phases run on the caller's pool, so cancellation propagates and the
+// phases show up in the execution stats.
 func (j *radixJoin) runJoinPhaseSkewAware(
+	pool *exec.Pool,
 	o *Options,
 	bits uint,
 	order []int,
@@ -161,7 +165,7 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	buildLen func(p int) int,
 	domainPerPart int,
 	sinks []sink,
-) {
+) error {
 	probeLens := make([]int, parts)
 	for p := 0; p < parts; p++ {
 		n := 0
@@ -187,41 +191,34 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	shared := make(map[int]*sharedTable, len(splitList))
 	sharedProbe := make(map[int]tuple.Relation, len(splitList))
 	var mu sync.Mutex
-	buildQueue := sched.NewFIFO(sched.SequentialOrder(len(splitList)))
-	sched.RunWorkers(o.Threads, func(worker int) {
-		for {
-			i, ok := buildQueue.Pop()
-			if !ok {
-				return
-			}
-			p := splitList[i]
-			st := j.buildSharedTable(bits, buildFrags(p), buildLen(p), domainPerPart, o.Hash)
-			probe := concatFragments(probeFrags(p))
-			mu.Lock()
-			shared[p] = st
-			sharedProbe[p] = probe
-			mu.Unlock()
-		}
+	err := pool.RunQueue("skew-prebuild", exec.NewRange(len(splitList)), func(w *exec.Worker, i int) {
+		p := splitList[i]
+		st := j.buildSharedTable(bits, buildFrags(p), buildLen(p), domainPerPart, o.Hash)
+		probe := concatFragments(probeFrags(p))
+		mu.Lock()
+		shared[p] = st
+		sharedProbe[p] = probe
+		mu.Unlock()
 	})
+	if err != nil {
+		return err
+	}
 
 	// Phase B: run the task list; split tasks probe ranges against the
 	// shared tables, regular tasks run the usual per-partition join.
-	queue := sched.NewLIFO(taskOrder(tasks))
-	sched.RunWorkers(o.Threads, func(worker int) {
-		wk := newWorkerState(j.table, o.Hash, domainPerPart)
-		s := &sinks[worker]
-		for {
-			ti, ok := queue.Pop()
-			if !ok {
-				return
-			}
-			t := tasks[ti]
-			if t.split {
-				j.probeShared(shared[t.part], s, bits, sharedProbe[t.part][t.probeLo:t.probeHi])
-				continue
-			}
-			j.joinTask(wk, s, bits, buildFrags(t.part), probeFrags(t.part), buildLen(t.part))
+	states := make([]*workerState, pool.Threads())
+	return pool.RunQueue("join", sched.NewLIFO(taskOrder(tasks)), func(w *exec.Worker, ti int) {
+		t := tasks[ti]
+		if t.split {
+			j.probeShared(shared[t.part], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi])
+			return
 		}
+		wk := states[w.ID]
+		if wk == nil {
+			wk = newWorkerState(j.table, o.Hash, domainPerPart)
+			states[w.ID] = wk
+		}
+		j.joinTask(wk, &sinks[w.ID], bits, buildFrags(t.part), probeFrags(t.part), buildLen(t.part))
 	})
 }
 

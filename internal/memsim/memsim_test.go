@@ -183,7 +183,7 @@ func TestSimulateAllAlgorithms(t *testing.T) {
 			t.Fatalf("%s: empty join/probe phase", name)
 		}
 	}
-	if _, err := Simulate("XXX", build, probe, 6, PaperGeometry(4<<10)); err == nil {
+	if _, err := Simulate("no-such-join", build, probe, 6, PaperGeometry(4<<10)); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }

@@ -1,8 +1,7 @@
 package radix
 
 import (
-	"sync"
-
+	"mmjoin/internal/exec"
 	"mmjoin/internal/tuple"
 )
 
@@ -53,41 +52,58 @@ func (c *ChunkedPartitioned) PartLen(p int) int {
 	return n
 }
 
-// PartitionChunked performs CPRL's chunked radix partitioning: phase (1)
-// local histograms, then directly phase (3) — each thread scatters its
-// chunk into its own range of the output using only its local histogram
-// (no phase (2) global merge). swwcb selects buffered scatter.
+// Release returns the partition buffer to the arena. Fences stay
+// valid; Data and Fragments must not be used afterwards.
+func (c *ChunkedPartitioned) Release(a *exec.Arena) {
+	a.PutTuples(c.Data)
+	c.Data = nil
+}
+
+// PartitionChunked is PartitionChunkedExec on a fresh background pool.
 func PartitionChunked(src tuple.Relation, bits uint, threads int, swwcb bool) *ChunkedPartitioned {
-	if threads < 1 {
-		threads = 1
-	}
+	c, _ := PartitionChunkedExec(backgroundPool(threads), "partition", src, bits, swwcb)
+	return c
+}
+
+// PartitionChunkedExec performs CPRL's chunked radix partitioning on
+// the given pool: phase (1) local histograms, then directly phase (3) —
+// each thread scatters its chunk into its own range of the output using
+// only its local histogram (no phase (2) global merge). swwcb selects
+// buffered scatter. The single fork/join phase is recorded as
+// label+"/chunked".
+func PartitionChunkedExec(pool *exec.Pool, label string, src tuple.Relation, bits uint, swwcb bool) (*ChunkedPartitioned, error) {
+	threads := pool.Threads()
+	arena := pool.Arena()
 	parts := 1 << bits
 	chunks := tuple.Chunks(len(src), threads)
-	dst := make(tuple.Relation, len(src))
+	dst := arena.Tuples(len(src))
 	fences := make([][]int, threads)
 
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			chunk := src[chunks[t].Begin:chunks[t].End]
-			hist := Histogram(chunk, bits)
-			local := prefixFences(hist)
-			// Rebase fences to absolute offsets.
-			for i := range local {
-				local[i] += chunks[t].Begin
-			}
-			cursor := make([]int, parts)
-			copy(cursor, local[:parts])
-			if swwcb {
-				scatterBuffered(dst, chunk, 0, bits, cursor)
-			} else {
-				scatterDirect(dst, chunk, 0, bits, cursor)
-			}
-			fences[t] = local
-		}(t)
+	err := pool.Run(label+"/chunked", func(w *exec.Worker) {
+		c := chunks[w.ID]
+		chunk := src[c.Begin:c.End]
+		hist := arena.Ints(parts)
+		if !w.Morsels(len(chunk), func(begin, end int) {
+			histogramInto(hist, chunk[begin:end], bits)
+		}) {
+			arena.PutInts(hist)
+			return
+		}
+		local := prefixFences(hist)
+		arena.PutInts(hist)
+		// Rebase fences to absolute offsets.
+		for i := range local {
+			local[i] += c.Begin
+		}
+		cursor := arena.Ints(parts)
+		copy(cursor, local[:parts])
+		scatterChunk(w, dst, src, c, 0, bits, cursor, swwcb)
+		arena.PutInts(cursor)
+		fences[w.ID] = local
+	})
+	if err != nil {
+		arena.PutTuples(dst)
+		return nil, err
 	}
-	wg.Wait()
-	return &ChunkedPartitioned{Data: dst, Chunks: chunks, Fences: fences, Bits: bits}
+	return &ChunkedPartitioned{Data: dst, Chunks: chunks, Fences: fences, Bits: bits}, nil
 }

@@ -14,11 +14,17 @@
 //
 // Partitioning always uses the low `bits` bits of the key (see
 // hashfn.RadixBits), matching the dense-key workloads of the study.
+//
+// All parallel phases run on an exec.Pool: the *Exec entry points take
+// a pool (carrying context, worker count, and buffer arena) and return
+// the pool's ctx.Err() on cancellation; the legacy signatures wrap them
+// with a background pool.
 package radix
 
 import (
-	"sync"
+	"context"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/tuple"
 )
 
@@ -50,15 +56,30 @@ func (p *Partitioned) PartLen(i int) int { return p.ends[i] - p.starts[i] }
 // model uses it to locate a partition's home node.
 func (p *Partitioned) Start(i int) int { return p.starts[i] }
 
+// Release returns the partition buffer to the arena. Fence metadata
+// (Start, PartLen) stays valid; Part and Data must not be used
+// afterwards. Callers that hand out Part slices (the join drivers) call
+// this only after the join phase has fully drained.
+func (p *Partitioned) Release(a *exec.Arena) {
+	a.PutTuples(p.Data)
+	p.Data = nil
+}
+
 // Histogram counts, for every radix partition, the tuples of rel that
 // fall into it.
 func Histogram(rel tuple.Relation, bits uint) []int {
 	h := make([]int, 1<<bits)
+	histogramInto(h, rel, bits)
+	return h
+}
+
+// histogramInto accumulates the radix histogram of rel into h (len
+// 2^bits, pre-zeroed).
+func histogramInto(h []int, rel tuple.Relation, bits uint) {
 	mask := tuple.Key(1<<bits - 1)
 	for _, tp := range rel {
 		h[tp.Key&mask]++
 	}
-	return h
 }
 
 // prefixFences turns a histogram into fence offsets (exclusive prefix
@@ -74,28 +95,51 @@ func prefixFences(hist []int) []int {
 	return fences
 }
 
-// PartitionGlobal performs the one-pass parallel radix partitioning of
-// PRO (Figure 4(a)): per-thread histograms over equal chunks, a merge
-// into global per-thread output offsets, then a parallel scatter. With
-// swwcb enabled the scatter goes through software write-combine buffers.
+// backgroundPool builds the pool behind the legacy non-context entry
+// points.
+func backgroundPool(threads int) *exec.Pool {
+	return exec.NewPool(context.Background(), threads)
+}
+
+// PartitionGlobal is PartitionGlobalExec on a fresh background pool —
+// the legacy entry point for callers outside the join drivers.
 func PartitionGlobal(src tuple.Relation, bits uint, threads int, swwcb bool) *Partitioned {
-	if threads < 1 {
-		threads = 1
-	}
+	p, _ := PartitionGlobalExec(backgroundPool(threads), "partition", src, bits, swwcb)
+	return p
+}
+
+// PartitionGlobalExec performs the one-pass parallel radix partitioning
+// of PRO (Figure 4(a)) on the given pool: per-thread histograms over
+// equal chunks, a merge into global per-thread output offsets, then a
+// parallel scatter. With swwcb enabled the scatter goes through
+// software write-combine buffers. Phases are recorded as
+// label+"/histogram" and label+"/scatter"; on cancellation all buffers
+// return to the arena and the pool's ctx.Err() is returned.
+func PartitionGlobalExec(pool *exec.Pool, label string, src tuple.Relation, bits uint, swwcb bool) (*Partitioned, error) {
+	threads := pool.Threads()
+	arena := pool.Arena()
 	parts := 1 << bits
 	chunks := tuple.Chunks(len(src), threads)
 
 	// Phase 1: local histograms.
 	local := make([][]int, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			local[t] = Histogram(src[chunks[t].Begin:chunks[t].End], bits)
-		}(t)
+	releaseLocal := func() {
+		for _, h := range local {
+			arena.PutInts(h)
+		}
 	}
-	wg.Wait()
+	err := pool.Run(label+"/histogram", func(w *exec.Worker) {
+		h := arena.Ints(parts)
+		c := chunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			histogramInto(h, src[c.Begin+begin:c.Begin+end], bits)
+		})
+		local[w.ID] = h
+	})
+	if err != nil {
+		releaseLocal()
+		return nil, err
+	}
 
 	// Phase 2: merge into global fences and per-thread write cursors.
 	// Thread t writes partition p at fences[p] + counts of earlier
@@ -108,31 +152,51 @@ func PartitionGlobal(src tuple.Relation, bits uint, threads int, swwcb bool) *Pa
 	}
 	fences := prefixFences(global)
 	cursors := make([][]int, threads)
-	running := make([]int, parts)
+	running := arena.Ints(parts)
 	for t := 0; t < threads; t++ {
-		cursors[t] = make([]int, parts)
+		cursors[t] = arena.Ints(parts)
 		for p := 0; p < parts; p++ {
 			cursors[t][p] = fences[p] + running[p]
 			running[p] += local[t][p]
 		}
 	}
+	arena.PutInts(running)
+	releaseScratch := func() {
+		releaseLocal()
+		for _, c := range cursors {
+			arena.PutInts(c)
+		}
+	}
 
 	// Phase 3: scatter.
-	dst := make(tuple.Relation, len(src))
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			chunk := src[chunks[t].Begin:chunks[t].End]
-			if swwcb {
-				scatterBuffered(dst, chunk, 0, bits, cursors[t])
-			} else {
-				scatterDirect(dst, chunk, 0, bits, cursors[t])
-			}
-		}(t)
+	dst := arena.Tuples(len(src))
+	err = pool.Run(label+"/scatter", func(w *exec.Worker) {
+		c := chunks[w.ID]
+		scatterChunk(w, dst, src, c, 0, bits, cursors[w.ID], swwcb)
+	})
+	releaseScratch()
+	if err != nil {
+		arena.PutTuples(dst)
+		return nil, err
 	}
-	wg.Wait()
-	return &Partitioned{Data: dst, starts: fences[:parts], ends: fences[1:], Bits: bits}
+	return &Partitioned{Data: dst, starts: fences[:parts], ends: fences[1:], Bits: bits}, nil
+}
+
+// scatterChunk scatters one worker's chunk in morsel strides so
+// cancellation is observed between strides; SWWCB state persists across
+// strides and is flushed at the end.
+func scatterChunk(w *exec.Worker, dst, src tuple.Relation, c tuple.Chunk, shift, bits uint, cursor []int, swwcb bool) {
+	if swwcb {
+		sc := newBufferedScatter(dst, shift, bits, cursor)
+		w.Morsels(c.Len(), func(begin, end int) {
+			sc.scatter(src[c.Begin+begin : c.Begin+end])
+		})
+		sc.flush()
+		return
+	}
+	w.Morsels(c.Len(), func(begin, end int) {
+		scatterDirect(dst, src[c.Begin+begin:c.Begin+end], shift, bits, cursor)
+	})
 }
 
 // scatterDirect writes each tuple straight to its output position — the
@@ -161,17 +225,32 @@ type swwcb struct {
 	room int // tuples until the next flush boundary
 }
 
-// scatterBuffered scatters a chunk through per-partition write-combine
-// buffers keyed on bits [shift, shift+bits) of the key. The masked
-// buffer index keeps the hot loop free of bounds checks.
-func scatterBuffered(dst, chunk tuple.Relation, shift, bits uint, cursor []int) {
-	mask := tuple.Key(1<<bits - 1)
+// bufferedScatter carries the write-combine buffers of one worker
+// across morsel strides: buffers stay filled between strides and only
+// flush() forces the remainders out.
+type bufferedScatter struct {
+	dst         tuple.Relation
+	bufs        []swwcb
+	shift, bits uint
+}
+
+func newBufferedScatter(dst tuple.Relation, shift, bits uint, cursor []int) *bufferedScatter {
 	bufs := make([]swwcb, 1<<bits)
 	for p := range bufs {
 		b := &bufs[p]
 		b.dest = cursor[p]
 		b.room = tuple.TuplesPerCacheLine - b.dest%tuple.TuplesPerCacheLine
 	}
+	return &bufferedScatter{dst: dst, bufs: bufs, shift: shift, bits: bits}
+}
+
+// scatter stages the chunk's tuples through the per-partition buffers,
+// flushing whole cache lines as they fill. The masked buffer index
+// keeps the hot loop free of bounds checks.
+func (s *bufferedScatter) scatter(chunk tuple.Relation) {
+	dst, bufs := s.dst, s.bufs
+	mask := tuple.Key(1<<s.bits - 1)
+	shift := s.shift
 	for _, tp := range chunk {
 		b := &bufs[(tp.Key>>shift)&mask]
 		b.line[b.fill&(tuple.TuplesPerCacheLine-1)] = tp
@@ -183,52 +262,65 @@ func scatterBuffered(dst, chunk tuple.Relation, shift, bits uint, cursor []int) 
 			b.room = tuple.TuplesPerCacheLine
 		}
 	}
-	for p := range bufs {
-		b := &bufs[p]
+}
+
+// flush writes out every buffer's staged remainder.
+func (s *bufferedScatter) flush() {
+	for p := range s.bufs {
+		b := &s.bufs[p]
 		if b.fill > 0 {
-			copy(dst[b.dest:b.dest+b.fill], b.line[:b.fill])
+			copy(s.dst[b.dest:b.dest+b.fill], b.line[:b.fill])
 		}
 	}
 }
 
-// PartitionTwoPass performs PRB's two-pass radix partitioning: a global
-// first pass over bits1 (the low bits), then each first-pass partition
-// is repartitioned by the next bits2 bits as an independent task pulled
-// from a shared queue (Section 3.1). The result is equivalent to a
-// single pass over bits1+bits2 bits but never has more than
-// 2^max(bits1,bits2) open write targets, the TLB-driven motivation of
-// the design.
+// scatterBuffered scatters a whole chunk through write-combine buffers
+// in one call (the single-stride form used by the second partitioning
+// pass, where tasks are already morsel-sized).
+func scatterBuffered(dst, chunk tuple.Relation, shift, bits uint, cursor []int) {
+	s := newBufferedScatter(dst, shift, bits, cursor)
+	s.scatter(chunk)
+	s.flush()
+}
+
+// PartitionTwoPass is PartitionTwoPassExec on a fresh background pool.
 func PartitionTwoPass(src tuple.Relation, bits1, bits2 uint, threads int, swwcb bool) *Partitioned {
-	if threads < 1 {
-		threads = 1
+	p, _ := PartitionTwoPassExec(backgroundPool(threads), "partition", src, bits1, bits2, swwcb)
+	return p
+}
+
+// PartitionTwoPassExec performs PRB's two-pass radix partitioning: a
+// global first pass over bits1 (the low bits), then each first-pass
+// partition is repartitioned by the next bits2 bits as an independent
+// task pulled from a shared queue (Section 3.1). The result is
+// equivalent to a single pass over bits1+bits2 bits but never has more
+// than 2^max(bits1,bits2) open write targets, the TLB-driven motivation
+// of the design. The second pass is recorded as label+"/subpartition",
+// with cancellation checked at every task pop.
+func PartitionTwoPassExec(pool *exec.Pool, label string, src tuple.Relation, bits1, bits2 uint, swwcb bool) (*Partitioned, error) {
+	arena := pool.Arena()
+	first, err := PartitionGlobalExec(pool, label, src, bits1, swwcb)
+	if err != nil {
+		return nil, err
 	}
-	first := PartitionGlobal(src, bits1, threads, swwcb)
 	totalBits := bits1 + bits2
 	parts := 1 << totalBits
-	dst := make(tuple.Relation, len(src))
+	dst := arena.Tuples(len(src))
 	subFences := make([][]int, 1<<bits1)
 
 	// Second pass: each coarse partition is one task; workers pull tasks
 	// from a shared queue and run a single-threaded histogram + scatter
 	// within the coarse partition's range.
-	tasks := make(chan int, 1<<bits1)
-	for c := 0; c < 1<<bits1; c++ {
-		tasks <- c
+	err = pool.RunQueue(label+"/subpartition", exec.NewRange(1<<bits1), func(w *exec.Worker, c int) {
+		part := first.Part(c)
+		out := dst[first.starts[c]:first.ends[c]]
+		subFences[c] = subPartition(out, part, bits1, bits2, swwcb)
+	})
+	first.Release(arena)
+	if err != nil {
+		arena.PutTuples(dst)
+		return nil, err
 	}
-	close(tasks)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range tasks {
-				part := first.Part(c)
-				out := dst[first.starts[c]:first.ends[c]]
-				subFences[c] = subPartition(out, part, bits1, bits2, swwcb)
-			}
-		}()
-	}
-	wg.Wait()
 
 	// Partition v = fine<<bits1 | coarse lives at coarse's base plus the
 	// fine-local fences.
@@ -242,7 +334,7 @@ func PartitionTwoPass(src tuple.Relation, bits1, bits2 uint, threads int, swwcb 
 			ends[v] = base + subFences[c][f+1]
 		}
 	}
-	return &Partitioned{Data: dst, starts: starts, ends: ends, Bits: totalBits}
+	return &Partitioned{Data: dst, starts: starts, ends: ends, Bits: totalBits}, nil
 }
 
 // subPartition scatters one coarse partition into its 2^bits2

@@ -3,13 +3,16 @@
 // co-partition queue that serializes all early tasks onto one NUMA
 // region, and the round-robin-by-node insertion order of the improved
 // "iS" variants that spreads concurrent tasks over all memory
-// controllers. It also holds the small worker-pool helper all parallel
-// phases share.
+// controllers. The queues satisfy exec.Queue; the execution machinery
+// that drains them (worker pools, cancellation, stats) lives in
+// internal/exec.
 package sched
 
 import (
-	"sync"
+	"context"
 	"sync/atomic"
+
+	"mmjoin/internal/exec"
 )
 
 // Queue hands out task ids to workers. Implementations are safe for
@@ -147,20 +150,11 @@ func (p *PerNodeQueues) Len() int {
 	return n
 }
 
-// RunWorkers starts `threads` goroutines executing fn(worker) and waits
-// for all of them — the fork/join primitive of every parallel phase.
+// RunWorkers runs fn(worker) on `threads` workers and waits for all of
+// them. It is a thin compatibility shim over exec.Pool for callers
+// without a context (the TPC-H and column-store executors); code with
+// cancellation needs should build an exec.Pool directly.
 func RunWorkers(threads int, fn func(worker int)) {
-	if threads <= 1 {
-		fn(0)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
+	pool := exec.NewPool(context.Background(), threads)
+	_ = pool.Run("workers", func(w *exec.Worker) { fn(w.ID) })
 }

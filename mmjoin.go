@@ -7,6 +7,9 @@
 // The root package is a facade over the implementation packages:
 //
 //	internal/join       the thirteen algorithms (the core contribution)
+//	internal/exec       shared execution layer: cancellable morsel pool,
+//	                    buffer arena, per-phase stats
+//	internal/sched      task-order policies (LIFO, NUMA round-robin)
 //	internal/hashtable  chained / linear-probing / CHT / array tables
 //	internal/radix      parallel radix partitioning (global, two-pass, chunked)
 //	internal/mway       sort-merge machinery
@@ -26,6 +29,7 @@ package mmjoin
 import (
 	"mmjoin/internal/bench"
 	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
 	"mmjoin/internal/tuple"
 )
@@ -61,6 +65,22 @@ const (
 	NoPartition = join.NoPartition
 	SortMerge   = join.SortMerge
 )
+
+// Execution telemetry: every Result carries the per-phase record of the
+// execution layer on Result.Exec.
+type (
+	// ExecStats is the execution telemetry of one join run (worker
+	// count, queue strategy, per-phase wall time and task counts).
+	ExecStats = exec.Stats
+	// PhaseStat is one phase's entry in ExecStats.
+	PhaseStat = exec.PhaseStat
+	// Arena recycles partition buffers and scratch arrays across
+	// repeated joins; pass one via Options.Arena for isolated reuse.
+	Arena = exec.Arena
+)
+
+// NewArena returns an empty private buffer arena.
+func NewArena() *Arena { return exec.NewArena() }
 
 // New returns a fresh instance of the named algorithm (Table 2
 // abbreviations: PRB, NOP, CHTJ, MWAY, NOPA, PRO, PRL, PRA, CPRL, CPRA,
