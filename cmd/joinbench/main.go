@@ -9,6 +9,7 @@
 //	joinbench -run all -scale 64 -threads 16
 //	joinbench -run fig10 -quick
 //	joinbench -run fig1 -json
+//	joinbench -run fig1 -trace trace.json   # Chrome/Perfetto trace_event output
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"mmjoin/internal/bench"
+	"mmjoin/internal/trace"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text or markdown")
 		asJSON  = flag.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
 		out     = flag.String("o", "", "write reports to a file instead of stdout")
+		traceTo = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file covering every executed join")
 	)
 	flag.Parse()
 
@@ -47,6 +50,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat}
+	if *traceTo != "" {
+		cfg.Tracer = trace.New()
+	}
 	ids := []string{*run}
 	if *run == "all" {
 		ids = ids[:0]
@@ -80,6 +86,21 @@ func main() {
 			rep.RenderMarkdown(dst)
 		default:
 			rep.Render(dst)
+		}
+	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		if err := cfg.Tracer.WriteTraceEvents(f); err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "joinbench:", err)
+			os.Exit(1)
 		}
 	}
 }

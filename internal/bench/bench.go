@@ -20,6 +20,7 @@ import (
 	"mmjoin/internal/datagen"
 	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
+	"mmjoin/internal/trace"
 	"mmjoin/internal/tuple"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	// fastest (single-run variance on a shared host is substantial);
 	// 0 means 1.
 	Repeat int
+	// Tracer, when non-nil, collects execution spans from every
+	// measured join (and bandwidth counters from the simulated
+	// experiments) for -trace export. Repeated runs all land on the
+	// tracer; consumers see one process track per join execution.
+	Tracer *trace.Tracer
 }
 
 // normalize fills defaults.
@@ -224,17 +230,19 @@ func generate(c Config, buildTuples, probeTuples int, zipf float64, holes int) (
 
 // runJoin executes one algorithm with a GC fence so the collector does
 // not bill one algorithm for another's garbage. With Config.Repeat > 1
-// the fastest of the repeats is reported.
-func runJoin(name string, w *datagen.Workload, opts join.Options) (*join.Result, error) {
-	return runJoinRepeat(name, w, opts, 1)
+// the fastest of the repeats is reported. The Config threads the
+// harness-level instrumentation (Tracer) into the join options.
+func runJoin(c Config, name string, w *datagen.Workload, opts join.Options) (*join.Result, error) {
+	return runJoinRepeat(c, name, w, opts, 1)
 }
 
-func runJoinRepeat(name string, w *datagen.Workload, opts join.Options, repeat int) (*join.Result, error) {
+func runJoinRepeat(c Config, name string, w *datagen.Workload, opts join.Options, repeat int) (*join.Result, error) {
 	algo, err := join.New(name)
 	if err != nil {
 		return nil, err
 	}
 	opts.Domain = w.Domain
+	opts.Tracer = c.Tracer
 	var best *join.Result
 	for i := 0; i < max(repeat, 1); i++ {
 		runtime.GC()
@@ -258,7 +266,7 @@ func runJoinRelations(name string, build, probe tuple.Relation, domain int, c Co
 		return nil, err
 	}
 	runtime.GC()
-	return algo.Run(build, probe, &join.Options{Threads: c.Threads, Domain: domain})
+	return algo.Run(build, probe, &join.Options{Threads: c.Threads, Domain: domain, Tracer: c.Tracer})
 }
 
 // fmtThroughput renders M tuples/s with sensible precision.

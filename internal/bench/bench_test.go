@@ -125,11 +125,11 @@ func TestRunJoinRepeatReturnsFastest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := runJoinRepeat("NOP", w, joinOptions(4), 3)
+	res, err := runJoinRepeat(Config{}, "NOP", w, joinOptions(4), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := runJoinRepeat("NOP", w, joinOptions(4), 1)
+	single, err := runJoinRepeat(Config{}, "NOP", w, joinOptions(4), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -122,11 +122,11 @@ func runAblHash(c Config) (*Report, error) {
 	}
 	for _, hname := range hashes {
 		h := hashfn.ByName(hname)
-		nop, err := runJoin("NOP", w, join.Options{Threads: c.Threads, Hash: h})
+		nop, err := runJoin(c, "NOP", w, join.Options{Threads: c.Threads, Hash: h})
 		if err != nil {
 			return nil, err
 		}
-		prl, err := runJoin("PRLiS", w, join.Options{Threads: c.Threads, Hash: h})
+		prl, err := runJoin(c, "PRLiS", w, join.Options{Threads: c.Threads, Hash: h})
 		if err != nil {
 			return nil, err
 		}
@@ -154,11 +154,11 @@ func runAblSkew(c Config) (*Report, error) {
 			return nil, err
 		}
 		for _, algo := range []string{"CPRL", "PRAiS"} {
-			plain, err := runJoin(algo, w, join.Options{Threads: c.Threads})
+			plain, err := runJoin(c, algo, w, join.Options{Threads: c.Threads})
 			if err != nil {
 				return nil, err
 			}
-			split, err := runJoin(algo, w, join.Options{Threads: c.Threads, SplitSkewedTasks: true})
+			split, err := runJoin(c, algo, w, join.Options{Threads: c.Threads, SplitSkewedTasks: true})
 			if err != nil {
 				return nil, err
 			}

@@ -54,7 +54,7 @@ func throughputReport(c Config, id, title, expectation string, names []string, p
 			fmtTuples(len(w.Build)), fmtTuples(len(w.Probe)), c.Threads)},
 	}
 	for _, name := range names {
-		res, err := runJoinRepeat(name, w, join.Options{Threads: c.Threads}, c.Repeat)
+		res, err := runJoinRepeat(c, name, w, join.Options{Threads: c.Threads}, c.Repeat)
 		if err != nil {
 			return nil, err
 		}
@@ -98,14 +98,14 @@ func runFig2(c Config) (*Report, error) {
 			fmtTuples(len(w.Build)), fmtTuples(len(w.Probe)), c.Scale)},
 	}
 	for _, bits := range bitRange {
-		one, err := runJoin("PRO", w, join.Options{Threads: c.Threads, RadixBits: bits})
+		one, err := runJoin(c, "PRO", w, join.Options{Threads: c.Threads, RadixBits: bits})
 		if err != nil {
 			return nil, err
 		}
 		// The two-pass variant divides the bits evenly over the passes
 		// (Figure 2 caption) and keeps SWWCB on, isolating the pass
 		// count.
-		two, err := runJoin("PRO", w, join.Options{Threads: c.Threads, RadixBits: bits, ForceTwoPass: true})
+		two, err := runJoin(c, "PRO", w, join.Options{Threads: c.Threads, RadixBits: bits, ForceTwoPass: true})
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +133,7 @@ func breakdownReport(c Config, id, title, expectation string, names []string) (*
 			fmtTuples(len(w.Build)), fmtTuples(len(w.Probe)), c.Threads)},
 	}
 	for _, name := range names {
-		res, err := runJoinRepeat(name, w, join.Options{Threads: c.Threads}, c.Repeat)
+		res, err := runJoinRepeat(c, name, w, join.Options{Threads: c.Threads}, c.Repeat)
 		if err != nil {
 			return nil, err
 		}

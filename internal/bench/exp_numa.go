@@ -92,6 +92,7 @@ func runFig6(c Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		res.EmitTrace(c.Tracer, m, "fig6 sim: "+v.name)
 		active := res.ActiveNodesOverTime(m, 10, 0.3)
 		util := res.NodeUtilization(m)
 		var mean float64
@@ -330,7 +331,7 @@ func runFig4(c Config) (*Report, error) {
 	}
 	for _, algo := range []string{"PRB", "PRO", "PROiS", "CPRL", "CPRA", "NOP"} {
 		tr := numa.NewTraffic(topo)
-		if _, err := runJoin(algo, w, join.Options{Threads: c.Threads, Traffic: tr}); err != nil {
+		if _, err := runJoin(c, algo, w, join.Options{Threads: c.Threads, Traffic: tr}); err != nil {
 			return nil, err
 		}
 		rep.Rows = append(rep.Rows, []string{

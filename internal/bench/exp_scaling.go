@@ -80,7 +80,7 @@ func runFig9(c Config) (*Report, error) {
 				if bits < 1 {
 					continue
 				}
-				res, err := runJoin(algo, w, join.Options{Threads: c.Threads, RadixBits: uint(bits)})
+				res, err := runJoin(c, algo, w, join.Options{Threads: c.Threads, RadixBits: uint(bits)})
 				if err != nil {
 					return nil, err
 				}
@@ -126,7 +126,7 @@ func runFig10(c Config) (*Report, error) {
 				return err
 			}
 			for _, algo := range algos {
-				res, err := runJoinRepeat(algo, w, join.Options{Threads: c.Threads}, c.Repeat)
+				res, err := runJoinRepeat(c, algo, w, join.Options{Threads: c.Threads}, c.Repeat)
 				if err != nil {
 					return err
 				}
@@ -205,14 +205,14 @@ func runFig12(c Config) (*Report, error) {
 			return nil, err
 		}
 		pred := radix.PredictBits(n, radix.LoadFactorFor("linear"), c.Threads, radix.PaperMachine())
-		res, err := runJoin("CPRL", w, join.Options{Threads: c.Threads, RadixBits: pred})
+		res, err := runJoin(c, "CPRL", w, join.Options{Threads: c.Threads, RadixBits: pred})
 		if err != nil {
 			return nil, err
 		}
 		predNs := nsPerTuple(res)
 		bestBits, bestNs, worstNs := uint(0), 0.0, 0.0
 		for _, bits := range bitRange {
-			r, err := runJoin("CPRL", w, join.Options{Threads: c.Threads, RadixBits: bits})
+			r, err := runJoin(c, "CPRL", w, join.Options{Threads: c.Threads, RadixBits: bits})
 			if err != nil {
 				return nil, err
 			}

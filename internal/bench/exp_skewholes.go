@@ -47,7 +47,7 @@ func runFig15(c Config) (*Report, error) {
 				return nil, err
 			}
 			for _, algo := range algos {
-				res, err := runJoinRepeat(algo, w, join.Options{Threads: c.Threads}, c.Repeat)
+				res, err := runJoinRepeat(c, algo, w, join.Options{Threads: c.Threads}, c.Repeat)
 				if err != nil {
 					return nil, err
 				}
@@ -84,13 +84,13 @@ func runFig17(c Config) (*Report, error) {
 			return nil, err
 		}
 		for _, algo := range algos {
-			res, err := runJoinRepeat(algo, w, join.Options{Threads: c.Threads}, c.Repeat)
+			res, err := runJoinRepeat(c, algo, w, join.Options{Threads: c.Threads}, c.Repeat)
 			if err != nil {
 				return nil, err
 			}
 			adaptive := "-"
 			if algo == "CPRA" || algo == "PRAiS" {
-				ares, err := runJoinRepeat(algo, w, join.Options{Threads: c.Threads, AdaptBitsToDomain: true}, c.Repeat)
+				ares, err := runJoinRepeat(c, algo, w, join.Options{Threads: c.Threads, AdaptBitsToDomain: true}, c.Repeat)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mmjoin/internal/trace"
+)
+
+// The golden schema of joinbench -json: downstream scripts (the
+// plotting pipeline of EXPERIMENTS.md) key on these exact field names.
+// Renaming or retyping a field is a breaking change and must fail here
+// first.
+
+var goldenTopLevelKeys = []string{"experiment", "title", "records"}
+
+var goldenRecordKeys = []string{
+	"experiment", "algorithm", "threads", "input_tuples", "matches",
+	"throughput_mtuples_per_sec", "partition_or_build_ms",
+	"join_or_probe_ms", "total_ms",
+}
+
+var goldenPhaseKeys = []string{"name", "wall_ns", "tasks"}
+
+var goldenMetricsKeys = []string{"task_latency", "queue_wait", "occupancy", "imbalance"}
+
+var goldenHistogramKeys = []string{"count", "min_us", "mean_us", "p50_us", "p95_us", "max_us"}
+
+func decodeReport(t *testing.T, rep *Report) map[string]json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func requireKeys(t *testing.T, context string, doc map[string]json.RawMessage, keys []string) {
+	t.Helper()
+	for _, k := range keys {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("%s: missing golden key %q", context, k)
+		}
+	}
+}
+
+// TestJSONGoldenSchema runs one cheap measured experiment with a tracer
+// attached and locks the -json output shape down to the exec phase and
+// metrics sub-objects.
+func TestJSONGoldenSchema(t *testing.T) {
+	rep, err := Run("fig1", Config{Scale: 4096, Quick: true, Threads: 4, Tracer: trace.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeReport(t, rep)
+	requireKeys(t, "top level", doc, goldenTopLevelKeys)
+
+	var records []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["records"], &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("fig1 produced no records")
+	}
+	for _, rec := range records[:1] {
+		requireKeys(t, "record", rec, goldenRecordKeys)
+		var exec struct {
+			Workers int             `json:"workers"`
+			Phases  json.RawMessage `json:"phases"`
+		}
+		if err := json.Unmarshal(rec["exec"], &exec); err != nil {
+			t.Fatal(err)
+		}
+		if exec.Workers == 0 {
+			t.Error("exec.workers missing or zero")
+		}
+		var phases []map[string]json.RawMessage
+		if err := json.Unmarshal(exec.Phases, &phases); err != nil {
+			t.Fatal(err)
+		}
+		if len(phases) == 0 {
+			t.Fatal("exec.phases empty")
+		}
+		requireKeys(t, "phase", phases[0], goldenPhaseKeys)
+		// With a tracer attached every phase carries metrics.
+		var metrics map[string]json.RawMessage
+		if err := json.Unmarshal(phases[0]["metrics"], &metrics); err != nil {
+			t.Fatalf("phase metrics: %v (phase: %s)", err, phases[0])
+		}
+		requireKeys(t, "metrics", metrics, goldenMetricsKeys)
+		var hist map[string]json.RawMessage
+		if err := json.Unmarshal(metrics["task_latency"], &hist); err != nil {
+			t.Fatal(err)
+		}
+		requireKeys(t, "histogram", hist, goldenHistogramKeys)
+	}
+
+	// Record types, not just names: a numeric field turning into a
+	// string would survive the key check.
+	var typed []Record
+	if err := json.Unmarshal(doc["records"], &typed); err != nil {
+		t.Fatalf("records no longer decode into Record: %v", err)
+	}
+}
+
+// TestJSONSimulationOnlyEmitsEmptyArray guards the PR 1 fix: an
+// experiment with no measured records (fig6 is simulation-only) must
+// render "records": [] — not null, which breaks array-iterating
+// consumers.
+func TestJSONSimulationOnlyEmitsEmptyArray(t *testing.T) {
+	rep, err := Run("fig6", Config{Scale: 4096, Quick: true, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeReport(t, rep)
+	requireKeys(t, "top level", doc, goldenTopLevelKeys)
+	if got := string(bytes.TrimSpace(doc["records"])); got != "[]" {
+		t.Fatalf("simulation-only records = %s, want []", got)
+	}
+}

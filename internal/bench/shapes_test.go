@@ -26,7 +26,7 @@ func shapeWorkload(t *testing.T, build, probe int, zipf float64) *datagen.Worklo
 
 func run(t *testing.T, name string, w *datagen.Workload) *join.Result {
 	t.Helper()
-	res, err := runJoinRepeat(name, w, join.Options{Threads: 8}, 3)
+	res, err := runJoinRepeat(Config{}, name, w, join.Options{Threads: 8}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +67,11 @@ func TestShapeOnePassBeatsTwoPass(t *testing.T) {
 	w := shapeWorkload(t, 1<<18, 10<<18, 0)
 	// min-of-6: the margin narrowed when the arena started recycling the
 	// two-pass intermediate buffer, so min-of-3 flips under CPU load.
-	one, err := runJoinRepeat("PRO", w, join.Options{Threads: 8, RadixBits: 8}, 6)
+	one, err := runJoinRepeat(Config{}, "PRO", w, join.Options{Threads: 8, RadixBits: 8}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := runJoinRepeat("PRO", w, join.Options{Threads: 8, RadixBits: 8, ForceTwoPass: true}, 6)
+	two, err := runJoinRepeat(Config{}, "PRO", w, join.Options{Threads: 8, RadixBits: 8, ForceTwoPass: true}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +113,11 @@ func TestShapeInterestingOrders(t *testing.T) {
 func TestShapeSkewUnbalancesPartitionTasks(t *testing.T) {
 	uniform := shapeWorkload(t, 1<<18, 10<<18, 0)
 	skewed := shapeWorkload(t, 1<<18, 10<<18, 0.99)
-	u, err := runJoinRepeat("CPRL", uniform, join.Options{Threads: 8, RadixBits: 8}, 1)
+	u, err := runJoinRepeat(Config{}, "CPRL", uniform, join.Options{Threads: 8, RadixBits: 8}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := runJoinRepeat("CPRL", skewed, join.Options{Threads: 8, RadixBits: 8}, 1)
+	s, err := runJoinRepeat(Config{}, "CPRL", skewed, join.Options{Threads: 8, RadixBits: 8}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestShapeSkewUnbalancesPartitionTasks(t *testing.T) {
 		t.Fatalf("zipf 0.99 imbalance %.1fx not far above uniform %.1fx",
 			s.MaxTaskShare, u.MaxTaskShare)
 	}
-	n, err := runJoinRepeat("NOP", skewed, join.Options{Threads: 8}, 1)
+	n, err := runJoinRepeat(Config{}, "NOP", skewed, join.Options{Threads: 8}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

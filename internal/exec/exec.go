@@ -18,9 +18,12 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mmjoin/internal/trace"
 )
 
 // MorselTuples is the stride in which chunk-parallel phases walk their
@@ -72,6 +75,9 @@ type Pool struct {
 	arena     *Arena
 	stats     Stats
 	phaseHook func(phase string)
+	tracer    *trace.Tracer
+	driver    *trace.Shard
+	shards    []*trace.Shard
 }
 
 // NewPool creates a pool of `threads` workers (minimum 1) bound to ctx.
@@ -105,6 +111,29 @@ func (p *Pool) SetPhaseHook(fn func(phase string)) { p.phaseHook = fn }
 // (e.g. "lifo(sequential)", "lifo(round-robin)") in the stats.
 func (p *Pool) SetQueueStrategy(s string) { p.stats.Queue = s }
 
+// SetTracer attaches a span recorder under the given process label
+// (typically the algorithm name): every subsequent phase emits a
+// whole-phase span on a driver track plus per-task/per-morsel spans on
+// one track per worker, and PhaseStat.Metrics is populated. A nil
+// tracer (trace.Disabled) keeps the task loops on their untraced fast
+// path — the only cost of tracing-off is one pointer check per phase.
+func (p *Pool) SetTracer(tr *trace.Tracer, label string) {
+	if tr == nil {
+		p.tracer, p.driver, p.shards = nil, nil, nil
+		return
+	}
+	p.tracer = tr
+	pid := tr.NewProcess(label)
+	p.driver = tr.NewShard(pid, 0, "driver")
+	p.shards = make([]*trace.Shard, p.threads)
+	for i := range p.shards {
+		p.shards[i] = tr.NewShard(pid, i+1, fmt.Sprintf("worker %d", i))
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
+
 // Threads returns the worker count.
 func (p *Pool) Threads() int { return p.threads }
 
@@ -130,19 +159,50 @@ type Worker struct {
 	pool    *Pool
 	tasks   int
 	counted bool
-	_       [4]byte // separate hot counters of adjacent workers
+	// bytes and allocs accumulate the hot-loop counters reported via
+	// AddBytes/AddAllocs; they feed PhaseStat and the spans.
+	bytes  int64
+	allocs int64
+	// tr carries this worker's tracing state for the current phase; nil
+	// when tracing is off (the fast-path check of Morsels and RunQueue).
+	tr *workerTrace
+	_  [4]byte // separate hot counters of adjacent workers
+}
+
+// workerTrace is one worker's per-phase tracing state: its span shard
+// plus the latency/wait accumulators the phase metrics are built from.
+type workerTrace struct {
+	shard *trace.Shard
+	phase string
+	busy  time.Duration
+	lat   trace.Histogram
+	wait  trace.Histogram
 }
 
 // Cancelled reports whether the pool's context is done. Cheap enough
 // for morsel boundaries, not for per-tuple loops.
 func (w *Worker) Cancelled() bool { return w.pool.ctx.Err() != nil }
 
+// AddBytes reports n bytes touched by the worker's hot loop (streamed
+// tuples plus modeled table traffic). It is a plain add on a
+// worker-private counter — cheap enough to call at morsel or task
+// granularity regardless of whether tracing is on.
+func (w *Worker) AddBytes(n int64) { w.bytes += n }
+
+// AddAllocs reports n allocation events (fresh hash tables, sort
+// scratch buffers, run copies) from the worker's hot path.
+func (w *Worker) AddAllocs(n int64) { w.allocs += n }
+
 // Morsels iterates [0, n) in MorselTuples strides, calling fn(begin,
 // end) per stride with a cancellation check in between. It returns
 // false if the phase was cancelled before covering all of n. Each
-// stride counts as one executed task in the phase stats.
+// stride counts as one executed task in the phase stats; with a tracer
+// attached every stride emits one span.
 func (w *Worker) Morsels(n int, fn func(begin, end int)) bool {
 	w.counted = true
+	if w.tr != nil {
+		return w.morselsTraced(n, fn)
+	}
 	ctx := w.pool.ctx
 	for begin := 0; begin < n; begin += MorselTuples {
 		if ctx.Err() != nil {
@@ -154,6 +214,33 @@ func (w *Worker) Morsels(n int, fn func(begin, end int)) bool {
 		}
 		w.tasks++
 		fn(begin, end)
+	}
+	return true
+}
+
+// morselsTraced is the tracing variant of Morsels: identical control
+// flow plus one span (with byte/alloc deltas) per stride.
+func (w *Worker) morselsTraced(n int, fn func(begin, end int)) bool {
+	ctx := w.pool.ctx
+	tr := w.tr
+	stride := 0
+	for begin := 0; begin < n; begin += MorselTuples {
+		if ctx.Err() != nil {
+			return false
+		}
+		end := begin + MorselTuples
+		if end > n {
+			end = n
+		}
+		w.tasks++
+		b0, a0 := w.bytes, w.allocs
+		start := time.Now()
+		fn(begin, end)
+		d := time.Since(start)
+		tr.busy += d
+		tr.lat.Observe(d)
+		tr.shard.Span(tr.phase, stride, start, d, 0, w.bytes-b0, w.allocs-a0)
+		stride++
 	}
 	return true
 }
@@ -175,15 +262,36 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 	for i := range workers {
 		workers[i] = Worker{ID: i, pool: p}
 	}
+	call := fn
+	if p.tracer != nil {
+		traces := make([]workerTrace, p.threads)
+		for i := range workers {
+			traces[i] = workerTrace{shard: p.shards[i], phase: phase}
+			workers[i].tr = &traces[i]
+		}
+		// Workers that never enter Morsels or a queue drain (plain
+		// fork/join chunk work) still get one whole-chunk span.
+		call = func(w *Worker) {
+			ws := time.Now()
+			fn(w)
+			if !w.counted {
+				d := time.Since(ws)
+				tr := w.tr
+				tr.busy += d
+				tr.lat.Observe(d)
+				tr.shard.Span(tr.phase, -1, ws, d, 0, w.bytes, w.allocs)
+			}
+		}
+	}
 	if p.threads == 1 {
-		fn(&workers[0])
+		call(&workers[0])
 	} else {
 		var wg sync.WaitGroup
 		for i := range workers {
 			wg.Add(1)
 			go func(w *Worker) {
 				defer wg.Done()
-				fn(w)
+				call(w)
 			}(&workers[i])
 		}
 		wg.Wait()
@@ -199,6 +307,10 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) error {
 	return p.Run(phase, func(w *Worker) {
 		w.counted = true
+		if w.tr != nil {
+			w.drainTraced(q, fn)
+			return
+		}
 		ctx := p.ctx
 		for {
 			if ctx.Err() != nil {
@@ -212,6 +324,34 @@ func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) err
 			fn(w, t)
 		}
 	})
+}
+
+// drainTraced is the tracing variant of the RunQueue worker loop: every
+// popped task emits one span carrying its queue wait and byte/alloc
+// deltas.
+func (w *Worker) drainTraced(q Queue, fn func(w *Worker, task int)) {
+	ctx := w.pool.ctx
+	tr := w.tr
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		popStart := time.Now()
+		t, ok := q.Pop()
+		if !ok {
+			return
+		}
+		w.tasks++
+		b0, a0 := w.bytes, w.allocs
+		start := time.Now()
+		wait := start.Sub(popStart)
+		fn(w, t)
+		d := time.Since(start)
+		tr.busy += d
+		tr.lat.Observe(d)
+		tr.wait.Observe(wait)
+		tr.shard.Span(tr.phase, t, start, d, wait, w.bytes-b0, w.allocs-a0)
+	}
 }
 
 // record appends the phase's stats entry.
@@ -230,6 +370,38 @@ func (p *Pool) record(phase string, start time.Time, workers []Worker) {
 		}
 		st.TasksPerWorker[i] = n
 		st.Tasks += n
+		st.Bytes += workers[i].bytes
+		st.Allocs += workers[i].allocs
+	}
+	if p.tracer != nil {
+		st.Metrics = phaseMetrics(workers, st.Wall)
+		p.driver.Span(phase, -1, start, st.Wall, 0, st.Bytes, st.Allocs)
 	}
 	p.stats.Phases = append(p.stats.Phases, st)
+}
+
+// phaseMetrics folds the workers' per-phase tracing state into the
+// aggregated PhaseMetrics attached to the stats entry.
+func phaseMetrics(workers []Worker, wall time.Duration) *trace.PhaseMetrics {
+	m := &trace.PhaseMetrics{}
+	var totalBusy, maxBusy time.Duration
+	for i := range workers {
+		tr := workers[i].tr
+		if tr == nil {
+			continue
+		}
+		m.TaskLatency.Merge(&tr.lat)
+		m.QueueWait.Merge(&tr.wait)
+		totalBusy += tr.busy
+		if tr.busy > maxBusy {
+			maxBusy = tr.busy
+		}
+	}
+	if wall > 0 && len(workers) > 0 {
+		m.Occupancy = float64(totalBusy) / (float64(wall) * float64(len(workers)))
+	}
+	if meanBusy := float64(totalBusy) / float64(len(workers)); meanBusy > 0 {
+		m.Imbalance = float64(maxBusy) / meanBusy
+	}
+	return m
 }

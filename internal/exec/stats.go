@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"mmjoin/internal/trace"
 )
 
 // PhaseStat is the execution record of one pool phase.
@@ -17,6 +19,16 @@ type PhaseStat struct {
 	// TasksPerWorker breaks Tasks down by worker id — the load-balance
 	// view behind the paper's straggler discussion (Appendix A).
 	TasksPerWorker []int `json:"tasks_per_worker,omitempty"`
+	// Bytes sums the bytes the phase's hot loops reported touching via
+	// Worker.AddBytes (streamed tuples plus modeled table traffic);
+	// zero for phases that do not report.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Allocs sums the allocation events reported via Worker.AddAllocs.
+	Allocs int64 `json:"allocs,omitempty"`
+	// Metrics holds the aggregated task-latency/queue-wait histograms
+	// and occupancy/imbalance ratios; populated only when a tracer is
+	// attached to the pool.
+	Metrics *trace.PhaseMetrics `json:"metrics,omitempty"`
 }
 
 // Stats is the execution telemetry of one join run: every parallel

@@ -1,0 +1,36 @@
+package hashtable
+
+import "mmjoin/internal/tuple"
+
+// Per-operation byte-traffic model of the table variants: the expected
+// number of cache lines one build insert or one probe lookup touches,
+// in bytes. These are the coefficients behind the paper's bandwidth
+// arguments (Section 5's "bytes per output tuple"), used by the join
+// drivers to attribute hot-loop traffic to the execution layer's
+// per-phase byte counters (exec.Worker.AddBytes). They deliberately
+// model the common case — one line for an open-addressing hit, bucket
+// line plus overflow line for chaining — rather than tail behaviour.
+const (
+	// ChainedOpBytes: the bucket header line plus, on average, one
+	// chased overflow line.
+	ChainedOpBytes = 2 * tuple.CacheLineBytes
+	// LinearOpBytes: one line covers the short probe sequences of a
+	// half-full linear table.
+	LinearOpBytes = tuple.CacheLineBytes
+	// ArrayOpBytes: a single positional access.
+	ArrayOpBytes = tuple.CacheLineBytes
+	// CHTOpBytes: the bitmap word's line plus the dense payload line.
+	CHTOpBytes = 2 * tuple.CacheLineBytes
+)
+
+// OpBytes returns the modeled per-operation traffic of the table.
+func (t *ChainedTable) OpBytes() int64 { return ChainedOpBytes }
+
+// OpBytes returns the modeled per-operation traffic of the table.
+func (t *LinearTable) OpBytes() int64 { return LinearOpBytes }
+
+// OpBytes returns the modeled per-operation traffic of the table.
+func (t *ArrayTable) OpBytes() int64 { return ArrayOpBytes }
+
+// OpBytes returns the modeled per-operation traffic of the table.
+func (t *CHT) OpBytes() int64 { return CHTOpBytes }

@@ -72,7 +72,7 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
 	sinks := make([]sink, o.Threads)
@@ -88,6 +88,7 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 			for _, tp := range build[c.Begin+begin : c.Begin+end] {
 				ht.InsertConcurrent(tp)
 			}
+			w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ChainedOpBytes))
 		})
 	})
 	ht.FinishConcurrentBuild()
@@ -105,6 +106,7 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 					s.emit(p, tp.Payload)
 				}
 			}
+			w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ChainedOpBytes))
 		})
 	})
 	if err != nil {

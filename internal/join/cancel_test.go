@@ -3,23 +3,36 @@ package join
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"mmjoin/internal/datagen"
 )
 
+var (
+	cancelWorkloadOnce sync.Once
+	cancelWorkloadW    *datagen.Workload
+	cancelWorkloadErr  error
+)
+
 // cancelWorkload is large enough that every algorithm runs multiple
 // morsels per phase, so a mid-phase cancellation has strides left to
-// skip.
+// skip. It is generated once and shared: the workload is read-only to
+// the joins, and regenerating ~0.8M tuples per (algorithm, phase) case
+// would dominate the table-driven run.
 func cancelWorkload(t *testing.T) *datagen.Workload {
 	t.Helper()
-	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 18, ProbeSize: 1 << 19, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
+	cancelWorkloadOnce.Do(func() {
+		cancelWorkloadW, cancelWorkloadErr = datagen.Generate(
+			datagen.Config{BuildSize: 1 << 18, ProbeSize: 1 << 19, Seed: 7})
+	})
+	if cancelWorkloadErr != nil {
+		t.Fatal(cancelWorkloadErr)
 	}
-	return w
+	return cancelWorkloadW
 }
 
 // runCancelAt cancels the context the moment the named phase starts and
@@ -75,32 +88,54 @@ func runCancelAt(t *testing.T, algo, phase string) {
 	}
 }
 
-// One algorithm per class (Table 2): PRO for the partition-based joins,
-// NOP for the no-partitioning joins, MWAY for the sort-merge joins.
-// Each is cancelled once mid-partition/build and once mid-probe/join.
-
-func TestCancelPROMidPartition(t *testing.T) {
-	runCancelAt(t, "PRO", "partition(S)/scatter")
+// cancelPhases maps every algorithm — the thirteen of Table 2 plus the
+// MPSM and NOPC ablations — to one early and one late phase to cancel
+// in. The early phase exercises cancellation while input is still being
+// reorganized (buffers must return to the arena), the late phase while
+// results are being produced (sinks must be discarded).
+var cancelPhases = map[string][2]string{
+	"PRB":   {"partition(S)/subpartition", "join"},
+	"PRO":   {"partition(S)/scatter", "join"},
+	"PRL":   {"partition(S)/scatter", "join"},
+	"PRA":   {"partition(S)/scatter", "join"},
+	"PROiS": {"partition(S)/scatter", "join"},
+	"PRLiS": {"partition(S)/scatter", "join"},
+	"PRAiS": {"partition(S)/scatter", "join"},
+	"CPRL":  {"partition(S)/chunked", "join"},
+	"CPRA":  {"partition(S)/chunked", "join"},
+	"NOP":   {"build", "probe"},
+	"NOPA":  {"build", "probe"},
+	"NOPC":  {"build", "probe"},
+	"CHTJ":  {"bulkload", "probe"},
+	"MWAY":  {"partition(S)/scatter", "merge-join"},
+	"MPSM":  {"sort", "merge-join"},
 }
 
-func TestCancelPROMidJoin(t *testing.T) {
-	runCancelAt(t, "PRO", "join")
-}
-
-func TestCancelNOPMidBuild(t *testing.T) {
-	runCancelAt(t, "NOP", "build")
-}
-
-func TestCancelNOPMidProbe(t *testing.T) {
-	runCancelAt(t, "NOP", "probe")
-}
-
-func TestCancelMWAYMidPartition(t *testing.T) {
-	runCancelAt(t, "MWAY", "partition(S)/scatter")
-}
-
-func TestCancelMWAYMidMerge(t *testing.T) {
-	runCancelAt(t, "MWAY", "merge-join")
+// TestCancelMidPhase cancels every algorithm mid-early-phase and
+// mid-late-phase. The table must cover all registered algorithms, so a
+// newly added join cannot ship without a cancellation contract.
+func TestCancelMidPhase(t *testing.T) {
+	covered := map[string]bool{}
+	for _, name := range append(Names(), "MPSM", "NOPC") {
+		if _, ok := cancelPhases[name]; !ok {
+			t.Fatalf("cancelPhases has no entry for %s — add its early/late phases", name)
+		}
+		covered[name] = true
+	}
+	for name := range cancelPhases {
+		if !covered[name] {
+			t.Fatalf("cancelPhases names unknown algorithm %s", name)
+		}
+	}
+	for name, phases := range cancelPhases {
+		name, phases := name, phases
+		t.Run(fmt.Sprintf("%s/early", name), func(t *testing.T) {
+			runCancelAt(t, name, phases[0])
+		})
+		t.Run(fmt.Sprintf("%s/late", name), func(t *testing.T) {
+			runCancelAt(t, name, phases[1])
+		})
+	}
 }
 
 func TestCancelBeforeRun(t *testing.T) {

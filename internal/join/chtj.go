@@ -51,7 +51,7 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	userHash := o.Hash
 	spread := func(k tuple.Key) uint64 { return userHash(k) * 8 }
 
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	pool.SetQueueStrategy("fifo")
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
@@ -75,8 +75,10 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 				r := builder.RegionOf(tp.Key)
 				lists[r] = append(lists[r], tp)
 			}
+			w.AddBytes(2 * int64(end-begin) * tuple.Bytes) // read chunk + append to lists
 		})
 		perWorker[w.ID] = lists
+		w.AddAllocs(1) // per-region list set
 	})
 	if err != nil {
 		return nil, err
@@ -90,6 +92,9 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 			merged = append(merged, lists[r]...)
 		}
 		builder.LoadRegion(r, merged)
+		// merge copy + bulk-load write of the region's tuples
+		w.AddBytes(int64(len(merged)) * (2*tuple.Bytes + hashtable.CHTOpBytes))
+		w.AddAllocs(1) // merged scratch
 	})
 	if err != nil {
 		return nil, err
@@ -107,6 +112,7 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 					s.emit(p, tp.Payload)
 				}
 			}
+			w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.CHTOpBytes))
 		})
 	})
 	if err != nil {

@@ -6,21 +6,33 @@ import (
 	"mmjoin/internal/datagen"
 )
 
-// Fuzz target: any workload shape, any algorithm, any thread count —
-// the result must match the reference oracle. Seeds cover the corner
+// Fuzz target: any workload shape — including Zipf-skewed probe sides
+// and sparse (holey) key domains — any algorithm, any thread count: the
+// result must match the reference oracle. Seeds cover the corner
 // regimes; `go test -fuzz=FuzzJoinEquivalence` explores beyond them.
 func FuzzJoinEquivalence(f *testing.F) {
-	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0))
-	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9))
-	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1))
+	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0))
+	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3))
+	// Heavy skew on a sparse domain — the Figure 10/11 regime where the
+	// array joins and skew-aware scheduling earn their keep.
+	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7))
 	names := Names()
-	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw uint8) {
+	// The paper's skew points (Section 5.4): uniform, moderate, heavy,
+	// very heavy. Zipf must stay in [0,1) for the generator.
+	zipfs := []float64{0, 0.5, 0.9, 0.99}
+	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8) {
 		build := int(buildRaw%4000) + 1
 		probe := int(probeRaw % 16000)
 		threads := 1 << (threadsRaw % 5)
 		algo := names[int(algoRaw)%len(names)]
 		bits := uint(bitsRaw % 10)
-		w, err := datagen.Generate(datagen.Config{BuildSize: build, ProbeSize: probe, Seed: uint64(seed)})
+		zipf := zipfs[int(zipfRaw)%len(zipfs)]
+		holes := int(holesRaw%8) + 1 // hole factor 1 (dense) .. 8 (sparse)
+		w, err := datagen.Generate(datagen.Config{
+			BuildSize: build, ProbeSize: probe, Seed: uint64(seed),
+			Zipf: zipf, HoleFactor: holes,
+		})
 		if err != nil {
 			t.Skip()
 		}
@@ -35,7 +47,8 @@ func FuzzJoinEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
-			t.Fatalf("%s diverged: %d matches vs %d", algo, res.Matches, ref.Matches)
+			t.Fatalf("%s diverged on zipf=%g holes=%d: %d matches vs %d",
+				algo, zipf, holes, res.Matches, ref.Matches)
 		}
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/numa"
 	"mmjoin/internal/radix"
+	"mmjoin/internal/trace"
 	"mmjoin/internal/tuple"
 )
 
@@ -85,6 +86,11 @@ type Options struct {
 	// execution layer starts it — a tracing point, also used by the
 	// cancellation tests to cancel at an exact phase boundary.
 	PhaseHook func(phase string)
+	// Tracer, when non-nil, records per-phase/per-worker/per-task spans
+	// of the execution (with byte and allocation counters) and makes
+	// the execution layer attach PhaseMetrics to Result.Exec. Nil
+	// (trace.Disabled) keeps the hot loops on their untraced fast path.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) normalize() Options {
@@ -172,11 +178,15 @@ type Algorithm interface {
 }
 
 // newPool builds the exec pool for one join execution from the
-// normalized options.
-func newPool(ctx context.Context, o *Options) *exec.Pool {
+// normalized options; label names the execution's trace process track
+// (the algorithm abbreviation).
+func newPool(ctx context.Context, o *Options, label string) *exec.Pool {
 	pool := exec.NewPool(ctx, o.Threads)
 	pool.SetArena(o.Arena)
 	pool.SetPhaseHook(o.PhaseHook)
+	if o.Tracer != nil {
+		pool.SetTracer(o.Tracer, label)
+	}
 	return pool
 }
 

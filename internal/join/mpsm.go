@@ -58,7 +58,7 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 		InputTuples: int64(len(build) + len(probe)),
 	}
 	t := o.Threads
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	sinks := make([]sink, t)
 	for i := range sinks {
 		sinks[i].materialize = o.Materialize
@@ -91,6 +91,8 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	sRuns := make([]tuple.Relation, t)
 	err = pool.Run("sort", func(w *exec.Worker) {
 		rParts[w.ID] = mway.Sort(rParts[w.ID])
+		w.AddBytes(mway.SortPassBytes(len(rParts[w.ID])))
+		w.AddAllocs(1)
 		if w.Cancelled() {
 			return
 		}
@@ -100,6 +102,8 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 		run := make(tuple.Relation, len(chunk))
 		copy(run, chunk)
 		sRuns[w.ID] = mway.Sort(run)
+		w.AddBytes(2*int64(len(chunk))*tuple.Bytes + mway.SortPassBytes(len(run)))
+		w.AddAllocs(2) // run copy + ping-pong scratch
 	})
 	if err != nil {
 		return nil, err
@@ -124,6 +128,7 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 			end := sort.Search(len(run), func(i int) bool { return run[i].Key > hi })
 			if begin < end {
 				mway.MergeJoin(r, run[begin:end], s.emit)
+				w.AddBytes(int64(len(r)+end-begin) * tuple.Bytes)
 			}
 		}
 	})
@@ -155,6 +160,7 @@ func rangePartition(pool *exec.Pool, rel tuple.Relation, ranges int, rangeOf fun
 			for _, tp := range chunk[begin:end] {
 				c[rangeOf(tp.Key)]++
 			}
+			w.AddBytes(int64(end-begin) * tuple.Bytes)
 		})
 		counts[w.ID] = c
 	})
@@ -190,6 +196,7 @@ func rangePartition(pool *exec.Pool, rel tuple.Relation, ranges int, rangeOf fun
 				parts[r][cur[r]] = tp
 				cur[r]++
 			}
+			w.AddBytes(2 * int64(end-begin) * tuple.Bytes)
 		})
 	})
 	if err != nil {

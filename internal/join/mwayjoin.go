@@ -51,7 +51,7 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	}
 	partBits := uint(bits.TrailingZeros(uint(o.Threads)))
 	res.Bits = partBits
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	arena := pool.Arena()
 	sinks := make([]sink, o.Threads)
 	for i := range sinks {
@@ -80,10 +80,14 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	sortedS := make([]tuple.Relation, o.Threads)
 	err = pool.Run("sort", func(w *exec.Worker) {
 		sortedR[w.ID] = mway.Sort(pr.Part(w.ID))
+		w.AddBytes(mway.SortPassBytes(len(sortedR[w.ID])))
+		w.AddAllocs(1) // ping-pong scratch
 		if w.Cancelled() {
 			return
 		}
 		sortedS[w.ID] = mway.Sort(ps.Part(w.ID))
+		w.AddBytes(mway.SortPassBytes(len(sortedS[w.ID])))
+		w.AddAllocs(1)
 	})
 	if err != nil {
 		release()
@@ -95,6 +99,7 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	err = pool.Run("merge-join", func(w *exec.Worker) {
 		s := &sinks[w.ID]
 		mway.MergeJoin(sortedR[w.ID], sortedS[w.ID], s.emit)
+		w.AddBytes(int64(len(sortedR[w.ID])+len(sortedS[w.ID])) * tuple.Bytes)
 	})
 	if err != nil {
 		release()

@@ -65,7 +65,7 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		domain = maxKeyDomain(build)
 	}
 
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
 	sinks := make([]sink, o.Threads)
@@ -85,6 +85,7 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 				for _, tp := range build[c.Begin+begin : c.Begin+end] {
 					at.InsertConcurrent(tp)
 				}
+				w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ArrayOpBytes))
 			})
 		})
 		at.FinishConcurrentBuild()
@@ -96,6 +97,7 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 				for _, tp := range build[c.Begin+begin : c.Begin+end] {
 					lt.InsertConcurrent(tp)
 				}
+				w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.LinearOpBytes))
 			})
 		})
 	}
@@ -121,6 +123,11 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 					}
 				}
 			}
+			op := int64(hashtable.LinearOpBytes)
+			if j.array {
+				op = hashtable.ArrayOpBytes
+			}
+			w.AddBytes(int64(end-begin) * (tuple.Bytes + op))
 		})
 	})
 	if err != nil {

@@ -191,7 +191,7 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 	res.Bits = bits
 	parts := 1 << bits
 
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	arena := pool.Arena()
 	sinks := make([]sink, o.Threads)
 	for i := range sinks {
@@ -290,13 +290,18 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 		err = j.runJoinPhaseSkewAware(pool, &o, bits, order, parts, buildFrags, probeFrags, buildLen, domainPerPart, sinks)
 	} else {
 		states := make([]*workerState, o.Threads)
+		op := j.opBytes()
 		err = pool.RunQueue("join", sched.NewLIFO(order), func(w *exec.Worker, p int) {
 			wk := states[w.ID]
 			if wk == nil {
 				wk = newWorkerState(j.table, o.Hash, domainPerPart)
 				states[w.ID] = wk
+				w.AddAllocs(1)
 			}
-			j.joinTask(wk, &sinks[w.ID], bits, buildFrags(p), probeFrags(p), buildLen(p))
+			bl, pl := buildLen(p), probeLen(p)
+			j.joinTask(wk, &sinks[w.ID], bits, buildFrags(p), probeFrags(p), bl)
+			// Stream both sides once, plus one table operation per tuple.
+			w.AddBytes(int64(bl+pl) * (tuple.Bytes + op))
 		})
 	}
 	if err != nil {
@@ -360,6 +365,19 @@ func (j *radixJoin) partitionNode(o *Options, prG *radix.Partitioned, prC *radix
 			off = region.Size() - 1
 		}
 		return region.NodeAt(off)
+	}
+}
+
+// opBytes is the modeled per-tuple table traffic of the join's table
+// kind (see hashtable.OpBytes), used to attribute join-phase bytes.
+func (j *radixJoin) opBytes() int64 {
+	switch j.table {
+	case linearKind:
+		return hashtable.LinearOpBytes
+	case arrayKind:
+		return hashtable.ArrayOpBytes
+	default:
+		return hashtable.ChainedOpBytes
 	}
 }
 

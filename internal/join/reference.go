@@ -37,7 +37,7 @@ func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, op
 		InputTuples: int64(len(build) + len(probe)),
 	}
 	o.Threads = 1
-	pool := newPool(ctx, &o)
+	pool := newPool(ctx, &o, res.Algorithm)
 	s := sink{materialize: o.Materialize}
 	start := time.Now()
 	ht := make(map[tuple.Key][]tuple.Payload, len(build))
@@ -46,6 +46,7 @@ func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, op
 			for _, tp := range build[begin:end] {
 				ht[tp.Key] = append(ht[tp.Key], tp.Payload)
 			}
+			w.AddBytes(int64(end-begin) * tuple.Bytes)
 		})
 	})
 	if err != nil {
@@ -59,6 +60,7 @@ func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, op
 					s.emit(bp, tp.Payload)
 				}
 			}
+			w.AddBytes(int64(end-begin) * tuple.Bytes)
 		})
 	})
 	if err != nil {

@@ -191,10 +191,16 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	shared := make(map[int]*sharedTable, len(splitList))
 	sharedProbe := make(map[int]tuple.Relation, len(splitList))
 	var mu sync.Mutex
+	op := j.opBytes()
 	err := pool.RunQueue("skew-prebuild", exec.NewRange(len(splitList)), func(w *exec.Worker, i int) {
 		p := splitList[i]
-		st := j.buildSharedTable(bits, buildFrags(p), buildLen(p), domainPerPart, o.Hash)
+		bl := buildLen(p)
+		st := j.buildSharedTable(bits, buildFrags(p), bl, domainPerPart, o.Hash)
 		probe := concatFragments(probeFrags(p))
+		// Build streams the build side into a fresh table; the probe
+		// side is copied once for range splitting.
+		w.AddBytes(int64(bl)*(tuple.Bytes+op) + 2*int64(len(probe))*tuple.Bytes)
+		w.AddAllocs(2) // shared table + probe copy
 		mu.Lock()
 		shared[p] = st
 		sharedProbe[p] = probe
@@ -211,14 +217,18 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 		t := tasks[ti]
 		if t.split {
 			j.probeShared(shared[t.part], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi])
+			w.AddBytes(int64(t.probeHi-t.probeLo) * (tuple.Bytes + op))
 			return
 		}
 		wk := states[w.ID]
 		if wk == nil {
 			wk = newWorkerState(j.table, o.Hash, domainPerPart)
 			states[w.ID] = wk
+			w.AddAllocs(1)
 		}
-		j.joinTask(wk, &sinks[w.ID], bits, buildFrags(t.part), probeFrags(t.part), buildLen(t.part))
+		bl := buildLen(t.part)
+		j.joinTask(wk, &sinks[w.ID], bits, buildFrags(t.part), probeFrags(t.part), bl)
+		w.AddBytes(int64(bl+probeLens[t.part]) * (tuple.Bytes + op))
 	})
 }
 

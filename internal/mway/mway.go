@@ -24,6 +24,21 @@ const sortRunSize = 64
 // million-tuple partition in two passes.
 const mergeFanIn = 64
 
+// SortPassBytes is the modeled byte traffic of Sort on n tuples: one
+// read+write pass to form the runs, then one read+write pass per
+// multiway merge level (ceil(log_fanIn(n/runSize)) levels). Used by the
+// join drivers to attribute sort-phase bytes to the execution layer.
+func SortPassBytes(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	passes := 1 // run forming
+	for runLen := sortRunSize; runLen < n; runLen *= mergeFanIn {
+		passes++
+	}
+	return int64(passes) * 2 * int64(n) * tuple.Bytes
+}
+
 // Sort sorts rel by key (ascending; ties keep no particular order) and
 // returns the sorted relation. The input slice is used as one of the two
 // ping-pong buffers and may be reordered; the returned slice is either

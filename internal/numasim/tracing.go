@@ -1,0 +1,35 @@
+package numasim
+
+import (
+	"fmt"
+	"time"
+
+	"mmjoin/internal/trace"
+)
+
+// EmitTrace replays the simulation's per-node bandwidth timeline onto a
+// tracer as counter tracks (one "node N GB/s" counter per memory node,
+// sampled at each fluid-model event boundary), so the simulated
+// bandwidth profiles of Figure 6 land on the same Perfetto timeline as
+// the measured join spans. Simulated seconds map to trace seconds. A
+// nil tracer is a no-op.
+func (r *Result) EmitTrace(tr *trace.Tracer, m Machine, label string) {
+	if tr == nil || len(r.Timeline) == 0 {
+		return
+	}
+	pid := tr.NewProcess(label)
+	nodes := m.Topo.Nodes
+	name := func(n int) string { return fmt.Sprintf("node %d GB/s", n) }
+	simTime := func(sec float64) time.Duration {
+		return time.Duration(sec * float64(time.Second))
+	}
+	for _, s := range r.Timeline {
+		for n := 0; n < nodes && n < len(s.NodeBW); n++ {
+			tr.Counter(pid, name(n), simTime(s.Start), s.NodeBW[n]/1e9)
+		}
+	}
+	// Close every track at the makespan so the last plateau has width.
+	for n := 0; n < nodes; n++ {
+		tr.Counter(pid, name(n), simTime(r.Makespan), 0)
+	}
+}

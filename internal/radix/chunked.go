@@ -85,6 +85,7 @@ func PartitionChunkedExec(pool *exec.Pool, label string, src tuple.Relation, bit
 		hist := arena.Ints(parts)
 		if !w.Morsels(len(chunk), func(begin, end int) {
 			histogramInto(hist, chunk[begin:end], bits)
+			w.AddBytes(int64(end-begin) * tuple.Bytes)
 		}) {
 			arena.PutInts(hist)
 			return

@@ -1,0 +1,96 @@
+package radix
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"mmjoin/internal/tuple"
+)
+
+// relationFromBytes turns raw fuzz bytes into a relation: every two
+// bytes become one key (so the fuzzer controls the key distribution —
+// duplicates, clusters, adversarial bit patterns), with the index as
+// payload to make tuples distinguishable in multiset comparison.
+func relationFromBytes(raw []byte) tuple.Relation {
+	n := len(raw) / 2
+	rel := make(tuple.Relation, n)
+	for i := 0; i < n; i++ {
+		k := binary.LittleEndian.Uint16(raw[2*i:])
+		rel[i] = tuple.Tuple{Key: tuple.Key(k), Payload: tuple.Payload(i)}
+	}
+	return rel
+}
+
+// sortTuples orders a multiset canonically for comparison.
+func sortTuples(rel tuple.Relation) {
+	sort.Slice(rel, func(i, j int) bool {
+		if rel[i].Key != rel[j].Key {
+			return rel[i].Key < rel[j].Key
+		}
+		return rel[i].Payload < rel[j].Payload
+	})
+}
+
+// FuzzRadixPartition is the partitioning equivalence property: for an
+// arbitrary key stream, bit count, thread count, and scatter flavour,
+// the contiguous one-pass partitioner (PRO), the two-pass partitioner
+// (PRB), and the chunked partitioner (CPRL) must all produce, per
+// partition, the same multiset of tuples — and every tuple must land in
+// the partition its key's low bits name.
+func FuzzRadixPartition(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 255, 255}, uint8(2), uint8(3), true)
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint8(0), uint8(0), false)
+	f.Add([]byte{7, 1, 7, 1, 7, 1, 9, 2, 11, 3}, uint8(5), uint8(7), true)
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw, threadsRaw uint8, swwcb bool) {
+		bits := uint(bitsRaw % 12)
+		threads := int(threadsRaw%8) + 1
+		src := relationFromBytes(raw)
+		parts := 1 << bits
+		mask := tuple.Key(parts - 1)
+
+		global := PartitionGlobal(append(tuple.Relation{}, src...), bits, threads, swwcb)
+		chunked := PartitionChunked(append(tuple.Relation{}, src...), bits, threads, swwcb)
+		b1 := bits / 2
+		twoPass := PartitionTwoPass(append(tuple.Relation{}, src...), b1, bits-b1, threads, swwcb)
+
+		if global.Parts() != parts || chunked.Parts() != parts || twoPass.Parts() != parts {
+			t.Fatalf("partition counts: global=%d chunked=%d twopass=%d want %d",
+				global.Parts(), chunked.Parts(), twoPass.Parts(), parts)
+		}
+		total := 0
+		for p := 0; p < parts; p++ {
+			g := append(tuple.Relation{}, global.Part(p)...)
+			c := tuple.Relation{}
+			for _, frag := range chunked.Fragments(p) {
+				c = append(c, frag...)
+			}
+			tp := append(tuple.Relation{}, twoPass.Part(p)...)
+			// Membership: every tuple's key must belong to partition p.
+			for _, x := range g {
+				if x.Key&mask != tuple.Key(p) {
+					t.Fatalf("global partition %d holds key %d (bits=%d)", p, x.Key, bits)
+				}
+			}
+			sortTuples(g)
+			sortTuples(c)
+			sortTuples(tp)
+			if len(g) != len(c) || len(g) != len(tp) {
+				t.Fatalf("partition %d sizes diverge: global=%d chunked=%d twopass=%d",
+					p, len(g), len(c), len(tp))
+			}
+			for i := range g {
+				if g[i] != c[i] {
+					t.Fatalf("partition %d: global vs chunked diverge at %d: %v vs %v", p, i, g[i], c[i])
+				}
+				if g[i] != tp[i] {
+					t.Fatalf("partition %d: global vs twopass diverge at %d: %v vs %v", p, i, g[i], tp[i])
+				}
+			}
+			total += len(g)
+		}
+		if total != len(src) {
+			t.Fatalf("partitions hold %d tuples, input had %d", total, len(src))
+		}
+	})
+}

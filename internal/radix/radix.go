@@ -133,6 +133,7 @@ func PartitionGlobalExec(pool *exec.Pool, label string, src tuple.Relation, bits
 		c := chunks[w.ID]
 		w.Morsels(c.Len(), func(begin, end int) {
 			histogramInto(h, src[c.Begin+begin:c.Begin+end], bits)
+			w.AddBytes(int64(end-begin) * tuple.Bytes)
 		})
 		local[w.ID] = h
 	})
@@ -190,12 +191,14 @@ func scatterChunk(w *exec.Worker, dst, src tuple.Relation, c tuple.Chunk, shift,
 		sc := newBufferedScatter(dst, shift, bits, cursor)
 		w.Morsels(c.Len(), func(begin, end int) {
 			sc.scatter(src[c.Begin+begin : c.Begin+end])
+			w.AddBytes(2 * int64(end-begin) * tuple.Bytes) // read src + write dst
 		})
 		sc.flush()
 		return
 	}
 	w.Morsels(c.Len(), func(begin, end int) {
 		scatterDirect(dst, src[c.Begin+begin:c.Begin+end], shift, bits, cursor)
+		w.AddBytes(2 * int64(end-begin) * tuple.Bytes)
 	})
 }
 
@@ -315,6 +318,8 @@ func PartitionTwoPassExec(pool *exec.Pool, label string, src tuple.Relation, bit
 		part := first.Part(c)
 		out := dst[first.starts[c]:first.ends[c]]
 		subFences[c] = subPartition(out, part, bits1, bits2, swwcb)
+		// histogram read + scatter read/write of the coarse partition
+		w.AddBytes(3 * int64(len(part)) * tuple.Bytes)
 	})
 	first.Release(arena)
 	if err != nil {

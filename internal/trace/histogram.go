@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"time"
+)
+
+// histBuckets covers durations from 1 ns to ~17 minutes (2^40 ns) in
+// power-of-two buckets — wide enough for any task latency this
+// repository produces, small enough to live by value inside a worker.
+const histBuckets = 40
+
+// Histogram is a fixed-size log2 latency histogram. The zero value is
+// ready to use; Observe and Merge are single-writer (one worker),
+// matching the shard ownership model.
+type Histogram struct {
+	count   int64
+	sumNs   int64
+	minNs   int64
+	maxNs   int64
+	buckets [histBuckets]int64
+}
+
+// bucketOf maps a duration to its bucket: bucket i counts observations
+// in [2^i, 2^(i+1)) ns, with underflow in bucket 0 and overflow in the
+// last bucket.
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	i := 0
+	for v := ns; v > 1 && i < histBuckets-1; v >>= 1 {
+		i++
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if h.count == 0 || ns < h.minNs {
+		h.minNs = ns
+	}
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	h.count++
+	h.sumNs += ns
+	h.buckets[bucketOf(ns)]++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.minNs < h.minNs {
+		h.minNs = o.minNs
+	}
+	if o.maxNs > h.maxNs {
+		h.maxNs = o.maxNs
+	}
+	h.count += o.count
+	h.sumNs += o.sumNs
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs / h.count)
+}
+
+// Min and Max return the observed extremes.
+func (h *Histogram) Min() time.Duration { return time.Duration(h.minNs) }
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the log2
+// buckets: it finds the bucket holding the q-th observation and
+// interpolates linearly inside it, clamped to the observed min/max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := float64(int64(1) << uint(i))
+			hi := lo * 2
+			if i == 0 {
+				lo = 0
+			}
+			frac := (rank - cum) / float64(c)
+			ns := lo + frac*(hi-lo)
+			ns = math.Max(ns, float64(h.minNs))
+			ns = math.Min(ns, float64(h.maxNs))
+			return time.Duration(ns)
+		}
+		cum = next
+	}
+	return h.Max()
+}
+
+// histogramJSON is the locked JSON shape of a histogram: a compact
+// summary (microseconds) rather than raw buckets, so joinbench -json
+// consumers get stable field names.
+type histogramJSON struct {
+	Count  int64   `json:"count"`
+	MinUs  float64 `json:"min_us"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// MarshalJSON implements json.Marshaler with the summary shape.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Count:  h.count,
+		MinUs:  us(h.Min()),
+		MeanUs: us(h.Mean()),
+		P50Us:  us(h.Quantile(0.50)),
+		P95Us:  us(h.Quantile(0.95)),
+		MaxUs:  us(h.Max()),
+	})
+}
+
+// PhaseMetrics is the aggregated view of one executed phase: the
+// latency and queue-wait distributions of its tasks plus the worker
+// occupancy and imbalance ratios behind the paper's Table 3 and
+// Appendix A straggler discussion. The execution layer attaches it to
+// exec.PhaseStat when a tracer is installed.
+type PhaseMetrics struct {
+	// TaskLatency aggregates per-task (queue pop) or per-morsel
+	// execution times across all workers.
+	TaskLatency Histogram `json:"task_latency"`
+	// QueueWait aggregates the time workers spent acquiring each task
+	// (contention on the shared queue; zero-count for fork/join phases).
+	QueueWait Histogram `json:"queue_wait"`
+	// Occupancy is sum(worker busy time) / (workers × phase wall) in
+	// [0, 1]: how much of the phase the workers spent executing tasks.
+	Occupancy float64 `json:"occupancy"`
+	// Imbalance is max(worker busy) / mean(worker busy), >= 1; large
+	// values mark the straggler workers of Appendix A.
+	Imbalance float64 `json:"imbalance"`
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// This file serializes a Tracer into the Chrome/Perfetto trace_event
+// JSON object format (the "traceEvents" array of "X" duration events,
+// "M" metadata events, and "C" counter events), loadable directly in
+// ui.perfetto.dev or chrome://tracing.
+
+// traceEvent is one entry of the traceEvents array. Timestamps and
+// durations are in microseconds per the trace_event spec; fractional
+// values are allowed and keep sub-microsecond spans visible.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func tsUs(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteTraceEvents writes the whole trace as one Chrome/Perfetto
+// trace_event JSON document. It must only be called after all traced
+// work has completed (shards are read without synchronization).
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	t.mu.Lock()
+	procs := t.procs
+	shards := t.shards
+	counters := t.counters
+	t.mu.Unlock()
+
+	events := make([]traceEvent, 0, len(procs)+2*len(shards))
+	for _, p := range procs {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: p.pid,
+			Args: map[string]any{"name": p.name},
+		})
+	}
+	for _, s := range shards {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: s.pid, Tid: s.tid,
+			Args: map[string]any{"name": s.name},
+		})
+		for i := range s.spans {
+			sp := &s.spans[i]
+			dur := tsUs(sp.Dur)
+			args := map[string]any{}
+			if sp.Task >= 0 {
+				args["task"] = sp.Task
+			}
+			if sp.Bytes > 0 {
+				args["bytes"] = sp.Bytes
+			}
+			if sp.Allocs > 0 {
+				args["allocs"] = sp.Allocs
+			}
+			if sp.Wait > 0 {
+				args["queue_wait_us"] = tsUs(sp.Wait)
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			events = append(events, traceEvent{
+				Name: sp.Name, Ph: "X", Pid: s.pid, Tid: s.tid,
+				Ts: tsUs(sp.Start), Dur: &dur, Args: args,
+			})
+		}
+	}
+	for _, c := range counters {
+		events = append(events, traceEvent{
+			Name: c.name, Ph: "C", Pid: c.pid,
+			Ts:   tsUs(c.ts),
+			Args: map[string]any{"value": c.value},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,165 @@
+// Package trace is the span-based observability substrate under the
+// execution layer: a low-overhead recorder of per-phase, per-worker,
+// per-task spans (with byte and allocation counters attached) plus
+// simulated counter tracks, exportable as Chrome/Perfetto trace_event
+// JSON and aggregable into the per-phase metrics of exec.Stats.
+//
+// The paper's evaluation lives on per-phase attribution — the
+// partition/build/probe breakdowns of Figures 9–14 and the bandwidth
+// profiles of Figure 6 — so the recorder is designed to sit inside the
+// hot task loops of internal/exec: one shard per (pool, worker) means
+// span recording is a lock-free append to a goroutine-private slice,
+// and a nil *Tracer disables everything behind a single pointer check.
+//
+// Layering: trace sits below internal/exec and imports nothing from
+// this repository, so every package (exec, radix, numasim, bench) can
+// feed the same timeline.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Disabled is the off switch: a nil tracer. exec.Pool.SetTracer treats
+// it (or any nil *Tracer) as "tracing off" and keeps the task loops on
+// their untraced fast path.
+var Disabled *Tracer
+
+// Span is one recorded slice of work on a worker's track.
+type Span struct {
+	// Name is the phase label, e.g. "partition(R)/scatter" or "join".
+	Name string
+	// Task is the task id (queue pop) or morsel index the span covers;
+	// -1 for spans that are not task-shaped (whole-phase spans).
+	Task int
+	// Start is the span's start, relative to the tracer epoch.
+	Start time.Duration
+	// Dur is the span's duration.
+	Dur time.Duration
+	// Wait is the queue wait that preceded the span (time between the
+	// worker asking for a task and the task starting); zero for morsels.
+	Wait time.Duration
+	// Bytes is the number of bytes the span's hot loops reported
+	// touching via Worker.AddBytes.
+	Bytes int64
+	// Allocs counts the allocation events the span's hot loops reported
+	// via Worker.AddAllocs (fresh tables, sort scratch, run copies).
+	Allocs int64
+}
+
+// process is one Perfetto process track: typically one join execution
+// (pool) or one simulation replay.
+type process struct {
+	pid  int
+	name string
+}
+
+// counterSample is one sample of a numeric counter track (simulated
+// node bandwidth, for example).
+type counterSample struct {
+	pid   int
+	name  string
+	ts    time.Duration
+	value float64
+}
+
+// Tracer collects spans from any number of pools and workers. Shards
+// are registered under a mutex but written without one (each shard is
+// owned by a single goroutine at a time); export must therefore happen
+// only after the traced work has completed.
+type Tracer struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	procs    []process
+	shards   []*Shard
+	counters []counterSample
+}
+
+// New returns an empty tracer whose epoch is "now"; all span timestamps
+// are relative to it.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Enabled reports whether t actually records (false for nil/Disabled).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Since converts an absolute time into a tracer-relative timestamp.
+func (t *Tracer) Since(at time.Time) time.Duration { return at.Sub(t.epoch) }
+
+// NewProcess registers a process track (one join execution, one
+// simulation replay) and returns its pid. Safe for concurrent use.
+func (t *Tracer) NewProcess(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := len(t.procs) + 1
+	t.procs = append(t.procs, process{pid: pid, name: name})
+	return pid
+}
+
+// NewShard registers a thread track under pid and returns its shard.
+// The shard must only ever be written by one goroutine at a time (the
+// execution layer hands each worker its own).
+func (t *Tracer) NewShard(pid, tid int, name string) *Shard {
+	s := &Shard{tr: t, pid: pid, tid: tid, name: name}
+	t.mu.Lock()
+	t.shards = append(t.shards, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Counter records one sample of a numeric counter track under pid. The
+// timestamp is caller-supplied so simulated clocks (numasim) can emit
+// onto the same timeline as wall-clock spans. Safe for concurrent use;
+// not intended for hot loops.
+func (t *Tracer) Counter(pid int, name string, ts time.Duration, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters = append(t.counters, counterSample{pid: pid, name: name, ts: ts, value: value})
+	t.mu.Unlock()
+}
+
+// Spans returns all recorded spans in shard registration order. Only
+// valid after the traced work has completed.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	shards := t.shards
+	t.mu.Unlock()
+	var out []Span
+	for _, s := range shards {
+		out = append(out, s.spans...)
+	}
+	return out
+}
+
+// Shard is one thread track: a goroutine-private span buffer. All
+// methods are single-writer; the registering tracer merges shards at
+// export time.
+type Shard struct {
+	tr    *Tracer
+	pid   int
+	tid   int
+	name  string
+	spans []Span
+}
+
+// Span appends one span. start is an absolute time; the shard converts
+// it to the tracer's epoch-relative clock.
+func (s *Shard) Span(name string, task int, start time.Time, dur, wait time.Duration, bytes, allocs int64) {
+	s.spans = append(s.spans, Span{
+		Name:   name,
+		Task:   task,
+		Start:  start.Sub(s.tr.epoch),
+		Dur:    dur,
+		Wait:   wait,
+		Bytes:  bytes,
+		Allocs: allocs,
+	})
+}
+
+// Len returns the number of spans recorded on this shard.
+func (s *Shard) Len() int { return len(s.spans) }

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 400*time.Microsecond || mean > 600*time.Microsecond {
+		t.Fatalf("mean = %v, want ~500us", mean)
+	}
+	// Log2 buckets are coarse: a quantile must land in the right power
+	// of two, and quantiles must be monotone.
+	p50, p95 := h.Quantile(0.5), h.Quantile(0.95)
+	if p50 < 256*time.Microsecond || p50 > time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p95 < p50 || p95 > h.Max() {
+		t.Fatalf("p95 = %v not in [p50=%v, max=%v]", p95, p50, h.Max())
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("extreme quantiles must clamp to min/max")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, want Histogram
+	for i := 0; i < 100; i++ {
+		d := time.Duration(i+1) * time.Millisecond
+		want.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != want.Count() || a.Min() != want.Min() || a.Max() != want.Max() || a.Mean() != want.Mean() {
+		t.Fatalf("merge mismatch: %+v vs %+v", a, want)
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != want.Count() {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+}
+
+func TestHistogramZeroValueJSON(t *testing.T) {
+	var h Histogram
+	out, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"count", "min_us", "mean_us", "p50_us", "p95_us", "max_us"} {
+		if _, ok := decoded[k]; !ok {
+			t.Fatalf("histogram JSON missing %q: %s", k, out)
+		}
+	}
+}
+
+func TestDisabledTracerIsNil(t *testing.T) {
+	if Disabled.Enabled() {
+		t.Fatal("Disabled reports enabled")
+	}
+	// Counter on a nil tracer must be a safe no-op (callers pass
+	// Options.Tracer through unconditionally).
+	Disabled.Counter(1, "x", 0, 1.0)
+}
+
+func TestSpansRecordAndExport(t *testing.T) {
+	tr := New()
+	pid := tr.NewProcess("PRO")
+	driver := tr.NewShard(pid, 0, "driver")
+	worker := tr.NewShard(pid, 1, "worker 0")
+
+	start := time.Now()
+	worker.Span("join", 3, start, 2*time.Millisecond, 10*time.Microsecond, 4096, 1)
+	driver.Span("join", -1, start, 5*time.Millisecond, 0, 8192, 0)
+	if worker.Len() != 1 || driver.Len() != 1 {
+		t.Fatalf("shard lengths %d/%d", worker.Len(), driver.Len())
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans() returned %d", len(spans))
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var metas, durs int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+		case "X":
+			durs++
+			if e.Name != "join" || e.Dur == nil || *e.Dur <= 0 {
+				t.Fatalf("bad duration event %+v", e)
+			}
+		}
+	}
+	if metas != 3 { // process_name + 2 thread_names
+		t.Fatalf("metadata events = %d, want 3", metas)
+	}
+	if durs != 2 {
+		t.Fatalf("duration events = %d, want 2", durs)
+	}
+}
+
+func TestCounterEventsExport(t *testing.T) {
+	tr := New()
+	pid := tr.NewProcess("fig6 sim")
+	tr.Counter(pid, "node0 GB/s", 0, 27.5)
+	tr.Counter(pid, "node0 GB/s", time.Millisecond, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	counters := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" {
+			counters++
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter event without value: %+v", e)
+			}
+		}
+	}
+	if counters != 2 {
+		t.Fatalf("counter events = %d, want 2", counters)
+	}
+}
+
+// TestConcurrentShards exercises the ownership model under the race
+// detector: registration is concurrent, span writing is per-shard
+// single-writer, export happens after everything joins.
+func TestConcurrentShards(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pid := tr.NewProcess("pool")
+			sh := tr.NewShard(pid, g, "worker")
+			for i := 0; i < 100; i++ {
+				sh.Span("phase", i, time.Now(), time.Microsecond, 0, 64, 0)
+			}
+			tr.Counter(pid, "ctr", time.Duration(g), float64(g))
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("spans = %d, want 800", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON from concurrent trace")
+	}
+}
