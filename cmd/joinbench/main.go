@@ -23,64 +23,84 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("joinbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		run     = flag.String("run", "", "experiment id (fig1..fig19, tab3, tab4) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		scale   = flag.Int("scale", 64, "divide the paper's tuple counts by this factor")
-		threads = flag.Int("threads", 0, "worker threads (0 = auto)")
-		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		quick   = flag.Bool("quick", false, "trim sweeps for a fast pass")
-		repeat  = flag.Int("repeat", 1, "repeat measured joins, report the fastest")
-		format  = flag.String("format", "text", "output format: text or markdown")
-		asJSON  = flag.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
-		out     = flag.String("o", "", "write reports to a file instead of stdout")
-		traceTo = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file covering every executed join")
+		runID   = fs.String("run", "", "experiment id (fig1..fig19, tab3, tab4) or 'all'")
+		list    = fs.Bool("list", false, "list available experiments")
+		scale   = fs.Int("scale", 64, "divide the paper's tuple counts by this factor")
+		threads = fs.Int("threads", 0, "worker threads (0 = auto)")
+		seed    = fs.Uint64("seed", 0, "workload seed (0 = default)")
+		quick   = fs.Bool("quick", false, "trim sweeps for a fast pass")
+		repeat  = fs.Int("repeat", 1, "repeat measured joins, report the fastest")
+		format  = fs.String("format", "text", "output format: text or markdown")
+		asJSON  = fs.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
+		out     = fs.String("o", "", "write reports to a file instead of stdout")
+		traceTo = fs.String("trace", "", "write a Chrome/Perfetto trace_event JSON file covering every executed join")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-6s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
-	if *run == "" {
-		fmt.Fprintln(os.Stderr, "joinbench: -run or -list required")
-		flag.Usage()
-		os.Exit(2)
+	if *runID == "" {
+		fmt.Fprintln(stderr, "joinbench: -run or -list required")
+		fs.Usage()
+		return 2
 	}
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat}
+	// Output destinations are validated before any experiment runs: an
+	// unwritable -trace or -o path must be a prompt usage error, not a
+	// silently dropped artifact discovered after the measurement.
+	var traceFile *os.File
 	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintf(stderr, "joinbench: -trace: %v\n", err)
+			return 2
+		}
+		traceFile = f
+		defer f.Close()
 		cfg.Tracer = trace.New()
 	}
-	ids := []string{*run}
-	if *run == "all" {
+	var dst io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "joinbench: -o: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
 		ids = ids[:0]
 		for _, e := range bench.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	}
-	var dst io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "joinbench:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		dst = f
-	}
 	for _, id := range ids {
 		rep, err := bench.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "joinbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "joinbench: %s: %v\n", id, err)
+			return 1
 		}
 		switch {
 		case *asJSON:
 			if err := rep.RenderJSON(dst); err != nil {
-				fmt.Fprintln(os.Stderr, "joinbench:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "joinbench:", err)
+				return 1
 			}
 		case *format == "markdown":
 			rep.RenderMarkdown(dst)
@@ -88,19 +108,15 @@ func main() {
 			rep.Render(dst)
 		}
 	}
-	if *traceTo != "" {
-		f, err := os.Create(*traceTo)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "joinbench:", err)
-			os.Exit(1)
+	if traceFile != nil {
+		if err := cfg.Tracer.WriteTraceEvents(traceFile); err != nil {
+			fmt.Fprintf(stderr, "joinbench: -trace: %v\n", err)
+			return 1
 		}
-		if err := cfg.Tracer.WriteTraceEvents(f); err != nil {
-			fmt.Fprintln(os.Stderr, "joinbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "joinbench:", err)
-			os.Exit(1)
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "joinbench: -trace: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceUnwritablePathFailsFast is the regression test for the
+// silent-trace-drop bug: an unwritable -trace path must abort with a
+// usage error naming the flag before any experiment runs, not after
+// the full measurement.
+func TestTraceUnwritablePathFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "tab4", "-quick", "-trace", bad}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-trace") {
+		t.Fatalf("error does not name the offending flag: %s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("experiments ran before the trace path was validated:\n%s", out.String())
+	}
+}
+
+// TestTraceWritesFile covers the happy path end to end on the cheapest
+// (simulated) experiment: exit 0 and a valid JSON trace on disk.
+func TestTraceWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "tab4", "-quick", "-trace", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("trace file is not valid JSON:\n%.200s", data)
+	}
+}
+
+func TestUnwritableOutputFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "report.txt")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "tab4", "-quick", "-o", bad}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-o") {
+		t.Fatalf("error does not name the offending flag: %s", errb.String())
+	}
+}
+
+func TestNoRunIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,123 @@
+// Command mmjoinlint runs the repository's domain-specific static
+// analyzers (internal/analysis) over a set of packages:
+//
+//	go run ./cmd/mmjoinlint ./...
+//
+// Exit status is 0 when clean, 1 when any diagnostic is reported, and
+// 2 on usage or load errors. Findings suppressed by //mmjoin:allow
+// comments are hidden unless -suppressed is given.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mmjoin/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmjoinlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	showSuppressed := fs.Bool("suppressed", false, "also show findings suppressed by //mmjoin:allow comments")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory to run in")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mmjoinlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "mmjoinlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "mmjoinlint: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	if !*showSuppressed {
+		kept := diags[:0]
+		for _, d := range diags {
+			if !d.Suppressed {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "mmjoinlint: %v\n", err)
+			return 2
+		}
+	} else {
+		onActions := os.Getenv("GITHUB_ACTIONS") == "true"
+		for _, d := range diags {
+			suffix := ""
+			if d.Suppressed {
+				suffix = " (suppressed)"
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, suffix)
+			if onActions && !d.Suppressed {
+				fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=mmjoinlint/%s::%s\n",
+					d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !d.Suppressed {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmjoin/internal/analysis"
+)
+
+// These tests are the CI contract: a module with an injected invariant
+// violation must make the driver exit non-zero with the finding named,
+// and a clean module must pass.
+
+const scratchMod = "module scratch\n\ngo 1.23\n"
+
+// badJoin violates two invariants at once: a minted root context in an
+// internal/join package and an append inside a //mmjoin:hotpath region.
+const badJoin = `package join
+
+import "context"
+
+func Run() error {
+	ctx := context.Background()
+	_ = ctx
+	return nil
+}
+
+//mmjoin:hotpath
+func hot(dst []int) []int {
+	return append(dst, 1)
+}
+`
+
+const goodJoin = `package join
+
+import "context"
+
+func RunContext(ctx context.Context) error {
+	return ctx.Err()
+}
+`
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestInjectedViolationFails(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":               scratchMod,
+		"internal/join/bad.go": badJoin,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	text := out.String()
+	for _, sub := range []string{"ctxflow", "context.Background", "hotalloc", "append in hot path"} {
+		if !strings.Contains(text, sub) {
+			t.Errorf("output does not name the violation %q:\n%s", sub, text)
+		}
+	}
+}
+
+func TestCleanModulePasses(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                scratchMod,
+		"internal/join/good.go": goodJoin,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":               scratchMod,
+		"internal/join/bad.go": badJoin,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	byAnalyzer := map[string]bool{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = true
+	}
+	if !byAnalyzer["ctxflow"] || !byAnalyzer["hotalloc"] {
+		t.Fatalf("JSON diagnostics missing expected analyzers: %+v", diags)
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":               scratchMod,
+		"internal/join/bad.go": badJoin,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "ctxflow", "-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "hotalloc") {
+		t.Fatalf("-only ctxflow still ran hotalloc:\n%s", out.String())
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "nosuch") {
+		t.Fatalf("stderr does not name the unknown analyzer: %s", errb.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Fatalf("-list output missing %s:\n%s", a.Name, out.String())
+		}
+	}
+}

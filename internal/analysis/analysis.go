@@ -1,0 +1,300 @@
+// Package analysis is mmjoinlint: a domain-specific static-analysis
+// suite that mechanically enforces the hot-path, tracing, cancellation
+// and registry invariants this repository's performance claims rest on.
+//
+// The paper's headline result is that join performance is dominated by
+// low-level discipline — allocation-free inner loops, cache-conscious
+// partitioning, careful scheduling — yet a stray append in a probe loop
+// or an unpaired trace span only ever showed up as a silent perf or
+// data regression. The four analyzers here turn those conventions into
+// compile-graph-level guarantees:
+//
+//   - hotalloc: code annotated //mmjoin:hotpath must not contain
+//     heap-allocating constructs (make, new, append, closures,
+//     fmt/log calls, interface boxing, go statements);
+//   - spanpair: every trace span opened with Begin must have its End
+//     reachable (directly or via defer) so Perfetto timelines can
+//     never be malformed;
+//   - ctxflow: no context.Background()/context.TODO() inside
+//     internal/join, internal/exec or internal/bench — cancellation
+//     must flow in from RunContext through exec.Pool;
+//   - registry: every algorithm registered in internal/join must
+//     appear in the cancel-test table, the fuzz-equivalence list and
+//     the bench experiment tables (marked //mmjoin:registry-table).
+//
+// The suite is built directly on go/ast and go/types (no external
+// analyzer framework): Load type-checks the packages from source via
+// one `go list` call, and cmd/mmjoinlint drives the analyzers over the
+// result.
+//
+// Intentional violations are suppressed with a documented allow
+// comment on the offending line (or the line above):
+//
+//	//mmjoin:allow(hotalloc) materialization buffer grows amortized
+//
+// The justification after the closing parenthesis is mandatory; an
+// allow comment without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Exactly one of Run and RunProgram is
+// set: Run is invoked once per package, RunProgram once with every
+// loaded package (for cross-package invariants like registry).
+type Analyzer struct {
+	// Name is the analyzer's identifier, as used in -only filters and
+	// //mmjoin:allow(...) comments.
+	Name string
+	// Doc is the one-line invariant description.
+	Doc string
+	// Run analyzes a single package.
+	Run func(*Pass)
+	// RunProgram analyzes the whole loaded program.
+	RunProgram func(*ProgramPass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotAlloc, SpanPair, CtxFlow, Registry}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings covered by an //mmjoin:allow comment;
+	// the driver hides them unless asked not to.
+	Suppressed bool
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer:   p.Analyzer.Name,
+		Pos:        position,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.Pkg.allowed(p.Analyzer.Name, position),
+	})
+}
+
+// ProgramPass carries the whole loaded program through one analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos. pkg supplies the allow-comment
+// context of the file the position falls in.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer:   p.Analyzer.Name,
+		Pos:        position,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: pkg.allowed(p.Analyzer.Name, position),
+	})
+}
+
+// RunAnalyzers applies the given analyzers to every package and returns
+// all diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		pkg.buildAnnotations()
+		for _, d := range pkg.annotationErrors {
+			report(d)
+		}
+	}
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+			}
+		case a.RunProgram != nil:
+			a.RunProgram(&ProgramPass{Analyzer: a, Fset: fset, Pkgs: pkgs, report: report})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// Annotation markers. They are ordinary line comments:
+//
+//	//mmjoin:hotpath                      — on a function's doc comment
+//	                                        or the line before a statement
+//	//mmjoin:allow(name[,name]) reason    — suppress findings on this or
+//	                                        the next line
+//	//mmjoin:registry-table kind          — the following declaration or
+//	                                        statement is an algorithm
+//	                                        coverage table of the given
+//	                                        kind (cancel, fuzz, bench)
+const (
+	hotpathMarker  = "//mmjoin:hotpath"
+	allowMarker    = "//mmjoin:allow("
+	registryMarker = "//mmjoin:registry-table"
+)
+
+var allowRe = regexp.MustCompile(`^//mmjoin:allow\(([^)]*)\)\s*(.*)$`)
+
+// fileAnnotations is the per-file index of marker comments.
+type fileAnnotations struct {
+	// hotpathLines holds the line numbers of //mmjoin:hotpath comments.
+	hotpathLines map[int]bool
+	// allowLines maps a line number to the analyzer names allowed on
+	// that line and the next.
+	allowLines map[int][]string
+	// registryLines maps a line number to the table kind declared on it.
+	registryLines map[int]string
+}
+
+// buildAnnotations indexes marker comments of every file once.
+func (pkg *Package) buildAnnotations() {
+	if pkg.annotations != nil {
+		return
+	}
+	pkg.annotations = map[string]*fileAnnotations{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				pos := pkg.Fset.Position(c.Pos())
+				fa := pkg.annotations[pos.Filename]
+				if fa == nil {
+					fa = &fileAnnotations{
+						hotpathLines:  map[int]bool{},
+						allowLines:    map[int][]string{},
+						registryLines: map[int]string{},
+					}
+					pkg.annotations[pos.Filename] = fa
+				}
+				switch {
+				case text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" "):
+					fa.hotpathLines[pos.Line] = true
+				case strings.HasPrefix(text, allowMarker):
+					m := allowRe.FindStringSubmatch(text)
+					if m == nil || strings.TrimSpace(m[1]) == "" {
+						pkg.annotationErrors = append(pkg.annotationErrors, Diagnostic{
+							Analyzer: "allow",
+							Pos:      pos,
+							Message:  "malformed //mmjoin:allow comment: want //mmjoin:allow(analyzer[,analyzer]) reason",
+						})
+						continue
+					}
+					if strings.TrimSpace(m[2]) == "" {
+						pkg.annotationErrors = append(pkg.annotationErrors, Diagnostic{
+							Analyzer: "allow",
+							Pos:      pos,
+							Message:  "//mmjoin:allow comment needs a justification after the closing parenthesis",
+						})
+						continue
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						name = strings.TrimSpace(name)
+						if name != "" {
+							fa.allowLines[pos.Line] = append(fa.allowLines[pos.Line], name)
+						}
+					}
+				case strings.HasPrefix(text, registryMarker):
+					kind := strings.TrimSpace(strings.TrimPrefix(text, registryMarker))
+					fa.registryLines[pos.Line] = kind
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether analyzer findings at position are suppressed
+// by an allow comment on the same line or the line above.
+func (pkg *Package) allowed(analyzer string, pos token.Position) bool {
+	pkg.buildAnnotations()
+	fa := pkg.annotations[pos.Filename]
+	if fa == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range fa.allowLines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotpathAt reports whether a //mmjoin:hotpath marker sits on the line
+// before pos (statement-level marking).
+func (pkg *Package) hotpathAt(pos token.Pos) bool {
+	pkg.buildAnnotations()
+	p := pkg.Fset.Position(pos)
+	fa := pkg.annotations[p.Filename]
+	return fa != nil && fa.hotpathLines[p.Line-1]
+}
+
+// registryTableAt returns the table kind declared on the line before
+// pos, or "".
+func (pkg *Package) registryTableAt(pos token.Pos) string {
+	pkg.buildAnnotations()
+	p := pkg.Fset.Position(pos)
+	fa := pkg.annotations[p.Filename]
+	if fa == nil {
+		return ""
+	}
+	return fa.registryLines[p.Line-1]
+}
+
+// docHasMarker reports whether a doc comment group contains the given
+// marker as one of its lines.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIsInterface reports whether t is a non-empty destination for
+// interface boxing (an interface type other than an untyped nil
+// target).
+func typeIsInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

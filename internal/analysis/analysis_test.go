@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Golden tests: each analyzer runs over a fixture directory whose
+// source carries `want "regex"` comments on the lines expected to be
+// diagnosed. Every unsuppressed diagnostic must match a want on its
+// line and every want must be matched — so both false positives and
+// false negatives fail the test.
+
+func TestGoldenHotAlloc(t *testing.T) { runGolden(t, HotAlloc, "testdata/hotalloc") }
+
+func TestGoldenSpanPair(t *testing.T) { runGolden(t, SpanPair, "testdata/spanpair") }
+
+func TestGoldenCtxFlow(t *testing.T) {
+	// The covered-suffix directory must produce the findings...
+	runGolden(t, CtxFlow, filepath.Join("testdata", "ctxflow", "internal", "join"))
+	// ...and a package outside the covered set must stay silent.
+	runGolden(t, CtxFlow, filepath.Join("testdata", "ctxflow", "uncovered"))
+}
+
+func TestGoldenRegistry(t *testing.T) { runGolden(t, Registry, "testdata/registry") }
+
+// wantRe extracts the quoted regexes of one `want "..."` comment; a
+// line may carry several want clauses.
+var wantRe = regexp.MustCompile(`want\s+"((?:[^"\\]|\\.)*)"`)
+
+type wantDiag struct {
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkg, err := LoadDir(dir, goFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixture that fails to type-check tests nothing: the analyzers
+	// lean on go/types and would go silently blind.
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("fixture type error: %v", te)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	wants := map[string][]*wantDiag{} // "file:line" -> expectations
+	for _, name := range goFiles {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				wants[key] = append(wants[key], &wantDiag{raw: m[1], re: re})
+			}
+		}
+	}
+
+	for _, d := range RunAnalyzers([]*Package{pkg}, []*Analyzer{a}) {
+		if d.Suppressed {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s matching %q", k, w.raw)
+			}
+		}
+	}
+}

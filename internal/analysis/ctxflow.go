@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation contract of DESIGN.md §3: inside
+// the join algorithms, the execution layer and the bench drivers,
+// contexts must flow in from RunContext (and through exec.Pool) rather
+// than being minted locally. A context.Background() buried in a driver
+// silently detaches everything below it from cancellation — the
+// cancel tests then pass (they inject their own context) while
+// production callers get joins that cannot be stopped.
+//
+// Test files are exempt: tests are the root of their own context
+// trees. Intentional edges (the documented Run → RunContext
+// compatibility wrappers) carry //mmjoin:allow(ctxflow) comments.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background()/context.TODO() in internal/join, internal/exec, internal/bench",
+	Run:  runCtxFlow,
+}
+
+// ctxflowPackages are the import paths (by suffix) the invariant
+// covers.
+var ctxflowPackages = []string{
+	"internal/join",
+	"internal/exec",
+	"internal/bench",
+}
+
+func ctxflowCovers(path string) bool {
+	for _, p := range ctxflowPackages {
+		if path == p || strings.HasSuffix(path, "/"+p) || path == "mmjoin/"+p {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(pass *Pass) {
+	if !ctxflowCovers(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		name := pass.Pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+				return true
+			}
+			if !isContextPackage(pass.Pkg.Info, sel) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in %s detaches this call tree from cancellation; thread the caller's context through RunContext/exec.Pool (or annotate //mmjoin:allow(ctxflow) with a reason)",
+				sel.Sel.Name, pass.Pkg.Path)
+			return true
+		})
+	}
+}
+
+// isContextPackage reports whether sel.X names the standard context
+// package, by type information when available and by import-name
+// syntax otherwise.
+func isContextPackage(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			pkgName, ok := obj.(*types.PkgName)
+			return ok && pkgName.Imported().Path() == "context"
+		}
+	}
+	return id.Name == "context"
+}

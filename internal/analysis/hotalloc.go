@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotAlloc enforces the allocation-free discipline of the hot loops —
+// the property Section 5 of the paper attributes most of the spread
+// between "the same" algorithms in different studies to. Any function
+// whose doc comment contains //mmjoin:hotpath, and any statement with
+// the marker on the preceding line, is a hot region. Inside one, the
+// analyzer reports every construct that allocates (or is likely to):
+//
+//   - make, new, append (growth reallocates), slice/map composite
+//     literals;
+//   - function literals (the closure header allocates, captured
+//     variables escape);
+//   - calls into fmt and log (formatting boxes every operand);
+//   - interface boxing: a concrete value passed where an interface is
+//     expected;
+//   - go statements (a goroutine per tuple or morsel is never what a
+//     morsel-driven pool wants).
+//
+// Amortized or intentional allocations stay — with a documented
+// //mmjoin:allow(hotalloc) comment on the line.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//mmjoin:hotpath regions must not contain heap-allocating constructs",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		roots := hotRegions(pass, f)
+		for _, root := range roots {
+			checkHotRegion(pass, root)
+		}
+	}
+}
+
+// hotRegions returns the marked region roots of one file, outermost
+// only (a marker inside a marked function adds nothing).
+func hotRegions(pass *Pass, f *ast.File) []ast.Node {
+	var roots []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if docHasMarker(n.Doc, hotpathMarker) && n.Body != nil {
+				roots = append(roots, n.Body)
+			}
+		case ast.Stmt:
+			if pass.Pkg.hotpathAt(n.Pos()) {
+				roots = append(roots, n)
+			}
+		}
+		return true
+	})
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	var out []ast.Node
+	for _, r := range roots {
+		if len(out) > 0 && r.Pos() >= out[len(out)-1].Pos() && r.End() <= out[len(out)-1].End() {
+			continue // nested in the previous region
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// checkHotRegion reports allocating constructs under root.
+func checkHotRegion(pass *Pass, root ast.Node) {
+	info := pass.Pkg.Info
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path: spawning goroutines belongs to exec.Pool, not the inner loop")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path: the function literal and its captures allocate; hoist it out of the marked region")
+			return false // its body is cold construction, not the hot loop
+		case *ast.CompositeLit:
+			if t := exprType(info, n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal allocates in hot path", typeKindName(t))
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call inside a hot region.
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch builtinName(info, fun) {
+		case "append":
+			pass.Reportf(call.Pos(), "append in hot path may grow its backing array; preallocate through the arena and use indexed writes")
+			return
+		case "make":
+			pass.Reportf(call.Pos(), "make in hot path allocates; draw the buffer from exec.Arena outside the loop")
+			return
+		case "new":
+			pass.Reportf(call.Pos(), "new in hot path allocates; reuse per-worker state instead")
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkg := calleePackage(info, fun); pkg == "fmt" || pkg == "log" {
+			pass.Reportf(call.Pos(), "%s.%s in hot path formats and allocates; record counters and format after the phase", pkg, fun.Sel.Name)
+			return
+		}
+	}
+	checkBoxing(pass, call)
+}
+
+// checkBoxing reports concrete values passed to interface parameters —
+// each such argument allocates to box the value.
+func checkBoxing(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return
+	}
+	// Conversions: any(x), io.Writer(w), ...
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if typeIsInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to %s boxes a concrete value in hot path", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+		}
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if typeIsInterface(pt) && boxes(info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into %s in hot path",
+				types.TypeString(exprType(info, arg), types.RelativeTo(pass.Pkg.Types)),
+				types.TypeString(pt, types.RelativeTo(pass.Pkg.Types)))
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface destination
+// allocates: a concrete, non-nil, non-interface value does.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || typeIsInterface(tv.Type) {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// builtinName returns the builtin a call identifier resolves to, or ""
+// — by type information when available, by unshadowed name otherwise.
+func builtinName(info *types.Info, id *ast.Ident) string {
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			if b, ok := obj.(*types.Builtin); ok {
+				return b.Name()
+			}
+			return ""
+		}
+	}
+	switch id.Name {
+	case "append", "make", "new":
+		return id.Name
+	}
+	return ""
+}
+
+// calleePackage returns the package name a selector call resolves
+// into, or "" for method calls and unresolved selectors.
+func calleePackage(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			if pkgName, ok := obj.(*types.PkgName); ok {
+				return pkgName.Imported().Path()
+			}
+			return ""
+		}
+	}
+	if id.Name == "fmt" || id.Name == "log" {
+		return id.Name
+	}
+	return ""
+}
+
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return fmt.Sprintf("%T", t)
+}

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package. Target
+// packages (those matched by the load patterns) carry full syntax and
+// type information including in-package test files; dependencies are
+// type-checked API-only and not analyzed.
+type Package struct {
+	// Path is the import path; external test packages ("package
+	// foo_test") load as their own Package with path suffix "_test".
+	Path string
+	// Dir is the package directory.
+	Dir string
+	// Files holds the parsed files the analyzers see.
+	Files []*ast.File
+	// Fset is the shared file set of the whole load.
+	Fset *token.FileSet
+	// Types and Info are the type-checking results. Info may be
+	// partially filled when the package has type errors.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects non-fatal type-checking problems.
+	TypeErrors []error
+
+	annotations      map[string]*fileAnnotations
+	annotationErrors []Diagnostic
+}
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Error        *struct{ Err string }
+}
+
+// loader resolves and type-checks packages from source. It exists so
+// the suite runs without golang.org/x/tools: one `go list` call
+// provides the build-tag-filtered file lists and the dependency graph,
+// and go/types does the rest.
+type loader struct {
+	fset     *token.FileSet
+	list     map[string]*listPkg
+	types    map[string]*types.Package
+	checking map[string]bool
+}
+
+// Load loads, parses and type-checks the packages matched by patterns
+// (e.g. "./..."), including their in-package and external test files.
+// Dependencies are type-checked transitively but only matched packages
+// are returned.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	l := &loader{
+		fset:     token.NewFileSet(),
+		list:     map[string]*listPkg{},
+		types:    map[string]*types.Package{},
+		checking: map[string]bool{},
+	}
+	targets, err := l.goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	// Test files may import packages outside the build dependency
+	// graph; resolve those in a second go list call.
+	var extra []string
+	for _, lp := range targets {
+		if lp.DepOnly {
+			continue
+		}
+		for _, imp := range append(append([]string{}, lp.TestImports...), lp.XTestImports...) {
+			if _, ok := l.list[imp]; !ok && imp != "C" {
+				extra = append(extra, imp)
+			}
+		}
+	}
+	if len(extra) > 0 {
+		if _, err := l.goList(dir, extra, true); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, lp := range targets {
+		if lp.DepOnly || lp.Name == "" {
+			continue
+		}
+		pkg, err := l.checkTarget(lp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		out = append(out, pkg)
+		if len(lp.XTestGoFiles) > 0 {
+			xpkg, err := l.checkXTest(lp)
+			if err != nil {
+				return nil, fmt.Errorf("%s [external test]: %v", lp.ImportPath, err)
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -deps -json` and indexes the results. It
+// returns the listed packages in output order (dependencies first).
+func (l *loader) goList(dir string, patterns []string, depsOnly bool) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var order []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil && !depsOnly && !lp.DepOnly {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if depsOnly {
+			// The second call resolves test-only dependencies; its
+			// packages must not become analysis targets.
+			lp.DepOnly = true
+		}
+		if _, ok := l.list[lp.ImportPath]; !ok {
+			l.list[lp.ImportPath] = lp
+			order = append(order, lp)
+		}
+	}
+	return order, nil
+}
+
+// Import implements types.Importer over the go list graph: dependency
+// packages are type-checked from source, API-only, on first use.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.types[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := l.list[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s not in load graph", path)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer func() { l.checking[path] = false }()
+
+	files, _, err := l.parse(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {}, // dependencies only need their API shape
+	}
+	pkg, _ := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s failed", path)
+	}
+	l.types[path] = pkg
+	return pkg, nil
+}
+
+// checkTarget type-checks one matched package with full bodies and
+// Info, folding in-package test files into the same types.Package the
+// way the test binary does.
+func (l *loader) checkTarget(lp *listPkg) (*Package, error) {
+	files, syntaxErrs, err := l.parse(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Files: files, Fset: l.fset}
+	pkg.TypeErrors = append(pkg.TypeErrors, syntaxErrs...)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	l.checking[lp.ImportPath] = true
+	tpkg, _ := conf.Check(lp.ImportPath, l.fset, files, info)
+	l.checking[lp.ImportPath] = false
+	pkg.Types = tpkg
+	pkg.Info = info
+	if tpkg != nil {
+		l.types[lp.ImportPath] = tpkg
+	}
+	return pkg, nil
+}
+
+// checkXTest type-checks a package's external test files ("package
+// foo_test") as their own package.
+func (l *loader) checkXTest(lp *listPkg) (*Package, error) {
+	files, syntaxErrs, err := l.parse(lp.Dir, lp.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: lp.ImportPath + "_test", Dir: lp.Dir, Files: files, Fset: l.fset}
+	pkg.TypeErrors = append(pkg.TypeErrors, syntaxErrs...)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkg.Path, l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// parse parses the named files of one directory, keeping comments.
+// Syntax errors are collected rather than fatal so a half-broken file
+// still gets its parsable declarations analyzed.
+func (l *loader) parse(dir string, names []string) ([]*ast.File, []error, error) {
+	var files []*ast.File
+	var soft []error
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if f == nil {
+			return nil, nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		if err != nil {
+			soft = append(soft, err)
+		}
+		files = append(files, f)
+	}
+	return files, soft, nil
+}
+
+// LoadDir loads a single directory of Go files outside the module's
+// package graph (the analyzer golden tests live in testdata
+// directories, which go list ignores). Imports resolve through a
+// go list call over the union of the files' import paths.
+func LoadDir(dir string, goFiles []string) (*Package, error) {
+	l := &loader{
+		fset:     token.NewFileSet(),
+		list:     map[string]*listPkg{},
+		types:    map[string]*types.Package{},
+		checking: map[string]bool{},
+	}
+	files, syntaxErrs, err := l.parse(dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if len(imports) > 0 {
+		if _, err := l.goList(dir, imports, true); err != nil {
+			return nil, err
+		}
+	}
+	pkg := &Package{Path: dir, Dir: dir, Files: files, Fset: l.fset}
+	pkg.TypeErrors = append(pkg.TypeErrors, syntaxErrs...)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check("testdata/"+filepath.Base(dir), l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry turns the repo's hand-maintained completeness checks into a
+// compile-graph-level guarantee: every algorithm registered in
+// internal/join (register and registerAblation calls) must appear in
+//
+//   - the cancellation-test table (one early/late phase pair per
+//     algorithm — DESIGN.md's cancellation contract),
+//   - the fuzz-equivalence algorithm list (every algorithm is fuzzed
+//     against the reference oracle), and
+//   - at least one bench experiment table (every algorithm is
+//     measured somewhere).
+//
+// The tables self-identify with a //mmjoin:registry-table <kind>
+// comment on the line before the declaration or statement; kind is one
+// of cancel, fuzz, bench. Inside a marked node the analyzer collects
+// string-literal algorithm names (map keys, slice elements, append
+// arguments) and treats a call to Names() as "all Table 2
+// registrations". The reverse direction is checked too: a string in a
+// table that names no registered algorithm is a typo that would
+// silently skip coverage.
+//
+// The analyzer needs the registrations and all three table kinds in
+// its view, so run mmjoinlint over ./... (a partial package list
+// reports the missing tables).
+var Registry = &Analyzer{
+	Name:       "registry",
+	Doc:        "every registered join algorithm appears in the cancel, fuzz and bench tables",
+	RunProgram: runRegistry,
+}
+
+// registryTableKinds are the coverage tables every algorithm must
+// appear in.
+var registryTableKinds = []string{"cancel", "fuzz", "bench"}
+
+type registration struct {
+	name string
+	pos  token.Pos
+	pkg  *Package
+}
+
+type registryTable struct {
+	kind string
+	pos  token.Pos
+	pkg  *Package
+	// names are the string literals collected under the marked node,
+	// with their positions for reverse checking.
+	names map[string]token.Pos
+	// expandsAll marks tables containing a Names() call, which covers
+	// every register() (Table 2) name.
+	expandsAll bool
+}
+
+func runRegistry(pass *ProgramPass) {
+	var regs []registration
+	table2 := map[string]bool{}
+	var tables []*registryTable
+
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			collectRegistrations(pkg, f, &regs, table2)
+			collectTables(pkg, f, &tables)
+		}
+	}
+	if len(regs) == 0 {
+		return // registrations out of view: nothing to check against
+	}
+
+	registered := map[string]token.Pos{}
+	for _, r := range regs {
+		if prev, ok := registered[r.name]; ok {
+			pass.Reportf(r.pkg, r.pos, "algorithm %q registered twice (previous registration at %s)",
+				r.name, pass.Fset.Position(prev))
+			continue
+		}
+		registered[r.name] = r.pos
+	}
+
+	byKind := map[string][]*registryTable{}
+	for _, t := range tables {
+		if !validTableKind(t.kind) {
+			pass.Reportf(t.pkg, t.pos, "unknown registry-table kind %q (want one of %s)",
+				t.kind, strings.Join(registryTableKinds, ", "))
+			continue
+		}
+		byKind[t.kind] = append(byKind[t.kind], t)
+	}
+
+	for _, kind := range registryTableKinds {
+		kindTables := byKind[kind]
+		if len(kindTables) == 0 {
+			first := regs[0]
+			pass.Reportf(first.pkg, first.pos,
+				"no //mmjoin:registry-table %s table in the analyzed packages; run mmjoinlint over ./... (or mark the %s table)", kind, kind)
+			continue
+		}
+		for _, r := range regs {
+			if covered(r.name, kindTables, table2) {
+				continue
+			}
+			pass.Reportf(r.pkg, r.pos,
+				"algorithm %q is registered but missing from every //mmjoin:registry-table %s table — add it so its %s coverage cannot silently lapse",
+				r.name, kind, kindCoverage(kind))
+		}
+		// Reverse: table entries that register nothing are typos.
+		for _, t := range kindTables {
+			names := make([]string, 0, len(t.names))
+			for n := range t.names {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if _, ok := registered[n]; !ok {
+					pass.Reportf(t.pkg, t.names[n],
+						"%q in the %s table is not a registered algorithm (typos here silently drop coverage)", n, kind)
+				}
+			}
+		}
+	}
+}
+
+func validTableKind(kind string) bool {
+	for _, k := range registryTableKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func kindCoverage(kind string) string {
+	switch kind {
+	case "cancel":
+		return "cancellation-contract"
+	case "fuzz":
+		return "oracle-equivalence"
+	default:
+		return "benchmark"
+	}
+}
+
+func covered(name string, tables []*registryTable, table2 map[string]bool) bool {
+	for _, t := range tables {
+		if _, ok := t.names[name]; ok {
+			return true
+		}
+		if t.expandsAll && table2[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectRegistrations finds register(Spec{Name: "X", ...}) and
+// registerAblation(...) calls. table2 records names from the plain
+// register call (the set a Names() call expands to).
+func collectRegistrations(pkg *Package, f *ast.File, regs *[]registration, table2 map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || (id.Name != "register" && id.Name != "registerAblation") || len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Name" {
+				continue
+			}
+			if name, ok := stringLit(kv.Value); ok {
+				*regs = append(*regs, registration{name: name, pos: kv.Value.Pos(), pkg: pkg})
+				if id.Name == "register" {
+					table2[name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectTables finds //mmjoin:registry-table-marked nodes and gathers
+// the algorithm names under each.
+func collectTables(pkg *Package, f *ast.File, tables *[]*registryTable) {
+	seen := map[int]bool{} // marker line -> collected (several nodes share a start line)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.ValueSpec:
+		default:
+			return true
+		}
+		kind := pkg.registryTableAt(n.Pos())
+		if kind == "" {
+			return true
+		}
+		line := pkg.Fset.Position(n.Pos()).Line
+		if seen[line] {
+			return true
+		}
+		seen[line] = true
+		t := &registryTable{kind: kind, pos: n.Pos(), pkg: pkg, names: map[string]token.Pos{}}
+		collectTableNames(n, t)
+		*tables = append(*tables, t)
+		return true
+	})
+}
+
+// collectTableNames gathers algorithm-name strings under a marked
+// node: map-literal keys, slice/array elements, append arguments — but
+// not composite-literal values (the cancel table's values are phase
+// names, not algorithms). A Names() call marks the table as covering
+// all Table 2 registrations.
+func collectTableNames(root ast.Node, t *registryTable) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if s, ok := stringLit(kv.Key); ok {
+						t.names[s] = kv.Key.Pos()
+					}
+					continue // values (phase names) are not algorithms
+				}
+				if s, ok := stringLit(elt); ok {
+					t.names[s] = elt.Pos()
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "Names" {
+					t.expandsAll = true
+				}
+				if fun.Name == "append" {
+					for _, arg := range n.Args[min(1, len(n.Args)):] {
+						if s, ok := stringLit(arg); ok {
+							t.names[s] = arg.Pos()
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Names" {
+					t.expandsAll = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

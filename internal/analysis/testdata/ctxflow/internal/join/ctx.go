@@ -1,0 +1,32 @@
+// Package join is the golden-test fixture for the ctxflow analyzer;
+// its directory suffix internal/join places it inside the covered
+// package set.
+package join
+
+import "context"
+
+// Run mints a fresh root context — the exact bug the analyzer exists
+// to catch: everything below this call is detached from cancellation.
+func Run() error {
+	ctx := context.Background() // want "context.Background"
+	return RunContext(ctx)
+}
+
+// Todo is the placeholder variant of the same bug.
+func Todo() error {
+	return RunContext(context.TODO()) // want "context.TODO"
+}
+
+// RunWrapper is the documented compatibility edge: suppressed by an
+// allow comment with a justification.
+func RunWrapper() error {
+	//mmjoin:allow(ctxflow) documented Run -> RunContext compatibility wrapper
+	return RunContext(context.Background())
+}
+
+// RunContext is the correct shape: the context flows in from the
+// caller.
+func RunContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package uncovered sits outside internal/join, internal/exec and
+// internal/bench: the ctxflow analyzer must stay silent here even
+// though it mints root contexts.
+package uncovered
+
+import "context"
+
+func root() context.Context {
+	return context.Background()
+}
+
+func todo() context.Context {
+	return context.TODO()
+}

@@ -1,0 +1,91 @@
+// Package hotalloc is the golden-test fixture for the hotalloc
+// analyzer: every construct the analyzer must flag inside a
+// //mmjoin:hotpath region, next to the same constructs in cold code
+// (which must stay silent) and suppressed via //mmjoin:allow.
+package hotalloc
+
+import "fmt"
+
+func work()              {}
+func sink(v interface{}) {}
+
+// hot is a function-level hot region: its doc marker covers the whole
+// body.
+//
+//mmjoin:hotpath
+func hot(dst []int, xs []int) []int {
+	s := make([]int, 8) // want "make in hot path"
+	_ = s
+	dst = append(dst, 1) // want "append in hot path"
+	p := new(int)        // want "new in hot path"
+	_ = p
+	go work()                    // want "go statement in hot path"
+	f := func() int { return 1 } // want "closure in hot path"
+	_ = f
+	m := map[int]int{} // want "map literal allocates in hot path"
+	_ = m
+	l := []int{1, 2} // want "slice literal allocates in hot path"
+	_ = l
+	fmt.Println(xs) // want "fmt.Println in hot path"
+	sink(xs[0])     // want "argument boxes int into interface"
+	return dst
+}
+
+// cold repeats the same constructs without a marker; the analyzer must
+// stay silent here.
+func cold(dst []int, xs []int) []int {
+	s := make([]int, 8)
+	_ = s
+	dst = append(dst, 1)
+	go work()
+	m := map[int]int{}
+	_ = m
+	fmt.Println(xs)
+	sink(xs[0])
+	return dst
+}
+
+// mixed marks a single statement: only the loop is hot.
+func mixed(dst []int) []int {
+	//mmjoin:hotpath
+	for i := 0; i < 10; i++ {
+		dst = append(dst, i) // want "append in hot path"
+	}
+	other := make([]int, 4)
+	return append(dst, other...)
+}
+
+// allowed demonstrates suppression: the finding exists but carries a
+// documented allow, so the driver hides it.
+//
+//mmjoin:hotpath
+func allowed(dst []byte) []byte {
+	//mmjoin:allow(hotalloc) amortized growth of the output buffer is intentional here
+	return append(dst, 1)
+}
+
+// badAllow has an allow comment without the mandatory justification:
+// the comment itself is reported and the finding stays unsuppressed.
+//
+//mmjoin:hotpath
+func badAllow(dst []byte) []byte {
+	/* want "needs a justification" */ //mmjoin:allow(hotalloc)
+	return append(dst, 2)              // want "append in hot path"
+}
+
+// malformedAllow has no analyzer list at all.
+//
+//mmjoin:hotpath
+func malformedAllow(dst []byte) []byte {
+	/* want "malformed" */ //mmjoin:allow()
+	return append(dst, 3)  // want "append in hot path"
+}
+
+// variadicForward forwards an existing slice with ... — no boxing.
+//
+//mmjoin:hotpath
+func variadicForward(args []interface{}) {
+	variadic(args...)
+}
+
+func variadic(args ...interface{}) {}

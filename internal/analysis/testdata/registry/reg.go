@@ -1,0 +1,58 @@
+// Package registry is the golden-test fixture for the registry
+// analyzer: a miniature algorithm registry with coverage tables of
+// all three kinds, one duplicate registration, one ablation missing
+// from the fuzz list, one typo'd table entry and one unknown table
+// kind.
+package registry
+
+// Spec mirrors the join package's registration record.
+type Spec struct {
+	Name string
+}
+
+func register(Spec)         {}
+func registerAblation(Spec) {}
+
+// Names stands in for join.Names(): the plain register() set.
+func Names() []string { return []string{"AAA", "BBB"} }
+
+func init() {
+	register(Spec{Name: "AAA"})
+	register(Spec{Name: "BBB"})
+	register(Spec{Name: "AAA"})         // want "registered twice"
+	registerAblation(Spec{Name: "CCC"}) // want "missing from every //mmjoin:registry-table fuzz table"
+}
+
+// cancelPhases pairs every algorithm with its cancellation phases; the
+// values are phase names and must not be mistaken for algorithms.
+//
+//mmjoin:registry-table cancel
+var cancelPhases = map[string][2]string{
+	"AAA": {"build", "probe"},
+	"BBB": {"build", "probe"},
+	"CCC": {"sort", "merge"},
+}
+
+// fuzzNames lists the fuzzed algorithms: all of Table 2 via Names(),
+// which is exactly what leaves the CCC ablation uncovered above.
+func fuzzNames() []string {
+	//mmjoin:registry-table fuzz
+	names := append(Names(), "BBB")
+	return names
+}
+
+// benchAlgos drives the bench loop; "XXX" is the deliberate typo that
+// would silently skip coverage.
+//
+//mmjoin:registry-table bench
+var benchAlgos = []string{"AAA", "BBB", "CCC", "XXX"} // want "not a registered algorithm"
+
+// cacheAlgos carries a bogus table kind.
+//
+//mmjoin:registry-table cache
+var cacheAlgos = []string{"AAA"} // want "unknown registry-table kind"
+
+var _ = cancelPhases
+var _ = benchAlgos
+var _ = cacheAlgos
+var _ = fuzzNames

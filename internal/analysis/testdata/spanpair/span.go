@@ -1,0 +1,72 @@
+// Package spanpair is the golden-test fixture for the spanpair
+// analyzer, exercising the pairing contract against the real
+// mmjoin/internal/trace types: spans must be ended on every path,
+// ideally by defer; escaping spans hand the obligation off.
+package spanpair
+
+import (
+	"errors"
+
+	"mmjoin/internal/trace"
+)
+
+var errFail = errors.New("fail")
+
+// deferred is the canonical correct shape: Begin paired by defer.
+func deferred(s *trace.Shard) {
+	sp := s.Begin("build", 0)
+	defer sp.End()
+	sp.AddBytes(64)
+}
+
+// direct pairs Begin with a plain End and no return in between.
+func direct(s *trace.Shard) {
+	sp := s.Begin("probe", 1)
+	sp.AddAllocs(2)
+	sp.End()
+}
+
+// dropped discards the OpenSpan value outright: nothing can end it.
+func dropped(s *trace.Shard) {
+	s.Begin("lost", 0) // want "result of s.Begin dropped"
+}
+
+// blank binds the span to the blank identifier — same leak.
+func blank(s *trace.Shard) {
+	_ = s.Begin("blank", 0) // want "assigned to blank"
+}
+
+// neverEnded uses the span but never closes it, so the Perfetto
+// timeline silently loses the phase.
+func neverEnded(s *trace.Shard) {
+	sp := s.Begin("open", 0) // want "never ended"
+	sp.AddBytes(1)
+}
+
+// earlyReturn ends the span directly but leaks it on the error path.
+func earlyReturn(s *trace.Shard, fail bool) error {
+	sp := s.Begin("risky", 0)
+	if fail {
+		return errFail // want "return leaks the span"
+	}
+	sp.End()
+	return nil
+}
+
+// escapes returns the open span: the caller inherits the obligation,
+// so the analyzer stays silent.
+func escapes(s *trace.Shard) trace.OpenSpan {
+	sp := s.Begin("handoff", 0)
+	sp.SetWait(0)
+	return sp
+}
+
+// handsOff passes the span to another function — also an escape.
+func handsOff(s *trace.Shard) {
+	sp := s.Begin("delegated", 0)
+	finish(&sp)
+}
+
+func finish(sp *trace.OpenSpan) {
+	sp.End()
+}

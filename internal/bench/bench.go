@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -45,6 +46,11 @@ type Config struct {
 	// experiments) for -trace export. Repeated runs all land on the
 	// tracer; consumers see one process track per join execution.
 	Tracer *trace.Tracer
+	// Context, when non-nil, is the cancellation root threaded into
+	// every measured join: cancelling it aborts the join in flight at
+	// the next morsel boundary. A nil Context leaves the run
+	// uncancellable (exec.NewPool's documented fallback).
+	Context context.Context
 }
 
 // normalize fills defaults.
@@ -246,7 +252,7 @@ func runJoinRepeat(c Config, name string, w *datagen.Workload, opts join.Options
 	var best *join.Result
 	for i := 0; i < max(repeat, 1); i++ {
 		runtime.GC()
-		res, err := algo.Run(w.Build, w.Probe, &opts)
+		res, err := algo.RunContext(c.Context, w.Build, w.Probe, &opts)
 		if err != nil {
 			return nil, err
 		}
@@ -266,7 +272,7 @@ func runJoinRelations(name string, build, probe tuple.Relation, domain int, c Co
 		return nil, err
 	}
 	runtime.GC()
-	return algo.Run(build, probe, &join.Options{Threads: c.Threads, Domain: domain, Tracer: c.Tracer})
+	return algo.RunContext(c.Context, build, probe, &join.Options{Threads: c.Threads, Domain: domain, Tracer: c.Tracer})
 }
 
 // fmtThroughput renders M tuples/s with sensible precision.

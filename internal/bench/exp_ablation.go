@@ -89,6 +89,7 @@ func runAblNOP(c Config) (*Report, error) {
 		PaperExpectation: "the 2013 lock-free linear-probing NOP (Lang) clearly beats the 2011 chained+latched NOP (Blanas) — one of the implementation differences behind the contradicting studies (Section 1)",
 		Columns:          []string{"variant", "throughput [M/s]", "build [ms]", "probe [ms]"},
 	}
+	//mmjoin:registry-table bench
 	for _, name := range []string{"NOPC", "NOP", "NOPA"} {
 		algo, err := join.NewAny(name)
 		if err != nil {
@@ -295,6 +296,7 @@ func runAblSort(c Config) (*Report, error) {
 		PaperExpectation: "the paper used only MWAY because MPSM's code was unavailable (Section 1, fn. 1); Balkesen et al. [4] report MWAY superior to MPSM, and both trail the radix hash joins",
 		Columns:          []string{"algorithm", "throughput [M/s]", "sort/partition [ms]", "join [ms]"},
 	}
+	//mmjoin:registry-table bench
 	for _, name := range []string{"MPSM", "MWAY", "CPRL"} {
 		algo, err := join.NewAny(name)
 		if err != nil {

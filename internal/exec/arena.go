@@ -20,6 +20,12 @@ import (
 type Arena struct {
 	tuples [maxClass]sync.Pool // elements are *[]tuple.Tuple
 	ints   [maxClass]sync.Pool // elements are *[]int
+	// Header containers are recycled too: a sync.Pool can only hold
+	// pointers, and allocating a fresh *[]T per Put would make even the
+	// warm path allocate. Get strips the container off the buffer and
+	// parks it here; Put picks it back up.
+	tupleHeaders sync.Pool // spare *[]tuple.Tuple
+	intHeaders   sync.Pool // spare *[]int
 }
 
 // maxClass bounds the size classes at 2^47 elements — far above any
@@ -48,7 +54,11 @@ func (a *Arena) Tuples(n int) []tuple.Tuple {
 		return make([]tuple.Tuple, n)
 	}
 	if v := a.tuples[c].Get(); v != nil {
-		return (*v.(*[]tuple.Tuple))[:n]
+		p := v.(*[]tuple.Tuple)
+		buf := (*p)[:n]
+		*p = nil // don't pin the array through the parked header
+		a.tupleHeaders.Put(p)
+		return buf
 	}
 	return make([]tuple.Tuple, n, 1<<c)
 }
@@ -65,8 +75,12 @@ func (a *Arena) PutTuples(buf []tuple.Tuple) {
 	if c >= maxClass {
 		return
 	}
-	full := buf[:0]
-	a.tuples[c].Put(&full)
+	p, _ := a.tupleHeaders.Get().(*[]tuple.Tuple)
+	if p == nil {
+		p = new([]tuple.Tuple)
+	}
+	*p = buf[:0]
+	a.tuples[c].Put(p)
 }
 
 // Ints returns a zeroed int buffer of length n (histograms rely on
@@ -80,7 +94,10 @@ func (a *Arena) Ints(n int) []int {
 		return make([]int, n)
 	}
 	if v := a.ints[c].Get(); v != nil {
-		buf := (*v.(*[]int))[:n]
+		p := v.(*[]int)
+		buf := (*p)[:n]
+		*p = nil
+		a.intHeaders.Put(p)
 		clear(buf)
 		return buf
 	}
@@ -96,6 +113,10 @@ func (a *Arena) PutInts(buf []int) {
 	if c >= maxClass {
 		return
 	}
-	full := buf[:0]
-	a.ints[c].Put(&full)
+	p, _ := a.intHeaders.Get().(*[]int)
+	if p == nil {
+		p = new([]int)
+	}
+	*p = buf[:0]
+	a.ints[c].Put(p)
 }

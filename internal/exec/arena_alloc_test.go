@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"mmjoin/internal/tuple"
+)
+
+// TestArenaWarmCycleZeroAllocs is the arena's reuse contract stated at
+// its strongest: once a size class has been through one cold
+// Get/Put cycle, further cycles perform zero allocations — neither for
+// the buffer (recycled) nor for the sync.Pool's pointer container
+// (recycled through the header pools).
+func TestArenaWarmCycleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; zero-alloc reuse cannot be measured")
+	}
+	// Park the GC: a collection mid-measurement would clear the pools
+	// and turn a warm Get into a cold allocation.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+
+	a := NewArena()
+	const n = 1 << 12
+	// Cold cycle: allocates the buffers and their header containers.
+	a.PutTuples(a.Tuples(n))
+	a.PutInts(a.Ints(n))
+
+	if avg := testing.AllocsPerRun(100, func() {
+		buf := a.Tuples(n)
+		a.PutTuples(buf)
+	}); avg != 0 {
+		t.Errorf("warm Tuples/PutTuples cycle: %v allocs per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		buf := a.Ints(n)
+		a.PutInts(buf)
+	}); avg != 0 {
+		t.Errorf("warm Ints/PutInts cycle: %v allocs per run, want 0", avg)
+	}
+}
+
+// TestArenaHeaderDoesNotPinBuffer checks the parked header container
+// is stripped of its array reference: the arena must not keep a large
+// buffer reachable through the header pool after the buffer is handed
+// out.
+func TestArenaHeaderDoesNotPinBuffer(t *testing.T) {
+	a := NewArena()
+	a.PutTuples(make([]tuple.Tuple, 1<<10))
+	buf := a.Tuples(1 << 10)
+	if buf == nil {
+		t.Fatal("pooled buffer not returned")
+	}
+	if p, _ := a.tupleHeaders.Get().(*[]tuple.Tuple); p != nil && *p != nil {
+		t.Fatal("parked header still references the handed-out buffer")
+	}
+}

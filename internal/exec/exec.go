@@ -88,6 +88,7 @@ func NewPool(ctx context.Context, threads int) *Pool {
 		threads = 1
 	}
 	if ctx == nil {
+		//mmjoin:allow(ctxflow) documented fallback: a nil ctx means the caller opted out of cancellation
 		ctx = context.Background()
 	}
 	return &Pool{ctx: ctx, threads: threads, arena: Shared,
@@ -219,7 +220,9 @@ func (w *Worker) Morsels(n int, fn func(begin, end int)) bool {
 }
 
 // morselsTraced is the tracing variant of Morsels: identical control
-// flow plus one span (with byte/alloc deltas) per stride.
+// flow plus one span (with byte/alloc deltas) per stride. The span is
+// a stack-held trace.OpenSpan, so steady-state tracing performs no
+// allocation beyond the shard's amortized span append.
 func (w *Worker) morselsTraced(n int, fn func(begin, end int)) bool {
 	ctx := w.pool.ctx
 	tr := w.tr
@@ -234,12 +237,13 @@ func (w *Worker) morselsTraced(n int, fn func(begin, end int)) bool {
 		}
 		w.tasks++
 		b0, a0 := w.bytes, w.allocs
-		start := time.Now()
+		sp := tr.shard.Begin(tr.phase, stride)
 		fn(begin, end)
-		d := time.Since(start)
+		sp.AddBytes(w.bytes - b0)
+		sp.AddAllocs(w.allocs - a0)
+		d := sp.End()
 		tr.busy += d
 		tr.lat.Observe(d)
-		tr.shard.Span(tr.phase, stride, start, d, 0, w.bytes-b0, w.allocs-a0)
 		stride++
 	}
 	return true
@@ -258,6 +262,7 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 		p.phaseHook(phase)
 	}
 	start := time.Now()
+	phaseSpan := p.driver.Begin(phase, -1)
 	workers := make([]Worker, p.threads)
 	for i := range workers {
 		workers[i] = Worker{ID: i, pool: p}
@@ -270,16 +275,19 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 			workers[i].tr = &traces[i]
 		}
 		// Workers that never enter Morsels or a queue drain (plain
-		// fork/join chunk work) still get one whole-chunk span.
+		// fork/join chunk work) still get one whole-chunk span; workers
+		// that did record finer spans drop the open whole-chunk span
+		// unended (an unended OpenSpan is a free stack value).
 		call = func(w *Worker) {
-			ws := time.Now()
+			tr := w.tr
+			sp := tr.shard.Begin(tr.phase, -1)
 			fn(w)
 			if !w.counted {
-				d := time.Since(ws)
-				tr := w.tr
+				sp.AddBytes(w.bytes)
+				sp.AddAllocs(w.allocs)
+				d := sp.End()
 				tr.busy += d
 				tr.lat.Observe(d)
-				tr.shard.Span(tr.phase, -1, ws, d, 0, w.bytes, w.allocs)
 			}
 		}
 	}
@@ -296,7 +304,7 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 		}
 		wg.Wait()
 	}
-	p.record(phase, start, workers)
+	p.record(phase, start, phaseSpan, workers)
 	return p.ctx.Err()
 }
 
@@ -343,19 +351,22 @@ func (w *Worker) drainTraced(q Queue, fn func(w *Worker, task int)) {
 		}
 		w.tasks++
 		b0, a0 := w.bytes, w.allocs
-		start := time.Now()
-		wait := start.Sub(popStart)
+		wait := time.Since(popStart)
+		sp := tr.shard.Begin(tr.phase, t)
+		sp.SetWait(wait)
 		fn(w, t)
-		d := time.Since(start)
+		sp.AddBytes(w.bytes - b0)
+		sp.AddAllocs(w.allocs - a0)
+		d := sp.End()
 		tr.busy += d
 		tr.lat.Observe(d)
 		tr.wait.Observe(wait)
-		tr.shard.Span(tr.phase, t, start, d, wait, w.bytes-b0, w.allocs-a0)
 	}
 }
 
-// record appends the phase's stats entry.
-func (p *Pool) record(phase string, start time.Time, workers []Worker) {
+// record appends the phase's stats entry and closes the driver-track
+// span opened at phase start (inert when tracing is off).
+func (p *Pool) record(phase string, start time.Time, phaseSpan trace.OpenSpan, workers []Worker) {
 	st := PhaseStat{
 		Name:           phase,
 		Wall:           time.Since(start),
@@ -375,8 +386,10 @@ func (p *Pool) record(phase string, start time.Time, workers []Worker) {
 	}
 	if p.tracer != nil {
 		st.Metrics = phaseMetrics(workers, st.Wall)
-		p.driver.Span(phase, -1, start, st.Wall, 0, st.Bytes, st.Allocs)
 	}
+	phaseSpan.AddBytes(st.Bytes)
+	phaseSpan.AddAllocs(st.Allocs)
+	phaseSpan.End()
 	p.stats.Phases = append(p.stats.Phases, st)
 }
 

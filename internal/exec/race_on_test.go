@@ -1,0 +1,8 @@
+//go:build race
+
+package exec
+
+// raceEnabled gates assertions that the race detector invalidates
+// (sync.Pool drops a fraction of Puts under -race, defeating
+// allocation-reuse measurements).
+const raceEnabled = true

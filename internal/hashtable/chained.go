@@ -66,6 +66,8 @@ func (t *ChainedTable) Reset() {
 
 // Insert adds one tuple. Not safe for concurrent use; the radix joins
 // build one table per co-partition on a single thread.
+//
+//mmjoin:hotpath
 func (t *ChainedTable) Insert(tp tuple.Tuple) {
 	b := &t.buckets[t.hash(tp.Key)&t.mask]
 	for {
@@ -77,6 +79,7 @@ func (t *ChainedTable) Insert(tp tuple.Tuple) {
 			return
 		}
 		if b.next == nil {
+			//mmjoin:allow(hotalloc) overflow arena grows amortized; ReserveOverflow pre-sizes it for known chains
 			t.arena = append(t.arena, chainedBucket{})
 			nb := &t.arena[len(t.arena)-1]
 			// Appending may move the arena; earlier next pointers keep
@@ -102,6 +105,8 @@ func (t *ChainedTable) ReserveOverflow(n int) {
 // latched concurrent build of Blanas/Balkesen-style no-partitioning
 // joins. Overflow buckets are heap-allocated here since an arena cannot
 // be shared without more synchronization than the latch provides.
+//
+//mmjoin:hotpath
 func (t *ChainedTable) InsertConcurrent(tp tuple.Tuple) {
 	head := &t.buckets[t.hash(tp.Key)&t.mask]
 	t.lock(head)
@@ -153,6 +158,8 @@ func (t *ChainedTable) FinishConcurrentBuild() {
 }
 
 // Lookup implements Table.
+//
+//mmjoin:hotpath
 func (t *ChainedTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
 	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
 		cnt := int(b.meta &^ chainedLatchBit)
@@ -166,6 +173,8 @@ func (t *ChainedTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
 }
 
 // ForEachMatch implements Table.
+//
+//mmjoin:hotpath
 func (t *ChainedTable) ForEachMatch(k tuple.Key, fn func(tuple.Payload)) {
 	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
 		cnt := int(b.meta &^ chainedLatchBit)

@@ -60,6 +60,8 @@ func (t *LinearTable) Slots() int { return len(t.keys) }
 // Insert adds one tuple without synchronization. Single-threaded
 // per-partition builds (PRL, CPRL) use this path. Inserting more
 // tuples than the table has slots panics instead of looping forever.
+//
+//mmjoin:hotpath
 func (t *LinearTable) Insert(tp tuple.Tuple) {
 	biased := uint32(tp.Key) + 1
 	i := t.hash(tp.Key) & t.mask
@@ -72,6 +74,7 @@ func (t *LinearTable) Insert(tp tuple.Tuple) {
 		}
 		i = (i + 1) & t.mask
 	}
+	//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes when the table is misused
 	panic("hashtable: LinearTable full — size it for the build side before inserting")
 }
 
@@ -80,6 +83,8 @@ func (t *LinearTable) Insert(tp tuple.Tuple) {
 // intentionally plain: the build phase is separated from the probe phase
 // by a barrier, and a slot's key is claimed exactly once. A full table
 // panics rather than live-locking every writer.
+//
+//mmjoin:hotpath
 func (t *LinearTable) InsertConcurrent(tp tuple.Tuple) {
 	biased := uint32(tp.Key) + 1
 	i := t.hash(tp.Key) & t.mask
@@ -92,12 +97,15 @@ func (t *LinearTable) InsertConcurrent(tp tuple.Tuple) {
 		}
 		i = (i + 1) & t.mask
 	}
+	//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes when the table is misused
 	panic("hashtable: LinearTable full — size it for the build side before inserting")
 }
 
 // Lookup implements Table. The probe count is bounded by the slot count
 // so a pathologically full table terminates with a miss instead of
 // spinning.
+//
+//mmjoin:hotpath
 func (t *LinearTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
 	biased := uint32(k) + 1
 	i := t.hash(k) & t.mask
@@ -115,6 +123,8 @@ func (t *LinearTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
 }
 
 // ForEachMatch implements Table.
+//
+//mmjoin:hotpath
 func (t *LinearTable) ForEachMatch(k tuple.Key, fn func(tuple.Payload)) {
 	biased := uint32(k) + 1
 	i := t.hash(k) & t.mask

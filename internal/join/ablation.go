@@ -62,6 +62,7 @@ func (j *nopChainedJoin) Description() string {
 }
 
 func (j *nopChainedJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return j.RunContext(context.Background(), build, probe, opts)
 }
 

@@ -92,7 +92,10 @@ func runCancelAt(t *testing.T, algo, phase string) {
 // MPSM and NOPC ablations — to one early and one late phase to cancel
 // in. The early phase exercises cancellation while input is still being
 // reorganized (buffers must return to the arena), the late phase while
-// results are being produced (sinks must be discarded).
+// results are being produced (sinks must be discarded). The registry
+// analyzer holds this table complete against the algorithm registry.
+//
+//mmjoin:registry-table cancel
 var cancelPhases = map[string][2]string{
 	"PRB":   {"partition(S)/subpartition", "join"},
 	"PRO":   {"partition(S)/scatter", "join"},

@@ -34,6 +34,7 @@ func (j *chtJoin) Class() Class        { return NoPartition }
 func (j *chtJoin) Description() string { return "Concise hash table join" }
 
 func (j *chtJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return j.RunContext(context.Background(), build, probe, opts)
 }
 

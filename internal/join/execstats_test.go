@@ -8,6 +8,7 @@ import (
 
 	"mmjoin/internal/datagen"
 	"mmjoin/internal/exec"
+	"mmjoin/internal/trace"
 )
 
 // TestAllAlgorithmsPopulateExecStats asserts every Table 2 algorithm
@@ -121,6 +122,42 @@ func TestWarmRunAllocatesLess(t *testing.T) {
 	// run. 3/4 is a loose bound — the observed ratio is near 1/10.
 	if warm*4 >= cold*3 {
 		t.Fatalf("warm run allocated %d bytes, cold %d — arena reuse not visible", warm, cold)
+	}
+}
+
+// TestWarmTracedRunReusesArena extends the warm-run contract to the
+// tracing-enabled path: with a Tracer attached, two back-to-back runs
+// over the same shapes must still recycle the arena buffers — and the
+// tracer's own span storage — so the warm run allocates a fraction of
+// the cold one. Tracer.Reset keeps the span slices' capacity, so
+// steady-state tracing adds no per-run growth.
+func TestWarmTracedRunReusesArena(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; reuse cannot be measured")
+	}
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 16, ProbeSize: 1 << 19, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New("PRO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	opts := &Options{Threads: 4, Arena: exec.NewArena(), Tracer: tr}
+	run := func() {
+		tr.Reset()
+		if _, err := a.RunContext(context.Background(), w.Build, w.Probe, opts); err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Spans()) == 0 {
+			t.Fatal("tracer recorded no spans; the traced path was not exercised")
+		}
+	}
+	cold := measureAllocs(run)
+	warm := measureAllocs(run)
+	if warm*4 >= cold*3 {
+		t.Fatalf("traced warm run allocated %d bytes, cold %d — arena reuse not visible under tracing", warm, cold)
 	}
 }
 

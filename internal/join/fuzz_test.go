@@ -17,7 +17,11 @@ func FuzzJoinEquivalence(f *testing.F) {
 	// Heavy skew on a sparse domain — the Figure 10/11 regime where the
 	// array joins and skew-aware scheduling earn their keep.
 	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7))
-	names := Names()
+	// Every registered algorithm — Table 2 via Names() plus the
+	// ablations — is fuzzed against the oracle; the registry analyzer
+	// holds this list complete.
+	//mmjoin:registry-table fuzz
+	names := append(Names(), "MPSM", "NOPC")
 	// The paper's skew points (Section 5.4): uniform, moderate, heavy,
 	// very heavy. Zipf must stay in [0,1) for the generator.
 	zipfs := []float64{0, 0.5, 0.9, 0.99}
@@ -40,7 +44,11 @@ func FuzzJoinEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := MustNew(algo).Run(w.Build, w.Probe, &Options{
+		j, err := NewAny(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Run(w.Build, w.Probe, &Options{
 			Threads: threads, Domain: w.Domain, RadixBits: bits,
 		})
 		if err != nil {

@@ -200,10 +200,15 @@ type sink struct {
 	materialize bool
 }
 
+// emit records one match. It is called once per result tuple from
+// every probe loop.
+//
+//mmjoin:hotpath
 func (s *sink) emit(buildPayload, probePayload tuple.Payload) {
 	s.matches++
 	s.checksum += uint64(buildPayload)<<32 | uint64(probePayload)
 	if s.materialize {
+		//mmjoin:allow(hotalloc) materialization output grows amortized; the checksum-only path allocates nothing
 		s.pairs = append(s.pairs, tuple.Pair{BuildPayload: buildPayload, ProbePayload: probePayload})
 	}
 }

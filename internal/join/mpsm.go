@@ -47,6 +47,7 @@ func (j *mpsmJoin) Description() string {
 }
 
 func (j *mpsmJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return j.RunContext(context.Background(), build, probe, opts)
 }
 

@@ -36,6 +36,7 @@ func (j *mwayJoin) Class() Class        { return SortMerge }
 func (j *mwayJoin) Description() string { return "Multi-way sort merge join" }
 
 func (j *mwayJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return j.RunContext(context.Background(), build, probe, opts)
 }
 

@@ -50,6 +50,7 @@ func (j *nopJoin) Description() string {
 }
 
 func (j *nopJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return j.RunContext(context.Background(), build, probe, opts)
 }
 

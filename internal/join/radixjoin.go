@@ -173,6 +173,7 @@ func (j *radixJoin) pickBits(o *Options, buildLen, domain int) uint {
 }
 
 func (j *radixJoin) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return j.RunContext(context.Background(), build, probe, opts)
 }
 
@@ -261,17 +262,20 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 		pool.SetQueueStrategy("lifo(sequential)")
 	}
 	domainPerPart := (domain >> bits) + 1
-	buildFrags := func(p int) []tuple.Relation {
+	// The fragment accessors append into caller-owned scratch so the
+	// task loop reuses one slice header per worker instead of
+	// allocating a fragment list per co-partition.
+	buildFrags := func(dst []tuple.Relation, p int) []tuple.Relation {
 		if j.chunked {
-			return prC.Fragments(p)
+			return prC.AppendFragments(dst, p)
 		}
-		return []tuple.Relation{prG.Part(p)}
+		return append(dst, prG.Part(p))
 	}
-	probeFrags := func(p int) []tuple.Relation {
+	probeFrags := func(dst []tuple.Relation, p int) []tuple.Relation {
 		if j.chunked {
-			return psC.Fragments(p)
+			return psC.AppendFragments(dst, p)
 		}
-		return []tuple.Relation{psG.Part(p)}
+		return append(dst, psG.Part(p))
 	}
 	buildLen := func(p int) int {
 		if j.chunked {
@@ -280,14 +284,13 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 		return prG.PartLen(p)
 	}
 	probeLen := func(p int) int {
-		n := 0
-		for _, f := range probeFrags(p) {
-			n += len(f)
+		if j.chunked {
+			return psC.PartLen(p)
 		}
-		return n
+		return psG.PartLen(p)
 	}
 	if o.SplitSkewedTasks {
-		err = j.runJoinPhaseSkewAware(pool, &o, bits, order, parts, buildFrags, probeFrags, buildLen, domainPerPart, sinks)
+		err = j.runJoinPhaseSkewAware(pool, &o, bits, order, parts, buildFrags, probeFrags, buildLen, probeLen, domainPerPart, sinks)
 	} else {
 		states := make([]*workerState, o.Threads)
 		op := j.opBytes()
@@ -298,8 +301,10 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 				states[w.ID] = wk
 				w.AddAllocs(1)
 			}
+			wk.buildScratch = buildFrags(wk.buildScratch[:0], p)
+			wk.probeScratch = probeFrags(wk.probeScratch[:0], p)
 			bl, pl := buildLen(p), probeLen(p)
-			j.joinTask(wk, &sinks[w.ID], bits, buildFrags(p), probeFrags(p), bl)
+			j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
 			// Stream both sides once, plus one table operation per tuple.
 			w.AddBytes(int64(bl+pl) * (tuple.Bytes + op))
 		})
@@ -391,6 +396,11 @@ type workerState struct {
 	linear        *hashtable.LinearTable
 	array         *hashtable.ArrayTable
 	domainPerPart int
+	// buildScratch and probeScratch are reused fragment-header slices
+	// for the task loop's buildFrags/probeFrags gathering; after a few
+	// tasks they reach the chunk count and stop growing.
+	buildScratch []tuple.Relation
+	probeScratch []tuple.Relation
 }
 
 func newWorkerState(kind tableKind, hash func(tuple.Key) uint64, domainPerPart int) *workerState {
@@ -435,6 +445,8 @@ func (wk *workerState) linearFor(n int) *hashtable.LinearTable {
 // hashing the raw key into a table smaller than 2^bits slots would send
 // the whole partition to one slot. Shifted equality is full equality
 // within a partition, so lookups stay exact.
+//
+//mmjoin:hotpath
 func (j *radixJoin) joinTask(wk *workerState, s *sink, bits uint, buildFrags, probeFrags []tuple.Relation, buildLen int) {
 	if buildLen == 0 {
 		return

@@ -24,6 +24,7 @@ func (Reference) Description() string { return "Single-threaded reference hash j
 
 // Run implements Algorithm.
 func (r Reference) Run(build, probe tuple.Relation, opts *Options) (*Result, error) {
+	//mmjoin:allow(ctxflow) Run is the documented context-free compatibility wrapper over RunContext
 	return r.RunContext(context.Background(), build, probe, opts)
 }
 

@@ -112,6 +112,8 @@ func (j *radixJoin) buildSharedTable(bits uint, frags []tuple.Relation, buildLen
 }
 
 // probeShared probes one probe range against a prebuilt table.
+//
+//mmjoin:hotpath
 func (j *radixJoin) probeShared(st *sharedTable, s *sink, bits uint, probe []tuple.Tuple) {
 	switch j.table {
 	case chainedKind:
@@ -137,17 +139,19 @@ func (j *radixJoin) probeShared(st *sharedTable, s *sink, bits uint, probe []tup
 
 // concatFragments flattens per-chunk fragments into one slice so probe
 // ranges can be split by index. Regular (non-split) tasks avoid this
-// copy.
-func concatFragments(frags []tuple.Relation) tuple.Relation {
+// copy. The buffer comes from the arena; the caller returns it with
+// PutTuples once the join phase is done.
+func concatFragments(a *exec.Arena, frags []tuple.Relation) tuple.Relation {
 	n := 0
 	for _, f := range frags {
 		n += len(f)
 	}
-	out := make(tuple.Relation, 0, n)
+	out := a.Tuples(n)
+	off := 0
 	for _, f := range frags {
-		out = append(out, f...)
+		off += copy(out[off:], f)
 	}
-	return out
+	return out[:off]
 }
 
 // runJoinPhaseSkewAware replaces the plain partition-per-task join phase
@@ -161,18 +165,14 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	bits uint,
 	order []int,
 	parts int,
-	buildFrags, probeFrags func(p int) []tuple.Relation,
-	buildLen func(p int) int,
+	buildFrags, probeFrags func(dst []tuple.Relation, p int) []tuple.Relation,
+	buildLen, probeLen func(p int) int,
 	domainPerPart int,
 	sinks []sink,
 ) error {
 	probeLens := make([]int, parts)
 	for p := 0; p < parts; p++ {
-		n := 0
-		for _, f := range probeFrags(p) {
-			n += len(f)
-		}
-		probeLens[p] = n
+		probeLens[p] = probeLen(p)
 	}
 	tasks := planSkewSplit(probeLens, order, o.Threads)
 
@@ -195,8 +195,8 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	err := pool.RunQueue("skew-prebuild", exec.NewRange(len(splitList)), func(w *exec.Worker, i int) {
 		p := splitList[i]
 		bl := buildLen(p)
-		st := j.buildSharedTable(bits, buildFrags(p), bl, domainPerPart, o.Hash)
-		probe := concatFragments(probeFrags(p))
+		st := j.buildSharedTable(bits, buildFrags(nil, p), bl, domainPerPart, o.Hash)
+		probe := concatFragments(pool.Arena(), probeFrags(nil, p))
 		// Build streams the build side into a fresh table; the probe
 		// side is copied once for range splitting.
 		w.AddBytes(int64(bl)*(tuple.Bytes+op) + 2*int64(len(probe))*tuple.Bytes)
@@ -213,7 +213,7 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	// Phase B: run the task list; split tasks probe ranges against the
 	// shared tables, regular tasks run the usual per-partition join.
 	states := make([]*workerState, pool.Threads())
-	return pool.RunQueue("join", sched.NewLIFO(taskOrder(tasks)), func(w *exec.Worker, ti int) {
+	err = pool.RunQueue("join", sched.NewLIFO(taskOrder(tasks)), func(w *exec.Worker, ti int) {
 		t := tasks[ti]
 		if t.split {
 			j.probeShared(shared[t.part], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi])
@@ -226,10 +226,16 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 			states[w.ID] = wk
 			w.AddAllocs(1)
 		}
+		wk.buildScratch = buildFrags(wk.buildScratch[:0], t.part)
+		wk.probeScratch = probeFrags(wk.probeScratch[:0], t.part)
 		bl := buildLen(t.part)
-		j.joinTask(wk, &sinks[w.ID], bits, buildFrags(t.part), probeFrags(t.part), bl)
+		j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
 		w.AddBytes(int64(bl+probeLens[t.part]) * (tuple.Bytes + op))
 	})
+	for _, probe := range sharedProbe {
+		pool.Arena().PutTuples(probe)
+	}
+	return err
 }
 
 // taskOrder returns indices 0..n-1 (the tasks slice is already in

@@ -31,16 +31,24 @@ func (c *ChunkedPartitioned) Parts() int { return 1 << c.Bits }
 // Fragments returns the per-chunk fragments of logical partition p.
 // The join phase reads these (possibly NUMA-remote) fragments
 // sequentially — CPRL's trade of small random remote writes for large
-// sequential remote reads.
+// sequential remote reads. It allocates a fresh slice per call; the
+// join task loop uses AppendFragments with a per-worker scratch slice
+// instead.
 func (c *ChunkedPartitioned) Fragments(p int) []tuple.Relation {
-	frags := make([]tuple.Relation, 0, len(c.Chunks))
+	return c.AppendFragments(make([]tuple.Relation, 0, len(c.Chunks)), p)
+}
+
+// AppendFragments appends partition p's non-empty fragments to dst and
+// returns the extended slice. Callers that process one partition per
+// task pass a reused dst[:0] so the steady state allocates nothing.
+func (c *ChunkedPartitioned) AppendFragments(dst []tuple.Relation, p int) []tuple.Relation {
 	for ci := range c.Chunks {
 		f := c.Data[c.Fences[ci][p]:c.Fences[ci][p+1]]
 		if len(f) > 0 {
-			frags = append(frags, f)
+			dst = append(dst, f)
 		}
 	}
-	return frags
+	return dst
 }
 
 // PartLen returns the total tuple count of logical partition p.

@@ -75,6 +75,8 @@ func Histogram(rel tuple.Relation, bits uint) []int {
 
 // histogramInto accumulates the radix histogram of rel into h (len
 // 2^bits, pre-zeroed).
+//
+//mmjoin:hotpath
 func histogramInto(h []int, rel tuple.Relation, bits uint) {
 	mask := tuple.Key(1<<bits - 1)
 	for _, tp := range rel {
@@ -205,6 +207,8 @@ func scatterChunk(w *exec.Worker, dst, src tuple.Relation, c tuple.Chunk, shift,
 // scatterDirect writes each tuple straight to its output position — the
 // PRB behaviour without software buffers. The partition of a tuple is
 // bits [shift, shift+bits) of its key.
+//
+//mmjoin:hotpath
 func scatterDirect(dst, chunk tuple.Relation, shift, bits uint, cursor []int) {
 	mask := tuple.Key(1<<bits - 1)
 	for _, tp := range chunk {
@@ -250,6 +254,8 @@ func newBufferedScatter(dst tuple.Relation, shift, bits uint, cursor []int) *buf
 // scatter stages the chunk's tuples through the per-partition buffers,
 // flushing whole cache lines as they fill. The masked buffer index
 // keeps the hot loop free of bounds checks.
+//
+//mmjoin:hotpath
 func (s *bufferedScatter) scatter(chunk tuple.Relation) {
 	dst, bufs := s.dst, s.bufs
 	mask := tuple.Key(1<<s.bits - 1)
@@ -268,6 +274,8 @@ func (s *bufferedScatter) scatter(chunk tuple.Relation) {
 }
 
 // flush writes out every buffer's staged remainder.
+//
+//mmjoin:hotpath
 func (s *bufferedScatter) flush() {
 	for p := range s.bufs {
 		b := &s.bufs[p]

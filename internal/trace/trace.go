@@ -136,6 +136,24 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// Reset drops all recorded spans and counter samples while keeping the
+// registered process and shard tracks — and, crucially, every shard's
+// span capacity. A pool that runs the same join repeatedly against one
+// tracer (warm benchmark loops) reaches a steady state where span
+// recording never reallocates. Only valid between traced runs, for the
+// same single-writer reason as export.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.shards {
+		s.spans = s.spans[:0]
+	}
+	t.counters = t.counters[:0]
+}
+
 // Shard is one thread track: a goroutine-private span buffer. All
 // methods are single-writer; the registering tracer merges shards at
 // export time.
@@ -148,8 +166,13 @@ type Shard struct {
 }
 
 // Span appends one span. start is an absolute time; the shard converts
-// it to the tracer's epoch-relative clock.
+// it to the tracer's epoch-relative clock. This is the raw post-hoc
+// recording API (simulated clocks construct spans after the fact); live
+// code paths pair Begin/End instead.
+//
+//mmjoin:hotpath
 func (s *Shard) Span(name string, task int, start time.Time, dur, wait time.Duration, bytes, allocs int64) {
+	//mmjoin:allow(hotalloc) span buffer growth is amortized and Tracer.Reset keeps the capacity warm
 	s.spans = append(s.spans, Span{
 		Name:   name,
 		Task:   task,
@@ -163,3 +186,66 @@ func (s *Shard) Span(name string, task int, start time.Time, dur, wait time.Dura
 
 // Len returns the number of spans recorded on this shard.
 func (s *Shard) Len() int { return len(s.spans) }
+
+// OpenSpan is an in-flight span started by Shard.Begin and closed by
+// End. It is a value type so the Begin/End pair lives entirely on the
+// caller's stack: opening a span performs no allocation and no write to
+// the shard; the single append happens at End. The zero OpenSpan (from
+// Begin on a nil shard) is inert — every method is a no-op — so traced
+// and untraced code paths can share one shape.
+//
+// The static analyzer spanpair enforces the pairing: every Begin must
+// be matched by an End reachable on all paths (usually via defer).
+type OpenSpan struct {
+	shard *Shard
+	name  string
+	task  int
+	start time.Time
+	wait  time.Duration
+	bytes int64
+	alloc int64
+}
+
+// Begin opens a span on the shard's track. The returned OpenSpan must
+// be ended exactly once; counters accumulate on it in between.
+func (s *Shard) Begin(name string, task int) OpenSpan {
+	if s == nil {
+		return OpenSpan{}
+	}
+	return OpenSpan{shard: s, name: name, task: task, start: time.Now()}
+}
+
+// SetWait records the queue wait that preceded the span.
+func (o *OpenSpan) SetWait(d time.Duration) {
+	if o.shard != nil {
+		o.wait = d
+	}
+}
+
+// AddBytes accumulates bytes touched onto the span.
+func (o *OpenSpan) AddBytes(n int64) {
+	if o.shard != nil {
+		o.bytes += n
+	}
+}
+
+// AddAllocs accumulates allocation events onto the span.
+func (o *OpenSpan) AddAllocs(n int64) {
+	if o.shard != nil {
+		o.alloc += n
+	}
+}
+
+// End closes the span, appends it to the shard and returns its
+// duration (zero for the inert zero span). End on an already-ended
+// span records a duplicate; the analyzer only checks that at least one
+// End is reachable, so keep the pairing 1:1.
+func (o *OpenSpan) End() time.Duration {
+	if o.shard == nil {
+		return 0
+	}
+	d := time.Since(o.start)
+	o.shard.Span(o.name, o.task, o.start, d, o.wait, o.bytes, o.alloc)
+	o.shard = nil
+	return d
+}
