@@ -10,6 +10,8 @@
 //	joinbench -run fig10 -quick
 //	joinbench -run fig1 -json
 //	joinbench -run fig1 -trace trace.json   # Chrome/Perfetto trace_event output
+//	joinbench -microbench -benchtime 1s -o BENCH_baseline.json
+//	joinbench -microbench -benchtime 0.3s -microsizes 16,20   # CI smoke
 package main
 
 import (
@@ -17,6 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"mmjoin/internal/bench"
 	"mmjoin/internal/trace"
@@ -41,9 +46,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asJSON  = fs.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
 		out     = fs.String("o", "", "write reports to a file instead of stdout")
 		traceTo = fs.String("trace", "", "write a Chrome/Perfetto trace_event JSON file covering every executed join")
+
+		micro      = fs.Bool("microbench", false, "run the standalone kernel microbenchmarks (probe/build ns-per-tuple per table, scalar vs batch) and emit JSON")
+		benchtime  = fs.Duration("benchtime", time.Second, "minimum measuring time per microbenchmark cell")
+		microsizes = fs.String("microsizes", "16,20,24", "comma-separated log2 build sizes for -microbench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *micro {
+		var sizes []int
+		for _, s := range strings.Split(*microsizes, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			lg, err := strconv.Atoi(s)
+			if err != nil {
+				fmt.Fprintf(stderr, "joinbench: -microsizes: %v\n", err)
+				return 2
+			}
+			sizes = append(sizes, lg)
+		}
+		var dst io.Writer = stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(stderr, "joinbench: -o: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			dst = f
+		}
+		if err := bench.Microbench(bench.MicrobenchConfig{
+			Benchtime: *benchtime, SizesLog2: sizes, Seed: *seed,
+		}, dst); err != nil {
+			fmt.Fprintf(stderr, "joinbench: -microbench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {

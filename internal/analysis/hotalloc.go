@@ -25,6 +25,19 @@ import (
 //   - go statements (a goroutine per tuple or morsel is never what a
 //     morsel-driven pool wants).
 //
+// One idiom is exempt without an allow comment: the guarded lazy
+// initialization of reusable scratch state,
+//
+//	if s.buf == nil {
+//	    s.buf = make([]T, n)
+//	}
+//
+// which allocates once per worker lifetime and is a nil check in steady
+// state — the batch kernels' scratch accessors are built on it. The
+// exemption is deliberately narrow: exactly one plain assignment (no
+// :=), whose target is the expression compared against nil, with no
+// init statement and no else branch. Anything looser still reports.
+//
 // Amortized or intentional allocations stay — with a documented
 // //mmjoin:allow(hotalloc) comment on the line.
 var HotAlloc = &Analyzer{
@@ -73,6 +86,7 @@ func hotRegions(pass *Pass, f *ast.File) []ast.Node {
 // checkHotRegion reports allocating constructs under root.
 func checkHotRegion(pass *Pass, root ast.Node) {
 	info := pass.Pkg.Info
+	lazy := lazyInitMakes(pass, root)
 	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
@@ -88,14 +102,73 @@ func checkHotRegion(pass *Pass, root ast.Node) {
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, n)
+			checkHotCall(pass, n, lazy)
 		}
 		return true
 	})
 }
 
-// checkHotCall classifies one call inside a hot region.
-func checkHotCall(pass *Pass, call *ast.CallExpr) {
+// lazyInitMakes pre-scans a hot region for the sanctioned lazy-init
+// idiom — `if x == nil { x = make(...) }` with nothing else in the if —
+// and returns the positions of the make calls it covers. The match is
+// strict: a plain `=` (not :=) whose single target is textually the
+// expression compared against nil, no init statement, no else branch.
+func lazyInitMakes(pass *Pass, root ast.Node) map[token.Pos]bool {
+	info := pass.Pkg.Info
+	var allowed map[token.Pos]bool
+	ast.Inspect(root, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		target := cond.X
+		if isNilExpr(info, target) {
+			target = cond.Y
+		} else if !isNilExpr(info, cond.Y) {
+			return true
+		}
+		asg, ok := ifs.Body.List[0].(*ast.AssignStmt)
+		if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || builtinName(info, id) != "make" {
+			return true
+		}
+		if types.ExprString(asg.Lhs[0]) != types.ExprString(target) {
+			return true
+		}
+		if allowed == nil {
+			allowed = make(map[token.Pos]bool)
+		}
+		allowed[call.Pos()] = true
+		return true
+	})
+	return allowed
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	if info != nil {
+		if tv, ok := info.Types[e]; ok {
+			return tv.IsNil()
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checkHotCall classifies one call inside a hot region. lazyMakes holds
+// the make calls sanctioned by the lazy-init idiom.
+func checkHotCall(pass *Pass, call *ast.CallExpr, lazyMakes map[token.Pos]bool) {
 	info := pass.Pkg.Info
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
@@ -104,6 +177,9 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 			pass.Reportf(call.Pos(), "append in hot path may grow its backing array; preallocate through the arena and use indexed writes")
 			return
 		case "make":
+			if lazyMakes[call.Pos()] {
+				return
+			}
 			pass.Reportf(call.Pos(), "make in hot path allocates; draw the buffer from exec.Arena outside the loop")
 			return
 		case "new":

@@ -89,3 +89,56 @@ func variadicForward(args []interface{}) {
 }
 
 func variadic(args ...interface{}) {}
+
+// scratch mimics the batch kernels' per-worker scratch state whose
+// buffers are allocated lazily on first use.
+type scratch struct {
+	buf   []int
+	other []int
+}
+
+// lazyInit is the sanctioned idiom: the guarded make runs once per
+// worker lifetime, the steady state is a nil check. No allow comment
+// needed.
+//
+//mmjoin:hotpath
+func (s *scratch) lazyInit() []int {
+	if s.buf == nil {
+		s.buf = make([]int, 8)
+	}
+	return s.buf
+}
+
+// lazyInitReversed spells the guard nil-first; still the idiom.
+//
+//mmjoin:hotpath
+func (s *scratch) lazyInitReversed() []int {
+	if nil == s.buf {
+		s.buf = make([]int, 8)
+	}
+	return s.buf
+}
+
+// lazyInitWrongTarget fills a different field than the one guarded —
+// that make can run on every call, so it stays flagged.
+//
+//mmjoin:hotpath
+func (s *scratch) lazyInitWrongTarget() []int {
+	if s.buf == nil {
+		s.other = make([]int, 8) // want "make in hot path"
+	}
+	return s.other
+}
+
+// lazyInitShortDecl declares a fresh variable instead of assigning the
+// guarded expression (and needs a second statement to store it) — not
+// the idiom, flagged.
+//
+//mmjoin:hotpath
+func (s *scratch) lazyInitShortDecl() []int {
+	if s.buf == nil {
+		b := make([]int, 8) // want "make in hot path"
+		s.buf = b
+	}
+	return s.buf
+}

@@ -196,7 +196,7 @@ func experimentOrder(id string) int {
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19", "tab3", "tab4",
-		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder"}
+		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder", "ablbatch"}
 	for i, v := range order {
 		if v == id {
 			return i

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/tuple"
+)
+
+// Standalone kernel microbenchmarks: probe and build ns-per-tuple for
+// every hash-table design at L2-resident through cache-busting sizes,
+// scalar vs batched. This is the harness behind BENCH_baseline.json and
+// the CI bench-smoke job: each record carries a Go-benchmark-format
+// line ("gobench") so two runs can be diffed with benchstat without a
+// testing.B in the loop.
+
+// MicrobenchConfig controls one microbenchmark sweep.
+type MicrobenchConfig struct {
+	// Benchtime is the minimum measuring time per (table, op, kernel,
+	// size) cell; at least one full pass always runs. 0 means 1s.
+	Benchtime time.Duration
+	// SizesLog2 lists the build sizes as powers of two. Empty means
+	// {16, 20, 24}.
+	SizesLog2 []int
+	// Seed offsets the key permutation (the golden-ratio stride makes
+	// the workload deterministic regardless; the seed varies the probe
+	// order).
+	Seed uint64
+}
+
+// MicrobenchRecord is one measured cell.
+type MicrobenchRecord struct {
+	Table      string  `json:"table"`
+	Op         string  `json:"op"`     // "build" or "probe"
+	Kernel     string  `json:"kernel"` // "scalar" or "batch"
+	KeysLog2   int     `json:"keys_log2"`
+	Tuples     int     `json:"tuples"`
+	Iters      int     `json:"iters"`
+	NsPerTuple float64 `json:"ns_per_tuple"`
+	// GoBench is the record in Go benchmark format (value = ns/tuple),
+	// ready for benchstat: extract the gobench fields of two runs into
+	// two files and diff them.
+	GoBench string `json:"gobench"`
+}
+
+// microbenchOutput is the JSON document Microbench writes.
+type microbenchOutput struct {
+	Kind        string             `json:"kind"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	BenchtimeMs int64              `json:"benchtime_ms"`
+	Records     []MicrobenchRecord `json:"records"`
+}
+
+// Microbench runs the kernel sweep and writes the JSON document to w.
+func Microbench(cfg MicrobenchConfig, w io.Writer) error {
+	if cfg.Benchtime <= 0 {
+		cfg.Benchtime = time.Second
+	}
+	sizes := cfg.SizesLog2
+	if len(sizes) == 0 {
+		sizes = []int{16, 20, 24}
+	}
+	out := microbenchOutput{
+		Kind:        "microbench",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		BenchtimeMs: cfg.Benchtime.Milliseconds(),
+	}
+	for _, lg := range sizes {
+		recs, err := microbenchSize(cfg, lg)
+		if err != nil {
+			return err
+		}
+		out.Records = append(out.Records, recs...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// microTuples generates n tuples covering [0, n) in golden-ratio-stride
+// order (the same workload as the hashtable package's benchmarks).
+func microTuples(n int, seed uint64) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		k := (uint32(i) + uint32(seed)) * 2654435761 % uint32(n)
+		ts[i] = tuple.Tuple{Key: tuple.Key(k), Payload: tuple.Payload(i)}
+	}
+	return ts
+}
+
+// measure runs f (one full pass over n tuples) until the benchtime
+// elapses and returns iteration count and ns per tuple.
+func measure(benchtime time.Duration, n int, f func()) (int, float64) {
+	runtime.GC()
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < benchtime || iters == 0 {
+		f()
+		iters++
+	}
+	total := time.Since(start)
+	return iters, float64(total.Nanoseconds()) / float64(iters) / float64(n)
+}
+
+// record formats one cell.
+func record(table, op, kernel string, lg, n, iters int, ns float64) MicrobenchRecord {
+	return MicrobenchRecord{
+		Table: table, Op: op, Kernel: kernel,
+		KeysLog2: lg, Tuples: n, Iters: iters, NsPerTuple: ns,
+		GoBench: fmt.Sprintf("BenchmarkMicro/op=%s/table=%s/keys=2^%d/kernel=%s %d %.2f ns/op",
+			op, table, lg, kernel, iters, ns),
+	}
+}
+
+func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
+	if lg < 4 || lg > 28 {
+		return nil, fmt.Errorf("bench: microbench size 2^%d out of range [2^4, 2^28]", lg)
+	}
+	n := 1 << lg
+	tuples := microTuples(n, cfg.Seed)
+	probes := microTuples(n, cfg.Seed+1)
+	keys := make([]tuple.Key, n)
+	payloads := make([]tuple.Payload, n)
+	for i, tp := range probes {
+		keys[i] = tp.Key
+		payloads[i] = tp.Payload
+	}
+	buildKeys := make([]tuple.Key, n)
+	buildPayloads := make([]tuple.Payload, n)
+	for i, tp := range tuples {
+		buildKeys[i] = tp.Key
+		buildPayloads[i] = tp.Payload
+	}
+
+	ct := hashtable.NewChainedTable(n, hashfn.Murmur)
+	lt := hashtable.NewLinearTable(n, hashfn.Murmur)
+	rh := hashtable.NewRobinHoodTable(n, 0, hashfn.Murmur)
+	at := hashtable.NewArrayTable(0, n)
+	st := hashtable.NewSparseTable(n, hashfn.Murmur)
+	for _, tp := range tuples {
+		ct.Insert(tp)
+		lt.Insert(tp)
+		rh.Insert(tp)
+		at.Insert(tp)
+		st.Insert(tp)
+	}
+	cht := hashtable.BuildCHT(tuples, hashfn.Murmur)
+
+	var recs []MicrobenchRecord
+	var scratch hashtable.BatchScratch
+	var out hashtable.MatchBatch
+	var sink tuple.Payload
+
+	probeCases := []struct {
+		name string
+		tbl  hashtable.Table
+	}{
+		{"chained", ct}, {"linear", lt}, {"robinhood", rh},
+		{"array", at}, {"cht", cht}, {"sparse", st},
+	}
+	for _, pc := range probeCases {
+		iters, ns := measure(cfg.Benchtime, n, func() {
+			for _, tp := range probes {
+				if p, ok := pc.tbl.Lookup(tp.Key); ok {
+					sink += p
+				}
+			}
+		})
+		recs = append(recs, record(pc.name, "probe", "scalar", lg, n, iters, ns))
+	}
+	batchProbeCases := []struct {
+		name string
+		tbl  interface {
+			ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *hashtable.BatchScratch, out *hashtable.MatchBatch)
+		}
+	}{
+		{"chained", ct}, {"linear", lt}, {"robinhood", rh},
+		{"array", at}, {"cht", cht}, {"sparse", st},
+	}
+	for _, pc := range batchProbeCases {
+		iters, ns := measure(cfg.Benchtime, n, func() {
+			for lo := 0; lo < n; lo += hashtable.BatchSize {
+				hi := min(lo+hashtable.BatchSize, n)
+				pc.tbl.ProbeJoinBatch(keys[lo:hi], payloads[lo:hi], &scratch, &out)
+				for j := 0; j < out.N; j++ {
+					sink += out.Build[j]
+				}
+			}
+		})
+		recs = append(recs, record(pc.name, "probe", "batch", lg, n, iters, ns))
+	}
+	_ = sink
+
+	buildCases := []struct {
+		name  string
+		reset func()
+		ins   func(tuple.Tuple)
+		batch func(lo, hi int)
+	}{
+		{"chained", ct.Reset, ct.Insert, func(lo, hi int) { ct.BuildBatch(buildKeys[lo:hi], buildPayloads[lo:hi], &scratch) }},
+		{"linear", lt.Reset, lt.Insert, func(lo, hi int) { lt.BuildBatch(buildKeys[lo:hi], buildPayloads[lo:hi], &scratch) }},
+		{"robinhood", rh.Reset, rh.Insert, func(lo, hi int) { rh.BuildBatch(buildKeys[lo:hi], buildPayloads[lo:hi], &scratch) }},
+		{"array", at.Reset, at.Insert, func(lo, hi int) { at.BuildBatch(buildKeys[lo:hi], buildPayloads[lo:hi], &scratch) }},
+	}
+	for _, bc := range buildCases {
+		iters, ns := measure(cfg.Benchtime, n, func() {
+			bc.reset()
+			for _, tp := range tuples {
+				bc.ins(tp)
+			}
+		})
+		recs = append(recs, record(bc.name, "build", "scalar", lg, n, iters, ns))
+		iters, ns = measure(cfg.Benchtime, n, func() {
+			bc.reset()
+			for lo := 0; lo < n; lo += hashtable.BatchSize {
+				bc.batch(lo, min(lo+hashtable.BatchSize, n))
+			}
+		})
+		recs = append(recs, record(bc.name, "build", "batch", lg, n, iters, ns))
+	}
+	return recs, nil
+}

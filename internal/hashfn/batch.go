@@ -1,0 +1,114 @@
+package hashfn
+
+import (
+	"reflect"
+
+	"mmjoin/internal/tuple"
+)
+
+// BatchFunc hashes a batch of keys at once: dst[i] receives the hash of
+// keys[i]. The batch variants below are one specialized loop per hash
+// function — no per-key indirect call through a Func value — so the
+// compiler keeps the whole batch in one tight loop with the bounds
+// checks hoisted. len(dst) must be >= len(keys).
+type BatchFunc func(dst []uint64, keys []tuple.Key)
+
+// IdentityBatch is the batch form of Identity.
+//
+//mmjoin:hotpath
+func IdentityBatch(dst []uint64, keys []tuple.Key) {
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = uint64(k)
+	}
+}
+
+// MultiplicativeBatch is the batch form of Multiplicative.
+//
+//mmjoin:hotpath
+func MultiplicativeBatch(dst []uint64, keys []tuple.Key) {
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		h := uint64(k) * 0x9e3779b97f4a7c15
+		dst[i] = h ^ (h >> 32)
+	}
+}
+
+// MurmurBatch is the batch form of Murmur.
+//
+//mmjoin:hotpath
+func MurmurBatch(dst []uint64, keys []tuple.Key) {
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		h := uint64(k)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 33
+		dst[i] = h
+	}
+}
+
+// CRCBatch is the batch form of CRC, with the four byte steps unrolled.
+//
+//mmjoin:hotpath
+func CRCBatch(dst []uint64, keys []tuple.Key) {
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		crc := ^uint32(0)
+		crc = crcTable[byte(crc)^byte(k)] ^ (crc >> 8)
+		crc = crcTable[byte(crc)^byte(k>>8)] ^ (crc >> 8)
+		crc = crcTable[byte(crc)^byte(k>>16)] ^ (crc >> 8)
+		crc = crcTable[byte(crc)^byte(k>>24)] ^ (crc >> 8)
+		dst[i] = uint64(^crc)
+	}
+}
+
+// BatchFor resolves the specialized batch variant of a scalar hash
+// function. The four named functions map to their hand-specialized
+// loops; any other Func falls back to a generic loop that still hoists
+// the hashing out of the probe walk (one indirect call per key, but all
+// hashes are computed up front). A nil Func resolves to IdentityBatch,
+// mirroring the table constructors' nil default.
+//
+// The resolution happens once per table construction (cold), never in a
+// kernel.
+func BatchFor(f Func) BatchFunc {
+	if f == nil {
+		return IdentityBatch
+	}
+	p := reflect.ValueOf(f).Pointer()
+	switch p {
+	case reflect.ValueOf(Identity).Pointer():
+		return IdentityBatch
+	case reflect.ValueOf(Multiplicative).Pointer():
+		return MultiplicativeBatch
+	case reflect.ValueOf(Murmur).Pointer():
+		return MurmurBatch
+	case reflect.ValueOf(CRC).Pointer():
+		return CRCBatch
+	}
+	return func(dst []uint64, keys []tuple.Key) {
+		dst = dst[:len(keys)]
+		for i, k := range keys {
+			dst[i] = f(k)
+		}
+	}
+}
+
+// BatchByName resolves a batch hash function by the same names ByName
+// accepts. Unknown names return nil.
+func BatchByName(name string) BatchFunc {
+	switch name {
+	case "identity", "":
+		return IdentityBatch
+	case "multiplicative":
+		return MultiplicativeBatch
+	case "murmur":
+		return MurmurBatch
+	case "crc":
+		return CRCBatch
+	}
+	return nil
+}

@@ -1,0 +1,1204 @@
+package hashtable
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"mmjoin/internal/tuple"
+)
+
+// This file holds the batch-at-a-time kernels: for every table type a
+// monomorphized BuildBatch, LookupBatch and fused ProbeJoinBatch that
+// process up to BatchSize tuples per call. Hashes for the whole batch
+// are computed up front through the table's resolved hashfn.BatchFunc
+// (no per-key indirect call), and the probe kernels walk their buckets
+// in an AMAC-style interleaved state machine (Kocberber et al., VLDB
+// 2015): a gather pass issues one independent memory access per lane
+// back-to-back, so an out-of-order core overlaps the cache misses of up
+// to BatchSize probes instead of serializing them behind one pointer
+// chase; subsequent rounds advance only the surviving lanes, compacted
+// with indexed writes, never append.
+//
+// Bounds-check elimination discipline: every per-lane scratch buffer is
+// re-sliced to the batch length n before the lane loops, table arrays
+// are indexed through masks derived from their own lengths (all powers
+// of two), and emit positions are masked with the constant BatchSize-1,
+// so the hot loops compile free of bounds checks.
+//
+// All kernels are semantically equivalent to their scalar counterparts
+// run tuple-at-a-time in batch order; LookupBatch and ProbeJoinBatch
+// mirror Lookup's first-match semantics exactly, so a probe batch of n
+// keys emits at most n matches.
+
+// BatchSize is the number of tuples processed per batch kernel call.
+// 256 lanes keep every per-lane state array comfortably inside L1
+// while exposing far more memory-level parallelism than the ~10
+// outstanding misses a core can sustain.
+const BatchSize = 256
+
+// BatchScratch holds the per-lane state arrays shared by all batch
+// kernels. One instance per worker is enough; kernels may clobber every
+// buffer. The zero value is ready to use — buffers are allocated
+// lazily on first touch so a worker that only ever probes one table
+// kind pays only for the arrays that kind needs.
+type BatchScratch struct {
+	hashes []uint64
+	slots  []uint64
+	lanes  []int32
+	lanes2 []int32
+	biased []uint32
+	curk   []uint32
+	dists  []uint8
+	bptrs  []*chainedBucket
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) hashBuf() []uint64 {
+	if s.hashes == nil {
+		s.hashes = make([]uint64, BatchSize)
+	}
+	return s.hashes
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) slotBuf() []uint64 {
+	if s.slots == nil {
+		s.slots = make([]uint64, BatchSize)
+	}
+	return s.slots
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) laneBuf() []int32 {
+	if s.lanes == nil {
+		s.lanes = make([]int32, BatchSize)
+	}
+	return s.lanes
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) laneBuf2() []int32 {
+	if s.lanes2 == nil {
+		s.lanes2 = make([]int32, BatchSize)
+	}
+	return s.lanes2
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) keyBuf() []uint32 {
+	if s.biased == nil {
+		s.biased = make([]uint32, BatchSize)
+	}
+	return s.biased
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) curkBuf() []uint32 {
+	if s.curk == nil {
+		s.curk = make([]uint32, BatchSize)
+	}
+	return s.curk
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) distBuf() []uint8 {
+	if s.dists == nil {
+		s.dists = make([]uint8, BatchSize)
+	}
+	return s.dists
+}
+
+//mmjoin:hotpath
+func (s *BatchScratch) bucketBuf() []*chainedBucket {
+	if s.bptrs == nil {
+		s.bptrs = make([]*chainedBucket, BatchSize)
+	}
+	return s.bptrs
+}
+
+// MatchBatch receives the output of a fused ProbeJoinBatch call:
+// parallel build/probe payload arrays with N valid entries. Because the
+// probe kernels mirror Lookup's at-most-one-match semantics, N never
+// exceeds the probe batch length, so the buffers are sized once at
+// BatchSize and never grow. The zero value is ready to use; callers
+// must not shrink the exported slices.
+type MatchBatch struct {
+	N     int
+	Build []tuple.Payload
+	Probe []tuple.Payload
+}
+
+//mmjoin:hotpath
+func (m *MatchBatch) bufs() ([]tuple.Payload, []tuple.Payload) {
+	if m.Build == nil {
+		m.Build = make([]tuple.Payload, BatchSize)
+	}
+	if m.Probe == nil {
+		m.Probe = make([]tuple.Payload, BatchSize)
+	}
+	return m.Build[:BatchSize], m.Probe[:BatchSize]
+}
+
+// checkBatch bounds a kernel's batch length; kernels accept at most
+// BatchSize lanes because the scratch state arrays are sized for that.
+//
+//mmjoin:hotpath
+func checkBatch(n int) {
+	if n > BatchSize {
+		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on kernel misuse
+		panic("hashtable: batch kernels accept at most BatchSize tuples per call")
+	}
+}
+
+// ---------------------------------------------------------------------
+// ChainedTable
+// ---------------------------------------------------------------------
+
+// BuildBatch inserts keys[i]/payloads[i] for the whole batch
+// (single-writer), equivalent to Insert called in batch order.
+//
+//mmjoin:hotpath
+func (t *ChainedTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	buckets := t.buckets
+	if len(buckets) == 0 {
+		return
+	}
+	mask := uint64(len(buckets) - 1)
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		b := &buckets[h[li]&mask]
+		for {
+			cnt := int(b.meta)
+			if cnt < chainedBucketTuples {
+				b.tuples[cnt&(chainedBucketTuples-1)] = tuple.Tuple{Key: keys[li], Payload: payloads[li]}
+				b.meta = uint32(cnt + 1)
+				break
+			}
+			if b.next == nil {
+				//mmjoin:allow(hotalloc) overflow arena grows amortized; ReserveOverflow pre-sizes it for known chains
+				t.arena = append(t.arena, chainedBucket{})
+				b.next = &t.arena[len(t.arena)-1]
+			}
+			b = b.next
+		}
+	}
+	t.n += n
+}
+
+// BuildBatchConcurrent inserts the batch under per-bucket latches, the
+// batched equivalent of InsertConcurrent. As with the scalar path the
+// global count is not maintained; call FinishConcurrentBuild after all
+// builders complete.
+//
+//mmjoin:hotpath
+func (t *ChainedTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	buckets := t.buckets
+	if len(buckets) == 0 {
+		return
+	}
+	mask := uint64(len(buckets) - 1)
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		head := &buckets[h[li]&mask]
+		t.lock(head)
+		b := head
+		for {
+			cnt := int(b.meta &^ chainedLatchBit)
+			if b == head {
+				cnt = int(atomic.LoadUint32(&b.meta) &^ chainedLatchBit)
+			}
+			if cnt < chainedBucketTuples {
+				b.tuples[cnt&(chainedBucketTuples-1)] = tuple.Tuple{Key: keys[li], Payload: payloads[li]}
+				if b == head {
+					atomic.StoreUint32(&b.meta, uint32(cnt+1)|chainedLatchBit)
+				} else {
+					b.meta = uint32(cnt + 1)
+				}
+				break
+			}
+			if b.next == nil {
+				//mmjoin:allow(hotalloc) overflow buckets must be heap-allocated under concurrency, matching InsertConcurrent
+				b.next = &chainedBucket{}
+			}
+			b = b.next
+		}
+		atomic.StoreUint32(&head.meta, atomic.LoadUint32(&head.meta)&^uint32(chainedLatchBit))
+	}
+}
+
+// LookupBatch looks up every key of the batch, writing payloads[i] and
+// found[i]; equivalent to Lookup per key. Chains are walked one bucket
+// per round across all still-active lanes, overlapping the dependent
+// loads of different probes.
+//
+//mmjoin:hotpath
+func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	ptrs := s.bucketBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	slots := s.slotBuf()[:n]
+	buckets := t.buckets
+	if len(buckets) == 0 {
+		return
+	}
+	mask := uint64(len(buckets) - 1)
+	payloads = payloads[:n]
+	found = found[:n]
+	// Gather pass: one independent head-bucket load per lane, issued
+	// back-to-back so the out-of-order core keeps the maximum number of
+	// cache misses in flight. The loaded meta word both warms the bucket
+	// line for round 0 and feeds it the in-bucket count.
+	for li := 0; li < n; li++ {
+		b := &buckets[h[li]&mask]
+		ptrs[li] = b
+		slots[li] = uint64(b.meta)
+	}
+	// Round 0 runs on warm lines with the pre-loaded meta.
+	nn := 0
+	for li := 0; li < n; li++ {
+		b := ptrs[li]
+		cnt := int(uint32(slots[li]) &^ chainedLatchBit)
+		payloads[li] = 0
+		found[li] = false
+		hit := false
+		for i := 0; i < cnt; i++ {
+			if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
+				payloads[li] = b.tuples[i&(chainedBucketTuples-1)].Payload
+				found[li] = true
+				hit = true
+				break
+			}
+		}
+		if !hit && b.next != nil {
+			ptrs[li] = b.next
+			lanes[nn] = int32(li)
+			nn++
+		}
+	}
+	// Remaining rounds walk the overflow chains of the surviving lanes.
+	for nn > 0 {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := lanes[a]
+			b := ptrs[li]
+			cnt := int(b.meta &^ chainedLatchBit)
+			hit := false
+			for i := 0; i < cnt; i++ {
+				if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
+					payloads[li] = b.tuples[i&(chainedBucketTuples-1)].Payload
+					found[li] = true
+					hit = true
+					break
+				}
+			}
+			if !hit && b.next != nil {
+				ptrs[li] = b.next
+				lanes[na] = li
+				na++
+			}
+		}
+		nn = na
+	}
+}
+
+// ProbeJoinBatch fuses LookupBatch with match emission: for every probe
+// key with a (first) match, the pair of build payload and probe payload
+// is appended to out. out.N is reset on entry.
+//
+//mmjoin:hotpath
+func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	ptrs := s.bucketBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	slots := s.slotBuf()[:n]
+	bp, pp := out.bufs()
+	buckets := t.buckets
+	if len(buckets) == 0 {
+		out.N = 0
+		return
+	}
+	mask := uint64(len(buckets) - 1)
+	probePayloads = probePayloads[:n]
+	// Gather pass: see LookupBatch.
+	for li := 0; li < n; li++ {
+		b := &buckets[h[li]&mask]
+		ptrs[li] = b
+		slots[li] = uint64(b.meta)
+	}
+	nn := 0
+	m := 0
+	// Round 0 on warm lines.
+	for li := 0; li < n; li++ {
+		b := ptrs[li]
+		cnt := int(uint32(slots[li]) &^ chainedLatchBit)
+		hit := false
+		for i := 0; i < cnt; i++ {
+			if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
+				bp[m&(BatchSize-1)] = b.tuples[i&(chainedBucketTuples-1)].Payload
+				pp[m&(BatchSize-1)] = probePayloads[li]
+				m++
+				hit = true
+				break
+			}
+		}
+		if !hit && b.next != nil {
+			ptrs[li] = b.next
+			lanes[nn] = int32(li)
+			nn++
+		}
+	}
+	for nn > 0 {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			b := ptrs[li]
+			cnt := int(b.meta &^ chainedLatchBit)
+			hit := false
+			for i := 0; i < cnt; i++ {
+				if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
+					bp[m&(BatchSize-1)] = b.tuples[i&(chainedBucketTuples-1)].Payload
+					pp[m&(BatchSize-1)] = probePayloads[li]
+					m++
+					hit = true
+					break
+				}
+			}
+			if !hit && b.next != nil {
+				ptrs[li] = b.next
+				lanes[na] = int32(li)
+				na++
+			}
+		}
+		nn = na
+	}
+	out.N = m
+}
+
+// ---------------------------------------------------------------------
+// LinearTable
+// ---------------------------------------------------------------------
+
+// BuildBatch inserts the batch without synchronization, equivalent to
+// Insert called in batch order.
+//
+//mmjoin:hotpath
+func (t *LinearTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	tk := t.keys
+	if len(tk) == 0 {
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		biased := uint32(keys[li]) + 1
+		i := h[li] & mask
+		ok := false
+		for probes := uint64(0); probes <= mask; probes++ {
+			if tk[i&mask] == 0 {
+				tk[i&mask] = biased
+				tp[i&mask] = payloads[li]
+				ok = true
+				break
+			}
+			i = (i + 1) & mask
+		}
+		if !ok {
+			//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes when the table is misused
+			panic("hashtable: LinearTable full — size it for the build side before inserting")
+		}
+	}
+	t.n += int64(n)
+}
+
+// BuildBatchConcurrent inserts the batch with the CAS protocol of
+// InsertConcurrent; the element count is updated once per batch instead
+// of once per tuple.
+//
+//mmjoin:hotpath
+func (t *LinearTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	tk := t.keys
+	if len(tk) == 0 {
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		biased := uint32(keys[li]) + 1
+		i := h[li] & mask
+		ok := false
+		for probes := uint64(0); probes <= mask; probes++ {
+			if atomic.LoadUint32(&tk[i&mask]) == 0 &&
+				atomic.CompareAndSwapUint32(&tk[i&mask], 0, biased) {
+				tp[i&mask] = payloads[li]
+				ok = true
+				break
+			}
+			i = (i + 1) & mask
+		}
+		if !ok {
+			//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes when the table is misused
+			panic("hashtable: LinearTable full — size it for the build side before inserting")
+		}
+	}
+	atomic.AddInt64(&t.n, int64(n))
+}
+
+// LookupBatch looks up every key of the batch; equivalent to Lookup per
+// key. All active lanes advance one probe per round, so the slot loads
+// of up to BatchSize independent probe sequences are in flight at once.
+//
+//mmjoin:hotpath
+func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	biased := s.keyBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	curk := s.curkBuf()[:n]
+	tk := t.keys
+	if len(tk) == 0 {
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	found = found[:n]
+	// Gather pass: load every lane's home slot key — one independent
+	// cache miss per lane, issued back-to-back so the out-of-order core
+	// keeps the maximum number of misses in flight.
+	for li := 0; li < n; li++ {
+		i := h[li] & mask
+		slots[li] = i
+		curk[li] = tk[i&mask]
+	}
+	// Round 0 resolves from the gathered keys; the payload loads of the
+	// hit lanes are themselves independent and overlap across lanes.
+	nn := 0
+	for li := 0; li < n; li++ {
+		cur := curk[li]
+		bk := uint32(keys[li]) + 1
+		payloads[li] = 0
+		found[li] = false
+		if cur == bk {
+			payloads[li] = tp[slots[li]&mask]
+			found[li] = true
+			continue
+		}
+		if cur == 0 {
+			continue
+		}
+		slots[li] = (slots[li] + 1) & mask
+		biased[li] = bk
+		lanes[nn] = int32(li)
+		nn++
+	}
+	// Remaining rounds advance the surviving probe sequences in lockstep.
+	for round := uint64(0); nn > 0 && round < mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			i := slots[li] & mask
+			cur := tk[i&mask]
+			if cur == biased[li] {
+				payloads[li] = tp[i&mask]
+				found[li] = true
+				continue
+			}
+			if cur == 0 {
+				continue
+			}
+			slots[li] = (i + 1) & mask
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+}
+
+// ProbeJoinBatch fuses LookupBatch with match emission into out.
+//
+//mmjoin:hotpath
+func (t *LinearTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	biased := s.keyBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	curk := s.curkBuf()[:n]
+	bp, pp := out.bufs()
+	tk := t.keys
+	if len(tk) == 0 {
+		out.N = 0
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	probePayloads = probePayloads[:n]
+	// Gather pass: see LookupBatch.
+	for li := 0; li < n; li++ {
+		i := h[li] & mask
+		slots[li] = i
+		curk[li] = tk[i&mask]
+	}
+	nn := 0
+	m := 0
+	// Round 0 resolves from the gathered keys.
+	for li := 0; li < n; li++ {
+		cur := curk[li]
+		bk := uint32(keys[li]) + 1
+		if cur == bk {
+			bp[m&(BatchSize-1)] = tp[slots[li]&mask]
+			pp[m&(BatchSize-1)] = probePayloads[li]
+			m++
+			continue
+		}
+		if cur == 0 {
+			continue
+		}
+		slots[li] = (slots[li] + 1) & mask
+		biased[li] = bk
+		lanes[nn] = int32(li)
+		nn++
+	}
+	for round := uint64(0); nn > 0 && round < mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			i := slots[li] & mask
+			cur := tk[i&mask]
+			if cur == biased[li] {
+				bp[m&(BatchSize-1)] = tp[i&mask]
+				pp[m&(BatchSize-1)] = probePayloads[li]
+				m++
+				continue
+			}
+			if cur == 0 {
+				continue
+			}
+			slots[li] = (i + 1) & mask
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+	out.N = m
+}
+
+// ---------------------------------------------------------------------
+// RobinHoodTable
+// ---------------------------------------------------------------------
+
+// BuildBatch inserts the batch (single-writer), equivalent to Insert in
+// batch order. Only the initial slot benefits from the batched hash:
+// the displacement swaps are inherently sequential per lane.
+//
+//mmjoin:hotpath
+func (t *RobinHoodTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	tk := t.keys
+	if len(tk) == 0 {
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	td := t.dist[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		key := uint32(keys[li]) + 1
+		payload := payloads[li]
+		i := h[li] & mask
+		var d uint8
+		ok := false
+		for probes := uint64(0); probes <= mask; probes++ {
+			if tk[i&mask] == 0 {
+				tk[i&mask] = key
+				tp[i&mask] = payload
+				td[i&mask] = d
+				t.n++
+				ok = true
+				break
+			}
+			if td[i&mask] < d {
+				tk[i&mask], key = key, tk[i&mask]
+				tp[i&mask], payload = payload, tp[i&mask]
+				td[i&mask], d = d, td[i&mask]
+			}
+			i = (i + 1) & mask
+			if d < 255 {
+				d++
+			}
+		}
+		if !ok {
+			//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes when the table is misused
+			panic("hashtable: RobinHoodTable full")
+		}
+	}
+}
+
+// LookupBatch looks up every key of the batch; equivalent to Lookup per
+// key, including the Robin Hood distance early-exit.
+//
+//mmjoin:hotpath
+func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	biased := s.keyBuf()[:n]
+	dists := s.distBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	curk := s.curkBuf()[:n]
+	tk := t.keys
+	if len(tk) == 0 {
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	td := t.dist[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	found = found[:n]
+	// Gather pass, as in LinearTable.LookupBatch.
+	for li := 0; li < n; li++ {
+		i := h[li] & mask
+		slots[li] = i
+		curk[li] = tk[i&mask]
+	}
+	nn := 0
+	for li := 0; li < n; li++ {
+		cur := curk[li]
+		bk := uint32(keys[li]) + 1
+		payloads[li] = 0
+		found[li] = false
+		if cur == bk {
+			payloads[li] = tp[slots[li]&mask]
+			found[li] = true
+			continue
+		}
+		if cur == 0 {
+			continue
+		}
+		// Distance 0 probes never early-exit (dist is unsigned), so a
+		// non-empty, non-matching home slot always advances.
+		slots[li] = (slots[li] + 1) & mask
+		biased[li] = bk
+		dists[li] = 1
+		lanes[nn] = int32(li)
+		nn++
+	}
+	for round := uint64(0); nn > 0 && round < mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			i := slots[li] & mask
+			cur := tk[i&mask]
+			if cur == 0 {
+				continue
+			}
+			if cur == biased[li] {
+				payloads[li] = tp[i&mask]
+				found[li] = true
+				continue
+			}
+			d := dists[li]
+			if td[i&mask] < d {
+				continue
+			}
+			slots[li] = (i + 1) & mask
+			if d < 255 {
+				dists[li] = d + 1
+			}
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+}
+
+// ProbeJoinBatch fuses LookupBatch with match emission into out.
+//
+//mmjoin:hotpath
+func (t *RobinHoodTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	biased := s.keyBuf()[:n]
+	dists := s.distBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	curk := s.curkBuf()[:n]
+	bp, pp := out.bufs()
+	tk := t.keys
+	if len(tk) == 0 {
+		out.N = 0
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	td := t.dist[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	probePayloads = probePayloads[:n]
+	for li := 0; li < n; li++ {
+		i := h[li] & mask
+		slots[li] = i
+		curk[li] = tk[i&mask]
+	}
+	nn := 0
+	m := 0
+	for li := 0; li < n; li++ {
+		cur := curk[li]
+		bk := uint32(keys[li]) + 1
+		if cur == bk {
+			bp[m&(BatchSize-1)] = tp[slots[li]&mask]
+			pp[m&(BatchSize-1)] = probePayloads[li]
+			m++
+			continue
+		}
+		if cur == 0 {
+			continue
+		}
+		slots[li] = (slots[li] + 1) & mask
+		biased[li] = bk
+		dists[li] = 1
+		lanes[nn] = int32(li)
+		nn++
+	}
+	for round := uint64(0); nn > 0 && round < mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			i := slots[li] & mask
+			cur := tk[i&mask]
+			if cur == 0 {
+				continue
+			}
+			if cur == biased[li] {
+				bp[m&(BatchSize-1)] = tp[i&mask]
+				pp[m&(BatchSize-1)] = probePayloads[li]
+				m++
+				continue
+			}
+			d := dists[li]
+			if td[i&mask] < d {
+				continue
+			}
+			slots[li] = (i + 1) & mask
+			if d < 255 {
+				dists[li] = d + 1
+			}
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+	out.N = m
+}
+
+// ---------------------------------------------------------------------
+// ArrayTable
+// ---------------------------------------------------------------------
+
+// BuildBatch stores the batch (single-writer per bitmap word),
+// equivalent to Insert in batch order. No hashing is involved.
+//
+//mmjoin:hotpath
+func (t *ArrayTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, _ *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	pl := t.payloads
+	pres := t.present
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		i := int(keys[li] - t.base)
+		if uint(i) >= uint(len(pl)) {
+			//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on a domain violation
+			panic("hashtable: key outside the array domain")
+		}
+		pl[i] = payloads[li]
+		pres[i>>6] |= 1 << uint(i&63)
+	}
+	t.n += n
+}
+
+// BuildBatchConcurrent stores the batch with atomic bitmap updates,
+// equivalent to InsertConcurrent in batch order; call
+// FinishConcurrentBuild afterwards.
+//
+//mmjoin:hotpath
+func (t *ArrayTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Payload, _ *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	pl := t.payloads
+	pres := t.present
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		i := int(keys[li] - t.base)
+		pl[i] = payloads[li]
+		atomic.OrUint64(&pres[i>>6], 1<<uint(i&63))
+	}
+}
+
+// LookupBatch looks up every key of the batch; equivalent to Lookup per
+// key. The array table has no probe sequences, so a single pass
+// suffices; the bitmap and payload loads of all lanes still overlap.
+//
+//mmjoin:hotpath
+func (t *ArrayTable) LookupBatch(keys []tuple.Key, _ *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	pl := t.payloads
+	pres := t.present
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		i := int(keys[li] - t.base)
+		if uint(i) >= uint(len(pl)) || pres[i>>6]&(1<<uint(i&63)) == 0 {
+			payloads[li] = 0
+			found[li] = false
+			continue
+		}
+		payloads[li] = pl[i]
+		found[li] = true
+	}
+}
+
+// ProbeJoinBatch fuses LookupBatch with match emission into out.
+//
+//mmjoin:hotpath
+func (t *ArrayTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, _ *BatchScratch, out *MatchBatch) {
+	n := len(keys)
+	checkBatch(n)
+	bp, pp := out.bufs()
+	pl := t.payloads
+	pres := t.present
+	probePayloads = probePayloads[:n]
+	m := 0
+	for li := 0; li < n; li++ {
+		i := int(keys[li] - t.base)
+		if uint(i) >= uint(len(pl)) || pres[i>>6]&(1<<uint(i&63)) == 0 {
+			continue
+		}
+		bp[m&(BatchSize-1)] = pl[i]
+		pp[m&(BatchSize-1)] = probePayloads[li]
+		m++
+	}
+	out.N = m
+}
+
+// ---------------------------------------------------------------------
+// CHT
+// ---------------------------------------------------------------------
+//
+// The CHT is bulk-loaded through CHTBuilder (placement needs a global
+// bucket-order sort), so there is no BuildBatch; only the probe side is
+// batched.
+
+// LookupBatch looks up every key of the batch; equivalent to Lookup per
+// key including the overflow-table fallback, which is resolved with
+// scalar map lookups for the lanes that missed the bitmap.
+//
+//mmjoin:hotpath
+func (t *CHT) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	groups := t.groups
+	if len(groups) == 0 {
+		return
+	}
+	array := t.array
+	mask := t.mask
+	bucketCount := mask + 1
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		h[li] &= mask
+		slots[li] = h[li]
+		lanes[li] = int32(li)
+		payloads[li] = 0
+		found[li] = false
+	}
+	nn := n
+	for nn > 0 {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			pos := slots[li]
+			if pos >= bucketCount || pos-h[li] >= chtMaxDisplacement {
+				continue
+			}
+			g := &groups[(pos>>5)&uint64(len(groups)-1)]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				continue
+			}
+			idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+			if array[idx].Key == keys[li] {
+				payloads[li] = array[idx].Payload
+				found[li] = true
+				continue
+			}
+			slots[li] = pos + 1
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+	if len(t.overflow) > 0 {
+		for li := 0; li < n; li++ {
+			if found[li] {
+				continue
+			}
+			if ps := t.overflow[keys[li]]; len(ps) > 0 {
+				payloads[li] = ps[0]
+				found[li] = true
+			}
+		}
+	}
+}
+
+// ProbeJoinBatch fuses LookupBatch with match emission into out. Lanes
+// that miss the bitmap are collected and resolved against the overflow
+// table afterwards, preserving Lookup's exact semantics.
+//
+//mmjoin:hotpath
+func (t *CHT) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	misses := s.laneBuf2()
+	bp, pp := out.bufs()
+	groups := t.groups
+	if len(groups) == 0 {
+		out.N = 0
+		return
+	}
+	array := t.array
+	mask := t.mask
+	bucketCount := mask + 1
+	probePayloads = probePayloads[:n]
+	for li := 0; li < n; li++ {
+		h[li] &= mask
+		slots[li] = h[li]
+		lanes[li] = int32(li)
+	}
+	nn := n
+	m := 0
+	nm := 0
+	for nn > 0 {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			pos := slots[li]
+			if pos >= bucketCount || pos-h[li] >= chtMaxDisplacement {
+				misses[nm] = int32(li)
+				nm++
+				continue
+			}
+			g := &groups[(pos>>5)&uint64(len(groups)-1)]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				misses[nm] = int32(li)
+				nm++
+				continue
+			}
+			idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+			if array[idx].Key == keys[li] {
+				bp[m&(BatchSize-1)] = array[idx].Payload
+				pp[m&(BatchSize-1)] = probePayloads[li]
+				m++
+				continue
+			}
+			slots[li] = pos + 1
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+	if len(t.overflow) > 0 {
+		for a := 0; a < nm; a++ {
+			li := int(misses[a])
+			if ps := t.overflow[keys[li]]; len(ps) > 0 {
+				bp[m&(BatchSize-1)] = ps[0]
+				pp[m&(BatchSize-1)] = probePayloads[li]
+				m++
+			}
+		}
+	}
+	out.N = m
+}
+
+// ---------------------------------------------------------------------
+// SparseTable
+// ---------------------------------------------------------------------
+
+// BuildBatch inserts the batch (single-writer), equivalent to Insert in
+// batch order. The per-group dense-slice shifting stays scalar; only
+// the hash computation is batched.
+//
+//mmjoin:hotpath
+func (t *SparseTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	payloads = payloads[:n]
+	for li := 0; li < n; li++ {
+		pos := (h[li] * sparseBucketsPerTuple) & t.mask
+		ok := false
+		for probes := uint64(0); probes <= t.mask; probes++ {
+			g := &t.groups[pos>>5]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				idx := g.denseIndex(off)
+				//mmjoin:allow(hotalloc) the dense group slice grows amortized, as in the scalar Insert
+				g.dense = append(g.dense, tuple.Tuple{})
+				copy(g.dense[idx+1:], g.dense[idx:])
+				g.dense[idx] = tuple.Tuple{Key: keys[li], Payload: payloads[li]}
+				g.bits |= 1 << off
+				t.n++
+				ok = true
+				break
+			}
+			pos = (pos + 1) & t.mask
+		}
+		if !ok {
+			//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes when the table is misused
+			panic("hashtable: SparseTable full")
+		}
+	}
+}
+
+// LookupBatch looks up every key of the batch; equivalent to Lookup per
+// key.
+//
+//mmjoin:hotpath
+func (t *SparseTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	groups := t.groups
+	if len(groups) == 0 {
+		return
+	}
+	mask := t.mask
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		slots[li] = (h[li] * sparseBucketsPerTuple) & mask
+		lanes[li] = int32(li)
+		payloads[li] = 0
+		found[li] = false
+	}
+	nn := n
+	for round := uint64(0); nn > 0 && round <= mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			pos := slots[li]
+			g := &groups[(pos>>5)&uint64(len(groups)-1)]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				continue
+			}
+			if e := g.dense[g.denseIndex(off)]; e.Key == keys[li] {
+				payloads[li] = e.Payload
+				found[li] = true
+				continue
+			}
+			slots[li] = (pos + 1) & mask
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+}
+
+// ProbeJoinBatch fuses LookupBatch with match emission into out.
+//
+//mmjoin:hotpath
+func (t *SparseTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	bp, pp := out.bufs()
+	groups := t.groups
+	if len(groups) == 0 {
+		out.N = 0
+		return
+	}
+	mask := t.mask
+	probePayloads = probePayloads[:n]
+	for li := 0; li < n; li++ {
+		slots[li] = (h[li] * sparseBucketsPerTuple) & mask
+		lanes[li] = int32(li)
+	}
+	nn := n
+	m := 0
+	for round := uint64(0); nn > 0 && round <= mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			pos := slots[li]
+			g := &groups[(pos>>5)&uint64(len(groups)-1)]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				continue
+			}
+			if e := g.dense[g.denseIndex(off)]; e.Key == keys[li] {
+				bp[m&(BatchSize-1)] = e.Payload
+				pp[m&(BatchSize-1)] = probePayloads[li]
+				m++
+				continue
+			}
+			slots[li] = (pos + 1) & mask
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+	out.N = m
+}

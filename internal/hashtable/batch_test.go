@@ -1,0 +1,312 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmjoin/internal/hashfn"
+	"mmjoin/internal/tuple"
+)
+
+// batchTable is the common surface of the batch kernels used by the
+// equivalence tests (build varies per table kind, probing does not).
+type batchTable interface {
+	Table
+	LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool)
+	ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch)
+}
+
+// buildBatchTables constructs every table kind over the given tuples
+// using the scalar insert paths, so the batch probe kernels are
+// checked against independently built tables.
+func buildBatchTables(tb testing.TB, tuples []tuple.Tuple, domain int, hash hashfn.Func) map[string]batchTable {
+	tb.Helper()
+	ct := NewChainedTable(max(len(tuples), 1), hash)
+	lt := NewLinearTable(max(len(tuples), 1), hash)
+	rh := NewRobinHoodTable(max(len(tuples), 1), 0, hash)
+	at := NewArrayTable(0, domain)
+	st := NewSparseTable(max(len(tuples), 1), hash)
+	for _, tp := range tuples {
+		ct.Insert(tp)
+		lt.Insert(tp)
+		rh.Insert(tp)
+		at.Insert(tp)
+		st.Insert(tp)
+	}
+	cht := BuildCHT(tuples, hash)
+	return map[string]batchTable{
+		"chained": ct, "linear": lt, "robinhood": rh,
+		"array": at, "cht": cht, "sparse": st,
+	}
+}
+
+// batchKeySets returns named probe key sets over a build of n dense or
+// hole-heavy keys: all hits, miss-heavy (most probes outside the built
+// key set) and boundary-length batches.
+func batchKeySets(n, domain int, rng *rand.Rand) map[string][]tuple.Key {
+	hits := make([]tuple.Key, n)
+	for i := range hits {
+		hits[i] = tuple.Key(rng.Intn(domain))
+	}
+	missHeavy := make([]tuple.Key, n)
+	for i := range missHeavy {
+		// ~7 of 8 probes land outside the domain.
+		missHeavy[i] = tuple.Key(rng.Intn(domain * 8))
+	}
+	sets := map[string][]tuple.Key{
+		"hits":      hits,
+		"missheavy": missHeavy,
+		"empty":     {},
+		"one":       hits[:min(1, n)],
+	}
+	for _, l := range []int{BatchSize - 1, BatchSize, BatchSize + 1} {
+		if l <= n {
+			sets[sizeName(l)] = missHeavy[:l]
+		}
+	}
+	return sets
+}
+
+func sizeName(l int) string {
+	switch l {
+	case BatchSize - 1:
+		return "batchminus1"
+	case BatchSize:
+		return "batchexact"
+	default:
+		return "batchplus1"
+	}
+}
+
+// runBatched feeds keys to a batch kernel in BatchSize chunks.
+func runBatched(n int, fn func(lo, hi int)) {
+	for lo := 0; lo < n; lo += BatchSize {
+		fn(lo, min(lo+BatchSize, n))
+	}
+}
+
+// TestLookupBatchMatchesLookup checks LookupBatch against scalar Lookup
+// for every table kind across dense, hole-heavy and miss-heavy key
+// sets, including batch-boundary lengths.
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, build := range []struct {
+		name   string
+		stride int // key stride; >1 leaves holes in the domain
+	}{
+		{"dense", 1},
+		{"holeheavy", 7},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			const n = 1 << 12
+			domain := n * build.stride
+			tuples := make([]tuple.Tuple, n)
+			for i := range tuples {
+				tuples[i] = tuple.Tuple{Key: tuple.Key(i * build.stride), Payload: tuple.Payload(i*3 + 1)}
+			}
+			tables := buildBatchTables(t, tuples, domain, hashfn.Murmur)
+			for setName, keys := range batchKeySets(n, domain, rng) {
+				for tblName, tbl := range tables {
+					var s BatchScratch
+					payloads := make([]tuple.Payload, len(keys))
+					found := make([]bool, len(keys))
+					runBatched(len(keys), func(lo, hi int) {
+						tbl.LookupBatch(keys[lo:hi], &s, payloads[lo:hi], found[lo:hi])
+					})
+					for i, k := range keys {
+						wantP, wantOK := tbl.Lookup(k)
+						if found[i] != wantOK || payloads[i] != wantP {
+							t.Fatalf("%s/%s: key %d lane %d: batch = %d,%v scalar = %d,%v",
+								tblName, setName, k, i, payloads[i], found[i], wantP, wantOK)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProbeJoinBatchMatchesScalarProbe checks the fused probe kernel
+// against a scalar Lookup loop: same match count and same
+// order-independent checksum of emitted payload pairs.
+func TestProbeJoinBatchMatchesScalarProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 1 << 12
+	tuples := make([]tuple.Tuple, n)
+	for i := range tuples {
+		tuples[i] = tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(2*i + 5)}
+	}
+	tables := buildBatchTables(t, tuples, n, hashfn.Multiplicative)
+	for setName, keys := range batchKeySets(n, n, rng) {
+		probePayloads := make([]tuple.Payload, len(keys))
+		for i := range probePayloads {
+			probePayloads[i] = tuple.Payload(i)
+		}
+		for tblName, tbl := range tables {
+			var wantMatches int
+			var wantSum uint64
+			for i, k := range keys {
+				if p, ok := tbl.Lookup(k); ok {
+					wantMatches++
+					wantSum += uint64(p)<<32 | uint64(probePayloads[i])
+				}
+			}
+			var s BatchScratch
+			var out MatchBatch
+			var gotMatches int
+			var gotSum uint64
+			runBatched(len(keys), func(lo, hi int) {
+				tbl.ProbeJoinBatch(keys[lo:hi], probePayloads[lo:hi], &s, &out)
+				if out.N > hi-lo {
+					t.Fatalf("%s/%s: out.N = %d exceeds batch length %d", tblName, setName, out.N, hi-lo)
+				}
+				for i := 0; i < out.N; i++ {
+					gotSum += uint64(out.Build[i])<<32 | uint64(out.Probe[i])
+				}
+				gotMatches += out.N
+			})
+			if gotMatches != wantMatches || gotSum != wantSum {
+				t.Fatalf("%s/%s: batch probe = %d matches sum %x, scalar = %d matches sum %x",
+					tblName, setName, gotMatches, gotSum, wantMatches, wantSum)
+			}
+		}
+	}
+}
+
+// TestBuildBatchMatchesInsert builds one table per kind through the
+// batch kernels and compares every lookup against a scalar-built twin.
+func TestBuildBatchMatchesInsert(t *testing.T) {
+	const n = 5000 // not a multiple of BatchSize
+	tuples := make([]tuple.Tuple, n)
+	keys := make([]tuple.Key, n)
+	payloads := make([]tuple.Payload, n)
+	for i := range tuples {
+		k := tuple.Key(i * 3) // holes between keys
+		tuples[i] = tuple.Tuple{Key: k, Payload: tuple.Payload(i + 7)}
+		keys[i] = k
+		payloads[i] = tuple.Payload(i + 7)
+	}
+	domain := n * 3
+	hash := hashfn.Murmur
+
+	var s BatchScratch
+	ct := NewChainedTable(n, hash)
+	lt := NewLinearTable(n, hash)
+	rh := NewRobinHoodTable(n, 0, hash)
+	at := NewArrayTable(0, domain)
+	st := NewSparseTable(n, hash)
+	runBatched(n, func(lo, hi int) {
+		ct.BuildBatch(keys[lo:hi], payloads[lo:hi], &s)
+		lt.BuildBatch(keys[lo:hi], payloads[lo:hi], &s)
+		rh.BuildBatch(keys[lo:hi], payloads[lo:hi], &s)
+		at.BuildBatch(keys[lo:hi], payloads[lo:hi], &s)
+		st.BuildBatch(keys[lo:hi], payloads[lo:hi], &s)
+	})
+	got := map[string]batchTable{"chained": ct, "linear": lt, "robinhood": rh, "array": at, "sparse": st}
+	want := buildBatchTables(t, tuples, domain, hash)
+	for name, g := range got {
+		w := want[name]
+		if g.Len() != w.Len() {
+			t.Fatalf("%s: batch build len = %d, scalar = %d", name, g.Len(), w.Len())
+		}
+		for k := tuple.Key(0); int(k) < domain; k++ {
+			gp, gok := g.Lookup(k)
+			wp, wok := w.Lookup(k)
+			if gp != wp || gok != wok {
+				t.Fatalf("%s: Lookup(%d) batch-built = %d,%v scalar-built = %d,%v", name, k, gp, gok, wp, wok)
+			}
+		}
+	}
+}
+
+// TestBuildBatchConcurrentMatchesInsert exercises the latched/CAS batch
+// build kernels single-threaded (the concurrency protocol itself is
+// covered by the scalar concurrent tests and the race detector runs).
+func TestBuildBatchConcurrentMatchesInsert(t *testing.T) {
+	const n = 3000
+	keys := make([]tuple.Key, n)
+	payloads := make([]tuple.Payload, n)
+	for i := range keys {
+		keys[i] = tuple.Key(i)
+		payloads[i] = tuple.Payload(i * 5)
+	}
+	var s BatchScratch
+	ct := NewChainedTable(n, hashfn.Multiplicative)
+	lt := NewLinearTable(n, hashfn.Multiplicative)
+	at := NewArrayTable(0, n)
+	runBatched(n, func(lo, hi int) {
+		ct.BuildBatchConcurrent(keys[lo:hi], payloads[lo:hi], &s)
+		lt.BuildBatchConcurrent(keys[lo:hi], payloads[lo:hi], &s)
+		at.BuildBatchConcurrent(keys[lo:hi], payloads[lo:hi], &s)
+	})
+	ct.FinishConcurrentBuild()
+	at.FinishConcurrentBuild()
+	for name, tbl := range map[string]Table{"chained": ct, "linear": lt, "array": at} {
+		if tbl.Len() != n {
+			t.Fatalf("%s: len = %d, want %d", name, tbl.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			p, ok := tbl.Lookup(tuple.Key(i))
+			if !ok || p != tuple.Payload(i*5) {
+				t.Fatalf("%s: Lookup(%d) = %d,%v", name, i, p, ok)
+			}
+		}
+	}
+}
+
+// TestChainedResetRebuildAllocationFree verifies the Reset contract:
+// after Reset, rebuilding the same data reuses the head buckets and the
+// full overflow arena without a single allocation, and no stale chain
+// from the previous build is reachable.
+func TestChainedResetRebuildAllocationFree(t *testing.T) {
+	const n = 4096
+	// All keys collide into few buckets so the overflow arena is used
+	// heavily: table sized for 64 tuples, fed 4096.
+	ct := NewChainedTable(64, hashfn.Multiplicative)
+	ct.ReserveOverflow(n) // ample; exact need is below n
+	tuples := denseTuples(n)
+	build := func() {
+		for _, tp := range tuples {
+			ct.Insert(tp)
+		}
+	}
+	build()
+	arenaUsed := len(ct.arena)
+	if arenaUsed == 0 {
+		t.Fatal("test is vacuous: no overflow buckets were used")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		ct.Reset()
+		build()
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+rebuild allocated %v times per run, want 0", allocs)
+	}
+	if len(ct.arena) != arenaUsed {
+		t.Fatalf("rebuild used %d overflow buckets, first build used %d", len(ct.arena), arenaUsed)
+	}
+	if ct.Len() != n {
+		t.Fatalf("len after rebuild = %d, want %d", ct.Len(), n)
+	}
+	for _, tp := range tuples {
+		if p, ok := ct.Lookup(tp.Key); !ok || p != tp.Payload {
+			t.Fatalf("Lookup(%d) after rebuild = %d,%v, want %d,true", tp.Key, p, ok, tp.Payload)
+		}
+	}
+	// After a Reset every head bucket must be fully detached.
+	ct.Reset()
+	if ct.Len() != 0 {
+		t.Fatalf("len after Reset = %d, want 0", ct.Len())
+	}
+	for i := range ct.buckets {
+		if ct.buckets[i].meta != 0 || ct.buckets[i].next != nil {
+			t.Fatalf("bucket %d not cleared by Reset", i)
+		}
+	}
+	for i := range ct.arena[:cap(ct.arena)] {
+		b := &ct.arena[:cap(ct.arena)][i]
+		if b.meta != 0 || b.next != nil {
+			t.Fatalf("arena slot %d keeps stale state after Reset", i)
+		}
+	}
+}

@@ -33,6 +33,7 @@ type ChainedTable struct {
 	buckets []chainedBucket
 	mask    uint64
 	hash    hashfn.Func
+	hashB   hashfn.BatchFunc
 	arena   []chainedBucket // overflow bucket storage (single-threaded builds)
 	n       int
 }
@@ -50,16 +51,29 @@ func NewChainedTable(n int, hash hashfn.Func) *ChainedTable {
 		buckets: make([]chainedBucket, nb),
 		mask:    uint64(nb - 1),
 		hash:    hash,
+		hashB:   hashfn.BatchFor(hash),
 	}
 }
 
 // Reset clears the table for reuse with the same capacity, avoiding
 // reallocation between co-partition joins.
+//
+// Every overflow bucket is returned: besides clearing the head buckets,
+// the full arena capacity (not just its length) is zeroed so that no
+// retained slot keeps a stale next pointer. Without this, a slot behind
+// len(arena) could pin a previous build's heap-allocated overflow
+// buckets (InsertConcurrent) or an older, since-grown arena backing
+// array — and a batch kernel walking a chain after a partial rebuild
+// could follow a dangling pointer into the previous build's tuples. After
+// Reset the table is provably empty: every reachable next pointer is
+// nil, and a Reset+rebuild cycle over the same data allocates nothing
+// (see TestChainedResetRebuildAllocationFree).
 func (t *ChainedTable) Reset() {
 	for i := range t.buckets {
 		t.buckets[i].meta = 0
 		t.buckets[i].next = nil
 	}
+	clear(t.arena[:cap(t.arena)])
 	t.arena = t.arena[:0]
 	t.n = 0
 }

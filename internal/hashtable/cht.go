@@ -24,6 +24,7 @@ type CHT struct {
 	overflow map[tuple.Key][]tuple.Payload
 	mask     uint64 // bucketCount - 1
 	hash     hashfn.Func
+	hashB    hashfn.BatchFunc
 	n        int
 }
 
@@ -169,6 +170,7 @@ func NewCHTBuilder(n, regions int, hash hashfn.Func) *CHTBuilder {
 		overflow: make(map[tuple.Key][]tuple.Payload),
 		mask:     uint64(bucketCount - 1),
 		hash:     hash,
+		hashB:    hashfn.BatchFor(hash),
 	}
 	return &CHTBuilder{
 		table:     t,

@@ -21,6 +21,7 @@ type LinearTable struct {
 	payloads []tuple.Payload
 	mask     uint64
 	hash     hashfn.Func
+	hashB    hashfn.BatchFunc
 	n        int64
 }
 
@@ -51,6 +52,7 @@ func NewLinearTableLoadFactor(n int, load float64, hash hashfn.Func) *LinearTabl
 		payloads: make([]tuple.Payload, slots),
 		mask:     uint64(slots - 1),
 		hash:     hash,
+		hashB:    hashfn.BatchFor(hash),
 	}
 }
 

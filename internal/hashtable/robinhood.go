@@ -22,6 +22,7 @@ type RobinHoodTable struct {
 	dist     []uint8 // probe distance from home bucket, saturated at 255
 	mask     uint64
 	hash     hashfn.Func
+	hashB    hashfn.BatchFunc
 	n        int
 }
 
@@ -42,6 +43,7 @@ func NewRobinHoodTable(n int, load float64, hash hashfn.Func) *RobinHoodTable {
 		dist:     make([]uint8, slots),
 		mask:     uint64(slots - 1),
 		hash:     hash,
+		hashB:    hashfn.BatchFor(hash),
 	}
 }
 
@@ -72,6 +74,15 @@ func (t *RobinHoodTable) Insert(tp tuple.Tuple) {
 		}
 	}
 	panic("hashtable: RobinHoodTable full")
+}
+
+// Reset clears the table for reuse at the same capacity without
+// allocating. Payload slots keep stale values; keys[i] == 0 marks them
+// unreachable.
+func (t *RobinHoodTable) Reset() {
+	clear(t.keys)
+	clear(t.dist)
+	t.n = 0
 }
 
 // Lookup implements Table. The probe loop can stop as soon as it meets

@@ -24,6 +24,7 @@ type SparseTable struct {
 	groups  []sparseGroup
 	mask    uint64 // bucket count - 1
 	hash    hashfn.Func
+	hashB   hashfn.BatchFunc
 	n       int
 	deleted int
 }
@@ -50,6 +51,7 @@ func NewSparseTable(n int, hash hashfn.Func) *SparseTable {
 		groups: make([]sparseGroup, buckets/32),
 		mask:   uint64(buckets - 1),
 		hash:   hash,
+		hashB:  hashfn.BatchFor(hash),
 	}
 }
 

@@ -81,12 +81,19 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 		sinks[i].materialize = o.Materialize
 	}
 
+	bstates := make([]batchState, o.Threads)
 	start := time.Now()
 	ht := hashtable.NewChainedTable(len(build), o.Hash)
 	err := pool.Run("build", func(w *exec.Worker) {
 		c := buildChunks[w.ID]
+		bs := &bstates[w.ID]
 		w.Morsels(c.Len(), func(begin, end int) {
-			for _, tp := range build[c.Begin+begin : c.Begin+end] {
+			run := build[c.Begin+begin : c.Begin+end]
+			if !o.ScalarKernels {
+				bs.buildRunConcurrent(w, ht, run, hashtable.ChainedOpBytes)
+				return
+			}
+			for _, tp := range run {
 				ht.InsertConcurrent(tp)
 			}
 			w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ChainedOpBytes))
@@ -101,8 +108,14 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 	err = pool.Run("probe", func(w *exec.Worker) {
 		s := &sinks[w.ID]
 		c := probeChunks[w.ID]
+		bs := &bstates[w.ID]
 		w.Morsels(c.Len(), func(begin, end int) {
-			for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+			run := probe[c.Begin+begin : c.Begin+end]
+			if !o.ScalarKernels {
+				bs.probeRun(w, ht, run, 0, hashtable.ChainedOpBytes, s)
+				return
+			}
+			for _, tp := range run {
 				if p, ok := ht.Lookup(tp.Key); ok {
 					s.emit(p, tp.Payload)
 				}

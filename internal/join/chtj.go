@@ -104,11 +104,18 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	buildDone := time.Now()
 
 	// Probe phase: identical to NOP against the read-only global CHT.
+	bstates := make([]batchState, o.Threads)
 	err = pool.Run("probe", func(w *exec.Worker) {
 		s := &sinks[w.ID]
 		c := probeChunks[w.ID]
+		bs := &bstates[w.ID]
 		w.Morsels(c.Len(), func(begin, end int) {
-			for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+			run := probe[c.Begin+begin : c.Begin+end]
+			if !o.ScalarKernels {
+				bs.probeRun(w, cht, run, 0, hashtable.CHTOpBytes, s)
+				return
+			}
+			for _, tp := range run {
 				if p, ok := cht.Lookup(tp.Key); ok {
 					s.emit(p, tp.Payload)
 				}

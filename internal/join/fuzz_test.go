@@ -48,15 +48,20 @@ func FuzzJoinEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := j.Run(w.Build, w.Probe, &Options{
-			Threads: threads, Domain: w.Domain, RadixBits: bits,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
-			t.Fatalf("%s diverged on zipf=%g holes=%d: %d matches vs %d",
-				algo, zipf, holes, res.Matches, ref.Matches)
+		// Both kernel flavors — the batched default and the scalar
+		// tuple-at-a-time loops — must agree with the oracle.
+		for _, scalar := range []bool{false, true} {
+			res, err := j.Run(w.Build, w.Probe, &Options{
+				Threads: threads, Domain: w.Domain, RadixBits: bits,
+				ScalarKernels: scalar,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				t.Fatalf("%s (scalar=%v) diverged on zipf=%g holes=%d: %d matches vs %d",
+					algo, scalar, zipf, holes, res.Matches, ref.Matches)
+			}
 		}
 	})
 }

@@ -91,6 +91,12 @@ type Options struct {
 	// the execution layer attach PhaseMetrics to Result.Exec. Nil
 	// (trace.Disabled) keeps the hot loops on their untraced fast path.
 	Tracer *trace.Tracer
+	// ScalarKernels disables the batch-at-a-time probe/build kernels and
+	// runs the original tuple-at-a-time loops instead — the scalar leg of
+	// the ablbatch ablation (see EXPERIMENTS.md). The default (false) is
+	// the batched path: hashes computed a batch at a time, bucket walks
+	// interleaved across lanes, matches emitted through sink.emitBatch.
+	ScalarKernels bool
 }
 
 func (o *Options) normalize() Options {
@@ -210,6 +216,29 @@ func (s *sink) emit(buildPayload, probePayload tuple.Payload) {
 	if s.materialize {
 		//mmjoin:allow(hotalloc) materialization output grows amortized; the checksum-only path allocates nothing
 		s.pairs = append(s.pairs, tuple.Pair{BuildPayload: buildPayload, ProbePayload: probePayload})
+	}
+}
+
+// emitBatch records one batch of matches: lane i pairs buildPayloads[i]
+// with probePayloads[i]. It is the batched counterpart of emit — the
+// fused ProbeJoinBatch kernels and the batched merge join hand their
+// compacted match buffers here, so the per-match bookkeeping runs as a
+// tight sum loop instead of a call per tuple.
+//
+//mmjoin:hotpath
+func (s *sink) emitBatch(buildPayloads, probePayloads []tuple.Payload) {
+	probePayloads = probePayloads[:len(buildPayloads)]
+	var sum uint64
+	for i, bp := range buildPayloads {
+		sum += uint64(bp)<<32 | uint64(probePayloads[i])
+	}
+	s.matches += int64(len(buildPayloads))
+	s.checksum += sum
+	if s.materialize {
+		for i, bp := range buildPayloads {
+			//mmjoin:allow(hotalloc) materialization output grows amortized; the checksum-only path allocates nothing
+			s.pairs = append(s.pairs, tuple.Pair{BuildPayload: bp, ProbePayload: probePayloads[i]})
+		}
 	}
 }
 

@@ -128,7 +128,11 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 			begin := sort.Search(len(run), func(i int) bool { return run[i].Key >= lo })
 			end := sort.Search(len(run), func(i int) bool { return run[i].Key > hi })
 			if begin < end {
-				mway.MergeJoin(r, run[begin:end], s.emit)
+				if o.ScalarKernels {
+					mway.MergeJoin(r, run[begin:end], s.emit)
+				} else {
+					mway.MergeJoinBatched(r, run[begin:end], s.emitBatch)
+				}
 				w.AddBytes(int64(len(r)+end-begin) * tuple.Bytes)
 			}
 		}

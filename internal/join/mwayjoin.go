@@ -99,7 +99,11 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	// Phase 2: merge join each sorted co-partition pair.
 	err = pool.Run("merge-join", func(w *exec.Worker) {
 		s := &sinks[w.ID]
-		mway.MergeJoin(sortedR[w.ID], sortedS[w.ID], s.emit)
+		if o.ScalarKernels {
+			mway.MergeJoin(sortedR[w.ID], sortedS[w.ID], s.emit)
+		} else {
+			mway.MergeJoinBatched(sortedR[w.ID], sortedS[w.ID], s.emitBatch)
+		}
 		w.AddBytes(int64(len(sortedR[w.ID])+len(sortedS[w.ID])) * tuple.Bytes)
 	})
 	if err != nil {

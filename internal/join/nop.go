@@ -74,6 +74,9 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		sinks[i].materialize = o.Materialize
 	}
 
+	// Per-worker batch plumbing for the batched build and probe morsels.
+	bstates := make([]batchState, o.Threads)
+
 	start := time.Now()
 	var at *hashtable.ArrayTable
 	var lt *hashtable.LinearTable
@@ -82,11 +85,17 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		at = hashtable.NewArrayTable(0, domain)
 		err = pool.Run("build", func(w *exec.Worker) {
 			c := buildChunks[w.ID]
+			bs := &bstates[w.ID]
 			w.Morsels(c.Len(), func(begin, end int) {
-				for _, tp := range build[c.Begin+begin : c.Begin+end] {
-					at.InsertConcurrent(tp)
+				run := build[c.Begin+begin : c.Begin+end]
+				if o.ScalarKernels {
+					for _, tp := range run {
+						at.InsertConcurrent(tp)
+					}
+					w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ArrayOpBytes))
+				} else {
+					bs.buildRunConcurrent(w, at, run, hashtable.ArrayOpBytes)
 				}
-				w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ArrayOpBytes))
 			})
 		})
 		at.FinishConcurrentBuild()
@@ -94,11 +103,17 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		lt = hashtable.NewLinearTable(len(build), o.Hash)
 		err = pool.Run("build", func(w *exec.Worker) {
 			c := buildChunks[w.ID]
+			bs := &bstates[w.ID]
 			w.Morsels(c.Len(), func(begin, end int) {
-				for _, tp := range build[c.Begin+begin : c.Begin+end] {
-					lt.InsertConcurrent(tp)
+				run := build[c.Begin+begin : c.Begin+end]
+				if o.ScalarKernels {
+					for _, tp := range run {
+						lt.InsertConcurrent(tp)
+					}
+					w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.LinearOpBytes))
+				} else {
+					bs.buildRunConcurrent(w, lt, run, hashtable.LinearOpBytes)
 				}
-				w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.LinearOpBytes))
 			})
 		})
 	}
@@ -110,23 +125,32 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	err = pool.Run("probe", func(w *exec.Worker) {
 		s := &sinks[w.ID]
 		c := probeChunks[w.ID]
+		bs := &bstates[w.ID]
+		op := int64(hashtable.LinearOpBytes)
+		if j.array {
+			op = hashtable.ArrayOpBytes
+		}
 		w.Morsels(c.Len(), func(begin, end int) {
-			if j.array {
-				for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+			run := probe[c.Begin+begin : c.Begin+end]
+			switch {
+			case !o.ScalarKernels && j.array:
+				bs.probeRun(w, at, run, 0, op, s)
+				return
+			case !o.ScalarKernels:
+				bs.probeRun(w, lt, run, 0, op, s)
+				return
+			case j.array:
+				for _, tp := range run {
 					if p, ok := at.Lookup(tp.Key); ok {
 						s.emit(p, tp.Payload)
 					}
 				}
-			} else {
-				for _, tp := range probe[c.Begin+begin : c.Begin+end] {
+			default:
+				for _, tp := range run {
 					if p, ok := lt.Lookup(tp.Key); ok {
 						s.emit(p, tp.Payload)
 					}
 				}
-			}
-			op := int64(hashtable.LinearOpBytes)
-			if j.array {
-				op = hashtable.ArrayOpBytes
 			}
 			w.AddBytes(int64(end-begin) * (tuple.Bytes + op))
 		})

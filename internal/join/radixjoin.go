@@ -304,9 +304,13 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 			wk.buildScratch = buildFrags(wk.buildScratch[:0], p)
 			wk.probeScratch = probeFrags(wk.probeScratch[:0], p)
 			bl, pl := buildLen(p), probeLen(p)
-			j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
-			// Stream both sides once, plus one table operation per tuple.
-			w.AddBytes(int64(bl+pl) * (tuple.Bytes + op))
+			if o.ScalarKernels {
+				j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
+				// Stream both sides once, plus one table operation per tuple.
+				w.AddBytes(int64(bl+pl) * (tuple.Bytes + op))
+			} else {
+				j.joinTaskBatch(w, wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl, pl, op)
+			}
 		})
 	}
 	if err != nil {
@@ -396,6 +400,9 @@ type workerState struct {
 	linear        *hashtable.LinearTable
 	array         *hashtable.ArrayTable
 	domainPerPart int
+	// batch is the worker's batch-kernel plumbing (cursor, scratch,
+	// staging and match buffers), reused across all its tasks.
+	batch batchState
 	// buildScratch and probeScratch are reused fragment-header slices
 	// for the task loop's buildFrags/probeFrags gathering; after a few
 	// tasks they reach the chunk count and stop growing.

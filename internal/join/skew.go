@@ -213,11 +213,18 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	// Phase B: run the task list; split tasks probe ranges against the
 	// shared tables, regular tasks run the usual per-partition join.
 	states := make([]*workerState, pool.Threads())
+	// Split tasks can land on a worker before (or without) its
+	// workerState existing, so they get their own batch plumbing.
+	splitStates := make([]batchState, pool.Threads())
 	err = pool.RunQueue("join", sched.NewLIFO(taskOrder(tasks)), func(w *exec.Worker, ti int) {
 		t := tasks[ti]
 		if t.split {
-			j.probeShared(shared[t.part], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi])
-			w.AddBytes(int64(t.probeHi-t.probeLo) * (tuple.Bytes + op))
+			if o.ScalarKernels {
+				j.probeShared(shared[t.part], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi])
+				w.AddBytes(int64(t.probeHi-t.probeLo) * (tuple.Bytes + op))
+			} else {
+				j.probeSharedBatch(w, shared[t.part], &splitStates[w.ID], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi], op)
+			}
 			return
 		}
 		wk := states[w.ID]
@@ -229,8 +236,12 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 		wk.buildScratch = buildFrags(wk.buildScratch[:0], t.part)
 		wk.probeScratch = probeFrags(wk.probeScratch[:0], t.part)
 		bl := buildLen(t.part)
-		j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
-		w.AddBytes(int64(bl+probeLens[t.part]) * (tuple.Bytes + op))
+		if o.ScalarKernels {
+			j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
+			w.AddBytes(int64(bl+probeLens[t.part]) * (tuple.Bytes + op))
+		} else {
+			j.joinTaskBatch(w, wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl, probeLens[t.part], op)
+		}
 	})
 	for _, probe := range sharedProbe {
 		pool.Arena().PutTuples(probe)

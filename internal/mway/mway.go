@@ -261,6 +261,55 @@ func IsSorted(rel tuple.Relation) bool {
 	return true
 }
 
+// mergeBatch is the flush granularity of MergeJoinBatched — the same
+// 256 lanes as hashtable.BatchSize (kept as a local constant so mway
+// does not depend on the hash-table package).
+const mergeBatch = 256
+
+// MergeJoinBatched is MergeJoin with batched emission: matching payload
+// pairs accumulate in two fixed buffers and are handed to flush in
+// groups of up to mergeBatch lanes (lane i of the two slices is one
+// pair), replacing a call per result tuple with one per batch. The
+// slices are reused across flushes; flush must not retain them.
+func MergeJoinBatched(r, s tuple.Relation, flush func(rPayloads, sPayloads []tuple.Payload)) {
+	var rbuf, sbuf [mergeBatch]tuple.Payload
+	m := 0
+	i, j := 0, 0
+	for i < len(r) && j < len(s) {
+		rk, sk := r[i].Key, s[j].Key
+		switch {
+		case rk < sk:
+			i++
+		case rk > sk:
+			j++
+		default:
+			i2 := i + 1
+			for i2 < len(r) && r[i2].Key == rk {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(s) && s[j2].Key == rk {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					rbuf[m] = r[a].Payload
+					sbuf[m] = s[b].Payload
+					m++
+					if m == mergeBatch {
+						flush(rbuf[:], sbuf[:])
+						m = 0
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	if m > 0 {
+		flush(rbuf[:m], sbuf[:m])
+	}
+}
+
 // MergeJoin joins two relations sorted by key, emitting every matching
 // payload pair. Duplicate keys on both sides produce the full cross
 // product of the duplicate groups, as the relational join requires.

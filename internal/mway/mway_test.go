@@ -200,3 +200,51 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// MergeJoinBatched must emit exactly the pairs MergeJoin emits, in the
+// same order, across flush boundaries: duplicate cross products larger
+// than one batch exercise the mid-group flush.
+func TestMergeJoinBatchedMatchesMergeJoin(t *testing.T) {
+	rng := uint64(42)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+	for trial := 0; trial < 20; trial++ {
+		r := make(tuple.Relation, next(900))
+		for i := range r {
+			r[i] = tuple.Tuple{Key: tuple.Key(next(64)), Payload: tuple.Payload(i)}
+		}
+		s := make(tuple.Relation, next(900))
+		for i := range s {
+			s[i] = tuple.Tuple{Key: tuple.Key(next(64)), Payload: tuple.Payload(1000 + i)}
+		}
+		r, s = Sort(r), Sort(s)
+		var want []tuple.Pair
+		MergeJoin(r, s, func(a, b tuple.Payload) {
+			want = append(want, tuple.Pair{BuildPayload: a, ProbePayload: b})
+		})
+		var got []tuple.Pair
+		flushes := 0
+		MergeJoinBatched(r, s, func(as, bs []tuple.Payload) {
+			flushes++
+			if len(as) != len(bs) {
+				t.Fatalf("flush with %d build vs %d probe payloads", len(as), len(bs))
+			}
+			for i := range as {
+				got = append(got, tuple.Pair{BuildPayload: as[i], ProbePayload: bs[i]})
+			}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs batched vs %d scalar", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pair %d diverged: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+		if wantFlushes := (len(want) + mergeBatch - 1) / mergeBatch; flushes != wantFlushes {
+			t.Fatalf("trial %d: %d flushes for %d pairs, want %d", trial, flushes, len(want), wantFlushes)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package radix
+
+import (
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/tuple"
+)
+
+// BatchCursor iterates a list of tuple fragments (the per-chunk
+// fragments of a ChunkedPartitioned partition, or any set of contiguous
+// runs) in batches of up to hashtable.BatchSize tuples, converting the
+// AoS fragments into the SoA key/payload arrays the batch kernels
+// consume. Batches are filled across fragment boundaries, so every
+// batch except the last is full regardless of how finely the
+// partitioning chunked the data — short fragments do not translate into
+// short, inefficient kernel calls.
+//
+// The zero value is ready for Reset.
+type BatchCursor struct {
+	frags []tuple.Relation
+	fi    int // current fragment
+	off   int // offset within frags[fi]
+}
+
+// Reset points the cursor at a new fragment list and rewinds it.
+func (c *BatchCursor) Reset(frags []tuple.Relation) {
+	c.frags = frags
+	c.fi = 0
+	c.off = 0
+}
+
+// Next fills keys/payloads (both of length hashtable.BatchSize or more)
+// with the next batch of tuples, shifting every key right by shift (the
+// radix joins hash on key >> bits within a partition). It returns the
+// number of lanes filled; 0 means the cursor is exhausted.
+//
+//mmjoin:hotpath
+func (c *BatchCursor) Next(keys []tuple.Key, payloads []tuple.Payload, shift uint) int {
+	keys = keys[:hashtable.BatchSize]
+	payloads = payloads[:hashtable.BatchSize]
+	n := 0
+	for n < hashtable.BatchSize && c.fi < len(c.frags) {
+		f := c.frags[c.fi]
+		if c.off >= len(f) {
+			c.fi++
+			c.off = 0
+			continue
+		}
+		take := len(f) - c.off
+		if room := hashtable.BatchSize - n; take > room {
+			take = room
+		}
+		src := f[c.off : c.off+take]
+		dk := keys[n : n+take]
+		dp := payloads[n : n+take]
+		for i := range src {
+			dk[i] = src[i].Key >> shift
+			dp[i] = src[i].Payload
+		}
+		n += take
+		c.off += take
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package radix
+
+import (
+	"testing"
+
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/tuple"
+)
+
+// TestBatchCursor checks that the cursor yields every tuple exactly
+// once, in order, with full batches across fragment boundaries and the
+// key shift applied.
+func TestBatchCursor(t *testing.T) {
+	// Fragment lengths chosen to hit every boundary case: empty
+	// fragments, fragments shorter than a batch, one spanning several
+	// batches, and a tail shorter than a batch.
+	lens := []int{0, 3, 100, 0, 1000, 1, 0, 250, 7}
+	var frags []tuple.Relation
+	next := uint32(0)
+	for _, l := range lens {
+		f := make(tuple.Relation, l)
+		for i := range f {
+			f[i] = tuple.Tuple{Key: tuple.Key(next << 4), Payload: tuple.Payload(next * 3)}
+			next++
+		}
+		frags = append(frags, f)
+	}
+	total := int(next)
+
+	var c BatchCursor
+	c.Reset(frags)
+	keys := make([]tuple.Key, hashtable.BatchSize)
+	payloads := make([]tuple.Payload, hashtable.BatchSize)
+	seen := 0
+	for {
+		n := c.Next(keys, payloads, 4)
+		if n == 0 {
+			break
+		}
+		if seen+n < total && n != hashtable.BatchSize {
+			t.Fatalf("non-final batch has %d lanes, want %d", n, hashtable.BatchSize)
+		}
+		for i := 0; i < n; i++ {
+			want := uint32(seen + i)
+			if keys[i] != tuple.Key(want) || payloads[i] != tuple.Payload(want*3) {
+				t.Fatalf("lane %d of batch at %d: got key %d payload %d, want %d %d",
+					i, seen, keys[i], payloads[i], want, want*3)
+			}
+		}
+		seen += n
+	}
+	if seen != total {
+		t.Fatalf("cursor yielded %d tuples, want %d", seen, total)
+	}
+	if c.Next(keys, payloads, 4) != 0 {
+		t.Fatal("exhausted cursor returned a non-empty batch")
+	}
+
+	// Reset rewinds to the start.
+	c.Reset(frags[1:2])
+	if n := c.Next(keys, payloads, 0); n != 3 {
+		t.Fatalf("after Reset: first batch has %d lanes, want 3", n)
+	}
+}
