@@ -12,9 +12,11 @@
 //	joinbench -run fig1 -trace trace.json   # Chrome/Perfetto trace_event output
 //	joinbench -microbench -benchtime 1s -o BENCH_baseline.json
 //	joinbench -microbench -benchtime 0.3s -microsizes 16,20   # CI smoke
+//	joinbench -oracle                       # differential-oracle smoke pass
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"mmjoin/internal/bench"
+	"mmjoin/internal/oracle"
 	"mmjoin/internal/trace"
 )
 
@@ -50,9 +53,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		micro      = fs.Bool("microbench", false, "run the standalone kernel microbenchmarks (probe/build ns-per-tuple per table, scalar vs batch) and emit JSON")
 		benchtime  = fs.Duration("benchtime", time.Second, "minimum measuring time per microbenchmark cell")
 		microsizes = fs.String("microsizes", "16,20,24", "comma-separated log2 build sizes for -microbench")
+
+		oracleRun = fs.Bool("oracle", false, "run a differential-oracle smoke pass (all algorithms, seeded schedules, batch+scalar) before reporting; see cmd/joinoracle for the full harness")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *oracleRun {
+		failures, err := oracle.Sweep(context.Background(), oracle.SweepConfig{
+			Schedules: 2,
+			BuildLog2: 10,
+			ProbeLog2: 12,
+			BaseSeed:  *seed + 1,
+			Out:       stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "joinbench: -oracle: %v\n", err)
+			return 2
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(stderr, "joinbench: -oracle: DIVERGENCE %s — reproduce: %s\n", f.Case, f.Repro())
+			}
+			return 1
+		}
+		fmt.Fprintln(stdout, "joinbench: oracle smoke pass clean")
+		if *runID == "" && !*list && !*micro {
+			return 0
+		}
 	}
 
 	if *micro {

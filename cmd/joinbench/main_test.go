@@ -63,3 +63,20 @@ func TestNoRunIsUsageError(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+// TestOracleSmokeMode: -oracle with no -run sweeps the differential
+// oracle and exits 0 on a clean pass (the CI smoke shape). The sweep
+// size is fixed inside run(), so this doubles as a regression test
+// that the wiring stays cheap enough for a test run.
+func TestOracleSmokeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle smoke sweep is a few seconds")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-oracle"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "oracle smoke pass clean") {
+		t.Fatalf("missing clean-pass line: %s", out.String())
+	}
+}

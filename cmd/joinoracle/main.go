@@ -1,0 +1,138 @@
+// Command joinoracle runs the differential-testing oracle: every join
+// algorithm under seeded deterministic schedules, cross-checked against
+// a naïve reference model, with per-phase byte accounting, trace span
+// balance and arena leak detection. Divergences are shrunk to a minimal
+// case and printed as a single replayable seed.
+//
+// Usage:
+//
+//	joinoracle [-algos PRO,NOP] [-schedules 32] [-build 20] [-probe 22]
+//	           [-seed 1] [-inject fault] [-shrink 64] [-timeout 10m]
+//	joinoracle -replay 0xSEED [-inject fault]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmjoin/internal/oracle"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("joinoracle", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		replay    = fs.String("replay", "", "replay one packed case seed (hex or decimal) instead of sweeping")
+		algos     = fs.String("algos", "", "comma-separated algorithms to sweep (default: all)")
+		schedules = fs.Int("schedules", 8, "seeded schedules per algorithm (each runs batch and scalar)")
+		buildLog2 = fs.Int("build", 12, "log2 of the build relation size")
+		probeLog2 = fs.Int("probe", 14, "log2 of the probe relation size")
+		seed      = fs.Uint64("seed", 1, "base seed perturbing every derived case")
+		inject    = fs.String("inject", "none", "inject a fault into every primary run: none, flip-payload, drop-match, extra-span, leak-buffer, double-free")
+		shrink    = fs.Int("shrink", 64, "max oracle evaluations spent shrinking each failure (0 disables)")
+		timeout   = fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		verbose   = fs.Bool("v", false, "log every shrink step and the sweep summary even on success")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fault, err := oracle.ParseFault(*inject)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *replay != "" {
+		return runReplay(ctx, *replay, fault, stdout, stderr)
+	}
+
+	cfg := oracle.SweepConfig{
+		Schedules:      *schedules,
+		BuildLog2:      *buildLog2,
+		ProbeLog2:      *probeLog2,
+		BaseSeed:       *seed,
+		Inject:         fault,
+		MaxShrinkEvals: *shrink,
+		Out:            stdout,
+	}
+	if *shrink == 0 {
+		cfg.MaxShrinkEvals = -1
+	}
+	if !*verbose {
+		cfg.Out = nil
+	}
+	if *algos != "" {
+		for _, a := range strings.Split(*algos, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Algos = append(cfg.Algos, a)
+			}
+		}
+	}
+	failures, err := oracle.Sweep(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "joinoracle: %v\n", err)
+		return 2
+	}
+	if len(failures) == 0 {
+		names := cfg.Algos
+		if names == nil {
+			names = oracle.AlgorithmNames()
+		}
+		fmt.Fprintf(stdout, "joinoracle: OK — %d algorithms x %d schedules x {batch, scalar} at |R|=2^%d, zero divergences\n",
+			len(names), *schedules, *buildLog2)
+		return 0
+	}
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "DIVERGENCE %s (seed %#x)\n", f.Case, f.Case.Seed())
+		for _, d := range f.Divergences {
+			fmt.Fprintf(stdout, "  %s\n", d)
+		}
+		fmt.Fprintf(stdout, "  minimized: %s (seed %#x)\n", f.Shrunk, f.Shrunk.Seed())
+		repro := f.Repro()
+		if fault != oracle.FaultNone {
+			repro += " -inject " + fault.String()
+		}
+		fmt.Fprintf(stdout, "  reproduce: %s\n", repro)
+	}
+	fmt.Fprintf(stdout, "joinoracle: %d divergent case(s)\n", len(failures))
+	return 1
+}
+
+func runReplay(ctx context.Context, arg string, fault oracle.Fault, stdout, stderr io.Writer) int {
+	seed, err := strconv.ParseUint(arg, 0, 64)
+	if err != nil {
+		fmt.Fprintf(stderr, "joinoracle: bad -replay seed %q: %v\n", arg, err)
+		return 2
+	}
+	c := oracle.FromSeed(seed)
+	fmt.Fprintf(stdout, "replaying case %#x: %s\n", seed, c)
+	divs, err := oracle.RunCase(ctx, c, fault)
+	if err != nil {
+		fmt.Fprintf(stderr, "joinoracle: %v\n", err)
+		return 2
+	}
+	if len(divs) == 0 {
+		fmt.Fprintln(stdout, "joinoracle: OK — case passes every check")
+		return 0
+	}
+	for _, d := range divs {
+		fmt.Fprintf(stdout, "  %s\n", d)
+	}
+	fmt.Fprintf(stdout, "joinoracle: %d divergence(s)\n", len(divs))
+	return 1
+}

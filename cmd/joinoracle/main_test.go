@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mmjoin/internal/oracle"
+)
+
+// TestRunCleanSweep: a small sweep over two cheap algorithms exits 0.
+func TestRunCleanSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-algos", "NOP,PRO", "-schedules", "2", "-build", "7", "-probe", "9"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "zero divergences") {
+		t.Fatalf("missing success line: %s", out.String())
+	}
+}
+
+// TestRunInjectedFaultRoundTrip: an injected fault makes the sweep exit
+// 1 and print a replay command whose seed, replayed on its own, still
+// diverges — the end-to-end catch → shrink → replay contract.
+func TestRunInjectedFaultRoundTrip(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-algos", "NOP", "-schedules", "1", "-build", "7", "-probe", "9",
+		"-inject", "drop-match", "-shrink", "24"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	// Pull the printed repro command and re-run from the seed alone.
+	var seed string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "reproduce: joinoracle -replay ") {
+			fields := strings.Fields(line)
+			seed = fields[3]
+		}
+	}
+	if seed == "" {
+		t.Fatalf("no repro line in output: %s", out.String())
+	}
+	var replayOut, replayErr strings.Builder
+	code = run([]string{"-replay", seed, "-inject", "drop-match"}, &replayOut, &replayErr)
+	if code != 1 {
+		t.Fatalf("replay of %s exited %d, want 1; stdout: %s", seed, code, replayOut.String())
+	}
+	if !strings.Contains(replayOut.String(), "matches") {
+		t.Fatalf("replay did not report the matches divergence: %s", replayOut.String())
+	}
+}
+
+// TestRunReplayCleanSeed: replaying a seed that encodes a healthy case
+// exits 0.
+func TestRunReplayCleanSeed(t *testing.T) {
+	c := oracle.Case{BuildLog2: 7, ProbeLog2: 8, Holes: 1, SchedSeed: 3}
+	var out, errOut strings.Builder
+	code := run([]string{"-replay", fmt.Sprintf("%#x", c.Seed())}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+}
+
+// TestRunBadFlags: unparseable input is a usage error (exit 2), not a
+// divergence.
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-replay", "zzz"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad seed: exit %d, want 2", code)
+	}
+	if code := run([]string{"-inject", "nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad fault: exit %d, want 2", code)
+	}
+	if code := run([]string{"-algos", "NOSUCH", "-schedules", "1"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad algorithm: exit %d, want 2", code)
+	}
+}

@@ -15,13 +15,15 @@ import (
 //   - the cancellation-test table (one early/late phase pair per
 //     algorithm — DESIGN.md's cancellation contract),
 //   - the fuzz-equivalence algorithm list (every algorithm is fuzzed
-//     against the reference oracle), and
+//     against the reference oracle),
 //   - at least one bench experiment table (every algorithm is
-//     measured somewhere).
+//     measured somewhere), and
+//   - the differential-oracle coverage list (every algorithm runs
+//     under the seeded-schedule oracle — DESIGN.md §11).
 //
 // The tables self-identify with a //mmjoin:registry-table <kind>
 // comment on the line before the declaration or statement; kind is one
-// of cancel, fuzz, bench. Inside a marked node the analyzer collects
+// of cancel, fuzz, bench, oracle. Inside a marked node the analyzer collects
 // string-literal algorithm names (map keys, slice elements, append
 // arguments) and treats a call to Names() as "all Table 2
 // registrations". The reverse direction is checked too: a string in a
@@ -33,13 +35,13 @@ import (
 // reports the missing tables).
 var Registry = &Analyzer{
 	Name:       "registry",
-	Doc:        "every registered join algorithm appears in the cancel, fuzz and bench tables",
+	Doc:        "every registered join algorithm appears in the cancel, fuzz, bench and oracle tables",
 	RunProgram: runRegistry,
 }
 
 // registryTableKinds are the coverage tables every algorithm must
 // appear in.
-var registryTableKinds = []string{"cancel", "fuzz", "bench"}
+var registryTableKinds = []string{"cancel", "fuzz", "bench", "oracle"}
 
 type registration struct {
 	name string
@@ -141,7 +143,9 @@ func kindCoverage(kind string) string {
 	case "cancel":
 		return "cancellation-contract"
 	case "fuzz":
-		return "oracle-equivalence"
+		return "fuzz-equivalence"
+	case "oracle":
+		return "differential-oracle"
 	default:
 		return "benchmark"
 	}

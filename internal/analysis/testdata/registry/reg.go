@@ -1,6 +1,6 @@
 // Package registry is the golden-test fixture for the registry
 // analyzer: a miniature algorithm registry with coverage tables of
-// all three kinds, one duplicate registration, one ablation missing
+// all four kinds, one duplicate registration, one ablation missing
 // from the fuzz list, one typo'd table entry and one unknown table
 // kind.
 package registry
@@ -47,6 +47,12 @@ func fuzzNames() []string {
 //mmjoin:registry-table bench
 var benchAlgos = []string{"AAA", "BBB", "CCC", "XXX"} // want "not a registered algorithm"
 
+// oracleAlgos is the differential-oracle coverage list: Names() plus
+// the ablation, so every registration is oracle-checked.
+//
+//mmjoin:registry-table oracle
+var oracleAlgos = append(Names(), "CCC")
+
 // cacheAlgos carries a bogus table kind.
 //
 //mmjoin:registry-table cache
@@ -54,5 +60,6 @@ var cacheAlgos = []string{"AAA"} // want "unknown registry-table kind"
 
 var _ = cancelPhases
 var _ = benchAlgos
+var _ = oracleAlgos
 var _ = cacheAlgos
 var _ = fuzzNames

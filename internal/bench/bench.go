@@ -137,14 +137,29 @@ func (r *Report) addRecord(name, label string, res *join.Result) {
 
 // RenderJSON writes the report's per-algorithm records as one JSON
 // document. Experiments that only simulate (numasim/memsim rows) have no
-// measured records; their Records slice is empty.
+// measured records; their Records slice is empty. The output is
+// deterministic: records are sorted by (experiment, algorithm, label,
+// threads, input tuples) regardless of measurement order, and field
+// order is fixed by the Record struct — byte-identical runs diff clean.
 func (r *Report) RenderJSON(w io.Writer) error {
-	recs := r.Records
-	if recs == nil {
-		// Simulation-only experiments measure nothing; consumers still
-		// get an empty array rather than null.
-		recs = []Record{}
-	}
+	recs := make([]Record, len(r.Records))
+	copy(recs, r.Records)
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := &recs[i], &recs[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Algorithm != b.Algorithm {
+			return a.Algorithm < b.Algorithm
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.InputTuples < b.InputTuples
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {

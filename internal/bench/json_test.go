@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderJSONDeterministic: -json output is a pure function of the
+// record set — insertion order must not leak into the document, and the
+// exact bytes are pinned by a golden so accidental field reordering or
+// formatting drift is caught.
+func TestRenderJSONDeterministic(t *testing.T) {
+	mk := func(algo, label string, threads int) Record {
+		return Record{
+			Experiment: "figX", Algorithm: algo, Label: label, Threads: threads,
+			InputTuples: 100, Matches: 10, ThroughputMPerSec: 1.5,
+		}
+	}
+	ordered := []Record{
+		mk("NOP", "", 2), mk("NOP", "", 4), mk("PRO", "a", 2), mk("PRO", "b", 2),
+	}
+	shuffled := []Record{ordered[3], ordered[1], ordered[2], ordered[0]}
+
+	render := func(recs []Record) string {
+		var b strings.Builder
+		r := &Report{ID: "figX", Title: "determinism golden", Records: recs}
+		if err := r.RenderJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(ordered), render(shuffled)
+	if a != b {
+		t.Fatalf("record order leaked into JSON:\n%s\nvs\n%s", a, b)
+	}
+
+	const golden = `{
+  "experiment": "figX",
+  "title": "determinism golden",
+  "records": [
+    {
+      "experiment": "figX",
+      "algorithm": "NOP",
+      "threads": 2,
+      "input_tuples": 100,
+      "matches": 10,
+      "throughput_mtuples_per_sec": 1.5,
+      "partition_or_build_ms": 0,
+      "join_or_probe_ms": 0,
+      "total_ms": 0
+    },
+    {
+      "experiment": "figX",
+      "algorithm": "NOP",
+      "threads": 4,
+      "input_tuples": 100,
+      "matches": 10,
+      "throughput_mtuples_per_sec": 1.5,
+      "partition_or_build_ms": 0,
+      "join_or_probe_ms": 0,
+      "total_ms": 0
+    },
+    {
+      "experiment": "figX",
+      "algorithm": "PRO",
+      "label": "a",
+      "threads": 2,
+      "input_tuples": 100,
+      "matches": 10,
+      "throughput_mtuples_per_sec": 1.5,
+      "partition_or_build_ms": 0,
+      "join_or_probe_ms": 0,
+      "total_ms": 0
+    },
+    {
+      "experiment": "figX",
+      "algorithm": "PRO",
+      "label": "b",
+      "threads": 2,
+      "input_tuples": 100,
+      "matches": 10,
+      "throughput_mtuples_per_sec": 1.5,
+      "partition_or_build_ms": 0,
+      "join_or_probe_ms": 0,
+      "total_ms": 0
+    }
+  ]
+}
+`
+	if a != golden {
+		t.Fatalf("JSON drifted from golden:\n--- got ---\n%s--- want ---\n%s", a, golden)
+	}
+
+	// Simulation-only reports still render an empty array, not null.
+	empty := render(nil)
+	if !strings.Contains(empty, `"records": []`) {
+		t.Fatalf("nil records did not render as []:\n%s", empty)
+	}
+
+	// RenderJSON must not mutate the report's own record order.
+	if shuffled[0].Algorithm != "PRO" || shuffled[0].Label != "b" {
+		t.Fatalf("RenderJSON reordered the caller's slice: %+v", shuffled[0])
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"mmjoin/internal/tuple"
 )
@@ -26,6 +27,13 @@ type Arena struct {
 	// parks it here; Put picks it back up.
 	tupleHeaders sync.Pool // spare *[]tuple.Tuple
 	intHeaders   sync.Pool // spare *[]int
+	// gets and puts count the buffers handed out and returned, so a
+	// harness with a private arena can assert Outstanding() == 0 after
+	// a join: a positive balance is a leaked buffer, a negative one a
+	// double release. Zero-length requests and out-of-class buffers are
+	// excluded on both sides, keeping the accounting symmetric.
+	gets atomic.Int64
+	puts atomic.Int64
 }
 
 // maxClass bounds the size classes at 2^47 elements — far above any
@@ -53,6 +61,7 @@ func (a *Arena) Tuples(n int) []tuple.Tuple {
 	if a == nil || c >= maxClass {
 		return make([]tuple.Tuple, n)
 	}
+	a.gets.Add(1)
 	if v := a.tuples[c].Get(); v != nil {
 		p := v.(*[]tuple.Tuple)
 		buf := (*p)[:n]
@@ -75,12 +84,25 @@ func (a *Arena) PutTuples(buf []tuple.Tuple) {
 	if c >= maxClass {
 		return
 	}
+	a.puts.Add(1)
 	p, _ := a.tupleHeaders.Get().(*[]tuple.Tuple)
 	if p == nil {
 		p = new([]tuple.Tuple)
 	}
 	*p = buf[:0]
 	a.tuples[c].Put(p)
+}
+
+// Outstanding returns the number of arena buffers handed out but not
+// yet returned. Zero after a complete join on a private arena; positive
+// means a leak, negative a double release (or a Put of a foreign
+// buffer). Safe for concurrent use, but only meaningful to read when no
+// join is in flight on the arena.
+func (a *Arena) Outstanding() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.gets.Load() - a.puts.Load()
 }
 
 // Ints returns a zeroed int buffer of length n (histograms rely on
@@ -93,6 +115,7 @@ func (a *Arena) Ints(n int) []int {
 	if a == nil || c >= maxClass {
 		return make([]int, n)
 	}
+	a.gets.Add(1)
 	if v := a.ints[c].Get(); v != nil {
 		p := v.(*[]int)
 		buf := (*p)[:n]
@@ -113,6 +136,7 @@ func (a *Arena) PutInts(buf []int) {
 	if c >= maxClass {
 		return
 	}
+	a.puts.Add(1)
 	p, _ := a.intHeaders.Get().(*[]int)
 	if p == nil {
 		p = new([]int)

@@ -78,6 +78,9 @@ type Pool struct {
 	tracer    *trace.Tracer
 	driver    *trace.Shard
 	shards    []*trace.Shard
+	// sched, when non-nil, replaces concurrent execution with the
+	// deterministic single-goroutine replay of schedule.go.
+	sched SchedulePolicy
 }
 
 // NewPool creates a pool of `threads` workers (minimum 1) bound to ctx.
@@ -263,17 +266,9 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 	}
 	start := time.Now()
 	phaseSpan := p.driver.Begin(phase, -1)
-	workers := make([]Worker, p.threads)
-	for i := range workers {
-		workers[i] = Worker{ID: i, pool: p}
-	}
+	workers := p.makeWorkers(phase)
 	call := fn
 	if p.tracer != nil {
-		traces := make([]workerTrace, p.threads)
-		for i := range workers {
-			traces[i] = workerTrace{shard: p.shards[i], phase: phase}
-			workers[i].tr = &traces[i]
-		}
 		// Workers that never enter Morsels or a queue drain (plain
 		// fork/join chunk work) still get one whole-chunk span; workers
 		// that did record finer spans drop the open whole-chunk span
@@ -291,9 +286,16 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 			}
 		}
 	}
-	if p.threads == 1 {
+	switch {
+	case p.sched != nil:
+		// Deterministic replay: workers run sequentially on the driver
+		// goroutine in schedule order.
+		for _, i := range p.sched.WorkerOrder(p.threads) {
+			call(&workers[i])
+		}
+	case p.threads == 1:
 		call(&workers[0])
-	} else {
+	default:
 		var wg sync.WaitGroup
 		for i := range workers {
 			wg.Add(1)
@@ -308,11 +310,32 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 	return p.ctx.Err()
 }
 
+// makeWorkers builds the per-phase worker slice, attaching tracing
+// state when a tracer is set. The workerTrace values live through the
+// Worker.tr pointers.
+func (p *Pool) makeWorkers(phase string) []Worker {
+	workers := make([]Worker, p.threads)
+	for i := range workers {
+		workers[i] = Worker{ID: i, pool: p}
+	}
+	if p.tracer != nil {
+		traces := make([]workerTrace, p.threads)
+		for i := range workers {
+			traces[i] = workerTrace{shard: p.shards[i], phase: phase}
+			workers[i].tr = &traces[i]
+		}
+	}
+	return workers
+}
+
 // RunQueue drains q with all workers: each worker loops popping task
 // ids and calling fn until the queue is empty or the pool is cancelled.
 // Cancellation is checked before every pop, so a cancelled phase stops
 // after at most one task per worker.
 func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) error {
+	if p.sched != nil {
+		return p.runQueueScheduled(phase, q, fn)
+	}
 	return p.Run(phase, func(w *Worker) {
 		w.counted = true
 		if w.tr != nil {
@@ -332,6 +355,49 @@ func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) err
 			fn(w, t)
 		}
 	})
+}
+
+// runQueueScheduled is RunQueue under a deterministic schedule: the
+// driver goroutine pops tasks one at a time and hands each to the
+// schedule-chosen worker, interleaving task execution across workers
+// exactly as the seed dictates. All of Run's bookkeeping (phase span,
+// stats entry, metrics) is preserved.
+func (p *Pool) runQueueScheduled(phase string, q Queue, fn func(w *Worker, task int)) error {
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	if p.phaseHook != nil {
+		p.phaseHook(phase)
+	}
+	start := time.Now()
+	phaseSpan := p.driver.Begin(phase, -1)
+	workers := p.makeWorkers(phase)
+	for i := range workers {
+		workers[i].counted = true
+	}
+	for p.ctx.Err() == nil {
+		t, ok := q.Pop()
+		if !ok {
+			break
+		}
+		w := &workers[p.sched.NextWorker(p.threads)]
+		w.tasks++
+		if tr := w.tr; tr != nil {
+			b0, a0 := w.bytes, w.allocs
+			sp := tr.shard.Begin(tr.phase, t)
+			fn(w, t)
+			sp.AddBytes(w.bytes - b0)
+			sp.AddAllocs(w.allocs - a0)
+			d := sp.End()
+			tr.busy += d
+			tr.lat.Observe(d)
+			tr.wait.Observe(0)
+		} else {
+			fn(w, t)
+		}
+	}
+	p.record(phase, start, phaseSpan, workers)
+	return p.ctx.Err()
 }
 
 // drainTraced is the tracing variant of the RunQueue worker loop: every

@@ -1,0 +1,80 @@
+package exec
+
+// Deterministic schedule replay, in the style of FoundationDB's
+// simulation testing: a SchedulePolicy pins a pool to one exact
+// execution schedule — which worker runs when, and which worker
+// executes each popped task — derived from a single uint64 seed. With a
+// policy installed every phase runs on the driver goroutine alone, so a
+// join execution becomes a pure function of (inputs, options, seed):
+// the differential oracle (internal/oracle) replays a divergence from
+// nothing but the seed, and explores many interleavings by sweeping it.
+//
+// Sequential execution of the workers is a legal interleaving of the
+// concurrent pool: phase functions communicate only through per-worker
+// state, atomic queue pops and (rarely) a mutex-guarded map — none
+// blocks on another worker's progress, so any serialization of the
+// workers is schedule-equivalent to some concurrent run.
+
+// SchedulePolicy decides the deterministic execution order of a pool's
+// phases. Implementations are consulted from the driver goroutine only.
+type SchedulePolicy interface {
+	// WorkerOrder returns the order in which the workers of a fork/join
+	// phase (Pool.Run) execute, as a permutation of [0, threads).
+	WorkerOrder(threads int) []int
+	// NextWorker picks the worker that executes the next popped task of
+	// a queue phase (Pool.RunQueue), in [0, threads).
+	NextWorker(threads int) int
+}
+
+// SeededSchedule is the stock SchedulePolicy: a splitmix64 stream keyed
+// by the seed drives both the fork/join worker permutation and the
+// per-task worker choice, so two pools built from the same seed replay
+// the same schedule decision-for-decision.
+type SeededSchedule struct {
+	state uint64
+}
+
+// NewSeededSchedule returns a schedule replaying the decision stream of
+// seed. A schedule is stateful (each decision advances the stream);
+// replaying requires a fresh schedule from the same seed.
+func NewSeededSchedule(seed uint64) *SeededSchedule {
+	return &SeededSchedule{state: seed}
+}
+
+// next is splitmix64 — the same generator internal/datagen uses, chosen
+// for its full-period single-uint64 state.
+func (s *SeededSchedule) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// WorkerOrder returns a seeded Fisher-Yates permutation of [0, threads).
+func (s *SeededSchedule) WorkerOrder(threads int) []int {
+	order := make([]int, threads)
+	for i := range order {
+		order[i] = i
+	}
+	for i := threads - 1; i > 0; i-- {
+		j := int(s.next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// NextWorker picks a uniform worker for the next task.
+func (s *SeededSchedule) NextWorker(threads int) int {
+	if threads <= 1 {
+		return 0
+	}
+	return int(s.next() % uint64(threads))
+}
+
+// SetSchedule pins the pool to a deterministic schedule: fork/join
+// phases run their workers sequentially on the caller's goroutine in
+// policy order, and queue phases pop tasks one at a time, each executed
+// by the policy-chosen worker. A nil policy restores the default
+// concurrent execution.
+func (p *Pool) SetSchedule(s SchedulePolicy) { p.sched = s }

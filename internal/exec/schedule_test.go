@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mmjoin/internal/trace"
+)
+
+// scheduleLog runs one Run and one RunQueue phase under the given seed
+// and returns the observed (phase, worker, task) decision sequence.
+func scheduleLog(t *testing.T, seed uint64, threads, tasks int) []string {
+	t.Helper()
+	pool := NewPool(context.Background(), threads)
+	pool.SetSchedule(NewSeededSchedule(seed))
+	var log []string
+	if err := pool.Run("fork", func(w *Worker) {
+		log = append(log, fmt.Sprintf("fork:w%d", w.ID))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.RunQueue("queue", NewRange(tasks), func(w *Worker, task int) {
+		log = append(log, fmt.Sprintf("queue:w%d:t%d", w.ID, task))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestSeededScheduleReplays pins the core replay property: the same
+// seed produces the identical decision sequence, and the schedule
+// actually varies with the seed (different seeds diverge somewhere in
+// the first few runs).
+func TestSeededScheduleReplays(t *testing.T) {
+	a := scheduleLog(t, 42, 4, 32)
+	b := scheduleLog(t, 42, 4, 32)
+	if len(a) != len(b) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	diverged := false
+	for seed := uint64(0); seed < 8 && !diverged; seed++ {
+		c := scheduleLog(t, seed, 4, 32)
+		for i := range a {
+			if c[i] != a[i] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("eight different seeds all replayed seed 42's schedule")
+	}
+}
+
+// TestScheduledRunIsSequential confirms fork/join workers execute one
+// at a time on the driver goroutine under a schedule: unsynchronized
+// writes to shared state from every worker are safe (the oracle relies
+// on this to make joins deterministic).
+func TestScheduledRunIsSequential(t *testing.T) {
+	pool := NewPool(context.Background(), 8)
+	pool.SetSchedule(NewSeededSchedule(7))
+	running := 0
+	peak := 0
+	if err := pool.Run("phase", func(w *Worker) {
+		running++
+		if running > peak {
+			peak = running
+		}
+		running--
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak != 1 {
+		t.Fatalf("scheduled workers overlapped: peak concurrency %d", peak)
+	}
+}
+
+// TestScheduledWorkerOrderCoversAll: every worker runs exactly once per
+// fork/join phase regardless of the permutation.
+func TestScheduledWorkerOrderCoversAll(t *testing.T) {
+	for seed := uint64(0); seed < 16; seed++ {
+		pool := NewPool(context.Background(), 5)
+		pool.SetSchedule(NewSeededSchedule(seed))
+		ran := make([]int, 5)
+		if err := pool.Run("phase", func(w *Worker) { ran[w.ID]++ }); err != nil {
+			t.Fatal(err)
+		}
+		for id, n := range ran {
+			if n != 1 {
+				t.Fatalf("seed %d: worker %d ran %d times", seed, id, n)
+			}
+		}
+	}
+}
+
+// TestScheduledRunQueueStats: the scheduled queue path produces the
+// same stats shape as the concurrent one — all tasks executed exactly
+// once, task counts and spans balanced.
+func TestScheduledRunQueueStats(t *testing.T) {
+	tr := trace.New()
+	pool := NewPool(context.Background(), 4)
+	pool.SetTracer(tr, "sched-test")
+	pool.SetSchedule(NewSeededSchedule(99))
+	const tasks = 37
+	seen := make([]int, tasks)
+	if err := pool.RunQueue("queue", NewRange(tasks), func(w *Worker, task int) {
+		seen[task]++
+		w.AddBytes(8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for task, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d executed %d times", task, n)
+		}
+	}
+	st := pool.Stats()
+	if len(st.Phases) != 1 {
+		t.Fatalf("want 1 phase stat, got %d", len(st.Phases))
+	}
+	ph := st.Phases[0]
+	if ph.Tasks != tasks {
+		t.Fatalf("phase tasks = %d, want %d", ph.Tasks, tasks)
+	}
+	if ph.Bytes != 8*tasks {
+		t.Fatalf("phase bytes = %d, want %d", ph.Bytes, 8*tasks)
+	}
+	if ph.Metrics == nil || ph.Metrics.TaskLatency.Count() != tasks {
+		t.Fatalf("task latency histogram count != %d", tasks)
+	}
+	// One span per task plus the driver's whole-phase span.
+	if got := len(tr.Spans()); got != tasks+1 {
+		t.Fatalf("recorded %d spans, want %d", got, tasks+1)
+	}
+}
+
+// TestScheduledCancellation: a cancelled scheduled pool stops popping
+// tasks and reports the context error, like the concurrent path.
+func TestScheduledCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := NewPool(ctx, 2)
+	pool.SetSchedule(NewSeededSchedule(5))
+	executed := 0
+	err := pool.RunQueue("queue", NewRange(100), func(w *Worker, task int) {
+		executed++
+		if executed == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if executed != 3 {
+		t.Fatalf("executed %d tasks after cancellation, want 3", executed)
+	}
+	if err := pool.Run("after", func(w *Worker) { t.Error("phase ran on cancelled pool") }); err != context.Canceled {
+		t.Fatalf("post-cancel Run err = %v", err)
+	}
+}
+
+// TestCancelledPhaseSpanBalance: cancellation mid-phase must not leak
+// spans or stats — every task that ran has exactly one span, the driver
+// phase span is closed by record() even on the early-out path, and the
+// latency histogram agrees with the task count. Covers the concurrent,
+// single-thread and scheduled execution paths.
+func TestCancelledPhaseSpanBalance(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		threads int
+		sched   bool
+	}{
+		{"concurrent", 4, false},
+		{"single", 1, false},
+		{"scheduled", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			tr := trace.New()
+			pool := NewPool(ctx, tc.threads)
+			pool.SetTracer(tr, "cancel-balance")
+			if tc.sched {
+				pool.SetSchedule(NewSeededSchedule(13))
+			}
+			var mu sync.Mutex
+			executed := 0
+			err := pool.RunQueue("queue", NewRange(1000), func(w *Worker, task int) {
+				mu.Lock()
+				executed++
+				if executed == 5 {
+					cancel()
+				}
+				mu.Unlock()
+			})
+			if err != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			st := pool.Stats()
+			if len(st.Phases) != 1 {
+				t.Fatalf("cancelled phase recorded %d stats entries, want 1", len(st.Phases))
+			}
+			ph := st.Phases[0]
+			if ph.Tasks == 0 {
+				t.Fatal("no tasks recorded before cancellation")
+			}
+			if ph.Metrics == nil || ph.Metrics.TaskLatency.Count() != int64(ph.Tasks) {
+				t.Fatalf("latency histogram disagrees with task count %d", ph.Tasks)
+			}
+			// One span per executed task plus the driver's phase span.
+			if got := len(tr.Spans()); got != ph.Tasks+1 {
+				t.Fatalf("recorded %d spans after cancellation, want %d (%d tasks + 1 phase span)",
+					got, ph.Tasks+1, ph.Tasks)
+			}
+		})
+	}
+}
+
+func TestArenaOutstanding(t *testing.T) {
+	a := NewArena()
+	if a.Outstanding() != 0 {
+		t.Fatal("fresh arena has outstanding buffers")
+	}
+	buf := a.Tuples(100)
+	ints := a.Ints(50)
+	if got := a.Outstanding(); got != 2 {
+		t.Fatalf("outstanding = %d after two gets, want 2", got)
+	}
+	a.PutTuples(buf)
+	a.PutInts(ints)
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d after balanced puts, want 0", got)
+	}
+	// Double release drives the balance negative — the detector's
+	// signal for a Put of a buffer the arena never handed out.
+	a.PutInts(ints)
+	if got := a.Outstanding(); got != -1 {
+		t.Fatalf("outstanding = %d after double release, want -1", got)
+	}
+	// Zero-length traffic is excluded on both sides.
+	b := NewArena()
+	b.PutTuples(b.Tuples(0))
+	if got := b.Outstanding(); got != 0 {
+		t.Fatalf("zero-length round trip moved the balance: %d", got)
+	}
+	// A nil arena tracks nothing.
+	var nilArena *Arena
+	nilArena.PutTuples(nilArena.Tuples(10))
+	if nilArena.Outstanding() != 0 {
+		t.Fatal("nil arena reported outstanding buffers")
+	}
+}

@@ -150,6 +150,21 @@ func checkBatch(n int) {
 	}
 }
 
+// clearBatchOutputs resets the per-lane outputs of a LookupBatch call.
+// The empty-table early exits must go through it: the output arrays are
+// worker scratch reused across batches, and a lane left untouched would
+// carry a stale found=true (and payload) from an earlier batch.
+//
+//mmjoin:hotpath
+func clearBatchOutputs(payloads []tuple.Payload, found []bool) {
+	for i := range payloads {
+		payloads[i] = 0
+	}
+	for i := range found {
+		found[i] = false
+	}
+}
+
 // ---------------------------------------------------------------------
 // ChainedTable
 // ---------------------------------------------------------------------
@@ -250,6 +265,10 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 	slots := s.slotBuf()[:n]
 	buckets := t.buckets
 	if len(buckets) == 0 {
+		// The outputs must still be written: callers reuse the scratch
+		// arrays across batches, so leaving them untouched would replay
+		// a previous batch's hits as phantom matches.
+		clearBatchOutputs(payloads[:n], found[:n])
 		return
 	}
 	mask := uint64(len(buckets) - 1)
@@ -483,6 +502,7 @@ func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 	curk := s.curkBuf()[:n]
 	tk := t.keys
 	if len(tk) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
 		return
 	}
 	tp := t.payloads[:len(tk)]
@@ -682,6 +702,7 @@ func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads
 	curk := s.curkBuf()[:n]
 	tk := t.keys
 	if len(tk) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
 		return
 	}
 	tp := t.payloads[:len(tk)]
@@ -938,6 +959,7 @@ func (t *CHT) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Pa
 	lanes := s.laneBuf()[:n]
 	groups := t.groups
 	if len(groups) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
 		return
 	}
 	array := t.array
@@ -1119,6 +1141,7 @@ func (t *SparseTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 	lanes := s.laneBuf()[:n]
 	groups := t.groups
 	if len(groups) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
 		return
 	}
 	mask := t.mask

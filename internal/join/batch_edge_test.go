@@ -1,0 +1,106 @@
+package join
+
+import (
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/tuple"
+)
+
+// Edge-case coverage for sink.emitBatch: the batched emission path must
+// be indistinguishable from per-tuple emit for every batch shape —
+// zero-length batches, batches landing exactly on the BatchSize
+// boundary, and any chunking of the same match stream.
+
+func TestEmitBatchZeroLength(t *testing.T) {
+	s := sink{materialize: true}
+	s.emitBatch(nil, nil)
+	s.emitBatch([]tuple.Payload{}, []tuple.Payload{})
+	if s.matches != 0 || s.checksum != 0 || len(s.pairs) != 0 {
+		t.Fatalf("zero-length emitBatch mutated the sink: %+v", s)
+	}
+}
+
+// TestEmitBatchMatchesEmit feeds one match stream through emit and
+// through emitBatch under several chunkings (including one lane, exact
+// BatchSize chunks, and one chunk holding everything) and requires
+// bit-identical counts, checksums and pair lists. The checksum is a
+// wrapping uint64 sum, so any accumulation order must agree.
+func TestEmitBatchMatchesEmit(t *testing.T) {
+	const n = 3*hashtable.BatchSize + 17
+	bp := make([]tuple.Payload, n)
+	pp := make([]tuple.Payload, n)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := range bp {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		bp[i] = tuple.Payload(rng)
+		pp[i] = tuple.Payload(rng >> 32)
+	}
+	var ref sink
+	ref.materialize = true
+	for i := range bp {
+		ref.emit(bp[i], pp[i])
+	}
+	for _, chunk := range []int{1, 3, hashtable.BatchSize - 1, hashtable.BatchSize, n} {
+		var s sink
+		s.materialize = true
+		for off := 0; off < n; off += chunk {
+			end := min(off+chunk, n)
+			s.emitBatch(bp[off:end], pp[off:end])
+		}
+		if s.matches != ref.matches || s.checksum != ref.checksum {
+			t.Fatalf("chunk=%d: matches/checksum %d/%#x, want %d/%#x",
+				chunk, s.matches, s.checksum, ref.matches, ref.checksum)
+		}
+		if len(s.pairs) != len(ref.pairs) {
+			t.Fatalf("chunk=%d: %d pairs, want %d", chunk, len(s.pairs), len(ref.pairs))
+		}
+		for i := range s.pairs {
+			if s.pairs[i] != ref.pairs[i] {
+				t.Fatalf("chunk=%d pair %d: %+v != %+v", chunk, i, s.pairs[i], ref.pairs[i])
+			}
+		}
+	}
+}
+
+// TestBatchBoundaryMatchCount runs batch and scalar kernels over a
+// workload whose match count is an exact multiple of BatchSize, so the
+// final flush happens exactly on a full MatchBatch — the remainder-flush
+// edge the fuzz dimensions rarely pin. Every algorithm must agree with
+// the reference on both flavors.
+func TestBatchBoundaryMatchCount(t *testing.T) {
+	// A dense domain with probe == 4*BatchSize distinct existing keys
+	// gives exactly 4*BatchSize matches.
+	build := 2 * hashtable.BatchSize
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize: build, ProbeSize: 4 * hashtable.BatchSize, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(w.Build, w.Probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append(Names(), "MPSM", "NOPC") {
+		a, err := NewAny(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scalar := range []bool{false, true} {
+			res, err := a.Run(w.Build, w.Probe, &Options{
+				Threads: 2, Domain: w.Domain, ScalarKernels: scalar,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				t.Fatalf("%s scalar=%v: %d matches checksum %#x, want %d %#x",
+					name, scalar, res.Matches, res.Checksum, ref.Matches, ref.Checksum)
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+	"mmjoin/internal/trace"
 )
 
 var (
@@ -36,8 +38,10 @@ func cancelWorkload(t *testing.T) *datagen.Workload {
 }
 
 // runCancelAt cancels the context the moment the named phase starts and
-// asserts the join returns ctx.Err() promptly with no Result and no
-// leaked goroutines.
+// asserts the join returns ctx.Err() promptly with no Result, no leaked
+// goroutines, no arena buffers still outstanding, and a balanced trace
+// (every phase that began has its driver span closed — spans only
+// materialize at End, so an abandoned Begin would be missing here).
 func runCancelAt(t *testing.T, algo, phase string) {
 	t.Helper()
 	w := cancelWorkload(t)
@@ -50,9 +54,15 @@ func runCancelAt(t *testing.T, algo, phase string) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	hookFired := false
+	var phasesStarted []string
+	arena := exec.NewArena()
+	tracer := trace.New()
 	opts := &Options{
 		Threads: 4,
+		Arena:   arena,
+		Tracer:  tracer,
 		PhaseHook: func(p string) {
+			phasesStarted = append(phasesStarted, p)
 			if p == phase {
 				hookFired = true
 				cancel()
@@ -85,6 +95,33 @@ func runCancelAt(t *testing.T, algo, phase string) {
 	}
 	if n := runtime.NumGoroutine(); n > baseline {
 		t.Fatalf("%s leaked goroutines: %d > baseline %d", algo, n, baseline)
+	}
+	// Every buffer taken from the private arena must be returned on the
+	// cancellation path too — partition copies and shared-probe buffers
+	// are released before the early return, not abandoned.
+	if out := arena.Outstanding(); out != 0 {
+		t.Fatalf("%s cancelled at %q left arena balance %d (positive = leak, negative = double release)",
+			algo, phase, out)
+	}
+	// Span balance: each started phase closed its driver-track span via
+	// record() even though the phase was cancelled, and no span belongs
+	// to a phase that never began.
+	started := map[string]bool{}
+	for _, p := range phasesStarted {
+		started[p] = true
+	}
+	seen := map[string]bool{}
+	for _, sp := range tracer.Spans() {
+		if !started[sp.Name] {
+			t.Fatalf("%s: span %q from a phase that never started (started: %v)", algo, sp.Name, phasesStarted)
+		}
+		seen[sp.Name] = true
+	}
+	for p := range started {
+		if !seen[p] {
+			t.Fatalf("%s cancelled at %q: phase %q began but recorded no span — its driver Begin was never Ended",
+				algo, phase, p)
+		}
 	}
 }
 

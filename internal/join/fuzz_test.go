@@ -4,19 +4,21 @@ import (
 	"testing"
 
 	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
 )
 
 // Fuzz target: any workload shape — including Zipf-skewed probe sides
-// and sparse (holey) key domains — any algorithm, any thread count: the
-// result must match the reference oracle. Seeds cover the corner
-// regimes; `go test -fuzz=FuzzJoinEquivalence` explores beyond them.
+// and sparse (holey) key domains — any algorithm, any thread count, any
+// seeded task interleaving: the result must match the reference oracle.
+// Seeds cover the corner regimes; `go test -fuzz=FuzzJoinEquivalence`
+// explores beyond them.
 func FuzzJoinEquivalence(f *testing.F) {
-	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0))
-	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0))
-	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3))
+	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0))
+	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0), uint16(0))
+	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3), uint16(7))
 	// Heavy skew on a sparse domain — the Figure 10/11 regime where the
 	// array joins and skew-aware scheduling earn their keep.
-	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7))
+	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7), uint16(99))
 	// Every registered algorithm — Table 2 via Names() plus the
 	// ablations — is fuzzed against the oracle; the registry analyzer
 	// holds this list complete.
@@ -25,7 +27,7 @@ func FuzzJoinEquivalence(f *testing.F) {
 	// The paper's skew points (Section 5.4): uniform, moderate, heavy,
 	// very heavy. Zipf must stay in [0,1) for the generator.
 	zipfs := []float64{0, 0.5, 0.9, 0.99}
-	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8) {
+	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8, schedRaw uint16) {
 		build := int(buildRaw%4000) + 1
 		probe := int(probeRaw % 16000)
 		threads := 1 << (threadsRaw % 5)
@@ -33,6 +35,13 @@ func FuzzJoinEquivalence(f *testing.F) {
 		bits := uint(bitsRaw % 10)
 		zipf := zipfs[int(zipfRaw)%len(zipfs)]
 		holes := int(holesRaw%8) + 1 // hole factor 1 (dense) .. 8 (sparse)
+		// Schedule dimension: 0 keeps the default concurrent execution;
+		// anything else replays the seeded deterministic interleaving, so
+		// the fuzzer also explores task orderings, not just data shapes.
+		var schedule exec.SchedulePolicy
+		if schedRaw != 0 {
+			schedule = exec.NewSeededSchedule(uint64(schedRaw))
+		}
 		w, err := datagen.Generate(datagen.Config{
 			BuildSize: build, ProbeSize: probe, Seed: uint64(seed),
 			Zipf: zipf, HoleFactor: holes,
@@ -53,7 +62,7 @@ func FuzzJoinEquivalence(f *testing.F) {
 		for _, scalar := range []bool{false, true} {
 			res, err := j.Run(w.Build, w.Probe, &Options{
 				Threads: threads, Domain: w.Domain, RadixBits: bits,
-				ScalarKernels: scalar,
+				ScalarKernels: scalar, Schedule: schedule,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -91,6 +91,12 @@ type Options struct {
 	// the execution layer attach PhaseMetrics to Result.Exec. Nil
 	// (trace.Disabled) keeps the hot loops on their untraced fast path.
 	Tracer *trace.Tracer
+	// Schedule, when non-nil, pins the execution to a deterministic
+	// single-goroutine replay of one task interleaving (see
+	// exec.SchedulePolicy). Used by the differential oracle to make a
+	// join a pure function of (inputs, options, schedule seed); nil
+	// keeps the default concurrent execution.
+	Schedule exec.SchedulePolicy
 	// ScalarKernels disables the batch-at-a-time probe/build kernels and
 	// runs the original tuple-at-a-time loops instead — the scalar leg of
 	// the ablbatch ablation (see EXPERIMENTS.md). The default (false) is
@@ -193,6 +199,7 @@ func newPool(ctx context.Context, o *Options, label string) *exec.Pool {
 	if o.Tracer != nil {
 		pool.SetTracer(o.Tracer, label)
 	}
+	pool.SetSchedule(o.Schedule)
 	return pool
 }
 

@@ -207,6 +207,11 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 		mu.Unlock()
 	})
 	if err != nil {
+		// Partitions prebuilt before the cancellation hit still hold
+		// arena probe copies; release them or they leak.
+		for _, probe := range sharedProbe {
+			pool.Arena().PutTuples(probe)
+		}
 		return err
 	}
 

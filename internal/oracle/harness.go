@@ -1,0 +1,159 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// SweepConfig parameterizes an oracle sweep.
+type SweepConfig struct {
+	// Algos lists the algorithms to check; nil means AlgorithmNames().
+	Algos []string
+	// Schedules is the number of seeded schedules per algorithm; each
+	// schedule index also varies skew, holes, threads, sizes and the
+	// data seed deterministically. Zero means 8.
+	Schedules int
+	// BuildLog2 / ProbeLog2 fix the base relation sizes (the per-index
+	// delta still wiggles them around batch boundaries). Zero means 12
+	// and 14 respectively.
+	BuildLog2 int
+	ProbeLog2 int
+	// BaseSeed perturbs every derived case field; sweeps with different
+	// base seeds explore different corners.
+	BaseSeed uint64
+	// Inject applies a fault to every case's primary run (used by the
+	// self-test that proves the checks fire).
+	Inject Fault
+	// MaxShrinkEvals bounds the shrinking of each failure; zero means
+	// 64, negative disables shrinking.
+	MaxShrinkEvals int
+	// Out receives progress lines; nil silences them.
+	Out io.Writer
+}
+
+// Failure is one diverging case, with its minimized reproducer.
+type Failure struct {
+	Case        Case
+	Divergences []Divergence
+	// Shrunk is the minimized still-diverging case (equal to Case when
+	// shrinking is disabled or found nothing smaller).
+	Shrunk Case
+}
+
+// Repro is the one-line command that reproduces the minimized failure
+// from its seed alone.
+func (f Failure) Repro() string {
+	return fmt.Sprintf("joinoracle -replay %#x", f.Shrunk.Seed())
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// caseFor derives the i-th case for one algorithm: schedule seed i,
+// with every other dimension pseudo-randomly (but reproducibly) drawn
+// from the hash of (base seed, algorithm, i). The derived case is what
+// gets packed and printed — a failure replays from its seed without
+// knowing the sweep that found it.
+func caseFor(cfg SweepConfig, algo, i int) Case {
+	h := splitmix64(cfg.BaseSeed ^ uint64(algo)<<40 ^ uint64(i))
+	buildLog2 := cfg.BuildLog2
+	if buildLog2 == 0 {
+		buildLog2 = 12
+	}
+	probeLog2 := cfg.ProbeLog2
+	if probeLog2 == 0 {
+		probeLog2 = 14
+	}
+	c := Case{
+		Algo:        algo,
+		Scalar:      i%2 == 1,
+		ThreadsLog2: int(h >> 4 & 3),
+		ZipfIdx:     int(h >> 6 & 3),
+		Holes:       1 + int(h>>8&7),
+		BuildLog2:   buildLog2,
+		BuildDelta:  int(h>>11&7) - 3,
+		ProbeLog2:   probeLog2,
+		ProbeDelta:  int(h>>14&7) - 3,
+		Bits:        0,
+		DataSeed:    h >> 17 & (1<<dataBits - 1),
+		SchedSeed:   uint64(i) & (1<<schedBits - 1),
+	}
+	return c.canon()
+}
+
+// Sweep runs the differential oracle over every configured algorithm ×
+// schedule, shrinks each failure, and returns them all. Each case runs
+// both kernel flavors (fully checked against the reference model) plus
+// the byte-accounting comparison between them, so one sweep covers
+// batch and scalar alike. The returned error reports context
+// cancellation or a run that could not execute at all; divergences are
+// returned in the failure list, not as errors.
+func Sweep(ctx context.Context, cfg SweepConfig) ([]Failure, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	algos := cfg.Algos
+	if algos == nil {
+		algos = AlgorithmNames()
+	}
+	schedules := cfg.Schedules
+	if schedules == 0 {
+		schedules = 8
+	}
+	maxShrink := cfg.MaxShrinkEvals
+	if maxShrink == 0 {
+		maxShrink = 64
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Out != nil {
+			fmt.Fprintf(cfg.Out, format+"\n", args...)
+		}
+	}
+
+	index := make(map[string]int, len(algorithmNames))
+	for i, name := range algorithmNames {
+		index[name] = i
+	}
+	var failures []Failure
+	cases := 0
+	for _, name := range algos {
+		ai, ok := index[name]
+		if !ok {
+			return failures, fmt.Errorf("oracle: unknown algorithm %q", name)
+		}
+		for i := 0; i < schedules; i++ {
+			if err := ctx.Err(); err != nil {
+				return failures, err
+			}
+			c := caseFor(cfg, ai, i)
+			cases++
+			divs, err := RunCase(ctx, c, cfg.Inject)
+			if err != nil {
+				return failures, err
+			}
+			if len(divs) == 0 {
+				continue
+			}
+			f := Failure{Case: c, Divergences: divs, Shrunk: c}
+			if maxShrink > 0 {
+				shrunk, evals := Shrink(ctx, c, cfg.Inject, maxShrink)
+				f.Shrunk = shrunk
+				logf("oracle: shrank %s -> %s (%d evals)", c, shrunk, evals)
+			}
+			logf("oracle: DIVERGENCE in case %#x (%s)", c.Seed(), c)
+			for _, d := range f.Divergences {
+				logf("  %s", d)
+			}
+			logf("  reproduce: %s", f.Repro())
+			failures = append(failures, f)
+		}
+	}
+	logf("oracle: %d cases (%d algorithms x %d schedules, batch+scalar each), %d divergences",
+		cases, len(algos), schedules, len(failures))
+	return failures, nil
+}

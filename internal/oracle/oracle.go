@@ -1,0 +1,192 @@
+// Package oracle is the differential-testing harness for the join
+// algorithms: a naïve, obviously-correct reference model plus a runner
+// that executes any registered algorithm under a seeded, deterministic
+// morsel schedule (exec.SchedulePolicy) and cross-checks
+//
+//   - the full multiset of emitted payload pairs against the reference,
+//   - per-phase byte accounting between the batch and scalar kernels,
+//   - trace span balance (every recorded task has its span; histogram
+//     counts equal task counts), and
+//   - arena leak / double-release balance on a private arena.
+//
+// Every case is packed into a single uint64 seed, so a divergence found
+// anywhere reproduces exactly with `joinoracle -replay <seed>` — the
+// deterministic-replay discipline of FoundationDB-style simulation
+// testing applied to the paper's claim that all thirteen joins compute
+// the same relation. On divergence the harness shrinks the case (sizes,
+// skew, holes, threads, schedule) to a minimal reproducer before
+// printing it.
+package oracle
+
+import (
+	"fmt"
+
+	"mmjoin/internal/join"
+)
+
+// Zipfs are the paper's probe-skew sweep points (Section 5.4); a case
+// encodes an index into this list.
+var Zipfs = [4]float64{0, 0.5, 0.9, 0.99}
+
+// algorithmNames is the oracle's coverage list: every registered
+// algorithm — Table 2 via Names() plus the ablations — must be checked
+// differentially. The registry analyzer holds this list complete, so a
+// newly registered algorithm cannot ship without oracle coverage.
+//
+//mmjoin:registry-table oracle
+var algorithmNames = append(join.Names(), "MPSM", "NOPC")
+
+// AlgorithmNames returns the algorithms the oracle covers, in case
+// encoding order. The order is load-bearing: Case.Algo indexes it.
+func AlgorithmNames() []string {
+	return append([]string(nil), algorithmNames...)
+}
+
+// Case is one fully decoded oracle case. All fields are bounded so the
+// whole case round-trips through a single uint64 (see Seed/FromSeed):
+// replaying a failure needs nothing but that number.
+type Case struct {
+	// Algo indexes AlgorithmNames().
+	Algo int
+	// Scalar selects which kernel flavor is the primary run (the one
+	// faults inject into); the counterpart flavor always runs too, for
+	// the byte-accounting comparison.
+	Scalar bool
+	// ThreadsLog2 in [0,3]: 1, 2, 4 or 8 workers (a power of two, so
+	// MWAY's thread constraint always holds).
+	ThreadsLog2 int
+	// ZipfIdx indexes Zipfs.
+	ZipfIdx int
+	// Holes is the datagen hole factor in [1,8].
+	Holes int
+	// BuildLog2 in [0,24] and BuildDelta in [-3,4] give
+	// |R| = max(1, 1<<BuildLog2 + BuildDelta) — the delta reaches the
+	// off-by-one neighborhoods of batch and morsel boundaries.
+	BuildLog2  int
+	BuildDelta int
+	// ProbeLog2 in [0,24] and ProbeDelta in [-3,4] give
+	// |S| = max(0, 1<<ProbeLog2 + ProbeDelta).
+	ProbeLog2  int
+	ProbeDelta int
+	// Bits is Options.RadixBits in [0,10] (0 = the algorithm's default).
+	Bits int
+	// DataSeed (15 bits) feeds the workload generator.
+	DataSeed uint64
+	// SchedSeed (16 bits) feeds the deterministic schedule.
+	SchedSeed uint64
+}
+
+// Bit layout of the packed case, LSB first.
+const (
+	algoBits    = 4
+	threadsBits = 2
+	zipfBits    = 2
+	holesBits   = 3
+	sizeBits    = 5
+	deltaBits   = 3
+	radixBits   = 4
+	dataBits    = 15
+	schedBits   = 16
+)
+
+// canon clamps every field into its encodable range, mirroring what
+// FromSeed produces. Shrink candidates and hand-built cases go through
+// it so Seed/FromSeed round-trip exactly.
+func (c Case) canon() Case {
+	mod := func(v, n int) int { return ((v % n) + n) % n }
+	c.Algo = mod(c.Algo, len(algorithmNames))
+	c.ThreadsLog2 = mod(c.ThreadsLog2, 1<<threadsBits)
+	c.ZipfIdx = mod(c.ZipfIdx, len(Zipfs))
+	c.Holes = mod(c.Holes-1, 1<<holesBits) + 1
+	c.BuildLog2 = mod(c.BuildLog2, 25)
+	c.BuildDelta = mod(c.BuildDelta+3, 1<<deltaBits) - 3
+	c.ProbeLog2 = mod(c.ProbeLog2, 25)
+	c.ProbeDelta = mod(c.ProbeDelta+3, 1<<deltaBits) - 3
+	c.Bits = mod(c.Bits, 11)
+	c.DataSeed &= 1<<dataBits - 1
+	c.SchedSeed &= 1<<schedBits - 1
+	return c
+}
+
+// Seed packs the case into one uint64. FromSeed(c.Seed()) == c.canon().
+func (c Case) Seed() uint64 {
+	c = c.canon()
+	var s uint64
+	shift := 0
+	put := func(v uint64, bits int) {
+		s |= v << shift
+		shift += bits
+	}
+	put(uint64(c.Algo), algoBits)
+	if c.Scalar {
+		put(1, 1)
+	} else {
+		put(0, 1)
+	}
+	put(uint64(c.ThreadsLog2), threadsBits)
+	put(uint64(c.ZipfIdx), zipfBits)
+	put(uint64(c.Holes-1), holesBits)
+	put(uint64(c.BuildLog2), sizeBits)
+	put(uint64(c.BuildDelta+3), deltaBits)
+	put(uint64(c.ProbeLog2), sizeBits)
+	put(uint64(c.ProbeDelta+3), deltaBits)
+	put(uint64(c.Bits), radixBits)
+	put(c.DataSeed, dataBits)
+	put(c.SchedSeed, schedBits)
+	return s
+}
+
+// FromSeed unpacks a case from its seed. Out-of-range raw field values
+// (possible because algo counts and size caps are not powers of two)
+// are folded into range, so every uint64 decodes to a valid case.
+func FromSeed(seed uint64) Case {
+	shift := 0
+	get := func(bits int) uint64 {
+		v := seed >> shift & (1<<bits - 1)
+		shift += bits
+		return v
+	}
+	var c Case
+	c.Algo = int(get(algoBits))
+	c.Scalar = get(1) == 1
+	c.ThreadsLog2 = int(get(threadsBits))
+	c.ZipfIdx = int(get(zipfBits))
+	c.Holes = int(get(holesBits)) + 1
+	c.BuildLog2 = int(get(sizeBits))
+	c.BuildDelta = int(get(deltaBits)) - 3
+	c.ProbeLog2 = int(get(sizeBits))
+	c.ProbeDelta = int(get(deltaBits)) - 3
+	c.Bits = int(get(radixBits))
+	c.DataSeed = get(dataBits)
+	c.SchedSeed = get(schedBits)
+	return c.canon()
+}
+
+// AlgoName returns the algorithm the case exercises.
+func (c Case) AlgoName() string { return algorithmNames[c.canon().Algo] }
+
+// Threads returns the worker count.
+func (c Case) Threads() int { return 1 << c.ThreadsLog2 }
+
+// BuildSize returns |R| (at least 1).
+func (c Case) BuildSize() int {
+	return max(1, 1<<c.BuildLog2+c.BuildDelta)
+}
+
+// ProbeSize returns |S| (at least 0).
+func (c Case) ProbeSize() int {
+	return max(0, 1<<c.ProbeLog2+c.ProbeDelta)
+}
+
+// Zipf returns the probe skew factor.
+func (c Case) Zipf() float64 { return Zipfs[c.ZipfIdx] }
+
+func (c Case) String() string {
+	kernel := "batch"
+	if c.Scalar {
+		kernel = "scalar"
+	}
+	return fmt.Sprintf("%s %s |R|=%d |S|=%d zipf=%g holes=%d threads=%d bits=%d dataseed=%d schedseed=%d",
+		c.AlgoName(), kernel, c.BuildSize(), c.ProbeSize(), c.Zipf(), c.Holes,
+		c.Threads(), c.Bits, c.DataSeed, c.SchedSeed)
+}

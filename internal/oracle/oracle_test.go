@@ -1,0 +1,269 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mmjoin/internal/tuple"
+)
+
+func algoIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range algorithmNames {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("algorithm %q not in oracle list", name)
+	return -1
+}
+
+// TestSeedRoundTrip: the single-uint64 encoding is lossless over the
+// canonical case space — FromSeed(c.Seed()) == c.canon() and re-packing
+// a decoded seed is stable. This is the property the whole replay story
+// rests on.
+func TestSeedRoundTrip(t *testing.T) {
+	h := uint64(1)
+	for i := 0; i < 2000; i++ {
+		h = splitmix64(h)
+		c := Case{
+			Algo:        int(h % 31),
+			Scalar:      h>>5&1 == 1,
+			ThreadsLog2: int(h >> 6 % 7),
+			ZipfIdx:     int(h >> 9 % 5),
+			Holes:       int(h>>12%10) - 1,
+			BuildLog2:   int(h >> 16 % 40),
+			BuildDelta:  int(h>>21%9) - 4,
+			ProbeLog2:   int(h >> 25 % 40),
+			ProbeDelta:  int(h>>30%9) - 4,
+			Bits:        int(h >> 34 % 13),
+			DataSeed:    h >> 37 & 0xffff,
+			SchedSeed:   h >> 41 & 0x1ffff,
+		}
+		want := c.canon()
+		got := FromSeed(c.Seed())
+		if got != want {
+			t.Fatalf("round trip failed:\n  in    %+v\n  canon %+v\n  out   %+v", c, want, got)
+		}
+		if got.Seed() != c.Seed() {
+			t.Fatalf("re-pack unstable: %#x vs %#x", got.Seed(), c.Seed())
+		}
+	}
+	// Every raw uint64 decodes to a valid, re-packable case.
+	for i := 0; i < 500; i++ {
+		h = splitmix64(h)
+		c := FromSeed(h)
+		if c != c.canon() {
+			t.Fatalf("FromSeed(%#x) not canonical: %+v", h, c)
+		}
+		if FromSeed(c.Seed()) != c {
+			t.Fatalf("decoded case does not round trip: %+v", c)
+		}
+	}
+}
+
+// TestCaseForDeterministic: the sweep derives identical cases from
+// identical configuration — a sweep is replayable from its base seed.
+func TestCaseForDeterministic(t *testing.T) {
+	cfg := SweepConfig{BaseSeed: 12345}
+	for ai := 0; ai < len(algorithmNames); ai++ {
+		for i := 0; i < 4; i++ {
+			a := caseFor(cfg, ai, i)
+			b := caseFor(cfg, ai, i)
+			if a != b {
+				t.Fatalf("caseFor(%d,%d) unstable: %+v vs %+v", ai, i, a, b)
+			}
+			if a.Threads()&(a.Threads()-1) != 0 {
+				t.Fatalf("caseFor produced non-power-of-two threads: %+v", a)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic: the same case executes the same schedule — the
+// per-worker task breakdown, not just the answer, is identical across
+// repeated runs. This is the deterministic-replay property itself.
+func TestRunDeterministic(t *testing.T) {
+	c := Case{
+		Algo: algoIndex(t, "PRO"), ThreadsLog2: 2, BuildLog2: 9, ProbeLog2: 11,
+		ZipfIdx: 2, Holes: 3, DataSeed: 77, SchedSeed: 1234,
+	}.canon()
+	w, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := runOne(context.Background(), c, w, c.Scalar, FaultNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOne(context.Background(), c, w, c.Scalar, FaultNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.res.Checksum != b.res.Checksum || a.res.Matches != b.res.Matches {
+		t.Fatalf("replay changed the answer: %#x/%d vs %#x/%d",
+			a.res.Checksum, a.res.Matches, b.res.Checksum, b.res.Matches)
+	}
+	pa, pb := a.res.Exec.Phases, b.res.Exec.Phases
+	if len(pa) != len(pb) {
+		t.Fatalf("replay changed phase count: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].Tasks != pb[i].Tasks {
+			t.Fatalf("phase %q tasks differ across replays: %d vs %d", pa[i].Name, pa[i].Tasks, pb[i].Tasks)
+		}
+		for wkr := range pa[i].TasksPerWorker {
+			if pa[i].TasksPerWorker[wkr] != pb[i].TasksPerWorker[wkr] {
+				t.Fatalf("phase %q worker %d task count differs across replays: %d vs %d",
+					pa[i].Name, wkr, pa[i].TasksPerWorker[wkr], pb[i].TasksPerWorker[wkr])
+			}
+		}
+	}
+}
+
+// TestSweepAllAlgorithmsClean is the in-tree slice of the acceptance
+// run: every algorithm, several seeded schedules, both kernel flavors,
+// zero divergences.
+func TestSweepAllAlgorithmsClean(t *testing.T) {
+	failures, err := Sweep(context.Background(), SweepConfig{
+		Schedules: 3,
+		BuildLog2: 8,
+		ProbeLog2: 10,
+		BaseSeed:  2016,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("divergence in %s:", f.Case)
+		for _, d := range f.Divergences {
+			t.Errorf("  %s", d)
+		}
+	}
+}
+
+// TestFaultsCaught: every injected fault is detected by the matching
+// check, survives shrinking, and the shrunken case replays from its
+// packed seed alone — the full catch → shrink → replay loop.
+func TestFaultsCaught(t *testing.T) {
+	base := Case{
+		Algo: algoIndex(t, "NOP"), ThreadsLog2: 1, BuildLog2: 7, ProbeLog2: 9,
+		Holes: 2, DataSeed: 9, SchedSeed: 42,
+	}.canon()
+	ctx := context.Background()
+	for _, tc := range []struct {
+		fault Fault
+		check string
+	}{
+		{FaultFlipPayload, "pairs"},
+		{FaultDropMatch, "matches"},
+		{FaultExtraSpan, "spans"},
+		{FaultLeakBuffer, "arena"},
+		{FaultDoubleFree, "arena"},
+	} {
+		t.Run(tc.fault.String(), func(t *testing.T) {
+			divs, err := RunCase(ctx, base, tc.fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasCheck(divs, tc.check) {
+				t.Fatalf("fault %s not flagged as %q; divergences: %v", tc.fault, tc.check, divs)
+			}
+			shrunk, _ := Shrink(ctx, base, tc.fault, 32)
+			divs, err = RunCase(ctx, shrunk, tc.fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasCheck(divs, tc.check) {
+				t.Fatalf("shrunk case %s no longer diverges on %q", shrunk, tc.check)
+			}
+			// Replay from nothing but the packed seed.
+			replayed := FromSeed(shrunk.Seed())
+			divs, err = RunCase(ctx, replayed, tc.fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasCheck(divs, tc.check) {
+				t.Fatalf("replay of %#x lost the divergence", shrunk.Seed())
+			}
+			if shrunk.BuildSize() > base.BuildSize() || shrunk.ProbeSize() > base.ProbeSize() {
+				t.Fatalf("shrink grew the case: %s -> %s", base, shrunk)
+			}
+		})
+	}
+}
+
+// TestCleanCaseHasNoDivergence guards the fault tests' power: the same
+// base case with no fault injected must pass every check.
+func TestCleanCaseHasNoDivergence(t *testing.T) {
+	base := Case{
+		Algo: algoIndex(t, "NOP"), ThreadsLog2: 1, BuildLog2: 7, ProbeLog2: 9,
+		Holes: 2, DataSeed: 9, SchedSeed: 42,
+	}
+	divs, err := RunCase(context.Background(), base, FaultNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("clean case diverged: %v", divs)
+	}
+}
+
+// TestReferenceJoin pins the reference model on a hand-checked input.
+func TestReferenceJoin(t *testing.T) {
+	ref := referenceJoin(
+		tupleRel(1, 10, 2, 20, 2, 21),
+		tupleRel(2, 100, 1, 101, 3, 102, 2, 103),
+	)
+	// Key 2 matches payloads {20,21} x probes {100,103}, key 1 matches
+	// 10 x 101: five pairs total.
+	if ref.Matches != 5 {
+		t.Fatalf("matches = %d, want 5", ref.Matches)
+	}
+	want := []uint64{
+		10<<32 | 101,
+		20<<32 | 100, 20<<32 | 103,
+		21<<32 | 100, 21<<32 | 103,
+	}
+	if len(ref.Pairs) != len(want) {
+		t.Fatalf("pairs = %v", ref.Pairs)
+	}
+	var sum uint64
+	for i, p := range want {
+		sum += p
+		if ref.Pairs[i] != p {
+			t.Fatalf("pair %d = %#x, want %#x", i, ref.Pairs[i], p)
+		}
+	}
+	if ref.Checksum != sum {
+		t.Fatalf("checksum = %#x, want %#x", ref.Checksum, sum)
+	}
+	if d := diffPairs(ref.Pairs, want); d != "" {
+		t.Fatalf("diffPairs on equal inputs: %s", d)
+	}
+	if d := diffPairs(ref.Pairs[:4], want); !strings.Contains(d, "missing pair") {
+		t.Fatalf("truncated pairs not flagged missing: %q", d)
+	}
+	if d := diffPairs(append(append([]uint64{}, ref.Pairs...), 999<<32), want); !strings.Contains(d, "spurious pair") {
+		t.Fatalf("extra pair not flagged spurious: %q", d)
+	}
+}
+
+// tupleRel builds a relation from interleaved key, payload literals.
+func tupleRel(kv ...uint32) tuple.Relation {
+	rel := make(tuple.Relation, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		rel = append(rel, tuple.Tuple{Key: tuple.Key(kv[i]), Payload: tuple.Payload(kv[i+1])})
+	}
+	return rel
+}
+
+func hasCheck(divs []Divergence, check string) bool {
+	for _, d := range divs {
+		if d.Check == check {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"mmjoin/internal/tuple"
+)
+
+// RefResult is the reference model's answer: the match count, the
+// order-independent checksum every algorithm must reproduce, and the
+// sorted multiset of emitted payload pairs.
+type RefResult struct {
+	Matches  int64
+	Checksum uint64
+	// Pairs holds each match packed as BuildPayload<<32 | ProbePayload,
+	// sorted, so multiset comparison is a linear walk.
+	Pairs []uint64
+}
+
+// referenceJoin is the naïve, obviously-correct model: a Go map from
+// key to build payloads, probed tuple at a time, emitting every match.
+// It deliberately shares nothing with the algorithms under test — no
+// exec pool, no hash tables, no batch kernels — so a bug in those
+// layers cannot cancel out of the comparison. (join.Reference exists
+// too, but runs through the execution layer the oracle is auditing.)
+func referenceJoin(build, probe tuple.Relation) *RefResult {
+	byKey := make(map[tuple.Key][]tuple.Payload, len(build))
+	for _, t := range build {
+		byKey[t.Key] = append(byKey[t.Key], t.Payload)
+	}
+	res := &RefResult{}
+	for _, t := range probe {
+		for _, bp := range byKey[t.Key] {
+			res.Matches++
+			packed := uint64(bp)<<32 | uint64(t.Payload)
+			res.Checksum += packed
+			res.Pairs = append(res.Pairs, packed)
+		}
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i] < res.Pairs[j] })
+	return res
+}
+
+// packPairs converts a materialized result into the reference's sorted
+// packed representation for multiset comparison.
+func packPairs(pairs []tuple.Pair) []uint64 {
+	out := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		out[i] = uint64(p.BuildPayload)<<32 | uint64(p.ProbePayload)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// diffPairs returns a human-readable summary of the first multiset
+// difference between got and want (both sorted), or "" when equal.
+func diffPairs(got, want []uint64) string {
+	i, j := 0, 0
+	for i < len(got) && j < len(want) {
+		switch {
+		case got[i] == want[j]:
+			i++
+			j++
+		case got[i] < want[j]:
+			return pairDiff("spurious pair", got[i])
+		default:
+			return pairDiff("missing pair", want[j])
+		}
+	}
+	if i < len(got) {
+		return pairDiff("spurious pair", got[i])
+	}
+	if j < len(want) {
+		return pairDiff("missing pair", want[j])
+	}
+	return ""
+}
+
+func pairDiff(kind string, packed uint64) string {
+	return fmt.Sprintf("%s (build=%d, probe=%d)", kind, uint32(packed>>32), uint32(packed))
+}

@@ -1,0 +1,274 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+	"mmjoin/internal/join"
+	"mmjoin/internal/trace"
+)
+
+// Divergence is one failed cross-check.
+type Divergence struct {
+	// Check names the failed invariant: "matches", "checksum", "pairs",
+	// "bytes", "phases", "spans", "metrics" or "arena".
+	Check string
+	// Detail is a human-readable account of the mismatch.
+	Detail string
+}
+
+func (d Divergence) String() string { return d.Check + ": " + d.Detail }
+
+// Fault selects an injected bug for validating that the oracle's checks
+// actually fire (and that shrinking and replay work end to end).
+type Fault int
+
+const (
+	// FaultNone runs the stack as-is.
+	FaultNone Fault = iota
+	// FaultFlipPayload corrupts one emitted pair's build payload.
+	FaultFlipPayload
+	// FaultDropMatch removes the last match from the result.
+	FaultDropMatch
+	// FaultExtraSpan records an unpaired span on the trace.
+	FaultExtraSpan
+	// FaultLeakBuffer takes an arena buffer and never returns it.
+	FaultLeakBuffer
+	// FaultDoubleFree returns an arena buffer twice.
+	FaultDoubleFree
+)
+
+var faultNames = map[Fault]string{
+	FaultNone:        "none",
+	FaultFlipPayload: "flip-payload",
+	FaultDropMatch:   "drop-match",
+	FaultExtraSpan:   "extra-span",
+	FaultLeakBuffer:  "leak-buffer",
+	FaultDoubleFree:  "double-free",
+}
+
+func (f Fault) String() string {
+	if s, ok := faultNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ParseFault resolves a fault name from the joinoracle -inject flag.
+func ParseFault(s string) (Fault, error) {
+	for f, name := range faultNames {
+		if name == s {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("oracle: unknown fault %q (want one of none, flip-payload, drop-match, extra-span, leak-buffer, double-free)", s)
+}
+
+// runArtifacts is everything one instrumented execution leaves behind.
+type runArtifacts struct {
+	scalar bool
+	res    *join.Result
+	tracer *trace.Tracer
+	arena  *exec.Arena
+}
+
+// Generate builds the case's workload. Exported so replay tooling can
+// show the exact inputs of a failing case.
+func (c Case) Generate() (*datagen.Workload, error) {
+	return datagen.Generate(datagen.Config{
+		BuildSize:  c.BuildSize(),
+		ProbeSize:  c.ProbeSize(),
+		Zipf:       c.Zipf(),
+		HoleFactor: c.Holes,
+		Seed:       c.DataSeed,
+	})
+}
+
+// runOne executes the case's algorithm in one kernel flavor under the
+// seeded deterministic schedule, with a private arena and tracer, and
+// applies the requested fault to the artifacts afterwards (simulating a
+// bug in the stack under audit).
+func runOne(ctx context.Context, c Case, w *datagen.Workload, scalar bool, inject Fault) (*runArtifacts, error) {
+	algo, err := join.NewAny(c.AlgoName())
+	if err != nil {
+		return nil, err
+	}
+	art := &runArtifacts{
+		scalar: scalar,
+		tracer: trace.New(),
+		arena:  exec.NewArena(),
+	}
+	opts := &join.Options{
+		Threads:       c.Threads(),
+		RadixBits:     uint(c.Bits),
+		Domain:        w.Domain,
+		Materialize:   true,
+		ScalarKernels: scalar,
+		Schedule:      exec.NewSeededSchedule(c.SchedSeed),
+		Arena:         art.arena,
+		Tracer:        art.tracer,
+	}
+	art.res, err = algo.RunContext(ctx, w.Build, w.Probe, opts)
+	if err != nil {
+		return nil, err
+	}
+	injectFault(art, inject)
+	return art, nil
+}
+
+// injectFault perturbs the artifacts the way a real bug in the
+// corresponding layer would.
+func injectFault(art *runArtifacts, f Fault) {
+	switch f {
+	case FaultFlipPayload:
+		if len(art.res.Pairs) > 0 {
+			art.res.Pairs[0].BuildPayload ^= 1
+		} else {
+			art.res.Checksum ^= 1 << 32
+		}
+	case FaultDropMatch:
+		if art.res.Matches > 0 {
+			art.res.Matches--
+		}
+		if n := len(art.res.Pairs); n > 0 {
+			p := art.res.Pairs[n-1]
+			art.res.Checksum -= uint64(p.BuildPayload)<<32 | uint64(p.ProbePayload)
+			art.res.Pairs = art.res.Pairs[:n-1]
+		}
+	case FaultExtraSpan:
+		pid := art.tracer.NewProcess("injected-fault")
+		sh := art.tracer.NewShard(pid, 0, "rogue")
+		sp := sh.Begin("rogue", -1)
+		sp.End()
+	case FaultLeakBuffer:
+		_ = art.arena.Tuples(1 << 10)
+	case FaultDoubleFree:
+		buf := art.arena.Tuples(1 << 10)
+		art.arena.PutTuples(buf)
+		art.arena.PutTuples(buf)
+	}
+}
+
+// checkRun cross-checks one execution against the reference model and
+// the infrastructure invariants.
+func checkRun(art *runArtifacts, ref *RefResult) []Divergence {
+	var divs []Divergence
+	flavor := "batch"
+	if art.scalar {
+		flavor = "scalar"
+	}
+	res := art.res
+	if res.Matches != ref.Matches {
+		divs = append(divs, Divergence{"matches",
+			fmt.Sprintf("%s: %d matches, reference %d", flavor, res.Matches, ref.Matches)})
+	}
+	if res.Checksum != ref.Checksum {
+		divs = append(divs, Divergence{"checksum",
+			fmt.Sprintf("%s: %#x, reference %#x", flavor, res.Checksum, ref.Checksum)})
+	}
+	if d := diffPairs(packPairs(res.Pairs), ref.Pairs); d != "" {
+		divs = append(divs, Divergence{"pairs", flavor + ": " + d})
+	}
+
+	// Trace span balance: every executed task recorded exactly one span
+	// on a worker track, every phase exactly one driver span, and every
+	// phase's latency histogram observed exactly its task count. A span
+	// opened but never closed is invisible in Spans(), so an unbalanced
+	// Begin shows up here as a count deficit.
+	if res.Exec != nil {
+		totalTasks := 0
+		for _, ph := range res.Exec.Phases {
+			totalTasks += ph.Tasks
+			if ph.Metrics == nil {
+				divs = append(divs, Divergence{"metrics",
+					fmt.Sprintf("%s: phase %q has no metrics despite tracing", flavor, ph.Name)})
+				continue
+			}
+			if got := ph.Metrics.TaskLatency.Count(); got != int64(ph.Tasks) {
+				divs = append(divs, Divergence{"metrics",
+					fmt.Sprintf("%s: phase %q latency histogram counted %d tasks, stats say %d",
+						flavor, ph.Name, got, ph.Tasks)})
+			}
+		}
+		want := totalTasks + len(res.Exec.Phases)
+		if got := len(art.tracer.Spans()); got != want {
+			divs = append(divs, Divergence{"spans",
+				fmt.Sprintf("%s: %d spans recorded, want %d (%d tasks + %d phase spans) — a Begin without End or a rogue span",
+					flavor, got, want, totalTasks, len(res.Exec.Phases))})
+		}
+	}
+
+	// Arena balance: the private arena must have every buffer returned.
+	if out := art.arena.Outstanding(); out > 0 {
+		divs = append(divs, Divergence{"arena",
+			fmt.Sprintf("%s: %d arena buffers leaked", flavor, out)})
+	} else if out < 0 {
+		divs = append(divs, Divergence{"arena",
+			fmt.Sprintf("%s: arena balance %d — a buffer was released twice", flavor, out)})
+	}
+	return divs
+}
+
+// compareAccounting requires the batch and scalar executions to charge
+// identical per-phase byte totals — the accounting contract of the
+// batch kernels (they model the same memory traffic as the scalar
+// loops, batched).
+func compareAccounting(a, b *runArtifacts) []Divergence {
+	pa, pb := a.res.Exec.Phases, b.res.Exec.Phases
+	if len(pa) != len(pb) {
+		return []Divergence{{"phases",
+			fmt.Sprintf("batch ran %d phases, scalar %d", len(pa), len(pb))}}
+	}
+	var divs []Divergence
+	for i := range pa {
+		if pa[i].Name != pb[i].Name {
+			divs = append(divs, Divergence{"phases",
+				fmt.Sprintf("phase %d: batch %q vs scalar %q", i, pa[i].Name, pb[i].Name)})
+			continue
+		}
+		if pa[i].Bytes != pb[i].Bytes {
+			divs = append(divs, Divergence{"bytes",
+				fmt.Sprintf("phase %q: batch charged %d bytes, scalar %d", pa[i].Name, pa[i].Bytes, pb[i].Bytes)})
+		}
+	}
+	return divs
+}
+
+// RunCase executes the full differential check for one case: the
+// primary kernel flavor (c.Scalar) and its counterpart both run under
+// the case's deterministic schedule, both are checked against the
+// reference model and the infrastructure invariants, and their
+// per-phase byte accounting is compared. The fault, if any, is injected
+// into the primary run only.
+func RunCase(ctx context.Context, c Case, inject Fault) ([]Divergence, error) {
+	c = c.canon()
+	if ctx == nil {
+		//mmjoin:allow(ctxflow) nil means the caller opted out of cancellation, as in exec.NewPool
+		ctx = context.Background()
+	}
+	w, err := c.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("oracle: generate %s: %w", c, err)
+	}
+	ref := referenceJoin(w.Build, w.Probe)
+
+	primary, err := runOne(ctx, c, w, c.Scalar, inject)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s: %w", c, err)
+	}
+	counterpart, err := runOne(ctx, c, w, !c.Scalar, FaultNone)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s (counterpart): %w", c, err)
+	}
+
+	divs := checkRun(primary, ref)
+	divs = append(divs, checkRun(counterpart, ref)...)
+	batch, scalar := primary, counterpart
+	if batch.scalar {
+		batch, scalar = counterpart, primary
+	}
+	divs = append(divs, compareAccounting(batch, scalar)...)
+	return divs, nil
+}

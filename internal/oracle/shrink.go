@@ -1,0 +1,108 @@
+package oracle
+
+import "context"
+
+// shrinkMoves enumerates candidate reductions of a failing case, most
+// aggressive first. Every move strictly decreases the case along some
+// axis and never increases another, so greedy shrinking terminates.
+func shrinkMoves(c Case) []Case {
+	var out []Case
+	add := func(m Case) { out = append(out, m.canon()) }
+	if c.BuildLog2 > 0 {
+		m := c
+		m.BuildLog2 = c.BuildLog2 / 2
+		add(m)
+		m = c
+		m.BuildLog2 = c.BuildLog2 - 1
+		add(m)
+	}
+	if c.ProbeLog2 > 0 {
+		m := c
+		m.ProbeLog2 = c.ProbeLog2 / 2
+		add(m)
+		m = c
+		m.ProbeLog2 = c.ProbeLog2 - 1
+		add(m)
+	}
+	if c.BuildDelta != 0 {
+		m := c
+		m.BuildDelta = 0
+		add(m)
+	}
+	if c.ProbeDelta != 0 {
+		m := c
+		m.ProbeDelta = 0
+		add(m)
+	}
+	if c.ZipfIdx != 0 {
+		m := c
+		m.ZipfIdx = 0
+		add(m)
+	}
+	if c.Holes != 1 {
+		m := c
+		m.Holes = 1
+		add(m)
+	}
+	if c.ThreadsLog2 > 0 {
+		m := c
+		m.ThreadsLog2 = 0
+		add(m)
+		m = c
+		m.ThreadsLog2 = c.ThreadsLog2 - 1
+		add(m)
+	}
+	if c.Bits != 0 {
+		m := c
+		m.Bits = 0
+		add(m)
+	}
+	if c.SchedSeed != 0 {
+		m := c
+		m.SchedSeed = 0
+		add(m)
+	}
+	if c.DataSeed != 0 {
+		m := c
+		m.DataSeed = 0
+		add(m)
+	}
+	return out
+}
+
+// Shrink reduces a diverging case to a (locally) minimal one that still
+// diverges, re-running the oracle on each candidate — classic greedy
+// delta debugging over the case's encoded fields, bounded by maxEvals
+// oracle executions. The fault is re-injected on every candidate so
+// injected bugs shrink the same way organic ones do. Returns the
+// smallest still-failing case found and the number of evaluations
+// spent. Shrinking is deterministic: the same input case always walks
+// the same path.
+func Shrink(ctx context.Context, c Case, inject Fault, maxEvals int) (Case, int) {
+	c = c.canon()
+	evals := 0
+	fails := func(m Case) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		divs, err := RunCase(ctx, m, inject)
+		// A candidate that errors outright (e.g. cancelled context) is
+		// not a simplification of the original divergence.
+		return err == nil && len(divs) > 0
+	}
+	for evals < maxEvals {
+		reduced := false
+		for _, m := range shrinkMoves(c) {
+			if fails(m) {
+				c = m
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+	return c, evals
+}

@@ -62,3 +62,72 @@ func TestBatchCursor(t *testing.T) {
 		t.Fatalf("after Reset: first batch has %d lanes, want 3", n)
 	}
 }
+
+// TestBatchCursorEmptyRefill pins the refill behavior around empty
+// fragments and zero-tuple partitions — the boundary cases the join
+// fuzz dimensions do not reach directly (a zero-tuple partition never
+// becomes a join task; the cursor must still handle it when fragments
+// empty out mid-partition).
+func TestBatchCursorEmptyRefill(t *testing.T) {
+	keys := make([]tuple.Key, hashtable.BatchSize)
+	payloads := make([]tuple.Payload, hashtable.BatchSize)
+
+	var c BatchCursor
+	// Zero-value cursor and nil fragment list: exhausted immediately,
+	// and repeatably so.
+	for i := 0; i < 3; i++ {
+		if n := c.Next(keys, payloads, 0); n != 0 {
+			t.Fatalf("zero-value cursor returned %d lanes", n)
+		}
+	}
+	c.Reset(nil)
+	if n := c.Next(keys, payloads, 0); n != 0 {
+		t.Fatal("nil fragment list yielded lanes")
+	}
+
+	// A zero-tuple partition: every fragment empty.
+	c.Reset([]tuple.Relation{{}, {}, {}})
+	for i := 0; i < 2; i++ {
+		if n := c.Next(keys, payloads, 0); n != 0 {
+			t.Fatalf("all-empty fragments yielded %d lanes", n)
+		}
+	}
+
+	// Leading, interior and trailing empty fragments around a single
+	// tuple: the refill must skip them all and terminate.
+	one := tuple.Relation{{Key: 42, Payload: 7}}
+	c.Reset([]tuple.Relation{{}, {}, one, {}, {}})
+	if n := c.Next(keys, payloads, 0); n != 1 || keys[0] != 42 || payloads[0] != 7 {
+		t.Fatalf("got n=%d keys[0]=%d payloads[0]=%d, want 1 lane (42, 7)", n, keys[0], payloads[0])
+	}
+	if n := c.Next(keys, payloads, 0); n != 0 {
+		t.Fatal("cursor not exhausted after trailing empty fragments")
+	}
+
+	// A fragment of exactly BatchSize followed by empties: one full
+	// batch, then clean exhaustion (the refill loop must not stall on
+	// the empty tail while the batch is already full).
+	exact := make(tuple.Relation, hashtable.BatchSize)
+	for i := range exact {
+		exact[i] = tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i)}
+	}
+	c.Reset([]tuple.Relation{exact, {}, {}})
+	if n := c.Next(keys, payloads, 0); n != hashtable.BatchSize {
+		t.Fatalf("exact-size fragment: got %d lanes, want %d", n, hashtable.BatchSize)
+	}
+	if n := c.Next(keys, payloads, 0); n != 0 {
+		t.Fatal("cursor not exhausted after exact-size fragment")
+	}
+
+	// Reset after mid-fragment exhaustion must fully rewind (stale
+	// fi/off would drop or duplicate tuples on cursor reuse across
+	// partitions).
+	c.Reset([]tuple.Relation{one})
+	if n := c.Next(keys, payloads, 0); n != 1 {
+		t.Fatal("first pass lost the tuple")
+	}
+	c.Reset([]tuple.Relation{{}, one})
+	if n := c.Next(keys, payloads, 0); n != 1 || keys[0] != 42 {
+		t.Fatalf("reused cursor: got n=%d keys[0]=%d, want the rewound tuple", n, keys[0])
+	}
+}
