@@ -20,13 +20,14 @@ import (
 
 func main() {
 	var (
-		build   = flag.Int("build", 1_000_000, "|R|: number of build tuples")
-		probe   = flag.Int("probe", 10_000_000, "|S|: number of probe tuples")
-		zipf    = flag.Float64("zipf", 0, "probe-side Zipf skew factor in [0,1)")
-		holes   = flag.Int("holes", 0, "domain factor k: keys drawn from [0, k*|R|)")
-		seed    = flag.Uint64("seed", 42, "generator seed")
-		out     = flag.String("o", "", "output file (required unless -inspect)")
-		inspect = flag.String("inspect", "", "print the header of an existing workload file")
+		build    = flag.Int("build", 1_000_000, "|R|: number of build tuples")
+		probe    = flag.Int("probe", 10_000_000, "|S|: number of probe tuples")
+		zipf     = flag.Float64("zipf", 0, "probe-side Zipf skew factor in [0,1)")
+		holes    = flag.Int("holes", 0, "domain factor k: keys drawn from [0, k*|R|)")
+		nullfrac = flag.Float64("nullfrac", 0, "fraction of NULL join keys per side in [0,1]")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		out      = flag.String("o", "", "output file (required unless -inspect)")
+		inspect  = flag.String("inspect", "", "print the header of an existing workload file")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		ProbeSize:  *probe,
 		Zipf:       *zipf,
 		HoleFactor: *holes,
+		NullFrac:   *nullfrac,
 		Seed:       *seed,
 	})
 	if err != nil {

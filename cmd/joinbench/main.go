@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mmjoin/internal/bench"
+	"mmjoin/internal/join"
 	"mmjoin/internal/oracle"
 	"mmjoin/internal/trace"
 )
@@ -45,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Uint64("seed", 0, "workload seed (0 = default)")
 		quick   = fs.Bool("quick", false, "trim sweeps for a fast pass")
 		repeat  = fs.Int("repeat", 1, "repeat measured joins, report the fastest")
+		kindStr = fs.String("kind", "inner", "join kind for measured runs: inner, left-outer, right-outer, full-outer, left-semi, left-anti")
+		nullFr  = fs.Float64("nullfrac", 0, "fraction of keys on each side replaced by the NULL sentinel (turns on nullable-key handling)")
 		format  = fs.String("format", "text", "output format: text or markdown")
 		asJSON  = fs.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
 		out     = fs.String("o", "", "write reports to a file instead of stdout")
@@ -128,7 +131,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat}
+	kind, err := join.ParseKind(*kindStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "joinbench:", err)
+		return 2
+	}
+	if *nullFr < 0 || *nullFr > 1 {
+		fmt.Fprintf(stderr, "joinbench: -nullfrac %g outside [0,1]\n", *nullFr)
+		return 2
+	}
+	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat,
+		Kind: kind, NullFrac: *nullFr}
 	// Output destinations are validated before any experiment runs: an
 	// unwritable -trace or -o path must be a prompt usage error, not a
 	// silently dropped artifact discovered after the measurement.

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	joinoracle [-algos PRO,NOP] [-schedules 32] [-build 20] [-probe 22]
+//	joinoracle [-algos PRO,NOP] [-kinds all] [-nullfracs 0,0.1]
+//	           [-schedules 32] [-build 20] [-probe 22]
 //	           [-seed 1] [-inject fault] [-shrink 64] [-timeout 10m]
 //	joinoracle -replay 0xSEED [-inject fault]
 package main
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mmjoin/internal/join"
 	"mmjoin/internal/oracle"
 )
 
@@ -33,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		replay    = fs.String("replay", "", "replay one packed case seed (hex or decimal) instead of sweeping")
 		algos     = fs.String("algos", "", "comma-separated algorithms to sweep (default: all)")
+		kinds     = fs.String("kinds", "inner", "comma-separated join kinds to sweep, or \"all\" (inner, left-outer, right-outer, full-outer, left-semi, left-anti)")
+		nullfracs = fs.String("nullfracs", "0", "comma-separated NULL-key densities to sweep, each one of 0, 0.1, 0.25, 0.5")
 		schedules = fs.Int("schedules", 8, "seeded schedules per algorithm (each runs batch and scalar)")
 		buildLog2 = fs.Int("build", 12, "log2 of the build relation size")
 		probeLog2 = fs.Int("probe", 14, "log2 of the probe relation size")
@@ -61,7 +65,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runReplay(ctx, *replay, fault, stdout, stderr)
 	}
 
+	sweepKinds, err := parseKinds(*kinds)
+	if err != nil {
+		fmt.Fprintln(stderr, "joinoracle:", err)
+		return 2
+	}
+	nullIdxs, err := parseNullFracs(*nullfracs)
+	if err != nil {
+		fmt.Fprintln(stderr, "joinoracle:", err)
+		return 2
+	}
+
 	cfg := oracle.SweepConfig{
+		Kinds:          sweepKinds,
+		NullFracIdxs:   nullIdxs,
 		Schedules:      *schedules,
 		BuildLog2:      *buildLog2,
 		ProbeLog2:      *probeLog2,
@@ -93,8 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if names == nil {
 			names = oracle.AlgorithmNames()
 		}
-		fmt.Fprintf(stdout, "joinoracle: OK — %d algorithms x %d schedules x {batch, scalar} at |R|=2^%d, zero divergences\n",
-			len(names), *schedules, *buildLog2)
+		fmt.Fprintf(stdout, "joinoracle: OK — %d algorithms x %d kinds x %d null densities x %d schedules x {batch, scalar} at |R|=2^%d, zero divergences\n",
+			len(names), len(sweepKinds), len(nullIdxs), *schedules, *buildLog2)
 		return 0
 	}
 	for _, f := range failures {
@@ -111,6 +128,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "joinoracle: %d divergent case(s)\n", len(failures))
 	return 1
+}
+
+// parseKinds resolves the -kinds flag into the sweep's kind list.
+func parseKinds(s string) ([]join.Kind, error) {
+	if strings.TrimSpace(s) == "all" {
+		return join.Kinds(), nil
+	}
+	var out []join.Kind
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		k, err := join.ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if out == nil {
+		out = []join.Kind{join.Inner}
+	}
+	return out, nil
+}
+
+// parseNullFracs resolves the -nullfracs flag into NullFracs indices.
+func parseNullFracs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -nullfracs value %q: %v", part, err)
+		}
+		idx := -1
+		for i, nf := range oracle.NullFracs {
+			if nf == f {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("-nullfracs value %g is not an encodable density %v", f, oracle.NullFracs)
+		}
+		out = append(out, idx)
+	}
+	if out == nil {
+		out = []int{0}
+	}
+	return out, nil
 }
 
 func runReplay(ctx context.Context, arg string, fault oracle.Fault, stdout, stderr io.Writer) int {

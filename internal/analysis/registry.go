@@ -19,11 +19,13 @@ import (
 //   - at least one bench experiment table (every algorithm is
 //     measured somewhere), and
 //   - the differential-oracle coverage list (every algorithm runs
-//     under the seeded-schedule oracle — DESIGN.md §11).
+//     under the seeded-schedule oracle — DESIGN.md §11), and
+//   - the join-kind coverage table (every algorithm supports all six
+//     join kinds and the null-key contract — DESIGN.md §12).
 //
 // The tables self-identify with a //mmjoin:registry-table <kind>
 // comment on the line before the declaration or statement; kind is one
-// of cancel, fuzz, bench, oracle. Inside a marked node the analyzer collects
+// of cancel, fuzz, bench, oracle, kinds. Inside a marked node the analyzer collects
 // string-literal algorithm names (map keys, slice elements, append
 // arguments) and treats a call to Names() as "all Table 2
 // registrations". The reverse direction is checked too: a string in a
@@ -35,13 +37,13 @@ import (
 // reports the missing tables).
 var Registry = &Analyzer{
 	Name:       "registry",
-	Doc:        "every registered join algorithm appears in the cancel, fuzz, bench and oracle tables",
+	Doc:        "every registered join algorithm appears in the cancel, fuzz, bench, oracle and kinds tables",
 	RunProgram: runRegistry,
 }
 
 // registryTableKinds are the coverage tables every algorithm must
 // appear in.
-var registryTableKinds = []string{"cancel", "fuzz", "bench", "oracle"}
+var registryTableKinds = []string{"cancel", "fuzz", "bench", "oracle", "kinds"}
 
 type registration struct {
 	name string
@@ -146,6 +148,8 @@ func kindCoverage(kind string) string {
 		return "fuzz-equivalence"
 	case "oracle":
 		return "differential-oracle"
+	case "kinds":
+		return "join-kind"
 	default:
 		return "benchmark"
 	}

@@ -1,6 +1,6 @@
 // Package registry is the golden-test fixture for the registry
 // analyzer: a miniature algorithm registry with coverage tables of
-// all four kinds, one duplicate registration, one ablation missing
+// all five kinds, one duplicate registration, one ablation missing
 // from the fuzz list, one typo'd table entry and one unknown table
 // kind.
 package registry
@@ -53,6 +53,12 @@ var benchAlgos = []string{"AAA", "BBB", "CCC", "XXX"} // want "not a registered 
 //mmjoin:registry-table oracle
 var oracleAlgos = append(Names(), "CCC")
 
+// kindAlgos is the join-kind coverage table: every algorithm must
+// support all six join kinds, ablations included.
+//
+//mmjoin:registry-table kinds
+var kindAlgos = append(Names(), "CCC")
+
 // cacheAlgos carries a bogus table kind.
 //
 //mmjoin:registry-table cache
@@ -61,5 +67,6 @@ var cacheAlgos = []string{"AAA"} // want "unknown registry-table kind"
 var _ = cancelPhases
 var _ = benchAlgos
 var _ = oracleAlgos
+var _ = kindAlgos
 var _ = cacheAlgos
 var _ = fuzzNames

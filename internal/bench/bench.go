@@ -37,6 +37,13 @@ type Config struct {
 	Seed uint64
 	// Quick trims sweeps to a few points for smoke tests.
 	Quick bool
+	// Kind selects the join variant for measured runs (default inner).
+	// Experiments that sweep kinds themselves (seljoin) ignore it.
+	Kind join.Kind
+	// NullFrac replaces this fraction of keys on both sides with the
+	// NULL sentinel and turns on Options.NullableKeys for every measured
+	// run. 0 keeps the paper's all-valid setup.
+	NullFrac float64
 	// Repeat re-runs each measured join this many times and keeps the
 	// fastest (single-run variance on a shared host is substantial);
 	// 0 means 1.
@@ -211,7 +218,8 @@ func experimentOrder(id string) int {
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19", "tab3", "tab4",
-		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder", "ablbatch"}
+		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder", "ablbatch",
+		"seljoin"}
 	for i, v := range order {
 		if v == id {
 			return i
@@ -245,6 +253,7 @@ func generate(c Config, buildTuples, probeTuples int, zipf float64, holes int) (
 		ProbeSize:  probeTuples,
 		Zipf:       zipf,
 		HoleFactor: holes,
+		NullFrac:   c.NullFrac,
 		Seed:       c.Seed,
 	})
 }
@@ -264,6 +273,12 @@ func runJoinRepeat(c Config, name string, w *datagen.Workload, opts join.Options
 	}
 	opts.Domain = w.Domain
 	opts.Tracer = c.Tracer
+	if opts.Kind == join.Inner {
+		opts.Kind = c.Kind
+	}
+	if c.NullFrac > 0 {
+		opts.NullableKeys = true
+	}
 	var best *join.Result
 	for i := 0; i < max(repeat, 1); i++ {
 		runtime.GC()

@@ -54,6 +54,11 @@ type Config struct {
 	// HoleFactor k spreads the |R| unique keys over a domain of size
 	// k*|R| (Appendix C). 0 or 1 means a dense domain.
 	HoleFactor int
+	// NullFrac is the fraction of tuples on each side whose key is
+	// replaced by tuple.NullKey after generation. NULL keys never join
+	// (not even with each other), so they only produce output through
+	// the outer/anti join variants. 0 keeps the paper's all-valid setup.
+	NullFrac float64
 	// Seed makes generation deterministic.
 	Seed uint64
 }
@@ -80,7 +85,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("datagen: Zipf factor must be in [0,1), got %g", c.Zipf)
 	}
 	if c.DomainSize() > math.MaxUint32 {
+		// Strictly greater: a domain of exactly 2^32-1 keeps the largest
+		// generated key at 2^32-2, one below the tuple.NullKey sentinel.
 		return fmt.Errorf("datagen: domain size %d exceeds the 4-byte key space", c.DomainSize())
+	}
+	if c.NullFrac < 0 || c.NullFrac > 1 {
+		return fmt.Errorf("datagen: NullFrac must be in [0,1], got %g", c.NullFrac)
 	}
 	return nil
 }
@@ -109,7 +119,25 @@ func Generate(c Config) (*Workload, error) {
 		build[i] = tuple.Tuple{Key: k, Payload: tuple.Payload(i)}
 	}
 	probe := probeRelation(c, keys, r)
+	if c.NullFrac > 0 {
+		// Null the two sides from independent deterministic streams so
+		// the same rows go null regardless of relation sizes on the
+		// other side. Payloads keep their row ids: an outer join can
+		// still identify which row produced each padded output tuple.
+		nullKeys(build, c.NullFrac, newRNG(c.Seed^0xb5297a4d))
+		nullKeys(probe, c.NullFrac, newRNG(c.Seed^0x68e31da4))
+	}
 	return &Workload{Build: build, Probe: probe, Domain: c.DomainSize(), Config: c}, nil
+}
+
+// nullKeys replaces each tuple's key with tuple.NullKey independently
+// with probability frac.
+func nullKeys(rel tuple.Relation, frac float64, r *rng) {
+	for i := range rel {
+		if r.float64() < frac {
+			rel[i].Key = tuple.NullKey
+		}
+	}
 }
 
 // buildKeys returns the |R| unique build keys in randomly shuffled order.

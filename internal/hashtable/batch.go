@@ -226,9 +226,9 @@ func (t *ChainedTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.P
 		t.lock(head)
 		b := head
 		for {
-			cnt := int(b.meta &^ chainedLatchBit)
+			cnt := int(b.meta & chainedCountMask)
 			if b == head {
-				cnt = int(atomic.LoadUint32(&b.meta) &^ chainedLatchBit)
+				cnt = int(atomic.LoadUint32(&b.meta) & chainedCountMask)
 			}
 			if cnt < chainedBucketTuples {
 				b.tuples[cnt&(chainedBucketTuples-1)] = tuple.Tuple{Key: keys[li], Payload: payloads[li]}
@@ -287,7 +287,7 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 	nn := 0
 	for li := 0; li < n; li++ {
 		b := ptrs[li]
-		cnt := int(uint32(slots[li]) &^ chainedLatchBit)
+		cnt := int(uint32(slots[li]) & chainedCountMask)
 		payloads[li] = 0
 		found[li] = false
 		hit := false
@@ -311,7 +311,7 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 		for a := 0; a < nn; a++ {
 			li := lanes[a]
 			b := ptrs[li]
-			cnt := int(b.meta &^ chainedLatchBit)
+			cnt := int(b.meta & chainedCountMask)
 			hit := false
 			for i := 0; i < cnt; i++ {
 				if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
@@ -363,7 +363,7 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 	// Round 0 on warm lines.
 	for li := 0; li < n; li++ {
 		b := ptrs[li]
-		cnt := int(uint32(slots[li]) &^ chainedLatchBit)
+		cnt := int(uint32(slots[li]) & chainedCountMask)
 		hit := false
 		for i := 0; i < cnt; i++ {
 			if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
@@ -385,7 +385,7 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 		for a := 0; a < nn; a++ {
 			li := int(lanes[a])
 			b := ptrs[li]
-			cnt := int(b.meta &^ chainedLatchBit)
+			cnt := int(b.meta & chainedCountMask)
 			hit := false
 			for i := 0; i < cnt; i++ {
 				if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {

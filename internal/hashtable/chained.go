@@ -23,7 +23,18 @@ type chainedBucket struct {
 	next   *chainedBucket
 }
 
-const chainedLatchBit = 1 << 31
+const (
+	chainedLatchBit = 1 << 31
+	// chainedMarkBit0 is the build-side matched flag of in-bucket slot 0;
+	// slot i uses bit chainedMarkShift+i. With chainedBucketTuples == 2
+	// the marks occupy bits 29-30, leaving bit 31 for the latch and the
+	// low 29 bits for the count. Marks are set atomically by the
+	// outer-join probe kernels (LookupMark / LookupBatchMark) and read by
+	// ForEachUnmatched; every count extraction masks them out.
+	chainedMarkShift = 29
+	chainedMarkBit0  = 1 << chainedMarkShift
+	chainedCountMask = chainedMarkBit0 - 1
+)
 
 // ChainedTable is a bucket-chaining hash table whose head buckets live in
 // one contiguous array holding latches and tuples together. Overflow
@@ -126,9 +137,9 @@ func (t *ChainedTable) InsertConcurrent(tp tuple.Tuple) {
 	t.lock(head)
 	b := head
 	for {
-		cnt := int(b.meta &^ chainedLatchBit)
+		cnt := int(b.meta & chainedCountMask)
 		if b == head {
-			cnt = int(atomic.LoadUint32(&b.meta) &^ chainedLatchBit)
+			cnt = int(atomic.LoadUint32(&b.meta) & chainedCountMask)
 		}
 		if cnt < chainedBucketTuples {
 			b.tuples[cnt] = tp
@@ -165,7 +176,7 @@ func (t *ChainedTable) FinishConcurrentBuild() {
 	n := 0
 	for i := range t.buckets {
 		for b := &t.buckets[i]; b != nil; b = b.next {
-			n += int(b.meta &^ chainedLatchBit)
+			n += int(b.meta & chainedCountMask)
 		}
 	}
 	t.n = n
@@ -176,7 +187,7 @@ func (t *ChainedTable) FinishConcurrentBuild() {
 //mmjoin:hotpath
 func (t *ChainedTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
 	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
-		cnt := int(b.meta &^ chainedLatchBit)
+		cnt := int(b.meta & chainedCountMask)
 		for i := 0; i < cnt; i++ {
 			if b.tuples[i].Key == k {
 				return b.tuples[i].Payload, true
@@ -191,7 +202,7 @@ func (t *ChainedTable) Lookup(k tuple.Key) (tuple.Payload, bool) {
 //mmjoin:hotpath
 func (t *ChainedTable) ForEachMatch(k tuple.Key, fn func(tuple.Payload)) {
 	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
-		cnt := int(b.meta &^ chainedLatchBit)
+		cnt := int(b.meta & chainedCountMask)
 		for i := 0; i < cnt; i++ {
 			if b.tuples[i].Key == k {
 				fn(b.tuples[i].Payload)

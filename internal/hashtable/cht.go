@@ -26,6 +26,15 @@ type CHT struct {
 	hash     hashfn.Func
 	hashB    hashfn.BatchFunc
 	n        int
+
+	// Match-tracking state (nil until EnableMatchTracking): a mark bitmap
+	// over the dense array, plus a flattened index of the overflow map so
+	// overflow hits can be marked without mutating the map during
+	// concurrent probes.
+	matched   []uint64
+	ovKeys    []tuple.Key
+	ovIdx     map[tuple.Key]int32
+	ovMatched []uint64
 }
 
 // chtGroup interleaves 32 bitmap bits with the running population count

@@ -23,6 +23,7 @@ type LinearTable struct {
 	hash     hashfn.Func
 	hashB    hashfn.BatchFunc
 	n        int64
+	matched  []uint64 // slot-mark bitmap; nil until EnableMatchTracking
 }
 
 // DefaultLinearLoadFactor is the fill grade the table is sized for.
@@ -150,5 +151,6 @@ func (t *LinearTable) SizeBytes() int64 { return int64(len(t.keys)) * 8 }
 // Reset clears the table for reuse with the same capacity.
 func (t *LinearTable) Reset() {
 	clear(t.keys)
+	clear(t.matched)
 	t.n = 0
 }

@@ -1,0 +1,369 @@
+package hashtable
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"mmjoin/internal/tuple"
+)
+
+// This file holds the build-side match-tracking API the outer-join
+// variants are built on (see join.Kind): every table can record which of
+// its entries matched at least one probe key, and enumerate the entries
+// that never did. A right/full outer join probes through LookupMark (or
+// the batched LookupBatchMark in markbatch.go) instead of Lookup, then
+// scans the survivors with ForEachUnmatched in a post-pass, emitting
+// <buildPayload, NullPayload> padding for each.
+//
+// Marks are set with atomic OR so concurrent probes over a shared table
+// (the no-partitioning joins and the skew-split shared tables) need no
+// extra synchronization: marking is idempotent, and the post-pass runs
+// after a phase barrier. The mark storage is a side bitmap over the
+// table's stable entry positions — except for ChainedTable, whose
+// overflow buckets have no stable global index; it keeps per-slot mark
+// bits inside the bucket meta word (bits 29-30) instead.
+//
+// The inner-join kernels (Lookup/LookupBatch/ProbeJoinBatch) are
+// untouched: they neither read nor write marks, so the hot path pays
+// nothing for the tracking machinery. Like those kernels, LookupMark
+// mirrors Lookup's first-match semantics — exact for the unique
+// build-key workloads of the study, which the join layer guarantees by
+// routing only null-free relations with unique keys into tables.
+
+// markWords returns the bitmap length covering n entries.
+func markWords(n int) int { return (n + 63) / 64 }
+
+// setMark sets bit i of a shared mark bitmap; safe for concurrent
+// markers.
+func setMark(m []uint64, i int) {
+	atomic.OrUint64(&m[i>>6], 1<<uint(i&63))
+}
+
+// testMark reports bit i. Only called after the probe phase barrier, so
+// a plain load suffices.
+func testMark(m []uint64, i int) bool {
+	return m[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// ---------------------------------------------------------------------
+// ChainedTable
+// ---------------------------------------------------------------------
+
+// EnableMatchTracking prepares the table for LookupMark /
+// ForEachUnmatched. The chained table stores marks inline in the bucket
+// meta words, which a build leaves zeroed, so this only documents the
+// contract; it exists for API uniformity with the bitmap-backed tables.
+func (t *ChainedTable) EnableMatchTracking() {}
+
+// LookupMark is Lookup plus build-side match tracking: the matched
+// entry's in-bucket mark bit is set with an atomic OR, safe for
+// concurrent probes.
+func (t *ChainedTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
+	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
+		cnt := int(atomic.LoadUint32(&b.meta) & chainedCountMask)
+		for i := 0; i < cnt; i++ {
+			if b.tuples[i].Key == k {
+				atomic.OrUint32(&b.meta, chainedMarkBit0<<uint(i))
+				return b.tuples[i].Payload, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ForEachUnmatched invokes fn for every stored tuple whose mark bit was
+// never set. Call only after all probes completed.
+func (t *ChainedTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
+	for bi := range t.buckets {
+		for b := &t.buckets[bi]; b != nil; b = b.next {
+			meta := b.meta
+			cnt := int(meta & chainedCountMask)
+			for i := 0; i < cnt; i++ {
+				if meta&(chainedMarkBit0<<uint(i)) == 0 {
+					fn(b.tuples[i].Key, b.tuples[i].Payload)
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// LinearTable
+// ---------------------------------------------------------------------
+
+// EnableMatchTracking allocates (or clears) the slot-mark bitmap. Must
+// be called after the build completed and before the first LookupMark.
+func (t *LinearTable) EnableMatchTracking() {
+	if len(t.matched) != markWords(len(t.keys)) {
+		t.matched = make([]uint64, markWords(len(t.keys)))
+		return
+	}
+	clear(t.matched)
+}
+
+// LookupMark is Lookup plus build-side match tracking.
+func (t *LinearTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
+	biased := uint32(k) + 1
+	i := t.hash(k) & t.mask
+	for probes := 0; probes <= int(t.mask); probes++ {
+		cur := t.keys[i]
+		if cur == biased {
+			setMark(t.matched, int(i))
+			return t.payloads[i], true
+		}
+		if cur == 0 {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+	return 0, false
+}
+
+// ForEachUnmatched invokes fn for every stored tuple never marked by
+// LookupMark/LookupBatchMark. Requires EnableMatchTracking.
+func (t *LinearTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
+	for i, cur := range t.keys {
+		if cur == 0 || testMark(t.matched, i) {
+			continue
+		}
+		fn(tuple.Key(cur-1), t.payloads[i])
+	}
+}
+
+// ---------------------------------------------------------------------
+// RobinHoodTable
+// ---------------------------------------------------------------------
+
+// EnableMatchTracking allocates (or clears) the slot-mark bitmap.
+func (t *RobinHoodTable) EnableMatchTracking() {
+	if len(t.matched) != markWords(len(t.keys)) {
+		t.matched = make([]uint64, markWords(len(t.keys)))
+		return
+	}
+	clear(t.matched)
+}
+
+// LookupMark is Lookup plus build-side match tracking, including the
+// Robin Hood distance early-exit.
+func (t *RobinHoodTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
+	key := uint32(k) + 1
+	i := t.hash(k) & t.mask
+	var d uint8
+	for probes := 0; probes <= int(t.mask); probes++ {
+		cur := t.keys[i]
+		if cur == 0 {
+			return 0, false
+		}
+		if cur == key {
+			setMark(t.matched, int(i))
+			return t.payloads[i], true
+		}
+		if t.dist[i] < d {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+		if d < 255 {
+			d++
+		}
+	}
+	return 0, false
+}
+
+// ForEachUnmatched invokes fn for every stored tuple never marked.
+// Requires EnableMatchTracking.
+func (t *RobinHoodTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
+	for i, cur := range t.keys {
+		if cur == 0 || testMark(t.matched, i) {
+			continue
+		}
+		fn(tuple.Key(cur-1), t.payloads[i])
+	}
+}
+
+// ---------------------------------------------------------------------
+// ArrayTable
+// ---------------------------------------------------------------------
+
+// EnableMatchTracking allocates (or clears) the mark bitmap, shaped like
+// the presence bitmap.
+func (t *ArrayTable) EnableMatchTracking() {
+	if len(t.matched) != len(t.present) {
+		t.matched = make([]uint64, len(t.present))
+		return
+	}
+	clear(t.matched)
+}
+
+// LookupMark is Lookup plus build-side match tracking.
+func (t *ArrayTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
+	i := int(k - t.base)
+	if uint(i) >= uint(len(t.payloads)) {
+		return 0, false
+	}
+	if t.present[i>>6]&(1<<uint(i&63)) == 0 {
+		return 0, false
+	}
+	setMark(t.matched, i)
+	return t.payloads[i], true
+}
+
+// ForEachUnmatched invokes fn for every present key never marked.
+// Requires EnableMatchTracking. The scan is a word-at-a-time walk over
+// present &^ matched, so fully-matched regions cost one load per 64
+// keys.
+func (t *ArrayTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
+	for w, pres := range t.present {
+		rem := pres &^ t.matched[w]
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			i := w<<6 + b
+			fn(t.base+tuple.Key(i), t.payloads[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// CHT
+// ---------------------------------------------------------------------
+
+// EnableMatchTracking allocates the mark bitmap over the dense array and
+// flattens the overflow map into an indexable key list so overflow hits
+// can be marked without mutating the map concurrently. Must be called
+// after Finalize and before the first LookupMark.
+func (t *CHT) EnableMatchTracking() {
+	if len(t.matched) != markWords(len(t.array)) {
+		t.matched = make([]uint64, markWords(len(t.array)))
+	} else {
+		clear(t.matched)
+	}
+	if len(t.overflow) > 0 && t.ovIdx == nil {
+		t.ovKeys = make([]tuple.Key, 0, len(t.overflow))
+		t.ovIdx = make(map[tuple.Key]int32, len(t.overflow))
+		for k := range t.overflow {
+			t.ovIdx[k] = int32(len(t.ovKeys))
+			t.ovKeys = append(t.ovKeys, k)
+		}
+	}
+	if len(t.ovMatched) != markWords(len(t.ovKeys)) {
+		t.ovMatched = make([]uint64, markWords(len(t.ovKeys)))
+	} else {
+		clear(t.ovMatched)
+	}
+}
+
+// markOverflow records a match for an overflow-resident key. Map reads
+// are safe under concurrent readers; the bitmap takes the write.
+func (t *CHT) markOverflow(k tuple.Key) {
+	if i, ok := t.ovIdx[k]; ok {
+		setMark(t.ovMatched, int(i))
+	}
+}
+
+// LookupMark is Lookup plus build-side match tracking across both the
+// dense array and the overflow table.
+func (t *CHT) LookupMark(k tuple.Key) (tuple.Payload, bool) {
+	h := t.bucketOf(k)
+	bucketCount := t.mask + 1
+	for d := uint64(0); d < chtMaxDisplacement; d++ {
+		pos := h + d
+		if pos >= bucketCount {
+			break
+		}
+		g := &t.groups[pos>>5]
+		off := uint(pos & 31)
+		if g.bits&(1<<off) == 0 {
+			break
+		}
+		idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+		if t.array[idx].Key == k {
+			setMark(t.matched, idx)
+			return t.array[idx].Payload, true
+		}
+	}
+	if len(t.overflow) > 0 {
+		if ps := t.overflow[k]; len(ps) > 0 {
+			t.markOverflow(k)
+			return ps[0], true
+		}
+	}
+	return 0, false
+}
+
+// ForEachUnmatched invokes fn for every stored tuple never marked: dense
+// array entries by position, then whole overflow chains per unmatched
+// key (a key's overflow payloads match or miss together, since matching
+// is by key). Requires EnableMatchTracking.
+func (t *CHT) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
+	for i := range t.array {
+		if !testMark(t.matched, i) {
+			fn(t.array[i].Key, t.array[i].Payload)
+		}
+	}
+	for i, k := range t.ovKeys {
+		if testMark(t.ovMatched, i) {
+			continue
+		}
+		for _, p := range t.overflow[k] {
+			fn(k, p)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// SparseTable
+// ---------------------------------------------------------------------
+
+// EnableMatchTracking snapshots per-group entry bases and allocates the
+// mark bitmap over the table's current entries. The sparse table is
+// dynamic; tracking is only valid while the table stays static — any
+// Insert or Delete after this call invalidates the marks, so enable
+// tracking after the build completes, as the joins do for every table.
+func (t *SparseTable) EnableMatchTracking() {
+	if len(t.bases) != len(t.groups) {
+		t.bases = make([]int32, len(t.groups))
+	}
+	total := 0
+	for i := range t.groups {
+		t.bases[i] = int32(total)
+		total += len(t.groups[i].dense)
+	}
+	if len(t.matched) != markWords(total) {
+		t.matched = make([]uint64, markWords(total))
+		return
+	}
+	clear(t.matched)
+}
+
+// LookupMark is Lookup plus build-side match tracking. Requires
+// EnableMatchTracking on a static table.
+func (t *SparseTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
+	pos := t.bucketOf(k)
+	for probes := uint64(0); probes <= t.mask; probes++ {
+		g := &t.groups[pos>>5]
+		off := uint(pos & 31)
+		if g.bits&(1<<off) == 0 {
+			return 0, false
+		}
+		idx := g.denseIndex(off)
+		if e := g.dense[idx]; e.Key == k {
+			setMark(t.matched, int(t.bases[pos>>5])+idx)
+			return e.Payload, true
+		}
+		pos = (pos + 1) & t.mask
+	}
+	return 0, false
+}
+
+// ForEachUnmatched invokes fn for every stored tuple never marked.
+// Requires EnableMatchTracking on a static table.
+func (t *SparseTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
+	for gi := range t.groups {
+		base := int(t.bases[gi])
+		for j, e := range t.groups[gi].dense {
+			if !testMark(t.matched, base+j) {
+				fn(e.Key, e.Payload)
+			}
+		}
+	}
+}

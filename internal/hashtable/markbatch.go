@@ -1,0 +1,383 @@
+package hashtable
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"mmjoin/internal/tuple"
+)
+
+// This file holds the batched match-tracking probe kernels: per table a
+// LookupBatchMark that behaves exactly like LookupBatch (same AMAC-style
+// interleaving, same first-match semantics, same output contract) and
+// additionally sets the matched entry's build-side mark. The right/full
+// outer joins probe through these and enumerate the never-marked entries
+// with ForEachUnmatched afterwards; see mark.go for the tracking model.
+//
+// Marks are set with atomic OR so concurrent probe workers over a shared
+// table need no coordination. The chained table's marks live inside the
+// bucket meta words, so its kernel also loads meta atomically — a plain
+// load racing with another worker's mark OR would be a data race even
+// though the count bits it extracts are stable during the probe phase.
+// All kernels are allocation-free and use the same scratch buffers as
+// their unmarked counterparts.
+
+// LookupBatchMark is LookupBatch plus build-side match tracking.
+func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	ptrs := s.bucketBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	slots := s.slotBuf()[:n]
+	buckets := t.buckets
+	if len(buckets) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
+		return
+	}
+	mask := uint64(len(buckets) - 1)
+	payloads = payloads[:n]
+	found = found[:n]
+	// Gather pass as in LookupBatch, with an atomic meta load: other
+	// workers may be OR-ing mark bits into the same word concurrently.
+	for li := 0; li < n; li++ {
+		b := &buckets[h[li]&mask]
+		ptrs[li] = b
+		slots[li] = uint64(atomic.LoadUint32(&b.meta))
+	}
+	nn := 0
+	for li := 0; li < n; li++ {
+		b := ptrs[li]
+		cnt := int(uint32(slots[li]) & chainedCountMask)
+		payloads[li] = 0
+		found[li] = false
+		hit := false
+		for i := 0; i < cnt; i++ {
+			if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
+				payloads[li] = b.tuples[i&(chainedBucketTuples-1)].Payload
+				found[li] = true
+				atomic.OrUint32(&b.meta, chainedMarkBit0<<uint(i))
+				hit = true
+				break
+			}
+		}
+		if !hit && b.next != nil {
+			ptrs[li] = b.next
+			lanes[nn] = int32(li)
+			nn++
+		}
+	}
+	for nn > 0 {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := lanes[a]
+			b := ptrs[li]
+			cnt := int(atomic.LoadUint32(&b.meta) & chainedCountMask)
+			hit := false
+			for i := 0; i < cnt; i++ {
+				if b.tuples[i&(chainedBucketTuples-1)].Key == keys[li] {
+					payloads[li] = b.tuples[i&(chainedBucketTuples-1)].Payload
+					found[li] = true
+					atomic.OrUint32(&b.meta, chainedMarkBit0<<uint(i))
+					hit = true
+					break
+				}
+			}
+			if !hit && b.next != nil {
+				ptrs[li] = b.next
+				lanes[na] = li
+				na++
+			}
+		}
+		nn = na
+	}
+}
+
+// LookupBatchMark is LookupBatch plus build-side match tracking.
+// Requires EnableMatchTracking.
+func (t *LinearTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	biased := s.keyBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	curk := s.curkBuf()[:n]
+	tk := t.keys
+	if len(tk) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		i := h[li] & mask
+		slots[li] = i
+		curk[li] = tk[i&mask]
+	}
+	nn := 0
+	for li := 0; li < n; li++ {
+		cur := curk[li]
+		bk := uint32(keys[li]) + 1
+		payloads[li] = 0
+		found[li] = false
+		if cur == bk {
+			i := slots[li] & mask
+			payloads[li] = tp[i]
+			found[li] = true
+			setMark(t.matched, int(i))
+			continue
+		}
+		if cur == 0 {
+			continue
+		}
+		slots[li] = (slots[li] + 1) & mask
+		biased[li] = bk
+		lanes[nn] = int32(li)
+		nn++
+	}
+	for round := uint64(0); nn > 0 && round < mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			i := slots[li] & mask
+			cur := tk[i&mask]
+			if cur == biased[li] {
+				payloads[li] = tp[i&mask]
+				found[li] = true
+				setMark(t.matched, int(i))
+				continue
+			}
+			if cur == 0 {
+				continue
+			}
+			slots[li] = (i + 1) & mask
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+}
+
+// LookupBatchMark is LookupBatch plus build-side match tracking.
+// Requires EnableMatchTracking.
+func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	biased := s.keyBuf()[:n]
+	dists := s.distBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	curk := s.curkBuf()[:n]
+	tk := t.keys
+	if len(tk) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
+		return
+	}
+	tp := t.payloads[:len(tk)]
+	td := t.dist[:len(tk)]
+	mask := uint64(len(tk) - 1)
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		i := h[li] & mask
+		slots[li] = i
+		curk[li] = tk[i&mask]
+	}
+	nn := 0
+	for li := 0; li < n; li++ {
+		cur := curk[li]
+		bk := uint32(keys[li]) + 1
+		payloads[li] = 0
+		found[li] = false
+		if cur == bk {
+			i := slots[li] & mask
+			payloads[li] = tp[i]
+			found[li] = true
+			setMark(t.matched, int(i))
+			continue
+		}
+		if cur == 0 {
+			continue
+		}
+		slots[li] = (slots[li] + 1) & mask
+		biased[li] = bk
+		dists[li] = 1
+		lanes[nn] = int32(li)
+		nn++
+	}
+	for round := uint64(0); nn > 0 && round < mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			i := slots[li] & mask
+			cur := tk[i&mask]
+			if cur == 0 {
+				continue
+			}
+			if cur == biased[li] {
+				payloads[li] = tp[i&mask]
+				found[li] = true
+				setMark(t.matched, int(i))
+				continue
+			}
+			d := dists[li]
+			if td[i&mask] < d {
+				continue
+			}
+			slots[li] = (i + 1) & mask
+			if d < 255 {
+				dists[li] = d + 1
+			}
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+}
+
+// LookupBatchMark is LookupBatch plus build-side match tracking.
+// Requires EnableMatchTracking.
+func (t *ArrayTable) LookupBatchMark(keys []tuple.Key, _ *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	pl := t.payloads
+	pres := t.present
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		i := int(keys[li] - t.base)
+		if uint(i) >= uint(len(pl)) || pres[i>>6]&(1<<uint(i&63)) == 0 {
+			payloads[li] = 0
+			found[li] = false
+			continue
+		}
+		payloads[li] = pl[i]
+		found[li] = true
+		setMark(t.matched, i)
+	}
+}
+
+// LookupBatchMark is LookupBatch plus build-side match tracking across
+// the dense array and the flattened overflow index. Requires
+// EnableMatchTracking.
+func (t *CHT) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	groups := t.groups
+	if len(groups) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
+		return
+	}
+	array := t.array
+	mask := t.mask
+	bucketCount := mask + 1
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		h[li] &= mask
+		slots[li] = h[li]
+		lanes[li] = int32(li)
+		payloads[li] = 0
+		found[li] = false
+	}
+	nn := n
+	for nn > 0 {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			pos := slots[li]
+			if pos >= bucketCount || pos-h[li] >= chtMaxDisplacement {
+				continue
+			}
+			g := &groups[(pos>>5)&uint64(len(groups)-1)]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				continue
+			}
+			idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+			if array[idx].Key == keys[li] {
+				payloads[li] = array[idx].Payload
+				found[li] = true
+				setMark(t.matched, idx)
+				continue
+			}
+			slots[li] = pos + 1
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+	if len(t.overflow) > 0 {
+		for li := 0; li < n; li++ {
+			if found[li] {
+				continue
+			}
+			if ps := t.overflow[keys[li]]; len(ps) > 0 {
+				payloads[li] = ps[0]
+				found[li] = true
+				t.markOverflow(keys[li])
+			}
+		}
+	}
+}
+
+// LookupBatchMark is LookupBatch plus build-side match tracking.
+// Requires EnableMatchTracking on a static table.
+func (t *SparseTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
+	n := len(keys)
+	checkBatch(n)
+	h := s.hashBuf()[:n]
+	t.hashB(h, keys)
+	slots := s.slotBuf()[:n]
+	lanes := s.laneBuf()[:n]
+	groups := t.groups
+	if len(groups) == 0 {
+		clearBatchOutputs(payloads[:n], found[:n])
+		return
+	}
+	mask := t.mask
+	payloads = payloads[:n]
+	found = found[:n]
+	for li := 0; li < n; li++ {
+		slots[li] = (h[li] * sparseBucketsPerTuple) & mask
+		lanes[li] = int32(li)
+		payloads[li] = 0
+		found[li] = false
+	}
+	nn := n
+	for round := uint64(0); nn > 0 && round <= mask; round++ {
+		na := 0
+		for a := 0; a < nn; a++ {
+			li := int(lanes[a])
+			pos := slots[li]
+			gi := (pos >> 5) & uint64(len(groups)-1)
+			g := &groups[gi]
+			off := uint(pos & 31)
+			if g.bits&(1<<off) == 0 {
+				continue
+			}
+			idx := g.denseIndex(off)
+			if e := g.dense[idx]; e.Key == keys[li] {
+				payloads[li] = e.Payload
+				found[li] = true
+				setMark(t.matched, int(t.bases[gi])+idx)
+				continue
+			}
+			slots[li] = (pos + 1) & mask
+			lanes[na] = int32(li)
+			na++
+		}
+		nn = na
+	}
+}

@@ -24,6 +24,7 @@ type RobinHoodTable struct {
 	hash     hashfn.Func
 	hashB    hashfn.BatchFunc
 	n        int
+	matched  []uint64 // slot-mark bitmap; nil until EnableMatchTracking
 }
 
 // NewRobinHoodTable creates a table for n tuples at the given load
@@ -82,6 +83,7 @@ func (t *RobinHoodTable) Insert(tp tuple.Tuple) {
 func (t *RobinHoodTable) Reset() {
 	clear(t.keys)
 	clear(t.dist)
+	clear(t.matched)
 	t.n = 0
 }
 

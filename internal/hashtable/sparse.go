@@ -27,6 +27,13 @@ type SparseTable struct {
 	hashB   hashfn.BatchFunc
 	n       int
 	deleted int
+
+	// Match-tracking state (nil until EnableMatchTracking): a mark bitmap
+	// over the table's entries addressed as group base + dense index. The
+	// bases snapshot is only valid while the table stays static, so any
+	// Insert/Delete after EnableMatchTracking invalidates the marks.
+	bases   []int32
+	matched []uint64
 }
 
 type sparseGroup struct {

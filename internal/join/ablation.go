@@ -73,6 +73,8 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	pool := newPool(ctx, &o, res.Algorithm)
 	buildChunks := tuple.Chunks(len(build), o.Threads)
 	probeChunks := tuple.Chunks(len(probe), o.Threads)
@@ -103,6 +105,9 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 	if err != nil {
 		return nil, err
 	}
+	if o.Kind.padsBuild() {
+		ht.EnableMatchTracking()
+	}
 	buildDone := time.Now()
 
 	err = pool.Run("probe", func(w *exec.Worker) {
@@ -111,6 +116,15 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 		bs := &bstates[w.ID]
 		w.Morsels(c.Len(), func(begin, end int) {
 			run := probe[c.Begin+begin : c.Begin+end]
+			if o.Kind != Inner {
+				if o.ScalarKernels {
+					probeRunKind(o.Kind, ht, run, 0, s)
+					w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.ChainedOpBytes))
+				} else {
+					bs.probeKindRun(w, o.Kind, ht, run, 0, hashtable.ChainedOpBytes, s)
+				}
+				return
+			}
 			if !o.ScalarKernels {
 				bs.probeRun(w, ht, run, 0, hashtable.ChainedOpBytes, s)
 				return
@@ -126,12 +140,16 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 	if err != nil {
 		return nil, err
 	}
+	if o.Kind.padsBuild() {
+		emitUnmatchedBuild(nil, ht, &sinks[0])
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = buildDone.Sub(start)
 	res.ProbeOrJoin = end.Sub(buildDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	mergePre(res, &pre)
 
 	if o.Traffic != nil {
 		accountNoPartitionTraffic(&o, len(build), len(probe), ht.SizeBytes())

@@ -40,6 +40,11 @@ type batchState struct {
 	out     hashtable.MatchBatch
 	keys    []tuple.Key
 	pays    []tuple.Payload
+	// Lookup output arrays for the non-inner kind paths, which probe via
+	// LookupBatch/LookupBatchMark instead of the fused inner kernel (see
+	// kind.go). Nil until a kind path first needs them.
+	lookPays  []tuple.Payload
+	lookFound []bool
 }
 
 // buffers returns the BatchSize-sized SoA staging arrays, allocating

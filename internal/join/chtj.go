@@ -45,6 +45,8 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	// Spread the hash over the 8n bitmap buckets: multiplying by the
 	// buckets-per-tuple factor maps a hash that is uniform over n table
 	// slots to one uniform over the bitmap, and keeps the identity hash
@@ -101,6 +103,9 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		return nil, err
 	}
 	cht := builder.Finalize()
+	if o.Kind.padsBuild() {
+		cht.EnableMatchTracking()
+	}
 	buildDone := time.Now()
 
 	// Probe phase: identical to NOP against the read-only global CHT.
@@ -111,6 +116,15 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		bs := &bstates[w.ID]
 		w.Morsels(c.Len(), func(begin, end int) {
 			run := probe[c.Begin+begin : c.Begin+end]
+			if o.Kind != Inner {
+				if o.ScalarKernels {
+					probeRunKind(o.Kind, cht, run, 0, s)
+					w.AddBytes(int64(end-begin) * (tuple.Bytes + hashtable.CHTOpBytes))
+				} else {
+					bs.probeKindRun(w, o.Kind, cht, run, 0, hashtable.CHTOpBytes, s)
+				}
+				return
+			}
 			if !o.ScalarKernels {
 				bs.probeRun(w, cht, run, 0, hashtable.CHTOpBytes, s)
 				return
@@ -126,12 +140,16 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	if err != nil {
 		return nil, err
 	}
+	if o.Kind.padsBuild() {
+		emitUnmatchedBuild(nil, cht, &sinks[0])
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = buildDone.Sub(start)
 	res.ProbeOrJoin = end.Sub(buildDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	mergePre(res, &pre)
 
 	if o.Traffic != nil {
 		// CHT probes cost two dependent random accesses (bitmap group,

@@ -7,18 +7,23 @@ import (
 	"mmjoin/internal/exec"
 )
 
-// Fuzz target: any workload shape — including Zipf-skewed probe sides
-// and sparse (holey) key domains — any algorithm, any thread count, any
-// seeded task interleaving: the result must match the reference oracle.
-// Seeds cover the corner regimes; `go test -fuzz=FuzzJoinEquivalence`
-// explores beyond them.
+// Fuzz target: any workload shape — including Zipf-skewed probe sides,
+// sparse (holey) key domains and NULL-keyed tuples — any algorithm, any
+// join kind, any thread count, any seeded task interleaving: the result
+// must match the reference oracle. Seeds cover the corner regimes;
+// `go test -fuzz=FuzzJoinEquivalence` explores beyond them.
 func FuzzJoinEquivalence(f *testing.F) {
-	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0))
-	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0), uint16(0))
-	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3), uint16(7))
+	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0), uint8(0), uint8(0))
+	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0), uint16(0), uint8(0), uint8(0))
+	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3), uint16(7), uint8(0), uint8(0))
 	// Heavy skew on a sparse domain — the Figure 10/11 regime where the
 	// array joins and skew-aware scheduling earn their keep.
-	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7), uint16(99))
+	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7), uint16(99), uint8(0), uint8(0))
+	// Full outer with NULL keys on both sides: both padding paths and the
+	// null prelude at once.
+	f.Add(uint16(5), uint16(800), uint16(3200), uint8(2), uint8(5), uint8(4), uint8(0), uint8(2), uint16(3), uint8(3), uint8(2))
+	// Anti join under heavy skew — unmatched-run batch kernels.
+	f.Add(uint16(6), uint16(1500), uint16(6000), uint8(3), uint8(9), uint8(6), uint8(3), uint8(4), uint16(11), uint8(5), uint8(1))
 	// Every registered algorithm — Table 2 via Names() plus the
 	// ablations — is fuzzed against the oracle; the registry analyzer
 	// holds this list complete.
@@ -27,7 +32,9 @@ func FuzzJoinEquivalence(f *testing.F) {
 	// The paper's skew points (Section 5.4): uniform, moderate, heavy,
 	// very heavy. Zipf must stay in [0,1) for the generator.
 	zipfs := []float64{0, 0.5, 0.9, 0.99}
-	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8, schedRaw uint16) {
+	// NULL-key density points; 0 keeps the paper's all-valid setup.
+	nullFracs := []float64{0, 0.1, 0.25, 0.5}
+	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8, schedRaw uint16, kindRaw, nullRaw uint8) {
 		build := int(buildRaw%4000) + 1
 		probe := int(probeRaw % 16000)
 		threads := 1 << (threadsRaw % 5)
@@ -35,6 +42,8 @@ func FuzzJoinEquivalence(f *testing.F) {
 		bits := uint(bitsRaw % 10)
 		zipf := zipfs[int(zipfRaw)%len(zipfs)]
 		holes := int(holesRaw%8) + 1 // hole factor 1 (dense) .. 8 (sparse)
+		kind := Kinds()[int(kindRaw)%len(Kinds())]
+		nullFrac := nullFracs[int(nullRaw)%len(nullFracs)]
 		// Schedule dimension: 0 keeps the default concurrent execution;
 		// anything else replays the seeded deterministic interleaving, so
 		// the fuzzer also explores task orderings, not just data shapes.
@@ -44,12 +53,14 @@ func FuzzJoinEquivalence(f *testing.F) {
 		}
 		w, err := datagen.Generate(datagen.Config{
 			BuildSize: build, ProbeSize: probe, Seed: uint64(seed),
-			Zipf: zipf, HoleFactor: holes,
+			Zipf: zipf, HoleFactor: holes, NullFrac: nullFrac,
 		})
 		if err != nil {
 			t.Skip()
 		}
-		ref, err := (Reference{}).Run(w.Build, w.Probe, nil)
+		ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{
+			Kind: kind, NullableKeys: nullFrac > 0,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,13 +74,14 @@ func FuzzJoinEquivalence(f *testing.F) {
 			res, err := j.Run(w.Build, w.Probe, &Options{
 				Threads: threads, Domain: w.Domain, RadixBits: bits,
 				ScalarKernels: scalar, Schedule: schedule,
+				Kind: kind, NullableKeys: nullFrac > 0,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
-				t.Fatalf("%s (scalar=%v) diverged on zipf=%g holes=%d: %d matches vs %d",
-					algo, scalar, zipf, holes, res.Matches, ref.Matches)
+				t.Fatalf("%s %s (scalar=%v) diverged on zipf=%g holes=%d nullfrac=%g: %d matches vs %d",
+					algo, kind, scalar, zipf, holes, nullFrac, res.Matches, ref.Matches)
 			}
 		}
 	})

@@ -103,6 +103,16 @@ type Options struct {
 	// the batched path: hashes computed a batch at a time, bucket walks
 	// interleaved across lanes, matches emitted through sink.emitBatch.
 	ScalarKernels bool
+	// Kind selects the join variant (inner, outer, semi, anti); the zero
+	// value is the paper's inner equi-join and keeps its hot path
+	// untouched. See kind.go for the variant contract.
+	Kind Kind
+	// NullableKeys declares that either input may contain null-keyed
+	// tuples (tuple.NullKey). Null keys never match — not even each other
+	// — and surface only as outer/anti padding. When unset, inputs are
+	// trusted null-free and a stray NullKey is undefined behavior (it
+	// would be treated as an ordinary key value).
+	NullableKeys bool
 }
 
 func (o *Options) normalize() Options {
@@ -259,10 +269,15 @@ func mergeSinks(res *Result, sinks []sink) {
 }
 
 // maxKeyDomain returns max key + 1 over the relation (0 for empty).
+// tuple.NullKey is skipped: it is a reserved sentinel, not a domain
+// value, and counting it would balloon the array joins' tables.
 func maxKeyDomain(rel tuple.Relation) int {
 	var m tuple.Key
 	seen := false
 	for _, tp := range rel {
+		if tp.Key == tuple.NullKey {
+			continue
+		}
 		if !seen || tp.Key > m {
 			m = tp.Key
 			seen = true

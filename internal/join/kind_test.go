@@ -1,0 +1,256 @@
+package join
+
+import (
+	"sort"
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/tuple"
+)
+
+// Every registered algorithm — Table 2 plus the ablations — must
+// produce all six join kinds; the registry analyzer holds this list
+// complete so kind coverage cannot silently lapse when an algorithm is
+// added.
+//
+//mmjoin:registry-table kinds
+var kindCoveredAlgorithms = append(Names(), "MPSM", "NOPC")
+
+// checkAllKinds runs every covered algorithm over the workload for all
+// six kinds, in both kernel flavors, and compares match count and
+// checksum against the reference join.
+func checkAllKinds(t *testing.T, w *datagen.Workload, opts Options) {
+	t.Helper()
+	for _, kind := range Kinds() {
+		ro := opts
+		ro.Kind = kind
+		ref, err := (Reference{}).Run(w.Build, w.Probe, &ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range kindCoveredAlgorithms {
+			for _, scalar := range []bool{false, true} {
+				o := opts
+				o.Kind = kind
+				o.ScalarKernels = scalar
+				o.Domain = w.Domain
+				j, err := NewAny(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := j.Run(w.Build, w.Probe, &o)
+				if err != nil {
+					t.Fatalf("%s %s (scalar=%v): %v", name, kind, scalar, err)
+				}
+				if res.Matches != ref.Matches {
+					t.Errorf("%s %s (scalar=%v): matches = %d, reference %d",
+						name, kind, scalar, res.Matches, ref.Matches)
+				} else if res.Checksum != ref.Checksum {
+					t.Errorf("%s %s (scalar=%v): checksum mismatch at %d matches",
+						name, kind, scalar, res.Matches)
+				}
+			}
+		}
+	}
+}
+
+// missProbe rewrites every missEvery-th probe key to one past the key
+// domain, guaranteeing an unmatched probe tuple (the generator draws
+// probe keys from build keys, so without this every probe tuple hits).
+// Null-keyed tuples are left alone.
+func missProbe(w *datagen.Workload, missEvery int) {
+	for i := range w.Probe {
+		if w.Probe[i].IsNull() {
+			continue
+		}
+		if i%missEvery == 0 {
+			w.Probe[i].Key += tuple.Key(w.Domain)
+		}
+	}
+}
+
+func TestAllKindsUniform(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1500, ProbeSize: 6000, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missProbe(w, 3)
+	checkAllKinds(t, w, Options{Threads: 4})
+}
+
+func TestAllKindsNullableKeys(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize: 1200, ProbeSize: 5000, HoleFactor: 3, NullFrac: 0.2, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missProbe(w, 4)
+	checkAllKinds(t, w, Options{Threads: 4, NullableKeys: true})
+}
+
+func TestAllKindsSkewedSplitTasks(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize: 2048, ProbeSize: 16384, Zipf: 0.99, NullFrac: 0.1, Seed: 72,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missProbe(w, 5)
+	checkAllKinds(t, w, Options{Threads: 4, NullableKeys: true, SplitSkewedTasks: true, RadixBits: 4})
+}
+
+func TestAllKindsSingleThread(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 600, ProbeSize: 2400, NullFrac: 0.3, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missProbe(w, 2)
+	checkAllKinds(t, w, Options{Threads: 1, NullableKeys: true})
+}
+
+func TestAllKindsEmptyProbe(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 512, ProbeSize: 0, Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right/full outer must pad every build tuple; the rest are empty.
+	checkAllKinds(t, w, Options{Threads: 4})
+}
+
+func TestAllKindsEmptyBuild(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1, ProbeSize: 3000, Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Build = w.Build[:0]
+	// Left outer / anti must pad every probe tuple; semi and right outer
+	// are empty.
+	checkAllKinds(t, w, Options{Threads: 4})
+}
+
+func TestAllKindsAllNullBuild(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 700, ProbeSize: 2800, Seed: 76})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Build {
+		w.Build[i].Key = tuple.NullKey
+	}
+	// Null keys never match: behaves like an empty build for matching,
+	// but right/full outer still pad the null build tuples.
+	checkAllKinds(t, w, Options{Threads: 4, NullableKeys: true})
+}
+
+func TestAllKindsAllNullProbe(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 700, ProbeSize: 2800, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Probe {
+		w.Probe[i].Key = tuple.NullKey
+	}
+	checkAllKinds(t, w, Options{Threads: 4, NullableKeys: true})
+}
+
+// TestAllKindsBatchBoundary drives runs whose matched and unmatched
+// stretches land exactly on hashtable.BatchSize boundaries, the spots
+// where a batched kind kernel could drop or duplicate a lane.
+func TestAllKindsBatchBoundary(t *testing.T) {
+	const b = hashtable.BatchSize
+	build := make(tuple.Relation, b)
+	for i := range build {
+		build[i] = tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(i + 1)}
+	}
+	// Probe: two full batches of hits, then two full batches of misses.
+	probe := make(tuple.Relation, 4*b)
+	for i := 0; i < 2*b; i++ {
+		probe[i] = tuple.Tuple{Key: tuple.Key(i % b), Payload: tuple.Payload(1000 + i)}
+	}
+	for i := 2 * b; i < 4*b; i++ {
+		probe[i] = tuple.Tuple{Key: tuple.Key(b + i), Payload: tuple.Payload(1000 + i)}
+	}
+	w := &datagen.Workload{Build: build, Probe: probe, Domain: b}
+	for _, threads := range []int{1, 4} {
+		checkAllKinds(t, w, Options{Threads: threads})
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("cross"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+	if s := Kind(99).String(); s == "" {
+		t.Fatal("out-of-range Kind must still stringify")
+	}
+}
+
+// TestKindMaterializedPairs checks the exact padded pair multiset, not
+// just the checksum, for a workload with misses and nulls on both
+// sides.
+func TestKindMaterializedPairs(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 400, ProbeSize: 1600, NullFrac: 0.15, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missProbe(w, 3)
+	sortPairs := func(ps []tuple.Pair) {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].BuildPayload != ps[j].BuildPayload {
+				return ps[i].BuildPayload < ps[j].BuildPayload
+			}
+			return ps[i].ProbePayload < ps[j].ProbePayload
+		})
+	}
+	for _, kind := range Kinds() {
+		opts := Options{Threads: 4, Materialize: true, NullableKeys: true, Kind: kind, Domain: w.Domain}
+		ref, err := (Reference{}).Run(w.Build, w.Probe, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(ref.Pairs)
+		for _, name := range []string{"NOP", "NOPA", "CHTJ", "MWAY", "PRO", "CPRL", "PRB", "PRAiS", "MPSM"} {
+			j, err := NewAny(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := j.Run(w.Build, w.Probe, &opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Pairs) != len(ref.Pairs) {
+				t.Fatalf("%s %s materialized %d pairs, want %d", name, kind, len(res.Pairs), len(ref.Pairs))
+			}
+			sortPairs(res.Pairs)
+			for i := range ref.Pairs {
+				if res.Pairs[i] != ref.Pairs[i] {
+					t.Fatalf("%s %s pair %d = %v, want %v", name, kind, i, res.Pairs[i], ref.Pairs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKindInnerBitwiseUnchanged guards the inner hot path: with Kind
+// zero and no nullable declaration, results (and the scalar/batched
+// byte-accounting parity the tracer tests rely on) must be identical to
+// a pre-kind execution — the kind layer must not even scan the inputs.
+func TestKindInnerBitwiseUnchanged(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1000, ProbeSize: 4000, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Options
+	pre := sink{}
+	b2, p2 := splitKindInputs(&o, w.Build, w.Probe, &pre)
+	if &b2[0] != &w.Build[0] || &p2[0] != &w.Probe[0] || pre.matches != 0 {
+		t.Fatal("inner join without NullableKeys must not touch the inputs")
+	}
+}

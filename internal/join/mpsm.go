@@ -58,6 +58,8 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	t := o.Threads
 	pool := newPool(ctx, &o, res.Algorithm)
 	sinks := make([]sink, t)
@@ -116,6 +118,38 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	err = pool.Run("merge-join", func(w *exec.Worker) {
 		s := &sinks[w.ID]
 		r := rParts[w.ID]
+		if o.Kind != Inner {
+			// The non-inner kinds must see every S tuple exactly once
+			// even where R is sparse or empty, so each worker takes the
+			// S sub-ranges its range-splitter slice assigns it (the
+			// same rangeOf that placed R) rather than the [min,max] of
+			// its actual R keys. R-side padding is deferred through
+			// rMatched until the range has merged against all T runs.
+			var rMatched []bool
+			if o.Kind.padsBuild() {
+				rMatched = make([]bool, len(r))
+			}
+			for _, run := range sRuns {
+				if w.Cancelled() {
+					return
+				}
+				begin := sort.Search(len(run), func(i int) bool { return rangeOf(run[i].Key) >= w.ID })
+				end := sort.Search(len(run), func(i int) bool { return rangeOf(run[i].Key) > w.ID })
+				if begin < end {
+					mergeJoinKind(o.Kind, r, run[begin:end], s, rMatched)
+					w.AddBytes(int64(len(r)+end-begin) * tuple.Bytes)
+				}
+			}
+			if o.Kind.padsBuild() {
+				for i, m := range rMatched {
+					if !m {
+						s.emit(r[i].Payload, tuple.NullPayload)
+					}
+				}
+				w.AddBytes(int64(len(r)) * tuple.Bytes)
+			}
+			return
+		}
 		if len(r) == 0 {
 			return
 		}
@@ -146,6 +180,7 @@ func (j *mpsmJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	res.ProbeOrJoin = end.Sub(sortDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	mergePre(res, &pre)
 	res.Exec = pool.Stats()
 	return res, nil
 }

@@ -50,6 +50,8 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	partBits := uint(bits.TrailingZeros(uint(o.Threads)))
 	res.Bits = partBits
 	pool := newPool(ctx, &o, res.Algorithm)
@@ -99,7 +101,15 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	// Phase 2: merge join each sorted co-partition pair.
 	err = pool.Run("merge-join", func(w *exec.Worker) {
 		s := &sinks[w.ID]
-		if o.ScalarKernels {
+		if o.Kind != Inner {
+			// Co-partitioning sends equal keys to the same pair, so a
+			// tuple unmatched within its co-partition is unmatched
+			// globally — the merge's gap events emit the padding
+			// directly. Both kernel flavors share this event-driven
+			// merge; its traversal (and byte charge) matches the inner
+			// kernels'.
+			mergeJoinKind(o.Kind, sortedR[w.ID], sortedS[w.ID], s, nil)
+		} else if o.ScalarKernels {
 			mway.MergeJoin(sortedR[w.ID], sortedS[w.ID], s.emit)
 		} else {
 			mway.MergeJoinBatched(sortedR[w.ID], sortedS[w.ID], s.emitBatch)
@@ -116,6 +126,7 @@ func (j *mwayJoin) RunContext(ctx context.Context, build, probe tuple.Relation, 
 	res.ProbeOrJoin = end.Sub(sortDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	mergePre(res, &pre)
 
 	if o.Traffic != nil {
 		accountGlobalPartitionTraffic(&o, len(build), 1)

@@ -61,6 +61,8 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	domain := o.Domain
 	if j.array && domain == 0 {
 		domain = maxKeyDomain(build)
@@ -120,6 +122,15 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	if err != nil {
 		return nil, err
 	}
+	var kt kindProbeTable
+	if j.array {
+		kt = at
+	} else {
+		kt = lt
+	}
+	if o.Kind.padsBuild() {
+		kt.EnableMatchTracking()
+	}
 	buildDone := time.Now()
 
 	err = pool.Run("probe", func(w *exec.Worker) {
@@ -132,6 +143,15 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		}
 		w.Morsels(c.Len(), func(begin, end int) {
 			run := probe[c.Begin+begin : c.Begin+end]
+			if o.Kind != Inner {
+				if o.ScalarKernels {
+					probeRunKind(o.Kind, kt, run, 0, s)
+					w.AddBytes(int64(end-begin) * (tuple.Bytes + op))
+				} else {
+					bs.probeKindRun(w, o.Kind, kt, run, 0, op, s)
+				}
+				return
+			}
 			switch {
 			case !o.ScalarKernels && j.array:
 				bs.probeRun(w, at, run, 0, op, s)
@@ -158,12 +178,19 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	if err != nil {
 		return nil, err
 	}
+	if o.Kind.padsBuild() {
+		// Right/full-outer post-pass: pad the build entries no probe
+		// matched. Single-threaded — the walk is one streaming read of
+		// the table, shared by the scalar and batched flavors.
+		emitUnmatchedBuild(nil, kt, &sinks[0])
+	}
 	end := time.Now()
 
 	res.BuildOrPartition = buildDone.Sub(start)
 	res.ProbeOrJoin = end.Sub(buildDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	mergePre(res, &pre)
 
 	if o.Traffic != nil {
 		var tableBytes int64

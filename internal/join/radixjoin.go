@@ -184,6 +184,8 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 		Threads:     o.Threads,
 		InputTuples: int64(len(build) + len(probe)),
 	}
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	domain := o.Domain
 	if j.table == arrayKind && domain == 0 {
 		domain = maxKeyDomain(build)
@@ -304,7 +306,9 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 			wk.buildScratch = buildFrags(wk.buildScratch[:0], p)
 			wk.probeScratch = probeFrags(wk.probeScratch[:0], p)
 			bl, pl := buildLen(p), probeLen(p)
-			if o.ScalarKernels {
+			if o.Kind != Inner {
+				j.joinTaskKind(w, wk, &sinks[w.ID], o.Kind, o.ScalarKernels, bits, wk.buildScratch, wk.probeScratch, bl, pl, op)
+			} else if o.ScalarKernels {
 				j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
 				// Stream both sides once, plus one table operation per tuple.
 				w.AddBytes(int64(bl+pl) * (tuple.Bytes + op))
@@ -323,6 +327,7 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 	res.ProbeOrJoin = end.Sub(partitionDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, sinks)
+	mergePre(res, &pre)
 	res.MaxTaskShare = maxTaskShare(parts, probeLen)
 
 	if o.Traffic != nil {

@@ -38,8 +38,17 @@ func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, op
 		InputTuples: int64(len(build) + len(probe)),
 	}
 	o.Threads = 1
+	pre := sink{materialize: o.Materialize}
+	build, probe = splitKindInputs(&o, build, probe, &pre)
 	pool := newPool(ctx, &o, res.Algorithm)
 	s := sink{materialize: o.Materialize}
+	// matchedKeys records build keys some probe tuple hit; a build key
+	// matches either all its payloads or none, so right/full-outer
+	// padding only needs per-key granularity here.
+	var matchedKeys map[tuple.Key]bool
+	if o.Kind.padsBuild() {
+		matchedKeys = make(map[tuple.Key]bool)
+	}
 	start := time.Now()
 	ht := make(map[tuple.Key][]tuple.Payload, len(build))
 	err := pool.Run("build", func(w *exec.Worker) {
@@ -57,8 +66,43 @@ func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, op
 	err = pool.Run("probe", func(w *exec.Worker) {
 		w.Morsels(len(probe), func(begin, end int) {
 			for _, tp := range probe[begin:end] {
-				for _, bp := range ht[tp.Key] {
-					s.emit(bp, tp.Payload)
+				ps := ht[tp.Key]
+				switch o.Kind {
+				case Inner:
+					for _, bp := range ps {
+						s.emit(bp, tp.Payload)
+					}
+				case LeftOuter:
+					if len(ps) == 0 {
+						s.emit(tuple.NullPayload, tp.Payload)
+					}
+					for _, bp := range ps {
+						s.emit(bp, tp.Payload)
+					}
+				case RightOuter:
+					if len(ps) > 0 {
+						matchedKeys[tp.Key] = true
+					}
+					for _, bp := range ps {
+						s.emit(bp, tp.Payload)
+					}
+				case FullOuter:
+					if len(ps) == 0 {
+						s.emit(tuple.NullPayload, tp.Payload)
+					} else {
+						matchedKeys[tp.Key] = true
+					}
+					for _, bp := range ps {
+						s.emit(bp, tp.Payload)
+					}
+				case LeftSemi:
+					if len(ps) > 0 {
+						s.emit(tuple.NullPayload, tp.Payload)
+					}
+				case LeftAnti:
+					if len(ps) == 0 {
+						s.emit(tuple.NullPayload, tp.Payload)
+					}
 				}
 			}
 			w.AddBytes(int64(end-begin) * tuple.Bytes)
@@ -67,11 +111,21 @@ func (Reference) RunContext(ctx context.Context, build, probe tuple.Relation, op
 	if err != nil {
 		return nil, err
 	}
+	if o.Kind.padsBuild() {
+		// Pad the build tuples whose key no probe tuple hit, in build
+		// order for deterministic materialized output.
+		for _, tp := range build {
+			if !matchedKeys[tp.Key] {
+				s.emit(tp.Payload, tuple.NullPayload)
+			}
+		}
+	}
 	end := time.Now()
 	res.BuildOrPartition = buildDone.Sub(start)
 	res.ProbeOrJoin = end.Sub(buildDone)
 	res.Total = end.Sub(start)
 	mergeSinks(res, []sink{s})
+	mergePre(res, &pre)
 	res.Exec = pool.Stats()
 	return res, nil
 }

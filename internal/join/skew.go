@@ -1,6 +1,7 @@
 package join
 
 import (
+	"sort"
 	"sync"
 
 	"mmjoin/internal/exec"
@@ -27,6 +28,19 @@ type sharedTable struct {
 	linear  *hashtable.LinearTable
 	chained *hashtable.ChainedTable
 	array   *hashtable.ArrayTable
+}
+
+// asKindTable returns whichever table is populated behind the kind-path
+// probe contract (non-inner joins; see kind.go).
+func (st *sharedTable) asKindTable() kindProbeTable {
+	switch {
+	case st.chained != nil:
+		return st.chained
+	case st.linear != nil:
+		return st.linear
+	default:
+		return st.array
+	}
 }
 
 type skewTask struct {
@@ -196,6 +210,11 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 		p := splitList[i]
 		bl := buildLen(p)
 		st := j.buildSharedTable(bits, buildFrags(nil, p), bl, domainPerPart, o.Hash)
+		if o.Kind.padsBuild() {
+			// Marks are set atomically by the concurrent range probes;
+			// the unmatched post-pass runs once after the join phase.
+			st.asKindTable().EnableMatchTracking()
+		}
 		probe := concatFragments(pool.Arena(), probeFrags(nil, p))
 		// Build streams the build side into a fresh table; the probe
 		// side is copied once for range splitting.
@@ -224,11 +243,21 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	err = pool.RunQueue("join", sched.NewLIFO(taskOrder(tasks)), func(w *exec.Worker, ti int) {
 		t := tasks[ti]
 		if t.split {
-			if o.ScalarKernels {
-				j.probeShared(shared[t.part], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi])
-				w.AddBytes(int64(t.probeHi-t.probeLo) * (tuple.Bytes + op))
-			} else {
-				j.probeSharedBatch(w, shared[t.part], &splitStates[w.ID], &sinks[w.ID], bits, sharedProbe[t.part][t.probeLo:t.probeHi], op)
+			rng := sharedProbe[t.part][t.probeLo:t.probeHi]
+			switch {
+			case o.Kind != Inner:
+				kt := shared[t.part].asKindTable()
+				if o.ScalarKernels {
+					probeRunKind(o.Kind, kt, rng, bits, &sinks[w.ID])
+					w.AddBytes(int64(len(rng)) * (tuple.Bytes + op))
+				} else {
+					splitStates[w.ID].probeKindRun(w, o.Kind, kt, rng, bits, op, &sinks[w.ID])
+				}
+			case o.ScalarKernels:
+				j.probeShared(shared[t.part], &sinks[w.ID], bits, rng)
+				w.AddBytes(int64(len(rng)) * (tuple.Bytes + op))
+			default:
+				j.probeSharedBatch(w, shared[t.part], &splitStates[w.ID], &sinks[w.ID], bits, rng, op)
 			}
 			return
 		}
@@ -241,13 +270,24 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 		wk.buildScratch = buildFrags(wk.buildScratch[:0], t.part)
 		wk.probeScratch = probeFrags(wk.probeScratch[:0], t.part)
 		bl := buildLen(t.part)
-		if o.ScalarKernels {
+		if o.Kind != Inner {
+			j.joinTaskKind(w, wk, &sinks[w.ID], o.Kind, o.ScalarKernels, bits, wk.buildScratch, wk.probeScratch, bl, probeLens[t.part], op)
+		} else if o.ScalarKernels {
 			j.joinTask(wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl)
 			w.AddBytes(int64(bl+probeLens[t.part]) * (tuple.Bytes + op))
 		} else {
 			j.joinTaskBatch(w, wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl, probeLens[t.part], op)
 		}
 	})
+	if err == nil && o.Kind.padsBuild() {
+		// Unmatched post-pass over the shared tables, once per split
+		// partition, in partition order so the materialized output is
+		// deterministic. The per-task tables already padded theirs.
+		sort.Ints(splitList)
+		for _, p := range splitList {
+			emitUnmatchedBuild(nil, shared[p].asKindTable(), &sinks[0])
+		}
+	}
 	for _, probe := range sharedProbe {
 		pool.Arena().PutTuples(probe)
 	}

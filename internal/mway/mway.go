@@ -310,6 +310,83 @@ func MergeJoinBatched(r, s tuple.Relation, flush func(rPayloads, sPayloads []tup
 	}
 }
 
+// MergeEvents receives the index-level events of MergeJoinEvents. All
+// callbacks are optional; a nil field skips its events, so a caller pays
+// only for the event classes its join kind needs. Indices refer to the
+// input relations, letting the caller decide what to emit (payloads,
+// padding, or nothing) without this package knowing about join kinds.
+type MergeEvents struct {
+	// Pair fires once per matching (r[ri], s[si]) combination — the full
+	// cross product over duplicate groups, like MergeJoin's emit.
+	Pair func(ri, si int)
+	// SOnly fires once per s tuple whose key has no partner in r, in
+	// stream order. Left outer, full outer and anti joins pad from it.
+	SOnly func(si int)
+	// ROnly fires once per r tuple whose key has no partner in s, in
+	// stream order. Right and full outer joins pad from it.
+	ROnly func(ri int)
+	// SemiS fires once per s tuple whose key has at least one partner in
+	// r — the semi-join projection (at most one event per s tuple, unlike
+	// Pair).
+	SemiS func(si int)
+}
+
+// MergeJoinEvents walks two relations sorted by key once, firing the
+// requested events. The traversal (and therefore the memory traffic) is
+// identical to MergeJoin's; only the emission differs, which is what
+// keeps the byte accounting of the sort-merge joins' kind variants equal
+// to their inner form.
+func MergeJoinEvents(r, s tuple.Relation, ev MergeEvents) {
+	i, j := 0, 0
+	for i < len(r) && j < len(s) {
+		rk, sk := r[i].Key, s[j].Key
+		switch {
+		case rk < sk:
+			if ev.ROnly != nil {
+				ev.ROnly(i)
+			}
+			i++
+		case rk > sk:
+			if ev.SOnly != nil {
+				ev.SOnly(j)
+			}
+			j++
+		default:
+			i2 := i + 1
+			for i2 < len(r) && r[i2].Key == rk {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(s) && s[j2].Key == rk {
+				j2++
+			}
+			if ev.Pair != nil {
+				for a := i; a < i2; a++ {
+					for b := j; b < j2; b++ {
+						ev.Pair(a, b)
+					}
+				}
+			}
+			if ev.SemiS != nil {
+				for b := j; b < j2; b++ {
+					ev.SemiS(b)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	if ev.ROnly != nil {
+		for ; i < len(r); i++ {
+			ev.ROnly(i)
+		}
+	}
+	if ev.SOnly != nil {
+		for ; j < len(s); j++ {
+			ev.SOnly(j)
+		}
+	}
+}
+
 // MergeJoin joins two relations sorted by key, emitting every matching
 // payload pair. Duplicate keys on both sides produce the full cross
 // product of the duplicate groups, as the relational join requires.

@@ -4,12 +4,19 @@ import (
 	"context"
 	"fmt"
 	"io"
+
+	"mmjoin/internal/join"
 )
 
 // SweepConfig parameterizes an oracle sweep.
 type SweepConfig struct {
 	// Algos lists the algorithms to check; nil means AlgorithmNames().
 	Algos []string
+	// Kinds lists the join kinds to sweep; nil means {join.Inner}.
+	Kinds []join.Kind
+	// NullFracIdxs lists indices into NullFracs to sweep; nil means {0}
+	// (no NULL keys, the paper's setup).
+	NullFracIdxs []int
 	// Schedules is the number of seeded schedules per algorithm; each
 	// schedule index also varies skew, holes, threads, sizes and the
 	// data seed deterministically. Zero means 8.
@@ -54,13 +61,14 @@ func splitmix64(x uint64) uint64 {
 	return x ^ x>>31
 }
 
-// caseFor derives the i-th case for one algorithm: schedule seed i,
-// with every other dimension pseudo-randomly (but reproducibly) drawn
-// from the hash of (base seed, algorithm, i). The derived case is what
-// gets packed and printed — a failure replays from its seed without
-// knowing the sweep that found it.
-func caseFor(cfg SweepConfig, algo, i int) Case {
-	h := splitmix64(cfg.BaseSeed ^ uint64(algo)<<40 ^ uint64(i))
+// caseFor derives the i-th case for one (algorithm, kind, null-density)
+// cell: schedule seed i, with every other dimension pseudo-randomly
+// (but reproducibly) drawn from the hash of (base seed, algorithm,
+// kind, null index, i). The derived case is what gets packed and
+// printed — a failure replays from its seed without knowing the sweep
+// that found it.
+func caseFor(cfg SweepConfig, algo int, kind join.Kind, nullIdx, i int) Case {
+	h := splitmix64(cfg.BaseSeed ^ uint64(algo)<<40 ^ uint64(kind)<<48 ^ uint64(nullIdx)<<52 ^ uint64(i))
 	buildLog2 := cfg.BuildLog2
 	if buildLog2 == 0 {
 		buildLog2 = 12
@@ -80,6 +88,8 @@ func caseFor(cfg SweepConfig, algo, i int) Case {
 		ProbeLog2:   probeLog2,
 		ProbeDelta:  int(h>>14&7) - 3,
 		Bits:        0,
+		Kind:        kind,
+		NullFracIdx: nullIdx,
 		DataSeed:    h >> 17 & (1<<dataBits - 1),
 		SchedSeed:   uint64(i) & (1<<schedBits - 1),
 	}
@@ -100,6 +110,14 @@ func Sweep(ctx context.Context, cfg SweepConfig) ([]Failure, error) {
 	algos := cfg.Algos
 	if algos == nil {
 		algos = AlgorithmNames()
+	}
+	kinds := cfg.Kinds
+	if kinds == nil {
+		kinds = []join.Kind{join.Inner}
+	}
+	nullIdxs := cfg.NullFracIdxs
+	if nullIdxs == nil {
+		nullIdxs = []int{0}
 	}
 	schedules := cfg.Schedules
 	if schedules == 0 {
@@ -126,34 +144,38 @@ func Sweep(ctx context.Context, cfg SweepConfig) ([]Failure, error) {
 		if !ok {
 			return failures, fmt.Errorf("oracle: unknown algorithm %q", name)
 		}
-		for i := 0; i < schedules; i++ {
-			if err := ctx.Err(); err != nil {
-				return failures, err
+		for _, kind := range kinds {
+			for _, nullIdx := range nullIdxs {
+				for i := 0; i < schedules; i++ {
+					if err := ctx.Err(); err != nil {
+						return failures, err
+					}
+					c := caseFor(cfg, ai, kind, nullIdx, i)
+					cases++
+					divs, err := RunCase(ctx, c, cfg.Inject)
+					if err != nil {
+						return failures, err
+					}
+					if len(divs) == 0 {
+						continue
+					}
+					f := Failure{Case: c, Divergences: divs, Shrunk: c}
+					if maxShrink > 0 {
+						shrunk, evals := Shrink(ctx, c, cfg.Inject, maxShrink)
+						f.Shrunk = shrunk
+						logf("oracle: shrank %s -> %s (%d evals)", c, shrunk, evals)
+					}
+					logf("oracle: DIVERGENCE in case %#x (%s)", c.Seed(), c)
+					for _, d := range f.Divergences {
+						logf("  %s", d)
+					}
+					logf("  reproduce: %s", f.Repro())
+					failures = append(failures, f)
+				}
 			}
-			c := caseFor(cfg, ai, i)
-			cases++
-			divs, err := RunCase(ctx, c, cfg.Inject)
-			if err != nil {
-				return failures, err
-			}
-			if len(divs) == 0 {
-				continue
-			}
-			f := Failure{Case: c, Divergences: divs, Shrunk: c}
-			if maxShrink > 0 {
-				shrunk, evals := Shrink(ctx, c, cfg.Inject, maxShrink)
-				f.Shrunk = shrunk
-				logf("oracle: shrank %s -> %s (%d evals)", c, shrunk, evals)
-			}
-			logf("oracle: DIVERGENCE in case %#x (%s)", c.Seed(), c)
-			for _, d := range f.Divergences {
-				logf("  %s", d)
-			}
-			logf("  reproduce: %s", f.Repro())
-			failures = append(failures, f)
 		}
 	}
-	logf("oracle: %d cases (%d algorithms x %d schedules, batch+scalar each), %d divergences",
-		cases, len(algos), schedules, len(failures))
+	logf("oracle: %d cases (%d algorithms x %d kinds x %d null densities x %d schedules, batch+scalar each), %d divergences",
+		cases, len(algos), len(kinds), len(nullIdxs), schedules, len(failures))
 	return failures, nil
 }

@@ -28,6 +28,12 @@ import (
 // encodes an index into this list.
 var Zipfs = [4]float64{0, 0.5, 0.9, 0.99}
 
+// NullFracs are the NULL-key density sweep points; a case encodes an
+// index into this list. Index 0 keeps the paper's all-valid setup and
+// leaves Options.NullableKeys off, so the inner hot paths stay the
+// audited configuration.
+var NullFracs = [4]float64{0, 0.1, 0.25, 0.5}
+
 // algorithmNames is the oracle's coverage list: every registered
 // algorithm — Table 2 via Names() plus the ablations — must be checked
 // differentially. The registry analyzer holds this list complete, so a
@@ -70,9 +76,14 @@ type Case struct {
 	ProbeDelta int
 	// Bits is Options.RadixBits in [0,10] (0 = the algorithm's default).
 	Bits int
-	// DataSeed (15 bits) feeds the workload generator.
+	// Kind is the join variant under test (one of join.Kinds()).
+	Kind join.Kind
+	// NullFracIdx indexes NullFracs; non-zero also sets
+	// Options.NullableKeys on every run of the case.
+	NullFracIdx int
+	// DataSeed (12 bits) feeds the workload generator.
 	DataSeed uint64
-	// SchedSeed (16 bits) feeds the deterministic schedule.
+	// SchedSeed (15 bits) feeds the deterministic schedule.
 	SchedSeed uint64
 }
 
@@ -85,8 +96,10 @@ const (
 	sizeBits    = 5
 	deltaBits   = 3
 	radixBits   = 4
-	dataBits    = 15
-	schedBits   = 16
+	kindBits    = 3
+	nullBits    = 2
+	dataBits    = 12
+	schedBits   = 15
 )
 
 // canon clamps every field into its encodable range, mirroring what
@@ -103,6 +116,8 @@ func (c Case) canon() Case {
 	c.ProbeLog2 = mod(c.ProbeLog2, 25)
 	c.ProbeDelta = mod(c.ProbeDelta+3, 1<<deltaBits) - 3
 	c.Bits = mod(c.Bits, 11)
+	c.Kind = join.Kind(mod(int(c.Kind), len(join.Kinds())))
+	c.NullFracIdx = mod(c.NullFracIdx, len(NullFracs))
 	c.DataSeed &= 1<<dataBits - 1
 	c.SchedSeed &= 1<<schedBits - 1
 	return c
@@ -131,6 +146,8 @@ func (c Case) Seed() uint64 {
 	put(uint64(c.ProbeLog2), sizeBits)
 	put(uint64(c.ProbeDelta+3), deltaBits)
 	put(uint64(c.Bits), radixBits)
+	put(uint64(c.Kind), kindBits)
+	put(uint64(c.NullFracIdx), nullBits)
 	put(c.DataSeed, dataBits)
 	put(c.SchedSeed, schedBits)
 	return s
@@ -157,6 +174,8 @@ func FromSeed(seed uint64) Case {
 	c.ProbeLog2 = int(get(sizeBits))
 	c.ProbeDelta = int(get(deltaBits)) - 3
 	c.Bits = int(get(radixBits))
+	c.Kind = join.Kind(get(kindBits))
+	c.NullFracIdx = int(get(nullBits))
 	c.DataSeed = get(dataBits)
 	c.SchedSeed = get(schedBits)
 	return c.canon()
@@ -181,12 +200,15 @@ func (c Case) ProbeSize() int {
 // Zipf returns the probe skew factor.
 func (c Case) Zipf() float64 { return Zipfs[c.ZipfIdx] }
 
+// NullFrac returns the NULL-key density of the workload.
+func (c Case) NullFrac() float64 { return NullFracs[c.NullFracIdx] }
+
 func (c Case) String() string {
 	kernel := "batch"
 	if c.Scalar {
 		kernel = "scalar"
 	}
-	return fmt.Sprintf("%s %s |R|=%d |S|=%d zipf=%g holes=%d threads=%d bits=%d dataseed=%d schedseed=%d",
-		c.AlgoName(), kernel, c.BuildSize(), c.ProbeSize(), c.Zipf(), c.Holes,
-		c.Threads(), c.Bits, c.DataSeed, c.SchedSeed)
+	return fmt.Sprintf("%s %s %s |R|=%d |S|=%d zipf=%g holes=%d nullfrac=%g threads=%d bits=%d dataseed=%d schedseed=%d",
+		c.AlgoName(), c.Kind, kernel, c.BuildSize(), c.ProbeSize(), c.Zipf(), c.Holes,
+		c.NullFrac(), c.Threads(), c.Bits, c.DataSeed, c.SchedSeed)
 }

@@ -2,9 +2,11 @@ package oracle
 
 import (
 	"context"
+	"sort"
 	"strings"
 	"testing"
 
+	"mmjoin/internal/join"
 	"mmjoin/internal/tuple"
 )
 
@@ -38,6 +40,8 @@ func TestSeedRoundTrip(t *testing.T) {
 			ProbeLog2:   int(h >> 25 % 40),
 			ProbeDelta:  int(h>>30%9) - 4,
 			Bits:        int(h >> 34 % 13),
+			Kind:        join.Kind(h >> 54 % 9),
+			NullFracIdx: int(h >> 58 % 6),
 			DataSeed:    h >> 37 & 0xffff,
 			SchedSeed:   h >> 41 & 0x1ffff,
 		}
@@ -68,14 +72,19 @@ func TestSeedRoundTrip(t *testing.T) {
 func TestCaseForDeterministic(t *testing.T) {
 	cfg := SweepConfig{BaseSeed: 12345}
 	for ai := 0; ai < len(algorithmNames); ai++ {
-		for i := 0; i < 4; i++ {
-			a := caseFor(cfg, ai, i)
-			b := caseFor(cfg, ai, i)
-			if a != b {
-				t.Fatalf("caseFor(%d,%d) unstable: %+v vs %+v", ai, i, a, b)
-			}
-			if a.Threads()&(a.Threads()-1) != 0 {
-				t.Fatalf("caseFor produced non-power-of-two threads: %+v", a)
+		for _, kind := range join.Kinds() {
+			for i := 0; i < 4; i++ {
+				a := caseFor(cfg, ai, kind, i%len(NullFracs), i)
+				b := caseFor(cfg, ai, kind, i%len(NullFracs), i)
+				if a != b {
+					t.Fatalf("caseFor(%d,%s,%d) unstable: %+v vs %+v", ai, kind, i, a, b)
+				}
+				if a.Threads()&(a.Threads()-1) != 0 {
+					t.Fatalf("caseFor produced non-power-of-two threads: %+v", a)
+				}
+				if a.Kind != kind {
+					t.Fatalf("caseFor dropped the kind: %+v", a)
+				}
 			}
 		}
 	}
@@ -215,6 +224,7 @@ func TestReferenceJoin(t *testing.T) {
 	ref := referenceJoin(
 		tupleRel(1, 10, 2, 20, 2, 21),
 		tupleRel(2, 100, 1, 101, 3, 102, 2, 103),
+		join.Inner,
 	)
 	// Key 2 matches payloads {20,21} x probes {100,103}, key 1 matches
 	// 10 x 101: five pairs total.
@@ -247,6 +257,57 @@ func TestReferenceJoin(t *testing.T) {
 	}
 	if d := diffPairs(append(append([]uint64{}, ref.Pairs...), 999<<32), want); !strings.Contains(d, "spurious pair") {
 		t.Fatalf("extra pair not flagged spurious: %q", d)
+	}
+}
+
+// TestReferenceJoinKinds pins the kind and NULL semantics on a
+// hand-checked input: build {1:10, 2:20, NULL:30}, probe {2:100, 3:101,
+// NULL:102}. The only real match is key 2; key 3 and the NULL probe
+// miss, and build keys 1 and NULL go unmatched.
+func TestReferenceJoinKinds(t *testing.T) {
+	build := append(tupleRel(1, 10, 2, 20), tuple.Tuple{Key: tuple.NullKey, Payload: 30})
+	probe := append(tupleRel(2, 100, 3, 101), tuple.Tuple{Key: tuple.NullKey, Payload: 102})
+	null := uint64(tuple.NullPayload)
+	match := uint64(20)<<32 | 100
+	for _, tc := range []struct {
+		kind join.Kind
+		want []uint64
+	}{
+		{join.Inner, []uint64{match}},
+		{join.LeftOuter, []uint64{match, null<<32 | 101, null<<32 | 102}},
+		{join.RightOuter, []uint64{match, 10<<32 | null, 30<<32 | null}},
+		{join.FullOuter, []uint64{match, null<<32 | 101, null<<32 | 102, 10<<32 | null, 30<<32 | null}},
+		{join.LeftSemi, []uint64{null<<32 | 100}},
+		{join.LeftAnti, []uint64{null<<32 | 101, null<<32 | 102}},
+	} {
+		ref := referenceJoin(build, probe, tc.kind)
+		want := append([]uint64(nil), tc.want...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if d := diffPairs(ref.Pairs, want); d != "" || ref.Matches != int64(len(want)) {
+			t.Errorf("%s: %d pairs %v, want %v (%s)", tc.kind, ref.Matches, ref.Pairs, want, d)
+		}
+	}
+}
+
+// TestSweepKindsClean slices the kind dimension of the acceptance run:
+// every algorithm, every kind, with and without NULL keys.
+func TestSweepKindsClean(t *testing.T) {
+	failures, err := Sweep(context.Background(), SweepConfig{
+		Schedules:    1,
+		BuildLog2:    7,
+		ProbeLog2:    9,
+		BaseSeed:     2016,
+		Kinds:        join.Kinds(),
+		NullFracIdxs: []int{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("divergence in %s:", f.Case)
+		for _, d := range f.Divergences {
+			t.Errorf("  %s", d)
+		}
 	}
 }
 

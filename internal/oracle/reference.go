@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mmjoin/internal/join"
 	"mmjoin/internal/tuple"
 )
 
@@ -19,23 +20,75 @@ type RefResult struct {
 }
 
 // referenceJoin is the naïve, obviously-correct model: a Go map from
-// key to build payloads, probed tuple at a time, emitting every match.
-// It deliberately shares nothing with the algorithms under test — no
-// exec pool, no hash tables, no batch kernels — so a bug in those
-// layers cannot cancel out of the comparison. (join.Reference exists
-// too, but runs through the execution layer the oracle is auditing.)
-func referenceJoin(build, probe tuple.Relation) *RefResult {
+// key to build payloads, probed tuple at a time, emitting every match
+// and the kind's padding rows. It deliberately shares nothing with the
+// algorithms under test — no exec pool, no hash tables, no batch
+// kernels, not even join.Kind's padsProbe/padsBuild helpers — so a bug
+// in those layers cannot cancel out of the comparison. (join.Reference
+// exists too, but runs through the execution layer the oracle is
+// auditing.) NULL keys never match, not even each other; they only
+// surface through the padding of the outer/anti variants.
+func referenceJoin(build, probe tuple.Relation, kind join.Kind) *RefResult {
 	byKey := make(map[tuple.Key][]tuple.Payload, len(build))
 	for _, t := range build {
-		byKey[t.Key] = append(byKey[t.Key], t.Payload)
+		if t.Key != tuple.NullKey {
+			byKey[t.Key] = append(byKey[t.Key], t.Payload)
+		}
 	}
 	res := &RefResult{}
+	emit := func(bp, pp tuple.Payload) {
+		res.Matches++
+		packed := uint64(bp)<<32 | uint64(pp)
+		res.Checksum += packed
+		res.Pairs = append(res.Pairs, packed)
+	}
+	padsBuild := kind == join.RightOuter || kind == join.FullOuter
+	var matched map[tuple.Key]bool
+	if padsBuild {
+		matched = make(map[tuple.Key]bool)
+	}
 	for _, t := range probe {
-		for _, bp := range byKey[t.Key] {
-			res.Matches++
-			packed := uint64(bp)<<32 | uint64(t.Payload)
-			res.Checksum += packed
-			res.Pairs = append(res.Pairs, packed)
+		var ps []tuple.Payload
+		if t.Key != tuple.NullKey {
+			ps = byKey[t.Key]
+		}
+		switch kind {
+		case join.Inner:
+			for _, bp := range ps {
+				emit(bp, t.Payload)
+			}
+		case join.LeftOuter, join.FullOuter:
+			if len(ps) == 0 {
+				emit(tuple.NullPayload, t.Payload)
+			}
+			for _, bp := range ps {
+				emit(bp, t.Payload)
+			}
+			if padsBuild && len(ps) > 0 {
+				matched[t.Key] = true
+			}
+		case join.RightOuter:
+			if len(ps) > 0 {
+				matched[t.Key] = true
+			}
+			for _, bp := range ps {
+				emit(bp, t.Payload)
+			}
+		case join.LeftSemi:
+			if len(ps) > 0 {
+				emit(tuple.NullPayload, t.Payload)
+			}
+		case join.LeftAnti:
+			if len(ps) == 0 {
+				emit(tuple.NullPayload, t.Payload)
+			}
+		}
+	}
+	if padsBuild {
+		for _, t := range build {
+			if t.Key == tuple.NullKey || !matched[t.Key] {
+				emit(t.Payload, tuple.NullPayload)
+			}
 		}
 	}
 	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i] < res.Pairs[j] })

@@ -82,6 +82,7 @@ func (c Case) Generate() (*datagen.Workload, error) {
 		ProbeSize:  c.ProbeSize(),
 		Zipf:       c.Zipf(),
 		HoleFactor: c.Holes,
+		NullFrac:   c.NullFrac(),
 		Seed:       c.DataSeed,
 	})
 }
@@ -106,6 +107,8 @@ func runOne(ctx context.Context, c Case, w *datagen.Workload, scalar bool, injec
 		Domain:        w.Domain,
 		Materialize:   true,
 		ScalarKernels: scalar,
+		Kind:          c.Kind,
+		NullableKeys:  c.NullFracIdx != 0,
 		Schedule:      exec.NewSeededSchedule(c.SchedSeed),
 		Arena:         art.arena,
 		Tracer:        art.tracer,
@@ -252,7 +255,7 @@ func RunCase(ctx context.Context, c Case, inject Fault) ([]Divergence, error) {
 	if err != nil {
 		return nil, fmt.Errorf("oracle: generate %s: %w", c, err)
 	}
-	ref := referenceJoin(w.Build, w.Probe)
+	ref := referenceJoin(w.Build, w.Probe, c.Kind)
 
 	primary, err := runOne(ctx, c, w, c.Scalar, inject)
 	if err != nil {

@@ -1,6 +1,10 @@
 package oracle
 
-import "context"
+import (
+	"context"
+
+	"mmjoin/internal/join"
+)
 
 // shrinkMoves enumerates candidate reductions of a failing case, most
 // aggressive first. Every move strictly decreases the case along some
@@ -55,6 +59,16 @@ func shrinkMoves(c Case) []Case {
 	if c.Bits != 0 {
 		m := c
 		m.Bits = 0
+		add(m)
+	}
+	if c.Kind != join.Inner {
+		m := c
+		m.Kind = join.Inner
+		add(m)
+	}
+	if c.NullFracIdx != 0 {
+		m := c
+		m.NullFracIdx = 0
 		add(m)
 	}
 	if c.SchedSeed != 0 {

@@ -26,6 +26,30 @@ type Tuple struct {
 	Payload Payload
 }
 
+// NullKey is the reserved key value representing a NULL join key. The
+// choice of a reserved value over a separate validity bitmap keeps the
+// tuple at exactly 8 bytes (the cache-line math above and the partition
+// write-combine buffers depend on that), at the cost of shrinking the
+// usable key domain by one: datagen caps generated domains at 2^32-1,
+// so real keys never collide with the sentinel. NULL keys never match —
+// not even another NULL (SQL three-valued-logic semantics) — which the
+// join layer enforces by splitting null-keyed tuples off both inputs
+// before any kernel sees them (see join.Options.NullableKeys).
+const NullKey Key = ^Key(0)
+
+// NullPayload is the padding payload standing in for the missing side
+// of an outer-join row: an unmatched probe tuple materializes as
+// <NullPayload, probePayload>, an unmatched build tuple as
+// <buildPayload, NullPayload>. Semi/anti joins, which project only the
+// probe side, also use NullPayload in the build slot. Like NullKey it
+// is a reserved value, so payloads carrying 2^32-1 are indistinguishable
+// from padding in materialized results; the datagen payloads (row ids)
+// never reach it.
+const NullPayload Payload = ^Payload(0)
+
+// IsNull reports whether the tuple's key is the NULL sentinel.
+func (t Tuple) IsNull() bool { return t.Key == NullKey }
+
 // CacheLineBytes is the cache line size assumed by the buffered
 // partitioning code and the memory-hierarchy simulator.
 const CacheLineBytes = 64

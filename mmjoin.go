@@ -67,6 +67,37 @@ const (
 	SortMerge   = join.SortMerge
 )
 
+// Kind selects the join variant on Options.Kind. The streamed probe
+// relation S is the join's LEFT side, the built relation R its RIGHT
+// side; padding rows carry NullPayload in the missing slot (DESIGN.md
+// §12).
+type Kind = join.Kind
+
+// The six join kinds every algorithm supports.
+const (
+	Inner      = join.Inner
+	LeftOuter  = join.LeftOuter
+	RightOuter = join.RightOuter
+	FullOuter  = join.FullOuter
+	LeftSemi   = join.LeftSemi
+	LeftAnti   = join.LeftAnti
+)
+
+// NULL-key sentinels: with Options.NullableKeys set, a tuple whose Key
+// is NullKey joins with nothing (not even another NULL), and padding
+// rows carry NullPayload on their missing side.
+const (
+	NullKey     = tuple.NullKey
+	NullPayload = tuple.NullPayload
+)
+
+// Kinds lists the six join kinds in declaration order.
+func Kinds() []Kind { return join.Kinds() }
+
+// ParseKind resolves a kind name ("inner", "left-outer", "right-outer",
+// "full-outer", "left-semi", "left-anti").
+func ParseKind(s string) (Kind, error) { return join.ParseKind(s) }
+
 // Execution telemetry: every Result carries the per-phase record of the
 // execution layer on Result.Exec.
 type (
