@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		repeat  = fs.Int("repeat", 1, "repeat measured joins, report the fastest")
 		kindStr = fs.String("kind", "inner", "join kind for measured runs: inner, left-outer, right-outer, full-outer, left-semi, left-anti")
 		nullFr  = fs.Float64("nullfrac", 0, "fraction of keys on each side replaced by the NULL sentinel (turns on nullable-key handling)")
+		budget  = fs.Int64("budget", 0, "memory budget in bytes for budget-aware algorithms (HYBRID, ADAPT); 0 = unlimited")
 		format  = fs.String("format", "text", "output format: text or markdown")
 		asJSON  = fs.Bool("json", false, "emit machine-readable per-algorithm records instead of tables")
 		out     = fs.String("o", "", "write reports to a file instead of stdout")
@@ -140,8 +141,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "joinbench: -nullfrac %g outside [0,1]\n", *nullFr)
 		return 2
 	}
+	if *budget < 0 {
+		fmt.Fprintf(stderr, "joinbench: -budget %d is negative\n", *budget)
+		return 2
+	}
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat,
-		Kind: kind, NullFrac: *nullFr}
+		Kind: kind, NullFrac: *nullFr, MemoryBudget: *budget}
 	// Output destinations are validated before any experiment runs: an
 	// unwritable -trace or -o path must be a prompt usage error, not a
 	// silently dropped artifact discovered after the measurement.

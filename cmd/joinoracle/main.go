@@ -7,7 +7,7 @@
 // Usage:
 //
 //	joinoracle [-algos PRO,NOP] [-kinds all] [-nullfracs 0,0.1]
-//	           [-schedules 32] [-build 20] [-probe 22]
+//	           [-budgets all] [-schedules 32] [-build 20] [-probe 22]
 //	           [-seed 1] [-inject fault] [-shrink 64] [-timeout 10m]
 //	joinoracle -replay 0xSEED [-inject fault]
 package main
@@ -37,11 +37,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		algos     = fs.String("algos", "", "comma-separated algorithms to sweep (default: all)")
 		kinds     = fs.String("kinds", "inner", "comma-separated join kinds to sweep, or \"all\" (inner, left-outer, right-outer, full-outer, left-semi, left-anti)")
 		nullfracs = fs.String("nullfracs", "0", "comma-separated NULL-key densities to sweep, each one of 0, 0.1, 0.25, 0.5")
+		budgets   = fs.String("budgets", "0", "comma-separated memory-budget multipliers of |R| bytes to sweep, each one of 0 (unlimited), 2, 1, 0.5, 0.25, or \"all\"")
 		schedules = fs.Int("schedules", 8, "seeded schedules per algorithm (each runs batch and scalar)")
 		buildLog2 = fs.Int("build", 12, "log2 of the build relation size")
 		probeLog2 = fs.Int("probe", 14, "log2 of the probe relation size")
 		seed      = fs.Uint64("seed", 1, "base seed perturbing every derived case")
-		inject    = fs.String("inject", "none", "inject a fault into every primary run: none, flip-payload, drop-match, extra-span, leak-buffer, double-free")
+		inject    = fs.String("inject", "none", "inject a fault into every primary run: none, flip-payload, drop-match, extra-span, leak-buffer, double-free, spill-create-fail, spill-short-write, spill-read-corrupt")
 		shrink    = fs.Int("shrink", 64, "max oracle evaluations spent shrinking each failure (0 disables)")
 		timeout   = fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 		verbose   = fs.Bool("v", false, "log every shrink step and the sweep summary even on success")
@@ -75,10 +76,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "joinoracle:", err)
 		return 2
 	}
+	budgetIdxs, err := parseBudgets(*budgets)
+	if err != nil {
+		fmt.Fprintln(stderr, "joinoracle:", err)
+		return 2
+	}
 
 	cfg := oracle.SweepConfig{
 		Kinds:          sweepKinds,
 		NullFracIdxs:   nullIdxs,
+		BudgetIdxs:     budgetIdxs,
 		Schedules:      *schedules,
 		BuildLog2:      *buildLog2,
 		ProbeLog2:      *probeLog2,
@@ -110,8 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if names == nil {
 			names = oracle.AlgorithmNames()
 		}
-		fmt.Fprintf(stdout, "joinoracle: OK — %d algorithms x %d kinds x %d null densities x %d schedules x {batch, scalar} at |R|=2^%d, zero divergences\n",
-			len(names), len(sweepKinds), len(nullIdxs), *schedules, *buildLog2)
+		fmt.Fprintf(stdout, "joinoracle: OK — %d algorithms x %d kinds x %d null densities x %d budgets x %d schedules x {batch, scalar} at |R|=2^%d, zero divergences\n",
+			len(names), len(sweepKinds), len(nullIdxs), len(budgetIdxs), *schedules, *buildLog2)
 		return 0
 	}
 	for _, f := range failures {
@@ -171,6 +178,41 @@ func parseNullFracs(s string) ([]int, error) {
 		}
 		if idx < 0 {
 			return nil, fmt.Errorf("-nullfracs value %g is not an encodable density %v", f, oracle.NullFracs)
+		}
+		out = append(out, idx)
+	}
+	if out == nil {
+		out = []int{0}
+	}
+	return out, nil
+}
+
+// parseBudgets resolves the -budgets flag into BudgetMults indices.
+func parseBudgets(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "all" {
+		out := make([]int, len(oracle.BudgetMults))
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -budgets value %q: %v", part, err)
+		}
+		idx := -1
+		for i, m := range oracle.BudgetMults {
+			if m == f {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("-budgets value %g is not an encodable multiplier %v", f, oracle.BudgetMults)
 		}
 		out = append(out, idx)
 	}

@@ -51,6 +51,54 @@ func TestRunInjectedFaultRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunBudgetSweep: the spill matrix — budget-aware algorithms under
+// every budget level — exits 0 with the budget count in the success
+// line.
+func TestRunBudgetSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-algos", "HYBRID,ADAPT", "-kinds", "all", "-budgets", "all",
+		"-schedules", "1", "-build", "7", "-probe", "9"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "5 budgets") {
+		t.Fatalf("missing budget count in success line: %s", out.String())
+	}
+}
+
+// TestRunSpillFaultRoundTrip: an injected spill fault on a spilling
+// sweep makes the run exit 1 with a spill-fault divergence whose repro
+// seed, replayed alone, still diverges.
+func TestRunSpillFaultRoundTrip(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-algos", "HYBRID", "-budgets", "0.5", "-schedules", "1",
+		"-build", "10", "-probe", "12", "-inject", "spill-short-write", "-shrink", "16"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "spill-fault") {
+		t.Fatalf("missing spill-fault divergence: %s", out.String())
+	}
+	var seed string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "reproduce: joinoracle -replay ") {
+			fields := strings.Fields(line)
+			seed = fields[3]
+		}
+	}
+	if seed == "" {
+		t.Fatalf("no repro line in output: %s", out.String())
+	}
+	var replayOut, replayErr strings.Builder
+	code = run([]string{"-replay", seed, "-inject", "spill-short-write"}, &replayOut, &replayErr)
+	if code != 1 {
+		t.Fatalf("replay of %s exited %d, want 1; stdout: %s", seed, code, replayOut.String())
+	}
+	if !strings.Contains(replayOut.String(), "spill-fault") {
+		t.Fatalf("replay did not report the spill-fault divergence: %s", replayOut.String())
+	}
+}
+
 // TestRunReplayCleanSeed: replaying a seed that encodes a healthy case
 // exits 0.
 func TestRunReplayCleanSeed(t *testing.T) {
@@ -74,5 +122,8 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-algos", "NOSUCH", "-schedules", "1"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad algorithm: exit %d, want 2", code)
+	}
+	if code := run([]string{"-budgets", "0.75"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad budget: exit %d, want 2", code)
 	}
 }

@@ -19,13 +19,16 @@ import (
 //   - at least one bench experiment table (every algorithm is
 //     measured somewhere), and
 //   - the differential-oracle coverage list (every algorithm runs
-//     under the seeded-schedule oracle — DESIGN.md §11), and
+//     under the seeded-schedule oracle — DESIGN.md §11),
 //   - the join-kind coverage table (every algorithm supports all six
-//     join kinds and the null-key contract — DESIGN.md §12).
+//     join kinds and the null-key contract — DESIGN.md §12), and
+//   - the memory-budget behavior table (every algorithm declares
+//     whether it ignores, respects-by-spilling, or delegates under
+//     Options.MemoryBudget — DESIGN.md §13).
 //
 // The tables self-identify with a //mmjoin:registry-table <kind>
 // comment on the line before the declaration or statement; kind is one
-// of cancel, fuzz, bench, oracle, kinds. Inside a marked node the analyzer collects
+// of cancel, fuzz, bench, oracle, kinds, spill. Inside a marked node the analyzer collects
 // string-literal algorithm names (map keys, slice elements, append
 // arguments) and treats a call to Names() as "all Table 2
 // registrations". The reverse direction is checked too: a string in a
@@ -37,13 +40,13 @@ import (
 // reports the missing tables).
 var Registry = &Analyzer{
 	Name:       "registry",
-	Doc:        "every registered join algorithm appears in the cancel, fuzz, bench, oracle and kinds tables",
+	Doc:        "every registered join algorithm appears in the cancel, fuzz, bench, oracle, kinds and spill tables",
 	RunProgram: runRegistry,
 }
 
 // registryTableKinds are the coverage tables every algorithm must
 // appear in.
-var registryTableKinds = []string{"cancel", "fuzz", "bench", "oracle", "kinds"}
+var registryTableKinds = []string{"cancel", "fuzz", "bench", "oracle", "kinds", "spill"}
 
 type registration struct {
 	name string
@@ -150,6 +153,8 @@ func kindCoverage(kind string) string {
 		return "differential-oracle"
 	case "kinds":
 		return "join-kind"
+	case "spill":
+		return "memory-budget"
 	default:
 		return "benchmark"
 	}

@@ -1,8 +1,8 @@
 // Package registry is the golden-test fixture for the registry
 // analyzer: a miniature algorithm registry with coverage tables of
-// all five kinds, one duplicate registration, one ablation missing
-// from the fuzz list, one typo'd table entry and one unknown table
-// kind.
+// all six kinds, one duplicate registration, one ablation missing
+// from the fuzz list and another from the spill table, one typo'd
+// table entry and one unknown table kind.
 package registry
 
 // Spec mirrors the join package's registration record.
@@ -20,7 +20,7 @@ func init() {
 	register(Spec{Name: "AAA"})
 	register(Spec{Name: "BBB"})
 	register(Spec{Name: "AAA"})         // want "registered twice"
-	registerAblation(Spec{Name: "CCC"}) // want "missing from every //mmjoin:registry-table fuzz table"
+	registerAblation(Spec{Name: "CCC"}) // want "missing from every //mmjoin:registry-table fuzz table" want "missing from every //mmjoin:registry-table spill table"
 }
 
 // cancelPhases pairs every algorithm with its cancellation phases; the
@@ -59,6 +59,17 @@ var oracleAlgos = append(Names(), "CCC")
 //mmjoin:registry-table kinds
 var kindAlgos = append(Names(), "CCC")
 
+// budgetBehavior declares memory-budget handling per algorithm; the
+// values are behavior labels, not algorithm names, and CCC is
+// deliberately absent (the second coverage gap the analyzer must
+// flag on its registration above).
+//
+//mmjoin:registry-table spill
+var budgetBehavior = map[string]string{
+	"AAA": "ignores",
+	"BBB": "spills",
+}
+
 // cacheAlgos carries a bogus table kind.
 //
 //mmjoin:registry-table cache
@@ -68,5 +79,6 @@ var _ = cancelPhases
 var _ = benchAlgos
 var _ = oracleAlgos
 var _ = kindAlgos
+var _ = budgetBehavior
 var _ = cacheAlgos
 var _ = fuzzNames

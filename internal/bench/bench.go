@@ -48,6 +48,13 @@ type Config struct {
 	// fastest (single-run variance on a shared host is substantial);
 	// 0 means 1.
 	Repeat int
+	// MemoryBudget caps the modeled build-side footprint of every
+	// measured run in bytes; budget-aware algorithms (HYBRID, ADAPT)
+	// spill to temp files to stay inside it, the in-memory thirteen
+	// ignore it (see the join package's budget-behavior table). 0 means
+	// unlimited. Experiments that sweep budgets themselves (spilljoin)
+	// override it per run.
+	MemoryBudget int64
 	// Tracer, when non-nil, collects execution spans from every
 	// measured join (and bandwidth counters from the simulated
 	// experiments) for -trace export. Repeated runs all land on the
@@ -219,7 +226,7 @@ func experimentOrder(id string) int {
 		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19", "tab3", "tab4",
 		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder", "ablbatch",
-		"seljoin"}
+		"seljoin", "spilljoin"}
 	for i, v := range order {
 		if v == id {
 			return i
@@ -267,7 +274,7 @@ func runJoin(c Config, name string, w *datagen.Workload, opts join.Options) (*jo
 }
 
 func runJoinRepeat(c Config, name string, w *datagen.Workload, opts join.Options, repeat int) (*join.Result, error) {
-	algo, err := join.New(name)
+	algo, err := join.NewAny(name)
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +282,9 @@ func runJoinRepeat(c Config, name string, w *datagen.Workload, opts join.Options
 	opts.Tracer = c.Tracer
 	if opts.Kind == join.Inner {
 		opts.Kind = c.Kind
+	}
+	if opts.MemoryBudget == 0 {
+		opts.MemoryBudget = c.MemoryBudget
 	}
 	if c.NullFrac > 0 {
 		opts.NullableKeys = true

@@ -76,6 +76,7 @@ type Pool struct {
 	stats     Stats
 	phaseHook func(phase string)
 	tracer    *trace.Tracer
+	pid       int
 	driver    *trace.Shard
 	shards    []*trace.Shard
 	// sched, when non-nil, replaces concurrent execution with the
@@ -128,6 +129,7 @@ func (p *Pool) SetTracer(tr *trace.Tracer, label string) {
 	}
 	p.tracer = tr
 	pid := tr.NewProcess(label)
+	p.pid = pid
 	p.driver = tr.NewShard(pid, 0, "driver")
 	p.shards = make([]*trace.Shard, p.threads)
 	for i := range p.shards {
@@ -137,6 +139,16 @@ func (p *Pool) SetTracer(tr *trace.Tracer, label string) {
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
+
+// Counter emits a point-in-time counter sample on the pool's trace
+// process track (e.g. cumulative spilled bytes after a spill phase).
+// A no-op without a tracer.
+func (p *Pool) Counter(name string, value float64) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Counter(p.pid, name, p.tracer.Since(time.Now()), value)
+}
 
 // Threads returns the worker count.
 func (p *Pool) Threads() int { return p.threads }
@@ -355,6 +367,35 @@ func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) err
 			fn(w, t)
 		}
 	})
+}
+
+// RunQueueErr is RunQueue for phases whose tasks can fail (spill I/O):
+// fn returns an error, the first one is captured, and every task popped
+// after a failure returns immediately without running its body — the
+// queue still drains, so task counts and spans stay balanced under any
+// schedule. The pool's cancellation error takes precedence over task
+// errors, preserving the RunContext cancellation contract.
+func (p *Pool) RunQueueErr(phase string, q Queue, fn func(w *Worker, task int) error) error {
+	var mu sync.Mutex
+	var first error
+	failed := atomic.Bool{}
+	err := p.RunQueue(phase, q, func(w *Worker, task int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(w, task); err != nil {
+			mu.Lock()
+			if first == nil {
+				first = err
+			}
+			mu.Unlock()
+			failed.Store(true)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return first
 }
 
 // runQueueScheduled is RunQueue under a deterministic schedule: the

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mmjoin/internal/trace"
+)
+
+func TestRunQueueErrPropagatesFirstError(t *testing.T) {
+	errBoom := errors.New("boom")
+	p := NewPool(context.Background(), 4)
+	var ran int32
+	err := p.RunQueueErr("io", NewRange(64), func(w *Worker, task int) error {
+		ran++
+		if task == 7 {
+			return fmt.Errorf("task %d: %w", task, errBoom)
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want wrapped errBoom", err)
+	}
+	// The queue still drained: stats stay balanced even on failure.
+	st := p.Stats().Phases
+	if len(st) != 1 || st[0].Tasks != 64 {
+		t.Fatalf("phase stats %+v, want 64 counted tasks", st)
+	}
+	_ = ran
+}
+
+func TestRunQueueErrSkipsBodiesAfterFailure(t *testing.T) {
+	errBoom := errors.New("boom")
+	// Deterministic single-goroutine schedule: tasks pop in order, so
+	// everything after the failing task must be skipped.
+	p := NewPool(context.Background(), 2)
+	p.SetSchedule(NewSeededSchedule(1))
+	var bodies []int
+	err := p.RunQueueErr("io", NewRange(16), func(w *Worker, task int) error {
+		bodies = append(bodies, task)
+		if task == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(bodies) != 4 {
+		t.Fatalf("ran %d task bodies (%v), want 4 (tasks 0..3)", len(bodies), bodies)
+	}
+	if got := p.Stats().Phases[0].Tasks; got != 16 {
+		t.Fatalf("counted %d tasks, want 16 (skipped tasks still pop)", got)
+	}
+}
+
+func TestRunQueueErrSuccess(t *testing.T) {
+	p := NewPool(context.Background(), 3)
+	if err := p.RunQueueErr("io", NewRange(10), func(w *Worker, task int) error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestRunQueueErrCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, 1)
+	errBoom := errors.New("boom")
+	err := p.RunQueueErr("io", NewRange(8), func(w *Worker, task int) error {
+		cancel()
+		return errBoom
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (cancellation outranks task errors)", err)
+	}
+}
+
+func TestPoolCounterEmitsOnTracer(t *testing.T) {
+	tr := trace.New()
+	p := NewPool(context.Background(), 1)
+	p.SetTracer(tr, "test")
+	p.Counter("spill.write.bytes", 4096)
+	p.Counter("spill.write.bytes", 8192)
+	got := tr.CounterSamples("spill.write.bytes")
+	if len(got) != 2 || got[0] != 4096 || got[1] != 8192 {
+		t.Fatalf("counter samples = %v", got)
+	}
+	// Without a tracer Counter is a no-op, not a panic.
+	p2 := NewPool(context.Background(), 1)
+	p2.Counter("spill.write.bytes", 1)
+}

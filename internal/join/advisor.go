@@ -20,6 +20,14 @@ type WorkloadProfile struct {
 	DomainSize int
 	// Threads available for the join.
 	Threads int
+	// DupFactor is the mean probe multiplicity per distinct probe key
+	// (1 = all-distinct probes). Informational; reported by the runtime
+	// sampler and echoed in rationales, it does not flip any pick yet.
+	DupFactor float64
+	// MemoryBudget caps the bytes the build side may occupy at once
+	// (0 = unlimited). A budget below the modeled build footprint
+	// overrides every in-memory lesson: only HYBRID can honor it.
+	MemoryBudget int64
 }
 
 // Recommendation is the advisor's verdict.
@@ -47,6 +55,17 @@ func Recommend(w WorkloadProfile) Recommendation {
 	const smallInputTuples = 8 << 20 // lesson (1): ~8M tuples
 	var rec Recommendation
 	dense := w.KeysDense && (w.DomainSize == 0 || w.DomainSize <= 4*w.BuildTuples)
+
+	// The budget check outranks every in-memory lesson: the Section 9
+	// guidance assumes the build-side table fits in memory, and no
+	// Table 2 algorithm degrades gracefully when it does not.
+	if w.MemoryBudget > 0 && hybridFootprint(w.BuildTuples) > w.MemoryBudget {
+		rec.Algorithm = "HYBRID"
+		rec.Rationale = append(rec.Rationale,
+			fmt.Sprintf("budget: the modeled build footprint (%d B at 16 B/tuple) exceeds the %d B memory budget; only the spilling hybrid hash join stays within it",
+				hybridFootprint(w.BuildTuples), w.MemoryBudget))
+		return rec
+	}
 
 	switch {
 	case w.BuildTuples < smallInputTuples:

@@ -1,8 +1,11 @@
 package join
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"mmjoin/internal/datagen"
 )
 
 func TestRecommendSmallInputsAvoidCPR(t *testing.T) {
@@ -64,5 +67,126 @@ func TestRecommendationCarriesRationale(t *testing.T) {
 	}
 	if _, err := New(rec.Algorithm); err != nil {
 		t.Fatalf("advisor recommended unknown algorithm %s", rec.Algorithm)
+	}
+}
+
+func TestRecommendBudgetOverridesEverything(t *testing.T) {
+	profiles := []WorkloadProfile{
+		{BuildTuples: 1 << 20, ProbeTuples: 10 << 20, KeysDense: true, Threads: 32},   // would be NOPA
+		{BuildTuples: 128 << 20, ProbeTuples: 1280 << 20, Threads: 60},                // would be CPRL
+		{BuildTuples: 128 << 20, ProbeTuples: 1280 << 20, ZipfSkew: 0.99, Threads: 8}, // would be NOP
+	}
+	for i, p := range profiles {
+		p.MemoryBudget = hybridFootprint(p.BuildTuples) - 1
+		rec := Recommend(p)
+		if rec.Algorithm != "HYBRID" {
+			t.Fatalf("profile %d with a busting budget recommended %s, want HYBRID", i, rec.Algorithm)
+		}
+		if !strings.Contains(strings.Join(rec.Rationale, "\n"), "budget") {
+			t.Fatalf("profile %d: budget pick must say why:\n%v", i, rec.Rationale)
+		}
+		// The exact footprint still fits: the budget branch must not fire.
+		p.MemoryBudget = hybridFootprint(p.BuildTuples)
+		if rec := Recommend(p); rec.Algorithm == "HYBRID" {
+			t.Fatalf("profile %d: a budget equal to the footprint must not force spilling", i)
+		}
+	}
+}
+
+// TestSampleProfileConvergence checks the runtime sampler against the
+// analytic profile of seeded datagen workloads: the estimates ADAPT
+// feeds the advisor must land close enough to the generator's
+// configured parameters that the advisor reaches the same verdict it
+// would with perfect knowledge.
+func TestSampleProfileConvergence(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     datagen.Config
+		dense   bool
+		zipfLo  float64 // inclusive bounds on the estimated exponent
+		zipfHi  float64
+		domHi   float64 // DomainSize upper bound as a multiple of the true domain
+		dupWant float64 // expected probe duplication, 0 = don't check
+	}{
+		{
+			name:   "uniform-dense",
+			cfg:    datagen.Config{BuildSize: 1 << 17, ProbeSize: 1 << 19, Seed: 90},
+			dense:  true,
+			zipfLo: 0, zipfHi: 0, // uniform probes must read as no skew
+			domHi: 1.05,
+		},
+		{
+			name:   "holes",
+			cfg:    datagen.Config{BuildSize: 1 << 16, ProbeSize: 1 << 18, HoleFactor: 3, Seed: 91},
+			dense:  true, // keys are still unique; only the domain stretches
+			zipfLo: 0, zipfHi: 0,
+			domHi: 3.2,
+		},
+		{
+			name:   "zipf-heavy",
+			cfg:    datagen.Config{BuildSize: 1 << 17, ProbeSize: 1 << 19, Zipf: 0.99, Seed: 92},
+			dense:  true,
+			zipfLo: 0.75, zipfHi: 1.2,
+			domHi: 1.05,
+		},
+		{
+			name:   "zipf-mild",
+			cfg:    datagen.Config{BuildSize: 1 << 17, ProbeSize: 1 << 19, Zipf: 0.5, Seed: 93},
+			dense:  true,
+			zipfLo: 0.25, zipfHi: 0.75,
+			domHi: 1.05,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := datagen.Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof := SampleProfile(w.Build, w.Probe, 4, 0)
+			if prof.BuildTuples != len(w.Build) || prof.ProbeTuples != len(w.Probe) {
+				t.Fatalf("cardinalities are metadata and must be exact: %+v", prof)
+			}
+			if prof.KeysDense != tc.dense {
+				t.Fatalf("KeysDense = %v, want %v", prof.KeysDense, tc.dense)
+			}
+			domLo := int(0.95 * float64(w.Domain))
+			if prof.DomainSize < domLo || float64(prof.DomainSize) > tc.domHi*float64(w.Domain) {
+				t.Fatalf("DomainSize estimate %d outside [%d, %.0f] (true domain %d)",
+					prof.DomainSize, domLo, tc.domHi*float64(w.Domain), w.Domain)
+			}
+			if prof.ZipfSkew < tc.zipfLo || prof.ZipfSkew > tc.zipfHi {
+				t.Fatalf("ZipfSkew estimate %.3f outside [%.2f, %.2f] (configured %.2f)",
+					prof.ZipfSkew, tc.zipfLo, tc.zipfHi, tc.cfg.Zipf)
+			}
+			if prof.DupFactor < 1 {
+				t.Fatalf("DupFactor %.3f < 1 — a mean multiplicity cannot be", prof.DupFactor)
+			}
+			if tc.dupWant > 0 && math.Abs(prof.DupFactor-tc.dupWant) > 0.5*tc.dupWant {
+				t.Fatalf("DupFactor %.3f, want ~%.2f", prof.DupFactor, tc.dupWant)
+			}
+		})
+	}
+}
+
+// TestAdaptNeverPicksInMemoryUnderBudget is the regression the spilling
+// work hangs off: across build sizes and budget fractions below the
+// modeled footprint, the sampled profile must always route to HYBRID —
+// never to an in-memory Table 2 algorithm that would bust the budget.
+func TestAdaptNeverPicksInMemoryUnderBudget(t *testing.T) {
+	for _, size := range []int{1 << 12, 1 << 15, 1 << 17} {
+		w, err := datagen.Generate(datagen.Config{BuildSize: size, ProbeSize: 4 * size, Seed: uint64(94 + size)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mult := range []float64{0.9, 0.5, 0.25, 0.1} {
+			budget := int64(mult * float64(hybridFootprint(size)))
+			prof := SampleProfile(w.Build, w.Probe, 4, budget)
+			rec := Recommend(prof)
+			if rec.Algorithm != "HYBRID" {
+				t.Fatalf("size %d, budget %.2fx footprint: picked %s — an in-memory algorithm under a busting budget",
+					size, mult, rec.Algorithm)
+			}
+		}
 	}
 }

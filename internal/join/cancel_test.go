@@ -149,6 +149,12 @@ var cancelPhases = map[string][2]string{
 	"CHTJ":  {"bulkload", "probe"},
 	"MWAY":  {"partition(S)/scatter", "merge-join"},
 	"MPSM":  {"sort", "merge-join"},
+	// HYBRID without a budget keeps all partitions resident; the spill
+	// phases get their own cancellation test in hybrid_test.go.
+	"HYBRID": {"partition(R)/histogram", "join(resident)"},
+	// ADAPT records only its delegate's phases; on this workload (dense
+	// 2^18-tuple build, no budget) the advisor picks NOPA.
+	"ADAPT": {"build", "probe"},
 }
 
 // TestCancelMidPhase cancels every algorithm mid-early-phase and
@@ -156,7 +162,7 @@ var cancelPhases = map[string][2]string{
 // newly added join cannot ship without a cancellation contract.
 func TestCancelMidPhase(t *testing.T) {
 	covered := map[string]bool{}
-	for _, name := range append(Names(), "MPSM", "NOPC") {
+	for _, name := range append(Names(), "MPSM", "NOPC", "HYBRID", "ADAPT") {
 		if _, ok := cancelPhases[name]; !ok {
 			t.Fatalf("cancelPhases has no entry for %s — add its early/late phases", name)
 		}

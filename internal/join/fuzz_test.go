@@ -13,28 +13,37 @@ import (
 // must match the reference oracle. Seeds cover the corner regimes;
 // `go test -fuzz=FuzzJoinEquivalence` explores beyond them.
 func FuzzJoinEquivalence(f *testing.F) {
-	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0), uint8(0), uint8(0))
-	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0), uint16(0), uint8(0), uint8(0))
-	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3), uint16(7), uint8(0), uint8(0))
+	f.Add(uint16(1), uint16(100), uint16(400), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint16(2), uint16(1), uint16(0), uint8(0), uint8(3), uint8(9), uint8(1), uint8(0), uint16(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint16(3), uint16(2000), uint16(8000), uint8(4), uint8(12), uint8(1), uint8(0), uint8(3), uint16(7), uint8(0), uint8(0), uint8(0), uint8(0))
 	// Heavy skew on a sparse domain — the Figure 10/11 regime where the
 	// array joins and skew-aware scheduling earn their keep.
-	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7), uint16(99), uint8(0), uint8(0))
+	f.Add(uint16(4), uint16(3000), uint16(12000), uint8(3), uint8(7), uint8(5), uint8(3), uint8(7), uint16(99), uint8(0), uint8(0), uint8(0), uint8(0))
 	// Full outer with NULL keys on both sides: both padding paths and the
 	// null prelude at once.
-	f.Add(uint16(5), uint16(800), uint16(3200), uint8(2), uint8(5), uint8(4), uint8(0), uint8(2), uint16(3), uint8(3), uint8(2))
+	f.Add(uint16(5), uint16(800), uint16(3200), uint8(2), uint8(5), uint8(4), uint8(0), uint8(2), uint16(3), uint8(3), uint8(2), uint8(0), uint8(0))
 	// Anti join under heavy skew — unmatched-run batch kernels.
-	f.Add(uint16(6), uint16(1500), uint16(6000), uint8(3), uint8(9), uint8(6), uint8(3), uint8(4), uint16(11), uint8(5), uint8(1))
+	f.Add(uint16(6), uint16(1500), uint16(6000), uint8(3), uint8(9), uint8(6), uint8(3), uint8(4), uint16(11), uint8(5), uint8(1), uint8(0), uint8(0))
+	// HYBRID at a quarter budget on a skewed full outer: spill writes,
+	// recursion and the BNL floor under a deterministic schedule.
+	f.Add(uint16(7), uint16(3000), uint16(12000), uint8(2), uint8(15), uint8(2), uint8(3), uint8(1), uint16(13), uint8(3), uint8(1), uint8(4), uint8(1))
+	// ADAPT under a busting budget: the sampler must route to HYBRID.
+	f.Add(uint16(8), uint16(2500), uint16(10000), uint8(3), uint8(16), uint8(0), uint8(0), uint8(2), uint16(5), uint8(4), uint8(2), uint8(3), uint8(2))
 	// Every registered algorithm — Table 2 via Names() plus the
 	// ablations — is fuzzed against the oracle; the registry analyzer
 	// holds this list complete.
 	//mmjoin:registry-table fuzz
-	names := append(Names(), "MPSM", "NOPC")
+	names := append(Names(), "MPSM", "NOPC", "HYBRID", "ADAPT")
 	// The paper's skew points (Section 5.4): uniform, moderate, heavy,
 	// very heavy. Zipf must stay in [0,1) for the generator.
 	zipfs := []float64{0, 0.5, 0.9, 0.99}
 	// NULL-key density points; 0 keeps the paper's all-valid setup.
 	nullFracs := []float64{0, 0.1, 0.25, 0.5}
-	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8, schedRaw uint16, kindRaw, nullRaw uint8) {
+	// Memory-budget points as multiples of the build side's raw bytes:
+	// unlimited, a fitting budget (the modeled footprint is 2x the raw
+	// bytes), and three spilling levels.
+	budgetMults := []float64{0, 2, 1, 0.5, 0.25}
+	f.Fuzz(func(t *testing.T, seed, buildRaw, probeRaw uint16, threadsRaw, algoRaw, bitsRaw, zipfRaw, holesRaw uint8, schedRaw uint16, kindRaw, nullRaw, budgetRaw, depthRaw uint8) {
 		build := int(buildRaw%4000) + 1
 		probe := int(probeRaw % 16000)
 		threads := 1 << (threadsRaw % 5)
@@ -44,6 +53,15 @@ func FuzzJoinEquivalence(f *testing.F) {
 		holes := int(holesRaw%8) + 1 // hole factor 1 (dense) .. 8 (sparse)
 		kind := Kinds()[int(kindRaw)%len(Kinds())]
 		nullFrac := nullFracs[int(nullRaw)%len(nullFracs)]
+		// Budget and recursion-depth dimensions: the budget-aware
+		// algorithms must agree with the oracle at every spill level and
+		// recursion bound; the in-memory algorithms ignore both fields.
+		budget := int64(budgetMults[int(budgetRaw)%len(budgetMults)] * float64(build) * 8)
+		depth := int(depthRaw%4) + 1
+		var spillDir string
+		if budget > 0 {
+			spillDir = t.TempDir()
+		}
 		// Schedule dimension: 0 keeps the default concurrent execution;
 		// anything else replays the seeded deterministic interleaving, so
 		// the fuzzer also explores task orderings, not just data shapes.
@@ -75,6 +93,7 @@ func FuzzJoinEquivalence(f *testing.F) {
 				Threads: threads, Domain: w.Domain, RadixBits: bits,
 				ScalarKernels: scalar, Schedule: schedule,
 				Kind: kind, NullableKeys: nullFrac > 0,
+				MemoryBudget: budget, SpillDir: spillDir, MaxSpillDepth: depth,
 			})
 			if err != nil {
 				t.Fatal(err)

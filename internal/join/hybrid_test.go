@@ -1,0 +1,435 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sort"
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+	"mmjoin/internal/spill"
+	"mmjoin/internal/trace"
+	"mmjoin/internal/tuple"
+)
+
+// hybridBudgets are the budget levels the equivalence tests sweep, as
+// multiples of the build side's raw bytes (|R|·8). The modeled table
+// footprint is 16 B/tuple, so 2x fits exactly, 1x and below spill.
+var hybridBudgets = []struct {
+	name string
+	mult float64
+}{
+	{"unlimited", 0},
+	{"2x", 2},
+	{"1x", 1},
+	{"0.5x", 0.5},
+	{"0.25x", 0.25},
+}
+
+func budgetBytes(buildLen int, mult float64) int64 {
+	return int64(mult * float64(buildLen) * tuple.Bytes)
+}
+
+func mustAny(t *testing.T, name string) Algorithm {
+	t.Helper()
+	a, err := NewAny(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func sortPairsHybrid(ps []tuple.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].BuildPayload != ps[j].BuildPayload {
+			return ps[i].BuildPayload < ps[j].BuildPayload
+		}
+		return ps[i].ProbePayload < ps[j].ProbePayload
+	})
+}
+
+// requireEmptyDir asserts the spill parent directory holds nothing —
+// every HYBRID execution must remove its files and its subdirectory.
+func requireEmptyDir(t *testing.T, dir, label string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("%s: spill dir not empty after run: %v", label, names)
+	}
+}
+
+// TestHybridMatchesReferenceAcrossBudgets is the core equivalence
+// property: for every join kind and every budget level — spilling or
+// not — the hybrid join's materialized pair multiset equals the
+// in-memory reference join's, on a workload with null keys on both
+// sides and guaranteed probe misses. Arena balance and spill-file
+// cleanup are asserted per run.
+func TestHybridMatchesReferenceAcrossBudgets(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize: 4000, ProbeSize: 16000, NullFrac: 0.15, Seed: 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missProbe(w, 3)
+	for _, kind := range Kinds() {
+		ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{
+			Kind: kind, NullableKeys: true, Materialize: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairsHybrid(ref.Pairs)
+		for _, bl := range hybridBudgets {
+			t.Run(kind.String()+"/"+bl.name, func(t *testing.T) {
+				arena := exec.NewArena()
+				dir := t.TempDir()
+				res, err := mustAny(t, "HYBRID").Run(w.Build, w.Probe, &Options{
+					Threads: 4, Kind: kind, NullableKeys: true, Materialize: true,
+					MemoryBudget: budgetBytes(len(w.Build), bl.mult),
+					SpillDir:     dir, Arena: arena,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bl.mult != 0 && bl.mult <= 1 && res.SpilledPartitions == 0 {
+					t.Fatalf("budget %s did not spill (footprint 2x the budgeted bytes)", bl.name)
+				}
+				if bl.mult == 0 && (res.SpilledPartitions != 0 || res.SpilledBytes != 0) {
+					t.Fatalf("unlimited budget spilled %d partitions", res.SpilledPartitions)
+				}
+				if len(res.Pairs) != len(ref.Pairs) {
+					t.Fatalf("%d pairs, reference %d", len(res.Pairs), len(ref.Pairs))
+				}
+				sortPairsHybrid(res.Pairs)
+				for i := range ref.Pairs {
+					if res.Pairs[i] != ref.Pairs[i] {
+						t.Fatalf("pair %d = %v, want %v", i, res.Pairs[i], ref.Pairs[i])
+					}
+				}
+				if res.Checksum != ref.Checksum || res.Matches != ref.Matches {
+					t.Fatalf("checksum/matches diverge from reference")
+				}
+				if out := arena.Outstanding(); out != 0 {
+					t.Fatalf("arena balance %d after run", out)
+				}
+				requireEmptyDir(t, dir, bl.name)
+			})
+		}
+	}
+}
+
+// TestHybridSingleKeyBNLFloor drives the recursion floor: every build
+// key identical, so re-partitioning can never split the partition and
+// the block nested-loop must produce the full cross product — under a
+// budget that holds only a sliver of the build side, at several
+// recursion depths, for every kind.
+func TestHybridSingleKeyBNLFloor(t *testing.T) {
+	const rN, sN = 1500, 3000
+	build := make(tuple.Relation, rN)
+	for i := range build {
+		build[i] = tuple.Tuple{Key: 5, Payload: tuple.Payload(i)}
+	}
+	probe := make(tuple.Relation, sN)
+	for i := range probe {
+		probe[i] = tuple.Tuple{Key: 5, Payload: tuple.Payload(1000 + i)}
+	}
+	// Every 3rd probe tuple misses, so outer/anti padding is exercised.
+	for i := 0; i < sN; i += 3 {
+		probe[i].Key = 99
+	}
+	for _, kind := range Kinds() {
+		for _, depth := range []int{1, 2, 4} {
+			ref, err := (Reference{}).Run(build, probe, &Options{Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := exec.NewArena()
+			dir := t.TempDir()
+			res, err := mustAny(t, "HYBRID").Run(build, probe, &Options{
+				Threads: 2, Kind: kind,
+				MemoryBudget:  64 * hybridTupleFootprint, // a 64-tuple BNL block
+				MaxSpillDepth: depth,
+				SpillDir:      dir, Arena: arena,
+			})
+			if err != nil {
+				t.Fatalf("%s depth %d: %v", kind, depth, err)
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				t.Fatalf("%s depth %d: %d matches (checksum %x), reference %d (%x)",
+					kind, depth, res.Matches, res.Checksum, ref.Matches, ref.Checksum)
+			}
+			if res.SpilledPartitions == 0 {
+				t.Fatalf("%s depth %d: single-key workload under tiny budget must spill", kind, depth)
+			}
+			if out := arena.Outstanding(); out != 0 {
+				t.Fatalf("%s depth %d: arena balance %d", kind, depth, out)
+			}
+			requireEmptyDir(t, dir, kind.String())
+		}
+	}
+}
+
+// TestHybridRoleReversal white-boxes joinRec: a spilled co-partition
+// whose probe side fits the budget (and is smaller than the build side)
+// must be joined with the roles reversed rather than re-partitioned,
+// and the reversed kernel must produce reference-identical results for
+// every kind — including duplicate keys on both sides.
+func TestHybridRoleReversal(t *testing.T) {
+	const rN, sN = 4000, 120
+	build := make(tuple.Relation, rN)
+	for i := range build {
+		build[i] = tuple.Tuple{Key: tuple.Key(i % 40), Payload: tuple.Payload(i)}
+	}
+	probe := make(tuple.Relation, sN)
+	for i := range probe {
+		probe[i] = tuple.Tuple{Key: tuple.Key(i % 60), Payload: tuple.Payload(7000 + i)}
+	}
+	for _, kind := range Kinds() {
+		ref, err := (Reference{}).Run(build, probe, &Options{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &hybridState{
+			kind: kind,
+			// Probe fits (120·16 = 1920 ≤ 4096), build does not (64000).
+			budget:   4096,
+			maxDepth: hybridDefaultMaxDepth,
+			arena:    exec.NewArena(),
+		}
+		var snk sink
+		var hw hybridWorker
+		pool := exec.NewPool(context.Background(), 1)
+		pool.SetArena(st.arena)
+		if err := pool.RunQueue("test", exec.NewRange(1), func(w *exec.Worker, _ int) {
+			hw.joinRec(w, st, build, probe, 0, 1, &snk)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if st.reversals.Load() == 0 {
+			t.Fatalf("%s: small probe side did not trigger role reversal", kind)
+		}
+		if snk.matches != ref.Matches || snk.checksum != ref.Checksum {
+			t.Fatalf("%s reversed: %d matches (checksum %x), reference %d (%x)",
+				kind, snk.matches, snk.checksum, ref.Matches, ref.Checksum)
+		}
+		if out := st.arena.Outstanding(); out != 0 {
+			t.Fatalf("%s: arena balance %d", kind, out)
+		}
+	}
+}
+
+// TestHybridSpillCountersAndStats checks the observability contract of
+// a spilling run: the trace counters account every spilled byte, the
+// bytes written equal the bytes read back, and the Result reports the
+// spill volume.
+func TestHybridSpillCountersAndStats(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 8192, ProbeSize: 32768, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.New()
+	dir := t.TempDir()
+	res, err := mustAny(t, "HYBRID").Run(w.Build, w.Probe, &Options{
+		Threads:      4,
+		MemoryBudget: budgetBytes(len(w.Build), 0.5),
+		SpillDir:     dir,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpilledPartitions == 0 || res.SpilledBytes == 0 {
+		t.Fatalf("0.5x budget must spill (got %d partitions, %d bytes)",
+			res.SpilledPartitions, res.SpilledBytes)
+	}
+	sum := func(name string) (total float64) {
+		for _, v := range tracer.CounterSamples(name) {
+			total += v
+		}
+		return
+	}
+	written, read := sum("spill.write.bytes"), sum("spill.read.bytes")
+	if written == 0 || written != read {
+		t.Fatalf("spill counters: wrote %v bytes, read %v — every spilled byte must round-trip", written, read)
+	}
+	if written != float64(res.SpilledBytes) {
+		t.Fatalf("Result.SpilledBytes = %d, counter says %v", res.SpilledBytes, written)
+	}
+	requireEmptyDir(t, dir, "counters")
+}
+
+// TestHybridSpillPhaseCancellation cancels inside the two spill-only
+// phases (which the shared cancellation table cannot reach without a
+// budget) and asserts the standard contract plus spill-specific
+// cleanup: no temp files or directories survive.
+func TestHybridSpillPhaseCancellation(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 15, ProbeSize: 1 << 16, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"spill(write)", "join(spilled)"} {
+		t.Run(phase, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			arena := exec.NewArena()
+			dir := t.TempDir()
+			hookFired := false
+			res, err := mustAny(t, "HYBRID").RunContext(ctx, w.Build, w.Probe, &Options{
+				Threads:      4,
+				MemoryBudget: budgetBytes(len(w.Build), 0.25),
+				SpillDir:     dir,
+				Arena:        arena,
+				PhaseHook: func(p string) {
+					if p == phase {
+						hookFired = true
+						cancel()
+					}
+				},
+			})
+			if !hookFired {
+				t.Fatalf("never entered phase %q", phase)
+			}
+			if !errors.Is(err, context.Canceled) || res != nil {
+				t.Fatalf("res, err = %v, %v — want nil, context.Canceled", res, err)
+			}
+			if out := arena.Outstanding(); out != 0 {
+				t.Fatalf("arena balance %d after cancellation", out)
+			}
+			requireEmptyDir(t, dir, phase)
+		})
+	}
+}
+
+// TestHybridSpillFaults arms each deterministic spill fault against a
+// spilling join and asserts the error contract: a wrapped sentinel
+// surfaces, no partial result leaks, the arena balances, and not a
+// single temp file or directory is left behind.
+func TestHybridSpillFaults(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 14, ProbeSize: 1 << 15, Seed: 84})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mode spill.Mode
+		want error
+	}{
+		{spill.CreateFail, spill.ErrInjected},
+		{spill.ShortWrite, spill.ErrInjected},
+		{spill.ReadCorrupt, spill.ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			arena := exec.NewArena()
+			dir := t.TempDir()
+			res, err := mustAny(t, "HYBRID").Run(w.Build, w.Probe, &Options{
+				Threads:       4,
+				MemoryBudget:  budgetBytes(len(w.Build), 0.25),
+				SpillDir:      dir,
+				Arena:         arena,
+				SpillInjector: spill.NewInjector(tc.mode),
+			})
+			if res != nil {
+				t.Fatalf("%s: got a result despite an injected fault", tc.mode)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s: err = %v, want wrapped %v", tc.mode, err, tc.want)
+			}
+			if out := arena.Outstanding(); out != 0 {
+				t.Fatalf("%s: arena balance %d on the error path", tc.mode, out)
+			}
+			requireEmptyDir(t, dir, tc.mode.String())
+		})
+	}
+}
+
+// TestHybridExplicitBitsRecurse pins the recursion path: with RadixBits
+// forced low, level-0 partitions stay over budget and must recurse
+// (not BNL — the keys are uniform, so sub-partitioning succeeds).
+func TestHybridExplicitBitsRecurse(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 8192, ProbeSize: 16384, Seed: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	res, err := mustAny(t, "HYBRID").Run(w.Build, w.Probe, &Options{
+		Threads:      2,
+		RadixBits:    2, // 4 partitions of ~2048 tuples: all over a 0.25x budget
+		MemoryBudget: budgetBytes(len(w.Build), 0.25),
+		SpillDir:     dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 2 {
+		t.Fatalf("explicit RadixBits overridden: used %d", res.Bits)
+	}
+	if res.SpilledPartitions == 0 {
+		t.Fatal("low-bit run under 0.25x budget must spill")
+	}
+	if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+		t.Fatalf("recursion diverged: %d matches, reference %d", res.Matches, ref.Matches)
+	}
+	requireEmptyDir(t, dir, "recurse")
+}
+
+// TestAdaptDelegation checks the runtime picker end to end: without a
+// budget on a small dense workload it must pick an in-memory algorithm
+// and report it in Picked; with a budget below the build footprint it
+// must delegate to HYBRID and actually spill.
+func TestAdaptDelegation(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 8192, ProbeSize: 32768, Seed: 86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := mustAny(t, "ADAPT").Run(w.Build, w.Probe, &Options{Threads: 4, Domain: w.Domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "ADAPT" || res.Picked != "NOPA" {
+		t.Fatalf("unbudgeted dense workload: Algorithm=%s Picked=%s, want ADAPT/NOPA",
+			res.Algorithm, res.Picked)
+	}
+	if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+		t.Fatalf("delegate diverged from reference")
+	}
+
+	dir := t.TempDir()
+	res, err = mustAny(t, "ADAPT").Run(w.Build, w.Probe, &Options{
+		Threads:      4,
+		Domain:       w.Domain,
+		MemoryBudget: budgetBytes(len(w.Build), 0.5),
+		SpillDir:     dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Picked != "HYBRID" {
+		t.Fatalf("budget below footprint: Picked=%s, want HYBRID", res.Picked)
+	}
+	if res.SpilledPartitions == 0 {
+		t.Fatal("ADAPT→HYBRID under 0.5x budget must spill")
+	}
+	if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+		t.Fatalf("HYBRID delegate diverged from reference")
+	}
+	requireEmptyDir(t, dir, "adapt")
+}

@@ -24,6 +24,7 @@ import (
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/numa"
 	"mmjoin/internal/radix"
+	"mmjoin/internal/spill"
 	"mmjoin/internal/trace"
 	"mmjoin/internal/tuple"
 )
@@ -113,6 +114,28 @@ type Options struct {
 	// trusted null-free and a stray NullKey is undefined behavior (it
 	// would be treated as an ordinary key value).
 	NullableKeys bool
+	// MemoryBudget caps the modeled memory the build side may occupy at
+	// once, in bytes (0 = unlimited). Only the budget-aware algorithms
+	// honor it: HYBRID spills radix partitions that would bust the
+	// budget to temp files and recurses per partition, and ADAPT falls
+	// back to HYBRID whenever its estimate exceeds the budget. The
+	// in-memory Table 2 algorithms ignore it. See DESIGN.md §13 for the
+	// accounting rule (16 bytes per resident build tuple: the tuple
+	// plus its multimap slots).
+	MemoryBudget int64
+	// SpillDir is the parent directory for HYBRID's spill files; empty
+	// means the OS temp dir. Each execution creates (and removes) its
+	// own subdirectory.
+	SpillDir string
+	// MaxSpillDepth bounds HYBRID's recursive re-partitioning of
+	// over-budget spilled partitions; at the floor it switches to a
+	// budget-respecting block nested-loop pass so skewed single-key
+	// partitions terminate. 0 means the default depth (4).
+	MaxSpillDepth int
+	// SpillInjector, when non-nil, arms one deterministic spill-layer
+	// fault (temp-file creation failure, short write, read corruption)
+	// for the differential oracle's fault-injection checks.
+	SpillInjector *spill.Injector
 }
 
 func (o *Options) normalize() Options {
@@ -164,6 +187,15 @@ type Result struct {
 	// >> 1 marks the stragglers behind Appendix A's "unbalanced loads
 	// between threads"). Zero for non-partitioned joins.
 	MaxTaskShare float64
+	// SpilledPartitions and SpilledBytes report HYBRID's memory
+	// pressure response: how many radix partitions left memory and how
+	// many bytes went through the spill writers. Zero for in-memory
+	// runs.
+	SpilledPartitions int
+	SpilledBytes      int64
+	// Picked is the delegate ADAPT selected at runtime (its own
+	// Algorithm field stays "ADAPT"); empty for every other algorithm.
+	Picked string
 	// Exec is the execution layer's telemetry: per-phase wall times,
 	// tasks executed per worker, morsel counts, and the join-phase
 	// queue strategy. Populated by every algorithm.

@@ -15,7 +15,7 @@ import (
 // added.
 //
 //mmjoin:registry-table kinds
-var kindCoveredAlgorithms = append(Names(), "MPSM", "NOPC")
+var kindCoveredAlgorithms = append(Names(), "MPSM", "NOPC", "HYBRID", "ADAPT")
 
 // checkAllKinds runs every covered algorithm over the workload for all
 // six kinds, in both kernel flavors, and compares match count and

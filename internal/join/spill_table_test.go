@@ -1,0 +1,106 @@
+package join
+
+import (
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+	"mmjoin/internal/tuple"
+)
+
+// budgetBehavior documents how every registered algorithm treats
+// Options.MemoryBudget. The in-memory thirteen (and the MPSM/NOPC
+// ablations) predate the budget and ignore it; HYBRID spills to stay
+// inside it; ADAPT delegates to a budget-respecting plan when the
+// estimated footprint busts it. The registry analyzer holds this table
+// complete, so a newly registered algorithm must declare its budget
+// behavior — and TestBudgetBehaviorTable makes the declaration an
+// executable claim, not a comment.
+//
+//mmjoin:registry-table spill
+var budgetBehavior = map[string]string{
+	"NOP":    "ignores",
+	"NOPA":   "ignores",
+	"PRB":    "ignores",
+	"PRO":    "ignores",
+	"PRL":    "ignores",
+	"PRA":    "ignores",
+	"CPRL":   "ignores",
+	"CPRA":   "ignores",
+	"PROiS":  "ignores",
+	"PRLiS":  "ignores",
+	"PRAiS":  "ignores",
+	"MWAY":   "ignores",
+	"CHTJ":   "ignores",
+	"MPSM":   "ignores",
+	"NOPC":   "ignores",
+	"HYBRID": "spills",
+	"ADAPT":  "delegates",
+}
+
+// TestBudgetBehaviorTable executes the declared budget behavior of
+// every algorithm under a budget far below the build footprint:
+// "ignores" algorithms run fully in memory and never spill, "spills"
+// produces spilled partitions, and "delegates" picks the spilling plan.
+// All of them still compute the reference relation.
+func TestBudgetBehaviorTable(t *testing.T) {
+	for _, name := range kindCoveredAlgorithms {
+		if _, ok := budgetBehavior[name]; !ok {
+			t.Errorf("algorithm %q missing from the budget-behavior table", name)
+		}
+	}
+	w, err := datagen.Generate(datagen.Config{BuildSize: 4096, ProbeSize: 16384, Seed: 87})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPairsHybrid(ref.Pairs)
+	budget := int64(len(w.Build)) * tuple.Bytes / 2
+	for name, behavior := range budgetBehavior {
+		t.Run(name, func(t *testing.T) {
+			arena := exec.NewArena()
+			res, err := mustAny(t, name).Run(w.Build, w.Probe, &Options{
+				Threads: 4, Materialize: true, Arena: arena,
+				MemoryBudget: budget, SpillDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch behavior {
+			case "ignores":
+				if res.SpilledPartitions != 0 || res.SpilledBytes != 0 {
+					t.Fatalf("%s spilled %d partitions but is declared budget-oblivious", name, res.SpilledPartitions)
+				}
+			case "spills":
+				if res.SpilledPartitions == 0 {
+					t.Fatalf("%s is declared spilling but stayed in memory under a 0.5x budget", name)
+				}
+			case "delegates":
+				if res.Picked != "HYBRID" {
+					t.Fatalf("%s picked %q under a 0.5x budget, want the spilling plan", name, res.Picked)
+				}
+				if res.SpilledPartitions == 0 {
+					t.Fatalf("%s delegated but its plan did not spill", name)
+				}
+			default:
+				t.Fatalf("unknown budget behavior %q", behavior)
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				t.Fatalf("%s diverged from the reference under a budget: %d/%#x want %d/%#x",
+					name, res.Matches, res.Checksum, ref.Matches, ref.Checksum)
+			}
+			sortPairsHybrid(res.Pairs)
+			for i := range ref.Pairs {
+				if res.Pairs[i] != ref.Pairs[i] {
+					t.Fatalf("%s pair %d = %v, want %v", name, i, res.Pairs[i], ref.Pairs[i])
+				}
+			}
+			if out := arena.Outstanding(); out != 0 {
+				t.Fatalf("arena balance %d after %s", out, name)
+			}
+		})
+	}
+}

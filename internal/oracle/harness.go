@@ -17,6 +17,9 @@ type SweepConfig struct {
 	// NullFracIdxs lists indices into NullFracs to sweep; nil means {0}
 	// (no NULL keys, the paper's setup).
 	NullFracIdxs []int
+	// BudgetIdxs lists indices into BudgetMults to sweep; nil means {0}
+	// (no memory budget — in-memory execution, the paper's setup).
+	BudgetIdxs []int
 	// Schedules is the number of seeded schedules per algorithm; each
 	// schedule index also varies skew, holes, threads, sizes and the
 	// data seed deterministically. Zero means 8.
@@ -61,14 +64,14 @@ func splitmix64(x uint64) uint64 {
 	return x ^ x>>31
 }
 
-// caseFor derives the i-th case for one (algorithm, kind, null-density)
-// cell: schedule seed i, with every other dimension pseudo-randomly
-// (but reproducibly) drawn from the hash of (base seed, algorithm,
-// kind, null index, i). The derived case is what gets packed and
-// printed — a failure replays from its seed without knowing the sweep
-// that found it.
-func caseFor(cfg SweepConfig, algo int, kind join.Kind, nullIdx, i int) Case {
-	h := splitmix64(cfg.BaseSeed ^ uint64(algo)<<40 ^ uint64(kind)<<48 ^ uint64(nullIdx)<<52 ^ uint64(i))
+// caseFor derives the i-th case for one (algorithm, kind, null-density,
+// budget) cell: schedule seed i, with every other dimension
+// pseudo-randomly (but reproducibly) drawn from the hash of (base seed,
+// algorithm, kind, null index, budget index, i). The derived case is
+// what gets packed and printed — a failure replays from its seed
+// without knowing the sweep that found it.
+func caseFor(cfg SweepConfig, algo int, kind join.Kind, nullIdx, budgetIdx, i int) Case {
+	h := splitmix64(cfg.BaseSeed ^ uint64(algo)<<40 ^ uint64(kind)<<48 ^ uint64(nullIdx)<<52 ^ uint64(budgetIdx)<<56 ^ uint64(i))
 	buildLog2 := cfg.BuildLog2
 	if buildLog2 == 0 {
 		buildLog2 = 12
@@ -90,6 +93,7 @@ func caseFor(cfg SweepConfig, algo int, kind join.Kind, nullIdx, i int) Case {
 		Bits:        0,
 		Kind:        kind,
 		NullFracIdx: nullIdx,
+		BudgetIdx:   budgetIdx,
 		DataSeed:    h >> 17 & (1<<dataBits - 1),
 		SchedSeed:   uint64(i) & (1<<schedBits - 1),
 	}
@@ -119,6 +123,10 @@ func Sweep(ctx context.Context, cfg SweepConfig) ([]Failure, error) {
 	if nullIdxs == nil {
 		nullIdxs = []int{0}
 	}
+	budgetIdxs := cfg.BudgetIdxs
+	if budgetIdxs == nil {
+		budgetIdxs = []int{0}
+	}
 	schedules := cfg.Schedules
 	if schedules == 0 {
 		schedules = 8
@@ -146,36 +154,38 @@ func Sweep(ctx context.Context, cfg SweepConfig) ([]Failure, error) {
 		}
 		for _, kind := range kinds {
 			for _, nullIdx := range nullIdxs {
-				for i := 0; i < schedules; i++ {
-					if err := ctx.Err(); err != nil {
-						return failures, err
+				for _, budgetIdx := range budgetIdxs {
+					for i := 0; i < schedules; i++ {
+						if err := ctx.Err(); err != nil {
+							return failures, err
+						}
+						c := caseFor(cfg, ai, kind, nullIdx, budgetIdx, i)
+						cases++
+						divs, err := RunCase(ctx, c, cfg.Inject)
+						if err != nil {
+							return failures, err
+						}
+						if len(divs) == 0 {
+							continue
+						}
+						f := Failure{Case: c, Divergences: divs, Shrunk: c}
+						if maxShrink > 0 {
+							shrunk, evals := Shrink(ctx, c, cfg.Inject, maxShrink)
+							f.Shrunk = shrunk
+							logf("oracle: shrank %s -> %s (%d evals)", c, shrunk, evals)
+						}
+						logf("oracle: DIVERGENCE in case %#x (%s)", c.Seed(), c)
+						for _, d := range f.Divergences {
+							logf("  %s", d)
+						}
+						logf("  reproduce: %s", f.Repro())
+						failures = append(failures, f)
 					}
-					c := caseFor(cfg, ai, kind, nullIdx, i)
-					cases++
-					divs, err := RunCase(ctx, c, cfg.Inject)
-					if err != nil {
-						return failures, err
-					}
-					if len(divs) == 0 {
-						continue
-					}
-					f := Failure{Case: c, Divergences: divs, Shrunk: c}
-					if maxShrink > 0 {
-						shrunk, evals := Shrink(ctx, c, cfg.Inject, maxShrink)
-						f.Shrunk = shrunk
-						logf("oracle: shrank %s -> %s (%d evals)", c, shrunk, evals)
-					}
-					logf("oracle: DIVERGENCE in case %#x (%s)", c.Seed(), c)
-					for _, d := range f.Divergences {
-						logf("  %s", d)
-					}
-					logf("  reproduce: %s", f.Repro())
-					failures = append(failures, f)
 				}
 			}
 		}
 	}
-	logf("oracle: %d cases (%d algorithms x %d kinds x %d null densities x %d schedules, batch+scalar each), %d divergences",
-		cases, len(algos), len(kinds), len(nullIdxs), schedules, len(failures))
+	logf("oracle: %d cases (%d algorithms x %d kinds x %d null densities x %d budgets x %d schedules, batch+scalar each), %d divergences",
+		cases, len(algos), len(kinds), len(nullIdxs), len(budgetIdxs), schedules, len(failures))
 	return failures, nil
 }

@@ -40,7 +40,14 @@ var NullFracs = [4]float64{0, 0.1, 0.25, 0.5}
 // newly registered algorithm cannot ship without oracle coverage.
 //
 //mmjoin:registry-table oracle
-var algorithmNames = append(join.Names(), "MPSM", "NOPC")
+var algorithmNames = append(join.Names(), "MPSM", "NOPC", "HYBRID", "ADAPT")
+
+// BudgetMults are the memory-budget sweep points, as multiples of the
+// build side's raw bytes (|R|·8 B); a case encodes an index into this
+// list. Index 0 is unlimited (no budget — the paper's setup). The
+// budget-aware algorithms model a 16 B/tuple resident footprint, so 2x
+// fits exactly while 1x and below force spilling.
+var BudgetMults = [5]float64{0, 2, 1, 0.5, 0.25}
 
 // AlgorithmNames returns the algorithms the oracle covers, in case
 // encoding order. The order is load-bearing: Case.Algo indexes it.
@@ -81,15 +88,18 @@ type Case struct {
 	// NullFracIdx indexes NullFracs; non-zero also sets
 	// Options.NullableKeys on every run of the case.
 	NullFracIdx int
-	// DataSeed (12 bits) feeds the workload generator.
+	// BudgetIdx indexes BudgetMults; non-zero sets Options.MemoryBudget
+	// on every run of the case (and a per-case temp spill directory).
+	BudgetIdx int
+	// DataSeed (11 bits) feeds the workload generator.
 	DataSeed uint64
-	// SchedSeed (15 bits) feeds the deterministic schedule.
+	// SchedSeed (12 bits) feeds the deterministic schedule.
 	SchedSeed uint64
 }
 
 // Bit layout of the packed case, LSB first.
 const (
-	algoBits    = 4
+	algoBits    = 5
 	threadsBits = 2
 	zipfBits    = 2
 	holesBits   = 3
@@ -98,8 +108,9 @@ const (
 	radixBits   = 4
 	kindBits    = 3
 	nullBits    = 2
-	dataBits    = 12
-	schedBits   = 15
+	budgetBits  = 3
+	dataBits    = 11
+	schedBits   = 12
 )
 
 // canon clamps every field into its encodable range, mirroring what
@@ -118,6 +129,7 @@ func (c Case) canon() Case {
 	c.Bits = mod(c.Bits, 11)
 	c.Kind = join.Kind(mod(int(c.Kind), len(join.Kinds())))
 	c.NullFracIdx = mod(c.NullFracIdx, len(NullFracs))
+	c.BudgetIdx = mod(c.BudgetIdx, len(BudgetMults))
 	c.DataSeed &= 1<<dataBits - 1
 	c.SchedSeed &= 1<<schedBits - 1
 	return c
@@ -148,6 +160,7 @@ func (c Case) Seed() uint64 {
 	put(uint64(c.Bits), radixBits)
 	put(uint64(c.Kind), kindBits)
 	put(uint64(c.NullFracIdx), nullBits)
+	put(uint64(c.BudgetIdx), budgetBits)
 	put(c.DataSeed, dataBits)
 	put(c.SchedSeed, schedBits)
 	return s
@@ -176,6 +189,7 @@ func FromSeed(seed uint64) Case {
 	c.Bits = int(get(radixBits))
 	c.Kind = join.Kind(get(kindBits))
 	c.NullFracIdx = int(get(nullBits))
+	c.BudgetIdx = int(get(budgetBits))
 	c.DataSeed = get(dataBits)
 	c.SchedSeed = get(schedBits)
 	return c.canon()
@@ -203,12 +217,27 @@ func (c Case) Zipf() float64 { return Zipfs[c.ZipfIdx] }
 // NullFrac returns the NULL-key density of the workload.
 func (c Case) NullFrac() float64 { return NullFracs[c.NullFracIdx] }
 
+// Budget returns the case's Options.MemoryBudget in bytes (0 means
+// unlimited): the budget multiplier applied to the build side's raw
+// bytes.
+func (c Case) Budget() int64 {
+	return int64(BudgetMults[c.BudgetIdx] * float64(c.BuildSize()) * 8)
+}
+
+// budgetLabel renders the budget axis for String().
+func (c Case) budgetLabel() string {
+	if c.BudgetIdx == 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%gx", BudgetMults[c.BudgetIdx])
+}
+
 func (c Case) String() string {
 	kernel := "batch"
 	if c.Scalar {
 		kernel = "scalar"
 	}
-	return fmt.Sprintf("%s %s %s |R|=%d |S|=%d zipf=%g holes=%d nullfrac=%g threads=%d bits=%d dataseed=%d schedseed=%d",
+	return fmt.Sprintf("%s %s %s |R|=%d |S|=%d zipf=%g holes=%d nullfrac=%g budget=%s threads=%d bits=%d dataseed=%d schedseed=%d",
 		c.AlgoName(), c.Kind, kernel, c.BuildSize(), c.ProbeSize(), c.Zipf(), c.Holes,
-		c.NullFrac(), c.Threads(), c.Bits, c.DataSeed, c.SchedSeed)
+		c.NullFrac(), c.budgetLabel(), c.Threads(), c.Bits, c.DataSeed, c.SchedSeed)
 }

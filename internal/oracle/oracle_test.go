@@ -42,6 +42,7 @@ func TestSeedRoundTrip(t *testing.T) {
 			Bits:        int(h >> 34 % 13),
 			Kind:        join.Kind(h >> 54 % 9),
 			NullFracIdx: int(h >> 58 % 6),
+			BudgetIdx:   int(h >> 60 % 8),
 			DataSeed:    h >> 37 & 0xffff,
 			SchedSeed:   h >> 41 & 0x1ffff,
 		}
@@ -74,8 +75,8 @@ func TestCaseForDeterministic(t *testing.T) {
 	for ai := 0; ai < len(algorithmNames); ai++ {
 		for _, kind := range join.Kinds() {
 			for i := 0; i < 4; i++ {
-				a := caseFor(cfg, ai, kind, i%len(NullFracs), i)
-				b := caseFor(cfg, ai, kind, i%len(NullFracs), i)
+				a := caseFor(cfg, ai, kind, i%len(NullFracs), i%len(BudgetMults), i)
+				b := caseFor(cfg, ai, kind, i%len(NullFracs), i%len(BudgetMults), i)
 				if a != b {
 					t.Fatalf("caseFor(%d,%s,%d) unstable: %+v vs %+v", ai, kind, i, a, b)
 				}
@@ -203,6 +204,65 @@ func TestFaultsCaught(t *testing.T) {
 	}
 }
 
+// TestSpillFaultsCaught runs the catch → shrink → replay loop for the
+// three spill-layer faults: the base case is a spilling HYBRID join, so
+// the armed injector fires during real spill I/O. Each fault must
+// surface as a clean "spill-fault" divergence — and nothing else: an
+// "arena" or "spill-files" divergence alongside it would mean the error
+// path leaked.
+func TestSpillFaultsCaught(t *testing.T) {
+	base := Case{
+		Algo: algoIndex(t, "HYBRID"), ThreadsLog2: 1, BuildLog2: 10, ProbeLog2: 12,
+		Holes: 2, BudgetIdx: 3, DataSeed: 9, SchedSeed: 42,
+	}.canon()
+	ctx := context.Background()
+	for _, fault := range []Fault{FaultSpillCreateFail, FaultSpillShortWrite, FaultSpillReadCorrupt} {
+		t.Run(fault.String(), func(t *testing.T) {
+			divs, err := RunCase(ctx, base, fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasCheck(divs, "spill-fault") {
+				t.Fatalf("fault %s not caught; divergences: %v", fault, divs)
+			}
+			for _, d := range divs {
+				if d.Check == "arena" || d.Check == "spill-files" {
+					t.Fatalf("fault %s leaked on the error path: %s", fault, d)
+				}
+			}
+			shrunk, _ := Shrink(ctx, base, fault, 32)
+			if shrunk.BudgetIdx == 0 {
+				t.Fatalf("shrink removed the budget — the fault cannot fire without spilling: %s", shrunk)
+			}
+			// Replay from nothing but the packed seed.
+			divs, err = RunCase(ctx, FromSeed(shrunk.Seed()), fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasCheck(divs, "spill-fault") {
+				t.Fatalf("replay of %#x lost the spill-fault divergence", shrunk.Seed())
+			}
+		})
+	}
+}
+
+// TestSpillFaultOnInMemoryCaseIsSilent guards the injector's scope: a
+// case that never spills (no budget) cannot fire a spill fault, so the
+// oracle must report a clean pass, not an error.
+func TestSpillFaultOnInMemoryCaseIsSilent(t *testing.T) {
+	base := Case{
+		Algo: algoIndex(t, "NOP"), ThreadsLog2: 1, BuildLog2: 7, ProbeLog2: 9,
+		Holes: 2, DataSeed: 9, SchedSeed: 42,
+	}.canon()
+	divs, err := RunCase(context.Background(), base, FaultSpillShortWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("unspilled case diverged under an armed spill fault: %v", divs)
+	}
+}
+
 // TestCleanCaseHasNoDivergence guards the fault tests' power: the same
 // base case with no fault injected must pass every check.
 func TestCleanCaseHasNoDivergence(t *testing.T) {
@@ -285,6 +345,32 @@ func TestReferenceJoinKinds(t *testing.T) {
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 		if d := diffPairs(ref.Pairs, want); d != "" || ref.Matches != int64(len(want)) {
 			t.Errorf("%s: %d pairs %v, want %v (%s)", tc.kind, ref.Matches, ref.Pairs, want, d)
+		}
+	}
+}
+
+// TestSweepSpillMatrixClean slices the budget dimension of the
+// acceptance run: the budget-aware algorithms across every kind and
+// every budget level (unlimited through heavy spilling), both kernel
+// flavors, zero divergences, zero leaked temp files (the spill-files
+// check runs inside every case).
+func TestSweepSpillMatrixClean(t *testing.T) {
+	failures, err := Sweep(context.Background(), SweepConfig{
+		Algos:      []string{"HYBRID", "ADAPT"},
+		Kinds:      join.Kinds(),
+		BudgetIdxs: []int{0, 1, 2, 3, 4},
+		Schedules:  1,
+		BuildLog2:  7,
+		ProbeLog2:  9,
+		BaseSeed:   2016,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("divergence in %s:", f.Case)
+		for _, d := range f.Divergences {
+			t.Errorf("  %s", d)
 		}
 	}
 }

@@ -2,18 +2,22 @@ package oracle
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
 
 	"mmjoin/internal/datagen"
 	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
+	"mmjoin/internal/spill"
 	"mmjoin/internal/trace"
 )
 
 // Divergence is one failed cross-check.
 type Divergence struct {
 	// Check names the failed invariant: "matches", "checksum", "pairs",
-	// "bytes", "phases", "spans", "metrics" or "arena".
+	// "bytes", "phases", "spans", "metrics", "arena", "spill-fault" or
+	// "spill-files".
 	Check string
 	// Detail is a human-readable account of the mismatch.
 	Detail string
@@ -38,15 +42,44 @@ const (
 	FaultLeakBuffer
 	// FaultDoubleFree returns an arena buffer twice.
 	FaultDoubleFree
+	// FaultSpillCreateFail makes the first spill temp-file creation fail.
+	// Unlike the artifact faults above, the spill faults arm a
+	// deterministic single-shot injector inside the spill layer before
+	// the run; they only fire on cases that actually spill (a budgeted
+	// HYBRID or ADAPT case), where the join must surface a clean wrapped
+	// error with nothing leaked.
+	FaultSpillCreateFail
+	// FaultSpillShortWrite truncates one spill-file flush mid-write.
+	FaultSpillShortWrite
+	// FaultSpillReadCorrupt flips one byte of a spill file before it is
+	// read back, which the file checksum must catch.
+	FaultSpillReadCorrupt
 )
 
 var faultNames = map[Fault]string{
-	FaultNone:        "none",
-	FaultFlipPayload: "flip-payload",
-	FaultDropMatch:   "drop-match",
-	FaultExtraSpan:   "extra-span",
-	FaultLeakBuffer:  "leak-buffer",
-	FaultDoubleFree:  "double-free",
+	FaultNone:             "none",
+	FaultFlipPayload:      "flip-payload",
+	FaultDropMatch:        "drop-match",
+	FaultExtraSpan:        "extra-span",
+	FaultLeakBuffer:       "leak-buffer",
+	FaultDoubleFree:       "double-free",
+	FaultSpillCreateFail:  "spill-create-fail",
+	FaultSpillShortWrite:  "spill-short-write",
+	FaultSpillReadCorrupt: "spill-read-corrupt",
+}
+
+// spillMode maps the spill faults onto the spill layer's injector
+// modes; spill.None for every other fault.
+func (f Fault) spillMode() spill.Mode {
+	switch f {
+	case FaultSpillCreateFail:
+		return spill.CreateFail
+	case FaultSpillShortWrite:
+		return spill.ShortWrite
+	case FaultSpillReadCorrupt:
+		return spill.ReadCorrupt
+	}
+	return spill.None
 }
 
 func (f Fault) String() string {
@@ -63,15 +96,45 @@ func ParseFault(s string) (Fault, error) {
 			return f, nil
 		}
 	}
-	return FaultNone, fmt.Errorf("oracle: unknown fault %q (want one of none, flip-payload, drop-match, extra-span, leak-buffer, double-free)", s)
+	return FaultNone, fmt.Errorf("oracle: unknown fault %q (want one of none, flip-payload, drop-match, extra-span, leak-buffer, double-free, spill-create-fail, spill-short-write, spill-read-corrupt)", s)
 }
 
 // runArtifacts is everything one instrumented execution leaves behind.
 type runArtifacts struct {
-	scalar bool
-	res    *join.Result
-	tracer *trace.Tracer
-	arena  *exec.Arena
+	scalar   bool
+	res      *join.Result
+	tracer   *trace.Tracer
+	arena    *exec.Arena
+	spillDir string // per-run temp dir for budgeted cases; "" otherwise
+}
+
+// cleanup removes the run's spill directory (idempotent).
+func (a *runArtifacts) cleanup() {
+	if a != nil && a.spillDir != "" {
+		os.RemoveAll(a.spillDir)
+	}
+}
+
+// leftoverSpillFiles counts filesystem entries the run abandoned under
+// its spill directory — zero for a correct run, success or failure.
+func (a *runArtifacts) leftoverSpillFiles() int {
+	if a == nil || a.spillDir == "" {
+		return 0
+	}
+	n := 0
+	entries, err := os.ReadDir(a.spillDir)
+	if err != nil {
+		return 0 // the directory itself may already be gone: nothing leaked
+	}
+	for _, e := range entries {
+		n++
+		if e.IsDir() {
+			if sub, err := os.ReadDir(a.spillDir + "/" + e.Name()); err == nil {
+				n += len(sub)
+			}
+		}
+	}
+	return n
 }
 
 // Generate builds the case's workload. Exported so replay tooling can
@@ -90,7 +153,11 @@ func (c Case) Generate() (*datagen.Workload, error) {
 // runOne executes the case's algorithm in one kernel flavor under the
 // seeded deterministic schedule, with a private arena and tracer, and
 // applies the requested fault to the artifacts afterwards (simulating a
-// bug in the stack under audit).
+// bug in the stack under audit). The spill faults are armed *before*
+// the run instead — they live inside the layer under audit. On an
+// execution error the artifacts are still returned (with res nil) so
+// the caller can audit the failure path: arena balance and spill-file
+// cleanup hold on errors too.
 func runOne(ctx context.Context, c Case, w *datagen.Workload, scalar bool, inject Fault) (*runArtifacts, error) {
 	algo, err := join.NewAny(c.AlgoName())
 	if err != nil {
@@ -113,9 +180,21 @@ func runOne(ctx context.Context, c Case, w *datagen.Workload, scalar bool, injec
 		Arena:         art.arena,
 		Tracer:        art.tracer,
 	}
+	if c.BudgetIdx != 0 {
+		dir, err := os.MkdirTemp("", "mmjoin-oracle-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("oracle: spill dir: %w", err)
+		}
+		art.spillDir = dir
+		opts.MemoryBudget = c.Budget()
+		opts.SpillDir = dir
+	}
+	if mode := inject.spillMode(); mode != spill.None {
+		opts.SpillInjector = spill.NewInjector(mode)
+	}
 	art.res, err = algo.RunContext(ctx, w.Build, w.Probe, opts)
 	if err != nil {
-		return nil, err
+		return art, err
 	}
 	injectFault(art, inject)
 	return art, nil
@@ -211,6 +290,29 @@ func checkRun(art *runArtifacts, ref *RefResult) []Divergence {
 		divs = append(divs, Divergence{"arena",
 			fmt.Sprintf("%s: arena balance %d — a buffer was released twice", flavor, out)})
 	}
+
+	// Spill hygiene: a budgeted run must leave its spill directory
+	// empty — every temp file removed, the manager's subdirectory gone.
+	if n := art.leftoverSpillFiles(); n != 0 {
+		divs = append(divs, Divergence{"spill-files",
+			fmt.Sprintf("%s: %d spill entries left on disk after the run", flavor, n)})
+	}
+	return divs
+}
+
+// checkFailedRun audits the error path of a run that returned an
+// execution error (an injected spill fault): the join must have
+// unwound cleanly — arena balanced, no temp files left.
+func checkFailedRun(art *runArtifacts) []Divergence {
+	var divs []Divergence
+	if out := art.arena.Outstanding(); out != 0 {
+		divs = append(divs, Divergence{"arena",
+			fmt.Sprintf("error path left arena balance %d", out)})
+	}
+	if n := art.leftoverSpillFiles(); n != 0 {
+		divs = append(divs, Divergence{"spill-files",
+			fmt.Sprintf("error path left %d spill entries on disk", n)})
+	}
 	return divs
 }
 
@@ -258,10 +360,24 @@ func RunCase(ctx context.Context, c Case, inject Fault) ([]Divergence, error) {
 	ref := referenceJoin(w.Build, w.Probe, c.Kind)
 
 	primary, err := runOne(ctx, c, w, c.Scalar, inject)
+	defer primary.cleanup()
 	if err != nil {
+		// An armed spill fault that fired is a *detected* failure: the
+		// join surfaced a clean wrapped sentinel instead of wrong
+		// results. Report it as a divergence (so the sweep, shrinker and
+		// replay treat it like any other caught fault) and audit the
+		// unwinding: anything the error path leaked is a further
+		// divergence.
+		if inject.spillMode() != spill.None &&
+			(errors.Is(err, spill.ErrInjected) || errors.Is(err, spill.ErrChecksum)) {
+			divs := []Divergence{{"spill-fault",
+				fmt.Sprintf("injected %s surfaced cleanly: %v", inject, err)}}
+			return append(divs, checkFailedRun(primary)...), nil
+		}
 		return nil, fmt.Errorf("oracle: %s: %w", c, err)
 	}
 	counterpart, err := runOne(ctx, c, w, !c.Scalar, FaultNone)
+	defer counterpart.cleanup()
 	if err != nil {
 		return nil, fmt.Errorf("oracle: %s (counterpart): %w", c, err)
 	}

@@ -71,6 +71,18 @@ func shrinkMoves(c Case) []Case {
 		m.NullFracIdx = 0
 		add(m)
 	}
+	if c.BudgetIdx != 0 {
+		// Unlimited first (does the divergence need memory pressure at
+		// all?), then the loosest spilling level.
+		m := c
+		m.BudgetIdx = 0
+		add(m)
+		if c.BudgetIdx > 1 {
+			m = c
+			m.BudgetIdx = c.BudgetIdx - 1
+			add(m)
+		}
+	}
 	if c.SchedSeed != 0 {
 		m := c
 		m.SchedSeed = 0

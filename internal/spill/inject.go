@@ -1,0 +1,70 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInjected marks a deliberately injected spill fault: the
+// differential oracle and the regression tests arm one of the Modes
+// below and assert the join surfaces it as a clean wrapped error with
+// no leaked temp files and a balanced arena.
+var ErrInjected = errors.New("spill: injected fault")
+
+// Mode selects which spill operation an Injector sabotages.
+type Mode int
+
+const (
+	// None injects nothing.
+	None Mode = iota
+	// CreateFail makes the next temp-file creation fail.
+	CreateFail
+	// ShortWrite makes the next buffer flush report a short count.
+	ShortWrite
+	// ReadCorrupt flips one payload byte on the next file read, so the
+	// trailer checksum verification must catch it.
+	ReadCorrupt
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case CreateFail:
+		return "spill-create-fail"
+	case ShortWrite:
+		return "spill-short-write"
+	case ReadCorrupt:
+		return "spill-read-corrupt"
+	}
+	return fmt.Sprintf("spill.Mode(%d)", int(m))
+}
+
+// Injector arms exactly one fault: the first operation matching its
+// mode trips it, every later one runs clean. Firing once keeps the
+// failure deterministic under any worker schedule — whichever worker
+// reaches the operation first takes the error, and the error content
+// does not depend on which one it was.
+type Injector struct {
+	mode  Mode
+	fired atomic.Bool
+}
+
+// NewInjector returns an injector for the mode, or nil for None (a nil
+// *Injector is valid and never fires).
+func NewInjector(mode Mode) *Injector {
+	if mode == None {
+		return nil
+	}
+	return &Injector{mode: mode}
+}
+
+// trip reports whether the fault should fire for an operation of the
+// given mode, consuming the single shot.
+func (i *Injector) trip(m Mode) bool {
+	if i == nil || i.mode != m {
+		return false
+	}
+	return i.fired.CompareAndSwap(false, true)
+}

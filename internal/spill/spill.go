@@ -1,0 +1,309 @@
+// Package spill is the temp-file layer under the memory-budgeted hybrid
+// hash join (internal/join, "HYBRID"): partitions that do not fit the
+// build-side budget are written to disk and read back per co-partition
+// for a recursive join pass.
+//
+// The format is deliberately dumb and fully checked: a fixed header
+// (magic + version), the raw 8-byte <key, payload> tuples in partition
+// order, and a trailer carrying the tuple count and an FNV-1a checksum
+// over the payload bytes. Writes stream through a small staging buffer;
+// reads load the whole file, verify length, count and checksum, and
+// decode into an arena-accounted tuple buffer that the caller releases.
+// A Manager tracks every file it creates so a join execution can prove —
+// and the differential oracle does prove — that no temp file outlives
+// the run, even on injected I/O faults (see inject.go).
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mmjoin/internal/exec"
+	"mmjoin/internal/tuple"
+)
+
+const (
+	// magic identifies a spill file ("MMJS" little-endian).
+	magic uint32 = 0x534a4d4d
+	// version is the format version; bumped on any layout change.
+	version uint32 = 1
+	// headerBytes and trailerBytes frame the tuple payload.
+	headerBytes  = 8
+	trailerBytes = 16
+	// stageBytes is the writer's staging-buffer size: one write syscall
+	// per 64 KB of tuples keeps the fault surface (and test runtime)
+	// small without per-tuple syscalls.
+	stageBytes = 64 << 10
+)
+
+// ErrChecksum marks a spill file whose trailer checksum (or framing)
+// does not match its contents — corruption between write and read.
+var ErrChecksum = errors.New("spill: checksum mismatch")
+
+// fnv1aInit/fnv1aPrime are the standard 64-bit FNV-1a parameters.
+const (
+	fnv1aInit  uint64 = 0xcbf29ce484222325
+	fnv1aPrime uint64 = 0x100000001b3
+)
+
+func fnv1a(sum uint64, b []byte) uint64 {
+	for _, c := range b {
+		sum = (sum ^ uint64(c)) * fnv1aPrime
+	}
+	return sum
+}
+
+// Manager owns the spill files of one join execution: it creates the
+// spill directory lazily (under parent, or the OS temp dir when parent
+// is empty), hands out writers and readers, and tracks every live file
+// so Cleanup can prove nothing leaks. Methods are safe for concurrent
+// use by pool workers.
+type Manager struct {
+	parent string
+	arena  *exec.Arena
+	inj    *Injector
+
+	mu   sync.Mutex
+	dir  string
+	live map[string]struct{}
+}
+
+// NewManager returns a manager spilling under parent ("" = OS temp dir)
+// through the given arena. inj, when non-nil, arms one injected fault
+// (see Injector); nil runs clean.
+func NewManager(parent string, arena *exec.Arena, inj *Injector) *Manager {
+	if arena == nil {
+		arena = exec.Shared
+	}
+	return &Manager{parent: parent, arena: arena, inj: inj, live: map[string]struct{}{}}
+}
+
+// ensureDir creates the spill directory on first use.
+func (m *Manager) ensureDir() (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dir != "" {
+		return m.dir, nil
+	}
+	dir, err := os.MkdirTemp(m.parent, "mmjoin-spill-*")
+	if err != nil {
+		return "", fmt.Errorf("spill: create spill dir: %w", err)
+	}
+	m.dir = dir
+	return dir, nil
+}
+
+// track registers a created file; untrack removes it from the live set.
+func (m *Manager) track(path string) {
+	m.mu.Lock()
+	m.live[path] = struct{}{}
+	m.mu.Unlock()
+}
+
+func (m *Manager) untrack(path string) {
+	m.mu.Lock()
+	delete(m.live, path)
+	m.mu.Unlock()
+}
+
+// Live returns the number of spill files created and not yet removed.
+// A clean run ends at zero before Cleanup.
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live)
+}
+
+// Cleanup removes every live spill file and the spill directory. It is
+// idempotent and safe to call on error paths; the first removal error
+// is returned after attempting all of them.
+func (m *Manager) Cleanup() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for path := range m.live {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) && first == nil {
+			first = fmt.Errorf("spill: cleanup %s: %w", filepath.Base(path), err)
+		}
+		delete(m.live, path)
+	}
+	if m.dir != "" {
+		if err := os.Remove(m.dir); err != nil && !os.IsNotExist(err) && first == nil {
+			first = fmt.Errorf("spill: cleanup dir: %w", err)
+		}
+		m.dir = ""
+	}
+	return first
+}
+
+// Create opens a named spill file for writing and stages its header.
+func (m *Manager) Create(name string) (*Writer, error) {
+	dir, err := m.ensureDir()
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, name)
+	if m.inj.trip(CreateFail) {
+		return nil, fmt.Errorf("spill: create %s: %w", name, ErrInjected)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create %s: %w", name, err)
+	}
+	m.track(path)
+	w := &Writer{m: m, f: f, name: name, buf: make([]byte, 0, stageBytes), sum: fnv1aInit}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	w.buf = append(w.buf, hdr[:]...)
+	return w, nil
+}
+
+// Remove deletes a spill file after its contents were consumed.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	dir := m.dir
+	m.mu.Unlock()
+	path := filepath.Join(dir, name)
+	m.untrack(path)
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("spill: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+// Writer streams tuples into one spill file. Not safe for concurrent
+// use; one worker owns one writer.
+type Writer struct {
+	m     *Manager
+	f     *os.File
+	name  string
+	buf   []byte
+	count uint64
+	sum   uint64
+	bytes int64
+	err   error
+}
+
+// Write appends the tuples to the file.
+func (w *Writer) Write(ts []tuple.Tuple) error {
+	if w.err != nil {
+		return w.err
+	}
+	var enc [tuple.Bytes]byte
+	for _, t := range ts {
+		binary.LittleEndian.PutUint32(enc[0:], t.Key)
+		binary.LittleEndian.PutUint32(enc[4:], t.Payload)
+		w.sum = fnv1a(w.sum, enc[:])
+		w.buf = append(w.buf, enc[:]...)
+		if len(w.buf) >= stageBytes {
+			if err := w.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	w.count += uint64(len(ts))
+	return nil
+}
+
+// flush drains the staging buffer to disk, failing on short writes.
+func (w *Writer) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	b := w.buf
+	if w.m.inj.trip(ShortWrite) {
+		n, _ := w.f.Write(b[:len(b)/2])
+		w.err = fmt.Errorf("spill: write %s: wrote %d of %d bytes: %w", w.name, n, len(b), ErrInjected)
+		return w.err
+	}
+	n, err := w.f.Write(b)
+	w.bytes += int64(n)
+	if err != nil {
+		w.err = fmt.Errorf("spill: write %s: %w", w.name, err)
+		return w.err
+	}
+	if n < len(b) {
+		w.err = fmt.Errorf("spill: write %s: wrote %d of %d bytes", w.name, n, len(b))
+		return w.err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close appends the count+checksum trailer and closes the file. The
+// file stays tracked by the manager either way: consumed files are
+// dropped via Manager.Remove, failed ones by Manager.Cleanup.
+func (w *Writer) Close() error {
+	if w.err == nil {
+		var tr [trailerBytes]byte
+		binary.LittleEndian.PutUint64(tr[0:], w.count)
+		binary.LittleEndian.PutUint64(tr[8:], w.sum)
+		w.buf = append(w.buf, tr[:]...)
+		w.flush()
+	}
+	if cerr := w.f.Close(); cerr != nil && w.err == nil {
+		w.err = fmt.Errorf("spill: close %s: %w", w.name, cerr)
+	}
+	return w.err
+}
+
+// Bytes returns the bytes written to disk so far.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// ReadAll loads a named spill file, verifies its framing, count and
+// checksum, and decodes it into a tuple buffer from the manager's
+// arena. The caller owns the buffer and must return it with
+// Release. The second return is the file size on disk (for byte
+// accounting). A zero-tuple file returns a nil relation.
+func (m *Manager) ReadAll(name string) (tuple.Relation, int64, error) {
+	m.mu.Lock()
+	dir := m.dir
+	m.mu.Unlock()
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, 0, fmt.Errorf("spill: read %s: %w", name, err)
+	}
+	if m.inj.trip(ReadCorrupt) && len(raw) > headerBytes {
+		// Corrupt one payload byte in place: the checksum verification
+		// below must catch it, exactly as it would catch real bit rot.
+		raw[headerBytes] ^= 0x40
+	}
+	if len(raw) < headerBytes+trailerBytes {
+		return nil, 0, fmt.Errorf("spill: read %s: truncated (%d bytes): %w", name, len(raw), ErrChecksum)
+	}
+	if got := binary.LittleEndian.Uint32(raw[0:]); got != magic {
+		return nil, 0, fmt.Errorf("spill: read %s: bad magic %#x: %w", name, got, ErrChecksum)
+	}
+	if got := binary.LittleEndian.Uint32(raw[4:]); got != version {
+		return nil, 0, fmt.Errorf("spill: read %s: version %d, want %d: %w", name, got, version, ErrChecksum)
+	}
+	body := raw[headerBytes : len(raw)-trailerBytes]
+	count := binary.LittleEndian.Uint64(raw[len(raw)-trailerBytes:])
+	sum := binary.LittleEndian.Uint64(raw[len(raw)-8:])
+	if uint64(len(body)) != count*tuple.Bytes {
+		return nil, 0, fmt.Errorf("spill: read %s: %d payload bytes for %d tuples: %w", name, len(body), count, ErrChecksum)
+	}
+	if got := fnv1a(fnv1aInit, body); got != sum {
+		return nil, 0, fmt.Errorf("spill: read %s: checksum %#x, trailer %#x: %w", name, got, sum, ErrChecksum)
+	}
+	out := m.arena.Tuples(int(count))
+	for i := range out {
+		out[i] = tuple.Tuple{
+			Key:     binary.LittleEndian.Uint32(body[i*tuple.Bytes:]),
+			Payload: binary.LittleEndian.Uint32(body[i*tuple.Bytes+4:]),
+		}
+	}
+	return out, int64(len(raw)), nil
+}
+
+// Release returns a ReadAll buffer to the manager's arena.
+func (m *Manager) Release(rel tuple.Relation) {
+	if rel != nil {
+		m.arena.PutTuples(rel)
+	}
+}

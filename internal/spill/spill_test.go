@@ -1,0 +1,224 @@
+package spill
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmjoin/internal/exec"
+	"mmjoin/internal/tuple"
+)
+
+// splitmix64 is the test's deterministic tuple source.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+func testTuples(seed uint64, n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		h := splitmix64(seed + uint64(i))
+		out[i] = tuple.Tuple{Key: tuple.Key(h), Payload: tuple.Payload(h >> 32)}
+	}
+	return out
+}
+
+func writeFile(t *testing.T, m *Manager, name string, ts []tuple.Tuple) {
+	t.Helper()
+	w, err := m.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	// Split the write to exercise multi-call streaming.
+	if err := w.Write(ts[:len(ts)/2]); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Write(ts[len(ts)/2:]); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRoundTripByteIdentical is the spill-format property test: the
+// same tuple sequence written twice produces byte-identical
+// (checksummed) files, and reading either back yields exactly the
+// written tuples through an arena-balanced buffer.
+func TestRoundTripByteIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 257, 1 << 13, 3*stageBytes/tuple.Bytes + 5} {
+		arena := exec.NewArena()
+		m := NewManager(t.TempDir(), arena, nil)
+		ts := testTuples(uint64(n)*1315423911+1, n)
+		writeFile(t, m, "a.spill", ts)
+		writeFile(t, m, "b.spill", ts)
+
+		rawA, err := os.ReadFile(filepath.Join(m.dir, "a.spill"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawB, err := os.ReadFile(filepath.Join(m.dir, "b.spill"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rawA) != string(rawB) {
+			t.Fatalf("n=%d: two writes of the same tuples differ on disk (%d vs %d bytes)", n, len(rawA), len(rawB))
+		}
+		if want := headerBytes + n*tuple.Bytes + trailerBytes; len(rawA) != want {
+			t.Fatalf("n=%d: file is %d bytes, want %d", n, len(rawA), want)
+		}
+
+		got, bytes, err := m.ReadAll("a.spill")
+		if err != nil {
+			t.Fatalf("n=%d: ReadAll: %v", n, err)
+		}
+		if bytes != int64(len(rawA)) {
+			t.Fatalf("n=%d: ReadAll reported %d bytes, file has %d", n, bytes, len(rawA))
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: read %d tuples", n, len(got))
+		}
+		for i := range got {
+			if got[i] != ts[i] {
+				t.Fatalf("n=%d: tuple %d: got %v, want %v", n, i, got[i], ts[i])
+			}
+		}
+		m.Release(got)
+		if out := arena.Outstanding(); out != 0 {
+			t.Fatalf("n=%d: arena outstanding %d after release", n, out)
+		}
+		if m.Live() != 2 {
+			t.Fatalf("n=%d: %d live files, want 2", n, m.Live())
+		}
+		if err := m.Remove("a.spill"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Cleanup(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Live() != 0 {
+			t.Fatalf("n=%d: %d live files after cleanup", n, m.Live())
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	arena := exec.NewArena()
+	m := NewManager(t.TempDir(), arena, nil)
+	ts := testTuples(3, 1000)
+	writeFile(t, m, "p.spill", ts)
+	path := filepath.Join(m.dir, "p.spill")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	raw[headerBytes+100] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ReadAll("p.spill"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted file read: err = %v, want ErrChecksum", err)
+	}
+	// Truncation must be caught too.
+	if err := os.WriteFile(path, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ReadAll("p.spill"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("truncated file read: err = %v, want ErrChecksum", err)
+	}
+	if out := arena.Outstanding(); out != 0 {
+		t.Fatalf("arena outstanding %d after failed reads", out)
+	}
+	if err := m.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedFaults drives each injector mode through the operation it
+// targets and asserts the clean-failure contract: a wrapped ErrInjected
+// (or ErrChecksum for corruption, which must be caught organically),
+// zero leaked files after Cleanup, and a balanced arena.
+func TestInjectedFaults(t *testing.T) {
+	ts := testTuples(9, 512)
+	t.Run("create-fail", func(t *testing.T) {
+		m := NewManager(t.TempDir(), exec.NewArena(), NewInjector(CreateFail))
+		if _, err := m.Create("p.spill"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Create err = %v, want ErrInjected", err)
+		}
+		if m.Live() != 0 {
+			t.Fatalf("%d live files after failed create", m.Live())
+		}
+		// The single-shot fault must not re-fire.
+		writeFile(t, m, "q.spill", ts)
+		if err := m.Cleanup(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("short-write", func(t *testing.T) {
+		m := NewManager(t.TempDir(), exec.NewArena(), NewInjector(ShortWrite))
+		w, err := m.Create("p.spill")
+		if err != nil {
+			t.Fatal(err)
+		}
+		werr := w.Write(ts)
+		cerr := w.Close()
+		if !errors.Is(cerr, ErrInjected) {
+			t.Fatalf("Write/Close err = %v / %v, want ErrInjected", werr, cerr)
+		}
+		if err := m.Cleanup(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Live() != 0 {
+			t.Fatalf("%d live files after cleanup", m.Live())
+		}
+	})
+	t.Run("read-corrupt", func(t *testing.T) {
+		arena := exec.NewArena()
+		m := NewManager(t.TempDir(), arena, NewInjector(ReadCorrupt))
+		writeFile(t, m, "p.spill", ts)
+		if _, _, err := m.ReadAll("p.spill"); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("ReadAll err = %v, want ErrChecksum", err)
+		}
+		// Single shot: the second read runs clean.
+		got, _, err := m.ReadAll("p.spill")
+		if err != nil {
+			t.Fatalf("second ReadAll: %v", err)
+		}
+		m.Release(got)
+		if out := arena.Outstanding(); out != 0 {
+			t.Fatalf("arena outstanding %d", out)
+		}
+		if err := m.Cleanup(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCleanupRemovesDirectory proves the error-path contract the oracle
+// leans on: after Cleanup the parent directory holds nothing, whether
+// or not files were consumed.
+func TestCleanupRemovesDirectory(t *testing.T) {
+	parent := t.TempDir()
+	m := NewManager(parent, exec.NewArena(), nil)
+	writeFile(t, m, "a.spill", testTuples(1, 100))
+	writeFile(t, m, "b.spill", testTuples(2, 100))
+	if err := m.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d entries left under parent after cleanup", len(ents))
+	}
+	// Idempotent.
+	if err := m.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -123,6 +123,21 @@ func (t *Tracer) Counter(pid int, name string, ts time.Duration, value float64) 
 	t.mu.Unlock()
 }
 
+// CounterSamples returns the recorded values of one counter track in
+// record order, across all processes. Only valid after the traced work
+// has completed.
+func (t *Tracer) CounterSamples(name string) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []float64
+	for _, c := range t.counters {
+		if c.name == name {
+			out = append(out, c.value)
+		}
+	}
+	return out
+}
+
 // Spans returns all recorded spans in shard registration order. Only
 // valid after the traced work has completed.
 func (t *Tracer) Spans() []Span {

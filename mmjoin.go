@@ -122,6 +122,12 @@ func New(name string) (Algorithm, error) { return join.New(name) }
 // MustNew is New but panics on unknown names; for static configuration.
 func MustNew(name string) Algorithm { return join.MustNew(name) }
 
+// NewAny is New extended to every registered algorithm, including the
+// ablations and the budget-aware extensions (HYBRID, ADAPT) —
+// everything Recommend can name. Use it to instantiate a
+// Recommendation's Algorithm field.
+func NewAny(name string) (Algorithm, error) { return join.NewAny(name) }
+
 // Algorithms lists all thirteen algorithms in Table 2 order.
 func Algorithms() []Spec { return join.Algorithms() }
 
