@@ -36,6 +36,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(stderr, "\nExit status:\n")
+		fmt.Fprintf(stderr, "  0  clean (suppressed findings do not fail the run)\n")
+		fmt.Fprintf(stderr, "  1  at least one unsuppressed finding\n")
+		fmt.Fprintf(stderr, "  2  usage, load or environment error (unknown analyzer,\n")
+		fmt.Fprintf(stderr, "     unparsable package, perfgate toolchain mismatch)\n")
 		fmt.Fprintf(stderr, "\nFlags:\n")
 		fs.PrintDefaults()
 	}
@@ -77,7 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		// An analyzer that cannot do its job (perfgate toolchain
+		// mismatch, compiler invocation failure) is an environment
+		// problem, not a finding: exit 2, like a load error.
+		fmt.Fprintf(stderr, "mmjoinlint: %v\n", err)
+		return 2
+	}
 	if !*showSuppressed {
 		kept := diags[:0]
 		for _, d := range diags {

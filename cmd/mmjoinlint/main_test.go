@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -134,6 +136,100 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "nosuch") {
 		t.Fatalf("stderr does not name the unknown analyzer: %s", errb.String())
+	}
+}
+
+// perfMod is scratchMod with the toolchain pinned to the compiler
+// running this test — exactly what perfgate demands. runtime.Version()
+// and `go env GOVERSION` agree because the test binary is built by the
+// module's own pinned toolchain.
+func perfMod() string {
+	// The go directive stays below the toolchain version: a toolchain
+	// line equal to the go line is redundant and the go command insists
+	// on rewriting the file, which a readonly `go list` turns into an
+	// error.
+	return "module scratch\n\ngo 1.23\n\ntoolchain " + runtime.Version() + "\n"
+}
+
+// leakyKernel mimics a batch-probe kernel with an injected formatting
+// call — the classic debugging leftover the gate exists to catch.
+const leakyKernel = `package join
+
+import "fmt"
+
+//mmjoin:noescape
+func probeBatch(keys []uint32, out []string) {
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("k=%d", k)
+	}
+}
+`
+
+// TestPerfGateInjectedEscape is the CI contract for the compiler-feedback
+// gate: injecting fmt.Sprintf into an annotated kernel must fail the run
+// with the function, the line and the compiler's diagnostic named.
+func TestPerfGateInjectedEscape(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                perfMod(),
+		"internal/join/hot.go":  leakyKernel,
+		"internal/join/cold.go": goodJoin,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "perfgate", "-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	text := out.String()
+	for _, sub := range []string{"perfgate", "probeBatch", "escapes to heap"} {
+		if !strings.Contains(text, sub) {
+			t.Errorf("output does not name %q:\n%s", sub, text)
+		}
+	}
+	if !regexp.MustCompile(`hot\.go:\d+:\d+:`).MatchString(text) {
+		t.Errorf("output does not carry a hot.go line:col position:\n%s", text)
+	}
+}
+
+// TestPerfGateCleanKernel is the other half of the contract: the same
+// kernel without the formatting call passes the gate.
+func TestPerfGateCleanKernel(t *testing.T) {
+	clean := `package join
+
+//mmjoin:noescape
+func probeBatch(keys []uint32, out []uint64) {
+	for i, k := range keys {
+		out[i] = uint64(k)
+	}
+}
+`
+	dir := writeTree(t, map[string]string{
+		"go.mod":               perfMod(),
+		"internal/join/hot.go": clean,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "perfgate", "-C", dir, "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestPerfGateToolchainMismatch pins the scratch module to a toolchain
+// that cannot be the one running the test: an environment error (exit
+// 2), never a lint finding — compiler diagnostics from the wrong
+// compiler would be phantom regressions.
+func TestPerfGateToolchainMismatch(t *testing.T) {
+	mod := "module scratch\n\ngo 1.23\n\ntoolchain go1.23.99\n"
+	dir := writeTree(t, map[string]string{
+		"go.mod":               mod,
+		"internal/join/hot.go": leakyKernel,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "perfgate", "-C", dir, "./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "toolchain") {
+		t.Fatalf("stderr does not explain the toolchain mismatch: %s", errb.String())
 	}
 }
 

@@ -1,3 +1,5 @@
 module mmjoin
 
 go 1.23
+
+toolchain go1.24.0

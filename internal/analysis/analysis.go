@@ -20,7 +20,15 @@
 //     must flow in from RunContext through exec.Pool;
 //   - registry: every algorithm registered in internal/join must
 //     appear in the cancel-test table, the fuzz-equivalence list and
-//     the bench experiment tables (marked //mmjoin:registry-table).
+//     the bench experiment tables (marked //mmjoin:registry-table);
+//   - arenapair: every buffer drawn from an exec.Arena must reach the
+//     matching Put on all paths, or be explicitly handed off;
+//   - spillclose: every spill.Manager writer must be closed on all
+//     paths, including error returns;
+//   - perfgate: regions annotated //mmjoin:noescape, //mmjoin:bce and
+//     //mmjoin:inline are re-verified against the compiler's own
+//     escape-analysis, bounds-check and inlining diagnostics
+//     (internal/analysis/perfgate drives `go tool compile`).
 //
 // The suite is built directly on go/ast and go/types (no external
 // analyzer framework): Load type-checks the packages from source via
@@ -57,13 +65,15 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes a single package.
 	Run func(*Pass)
-	// RunProgram analyzes the whole loaded program.
-	RunProgram func(*ProgramPass)
+	// RunProgram analyzes the whole loaded program. A returned error is
+	// an environment or tooling failure (not a finding): the driver
+	// maps it to exit 2, the same as a load error.
+	RunProgram func(*ProgramPass) error
 }
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotAlloc, SpanPair, CtxFlow, Registry}
+	return []*Analyzer{HotAlloc, SpanPair, CtxFlow, Registry, ArenaPair, SpillClose, PerfGate}
 }
 
 // Diagnostic is one finding.
@@ -115,8 +125,11 @@ func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args .
 }
 
 // RunAnalyzers applies the given analyzers to every package and returns
-// all diagnostics sorted by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// all diagnostics sorted by position. A non-nil error means an analyzer
+// could not do its job at all (e.g. perfgate's compiler invocation or
+// toolchain pin failed) — callers must treat it like a load error, not
+// a clean run.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
 	var fset *token.FileSet
@@ -134,7 +147,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
 			}
 		case a.RunProgram != nil:
-			a.RunProgram(&ProgramPass{Analyzer: a, Fset: fset, Pkgs: pkgs, report: report})
+			if err := a.RunProgram(&ProgramPass{Analyzer: a, Fset: fset, Pkgs: pkgs, report: report}); err != nil {
+				return diags, fmt.Errorf("%s: %w", a.Name, err)
+			}
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool {
@@ -146,7 +161,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, nil
 }
 
 // Annotation markers. They are ordinary line comments:
@@ -159,10 +174,21 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 //	                                        statement is an algorithm
 //	                                        coverage table of the given
 //	                                        kind (cancel, fuzz, bench)
+//	//mmjoin:noescape                     — perfgate: nothing declared in
+//	                                        the function (doc comment) or
+//	                                        statement (line before) may be
+//	                                        reported "escapes to heap"
+//	//mmjoin:bce                          — perfgate: no bounds check may
+//	                                        survive inside the region
+//	//mmjoin:inline                       — perfgate: the function must be
+//	                                        reported "can inline"
 const (
 	hotpathMarker  = "//mmjoin:hotpath"
 	allowMarker    = "//mmjoin:allow("
 	registryMarker = "//mmjoin:registry-table"
+	noescapeMarker = "//mmjoin:noescape"
+	bceMarker      = "//mmjoin:bce"
+	inlineMarker   = "//mmjoin:inline"
 )
 
 var allowRe = regexp.MustCompile(`^//mmjoin:allow\(([^)]*)\)\s*(.*)$`)
@@ -176,6 +202,9 @@ type fileAnnotations struct {
 	allowLines map[int][]string
 	// registryLines maps a line number to the table kind declared on it.
 	registryLines map[int]string
+	// perfLines maps a line number to the perfgate marker kinds
+	// ("noescape", "bce", "inline") written on it.
+	perfLines map[int][]string
 }
 
 // buildAnnotations indexes marker comments of every file once.
@@ -195,6 +224,7 @@ func (pkg *Package) buildAnnotations() {
 						hotpathLines:  map[int]bool{},
 						allowLines:    map[int][]string{},
 						registryLines: map[int]string{},
+						perfLines:     map[int][]string{},
 					}
 					pkg.annotations[pos.Filename] = fa
 				}
@@ -228,6 +258,12 @@ func (pkg *Package) buildAnnotations() {
 				case strings.HasPrefix(text, registryMarker):
 					kind := strings.TrimSpace(strings.TrimPrefix(text, registryMarker))
 					fa.registryLines[pos.Line] = kind
+				case text == noescapeMarker || strings.HasPrefix(text, noescapeMarker+" "):
+					fa.perfLines[pos.Line] = append(fa.perfLines[pos.Line], "noescape")
+				case text == bceMarker || strings.HasPrefix(text, bceMarker+" "):
+					fa.perfLines[pos.Line] = append(fa.perfLines[pos.Line], "bce")
+				case text == inlineMarker || strings.HasPrefix(text, inlineMarker+" "):
+					fa.perfLines[pos.Line] = append(fa.perfLines[pos.Line], "inline")
 				}
 			}
 		}
@@ -259,6 +295,18 @@ func (pkg *Package) hotpathAt(pos token.Pos) bool {
 	p := pkg.Fset.Position(pos)
 	fa := pkg.annotations[p.Filename]
 	return fa != nil && fa.hotpathLines[p.Line-1]
+}
+
+// perfMarkersAt returns the perfgate marker kinds written on the line
+// before pos (statement-level marking), in source order.
+func (pkg *Package) perfMarkersAt(pos token.Pos) []string {
+	pkg.buildAnnotations()
+	p := pkg.Fset.Position(pos)
+	fa := pkg.annotations[p.Filename]
+	if fa == nil {
+		return nil
+	}
+	return fa.perfLines[p.Line-1]
 }
 
 // registryTableAt returns the table kind declared on the line before

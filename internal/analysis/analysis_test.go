@@ -29,6 +29,14 @@ func TestGoldenCtxFlow(t *testing.T) {
 
 func TestGoldenRegistry(t *testing.T) { runGolden(t, Registry, "testdata/registry") }
 
+func TestGoldenArenaPair(t *testing.T) { runGolden(t, ArenaPair, "testdata/arenapair") }
+
+func TestGoldenSpillClose(t *testing.T) { runGolden(t, SpillClose, "testdata/spillclose") }
+
+// The perfgate golden compiles its fixture with the pinned toolchain;
+// it is the executable specification of the three annotations.
+func TestGoldenPerfGate(t *testing.T) { runGolden(t, PerfGate, "testdata/perfgate") }
+
 // wantRe extracts the quoted regexes of one `want "..."` comment; a
 // line may carry several want clauses.
 var wantRe = regexp.MustCompile(`want\s+"((?:[^"\\]|\\.)*)"`)
@@ -86,7 +94,11 @@ func runGolden(t *testing.T, a *Analyzer, dir string) {
 		}
 	}
 
-	for _, d := range RunAnalyzers([]*Package{pkg}, []*Analyzer{a}) {
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
 		if d.Suppressed {
 			continue
 		}

@@ -109,8 +109,9 @@ func checkHotRegion(pass *Pass, root ast.Node) {
 }
 
 // lazyInitMakes pre-scans a hot region for the sanctioned lazy-init
-// idiom — `if x == nil { x = make(...) }` with nothing else in the if —
-// and returns the positions of the make calls it covers. The match is
+// idiom — `if x == nil { x = make(...) }` (or new(...)) with nothing
+// else in the if — and returns the positions of the allocation calls it
+// covers. The match is
 // strict: a plain `=` (not :=) whose single target is textually the
 // expression compared against nil, no init statement, no else branch.
 func lazyInitMakes(pass *Pass, root ast.Node) map[token.Pos]bool {
@@ -140,7 +141,10 @@ func lazyInitMakes(pass *Pass, root ast.Node) map[token.Pos]bool {
 			return true
 		}
 		id, ok := call.Fun.(*ast.Ident)
-		if !ok || builtinName(info, id) != "make" {
+		if !ok {
+			return true
+		}
+		if b := builtinName(info, id); b != "make" && b != "new" {
 			return true
 		}
 		if types.ExprString(asg.Lhs[0]) != types.ExprString(target) {
@@ -183,6 +187,9 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, lazyMakes map[token.Pos]bool) 
 			pass.Reportf(call.Pos(), "make in hot path allocates; draw the buffer from exec.Arena outside the loop")
 			return
 		case "new":
+			if lazyMakes[call.Pos()] {
+				return
+			}
 			pass.Reportf(call.Pos(), "new in hot path allocates; reuse per-worker state instead")
 			return
 		}

@@ -26,6 +26,10 @@ type Package struct {
 	Dir string
 	// Files holds the parsed files the analyzers see.
 	Files []*ast.File
+	// GoFiles are the non-test source file names (relative to Dir) that
+	// make up the compiled package — the set perfgate feeds to the
+	// compiler. Test files are analyzed but never compiled standalone.
+	GoFiles []string
 	// Fset is the shared file set of the whole load.
 	Fset *token.FileSet
 	// Types and Info are the type-checking results. Info may be
@@ -203,7 +207,7 @@ func (l *loader) checkTarget(lp *listPkg) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Files: files, Fset: l.fset}
+	pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Files: files, Fset: l.fset, GoFiles: lp.GoFiles}
 	pkg.TypeErrors = append(pkg.TypeErrors, syntaxErrs...)
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -302,7 +306,7 @@ func LoadDir(dir string, goFiles []string) (*Package, error) {
 			return nil, err
 		}
 	}
-	pkg := &Package{Path: dir, Dir: dir, Files: files, Fset: l.fset}
+	pkg := &Package{Path: dir, Dir: dir, Files: files, Fset: l.fset, GoFiles: goFiles}
 	pkg.TypeErrors = append(pkg.TypeErrors, syntaxErrs...)
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mmjoin/internal/analysis/perfgate"
+)
+
+// PerfGate re-verifies the hand-tuned properties the batch kernels'
+// throughput rests on against the compiler's own diagnostics, so a
+// refactor that quietly reintroduces a heap escape, a bounds check or
+// an inlining failure fails lint instead of eroding a benchmark.
+//
+// Three annotations, checked by compiling the package with
+// `go tool compile -m -m -d=ssa/check_bce/debug=1` (never through the
+// build cache, which swallows diagnostics for up-to-date packages):
+//
+//   - //mmjoin:noescape — in a function's doc comment or on the line
+//     before a statement: nothing in the region may be reported
+//     "escapes to heap" or "moved to heap". Constant strings boxed for
+//     panic messages are static data and are not counted.
+//   - //mmjoin:bce — same placement: no "Found IsInBounds" or
+//     "Found IsSliceInBounds" may survive inside the region.
+//   - //mmjoin:inline — doc comment only: the function must be
+//     reported "can inline"; the failure message quotes the compiler's
+//     reason (cost over budget, unsupported construct, ...).
+//
+// Intentional exceptions use //mmjoin:allow(perfgate) with a
+// justification on the offending line, like every other analyzer.
+//
+// The gate only runs on packages that carry annotations, and refuses
+// to run at all (an error, not findings) when the running compiler
+// does not exactly match the go.mod toolchain pin — diagnostics drift
+// between compiler releases, and a version skew must fail the build
+// loudly rather than report phantom regressions.
+var PerfGate = &Analyzer{
+	Name:       "perfgate",
+	Doc:        "//mmjoin:noescape, //mmjoin:bce and //mmjoin:inline annotations hold against the compiler's escape/BCE/inlining diagnostics",
+	RunProgram: runPerfGate,
+}
+
+// perfRegion is one annotated source range awaiting verification.
+type perfRegion struct {
+	kind  string // "noescape" or "bce"
+	file  string
+	start token.Position
+	end   token.Position
+	owner string // enclosing function symbol, compiler-style
+}
+
+// perfInlineReq is one //mmjoin:inline requirement.
+type perfInlineReq struct {
+	symbol string
+	pos    token.Pos
+}
+
+func runPerfGate(pass *ProgramPass) error {
+	var mod *perfgate.Module
+	for _, pkg := range pass.Pkgs {
+		regions, reqs := perfAnnotations(pass, pkg)
+		if len(regions) == 0 && len(reqs) == 0 {
+			continue
+		}
+		if mod == nil {
+			m, err := perfgate.LoadModule(pkg.Dir)
+			if err != nil {
+				return err
+			}
+			if err := m.CheckToolchain(); err != nil {
+				return err
+			}
+			mod = m
+		}
+		diags, err := perfgate.Compile(mod, pkg.Dir, pkg.Path, pkg.GoFiles, perfImports(pkg))
+		if err != nil {
+			return err
+		}
+		matchPerfDiags(pass, pkg, regions, reqs, diags)
+	}
+	return nil
+}
+
+// perfAnnotations extracts the annotated regions and inline
+// requirements of one package, reporting unusable annotations (in test
+// files, or attached to nothing) as findings.
+func perfAnnotations(pass *ProgramPass, pkg *Package) ([]perfRegion, []perfInlineReq) {
+	pkg.buildAnnotations()
+	compiled := map[string]bool{}
+	for _, name := range pkg.GoFiles {
+		compiled[filepath.Base(name)] = true
+	}
+	var regions []perfRegion
+	var reqs []perfInlineReq
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		markers := perfMarkerComments(f)
+		if len(markers) == 0 {
+			continue
+		}
+		if !compiled[filepath.Base(filename)] {
+			// The gate compiles the package the way the library build
+			// does; test files never reach that compilation, so an
+			// annotation there would be silently unverified.
+			for _, c := range markers {
+				pass.Reportf(pkg, c.Pos(), "perfgate annotation in a test file is never verified; move the marked code into the package's non-test sources")
+			}
+			continue
+		}
+		consumed := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Doc == nil || n.Body == nil {
+					return true
+				}
+				sym := funcSymbol(n)
+				for _, kind := range []string{"noescape", "bce"} {
+					if docHasMarker(n.Doc, "//mmjoin:"+kind) {
+						regions = append(regions, perfRegion{
+							kind:  kind,
+							file:  filename,
+							start: pkg.Fset.Position(n.Body.Pos()),
+							end:   pkg.Fset.Position(n.Body.End()),
+							owner: sym,
+						})
+					}
+				}
+				if docHasMarker(n.Doc, inlineMarker) {
+					reqs = append(reqs, perfInlineReq{symbol: sym, pos: n.Name.Pos()})
+				}
+				for _, c := range n.Doc.List {
+					consumed[pkg.Fset.Position(c.Pos()).Line] = true
+				}
+			case ast.Stmt:
+				line := pkg.Fset.Position(n.Pos()).Line
+				kinds := pkg.perfMarkersAt(n.Pos())
+				if len(kinds) == 0 || consumed[line-1] {
+					return true
+				}
+				consumed[line-1] = true
+				owner := enclosingFuncSymbol(f, pkg, n.Pos())
+				for _, kind := range kinds {
+					if kind == "inline" {
+						pass.Reportf(pkg, n.Pos(), "//mmjoin:inline applies to whole functions; write it in the function's doc comment")
+						continue
+					}
+					regions = append(regions, perfRegion{
+						kind:  kind,
+						file:  filename,
+						start: pkg.Fset.Position(n.Pos()),
+						end:   pkg.Fset.Position(n.End()),
+						owner: owner,
+					})
+				}
+			}
+			return true
+		})
+		for _, c := range markers {
+			if line := pkg.Fset.Position(c.Pos()).Line; !consumed[line] {
+				pass.Reportf(pkg, c.Pos(), "perfgate annotation attaches to nothing: put it in a function's doc comment or on the line before a statement")
+			}
+		}
+	}
+	return regions, reqs
+}
+
+// perfMarkerComments lists the perfgate marker comments of one file.
+func perfMarkerComments(f *ast.File) []*ast.Comment {
+	var out []*ast.Comment
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			for _, marker := range []string{noescapeMarker, bceMarker, inlineMarker} {
+				if text == marker || strings.HasPrefix(text, marker+" ") {
+					out = append(out, c)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// perfImports collects the direct imports of the package's compiled
+// files.
+func perfImports(pkg *Package) []string {
+	compiled := map[string]bool{}
+	for _, name := range pkg.GoFiles {
+		compiled[filepath.Base(name)] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range pkg.Files {
+		if !compiled[filepath.Base(pkg.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// matchPerfDiags reports every compiler diagnostic that lands in a
+// region of its kind, and resolves the inline requirements.
+func matchPerfDiags(pass *ProgramPass, pkg *Package, regions []perfRegion, reqs []perfInlineReq, diags []perfgate.Diag) {
+	canInline := map[string]bool{}
+	cannotInline := map[string]string{}
+	for _, d := range diags {
+		switch d.Kind {
+		case "can-inline":
+			canInline[d.Symbol] = true
+		case "cannot-inline":
+			cannotInline[d.Symbol] = d.Reason
+		case "escape", "bce":
+			for _, r := range regions {
+				if !perfDiagInRegion(d, r) {
+					continue
+				}
+				pos := perfPosFor(pkg, d)
+				switch d.Kind {
+				case "escape":
+					pass.Reportf(pkg, pos, "heap escape in //mmjoin:noescape region of %s: %s", r.owner, d.Message)
+				case "bce":
+					pass.Reportf(pkg, pos, "bounds check not eliminated in //mmjoin:bce region of %s: compiler reports %q", r.owner, d.Message)
+				}
+				break
+			}
+		}
+	}
+	for _, req := range reqs {
+		switch {
+		case canInline[req.symbol]:
+		case cannotInline[req.symbol] != "":
+			pass.Reportf(pkg, req.pos, "function %s is marked //mmjoin:inline but the compiler reports: cannot inline: %s", req.symbol, cannotInline[req.symbol])
+		default:
+			pass.Reportf(pkg, req.pos, "function %s is marked //mmjoin:inline but the compiler emitted no inlining decision for it (generic or dead code cannot carry the marker)", req.symbol)
+		}
+	}
+}
+
+// perfDiagInRegion reports whether d's position falls inside r, and r
+// is of d's kind. Escape diagnostics belong to noescape regions, bce
+// diagnostics to bce regions.
+func perfDiagInRegion(d perfgate.Diag, r perfRegion) bool {
+	wantKind := "noescape"
+	if d.Kind == "bce" {
+		wantKind = "bce"
+	}
+	// The compiler is invoked in the package directory and prints bare
+	// filenames; the loaded file set may hold them under a longer path.
+	// Basenames are unique within a package, so compare those.
+	if r.kind != wantKind || filepath.Base(d.File) != filepath.Base(r.file) {
+		return false
+	}
+	if d.Line < r.start.Line || d.Line > r.end.Line {
+		return false
+	}
+	if d.Line == r.start.Line && d.Col < r.start.Column {
+		return false
+	}
+	if d.Line == r.end.Line && d.Col > r.end.Column {
+		return false
+	}
+	return true
+}
+
+// perfPosFor maps a compiler position back into the loaded file set so
+// the diagnostic lands on the offending line (and line-level
+// //mmjoin:allow comments apply to it).
+func perfPosFor(pkg *Package, d perfgate.Diag) token.Pos {
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != filepath.Base(d.File) {
+			continue
+		}
+		if d.Line < 1 || d.Line > tf.LineCount() {
+			return token.NoPos
+		}
+		pos := tf.LineStart(d.Line)
+		if d.Col > 1 {
+			if p := pos + token.Pos(d.Col-1); tf.Pos(0) <= p && p <= tf.Pos(tf.Size()) {
+				pos = p
+			}
+		}
+		return pos
+	}
+	return token.NoPos
+}
+
+// funcSymbol renders a function's symbol the way the compiler prints
+// it in inline and escape diagnostics: F for functions, T.M for value
+// methods, (*T).M for pointer methods.
+func funcSymbol(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	return fmt.Sprintf("%s.%s", recvSymbol(fn.Recv.List[0].Type), fn.Name.Name)
+}
+
+func recvSymbol(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvBase(t.X) + ")"
+	default:
+		return recvBase(t)
+	}
+}
+
+// recvBase renders the receiver's base type name, dropping type
+// parameter lists (the compiler prints instantiated symbols the gate
+// does not attempt to match).
+func recvBase(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvBase(t.X)
+	case *ast.IndexListExpr:
+		return recvBase(t.X)
+	case *ast.ParenExpr:
+		return recvBase(t.X)
+	}
+	return "?"
+}
+
+// enclosingFuncSymbol names the function declaration containing pos.
+func enclosingFuncSymbol(f *ast.File, pkg *Package, pos token.Pos) string {
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos <= fn.End() {
+			return funcSymbol(fn)
+		}
+	}
+	return "(package scope)"
+}

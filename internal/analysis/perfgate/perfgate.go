@@ -1,0 +1,300 @@
+// Package perfgate drives the Go compiler in diagnostic mode and
+// parses what it says about escapes, bounds checks and inlining.
+//
+// The obvious approach — `go build -gcflags='-m -m ...'` — is wrong in
+// a linter: the build cache swallows all diagnostics for up-to-date
+// packages, so a warm run sees nothing and a gate built on it silently
+// passes (or, for //mmjoin:inline, fails) depending on cache state.
+// Instead this package invokes `go tool compile` directly on the
+// package's sources, which always compiles, with an import
+// configuration generated from one `go list -deps -export` call (which
+// also brings dependency export data up to date via the ordinary build
+// cache — only the target package is recompiled, so a gate run over
+// the annotated packages stays in the low seconds).
+//
+// The diagnostics are an unstable compiler interface and drift between
+// releases (escape-analysis wording, inlining cost model, prove-pass
+// strength). The gate therefore refuses to run unless `go env
+// GOVERSION` matches the toolchain directive pinned in go.mod: a
+// mismatched compiler must fail loudly, not report phantom findings
+// against annotations that were verified with a different compiler.
+package perfgate
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Diag is one parsed compiler diagnostic, position-resolved against
+// the compile directory.
+type Diag struct {
+	// File is the absolute path of the source file.
+	File string
+	// Line and Col are 1-based, as printed by the compiler.
+	Line, Col int
+	// Kind classifies the diagnostic: "escape" (a value escapes to the
+	// heap or a variable is moved there), "bce" (a bounds check the
+	// prove pass could not eliminate), "can-inline" or "cannot-inline".
+	Kind string
+	// Message is the compiler's text, e.g. `make([]uint64, 256) escapes
+	// to heap` or `Found IsInBounds`.
+	Message string
+	// Symbol is the function symbol of inline diagnostics, rendered the
+	// way the compiler prints it: F, T.M or (*T).M.
+	Symbol string
+	// Reason is the compiler's explanation on cannot-inline
+	// diagnostics, e.g. `function too complex: cost 137 exceeds budget 80`.
+	Reason string
+}
+
+// Module describes the toolchain context of a directory, from `go env`
+// and the module's go.mod.
+type Module struct {
+	// GoMod is the absolute path of the governing go.mod.
+	GoMod string
+	// GoVersion is the running toolchain's version (`go env GOVERSION`).
+	GoVersion string
+	// Lang is the module's language version from the `go` directive
+	// ("go1.23"), passed to the compiler as -lang.
+	Lang string
+	// Toolchain is the pinned toolchain from the `toolchain` directive,
+	// or "" when the module does not pin one.
+	Toolchain string
+}
+
+// LoadModule resolves the module context governing dir.
+func LoadModule(dir string) (*Module, error) {
+	out, err := goCmd(dir, "env", "GOMOD", "GOVERSION")
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		return nil, fmt.Errorf("unexpected `go env GOMOD GOVERSION` output: %q", out)
+	}
+	m := &Module{GoMod: strings.TrimSpace(lines[0]), GoVersion: strings.TrimSpace(lines[1])}
+	if m.GoMod == "" || m.GoMod == os.DevNull {
+		return nil, fmt.Errorf("%s is not inside a module; perfgate needs a go.mod with a pinned toolchain", dir)
+	}
+	data, err := os.ReadFile(m.GoMod)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "go":
+			m.Lang = "go" + fields[1]
+		case "toolchain":
+			m.Toolchain = fields[1]
+		}
+	}
+	return m, nil
+}
+
+// CheckToolchain verifies the running compiler is exactly the one the
+// module pins. Compiler diagnostics are version-sensitive — a newer or
+// older compiler reports different escapes, bounds checks and inline
+// costs against the same source — so anything but an exact match is an
+// environment error, never a lint finding.
+func (m *Module) CheckToolchain() error {
+	if m.Toolchain == "" {
+		return fmt.Errorf("%s has no `toolchain` directive; perfgate needs the compiler pinned (add `toolchain %s` and re-verify the annotations)", m.GoMod, m.GoVersion)
+	}
+	if m.Toolchain != m.GoVersion {
+		return fmt.Errorf("running compiler %s does not match the toolchain pin %s in %s; perfgate diagnostics are compiler-version-sensitive — install the pinned toolchain (or update the pin and re-verify every annotated region)", m.GoVersion, m.Toolchain, m.GoMod)
+	}
+	return nil
+}
+
+// Compile compiles one package with escape-analysis, bounds-check and
+// inlining diagnostics enabled and returns them parsed. dir is the
+// package directory, importPath names the package symbol (-p), goFiles
+// are the non-test sources relative to dir, and imports are the
+// package's direct imports (the transitive closure and its export data
+// come from `go list -deps -export`).
+func Compile(m *Module, dir, importPath string, goFiles, imports []string) ([]Diag, error) {
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files to compile in %s", dir)
+	}
+	tmp, err := os.MkdirTemp("", "perfgate-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	args := []string{"tool", "compile", "-p", importPath, "-m", "-m", "-d=ssa/check_bce/debug=1", "-o", filepath.Join(tmp, "pkg.o")}
+	if m.Lang != "" {
+		args = append(args, "-lang="+m.Lang)
+	}
+	cfg, err := writeImportcfg(tmp, dir, imports)
+	if err != nil {
+		return nil, err
+	}
+	if cfg != "" {
+		args = append(args, "-importcfg", cfg)
+	}
+	args = append(args, goFiles...)
+
+	// `go tool compile` prints -m and check_bce diagnostics on stdout
+	// (unlike `go build`, which relays them on stderr); hard errors go
+	// to stderr.
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go tool compile %s: %v\n%s%s", importPath, err, stderr.String(), stdout.String())
+	}
+	return parseDiags(dir, stdout.String()), nil
+}
+
+// writeImportcfg resolves the direct imports' transitive export data
+// through the ordinary build cache and writes a compiler importcfg.
+// It returns "" when the package imports nothing that needs one.
+func writeImportcfg(tmp, dir string, imports []string) (string, error) {
+	var deps []string
+	for _, imp := range imports {
+		if imp == "C" {
+			return "", fmt.Errorf("cgo package in %s: perfgate cannot compile it standalone", dir)
+		}
+		if imp != "unsafe" { // compiler builtin, no export data
+			deps = append(deps, imp)
+		}
+	}
+	if len(deps) == 0 {
+		return "", nil
+	}
+	args := append([]string{"list", "-deps", "-export", "-f",
+		`{{if .Export}}packagefile {{.ImportPath}}={{.Export}}{{end}}`}, deps...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.TrimSpace(line) != "" {
+			lines = append(lines, line)
+		}
+	}
+	cfg := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfg, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return cfg, nil
+}
+
+// parseDiags extracts the gate-relevant diagnostics from the
+// compiler's -m/-d output. Everything it does not recognize —
+// "does not escape", "leaking param", inline call-site traces, escape
+// flow explanations — is dropped.
+func parseDiags(dir, out string) []Diag {
+	var diags []Diag
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		file, lineNo, col, msg, ok := splitPos(line)
+		if !ok {
+			continue
+		}
+		d := Diag{File: file, Line: lineNo, Col: col, Message: msg}
+		if !filepath.IsAbs(d.File) {
+			d.File = filepath.Join(dir, d.File)
+		}
+		switch {
+		case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+			d.Kind = "bce"
+		case strings.HasPrefix(msg, "moved to heap: "):
+			d.Kind = "escape"
+		case strings.HasSuffix(msg, " escapes to heap") || strings.HasSuffix(msg, " escapes to heap:"):
+			subject := strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+			if strings.HasPrefix(subject, `"`) || strings.HasPrefix(subject, "`") {
+				// A constant string boxed for a panic or error path: it
+				// lives in static data and allocates nothing at run
+				// time, so it is noise, not an escape.
+				continue
+			}
+			d.Kind = "escape"
+			d.Message = subject + " escapes to heap"
+		case strings.HasPrefix(msg, "can inline "):
+			rest := strings.TrimPrefix(msg, "can inline ")
+			if i := strings.Index(rest, " with cost "); i >= 0 {
+				d.Symbol = rest[:i]
+			} else {
+				d.Symbol = strings.TrimSuffix(rest, ":")
+			}
+			d.Kind = "can-inline"
+		case strings.HasPrefix(msg, "cannot inline "):
+			rest := strings.TrimPrefix(msg, "cannot inline ")
+			if i := strings.Index(rest, ": "); i >= 0 {
+				d.Symbol, d.Reason = rest[:i], rest[i+2:]
+			} else {
+				d.Symbol = rest
+			}
+			d.Kind = "cannot-inline"
+		default:
+			continue
+		}
+		// -m -m repeats escape facts (once bare, once with the flow
+		// explanation); keep one per position and message.
+		key := fmt.Sprintf("%s:%d:%d|%s|%s", d.File, d.Line, d.Col, d.Kind, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// splitPos parses the `file:line:col: message` prefix of one
+// diagnostic line. Indented continuation lines (escape flow traces)
+// and anything without a position are rejected.
+func splitPos(line string) (file string, lineNo, col int, msg string, ok bool) {
+	if line == "" || line[0] == ' ' || line[0] == '\t' || line[0] == '#' {
+		return "", 0, 0, "", false
+	}
+	// Scan from the left for ":<digits>:<digits>: " so Windows-style
+	// drive letters or colons in messages cannot confuse the split.
+	for i := 0; i < len(line); i++ {
+		if line[i] != ':' {
+			continue
+		}
+		rest := line[i+1:]
+		var l, c int
+		var tail string
+		n, _ := fmt.Sscanf(rest, "%d:%d:%s", &l, &c, &tail)
+		if n >= 2 {
+			j := strings.Index(rest, ": ")
+			if j < 0 {
+				return "", 0, 0, "", false
+			}
+			m := rest[j+2:]
+			if strings.HasPrefix(m, " ") { // indented continuation
+				return "", 0, 0, "", false
+			}
+			return line[:i], l, c, m, true
+		}
+	}
+	return "", 0, 0, "", false
+}
+
+// goCmd runs the go command in dir and returns its stdout.
+func goCmd(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String(), nil
+}

@@ -66,7 +66,7 @@ type registryTable struct {
 	expandsAll bool
 }
 
-func runRegistry(pass *ProgramPass) {
+func runRegistry(pass *ProgramPass) error {
 	var regs []registration
 	table2 := map[string]bool{}
 	var tables []*registryTable
@@ -78,7 +78,7 @@ func runRegistry(pass *ProgramPass) {
 		}
 	}
 	if len(regs) == 0 {
-		return // registrations out of view: nothing to check against
+		return nil // registrations out of view: nothing to check against
 	}
 
 	registered := map[string]token.Pos{}
@@ -132,6 +132,7 @@ func runRegistry(pass *ProgramPass) {
 			}
 		}
 	}
+	return nil
 }
 
 func validTableKind(kind string) bool {

@@ -1,0 +1,113 @@
+// Package arenapair is the golden-test fixture for the arenapair
+// analyzer, run against the real mmjoin/internal/exec arena: every
+// buffer drawn with Tuples/Ints must reach the matching Put on all
+// paths, or be handed off explicitly.
+package arenapair
+
+import (
+	"errors"
+
+	"mmjoin/internal/exec"
+	"mmjoin/internal/tuple"
+)
+
+var errFail = errors.New("fail")
+
+// deferred is the canonical correct shape.
+func deferred(a *exec.Arena, n int) {
+	buf := a.Tuples(n)
+	defer a.PutTuples(buf)
+	for i := range buf {
+		buf[i].Key = tuple.Key(i)
+	}
+}
+
+// direct releases on the single exit; no return sits in between.
+func direct(a *exec.Arena, n int) int {
+	buf := a.Ints(n)
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	a.PutInts(buf)
+	return s
+}
+
+// dropped discards the buffer outright.
+func dropped(a *exec.Arena, n int) {
+	a.Tuples(n) // want "result of a.Tuples dropped"
+}
+
+// blank binds it to the blank identifier — same leak.
+func blank(a *exec.Arena, n int) {
+	_ = a.Ints(n) // want "result of a.Ints assigned to blank"
+}
+
+// neverReleased uses the buffer but never puts it back.
+func neverReleased(a *exec.Arena, n int) int {
+	buf := a.Ints(n) // want "arena buffer from a.Ints is never released"
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+// earlyReturn leaks on the error path: the put only happens on the
+// fall-through exit. This is the shape the oracle caught at run time
+// in the skew-prebuild cancellation leak.
+func earlyReturn(a *exec.Arena, n int, fail bool) error {
+	buf := a.Tuples(n)
+	if fail {
+		return errFail // want "return leaks the arena buffer from a.Tuples"
+	}
+	a.PutTuples(buf)
+	return nil
+}
+
+// handoffReturn transfers ownership to the caller: not a leak.
+func handoffReturn(a *exec.Arena, n int) []tuple.Tuple {
+	buf := a.Tuples(n)
+	return buf
+}
+
+// handoffCall passes the buffer on; the callee owns it now.
+func handoffCall(a *exec.Arena, n int) {
+	buf := a.Ints(n)
+	consume(buf)
+}
+
+func consume(buf []int) { _ = buf }
+
+// handoffStore parks the buffer in a struct for a later phase.
+type scratch struct{ ints []int }
+
+func handoffStore(a *exec.Arena, s *scratch, n int) {
+	buf := a.Ints(n)
+	s.ints = buf
+}
+
+// selfReslice keeps ownership: buf = buf[:n] is still the same arena
+// buffer, and the final put releases it.
+func selfReslice(a *exec.Arena, n, m int) {
+	buf := a.Ints(n)
+	buf = buf[:m]
+	a.PutInts(buf)
+}
+
+// closureRelease hands the obligation to a deferred closure; the
+// closure shares the variable, so the engine steps aside.
+func closureRelease(a *exec.Arena, n int) {
+	buf := a.Tuples(n)
+	defer func() { a.PutTuples(buf) }()
+	buf[0].Key = 1
+}
+
+// reacquire overwrites the variable after releasing: both buffers are
+// accounted for.
+func reacquire(a *exec.Arena, n int) {
+	buf := a.Ints(n)
+	a.PutInts(buf)
+	buf = a.Ints(2 * n)
+	a.PutInts(buf)
+}

@@ -1,0 +1,136 @@
+// Package perfgate is the golden-test fixture for the perfgate
+// analyzer: the compiler's escape, bounds-check and inlining
+// diagnostics are verified against //mmjoin:noescape, //mmjoin:bce and
+// //mmjoin:inline regions. The fixture compiles with the pinned
+// toolchain; the want expectations below are tied to its diagnostics.
+package perfgate
+
+import "fmt"
+
+// hotSum is the clean shape: fixed-size scratch via pointer-to-array,
+// loop bound tied to the array length — no escapes, no bounds checks,
+// cheap enough to inline.
+//
+//mmjoin:noescape
+//mmjoin:bce
+//mmjoin:inline
+func hotSum(xs *[256]uint64, n int) uint64 {
+	var s uint64
+	for i := 0; i < n && i < 256; i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// leaky returns a fresh allocation out of a noescape region.
+//
+//mmjoin:noescape
+func leaky(n int) []uint64 {
+	buf := make([]uint64, n) // want "heap escape in //mmjoin:noescape region of leaky: make\(\[\]uint64, n\) escapes to heap"
+	return buf
+}
+
+// boxed demonstrates the statement-level marker and interface boxing:
+// Sprintf boxes its operand, which escapes.
+func boxed(x int) string {
+	//mmjoin:noescape
+	s := fmt.Sprintf("x=%d", x) // want "heap escape in //mmjoin:noescape region of boxed: x escapes to heap"
+	return s
+}
+
+// allowed shows the standard suppression: the finding is recorded but
+// hidden, like every other analyzer.
+//
+//mmjoin:noescape
+func allowed(n int) []uint64 {
+	//mmjoin:allow(perfgate) the caller owns this buffer; the escape is the point
+	buf := make([]uint64, n)
+	return buf
+}
+
+// checked indexes through an unprovable bound inside a bce region.
+//
+//mmjoin:bce
+func checked(xs []uint64, idx []int) uint64 {
+	var s uint64
+	for _, i := range idx {
+		s += xs[i] // want "bounds check not eliminated in //mmjoin:bce region of checked: compiler reports \"Found IsInBounds\""
+	}
+	return s
+}
+
+// guarded is checked's fixed twin: the explicit guard lets the prove
+// pass drop the in-loop check, so the region verifies.
+//
+//mmjoin:bce
+func guarded(xs []uint64, idx []int) uint64 {
+	var s uint64
+	for _, i := range idx {
+		if i < 0 || i >= len(xs) {
+			continue
+		}
+		s += xs[i]
+	}
+	return s
+}
+
+// fat is marked inline but blows the inlining budget; the failure
+// message quotes the compiler's reason.
+//
+//mmjoin:inline
+func fat(xs []uint64) uint64 { // want "marked //mmjoin:inline but the compiler reports: cannot inline: function too complex"
+	var s uint64
+	for _, x := range xs {
+		switch {
+		case x > 100:
+			s += x * 3
+		case x > 50:
+			s += x * 2
+		case x > 25:
+			s += x + 7
+		case x > 12:
+			s += x ^ 0xff
+		default:
+			s += x
+		}
+		s ^= s >> 13
+		if s%3 == 0 {
+			s += 11
+		} else if s%5 == 0 {
+			s -= 7
+		} else {
+			s *= 13
+		}
+		for j := 0; j < 3; j++ {
+			s = s<<1 ^ uint64(j)
+		}
+		s *= 0x9e3779b97f4a7c15
+		s ^= s >> 7
+		s *= 0xbf58476d1ce4e5b9
+	}
+	return s
+}
+
+// misplacedInline puts the inline marker on a statement, which is
+// meaningless — inlining is a whole-function property.
+func misplacedInline(x int) int {
+	//mmjoin:inline
+	y := x * 2 // want "//mmjoin:inline applies to whole functions"
+	return y
+}
+
+// The marker below attaches to nothing: its line precedes a blank
+// line, not a statement or function.
+
+//mmjoin:bce // want "perfgate annotation attaches to nothing"
+
+// panics shows that constant panic strings do not count as escapes —
+// they are static data, not allocations.
+//
+//mmjoin:noescape
+func panics(n int) int {
+	if n < 0 {
+		panic("perfgate fixture: negative length")
+	}
+	return n * 2
+}

@@ -1,0 +1,89 @@
+// Package spillclose is the golden-test fixture for the spillclose
+// analyzer, run against the real mmjoin/internal/spill types: every
+// writer from Manager.Create must be closed on all paths (Close writes
+// the count+checksum trailer; an unclosed writer is a leaked file that
+// fails verification on read), or handed off explicitly.
+package spillclose
+
+import (
+	"mmjoin/internal/spill"
+	"mmjoin/internal/tuple"
+)
+
+// closed is the canonical correct shape: create, write, close, with
+// the error-path return guarded by Create's own error.
+func closed(m *spill.Manager, rel tuple.Relation) error {
+	w, err := m.Create("part0")
+	if err != nil {
+		return err // no finding: the writer is nil on this path
+	}
+	if werr := w.Write(rel); werr != nil {
+		_ = w.Close()
+		return werr
+	}
+	return w.Close()
+}
+
+// deferred closes by defer, the always-safe shape.
+func deferred(m *spill.Manager, rel tuple.Relation) error {
+	w, err := m.Create("part1")
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return w.Write(rel)
+}
+
+// dropped discards the writer (and the error).
+func dropped(m *spill.Manager) {
+	m.Create("lost") // want "result of m.Create dropped"
+}
+
+// blank binds the writer to blank.
+func blank(m *spill.Manager) {
+	_, _ = m.Create("blank") // want "result of m.Create assigned to blank"
+}
+
+// neverClosed writes but never closes: the trailer is missing and the
+// file leaks.
+func neverClosed(m *spill.Manager, rel tuple.Relation) {
+	w, _ := m.Create("open") // want "spill writer from m.Create is never released"
+	_ = w.Write(rel)
+}
+
+// earlyReturn leaks the writer on the mid-function error exit.
+func earlyReturn(m *spill.Manager, rel tuple.Relation, abort bool) error {
+	w, err := m.Create("part2")
+	if err != nil {
+		return err
+	}
+	if abort {
+		return nil // want "return leaks the spill writer from m.Create"
+	}
+	return w.Close()
+}
+
+// handoff returns the open writer; the caller owns the close.
+func handoff(m *spill.Manager) (*spill.Writer, error) {
+	w, err := m.Create("part3")
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// byteAccounting reads Bytes() between writes — using the writer is
+// not disposing of it, so the missing close still reports above and
+// the benign methods stay silent here.
+func byteAccounting(m *spill.Manager, rel tuple.Relation) (int64, error) {
+	w, err := m.Create("part4")
+	if err != nil {
+		return 0, err
+	}
+	if werr := w.Write(rel); werr != nil {
+		_ = w.Close()
+		return 0, werr
+	}
+	n := w.Bytes()
+	return n, w.Close()
+}

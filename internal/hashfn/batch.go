@@ -13,10 +13,27 @@ import (
 // checks hoisted. len(dst) must be >= len(keys).
 type BatchFunc func(dst []uint64, keys []tuple.Key)
 
+// checkDst makes the len(dst) >= len(keys) contract visible to the
+// compiler's prove pass: after the guard, the dst[:len(keys)] reslice
+// in every batch variant is provably in bounds.
+//
+//mmjoin:hotpath
+//mmjoin:inline
+func checkDst(have, need int) {
+	if have < need {
+		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on contract violation
+		panic("hashfn: dst shorter than the key batch")
+	}
+}
+
 // IdentityBatch is the batch form of Identity.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
+//mmjoin:inline
 func IdentityBatch(dst []uint64, keys []tuple.Key) {
+	checkDst(len(dst), len(keys))
 	dst = dst[:len(keys)]
 	for i, k := range keys {
 		dst[i] = uint64(k)
@@ -26,7 +43,11 @@ func IdentityBatch(dst []uint64, keys []tuple.Key) {
 // MultiplicativeBatch is the batch form of Multiplicative.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
+//mmjoin:inline
 func MultiplicativeBatch(dst []uint64, keys []tuple.Key) {
+	checkDst(len(dst), len(keys))
 	dst = dst[:len(keys)]
 	for i, k := range keys {
 		h := uint64(k) * 0x9e3779b97f4a7c15
@@ -37,7 +58,11 @@ func MultiplicativeBatch(dst []uint64, keys []tuple.Key) {
 // MurmurBatch is the batch form of Murmur.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
+//mmjoin:inline
 func MurmurBatch(dst []uint64, keys []tuple.Key) {
+	checkDst(len(dst), len(keys))
 	dst = dst[:len(keys)]
 	for i, k := range keys {
 		h := uint64(k)
@@ -53,7 +78,10 @@ func MurmurBatch(dst []uint64, keys []tuple.Key) {
 // CRCBatch is the batch form of CRC, with the four byte steps unrolled.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func CRCBatch(dst []uint64, keys []tuple.Key) {
+	checkDst(len(dst), len(keys))
 	dst = dst[:len(keys)]
 	for i, k := range keys {
 		crc := ^uint32(0)

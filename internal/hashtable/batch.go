@@ -41,77 +41,101 @@ const BatchSize = 256
 // buffer. The zero value is ready to use — buffers are allocated
 // lazily on first touch so a worker that only ever probes one table
 // kind pays only for the arrays that kind needs.
+//
+// The buffers are pointers to fixed [BatchSize] arrays, not slices:
+// with the batch length proven ≤ BatchSize by checkBatch, every lane
+// index below n is in bounds of the array by construction, so the
+// kernels' scratch accesses compile without bounds checks. The
+// accessors are //go:noinline so the one-time allocation (and its
+// escape, which is the point of a reusable buffer) stays out of the
+// kernels' //mmjoin:noescape regions.
 type BatchScratch struct {
-	hashes []uint64
-	slots  []uint64
-	lanes  []int32
-	lanes2 []int32
-	biased []uint32
-	curk   []uint32
-	dists  []uint8
-	bptrs  []*chainedBucket
+	hashes *[BatchSize]uint64
+	slots  *[BatchSize]uint64
+	lanes  *[BatchSize]int32
+	lanes2 *[BatchSize]int32
+	biased *[BatchSize]uint32
+	curk   *[BatchSize]uint32
+	dists  *[BatchSize]uint8
+	bptrs  *[BatchSize]*chainedBucket
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) hashBuf() []uint64 {
+//go:noinline
+func (s *BatchScratch) hashBuf() *[BatchSize]uint64 {
 	if s.hashes == nil {
-		s.hashes = make([]uint64, BatchSize)
+		s.hashes = new([BatchSize]uint64)
 	}
 	return s.hashes
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) slotBuf() []uint64 {
+//go:noinline
+func (s *BatchScratch) slotBuf() *[BatchSize]uint64 {
 	if s.slots == nil {
-		s.slots = make([]uint64, BatchSize)
+		s.slots = new([BatchSize]uint64)
 	}
 	return s.slots
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) laneBuf() []int32 {
+//go:noinline
+func (s *BatchScratch) laneBuf() *[BatchSize]int32 {
 	if s.lanes == nil {
-		s.lanes = make([]int32, BatchSize)
+		s.lanes = new([BatchSize]int32)
 	}
 	return s.lanes
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) laneBuf2() []int32 {
+//go:noinline
+func (s *BatchScratch) laneBuf2() *[BatchSize]int32 {
 	if s.lanes2 == nil {
-		s.lanes2 = make([]int32, BatchSize)
+		s.lanes2 = new([BatchSize]int32)
 	}
 	return s.lanes2
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) keyBuf() []uint32 {
+//go:noinline
+func (s *BatchScratch) keyBuf() *[BatchSize]uint32 {
 	if s.biased == nil {
-		s.biased = make([]uint32, BatchSize)
+		s.biased = new([BatchSize]uint32)
 	}
 	return s.biased
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) curkBuf() []uint32 {
+//go:noinline
+func (s *BatchScratch) curkBuf() *[BatchSize]uint32 {
 	if s.curk == nil {
-		s.curk = make([]uint32, BatchSize)
+		s.curk = new([BatchSize]uint32)
 	}
 	return s.curk
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) distBuf() []uint8 {
+//go:noinline
+func (s *BatchScratch) distBuf() *[BatchSize]uint8 {
 	if s.dists == nil {
-		s.dists = make([]uint8, BatchSize)
+		s.dists = new([BatchSize]uint8)
 	}
 	return s.dists
 }
 
+//
 //mmjoin:hotpath
-func (s *BatchScratch) bucketBuf() []*chainedBucket {
+//go:noinline
+func (s *BatchScratch) bucketBuf() *[BatchSize]*chainedBucket {
 	if s.bptrs == nil {
-		s.bptrs = make([]*chainedBucket, BatchSize)
+		s.bptrs = new([BatchSize]*chainedBucket)
 	}
 	return s.bptrs
 }
@@ -119,34 +143,54 @@ func (s *BatchScratch) bucketBuf() []*chainedBucket {
 // MatchBatch receives the output of a fused ProbeJoinBatch call:
 // parallel build/probe payload arrays with N valid entries. Because the
 // probe kernels mirror Lookup's at-most-one-match semantics, N never
-// exceeds the probe batch length, so the buffers are sized once at
-// BatchSize and never grow. The zero value is ready to use; callers
-// must not shrink the exported slices.
+// exceeds the probe batch length, so fixed [BatchSize] arrays hold any
+// batch — and emit positions masked with BatchSize-1 index them without
+// bounds checks. The zero value is ready to use; both arrays are
+// non-nil after any ProbeJoinBatch call.
 type MatchBatch struct {
 	N     int
-	Build []tuple.Payload
-	Probe []tuple.Payload
+	Build *[BatchSize]tuple.Payload
+	Probe *[BatchSize]tuple.Payload
 }
 
+//
 //mmjoin:hotpath
-func (m *MatchBatch) bufs() ([]tuple.Payload, []tuple.Payload) {
+//go:noinline
+func (m *MatchBatch) bufs() (*[BatchSize]tuple.Payload, *[BatchSize]tuple.Payload) {
 	if m.Build == nil {
-		m.Build = make([]tuple.Payload, BatchSize)
+		m.Build = new([BatchSize]tuple.Payload)
 	}
 	if m.Probe == nil {
-		m.Probe = make([]tuple.Payload, BatchSize)
+		m.Probe = new([BatchSize]tuple.Payload)
 	}
-	return m.Build[:BatchSize], m.Probe[:BatchSize]
+	return m.Build, m.Probe
 }
 
 // checkBatch bounds a kernel's batch length; kernels accept at most
 // BatchSize lanes because the scratch state arrays are sized for that.
+// After it returns, the compiler's prove pass knows n ≤ BatchSize, so
+// indexing a scratch array with any lane < n is check-free.
 //
 //mmjoin:hotpath
+//mmjoin:inline
 func checkBatch(n int) {
 	if n > BatchSize {
 		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on kernel misuse
 		panic("hashtable: batch kernels accept at most BatchSize tuples per call")
+	}
+}
+
+// checkSpan panics when a buffer of length have cannot hold n lanes.
+// Kernels run it on every caller-supplied slice before re-slicing to
+// the batch length, which both reports misuse with a message instead of
+// a raw index panic and lets the prove pass drop the re-slice check.
+//
+//mmjoin:hotpath
+//mmjoin:inline
+func checkSpan(have, n int) {
+	if have < n {
+		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on kernel misuse
+		panic("hashtable: batch buffer shorter than the key batch")
 	}
 }
 
@@ -156,6 +200,9 @@ func checkBatch(n int) {
 // carry a stale found=true (and payload) from an earlier batch.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
+//mmjoin:inline
 func clearBatchOutputs(payloads []tuple.Payload, found []bool) {
 	for i := range payloads {
 		payloads[i] = 0
@@ -173,16 +220,19 @@ func clearBatchOutputs(payloads []tuple.Payload, found []bool) {
 // (single-writer), equivalent to Insert called in batch order.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ChainedTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
 	buckets := t.buckets
 	if len(buckets) == 0 {
 		return
 	}
 	mask := uint64(len(buckets) - 1)
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		b := &buckets[h[li]&mask]
@@ -195,8 +245,10 @@ func (t *ChainedTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s 
 			}
 			if b.next == nil {
 				//mmjoin:allow(hotalloc) overflow arena grows amortized; ReserveOverflow pre-sizes it for known chains
-				t.arena = append(t.arena, chainedBucket{})
-				b.next = &t.arena[len(t.arena)-1]
+				arena := append(t.arena, chainedBucket{})
+				t.arena = arena
+				//mmjoin:allow(perfgate) cold overflow-growth path: len-1 of a slice just appended to is always in range, but prove does not model append result lengths
+				b.next = &arena[len(arena)-1]
 			}
 			b = b.next
 		}
@@ -210,16 +262,19 @@ func (t *ChainedTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s 
 // builders complete.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ChainedTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
 	buckets := t.buckets
 	if len(buckets) == 0 {
 		return
 	}
 	mask := uint64(len(buckets) - 1)
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		head := &buckets[h[li]&mask]
@@ -241,6 +296,7 @@ func (t *ChainedTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.P
 			}
 			if b.next == nil {
 				//mmjoin:allow(hotalloc) overflow buckets must be heap-allocated under concurrency, matching InsertConcurrent
+				//mmjoin:allow(perfgate) the overflow bucket must outlive the call and be visible to concurrent readers — this escape is the allocation the scalar InsertConcurrent makes too
 				b.next = &chainedBucket{}
 			}
 			b = b.next
@@ -255,25 +311,29 @@ func (t *ChainedTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.P
 // loads of different probes.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	ptrs := s.bucketBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	slots := s.slotBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	ptrs := s.bucketBuf()
+	lanes := s.laneBuf()
+	slots := s.slotBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	buckets := t.buckets
 	if len(buckets) == 0 {
 		// The outputs must still be written: callers reuse the scratch
 		// arrays across batches, so leaving them untouched would replay
 		// a previous batch's hits as phantom matches.
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
 	mask := uint64(len(buckets) - 1)
-	payloads = payloads[:n]
-	found = found[:n]
 	// Gather pass: one independent head-bucket load per lane, issued
 	// back-to-back so the out-of-order core keeps the maximum number of
 	// cache misses in flight. The loaded meta word both warms the bucket
@@ -301,15 +361,23 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 		}
 		if !hit && b.next != nil {
 			ptrs[li] = b.next
-			lanes[nn] = int32(li)
+			lanes[nn&(BatchSize-1)] = int32(li)
 			nn++
 		}
 	}
 	// Remaining rounds walk the overflow chains of the surviving lanes.
+	// The compaction machine only ever stores lane numbers below n, but
+	// the prove pass cannot carry that invariant through the buffer, so
+	// each round restates it: the mask keeps the scratch reads in
+	// bounds, and the never-taken re-bound branch re-establishes li < n
+	// for every access after it.
 	for nn > 0 {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := lanes[a]
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			b := ptrs[li]
 			cnt := int(b.meta & chainedCountMask)
 			hit := false
@@ -323,7 +391,7 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 			}
 			if !hit && b.next != nil {
 				ptrs[li] = b.next
-				lanes[na] = li
+				lanes[na&(BatchSize-1)] = int32(li)
 				na++
 			}
 		}
@@ -336,14 +404,16 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 // is appended to out. out.N is reset on entry.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	ptrs := s.bucketBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	slots := s.slotBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	ptrs := s.bucketBuf()
+	lanes := s.laneBuf()
+	slots := s.slotBuf()
 	bp, pp := out.bufs()
 	buckets := t.buckets
 	if len(buckets) == 0 {
@@ -351,6 +421,7 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 		return
 	}
 	mask := uint64(len(buckets) - 1)
+	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
 	// Gather pass: see LookupBatch.
 	for li := 0; li < n; li++ {
@@ -376,14 +447,17 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 		}
 		if !hit && b.next != nil {
 			ptrs[li] = b.next
-			lanes[nn] = int32(li)
+			lanes[nn&(BatchSize-1)] = int32(li)
 			nn++
 		}
 	}
 	for nn > 0 {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			b := ptrs[li]
 			cnt := int(b.meta & chainedCountMask)
 			hit := false
@@ -398,7 +472,7 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 			}
 			if !hit && b.next != nil {
 				ptrs[li] = b.next
-				lanes[na] = int32(li)
+				lanes[na&(BatchSize-1)] = int32(li)
 				na++
 			}
 		}
@@ -415,17 +489,21 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 // Insert called in batch order.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *LinearTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
 	tk := t.keys
 	if len(tk) == 0 {
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
 	tp := t.payloads[:len(tk)]
 	mask := uint64(len(tk) - 1)
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		biased := uint32(keys[li]) + 1
@@ -453,17 +531,21 @@ func (t *LinearTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *
 // of once per tuple.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *LinearTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
 	tk := t.keys
 	if len(tk) == 0 {
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
 	tp := t.payloads[:len(tk)]
 	mask := uint64(len(tk) - 1)
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		biased := uint32(keys[li]) + 1
@@ -491,24 +573,29 @@ func (t *LinearTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Pa
 // of up to BatchSize independent probe sequences are in flight at once.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	biased := s.keyBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	curk := s.curkBuf()[:n]
-	tk := t.keys
-	if len(tk) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
-		return
-	}
-	tp := t.payloads[:len(tk)]
-	mask := uint64(len(tk) - 1)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	biased := s.keyBuf()
+	lanes := s.laneBuf()
+	curk := s.curkBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
 	payloads = payloads[:n]
 	found = found[:n]
+	tk := t.keys
+	if len(tk) == 0 {
+		clearBatchOutputs(payloads, found)
+		return
+	}
+	checkSpan(len(t.payloads), len(tk))
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
 	// Gather pass: load every lane's home slot key — one independent
 	// cache miss per lane, issued back-to-back so the out-of-order core
 	// keeps the maximum number of misses in flight.
@@ -535,14 +622,18 @@ func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 		}
 		slots[li] = (slots[li] + 1) & mask
 		biased[li] = bk
-		lanes[nn] = int32(li)
+		lanes[nn&(BatchSize-1)] = int32(li)
 		nn++
 	}
-	// Remaining rounds advance the surviving probe sequences in lockstep.
+	// Remaining rounds advance the surviving probe sequences in
+	// lockstep; see ChainedTable.LookupBatch for the lane re-bound.
 	for round := uint64(0); nn > 0 && round < mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			i := slots[li] & mask
 			cur := tk[i&mask]
 			if cur == biased[li] {
@@ -554,7 +645,7 @@ func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 				continue
 			}
 			slots[li] = (i + 1) & mask
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -564,23 +655,27 @@ func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 // ProbeJoinBatch fuses LookupBatch with match emission into out.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *LinearTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	biased := s.keyBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	curk := s.curkBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	biased := s.keyBuf()
+	lanes := s.laneBuf()
+	curk := s.curkBuf()
 	bp, pp := out.bufs()
 	tk := t.keys
 	if len(tk) == 0 {
 		out.N = 0
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
 	tp := t.payloads[:len(tk)]
 	mask := uint64(len(tk) - 1)
+	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
 	// Gather pass: see LookupBatch.
 	for li := 0; li < n; li++ {
@@ -605,13 +700,16 @@ func (t *LinearTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 		}
 		slots[li] = (slots[li] + 1) & mask
 		biased[li] = bk
-		lanes[nn] = int32(li)
+		lanes[nn&(BatchSize-1)] = int32(li)
 		nn++
 	}
 	for round := uint64(0); nn > 0 && round < mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			i := slots[li] & mask
 			cur := tk[i&mask]
 			if cur == biased[li] {
@@ -624,7 +722,7 @@ func (t *LinearTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 				continue
 			}
 			slots[li] = (i + 1) & mask
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -641,18 +739,23 @@ func (t *LinearTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 // the displacement swaps are inherently sequential per lane.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *RobinHoodTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
 	tk := t.keys
 	if len(tk) == 0 {
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
+	checkSpan(len(t.dist), len(tk))
 	tp := t.payloads[:len(tk)]
 	td := t.dist[:len(tk)]
 	mask := uint64(len(tk) - 1)
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		key := uint32(keys[li]) + 1
@@ -690,26 +793,32 @@ func (t *RobinHoodTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, 
 // key, including the Robin Hood distance early-exit.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	biased := s.keyBuf()[:n]
-	dists := s.distBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	curk := s.curkBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	biased := s.keyBuf()
+	dists := s.distBuf()
+	lanes := s.laneBuf()
+	curk := s.curkBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	tk := t.keys
 	if len(tk) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
+	checkSpan(len(t.dist), len(tk))
 	tp := t.payloads[:len(tk)]
 	td := t.dist[:len(tk)]
 	mask := uint64(len(tk) - 1)
-	payloads = payloads[:n]
-	found = found[:n]
 	// Gather pass, as in LinearTable.LookupBatch.
 	for li := 0; li < n; li++ {
 		i := h[li] & mask
@@ -735,13 +844,16 @@ func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads
 		slots[li] = (slots[li] + 1) & mask
 		biased[li] = bk
 		dists[li] = 1
-		lanes[nn] = int32(li)
+		lanes[nn&(BatchSize-1)] = int32(li)
 		nn++
 	}
 	for round := uint64(0); nn > 0 && round < mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			i := slots[li] & mask
 			cur := tk[i&mask]
 			if cur == 0 {
@@ -760,7 +872,7 @@ func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads
 			if d < 255 {
 				dists[li] = d + 1
 			}
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -770,25 +882,30 @@ func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads
 // ProbeJoinBatch fuses LookupBatch with match emission into out.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *RobinHoodTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	biased := s.keyBuf()[:n]
-	dists := s.distBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	curk := s.curkBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	biased := s.keyBuf()
+	dists := s.distBuf()
+	lanes := s.laneBuf()
+	curk := s.curkBuf()
 	bp, pp := out.bufs()
 	tk := t.keys
 	if len(tk) == 0 {
 		out.N = 0
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
+	checkSpan(len(t.dist), len(tk))
 	tp := t.payloads[:len(tk)]
 	td := t.dist[:len(tk)]
 	mask := uint64(len(tk) - 1)
+	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
 	for li := 0; li < n; li++ {
 		i := h[li] & mask
@@ -812,13 +929,16 @@ func (t *RobinHoodTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.
 		slots[li] = (slots[li] + 1) & mask
 		biased[li] = bk
 		dists[li] = 1
-		lanes[nn] = int32(li)
+		lanes[nn&(BatchSize-1)] = int32(li)
 		nn++
 	}
 	for round := uint64(0); nn > 0 && round < mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			i := slots[li] & mask
 			cur := tk[i&mask]
 			if cur == 0 {
@@ -838,7 +958,7 @@ func (t *RobinHoodTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.
 			if d < 255 {
 				dists[li] = d + 1
 			}
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -854,11 +974,14 @@ func (t *RobinHoodTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.
 // equivalent to Insert in batch order. No hashing is involved.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ArrayTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, _ *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
 	pl := t.payloads
 	pres := t.present
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		i := int(keys[li] - t.base)
@@ -867,6 +990,7 @@ func (t *ArrayTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, _ *B
 			panic("hashtable: key outside the array domain")
 		}
 		pl[i] = payloads[li]
+		//mmjoin:allow(perfgate) present is sized ⌈len(payloads)/64⌉ at construction, so i>>6 is in range whenever i is; prove cannot divide that invariant through the shift
 		pres[i>>6] |= 1 << uint(i&63)
 	}
 	t.n += n
@@ -877,15 +1001,20 @@ func (t *ArrayTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, _ *B
 // FinishConcurrentBuild afterwards.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ArrayTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Payload, _ *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
 	pl := t.payloads
 	pres := t.present
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		i := int(keys[li] - t.base)
+		//mmjoin:allow(perfgate) this bounds check is the only domain validation on the concurrent path, exactly like the scalar InsertConcurrent — eliminating it would change semantics
 		pl[i] = payloads[li]
+		//mmjoin:allow(perfgate) same as above: the implicit check on the bitmap word is the concurrent path's domain validation
 		atomic.OrUint64(&pres[i>>6], 1<<uint(i&63))
 	}
 }
@@ -895,15 +1024,20 @@ func (t *ArrayTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.Pay
 // suffices; the bitmap and payload loads of all lanes still overlap.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ArrayTable) LookupBatch(keys []tuple.Key, _ *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
 	pl := t.payloads
 	pres := t.present
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
 	payloads = payloads[:n]
 	found = found[:n]
 	for li := 0; li < n; li++ {
 		i := int(keys[li] - t.base)
+		//mmjoin:allow(perfgate) present is sized ⌈len(payloads)/64⌉ at construction, so after the short-circuit domain test i>>6 is in range; prove cannot divide that invariant through the shift
 		if uint(i) >= uint(len(pl)) || pres[i>>6]&(1<<uint(i&63)) == 0 {
 			payloads[li] = 0
 			found[li] = false
@@ -917,16 +1051,20 @@ func (t *ArrayTable) LookupBatch(keys []tuple.Key, _ *BatchScratch, payloads []t
 // ProbeJoinBatch fuses LookupBatch with match emission into out.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ArrayTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, _ *BatchScratch, out *MatchBatch) {
 	n := len(keys)
 	checkBatch(n)
 	bp, pp := out.bufs()
 	pl := t.payloads
 	pres := t.present
+	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
 	m := 0
 	for li := 0; li < n; li++ {
 		i := int(keys[li] - t.base)
+		//mmjoin:allow(perfgate) present is sized ⌈len(payloads)/64⌉ at construction, so after the short-circuit domain test i>>6 is in range; prove cannot divide that invariant through the shift
 		if uint(i) >= uint(len(pl)) || pres[i>>6]&(1<<uint(i&63)) == 0 {
 			continue
 		}
@@ -950,23 +1088,27 @@ func (t *ArrayTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payl
 // scalar map lookups for the lanes that missed the bitmap.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *CHT) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	lanes := s.laneBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	lanes := s.laneBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	groups := t.groups
 	if len(groups) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
 	array := t.array
 	mask := t.mask
 	bucketCount := mask + 1
-	payloads = payloads[:n]
-	found = found[:n]
 	for li := 0; li < n; li++ {
 		h[li] &= mask
 		slots[li] = h[li]
@@ -978,7 +1120,10 @@ func (t *CHT) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Pa
 	for nn > 0 {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			pos := slots[li]
 			if pos >= bucketCount || pos-h[li] >= chtMaxDisplacement {
 				continue
@@ -989,13 +1134,15 @@ func (t *CHT) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Pa
 				continue
 			}
 			idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+			//mmjoin:allow(perfgate) idx is the popcount rank of an occupied bucket, in range of the dense array by CHT construction; prove cannot see the rank invariant
 			if array[idx].Key == keys[li] {
+				//mmjoin:allow(perfgate) same rank-derived index as the line above
 				payloads[li] = array[idx].Payload
 				found[li] = true
 				continue
 			}
 			slots[li] = pos + 1
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -1018,13 +1165,15 @@ func (t *CHT) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Pa
 // table afterwards, preserving Lookup's exact semantics.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *CHT) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	lanes := s.laneBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	lanes := s.laneBuf()
 	misses := s.laneBuf2()
 	bp, pp := out.bufs()
 	groups := t.groups
@@ -1035,6 +1184,7 @@ func (t *CHT) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s 
 	array := t.array
 	mask := t.mask
 	bucketCount := mask + 1
+	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
 	for li := 0; li < n; li++ {
 		h[li] &= mask
@@ -1047,36 +1197,44 @@ func (t *CHT) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s 
 	for nn > 0 {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			pos := slots[li]
 			if pos >= bucketCount || pos-h[li] >= chtMaxDisplacement {
-				misses[nm] = int32(li)
+				misses[nm&(BatchSize-1)] = int32(li)
 				nm++
 				continue
 			}
 			g := &groups[(pos>>5)&uint64(len(groups)-1)]
 			off := uint(pos & 31)
 			if g.bits&(1<<off) == 0 {
-				misses[nm] = int32(li)
+				misses[nm&(BatchSize-1)] = int32(li)
 				nm++
 				continue
 			}
 			idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+			//mmjoin:allow(perfgate) idx is the popcount rank of an occupied bucket, in range of the dense array by CHT construction; prove cannot see the rank invariant
 			if array[idx].Key == keys[li] {
+				//mmjoin:allow(perfgate) same rank-derived index as the line above
 				bp[m&(BatchSize-1)] = array[idx].Payload
 				pp[m&(BatchSize-1)] = probePayloads[li]
 				m++
 				continue
 			}
 			slots[li] = pos + 1
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
 	}
 	if len(t.overflow) > 0 {
 		for a := 0; a < nm; a++ {
-			li := int(misses[a])
+			li := int(misses[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			if ps := t.overflow[keys[li]]; len(ps) > 0 {
 				bp[m&(BatchSize-1)] = ps[0]
 				pp[m&(BatchSize-1)] = probePayloads[li]
@@ -1096,23 +1254,29 @@ func (t *CHT) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s 
 // the hash computation is batched.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *SparseTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *BatchScratch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
 	for li := 0; li < n; li++ {
 		pos := (h[li] * sparseBucketsPerTuple) & t.mask
 		ok := false
 		for probes := uint64(0); probes <= t.mask; probes++ {
+			//mmjoin:allow(perfgate) the group index pos>>5 is bounded by mask/32, an invariant of the table's sizing that prove cannot divide through the shift
 			g := &t.groups[pos>>5]
 			off := uint(pos & 31)
 			if g.bits&(1<<off) == 0 {
 				idx := g.denseIndex(off)
-				//mmjoin:allow(hotalloc) the dense group slice grows amortized, as in the scalar Insert
+				//mmjoin:allow(hotalloc,perfgate) growth path of the dense group slice: the amortized append and shift are the cold insert, not the probe loop
 				g.dense = append(g.dense, tuple.Tuple{})
+				//mmjoin:allow(perfgate) idx is the select rank of the bit within the group, in range by construction; prove cannot see the rank invariant
 				copy(g.dense[idx+1:], g.dense[idx:])
+				//mmjoin:allow(perfgate) same rank-derived index as the line above
 				g.dense[idx] = tuple.Tuple{Key: keys[li], Payload: payloads[li]}
 				g.bits |= 1 << off
 				t.n++
@@ -1132,21 +1296,25 @@ func (t *SparseTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s *
 // key.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *SparseTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	lanes := s.laneBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	lanes := s.laneBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	groups := t.groups
 	if len(groups) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
 	mask := t.mask
-	payloads = payloads[:n]
-	found = found[:n]
 	for li := 0; li < n; li++ {
 		slots[li] = (h[li] * sparseBucketsPerTuple) & mask
 		lanes[li] = int32(li)
@@ -1157,20 +1325,24 @@ func (t *SparseTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 	for round := uint64(0); nn > 0 && round <= mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			pos := slots[li]
 			g := &groups[(pos>>5)&uint64(len(groups)-1)]
 			off := uint(pos & 31)
 			if g.bits&(1<<off) == 0 {
 				continue
 			}
+			//mmjoin:allow(perfgate) the dense index is the select rank of the bit within the group, in range by construction; prove cannot see the rank invariant
 			if e := g.dense[g.denseIndex(off)]; e.Key == keys[li] {
 				payloads[li] = e.Payload
 				found[li] = true
 				continue
 			}
 			slots[li] = (pos + 1) & mask
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -1180,13 +1352,15 @@ func (t *SparseTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 // ProbeJoinBatch fuses LookupBatch with match emission into out.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *SparseTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *BatchScratch, out *MatchBatch) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	lanes := s.laneBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	lanes := s.laneBuf()
 	bp, pp := out.bufs()
 	groups := t.groups
 	if len(groups) == 0 {
@@ -1194,6 +1368,7 @@ func (t *SparseTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 		return
 	}
 	mask := t.mask
+	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
 	for li := 0; li < n; li++ {
 		slots[li] = (h[li] * sparseBucketsPerTuple) & mask
@@ -1204,13 +1379,17 @@ func (t *SparseTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 	for round := uint64(0); nn > 0 && round <= mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			pos := slots[li]
 			g := &groups[(pos>>5)&uint64(len(groups)-1)]
 			off := uint(pos & 31)
 			if g.bits&(1<<off) == 0 {
 				continue
 			}
+			//mmjoin:allow(perfgate) the dense index is the select rank of the bit within the group, in range by construction; prove cannot see the rank invariant
 			if e := g.dense[g.denseIndex(off)]; e.Key == keys[li] {
 				bp[m&(BatchSize-1)] = e.Payload
 				pp[m&(BatchSize-1)] = probePayloads[li]
@@ -1218,7 +1397,7 @@ func (t *SparseTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 				continue
 			}
 			slots[li] = (pos + 1) & mask
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na

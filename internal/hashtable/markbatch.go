@@ -23,22 +23,28 @@ import (
 // their unmarked counterparts.
 
 // LookupBatchMark is LookupBatch plus build-side match tracking.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	ptrs := s.bucketBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	slots := s.slotBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	ptrs := s.bucketBuf()
+	lanes := s.laneBuf()
+	slots := s.slotBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	buckets := t.buckets
 	if len(buckets) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
 	mask := uint64(len(buckets) - 1)
-	payloads = payloads[:n]
-	found = found[:n]
 	// Gather pass as in LookupBatch, with an atomic meta load: other
 	// workers may be OR-ing mark bits into the same word concurrently.
 	for li := 0; li < n; li++ {
@@ -64,14 +70,18 @@ func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloa
 		}
 		if !hit && b.next != nil {
 			ptrs[li] = b.next
-			lanes[nn] = int32(li)
+			lanes[nn&(BatchSize-1)] = int32(li)
 			nn++
 		}
 	}
+	// See ChainedTable.LookupBatch for the lane re-bound idiom.
 	for nn > 0 {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := lanes[a]
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			b := ptrs[li]
 			cnt := int(atomic.LoadUint32(&b.meta) & chainedCountMask)
 			hit := false
@@ -86,7 +96,7 @@ func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloa
 			}
 			if !hit && b.next != nil {
 				ptrs[li] = b.next
-				lanes[na] = li
+				lanes[na&(BatchSize-1)] = int32(li)
 				na++
 			}
 		}
@@ -96,24 +106,31 @@ func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloa
 
 // LookupBatchMark is LookupBatch plus build-side match tracking.
 // Requires EnableMatchTracking.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *LinearTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	biased := s.keyBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	curk := s.curkBuf()[:n]
-	tk := t.keys
-	if len(tk) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
-		return
-	}
-	tp := t.payloads[:len(tk)]
-	mask := uint64(len(tk) - 1)
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	biased := s.keyBuf()
+	lanes := s.laneBuf()
+	curk := s.curkBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
 	payloads = payloads[:n]
 	found = found[:n]
+	tk := t.keys
+	if len(tk) == 0 {
+		clearBatchOutputs(payloads, found)
+		return
+	}
+	checkSpan(len(t.payloads), len(tk))
+	tp := t.payloads[:len(tk)]
+	mask := uint64(len(tk) - 1)
 	for li := 0; li < n; li++ {
 		i := h[li] & mask
 		slots[li] = i
@@ -129,6 +146,7 @@ func (t *LinearTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payload
 			i := slots[li] & mask
 			payloads[li] = tp[i]
 			found[li] = true
+			//mmjoin:allow(perfgate) setMark's inlined word index i>>6 divides the slot invariant through a shift prove cannot follow
 			setMark(t.matched, int(i))
 			continue
 		}
@@ -137,18 +155,22 @@ func (t *LinearTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payload
 		}
 		slots[li] = (slots[li] + 1) & mask
 		biased[li] = bk
-		lanes[nn] = int32(li)
+		lanes[nn&(BatchSize-1)] = int32(li)
 		nn++
 	}
 	for round := uint64(0); nn > 0 && round < mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			i := slots[li] & mask
 			cur := tk[i&mask]
 			if cur == biased[li] {
 				payloads[li] = tp[i&mask]
 				found[li] = true
+				//mmjoin:allow(perfgate) setMark's inlined word index i>>6 divides the slot invariant through a shift prove cannot follow
 				setMark(t.matched, int(i))
 				continue
 			}
@@ -156,7 +178,7 @@ func (t *LinearTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payload
 				continue
 			}
 			slots[li] = (i + 1) & mask
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -165,26 +187,34 @@ func (t *LinearTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payload
 
 // LookupBatchMark is LookupBatch plus build-side match tracking.
 // Requires EnableMatchTracking.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	biased := s.keyBuf()[:n]
-	dists := s.distBuf()[:n]
-	lanes := s.laneBuf()[:n]
-	curk := s.curkBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	biased := s.keyBuf()
+	dists := s.distBuf()
+	lanes := s.laneBuf()
+	curk := s.curkBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	tk := t.keys
 	if len(tk) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
+	checkSpan(len(t.payloads), len(tk))
+	checkSpan(len(t.dist), len(tk))
 	tp := t.payloads[:len(tk)]
 	td := t.dist[:len(tk)]
 	mask := uint64(len(tk) - 1)
-	payloads = payloads[:n]
-	found = found[:n]
 	for li := 0; li < n; li++ {
 		i := h[li] & mask
 		slots[li] = i
@@ -200,6 +230,7 @@ func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payl
 			i := slots[li] & mask
 			payloads[li] = tp[i]
 			found[li] = true
+			//mmjoin:allow(perfgate) setMark's inlined word index i>>6 divides the slot invariant through a shift prove cannot follow
 			setMark(t.matched, int(i))
 			continue
 		}
@@ -209,13 +240,16 @@ func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payl
 		slots[li] = (slots[li] + 1) & mask
 		biased[li] = bk
 		dists[li] = 1
-		lanes[nn] = int32(li)
+		lanes[nn&(BatchSize-1)] = int32(li)
 		nn++
 	}
 	for round := uint64(0); nn > 0 && round < mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			i := slots[li] & mask
 			cur := tk[i&mask]
 			if cur == 0 {
@@ -224,6 +258,7 @@ func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payl
 			if cur == biased[li] {
 				payloads[li] = tp[i&mask]
 				found[li] = true
+				//mmjoin:allow(perfgate) setMark's inlined word index i>>6 divides the slot invariant through a shift prove cannot follow
 				setMark(t.matched, int(i))
 				continue
 			}
@@ -235,7 +270,7 @@ func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payl
 			if d < 255 {
 				dists[li] = d + 1
 			}
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -244,15 +279,22 @@ func (t *RobinHoodTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payl
 
 // LookupBatchMark is LookupBatch plus build-side match tracking.
 // Requires EnableMatchTracking.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *ArrayTable) LookupBatchMark(keys []tuple.Key, _ *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
 	pl := t.payloads
 	pres := t.present
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
 	payloads = payloads[:n]
 	found = found[:n]
 	for li := 0; li < n; li++ {
 		i := int(keys[li] - t.base)
+		//mmjoin:allow(perfgate) the domain guard bounds i against len(pl); prove cannot divide that invariant through i>>6 for the presence word
 		if uint(i) >= uint(len(pl)) || pres[i>>6]&(1<<uint(i&63)) == 0 {
 			payloads[li] = 0
 			found[li] = false
@@ -260,6 +302,7 @@ func (t *ArrayTable) LookupBatchMark(keys []tuple.Key, _ *BatchScratch, payloads
 		}
 		payloads[li] = pl[i]
 		found[li] = true
+		//mmjoin:allow(perfgate) setMark's inlined word index i>>6 divides the domain guard through a shift prove cannot follow
 		setMark(t.matched, i)
 	}
 }
@@ -267,23 +310,29 @@ func (t *ArrayTable) LookupBatchMark(keys []tuple.Key, _ *BatchScratch, payloads
 // LookupBatchMark is LookupBatch plus build-side match tracking across
 // the dense array and the flattened overflow index. Requires
 // EnableMatchTracking.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *CHT) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	lanes := s.laneBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	lanes := s.laneBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	groups := t.groups
 	if len(groups) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
 	array := t.array
 	mask := t.mask
 	bucketCount := mask + 1
-	payloads = payloads[:n]
-	found = found[:n]
 	for li := 0; li < n; li++ {
 		h[li] &= mask
 		slots[li] = h[li]
@@ -295,7 +344,11 @@ func (t *CHT) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tupl
 	for nn > 0 {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			// See ChainedTable.LookupBatch for the lane re-bound idiom.
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			pos := slots[li]
 			if pos >= bucketCount || pos-h[li] >= chtMaxDisplacement {
 				continue
@@ -306,14 +359,17 @@ func (t *CHT) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tupl
 				continue
 			}
 			idx := int(g.prefix) + bits.OnesCount32(g.bits&((1<<off)-1))
+			//mmjoin:allow(perfgate) idx is a popcount rank into the dense array; the invariant lives in the structure, not in anything prove can see
 			if array[idx].Key == keys[li] {
+				//mmjoin:allow(perfgate) same popcount-rank invariant as the key probe above
 				payloads[li] = array[idx].Payload
 				found[li] = true
+				//mmjoin:allow(perfgate) setMark's inlined word index idx>>6 carries the popcount-rank invariant prove cannot see
 				setMark(t.matched, idx)
 				continue
 			}
 			slots[li] = pos + 1
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na
@@ -326,6 +382,7 @@ func (t *CHT) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tupl
 			if ps := t.overflow[keys[li]]; len(ps) > 0 {
 				payloads[li] = ps[0]
 				found[li] = true
+				//mmjoin:allow(perfgate) markOverflow inlines setMark; the ovIdx map lookup bounds the mark index, not anything prove models
 				t.markOverflow(keys[li])
 			}
 		}
@@ -334,21 +391,27 @@ func (t *CHT) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tupl
 
 // LookupBatchMark is LookupBatch plus build-side match tracking.
 // Requires EnableMatchTracking on a static table.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (t *SparseTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloads []tuple.Payload, found []bool) {
 	n := len(keys)
 	checkBatch(n)
-	h := s.hashBuf()[:n]
-	t.hashB(h, keys)
-	slots := s.slotBuf()[:n]
-	lanes := s.laneBuf()[:n]
+	h := s.hashBuf()
+	t.hashB(h[:n], keys)
+	slots := s.slotBuf()
+	lanes := s.laneBuf()
+	checkSpan(len(payloads), n)
+	checkSpan(len(found), n)
+	payloads = payloads[:n]
+	found = found[:n]
 	groups := t.groups
 	if len(groups) == 0 {
-		clearBatchOutputs(payloads[:n], found[:n])
+		clearBatchOutputs(payloads, found)
 		return
 	}
 	mask := t.mask
-	payloads = payloads[:n]
-	found = found[:n]
 	for li := 0; li < n; li++ {
 		slots[li] = (h[li] * sparseBucketsPerTuple) & mask
 		lanes[li] = int32(li)
@@ -359,7 +422,11 @@ func (t *SparseTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payload
 	for round := uint64(0); nn > 0 && round <= mask; round++ {
 		na := 0
 		for a := 0; a < nn; a++ {
-			li := int(lanes[a])
+			// See ChainedTable.LookupBatch for the lane re-bound idiom.
+			li := int(lanes[a&(BatchSize-1)])
+			if uint(li) >= uint(n) {
+				continue
+			}
 			pos := slots[li]
 			gi := (pos >> 5) & uint64(len(groups)-1)
 			g := &groups[gi]
@@ -368,14 +435,16 @@ func (t *SparseTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payload
 				continue
 			}
 			idx := g.denseIndex(off)
+			//mmjoin:allow(perfgate) idx is a popcount rank into the group's dense slice; prove cannot see the bitmap invariant
 			if e := g.dense[idx]; e.Key == keys[li] {
 				payloads[li] = e.Payload
 				found[li] = true
+				//mmjoin:allow(perfgate) len(t.bases) == len(groups) by construction; prove cannot relate the two lengths through gi
 				setMark(t.matched, int(t.bases[gi])+idx)
 				continue
 			}
 			slots[li] = (pos + 1) & mask
-			lanes[na] = int32(li)
+			lanes[na&(BatchSize-1)] = int32(li)
 			na++
 		}
 		nn = na

@@ -48,9 +48,11 @@ type batchState struct {
 }
 
 // buffers returns the BatchSize-sized SoA staging arrays, allocating
-// them on first use.
+// them on first use. It stays out of line so its one-time allocation
+// never lands inside a caller's //mmjoin:noescape region.
 //
 //mmjoin:hotpath
+//go:noinline
 func (bs *batchState) buffers() ([]tuple.Key, []tuple.Payload) {
 	if bs.keys == nil {
 		bs.keys = make([]tuple.Key, hashtable.BatchSize)
@@ -67,7 +69,13 @@ func (bs *batchState) buffers() ([]tuple.Key, []tuple.Payload) {
 // buffers' length.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func gatherShifted(keys []tuple.Key, payloads []tuple.Payload, src []tuple.Tuple, shift uint) {
+	if len(keys) < len(src) || len(payloads) < len(src) {
+		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on driver misuse
+		panic("join: staging buffers shorter than the gathered run")
+	}
 	keys = keys[:len(src)]
 	payloads = payloads[:len(src)]
 	for i := range src {
@@ -80,12 +88,16 @@ func gatherShifted(keys []tuple.Key, payloads []tuple.Payload, src []tuple.Tuple
 // worker per batch so span attribution sees bytes as they move.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (bs *batchState) buildFrom(w *exec.Worker, ht batchJoinTable, frags []tuple.Relation, bits uint, op int64) {
 	keys, pays := bs.buffers()
 	bs.cursor.Reset(frags)
 	for {
+		// Next never returns more than len(keys); the extra comparisons
+		// restate that for the prove pass.
 		n := bs.cursor.Next(keys, pays, bits)
-		if n == 0 {
+		if n <= 0 || n > len(keys) || n > len(pays) {
 			return
 		}
 		ht.BuildBatch(keys[:n], pays[:n], &bs.scratch)
@@ -97,17 +109,21 @@ func (bs *batchState) buildFrom(w *exec.Worker, ht batchJoinTable, frags []tuple
 // kernel and hands each compacted match buffer to the sink.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (bs *batchState) probeInto(w *exec.Worker, ht batchProbeTable, frags []tuple.Relation, bits uint, op int64, s *sink) {
 	keys, pays := bs.buffers()
 	bs.cursor.Reset(frags)
 	for {
+		// Next never returns more than len(keys); the extra comparisons
+		// restate that for the prove pass.
 		n := bs.cursor.Next(keys, pays, bits)
-		if n == 0 {
+		if n <= 0 || n > len(keys) || n > len(pays) {
 			return
 		}
 		ht.ProbeJoinBatch(keys[:n], pays[:n], &bs.scratch, &bs.out)
-		if bs.out.N > 0 {
-			s.emitBatch(bs.out.Build[:bs.out.N], bs.out.Probe[:bs.out.N])
+		if m := bs.out.N; m > 0 && m <= hashtable.BatchSize {
+			s.emitBatch(bs.out.Build[:m], bs.out.Probe[:m])
 		}
 		w.AddBytes(int64(n) * (tuple.Bytes + op))
 	}
@@ -118,15 +134,31 @@ func (bs *batchState) probeInto(w *exec.Worker, ht batchProbeTable, frags []tupl
 // schedule), bypassing the fragment cursor.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (bs *batchState) probeRun(w *exec.Worker, ht batchProbeTable, run []tuple.Tuple, shift uint, op int64, s *sink) {
 	keys, pays := bs.buffers()
-	for lo := 0; lo < len(run); lo += hashtable.BatchSize {
-		hi := min(lo+hashtable.BatchSize, len(run))
-		n := hi - lo
-		gatherShifted(keys[:n], pays[:n], run[lo:hi], shift)
-		ht.ProbeJoinBatch(keys[:n], pays[:n], &bs.scratch, &bs.out)
-		if bs.out.N > 0 {
-			s.emitBatch(bs.out.Build[:bs.out.N], bs.out.Probe[:bs.out.N])
+	for lo := 0; ; lo += hashtable.BatchSize {
+		if uint(lo) >= uint(len(run)) {
+			return
+		}
+		rest := run[lo:]
+		n := hashtable.BatchSize
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if n <= 0 || n > len(keys) {
+			return
+		}
+		bk := keys[:n]
+		if n > len(pays) {
+			return
+		}
+		bp := pays[:n]
+		gatherShifted(bk, bp, rest[:n], shift)
+		ht.ProbeJoinBatch(bk, bp, &bs.scratch, &bs.out)
+		if m := bs.out.N; m > 0 && m <= hashtable.BatchSize {
+			s.emitBatch(bs.out.Build[:m], bs.out.Probe[:m])
 		}
 		w.AddBytes(int64(n) * (tuple.Bytes + op))
 	}
@@ -144,13 +176,29 @@ type batchConcurrentBuildTable interface {
 // unshifted).
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (bs *batchState) buildRunConcurrent(w *exec.Worker, ht batchConcurrentBuildTable, run []tuple.Tuple, op int64) {
 	keys, pays := bs.buffers()
-	for lo := 0; lo < len(run); lo += hashtable.BatchSize {
-		hi := min(lo+hashtable.BatchSize, len(run))
-		n := hi - lo
-		gatherShifted(keys[:n], pays[:n], run[lo:hi], 0)
-		ht.BuildBatchConcurrent(keys[:n], pays[:n], &bs.scratch)
+	for lo := 0; ; lo += hashtable.BatchSize {
+		if uint(lo) >= uint(len(run)) {
+			return
+		}
+		rest := run[lo:]
+		n := hashtable.BatchSize
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if n <= 0 || n > len(keys) {
+			return
+		}
+		bk := keys[:n]
+		if n > len(pays) {
+			return
+		}
+		bp := pays[:n]
+		gatherShifted(bk, bp, rest[:n], 0)
+		ht.BuildBatchConcurrent(bk, bp, &bs.scratch)
 		w.AddBytes(int64(n) * (tuple.Bytes + op))
 	}
 }
@@ -161,6 +209,7 @@ func (bs *batchState) buildRunConcurrent(w *exec.Worker, ht batchConcurrentBuild
 // first-match lookup), only the loop structure differs.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
 func (j *radixJoin) joinTaskBatch(w *exec.Worker, wk *workerState, s *sink, bits uint, buildFrags, probeFrags []tuple.Relation, buildLen, probeLen int, op int64) {
 	if buildLen == 0 {
 		// Scalar accounting charges the streamed probe side even when
@@ -187,6 +236,7 @@ func (j *radixJoin) joinTaskBatch(w *exec.Worker, wk *workerState, s *sink, bits
 // an oversized partition against its prebuilt shared table.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
 func (j *radixJoin) probeSharedBatch(w *exec.Worker, st *sharedTable, bs *batchState, s *sink, bits uint, probe []tuple.Tuple, op int64) {
 	var ht batchProbeTable
 	switch j.table {

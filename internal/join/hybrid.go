@@ -293,15 +293,49 @@ func hybridSubBits(buildLen int, budget int64, shift uint) uint {
 }
 
 // hybridWorker is one worker's reusable kernel scratch: the chained
-// multimap arrays grow to the largest partition the worker has joined.
+// multimap arrays and the match-flag buffers grow to the largest
+// partition the worker has joined.
 type hybridWorker struct {
 	heads []int32
 	next  []int32
+	bmark []bool // build-side match flags (outer padding)
+	smark []bool // probe-side match flags (reversed/BNL outcome tracking)
+}
+
+// bmarks returns the build-side match flags cleared to length n,
+// reusing the worker-lifetime buffer; smarks is its probe-side twin.
+// The flag arrays were the last per-partition allocation in the hybrid
+// kernels — perfgate's escape report on joinPart flushed them out. Both
+// stay out of line so the growth allocation never lands inside a
+// caller's //mmjoin:noescape region.
+//
+//go:noinline
+func (hw *hybridWorker) bmarks(n int) []bool {
+	if cap(hw.bmark) < n {
+		hw.bmark = make([]bool, n)
+	}
+	m := hw.bmark[:n]
+	clear(m)
+	return m
+}
+
+//go:noinline
+func (hw *hybridWorker) smarks(n int) []bool {
+	if cap(hw.smark) < n {
+		hw.smark = make([]bool, n)
+	}
+	m := hw.smark[:n]
+	clear(m)
+	return m
 }
 
 // multimap (re)initializes the chained multimap for n build tuples and
 // returns (heads, next, mask). heads is sized to the next power of two
-// ≥ n so chains stay short at ~1 expected entry.
+// ≥ n so chains stay short at ~1 expected entry. It stays out of line
+// so its amortized growth allocations never land inside a caller's
+// //mmjoin:noescape region.
+//
+//go:noinline
 func (hw *hybridWorker) multimap(n int) ([]int32, []int32, uint32) {
 	size := 16
 	for size < n {
@@ -430,6 +464,14 @@ func subPartition(a *exec.Arena, src tuple.Relation, shift, bits uint) (tuple.Re
 // the inputs on disk either way, batching lookups buys nothing here,
 // and sharing the code keeps the oracle's batch-vs-scalar byte parity
 // trivially exact.
+//
+// The multimap walks index through int32 chain links, whose bounds live
+// in the multimap's construction, not anywhere the prove pass can see —
+// so these kernels claim //mmjoin:noescape (nothing allocates per
+// partition) but not //mmjoin:bce.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
 func (hw *hybridWorker) joinPart(w *exec.Worker, st *hybridState, r, s tuple.Relation, shift uint, reversed bool, snk *sink) {
 	if reversed {
 		hw.joinPartReversed(w, st.kind, r, s, shift, snk)
@@ -465,7 +507,7 @@ func (hw *hybridWorker) joinPart(w *exec.Worker, st *hybridState, r, s tuple.Rel
 
 	var rMatched []bool
 	if kind.padsBuild() {
-		rMatched = make([]bool, len(r))
+		rMatched = hw.bmarks(len(r))
 	}
 	for _, tp := range s {
 		pk := tp.Key >> shift
@@ -501,6 +543,9 @@ func (hw *hybridWorker) joinPart(w *exec.Worker, st *hybridState, r, s tuple.Rel
 // needs (matched for semi, unmatched for outer/anti padding) are
 // tracked in a bitmap and emitted in a post-pass, since one s entry
 // can be hit by any number of streamed r tuples.
+//
+//mmjoin:hotpath
+//mmjoin:noescape
 func (hw *hybridWorker) joinPartReversed(w *exec.Worker, kind Kind, r, s tuple.Relation, shift uint, snk *sink) {
 	heads, next, mask := hw.multimap(len(s))
 	for i, tp := range s {
@@ -512,7 +557,7 @@ func (hw *hybridWorker) joinPartReversed(w *exec.Worker, kind Kind, r, s tuple.R
 
 	var sMatched []bool
 	if kind != Inner && kind != RightOuter {
-		sMatched = make([]bool, len(s))
+		sMatched = hw.smarks(len(s))
 	}
 	pairs := emitsPairs(kind)
 	for _, tp := range r {
@@ -560,6 +605,9 @@ func (hw *hybridWorker) joinPartReversed(w *exec.Worker, kind Kind, r, s tuple.R
 // *all* blocks, so per-s-tuple match flags accumulate over the block
 // loop and pad in one final pass; build-side padding is per-block
 // (each r tuple is built exactly once).
+//
+//mmjoin:hotpath
+//mmjoin:noescape
 func (hw *hybridWorker) joinBNL(w *exec.Worker, st *hybridState, r, s tuple.Relation, shift uint, snk *sink) {
 	kind := st.kind
 	block := int(st.budget / hybridTupleFootprint)
@@ -568,7 +616,7 @@ func (hw *hybridWorker) joinBNL(w *exec.Worker, st *hybridState, r, s tuple.Rela
 	}
 	var sMatched []bool
 	if kind != Inner && kind != RightOuter {
-		sMatched = make([]bool, len(s))
+		sMatched = hw.smarks(len(s))
 	}
 	pairs := emitsPairs(kind)
 	for lo := 0; lo < len(r); lo += block {
@@ -582,7 +630,7 @@ func (hw *hybridWorker) joinBNL(w *exec.Worker, st *hybridState, r, s tuple.Rela
 		}
 		var bMatched []bool
 		if kind.padsBuild() {
-			bMatched = make([]bool, len(blk))
+			bMatched = hw.bmarks(len(blk))
 		}
 		for si, tp := range s {
 			pk := tp.Key >> shift

@@ -259,6 +259,8 @@ type sink struct {
 // every probe loop.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:inline
 func (s *sink) emit(buildPayload, probePayload tuple.Payload) {
 	s.matches++
 	s.checksum += uint64(buildPayload)<<32 | uint64(probePayload)
@@ -275,7 +277,13 @@ func (s *sink) emit(buildPayload, probePayload tuple.Payload) {
 // tight sum loop instead of a call per tuple.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (s *sink) emitBatch(buildPayloads, probePayloads []tuple.Payload) {
+	if len(probePayloads) < len(buildPayloads) {
+		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on kernel misuse
+		panic("join: emitBatch lane buffers disagree")
+	}
 	probePayloads = probePayloads[:len(buildPayloads)]
 	var sum uint64
 	for i, bp := range buildPayloads {

@@ -225,6 +225,7 @@ func injectFault(art *runArtifacts, f Fault) {
 		sp := sh.Begin("rogue", -1)
 		sp.End()
 	case FaultLeakBuffer:
+		//mmjoin:allow(arenapair) fault injection: the leak is the point — Outstanding must catch it
 		_ = art.arena.Tuples(1 << 10)
 	case FaultDoubleFree:
 		buf := art.arena.Tuples(1 << 10)

@@ -34,30 +34,60 @@ func (c *BatchCursor) Reset(frags []tuple.Relation) {
 // number of lanes filled; 0 means the cursor is exhausted.
 //
 //mmjoin:hotpath
+//mmjoin:noescape
+//mmjoin:bce
 func (c *BatchCursor) Next(keys []tuple.Key, payloads []tuple.Payload, shift uint) int {
+	if len(keys) < hashtable.BatchSize || len(payloads) < hashtable.BatchSize {
+		//mmjoin:allow(hotalloc) cold failure path: the boxed panic argument only materializes on cursor misuse
+		panic("radix: batch buffers shorter than hashtable.BatchSize")
+	}
 	keys = keys[:hashtable.BatchSize]
 	payloads = payloads[:hashtable.BatchSize]
+	// The cursor fields live in locals for the whole refill: the stores
+	// through c would otherwise force the prove pass to re-derive every
+	// range fact after each iteration.
+	frags := c.frags
+	fi, off := c.fi, c.off
 	n := 0
-	for n < hashtable.BatchSize && c.fi < len(c.frags) {
-		f := c.frags[c.fi]
-		if c.off >= len(f) {
-			c.fi++
-			c.off = 0
+	for n < hashtable.BatchSize && uint(fi) < uint(len(frags)) {
+		f := frags[fi]
+		if uint(off) >= uint(len(f)) {
+			fi++
+			off = 0
 			continue
 		}
-		take := len(f) - c.off
+		// Each reslice below hangs off one immediately preceding
+		// guard, so the prove pass can discharge them all even with
+		// n/off loop-carried. The guards never fire: take is clamped
+		// to both the fragment remainder and the batch room.
+		srcAll := f[off:]
+		take := len(srcAll)
 		if room := hashtable.BatchSize - n; take > room {
 			take = room
 		}
-		src := f[c.off : c.off+take]
-		dk := keys[n : n+take]
-		dp := payloads[n : n+take]
-		for i := range src {
-			dk[i] = src[i].Key >> shift
-			dp[i] = src[i].Payload
+		if uint(take) > uint(len(srcAll)) {
+			break
 		}
-		n += take
-		c.off += take
+		src := srcAll[:take]
+		if uint(n) >= uint(len(keys)) || uint(n) >= uint(len(payloads)) {
+			break
+		}
+		dkAll := keys[n:]
+		dpAll := payloads[n:]
+		if take > len(dkAll) || take > len(dpAll) {
+			break
+		}
+		dk := dkAll[:take]
+		dp := dpAll[:take]
+		if len(dk) == len(src) && len(dp) == len(src) {
+			for i := range src {
+				dk[i] = src[i].Key >> shift
+				dp[i] = src[i].Payload
+			}
+		}
+		n += len(src)
+		off += len(src)
 	}
+	c.fi, c.off = fi, off
 	return n
 }
