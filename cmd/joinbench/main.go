@@ -12,6 +12,10 @@
 //	joinbench -run fig1 -trace trace.json   # Chrome/Perfetto trace_event output
 //	joinbench -microbench -benchtime 1s -o BENCH_baseline.json
 //	joinbench -microbench -benchtime 0.3s -microsizes 16,20   # CI smoke
+//	joinbench -microbench -microdists 0,4,8,16 -microreps 6   # prefetch sweep
+//	joinbench -run offheap                  # GC-visible footprint, heap vs off-heap
+//	joinbench -run fig1 -offheap            # any experiment on off-heap arenas
+//	joinbench -oracle -offheap              # oracle smoke with off-heap region checks
 //	joinbench -oracle                       # differential-oracle smoke pass
 package main
 
@@ -35,6 +39,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// parseIntList parses a comma-separated integer list, skipping empty
+// elements ("" yields nil).
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("joinbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -54,9 +76,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("o", "", "write reports to a file instead of stdout")
 		traceTo = fs.String("trace", "", "write a Chrome/Perfetto trace_event JSON file covering every executed join")
 
-		micro      = fs.Bool("microbench", false, "run the standalone kernel microbenchmarks (probe/build ns-per-tuple per table, scalar vs batch) and emit JSON")
-		benchtime  = fs.Duration("benchtime", time.Second, "minimum measuring time per microbenchmark cell")
-		microsizes = fs.String("microsizes", "16,20,24", "comma-separated log2 build sizes for -microbench")
+		offheap = fs.Bool("offheap", false, "place join tables, partition buffers and microbenchmark tables in GC-free off-heap arenas (mmap-backed, huge-page advised)")
+
+		micro       = fs.Bool("microbench", false, "run the standalone kernel microbenchmarks (probe/build ns-per-tuple per table, scalar vs batch) and emit JSON")
+		benchtime   = fs.Duration("benchtime", time.Second, "minimum measuring time per microbenchmark cell")
+		microsizes  = fs.String("microsizes", "16,20,24", "comma-separated log2 build sizes for -microbench")
+		microreps   = fs.Int("microreps", 1, "measured repetitions per microbenchmark cell, interleaved so benchstat can attach p-values")
+		microwarmup = fs.Int("microwarmup", 1, "untimed warmup passes per microbenchmark cell (negative disables)")
+		microdists  = fs.String("microdists", "", "comma-separated hashtable.PrefetchDist values to sweep for the batch kernels (e.g. 0,4,8,16); empty = package default, no sweep")
 
 		oracleRun = fs.Bool("oracle", false, "run a differential-oracle smoke pass (all algorithms, seeded schedules, batch+scalar) before reporting; see cmd/joinoracle for the full harness")
 	)
@@ -70,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			BuildLog2: 10,
 			ProbeLog2: 12,
 			BaseSeed:  *seed + 1,
+			OffHeap:   *offheap,
 			Out:       stdout,
 		})
 		if err != nil {
@@ -89,18 +117,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *micro {
-		var sizes []int
-		for _, s := range strings.Split(*microsizes, ",") {
-			s = strings.TrimSpace(s)
-			if s == "" {
-				continue
-			}
-			lg, err := strconv.Atoi(s)
-			if err != nil {
-				fmt.Fprintf(stderr, "joinbench: -microsizes: %v\n", err)
-				return 2
-			}
-			sizes = append(sizes, lg)
+		sizes, err := parseIntList(*microsizes)
+		if err != nil {
+			fmt.Fprintf(stderr, "joinbench: -microsizes: %v\n", err)
+			return 2
+		}
+		dists, err := parseIntList(*microdists)
+		if err != nil {
+			fmt.Fprintf(stderr, "joinbench: -microdists: %v\n", err)
+			return 2
 		}
 		var dst io.Writer = stdout
 		if *out != "" {
@@ -114,6 +139,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := bench.Microbench(bench.MicrobenchConfig{
 			Benchtime: *benchtime, SizesLog2: sizes, Seed: *seed,
+			Reps: *microreps, Warmup: *microwarmup,
+			PrefetchDists: dists, OffHeap: *offheap,
 		}, dst); err != nil {
 			fmt.Fprintf(stderr, "joinbench: -microbench: %v\n", err)
 			return 1
@@ -146,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, Quick: *quick, Repeat: *repeat,
-		Kind: kind, NullFrac: *nullFr, MemoryBudget: *budget}
+		Kind: kind, NullFrac: *nullFr, MemoryBudget: *budget, OffHeap: *offheap}
 	// Output destinations are validated before any experiment runs: an
 	// unwritable -trace or -o path must be a prompt usage error, not a
 	// silently dropped artifact discovered after the measurement.

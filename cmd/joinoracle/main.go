@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inject    = fs.String("inject", "none", "inject a fault into every primary run: none, flip-payload, drop-match, extra-span, leak-buffer, double-free, spill-create-fail, spill-short-write, spill-read-corrupt")
 		shrink    = fs.Int("shrink", 64, "max oracle evaluations spent shrinking each failure (0 disables)")
 		timeout   = fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		offheap   = fs.Bool("offheap", false, "run every case with off-heap per-case arenas (GC-invisible mmap regions) and check the process-wide off-heap region balance per case")
 		verbose   = fs.Bool("v", false, "log every shrink step and the sweep summary even on success")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *offheap {
+		oracle.OffHeapArenas = true
 	}
 
 	if *replay != "" {
@@ -92,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BaseSeed:       *seed,
 		Inject:         fault,
 		MaxShrinkEvals: *shrink,
+		OffHeap:        *offheap,
 		Out:            stdout,
 	}
 	if *shrink == 0 {

@@ -6,10 +6,11 @@ import (
 )
 
 // ArenaPair enforces the arena ownership contract statically: every
-// buffer drawn from an exec.Arena (Tuples or Ints) must reach the
-// matching Put (PutTuples or PutInts) on every path through the
-// acquiring function, or be explicitly handed off — returned, stored,
-// or passed along, which transfers the obligation with the value.
+// buffer drawn from an exec.Arena (Tuples, Ints, Uint32s or Uint64s)
+// must reach the matching Put (PutTuples, PutInts, PutUint32s or
+// PutUint64s) on every path through the acquiring function, or be
+// explicitly handed off — returned, stored, or passed along, which
+// transfers the obligation with the value.
 //
 // This is the same bug class the differential oracle catches at run
 // time via Arena.Outstanding (PR 5 found a real mid-cancellation leak
@@ -36,13 +37,25 @@ func runArenaPair(pass *Pass) {
 	forEachFunctionBody(pass, func(body *ast.BlockStmt) { checkPairs(pass, body, spec) })
 }
 
-// arenaAcquire matches arena.Tuples(n) and arena.Ints(n).
+// arenaAcquireNames / arenaReleaseNames are the paired method sets: the
+// uint32/uint64 getters joined Tuples and Ints when the hash tables
+// started drawing their slot arrays from the arena.
+var arenaAcquireNames = map[string]bool{
+	"Tuples": true, "Ints": true, "Uint32s": true, "Uint64s": true,
+}
+
+var arenaReleaseNames = map[string]bool{
+	"PutTuples": true, "PutInts": true, "PutUint32s": true, "PutUint64s": true,
+}
+
+// arenaAcquire matches arena.Tuples(n), arena.Ints(n), arena.Uint32s(n)
+// and arena.Uint64s(n).
 func arenaAcquire(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
-	if sel.Sel.Name != "Tuples" && sel.Sel.Name != "Ints" {
+	if !arenaAcquireNames[sel.Sel.Name] {
 		return "", false
 	}
 	obj, recv, ok := methodOn(info, sel)
@@ -52,9 +65,9 @@ func arenaAcquire(info *types.Info, call *ast.CallExpr) (string, bool) {
 	return renderCall(sel), true
 }
 
-// arenaRelease matches the buffer passed to arena.PutTuples(buf) or
-// arena.PutInts(buf) — the tracked value is an argument here, not the
-// receiver.
+// arenaRelease matches the buffer passed to arena.PutTuples(buf),
+// arena.PutInts(buf), arena.PutUint32s(buf) or arena.PutUint64s(buf) —
+// the tracked value is an argument here, not the receiver.
 func arenaRelease(info *types.Info, id *ast.Ident, parents []ast.Node) (ast.Node, bool, bool) {
 	call, ok := parentNode(parents, 0).(*ast.CallExpr)
 	if !ok {
@@ -64,7 +77,7 @@ func arenaRelease(info *types.Info, id *ast.Ident, parents []ast.Node) (ast.Node
 	if !ok {
 		return nil, false, false
 	}
-	if sel.Sel.Name != "PutTuples" && sel.Sel.Name != "PutInts" {
+	if !arenaReleaseNames[sel.Sel.Name] {
 		return nil, false, false
 	}
 	argMatches := false

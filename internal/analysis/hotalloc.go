@@ -20,6 +20,11 @@ import (
 //   - function literals (the closure header allocates, captured
 //     variables escape);
 //   - calls into fmt and log (formatting boxes every operand);
+//   - calls into the offheap allocator (offheap.Slice, offheap.
+//     AllocBytes): each maps a fresh region from the OS — a syscall
+//     plus page faults, far worse than a heap allocation. Off-heap
+//     storage is drawn once through an exec.Arena in the cold
+//     constructors, never per tuple;
 //   - interface boxing: a concrete value passed where an interface is
 //     expected;
 //   - go statements (a goroutine per tuple or morsel is never what a
@@ -198,8 +203,36 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, lazyMakes map[token.Pos]bool) 
 			pass.Reportf(call.Pos(), "%s.%s in hot path formats and allocates; record counters and format after the phase", pkg, fun.Sel.Name)
 			return
 		}
+		if offheapAlloc(info, fun) {
+			pass.Reportf(call.Pos(), "offheap.%s in hot path maps a fresh OS region per call; draw the buffer from an exec.Arena outside the loop", fun.Sel.Name)
+			return
+		}
+	case *ast.IndexExpr:
+		// Generic instantiation: offheap.Slice[T](n) parses as an index
+		// expression wrapping the selector.
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok && offheapAlloc(info, sel) {
+			pass.Reportf(call.Pos(), "offheap.%s in hot path maps a fresh OS region per call; draw the buffer from an exec.Arena outside the loop", sel.Sel.Name)
+			return
+		}
 	}
 	checkBoxing(pass, call)
+}
+
+// offheapAlloc reports whether sel resolves to an allocation entry
+// point of the offheap package (Slice or AllocBytes). Free/FreeBytes
+// are cheap unmap bookkeeping and deliberately not flagged — a hot
+// region that frees is suspicious but not an allocation.
+func offheapAlloc(info *types.Info, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Slice" && sel.Sel.Name != "AllocBytes" {
+		return false
+	}
+	if info != nil {
+		if obj, ok := info.Uses[sel.Sel]; ok {
+			return pkgPathIs(obj, "offheap")
+		}
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "offheap"
 }
 
 // checkBoxing reports concrete values passed to interface parameters —

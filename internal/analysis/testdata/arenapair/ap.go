@@ -103,6 +103,39 @@ func closureRelease(a *exec.Arena, n int) {
 	buf[0].Key = 1
 }
 
+// uint32Pair covers the uint32 getter/putter pair the hash tables'
+// slot arrays use.
+func uint32Pair(a *exec.Arena, n int) {
+	buf := a.Uint32s(n)
+	defer a.PutUint32s(buf)
+	buf[0] = 1
+}
+
+// uint32Dropped discards the uint32 buffer outright.
+func uint32Dropped(a *exec.Arena, n int) {
+	a.Uint32s(n) // want "result of a.Uint32s dropped"
+}
+
+// uint64EarlyReturn leaks the bucket-word buffer on the error path.
+func uint64EarlyReturn(a *exec.Arena, n int, fail bool) error {
+	buf := a.Uint64s(n)
+	if fail {
+		return errFail // want "return leaks the arena buffer from a.Uint64s"
+	}
+	a.PutUint64s(buf)
+	return nil
+}
+
+// uint64NeverReleased uses the buffer but never puts it back.
+func uint64NeverReleased(a *exec.Arena, n int) uint64 {
+	buf := a.Uint64s(n) // want "arena buffer from a.Uint64s is never released"
+	var s uint64
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
 // reacquire overwrites the variable after releasing: both buffers are
 // accounted for.
 func reacquire(a *exec.Arena, n int) {

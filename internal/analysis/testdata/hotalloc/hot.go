@@ -4,7 +4,11 @@
 // (which must stay silent) and suppressed via //mmjoin:allow.
 package hotalloc
 
-import "fmt"
+import (
+	"fmt"
+
+	"mmjoin/internal/offheap"
+)
 
 func work()              {}
 func sink(v interface{}) {}
@@ -29,6 +33,27 @@ func hot(dst []int, xs []int) []int {
 	fmt.Println(xs) // want "fmt.Println in hot path"
 	sink(xs[0])     // want "argument boxes int into interface"
 	return dst
+}
+
+// hotOffheap covers the off-heap allocator entry points: each call
+// maps a fresh OS region — a syscall plus page faults per tuple, which
+// is exactly what the arena constructors exist to amortize. The
+// generic Slice needs its instantiation unwrapped to be seen.
+//
+//mmjoin:hotpath
+func hotOffheap(n int) {
+	b := offheap.AllocBytes(n) // want "offheap.AllocBytes in hot path"
+	offheap.FreeBytes(b)
+	s := offheap.Slice[uint64](n) // want "offheap.Slice in hot path"
+	offheap.Free(s)
+}
+
+// coldOffheap repeats the same calls without a marker; silent.
+func coldOffheap(n int) {
+	b := offheap.AllocBytes(n)
+	offheap.FreeBytes(b)
+	s := offheap.Slice[uint64](n)
+	offheap.Free(s)
 }
 
 // cold repeats the same constructs without a marker; the analyzer must

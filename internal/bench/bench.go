@@ -55,6 +55,10 @@ type Config struct {
 	// unlimited. Experiments that sweep budgets themselves (spilljoin)
 	// override it per run.
 	MemoryBudget int64
+	// OffHeap places every measured run's join tables and partition
+	// buffers in the GC-free off-heap arena (join.Options.OffHeap); the
+	// exp_offheap experiment measures exactly what that buys.
+	OffHeap bool
 	// Tracer, when non-nil, collects execution spans from every
 	// measured join (and bandwidth counters from the simulated
 	// experiments) for -trace export. Repeated runs all land on the
@@ -226,7 +230,7 @@ func experimentOrder(id string) int {
 		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19", "tab3", "tab4",
 		"ablswwcb", "ablnop", "ablhash", "ablskew", "abltuplerec", "ablsort", "abltables", "ablengine", "ablorder", "ablbatch",
-		"seljoin", "spilljoin"}
+		"seljoin", "spilljoin", "offheap"}
 	for i, v := range order {
 		if v == id {
 			return i
@@ -288,6 +292,9 @@ func runJoinRepeat(c Config, name string, w *datagen.Workload, opts join.Options
 	}
 	if c.NullFrac > 0 {
 		opts.NullableKeys = true
+	}
+	if c.OffHeap {
+		opts.OffHeap = true
 	}
 	var best *join.Result
 	for i := 0; i < max(repeat, 1); i++ {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/hashtable"
 	"mmjoin/internal/tuple"
@@ -31,6 +32,27 @@ type MicrobenchConfig struct {
 	// the workload deterministic regardless; the seed varies the probe
 	// order).
 	Seed uint64
+	// Reps measures every cell this many times, emitting one gobench
+	// line per rep so benchstat can attach p-values to a diff. The reps
+	// are interleaved — rep i of every cell runs before rep i+1 of any
+	// cell — so slow machine-state drift (thermal, page-cache) spreads
+	// evenly across cells instead of biasing whichever ran last.
+	// 0 means 1.
+	Reps int
+	// Warmup runs this many untimed passes per cell before its first
+	// measured rep, so one-time costs (cold i-cache, lazily faulted
+	// table pages) never land in the measurement. 0 means 1; negative
+	// disables warmup entirely.
+	Warmup int
+	// PrefetchDists sweeps hashtable.PrefetchDist over these values for
+	// the batch kernels, adding a "/dist=N" dimension to the cell name.
+	// Empty keeps the package default with no extra dimension. Scalar
+	// kernels never issue software prefetches and are not swept.
+	PrefetchDists []int
+	// OffHeap backs the benchmarked tables with a private off-heap
+	// arena, so the measured kernels touch the same mmap-backed,
+	// huge-page-advised memory the -offheap joins run against.
+	OffHeap bool
 }
 
 // MicrobenchRecord is one measured cell.
@@ -42,6 +64,13 @@ type MicrobenchRecord struct {
 	Tuples     int     `json:"tuples"`
 	Iters      int     `json:"iters"`
 	NsPerTuple float64 `json:"ns_per_tuple"`
+	// Rep numbers the interleaved repetition this record came from
+	// (0-based). The gobench name is identical across reps: that is
+	// what lets benchstat group them into a sample.
+	Rep int `json:"rep,omitempty"`
+	// PrefetchDist is the swept hashtable.PrefetchDist for batch cells
+	// when MicrobenchConfig.PrefetchDists is set; -1 otherwise.
+	PrefetchDist int `json:"prefetch_dist,omitempty"`
 	// GoBench is the record in Go benchmark format (value = ns/tuple),
 	// ready for benchstat: extract the gobench fields of two runs into
 	// two files and diff them.
@@ -54,6 +83,8 @@ type microbenchOutput struct {
 	GOOS        string             `json:"goos"`
 	GOARCH      string             `json:"goarch"`
 	BenchtimeMs int64              `json:"benchtime_ms"`
+	Reps        int                `json:"reps,omitempty"`
+	OffHeap     bool               `json:"offheap,omitempty"`
 	Records     []MicrobenchRecord `json:"records"`
 }
 
@@ -61,6 +92,12 @@ type microbenchOutput struct {
 func Microbench(cfg MicrobenchConfig, w io.Writer) error {
 	if cfg.Benchtime <= 0 {
 		cfg.Benchtime = time.Second
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 1
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 1
 	}
 	sizes := cfg.SizesLog2
 	if len(sizes) == 0 {
@@ -71,6 +108,8 @@ func Microbench(cfg MicrobenchConfig, w io.Writer) error {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		BenchtimeMs: cfg.Benchtime.Milliseconds(),
+		Reps:        cfg.Reps,
+		OffHeap:     cfg.OffHeap,
 	}
 	for _, lg := range sizes {
 		recs, err := microbenchSize(cfg, lg)
@@ -109,13 +148,27 @@ func measure(benchtime time.Duration, n int, f func()) (int, float64) {
 	return iters, float64(total.Nanoseconds()) / float64(iters) / float64(n)
 }
 
-// record formats one cell.
-func record(table, op, kernel string, lg, n, iters int, ns float64) MicrobenchRecord {
+// microCell is one benchmarkable (table, op, kernel[, dist]) combination;
+// run performs one full pass over the workload.
+type microCell struct {
+	table  string
+	op     string
+	kernel string
+	dist   int // swept hashtable.PrefetchDist; -1 = not swept
+	run    func()
+}
+
+// record formats one measured rep of a cell.
+func (c *microCell) record(lg, n, iters, rep int, ns float64) MicrobenchRecord {
+	name := fmt.Sprintf("BenchmarkMicro/op=%s/table=%s/keys=2^%d/kernel=%s", c.op, c.table, lg, c.kernel)
+	if c.dist >= 0 {
+		name += fmt.Sprintf("/dist=%d", c.dist)
+	}
 	return MicrobenchRecord{
-		Table: table, Op: op, Kernel: kernel,
+		Table: c.table, Op: c.op, Kernel: c.kernel,
 		KeysLog2: lg, Tuples: n, Iters: iters, NsPerTuple: ns,
-		GoBench: fmt.Sprintf("BenchmarkMicro/op=%s/table=%s/keys=2^%d/kernel=%s %d %.2f ns/op",
-			op, table, lg, kernel, iters, ns),
+		Rep: rep, PrefetchDist: c.dist,
+		GoBench: fmt.Sprintf("%s %d %.2f ns/op", name, iters, ns),
 	}
 }
 
@@ -139,10 +192,18 @@ func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
 		buildPayloads[i] = tp.Payload
 	}
 
-	ct := hashtable.NewChainedTable(n, hashfn.Murmur)
-	lt := hashtable.NewLinearTable(n, hashfn.Murmur)
-	rh := hashtable.NewRobinHoodTable(n, 0, hashfn.Murmur)
-	at := hashtable.NewArrayTable(0, n)
+	// With cfg.OffHeap the tables draw their storage from a private
+	// off-heap arena, freed when the size's sweep finishes. SparseTable
+	// has no arena form (its per-group slices sit below the off-heap
+	// threshold) and stays heap-backed either way.
+	var arena *exec.Arena
+	if cfg.OffHeap {
+		arena = exec.NewArenaOffHeap()
+	}
+	ct := hashtable.NewChainedTableArena(n, hashfn.Murmur, arena)
+	lt := hashtable.NewLinearTableArena(n, hashfn.Murmur, arena)
+	rh := hashtable.NewRobinHoodTableArena(n, 0, hashfn.Murmur, arena)
+	at := hashtable.NewArrayTableArena(0, n, arena)
 	st := hashtable.NewSparseTable(n, hashfn.Murmur)
 	for _, tp := range tuples {
 		ct.Insert(tp)
@@ -151,13 +212,22 @@ func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
 		at.Insert(tp)
 		st.Insert(tp)
 	}
-	cht := hashtable.BuildCHT(tuples, hashfn.Murmur)
+	cb := hashtable.NewCHTBuilderArena(n, 1, hashfn.Murmur, arena)
+	cb.LoadRegion(0, tuples)
+	cht := cb.Finalize()
+	defer func() {
+		ct.Free()
+		lt.Free()
+		rh.Free()
+		at.Free()
+		cht.Free()
+	}()
 
-	var recs []MicrobenchRecord
 	var scratch hashtable.BatchScratch
 	var out hashtable.MatchBatch
 	var sink tuple.Payload
 
+	var cells []*microCell
 	probeCases := []struct {
 		name string
 		tbl  hashtable.Table
@@ -166,14 +236,21 @@ func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
 		{"array", at}, {"cht", cht}, {"sparse", st},
 	}
 	for _, pc := range probeCases {
-		iters, ns := measure(cfg.Benchtime, n, func() {
+		tbl := pc.tbl
+		cells = append(cells, &microCell{table: pc.name, op: "probe", kernel: "scalar", dist: -1, run: func() {
 			for _, tp := range probes {
-				if p, ok := pc.tbl.Lookup(tp.Key); ok {
+				if p, ok := tbl.Lookup(tp.Key); ok {
 					sink += p
 				}
 			}
-		})
-		recs = append(recs, record(pc.name, "probe", "scalar", lg, n, iters, ns))
+		}})
+	}
+	// Batch kernels carry the prefetch-distance dimension: each swept
+	// distance is its own cell, so the interleaved reps A/B the
+	// distances against each other under identical machine drift.
+	dists := []int{-1}
+	if len(cfg.PrefetchDists) > 0 {
+		dists = cfg.PrefetchDists
 	}
 	batchProbeCases := []struct {
 		name string
@@ -185,16 +262,18 @@ func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
 		{"array", at}, {"cht", cht}, {"sparse", st},
 	}
 	for _, pc := range batchProbeCases {
-		iters, ns := measure(cfg.Benchtime, n, func() {
-			for lo := 0; lo < n; lo += hashtable.BatchSize {
-				hi := min(lo+hashtable.BatchSize, n)
-				pc.tbl.ProbeJoinBatch(keys[lo:hi], payloads[lo:hi], &scratch, &out)
-				for j := 0; j < out.N; j++ {
-					sink += out.Build[j]
+		tbl := pc.tbl
+		for _, d := range dists {
+			cells = append(cells, &microCell{table: pc.name, op: "probe", kernel: "batch", dist: d, run: func() {
+				for lo := 0; lo < n; lo += hashtable.BatchSize {
+					hi := min(lo+hashtable.BatchSize, n)
+					tbl.ProbeJoinBatch(keys[lo:hi], payloads[lo:hi], &scratch, &out)
+					for j := 0; j < out.N; j++ {
+						sink += out.Build[j]
+					}
 				}
-			}
-		})
-		recs = append(recs, record(pc.name, "probe", "batch", lg, n, iters, ns))
+			}})
+		}
 	}
 	_ = sink
 
@@ -210,20 +289,44 @@ func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
 		{"array", at.Reset, at.Insert, func(lo, hi int) { at.BuildBatch(buildKeys[lo:hi], buildPayloads[lo:hi], &scratch) }},
 	}
 	for _, bc := range buildCases {
-		iters, ns := measure(cfg.Benchtime, n, func() {
+		bc := bc
+		cells = append(cells, &microCell{table: bc.name, op: "build", kernel: "scalar", dist: -1, run: func() {
 			bc.reset()
 			for _, tp := range tuples {
 				bc.ins(tp)
 			}
-		})
-		recs = append(recs, record(bc.name, "build", "scalar", lg, n, iters, ns))
-		iters, ns = measure(cfg.Benchtime, n, func() {
-			bc.reset()
-			for lo := 0; lo < n; lo += hashtable.BatchSize {
-				bc.batch(lo, min(lo+hashtable.BatchSize, n))
+		}})
+		for _, d := range dists {
+			cells = append(cells, &microCell{table: bc.name, op: "build", kernel: "batch", dist: d, run: func() {
+				bc.reset()
+				for lo := 0; lo < n; lo += hashtable.BatchSize {
+					bc.batch(lo, min(lo+hashtable.BatchSize, n))
+				}
+			}})
+		}
+	}
+
+	defaultDist := hashtable.PrefetchDist
+	defer func() { hashtable.PrefetchDist = defaultDist }()
+	runCell := func(c *microCell) {
+		if c.dist >= 0 {
+			hashtable.PrefetchDist = c.dist
+		} else {
+			hashtable.PrefetchDist = defaultDist
+		}
+	}
+	var recs []MicrobenchRecord
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for _, c := range cells {
+			runCell(c)
+			if rep == 0 {
+				for i := 0; i < cfg.Warmup; i++ {
+					c.run()
+				}
 			}
-		})
-		recs = append(recs, record(bc.name, "build", "batch", lg, n, iters, ns))
+			iters, ns := measure(cfg.Benchtime, n, c.run)
+			recs = append(recs, c.record(lg, n, iters, rep, ns))
+		}
 	}
 	return recs, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/tuple"
 )
 
@@ -103,22 +104,51 @@ type Workload struct {
 	// Domain is the size of the key universe (keys are in [0, Domain)).
 	Domain int
 	Config Config
+	// arena is non-nil when Build and Probe were materialized from an
+	// arena (possibly off-heap) via GenerateArena; Free returns them.
+	arena *exec.Arena
 }
 
-// Generate produces the workload described by c.
+// Free returns arena-materialized relations to their arena. A no-op for
+// Generate'd (heap) workloads and idempotent; the relations must not be
+// used afterwards.
+func (w *Workload) Free() {
+	if w.arena == nil {
+		return
+	}
+	if w.Build != nil {
+		w.arena.PutTuples(w.Build)
+		w.Build = nil
+	}
+	if w.Probe != nil {
+		w.arena.PutTuples(w.Probe)
+		w.Probe = nil
+	}
+}
+
+// Generate produces the workload described by c on the Go heap.
 func Generate(c Config) (*Workload, error) {
+	return GenerateArena(c, nil)
+}
+
+// GenerateArena is Generate with both relations materialized from the
+// arena — with an off-heap arena the GC never scans multi-gigabyte
+// inputs, which is where the big-workload experiments spend most of
+// their mark time otherwise. The caller owns the storage and must call
+// the workload's Free; a nil arena gives plain heap allocation.
+func GenerateArena(c Config, a *exec.Arena) (*Workload, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	r := newRNG(c.Seed)
 	keys := buildKeys(c, r)
-	build := make(tuple.Relation, c.BuildSize)
+	build := allocRelation(a, c.BuildSize)
 	for i, k := range keys {
 		// Payload carries the row id, mirroring the paper's TPC-H
 		// representation and letting tests verify exact matches.
 		build[i] = tuple.Tuple{Key: k, Payload: tuple.Payload(i)}
 	}
-	probe := probeRelation(c, keys, r)
+	probe := probeRelation(c, keys, r, allocRelation(a, c.ProbeSize))
 	if c.NullFrac > 0 {
 		// Null the two sides from independent deterministic streams so
 		// the same rows go null regardless of relation sizes on the
@@ -127,7 +157,17 @@ func Generate(c Config) (*Workload, error) {
 		nullKeys(build, c.NullFrac, newRNG(c.Seed^0xb5297a4d))
 		nullKeys(probe, c.NullFrac, newRNG(c.Seed^0x68e31da4))
 	}
-	return &Workload{Build: build, Probe: probe, Domain: c.DomainSize(), Config: c}, nil
+	return &Workload{Build: build, Probe: probe, Domain: c.DomainSize(), Config: c, arena: a}, nil
+}
+
+// allocRelation draws an n-tuple relation from the arena (every slot is
+// overwritten by the generators, so the arbitrary-contents contract of
+// Arena.Tuples is fine) or from the heap when a is nil.
+func allocRelation(a *exec.Arena, n int) tuple.Relation {
+	if a == nil {
+		return make(tuple.Relation, n)
+	}
+	return a.Tuples(n)
 }
 
 // nullKeys replaces each tuple's key with tuple.NullKey independently
@@ -179,9 +219,9 @@ func buildKeys(c Config, r *rng) []tuple.Key {
 	return keys
 }
 
-// probeRelation draws |S| foreign keys referencing the build keys.
-func probeRelation(c Config, buildKeys []tuple.Key, r *rng) tuple.Relation {
-	probe := make(tuple.Relation, c.ProbeSize)
+// probeRelation draws |S| foreign keys referencing the build keys into
+// the preallocated probe slice (len c.ProbeSize).
+func probeRelation(c Config, buildKeys []tuple.Key, r *rng, probe tuple.Relation) tuple.Relation {
 	if c.ProbeSize == 0 {
 		return probe
 	}

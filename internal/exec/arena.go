@@ -1,32 +1,53 @@
 package exec
 
 import (
+	"fmt"
 	"math/bits"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"mmjoin/internal/offheap"
 	"mmjoin/internal/tuple"
 )
 
 // Arena recycles the large transient buffers of a join — partition
-// output buffers, histograms, cursor arrays — across repeated
-// executions. The target workload is a server running millions of
-// small joins: without reuse every Run reallocates (and the GC
-// retires) buffers proportional to |R|+|S| per join.
+// output buffers, histograms, cursor arrays, hash-table backing arrays
+// — across repeated executions. The target workload is a server running
+// millions of small joins: without reuse every Run reallocates (and the
+// GC retires) buffers proportional to |R|+|S| per join.
 //
-// Buffers are kept in power-of-two size classes backed by sync.Pool,
-// so memory is returned to the runtime under GC pressure rather than
-// pinned forever. The zero value is ready to use; a nil *Arena
-// degrades to plain allocation.
+// An arena runs in one of two modes:
+//
+//   - Heap mode (NewArena, the zero value): buffers live in
+//     power-of-two size classes backed by sync.Pool, so memory is
+//     returned to the runtime under GC pressure rather than pinned
+//     forever.
+//
+//   - Off-heap mode (NewArenaOffHeap): large classes draw mmap-backed
+//     regions from internal/offheap — invisible to the GC — and park
+//     returned buffers on explicit per-class freelists. sync.Pool
+//     cannot hold them: the pool drops items under GC pressure without
+//     a destructor, which would leak the mapping. Small classes (and
+//     any class when the platform allocator is unavailable) fall back
+//     to the heap pools, so the mode is a performance property, never a
+//     correctness requirement. Destroy returns the parked regions to
+//     the OS.
+//
+// The zero value is ready to use; a nil *Arena degrades to plain
+// allocation.
 type Arena struct {
-	tuples [maxClass]sync.Pool // elements are *[]tuple.Tuple
-	ints   [maxClass]sync.Pool // elements are *[]int
-	// Header containers are recycled too: a sync.Pool can only hold
-	// pointers, and allocating a fresh *[]T per Put would make even the
-	// warm path allocate. Get strips the container off the buffer and
-	// parks it here; Put picks it back up.
-	tupleHeaders sync.Pool // spare *[]tuple.Tuple
-	intHeaders   sync.Pool // spare *[]int
+	tuples classSet[tuple.Tuple]
+	ints   classSet[int]
+	u32s   classSet[uint32]
+	u64s   classSet[uint64]
+
+	// flMu guards the off-heap freelists of all class sets.
+	flMu    sync.Mutex
+	offheap bool
+
 	// gets and puts count the buffers handed out and returned, so a
 	// harness with a private arena can assert Outstanding() == 0 after
 	// a join: a positive balance is a leaked buffer, a negative one a
@@ -34,21 +55,152 @@ type Arena struct {
 	// excluded on both sides, keeping the accounting symmetric.
 	gets atomic.Int64
 	puts atomic.Int64
+
+	// Double-free guard state (race/test builds): base pointers of
+	// parked buffers and the release site that parked them.
+	guardMu sync.Mutex
+	parked  map[uintptr]string
+}
+
+// classSet is one element type's recycling state: heap pools per size
+// class, a spare-header pool, and (off-heap mode) per-class freelists.
+type classSet[T any] struct {
+	pools   [maxClass]sync.Pool // elements are *[]T
+	headers sync.Pool           // spare *[]T: Get strips the container off the buffer and parks it here; Put picks it back up
+	free    [maxClass][][]T     // off-heap regions, guarded by the arena's flMu
 }
 
 // maxClass bounds the size classes at 2^47 elements — far above any
 // relation this repository can hold.
 const maxClass = 48
 
+// offheapMinBytes keeps tiny classes on the heap pools even in off-heap
+// mode: below this footprint the page-rounding waste and the mmap
+// syscall dominate whatever the GC would have cost.
+const offheapMinBytes = 64 << 10
+
 // Shared is the process-wide arena every pool uses by default. Joins
 // running anywhere in the process recycle each other's buffers.
 var Shared = NewArena()
 
-// NewArena returns an empty private arena.
+// SharedOffHeap is the process-wide off-heap arena behind
+// join.Options.OffHeap. Created eagerly (it costs nothing until used);
+// when the platform allocator is unavailable it silently degrades to a
+// plain heap arena.
+var SharedOffHeap = NewArenaOffHeap()
+
+// NewArena returns an empty private heap-mode arena.
 func NewArena() *Arena { return &Arena{} }
+
+// NewArenaOffHeap returns an arena that backs its large size classes
+// with GC-invisible off-heap regions when internal/offheap is
+// available, and behaves exactly like NewArena otherwise.
+func NewArenaOffHeap() *Arena {
+	return &Arena{offheap: offheap.Available()}
+}
+
+// OffHeap reports whether the arena was created in off-heap mode.
+func (a *Arena) OffHeap() bool { return a != nil && a.offheap }
 
 // classFor returns the smallest class c with 1<<c >= n (n >= 1).
 func classFor(n int) int { return bits.Len(uint(n - 1)) }
+
+// classBytes is the byte footprint of one class-c buffer of T.
+func classBytes[T any](c int) int {
+	var z T
+	return (1 << c) * int(unsafe.Sizeof(z))
+}
+
+// arenaGet hands out a length-n buffer from the class set. zero
+// restores the all-zero contract some callers rely on (histograms,
+// hash-table key arrays); without it contents are arbitrary.
+func arenaGet[T any](a *Arena, cs *classSet[T], n int, zero bool) []T {
+	c := classFor(n)
+	if c >= maxClass {
+		return make([]T, n)
+	}
+	a.gets.Add(1)
+	if a.offheap && classBytes[T](c) >= offheapMinBytes {
+		if buf, ok := offheapGet(a, cs, c, n, zero); ok {
+			return buf
+		}
+	}
+	if v := cs.pools[c].Get(); v != nil {
+		p := v.(*[]T)
+		buf := (*p)[:n]
+		*p = nil // don't pin the array through the parked header
+		cs.headers.Put(p)
+		if zero {
+			clear(buf)
+		}
+		guardOnGet(a, buf)
+		return buf
+	}
+	buf := make([]T, n, 1<<c)
+	guardOnGet(a, buf)
+	return buf
+}
+
+// offheapGet pops a parked off-heap region or maps a fresh one. ok is
+// false when the platform allocator declined — the caller falls back to
+// the heap path (the Get was already counted).
+func offheapGet[T any](a *Arena, cs *classSet[T], c, n int, zero bool) ([]T, bool) {
+	a.flMu.Lock()
+	if l := cs.free[c]; len(l) > 0 {
+		buf := l[len(l)-1]
+		l[len(l)-1] = nil
+		cs.free[c] = l[:len(l)-1]
+		a.flMu.Unlock()
+		buf = buf[:n]
+		if zero {
+			clear(buf)
+		}
+		guardOnGet(a, buf)
+		return buf, true
+	}
+	a.flMu.Unlock()
+	if s := offheap.Slice[T](1 << c); s != nil {
+		// Fresh mappings are already zeroed.
+		guardOnGet(a, s)
+		return s[:n], true
+	}
+	return nil, false
+}
+
+// arenaPut files a buffer back under the largest class its capacity
+// fully covers, so a future Get for that class always fits. Off-heap
+// regions go to the freelists of an off-heap arena and straight back to
+// the OS anywhere else.
+func arenaPut[T any](a *Arena, cs *classSet[T], buf []T) {
+	if cap(buf) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(buf))) - 1
+	if c >= maxClass {
+		return
+	}
+	a.puts.Add(1)
+	guardOnPut(a, buf)
+	if offheap.IsOffHeapSlice(buf) {
+		if a.offheap {
+			a.flMu.Lock()
+			cs.free[c] = append(cs.free[c], buf[:cap(buf)])
+			a.flMu.Unlock()
+		} else {
+			// A foreign off-heap buffer must not enter a sync.Pool: the
+			// pool drops items without a destructor and the mapping
+			// would leak. Return it to the OS instead.
+			offheap.Free(buf)
+		}
+		return
+	}
+	p, _ := cs.headers.Get().(*[]T)
+	if p == nil {
+		p = new([]T)
+	}
+	*p = buf[:0]
+	cs.pools[c].Put(p)
+}
 
 // Tuples returns a tuple buffer of length n with arbitrary contents
 // (callers overwrite every slot; partition scatters do). The backing
@@ -57,40 +209,82 @@ func (a *Arena) Tuples(n int) []tuple.Tuple {
 	if n == 0 {
 		return nil
 	}
-	c := classFor(n)
-	if a == nil || c >= maxClass {
+	if a == nil {
 		return make([]tuple.Tuple, n)
 	}
-	a.gets.Add(1)
-	if v := a.tuples[c].Get(); v != nil {
-		p := v.(*[]tuple.Tuple)
-		buf := (*p)[:n]
-		*p = nil // don't pin the array through the parked header
-		a.tupleHeaders.Put(p)
-		return buf
-	}
-	return make([]tuple.Tuple, n, 1<<c)
+	return arenaGet(a, &a.tuples, n, false)
 }
 
 // PutTuples returns a buffer to the arena. The caller must not use the
-// slice (or any alias of it) afterwards.
+// slice (or any alias of it) afterwards; in race and test builds a
+// second Put of the same buffer panics with both release sites.
 func (a *Arena) PutTuples(buf []tuple.Tuple) {
-	if a == nil || cap(buf) == 0 {
+	if a == nil {
 		return
 	}
-	// File under the largest class the capacity fully covers, so a
-	// future Tuples(n) for that class always fits.
-	c := bits.Len(uint(cap(buf))) - 1
-	if c >= maxClass {
+	arenaPut(a, &a.tuples, buf)
+}
+
+// Ints returns a zeroed int buffer of length n (histograms rely on
+// starting at zero).
+func (a *Arena) Ints(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if a == nil {
+		return make([]int, n)
+	}
+	return arenaGet(a, &a.ints, n, true)
+}
+
+// PutInts returns an int buffer to the arena.
+func (a *Arena) PutInts(buf []int) {
+	if a == nil {
 		return
 	}
-	a.puts.Add(1)
-	p, _ := a.tupleHeaders.Get().(*[]tuple.Tuple)
-	if p == nil {
-		p = new([]tuple.Tuple)
+	arenaPut(a, &a.ints, buf)
+}
+
+// Uint32s returns a zeroed uint32 buffer of length n — the backing
+// store of the linear, Robin Hood and array tables' key/payload arrays,
+// whose constructors rely on the all-zero (empty-slot) state.
+func (a *Arena) Uint32s(n int) []uint32 {
+	if n == 0 {
+		return nil
 	}
-	*p = buf[:0]
-	a.tuples[c].Put(p)
+	if a == nil {
+		return make([]uint32, n)
+	}
+	return arenaGet(a, &a.u32s, n, true)
+}
+
+// PutUint32s returns a uint32 buffer to the arena.
+func (a *Arena) PutUint32s(buf []uint32) {
+	if a == nil {
+		return
+	}
+	arenaPut(a, &a.u32s, buf)
+}
+
+// Uint64s returns a zeroed uint64 buffer of length n — presence
+// bitmaps, and (reinterpreted) the pointer-free bucket arrays of the
+// chained table and the CHT's bitmap groups.
+func (a *Arena) Uint64s(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if a == nil {
+		return make([]uint64, n)
+	}
+	return arenaGet(a, &a.u64s, n, true)
+}
+
+// PutUint64s returns a uint64 buffer to the arena.
+func (a *Arena) PutUint64s(buf []uint64) {
+	if a == nil {
+		return
+	}
+	arenaPut(a, &a.u64s, buf)
 }
 
 // Outstanding returns the number of arena buffers handed out but not
@@ -105,42 +299,98 @@ func (a *Arena) Outstanding() int64 {
 	return a.gets.Load() - a.puts.Load()
 }
 
-// Ints returns a zeroed int buffer of length n (histograms rely on
-// starting at zero).
-func (a *Arena) Ints(n int) []int {
-	if n == 0 {
-		return nil
+// Destroy returns every off-heap region parked in the arena's
+// freelists to the OS. Buffers still outstanding are unaffected (they
+// are returned to the OS on their Put, since the freelists are gone
+// only momentarily — a subsequent Get simply maps fresh regions).
+// Heap-mode pools are left to the GC. Harnesses with per-case private
+// arenas call Destroy after the Outstanding check so the off-heap
+// balance returns to its pre-case level.
+func (a *Arena) Destroy() {
+	if a == nil {
+		return
 	}
-	c := classFor(n)
-	if a == nil || c >= maxClass {
-		return make([]int, n)
-	}
-	a.gets.Add(1)
-	if v := a.ints[c].Get(); v != nil {
-		p := v.(*[]int)
-		buf := (*p)[:n]
-		*p = nil
-		a.intHeaders.Put(p)
-		clear(buf)
-		return buf
-	}
-	return make([]int, n, 1<<c)
+	destroyClass(a, &a.tuples)
+	destroyClass(a, &a.ints)
+	destroyClass(a, &a.u32s)
+	destroyClass(a, &a.u64s)
+	a.guardMu.Lock()
+	a.parked = nil
+	a.guardMu.Unlock()
 }
 
-// PutInts returns an int buffer to the arena.
-func (a *Arena) PutInts(buf []int) {
-	if a == nil || cap(buf) == 0 {
+func destroyClass[T any](a *Arena, cs *classSet[T]) {
+	a.flMu.Lock()
+	defer a.flMu.Unlock()
+	for c := range cs.free {
+		for _, buf := range cs.free[c] {
+			offheap.Free(buf)
+		}
+		cs.free[c] = nil
+	}
+}
+
+// debugGuard enables the double-free guard. On by default under the
+// race detector (see guard_race.go); tests flip it with SetDebugGuard.
+var debugGuard atomic.Bool
+
+// SetDebugGuard enables or disables the arena double-free guard and
+// returns the previous state. The guard costs a mutexed map operation
+// per Get/Put, so it stays off in production builds.
+func SetDebugGuard(on bool) (prev bool) {
+	prev = debugGuard.Load()
+	debugGuard.Store(on)
+	return prev
+}
+
+// guardOnGet retires a buffer's parked record: the address is live
+// again, so a later Put is legitimate. Fresh allocations also pass
+// through here, clearing stale records when the allocator reuses an
+// address whose pooled buffer the GC reclaimed.
+func guardOnGet[T any](a *Arena, buf []T) {
+	if !debugGuard.Load() || cap(buf) == 0 {
 		return
 	}
-	c := bits.Len(uint(cap(buf))) - 1
-	if c >= maxClass {
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(buf[:cap(buf)])))
+	a.guardMu.Lock()
+	if a.parked != nil {
+		delete(a.parked, base)
+	}
+	a.guardMu.Unlock()
+}
+
+// guardOnPut records a buffer's release site and panics when the same
+// buffer is released twice without an intervening Get.
+func guardOnPut[T any](a *Arena, buf []T) {
+	if !debugGuard.Load() || cap(buf) == 0 {
 		return
 	}
-	a.puts.Add(1)
-	p, _ := a.intHeaders.Get().(*[]int)
-	if p == nil {
-		p = new([]int)
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(buf[:cap(buf)])))
+	origin := guardOrigin()
+	a.guardMu.Lock()
+	if a.parked == nil {
+		a.parked = make(map[uintptr]string)
 	}
-	*p = buf[:0]
-	a.ints[c].Put(p)
+	if first, dup := a.parked[base]; dup {
+		a.guardMu.Unlock()
+		panic(fmt.Sprintf("exec: double free of arena buffer %#x: first returned at %s, returned again at %s",
+			base, first, origin))
+	}
+	a.parked[base] = origin
+	a.guardMu.Unlock()
+}
+
+// guardOrigin walks up past the arena internals to the caller that
+// issued the Put.
+func guardOrigin() string {
+	for skip := 2; skip < 10; skip++ {
+		_, file, line, ok := runtime.Caller(skip)
+		if !ok {
+			break
+		}
+		if !strings.HasSuffix(file, "internal/exec/arena.go") {
+			return fmt.Sprintf("%s:%d", file, line)
+		}
+	}
+	return "unknown"
 }

@@ -53,7 +53,7 @@ func TestArenaHeaderDoesNotPinBuffer(t *testing.T) {
 	if buf == nil {
 		t.Fatal("pooled buffer not returned")
 	}
-	if p, _ := a.tupleHeaders.Get().(*[]tuple.Tuple); p != nil && *p != nil {
+	if p, _ := a.tuples.headers.Get().(*[]tuple.Tuple); p != nil && *p != nil {
 		t.Fatal("parked header still references the handed-out buffer")
 	}
 }

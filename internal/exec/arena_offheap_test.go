@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"mmjoin/internal/offheap"
+	"mmjoin/internal/tuple"
+)
+
+// TestArenaOffHeapRoundTrip drives the off-heap mode through a full
+// Get/Put/Get/Destroy cycle and checks region accounting returns to its
+// baseline.
+func TestArenaOffHeapRoundTrip(t *testing.T) {
+	a := NewArenaOffHeap()
+	if !a.OffHeap() {
+		t.Skip("offheap unavailable; heap fallback covered by the standard arena tests")
+	}
+	base := offheap.Outstanding()
+	const n = 1 << 20 // 8 MiB of tuples — well above offheapMinBytes
+	buf := a.Tuples(n)
+	if len(buf) != n {
+		t.Fatalf("len = %d, want %d", len(buf), n)
+	}
+	if !offheap.IsOffHeapSlice(buf) {
+		t.Skip("mmap declined in this environment; nothing off-heap to test")
+	}
+	buf[0] = tuple.Tuple{Key: 1, Payload: 2}
+	buf[n-1] = tuple.Tuple{Key: 3, Payload: 4}
+	a.PutTuples(buf)
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0", got)
+	}
+	// The region is parked, not unmapped: a warm Get reuses it.
+	buf2 := a.Tuples(n / 2)
+	if !offheap.IsOffHeapSlice(buf2) {
+		t.Fatal("warm Get did not reuse the parked off-heap region")
+	}
+	a.PutTuples(buf2)
+
+	// Zeroed classes really come back zeroed through the freelist.
+	ints := a.Uint64s(1 << 17)
+	if offheap.IsOffHeapSlice(ints) {
+		for i := 0; i < len(ints); i += 997 {
+			ints[i] = ^uint64(0)
+		}
+		a.PutUint64s(ints)
+		ints2 := a.Uint64s(1 << 17)
+		for i := range ints2 {
+			if ints2[i] != 0 {
+				t.Fatalf("recycled Uint64s not zeroed at %d", i)
+			}
+		}
+		a.PutUint64s(ints2)
+	} else {
+		a.PutUint64s(ints)
+	}
+
+	a.Destroy()
+	if got := offheap.Outstanding(); got != base {
+		t.Fatalf("off-heap regions after Destroy = %d, want %d\n%s", got, base, offheap.LeakReport(8))
+	}
+}
+
+// TestArenaOffHeapFallback forces the allocator off and checks the
+// off-heap arena degrades to plain heap recycling with balanced
+// accounting — the CI heap-fallback matrix property.
+func TestArenaOffHeapFallback(t *testing.T) {
+	prev := offheap.SetEnabled(false)
+	defer offheap.SetEnabled(prev)
+	a := NewArenaOffHeap()
+	if a.OffHeap() {
+		t.Fatal("arena claims off-heap mode while the allocator is disabled")
+	}
+	buf := a.Tuples(1 << 20)
+	if offheap.IsOffHeapSlice(buf) {
+		t.Fatal("got an off-heap region from a disabled allocator")
+	}
+	a.PutTuples(buf)
+	u := a.Uint32s(1 << 18)
+	a.PutUint32s(u)
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0", got)
+	}
+}
+
+// TestArenaDoubleFreePanics is the satellite regression test: a second
+// PutTuples of the same buffer must panic with both release sites when
+// the guard is armed.
+func TestArenaDoubleFreePanics(t *testing.T) {
+	defer SetDebugGuard(SetDebugGuard(true))
+	a := NewArena()
+	buf := a.Tuples(1 << 10)
+	a.PutTuples(buf)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double PutTuples did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "double free") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+		if !strings.Contains(msg, "arena_offheap_test.go") {
+			t.Fatalf("panic does not name the release site: %v", r)
+		}
+	}()
+	a.PutTuples(buf)
+}
+
+// TestArenaDoubleFreeGuardClearsOnGet checks a Get re-arms the buffer:
+// Put → Get → Put is the legitimate lifecycle and must not trip the
+// guard.
+func TestArenaDoubleFreeGuardClearsOnGet(t *testing.T) {
+	defer SetDebugGuard(SetDebugGuard(true))
+	a := NewArena()
+	buf := a.Tuples(1 << 10)
+	a.PutTuples(buf)
+	buf2 := a.Tuples(1 << 10)
+	a.PutTuples(buf2) // same backing array, re-armed by the Get
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0", got)
+	}
+}
+
+// TestArenaUintClasses covers the new uint32/uint64 classes' zeroing
+// and recycling contract in heap mode.
+func TestArenaUintClasses(t *testing.T) {
+	a := NewArena()
+	u32 := a.Uint32s(100)
+	for i := range u32 {
+		if u32[i] != 0 {
+			t.Fatal("fresh Uint32s not zeroed")
+		}
+		u32[i] = uint32(i) + 1
+	}
+	a.PutUint32s(u32)
+	u32b := a.Uint32s(120)
+	for i := range u32b {
+		if u32b[i] != 0 {
+			t.Fatalf("recycled Uint32s not zeroed at %d", i)
+		}
+	}
+	a.PutUint32s(u32b)
+
+	u64 := a.Uint64s(65)
+	u64[64] = 7
+	a.PutUint64s(u64)
+	u64b := a.Uint64s(65)
+	if u64b[64] != 0 {
+		t.Fatal("recycled Uint64s not zeroed")
+	}
+	a.PutUint64s(u64b)
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0", got)
+	}
+}

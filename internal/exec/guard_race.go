@@ -1,0 +1,9 @@
+//go:build race
+
+package exec
+
+// Race builds run every test suite with the arena double-free guard on:
+// the guard's cost profile (a mutexed map op per Get/Put) matches the
+// race detector's, and a double release is exactly the class of bug a
+// race build exists to surface.
+func init() { debugGuard.Store(true) }

@@ -238,8 +238,12 @@ func TestArenaOutstanding(t *testing.T) {
 		t.Fatalf("outstanding = %d after balanced puts, want 0", got)
 	}
 	// Double release drives the balance negative — the detector's
-	// signal for a Put of a buffer the arena never handed out.
+	// signal for a Put of a buffer the arena never handed out. The
+	// double-free guard (armed in race builds) panics on exactly this,
+	// so stand it down for the intentional violation.
+	prevGuard := SetDebugGuard(false)
 	a.PutInts(ints)
+	SetDebugGuard(prevGuard)
 	if got := a.Outstanding(); got != -1 {
 		t.Fatalf("outstanding = %d after double release, want -1", got)
 	}

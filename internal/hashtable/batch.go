@@ -3,6 +3,7 @@ package hashtable
 import (
 	"math/bits"
 	"sync/atomic"
+	"unsafe"
 
 	"mmjoin/internal/tuple"
 )
@@ -231,6 +232,10 @@ func (t *ChainedTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s 
 	if len(buckets) == 0 {
 		return
 	}
+	// Worst case one overflow bucket per insert; growing up front keeps
+	// the chain walks below relocation-free, so the bucket pointer held
+	// in b stays valid across newOverflow calls.
+	t.ensureOverflowSpace(n)
 	mask := uint64(len(buckets) - 1)
 	checkSpan(len(payloads), n)
 	payloads = payloads[:n]
@@ -243,22 +248,22 @@ func (t *ChainedTable) BuildBatch(keys []tuple.Key, payloads []tuple.Payload, s 
 				b.meta = uint32(cnt + 1)
 				break
 			}
-			if b.next == nil {
-				//mmjoin:allow(hotalloc) overflow arena grows amortized; ReserveOverflow pre-sizes it for known chains
-				arena := append(t.arena, chainedBucket{})
-				t.arena = arena
-				//mmjoin:allow(perfgate) cold overflow-growth path: len-1 of a slice just appended to is always in range, but prove does not model append result lengths
-				b.next = &arena[len(arena)-1]
+			if b.next == 0 {
+				//mmjoin:allow(perfgate) newOverflow's reslice bound is guaranteed by ensureOverflowSpace(n) above; the check runs only on the rare overflow-allocation path
+				b.next = t.newOverflow()
 			}
-			b = b.next
+			//mmjoin:allow(perfgate) next is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+			b = &t.arena[b.next-1]
 		}
 	}
 	t.n += n
 }
 
 // BuildBatchConcurrent inserts the batch under per-bucket latches, the
-// batched equivalent of InsertConcurrent. As with the scalar path the
-// global count is not maintained; call FinishConcurrentBuild after all
+// batched equivalent of InsertConcurrent. Overflow buckets are claimed
+// from the PrepareConcurrent reservation, which must have been set up
+// before the parallel build phase. As with the scalar path the global
+// count is not maintained; call FinishConcurrentBuild after all
 // builders complete.
 //
 //mmjoin:hotpath
@@ -294,12 +299,11 @@ func (t *ChainedTable) BuildBatchConcurrent(keys []tuple.Key, payloads []tuple.P
 				}
 				break
 			}
-			if b.next == nil {
-				//mmjoin:allow(hotalloc) overflow buckets must be heap-allocated under concurrency, matching InsertConcurrent
-				//mmjoin:allow(perfgate) the overflow bucket must outlive the call and be visible to concurrent readers — this escape is the allocation the scalar InsertConcurrent makes too
-				b.next = &chainedBucket{}
+			if b.next == 0 {
+				b.next = t.newOverflowConcurrent()
 			}
-			b = b.next
+			//mmjoin:allow(perfgate) next is a 1-based link into the PrepareConcurrent reservation, in range by construction; prove cannot see the link invariant
+			b = &t.arena[b.next-1]
 		}
 		atomic.StoreUint32(&head.meta, atomic.LoadUint32(&head.meta)&^uint32(chainedLatchBit))
 	}
@@ -334,16 +338,25 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 		return
 	}
 	mask := uint64(len(buckets) - 1)
+	arena := t.arena
+	pfd := prefetchDist()
 	// Gather pass: one independent head-bucket load per lane, issued
 	// back-to-back so the out-of-order core keeps the maximum number of
-	// cache misses in flight. The loaded meta word both warms the bucket
+	// cache misses in flight, preceded by an explicit prefetch hint
+	// pfd lanes ahead to extend that overlap beyond the core's
+	// out-of-order window. The loaded meta word both warms the bucket
 	// line for round 0 and feeds it the in-bucket count.
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&buckets[h[p&(BatchSize-1)]&mask]))
+		}
 		b := &buckets[h[li]&mask]
 		ptrs[li] = b
 		slots[li] = uint64(b.meta)
 	}
-	// Round 0 runs on warm lines with the pre-loaded meta.
+	// Round 0 runs on warm lines with the pre-loaded meta. A surviving
+	// lane's next overflow bucket is prefetched the moment its link is
+	// read, so the following round runs on warm lines too.
 	nn := 0
 	for li := 0; li < n; li++ {
 		b := ptrs[li]
@@ -359,8 +372,13 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 				break
 			}
 		}
-		if !hit && b.next != nil {
-			ptrs[li] = b.next
+		if nx := b.next; !hit && nx != 0 {
+			//mmjoin:allow(perfgate) nx is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+			nb := &arena[nx-1]
+			if pfd > 0 {
+				pf(unsafe.Pointer(nb))
+			}
+			ptrs[li] = nb
 			lanes[nn&(BatchSize-1)] = int32(li)
 			nn++
 		}
@@ -389,8 +407,13 @@ func (t *ChainedTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads [
 					break
 				}
 			}
-			if !hit && b.next != nil {
-				ptrs[li] = b.next
+			if nx := b.next; !hit && nx != 0 {
+				//mmjoin:allow(perfgate) nx is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+				nb := &arena[nx-1]
+				if pfd > 0 {
+					pf(unsafe.Pointer(nb))
+				}
+				ptrs[li] = nb
 				lanes[na&(BatchSize-1)] = int32(li)
 				na++
 			}
@@ -421,10 +444,15 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 		return
 	}
 	mask := uint64(len(buckets) - 1)
+	arena := t.arena
+	pfd := prefetchDist()
 	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
-	// Gather pass: see LookupBatch.
+	// Gather pass: see LookupBatch (including the pfd-ahead prefetch).
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&buckets[h[p&(BatchSize-1)]&mask]))
+		}
 		b := &buckets[h[li]&mask]
 		ptrs[li] = b
 		slots[li] = uint64(b.meta)
@@ -445,8 +473,13 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 				break
 			}
 		}
-		if !hit && b.next != nil {
-			ptrs[li] = b.next
+		if nx := b.next; !hit && nx != 0 {
+			//mmjoin:allow(perfgate) nx is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+			nb := &arena[nx-1]
+			if pfd > 0 {
+				pf(unsafe.Pointer(nb))
+			}
+			ptrs[li] = nb
 			lanes[nn&(BatchSize-1)] = int32(li)
 			nn++
 		}
@@ -470,8 +503,13 @@ func (t *ChainedTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pa
 					break
 				}
 			}
-			if !hit && b.next != nil {
-				ptrs[li] = b.next
+			if nx := b.next; !hit && nx != 0 {
+				//mmjoin:allow(perfgate) nx is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+				nb := &arena[nx-1]
+				if pfd > 0 {
+					pf(unsafe.Pointer(nb))
+				}
+				ptrs[li] = nb
 				lanes[na&(BatchSize-1)] = int32(li)
 				na++
 			}
@@ -596,10 +634,16 @@ func (t *LinearTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads []
 	checkSpan(len(t.payloads), len(tk))
 	tp := t.payloads[:len(tk)]
 	mask := uint64(len(tk) - 1)
+	pfd := prefetchDist()
 	// Gather pass: load every lane's home slot key — one independent
 	// cache miss per lane, issued back-to-back so the out-of-order core
-	// keeps the maximum number of misses in flight.
+	// keeps the maximum number of misses in flight, preceded by an
+	// explicit prefetch hint pfd lanes ahead to extend that overlap
+	// beyond the core's out-of-order window.
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&tk[h[p&(BatchSize-1)]&mask]))
+		}
 		i := h[li] & mask
 		slots[li] = i
 		curk[li] = tk[i&mask]
@@ -677,8 +721,12 @@ func (t *LinearTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Pay
 	mask := uint64(len(tk) - 1)
 	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
-	// Gather pass: see LookupBatch.
+	pfd := prefetchDist()
+	// Gather pass: see LookupBatch (including the pfd-ahead prefetch).
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&tk[h[p&(BatchSize-1)]&mask]))
+		}
 		i := h[li] & mask
 		slots[li] = i
 		curk[li] = tk[i&mask]
@@ -819,8 +867,13 @@ func (t *RobinHoodTable) LookupBatch(keys []tuple.Key, s *BatchScratch, payloads
 	tp := t.payloads[:len(tk)]
 	td := t.dist[:len(tk)]
 	mask := uint64(len(tk) - 1)
-	// Gather pass, as in LinearTable.LookupBatch.
+	pfd := prefetchDist()
+	// Gather pass, as in LinearTable.LookupBatch (including the
+	// pfd-ahead prefetch).
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&tk[h[p&(BatchSize-1)]&mask]))
+		}
 		i := h[li] & mask
 		slots[li] = i
 		curk[li] = tk[i&mask]
@@ -907,7 +960,12 @@ func (t *RobinHoodTable) ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.
 	mask := uint64(len(tk) - 1)
 	checkSpan(len(probePayloads), n)
 	probePayloads = probePayloads[:n]
+	pfd := prefetchDist()
+	// Gather pass with the pfd-ahead prefetch; see LookupBatch.
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&tk[h[p&(BatchSize-1)]&mask]))
+		}
 		i := h[li] & mask
 		slots[li] = i
 		curk[li] = tk[i&mask]

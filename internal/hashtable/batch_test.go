@@ -232,6 +232,7 @@ func TestBuildBatchConcurrentMatchesInsert(t *testing.T) {
 	}
 	var s BatchScratch
 	ct := NewChainedTable(n, hashfn.Multiplicative)
+	ct.PrepareConcurrent()
 	lt := NewLinearTable(n, hashfn.Multiplicative)
 	at := NewArrayTable(0, n)
 	runBatched(n, func(lo, hi int) {
@@ -299,13 +300,13 @@ func TestChainedResetRebuildAllocationFree(t *testing.T) {
 		t.Fatalf("len after Reset = %d, want 0", ct.Len())
 	}
 	for i := range ct.buckets {
-		if ct.buckets[i].meta != 0 || ct.buckets[i].next != nil {
+		if ct.buckets[i].meta != 0 || ct.buckets[i].next != 0 {
 			t.Fatalf("bucket %d not cleared by Reset", i)
 		}
 	}
 	for i := range ct.arena[:cap(ct.arena)] {
 		b := &ct.arena[:cap(ct.arena)][i]
-		if b.meta != 0 || b.next != nil {
+		if b.meta != 0 || b.next != 0 {
 			t.Fatalf("arena slot %d keeps stale state after Reset", i)
 		}
 	}

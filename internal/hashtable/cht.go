@@ -3,6 +3,7 @@ package hashtable
 import (
 	"math/bits"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/tuple"
 )
@@ -35,6 +36,14 @@ type CHT struct {
 	ovKeys    []tuple.Key
 	ovIdx     map[tuple.Key]int32
 	ovMatched []uint64
+
+	// Arena-backed storage (nil a means plain heap allocation): the
+	// group array is viewed over a uint64 buffer kept in groupsRaw, the
+	// dense array is drawn from the arena's tuple class. The overflow
+	// map stays on the heap — it is empty for dense keys, and a Go map
+	// cannot live off-heap anyway.
+	a         *exec.Arena
+	groupsRaw []uint64
 }
 
 // chtGroup interleaves 32 bitmap bits with the running population count
@@ -131,6 +140,23 @@ func (t *CHT) SizeBytes() int64 {
 	return int64(len(t.groups))*8 + int64(len(t.array))*tuple.Bytes
 }
 
+// Free returns arena-drawn storage to the arena; the table must not be
+// used afterwards. A no-op for heap-backed tables and idempotent.
+func (t *CHT) Free() {
+	if t.a == nil {
+		return
+	}
+	if t.groupsRaw != nil {
+		t.a.PutUint64s(t.groupsRaw)
+		t.groupsRaw = nil
+		t.groups = nil
+	}
+	if t.array != nil {
+		t.a.PutTuples(t.array)
+		t.array = nil
+	}
+}
+
 // OverflowLen reports how many tuples spilled past the displacement
 // bound (diagnostics and tests).
 func (t *CHT) OverflowLen() int {
@@ -157,6 +183,14 @@ type CHTBuilder struct {
 // bitmap groups; it is clamped to keep each region at least one group
 // wide.
 func NewCHTBuilder(n, regions int, hash hashfn.Func) *CHTBuilder {
+	return NewCHTBuilderArena(n, regions, hash, nil)
+}
+
+// NewCHTBuilderArena is NewCHTBuilder with the finished table's bitmap
+// groups and dense array drawn from the arena (possibly off-heap; both
+// are pointer-free). The caller owns the storage and must call the
+// table's Free when done; a nil arena gives plain heap allocation.
+func NewCHTBuilderArena(n, regions int, hash hashfn.Func, a *exec.Arena) *CHTBuilder {
 	checkCapacity(n)
 	if hash == nil {
 		hash = hashfn.Identity
@@ -174,12 +208,21 @@ func NewCHTBuilder(n, regions int, hash hashfn.Func) *CHTBuilder {
 		regions >>= 1
 	}
 	t := &CHT{
-		groups:   make([]chtGroup, groupCount),
-		array:    make([]tuple.Tuple, 0, n),
 		overflow: make(map[tuple.Key][]tuple.Payload),
 		mask:     uint64(bucketCount - 1),
 		hash:     hash,
 		hashB:    hashfn.BatchFor(hash),
+		a:        a,
+	}
+	if a != nil {
+		t.groupsRaw = a.Uint64s(groupCount) // zeroed per contract
+		t.groups = groupsFrom(t.groupsRaw, groupCount)
+		// Tuples are handed out with arbitrary contents, which is fine:
+		// the dense array is append-only up to n, never read past len.
+		t.array = a.Tuples(n)[:0]
+	} else {
+		t.groups = make([]chtGroup, groupCount)
+		t.array = make([]tuple.Tuple, 0, n)
 	}
 	return &CHTBuilder{
 		table:     t,
@@ -191,6 +234,12 @@ func NewCHTBuilder(n, regions int, hash hashfn.Func) *CHTBuilder {
 
 // Regions returns the actual region count after alignment clamping.
 func (b *CHTBuilder) Regions() int { return b.regions }
+
+// Free releases the under-construction table's arena storage. Because
+// Finalize returns the same *CHT the builder owns, a deferred
+// builder.Free() also covers the finalized table (Free is idempotent),
+// so join error paths before and after Finalize need only one call.
+func (b *CHTBuilder) Free() { b.table.Free() }
 
 // RegionOf returns the region index a key's bucket falls into; the CHTJ
 // join uses it to partition the build side before calling LoadRegion.

@@ -229,6 +229,11 @@ func TestChainedConcurrentBuild(t *testing.T) {
 	const n = 1 << 13
 	const workers = 8
 	ct := NewChainedTable(n/4, hashfn.Identity) // undersized: forces chains
+	// The PrepareConcurrent reservation covers the declared capacity;
+	// this build intentionally over-inserts 4x, so reserve for the real
+	// tuple count first.
+	ct.ReserveOverflow((n+1)/2 + 1)
+	ct.PrepareConcurrent()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -3,6 +3,7 @@ package hashtable
 import (
 	"sync/atomic"
 
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/tuple"
 )
@@ -24,6 +25,10 @@ type LinearTable struct {
 	hashB    hashfn.BatchFunc
 	n        int64
 	matched  []uint64 // slot-mark bitmap; nil until EnableMatchTracking
+
+	// a is the arena the key/payload arrays were drawn from (nil for
+	// plain heap allocation); Free returns them.
+	a *exec.Arena
 }
 
 // DefaultLinearLoadFactor is the fill grade the table is sized for.
@@ -40,6 +45,20 @@ func NewLinearTable(n int, hash hashfn.Func) *LinearTable {
 // NewLinearTableLoadFactor creates a table for n tuples sized so the
 // fill grade stays at or below load.
 func NewLinearTableLoadFactor(n int, load float64, hash hashfn.Func) *LinearTable {
+	return NewLinearTableLoadFactorArena(n, load, hash, nil)
+}
+
+// NewLinearTableArena is NewLinearTable with the slot arrays drawn from
+// the arena (possibly off-heap; both arrays are pointer-free uint32
+// words). The caller owns the storage and must call Free when done; a
+// nil arena gives plain heap allocation.
+func NewLinearTableArena(n int, hash hashfn.Func, a *exec.Arena) *LinearTable {
+	return NewLinearTableLoadFactorArena(n, DefaultLinearLoadFactor, hash, a)
+}
+
+// NewLinearTableLoadFactorArena is NewLinearTableLoadFactor with
+// arena-drawn slot arrays; see NewLinearTableArena.
+func NewLinearTableLoadFactorArena(n int, load float64, hash hashfn.Func, a *exec.Arena) *LinearTable {
 	checkCapacity(n)
 	if hash == nil {
 		hash = hashfn.Identity
@@ -48,13 +67,34 @@ func NewLinearTableLoadFactor(n int, load float64, hash hashfn.Func) *LinearTabl
 		load = DefaultLinearLoadFactor
 	}
 	slots := NextPow2(int(float64(n)/load) + 1)
-	return &LinearTable{
-		keys:     make([]uint32, slots),
-		payloads: make([]tuple.Payload, slots),
-		mask:     uint64(slots - 1),
-		hash:     hash,
-		hashB:    hashfn.BatchFor(hash),
+	t := &LinearTable{
+		mask:  uint64(slots - 1),
+		hash:  hash,
+		hashB: hashfn.BatchFor(hash),
+		a:     a,
 	}
+	if a != nil {
+		// Payload is a uint32 alias, so both arrays come straight from
+		// the arena's zeroed uint32 class.
+		t.keys = a.Uint32s(slots)[:slots]
+		t.payloads = a.Uint32s(slots)[:slots]
+	} else {
+		t.keys = make([]uint32, slots)
+		t.payloads = make([]tuple.Payload, slots)
+	}
+	return t
+}
+
+// Free returns arena-drawn slot arrays to the arena; the table must not
+// be used afterwards. A no-op for heap-backed tables and idempotent.
+func (t *LinearTable) Free() {
+	if t.a == nil || t.keys == nil {
+		return
+	}
+	t.a.PutUint32s(t.keys)
+	t.a.PutUint32s(t.payloads)
+	t.keys = nil
+	t.payloads = nil
 }
 
 // Slots returns the slot count (for space accounting and tests).

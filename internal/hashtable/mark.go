@@ -59,7 +59,8 @@ func (t *ChainedTable) EnableMatchTracking() {}
 // entry's in-bucket mark bit is set with an atomic OR, safe for
 // concurrent probes.
 func (t *ChainedTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
-	for b := &t.buckets[t.hash(k)&t.mask]; b != nil; b = b.next {
+	b := &t.buckets[t.hash(k)&t.mask]
+	for {
 		cnt := int(atomic.LoadUint32(&b.meta) & chainedCountMask)
 		for i := 0; i < cnt; i++ {
 			if b.tuples[i].Key == k {
@@ -67,15 +68,19 @@ func (t *ChainedTable) LookupMark(k tuple.Key) (tuple.Payload, bool) {
 				return b.tuples[i].Payload, true
 			}
 		}
+		if b.next == 0 {
+			return 0, false
+		}
+		b = &t.arena[b.next-1]
 	}
-	return 0, false
 }
 
 // ForEachUnmatched invokes fn for every stored tuple whose mark bit was
 // never set. Call only after all probes completed.
 func (t *ChainedTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
 	for bi := range t.buckets {
-		for b := &t.buckets[bi]; b != nil; b = b.next {
+		b := &t.buckets[bi]
+		for {
 			meta := b.meta
 			cnt := int(meta & chainedCountMask)
 			for i := 0; i < cnt; i++ {
@@ -83,6 +88,10 @@ func (t *ChainedTable) ForEachUnmatched(fn func(tuple.Key, tuple.Payload)) {
 					fn(b.tuples[i].Key, b.tuples[i].Payload)
 				}
 			}
+			if b.next == 0 {
+				break
+			}
+			b = &t.arena[b.next-1]
 		}
 	}
 }

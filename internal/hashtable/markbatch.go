@@ -3,6 +3,7 @@ package hashtable
 import (
 	"math/bits"
 	"sync/atomic"
+	"unsafe"
 
 	"mmjoin/internal/tuple"
 )
@@ -45,9 +46,15 @@ func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloa
 		return
 	}
 	mask := uint64(len(buckets) - 1)
-	// Gather pass as in LookupBatch, with an atomic meta load: other
-	// workers may be OR-ing mark bits into the same word concurrently.
+	arena := t.arena
+	pfd := prefetchDist()
+	// Gather pass as in LookupBatch (including the pfd-ahead prefetch),
+	// with an atomic meta load: other workers may be OR-ing mark bits
+	// into the same word concurrently.
 	for li := 0; li < n; li++ {
+		if p := li + pfd; pfd > 0 && p < n {
+			pf(unsafe.Pointer(&buckets[h[p&(BatchSize-1)]&mask]))
+		}
 		b := &buckets[h[li]&mask]
 		ptrs[li] = b
 		slots[li] = uint64(atomic.LoadUint32(&b.meta))
@@ -68,8 +75,13 @@ func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloa
 				break
 			}
 		}
-		if !hit && b.next != nil {
-			ptrs[li] = b.next
+		if nx := b.next; !hit && nx != 0 {
+			//mmjoin:allow(perfgate) nx is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+			nb := &arena[nx-1]
+			if pfd > 0 {
+				pf(unsafe.Pointer(nb))
+			}
+			ptrs[li] = nb
 			lanes[nn&(BatchSize-1)] = int32(li)
 			nn++
 		}
@@ -94,8 +106,13 @@ func (t *ChainedTable) LookupBatchMark(keys []tuple.Key, s *BatchScratch, payloa
 					break
 				}
 			}
-			if !hit && b.next != nil {
-				ptrs[li] = b.next
+			if nx := b.next; !hit && nx != 0 {
+				//mmjoin:allow(perfgate) nx is a 1-based link into the overflow arena, in range by construction; prove cannot see the link invariant
+				nb := &arena[nx-1]
+				if pfd > 0 {
+					pf(unsafe.Pointer(nb))
+				}
+				ptrs[li] = nb
 				lanes[na&(BatchSize-1)] = int32(li)
 				na++
 			}

@@ -1,0 +1,41 @@
+package hashtable
+
+import (
+	"unsafe"
+
+	"mmjoin/internal/prefetch"
+)
+
+// PrefetchDist is the software-prefetch look-ahead distance, in lanes,
+// of the batch kernels' gather passes: while resolving lane li, the
+// kernel issues a prefetch hint for lane li+PrefetchDist's first
+// table access, and chain-walking rounds prefetch a surviving lane's
+// next bucket the moment its link is read. The AMAC-style interleaving
+// already overlaps misses up to the core's out-of-order window; the
+// explicit prefetch extends that overlap beyond it. 0 disables all
+// prefetching. The default was picked by the prefetch-distance sweep in
+// the offheap experiment (joinbench -microbench -microdists); it is a
+// plain package variable so the sweep can re-point it between runs —
+// do not change it concurrently with running kernels.
+var PrefetchDist = 8
+
+// prefetchDist resolves the effective distance: 0 on architectures
+// without a prefetch instruction, so the kernels' prefetch branches
+// fold to dead code there.
+//
+//mmjoin:hotpath
+//mmjoin:inline
+func prefetchDist() int {
+	if !prefetch.Supported {
+		return 0
+	}
+	return PrefetchDist
+}
+
+// pf issues a T0 (all cache levels) prefetch hint for p. A hint only:
+// it never faults, so any address — including one the lane will
+// abandon — is safe to pass.
+//
+//mmjoin:hotpath
+//mmjoin:inline
+func pf(p unsafe.Pointer) { prefetch.T0(p) }

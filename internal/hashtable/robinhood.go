@@ -1,6 +1,7 @@
 package hashtable
 
 import (
+	"mmjoin/internal/exec"
 	"mmjoin/internal/hashfn"
 	"mmjoin/internal/tuple"
 )
@@ -25,11 +26,25 @@ type RobinHoodTable struct {
 	hashB    hashfn.BatchFunc
 	n        int
 	matched  []uint64 // slot-mark bitmap; nil until EnableMatchTracking
+
+	// Arena-backed storage (nil a means plain heap allocation). The
+	// dist bytes are viewed over a uint32 arena buffer, kept in distRaw
+	// so Free can return it.
+	a       *exec.Arena
+	distRaw []uint32
 }
 
 // NewRobinHoodTable creates a table for n tuples at the given load
 // factor (<=0 defaults to the linear table's 50%).
 func NewRobinHoodTable(n int, load float64, hash hashfn.Func) *RobinHoodTable {
+	return NewRobinHoodTableArena(n, load, hash, nil)
+}
+
+// NewRobinHoodTableArena is NewRobinHoodTable with the slot arrays
+// drawn from the arena (possibly off-heap; all three are pointer-free).
+// The caller owns the storage and must call Free when done; a nil arena
+// gives plain heap allocation.
+func NewRobinHoodTableArena(n int, load float64, hash hashfn.Func, a *exec.Arena) *RobinHoodTable {
 	checkCapacity(n)
 	if hash == nil {
 		hash = hashfn.Identity
@@ -38,14 +53,38 @@ func NewRobinHoodTable(n int, load float64, hash hashfn.Func) *RobinHoodTable {
 		load = DefaultLinearLoadFactor
 	}
 	slots := NextPow2(int(float64(n)/load) + 1)
-	return &RobinHoodTable{
-		keys:     make([]uint32, slots),
-		payloads: make([]tuple.Payload, slots),
-		dist:     make([]uint8, slots),
-		mask:     uint64(slots - 1),
-		hash:     hash,
-		hashB:    hashfn.BatchFor(hash),
+	t := &RobinHoodTable{
+		mask:  uint64(slots - 1),
+		hash:  hash,
+		hashB: hashfn.BatchFor(hash),
+		a:     a,
 	}
+	if a != nil {
+		t.keys = a.Uint32s(slots)
+		t.payloads = a.Uint32s(slots)
+		t.distRaw = a.Uint32s((slots + 3) / 4) // zeroed per contract
+		t.dist = bytesFrom(t.distRaw, slots)
+	} else {
+		t.keys = make([]uint32, slots)
+		t.payloads = make([]tuple.Payload, slots)
+		t.dist = make([]uint8, slots)
+	}
+	return t
+}
+
+// Free returns arena-drawn slot arrays to the arena; the table must not
+// be used afterwards. A no-op for heap-backed tables and idempotent.
+func (t *RobinHoodTable) Free() {
+	if t.a == nil || t.keys == nil {
+		return
+	}
+	t.a.PutUint32s(t.keys)
+	t.a.PutUint32s(t.payloads)
+	t.a.PutUint32s(t.distRaw)
+	t.keys = nil
+	t.payloads = nil
+	t.dist = nil
+	t.distRaw = nil
 }
 
 // Insert adds one tuple (single-writer).

@@ -85,7 +85,9 @@ func (j *nopChainedJoin) RunContext(ctx context.Context, build, probe tuple.Rela
 
 	bstates := make([]batchState, o.Threads)
 	start := time.Now()
-	ht := hashtable.NewChainedTable(len(build), o.Hash)
+	ht := hashtable.NewChainedTableArena(len(build), o.Hash, o.Arena)
+	defer ht.Free()
+	ht.PrepareConcurrent()
 	err := pool.Run("build", func(w *exec.Worker) {
 		c := buildChunks[w.ID]
 		bs := &bstates[w.ID]

@@ -64,7 +64,8 @@ func (j *chtJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	}
 
 	start := time.Now()
-	builder := hashtable.NewCHTBuilder(len(build), o.Threads, spread)
+	builder := hashtable.NewCHTBuilderArena(len(build), o.Threads, spread, o.Arena)
+	defer builder.Free()
 	regions := builder.Regions()
 
 	// Step 1: partition the build side by target bitmap region.

@@ -82,7 +82,20 @@ type Options struct {
 	// Arena recycles partition buffers, histograms and scratch arrays
 	// across repeated joins. nil means the process-wide exec.Shared
 	// arena; tests needing isolated reuse accounting pass their own.
+	// A non-nil arena additionally backs the join tables' storage
+	// (bucket arrays, slot arrays, presence bitmaps), which the join
+	// returns to the arena before finishing — the leak balance the
+	// differential oracle asserts per case.
 	Arena *exec.Arena
+	// OffHeap places the join's recycled buffers and table storage in
+	// GC-free off-heap arenas: mmap-backed regions (transparent huge
+	// pages advised, explicit huge pages when the kernel grants them)
+	// that the collector never scans, so multi-gigabyte build tables
+	// stop inflating GC mark phases. Implied arena: when Arena is nil,
+	// the process-wide exec.SharedOffHeap arena is used. A no-op (plain
+	// heap fallback with identical results) on platforms without mmap
+	// or when MMJOIN_OFFHEAP=off disables the allocator.
+	OffHeap bool
 	// PhaseHook, when non-nil, is invoked with each phase name as the
 	// execution layer starts it — a tracing point, also used by the
 	// cancellation tests to cancel at an exact phase boundary.
@@ -154,6 +167,9 @@ func (o *Options) normalize() Options {
 	}
 	if out.Geometry.L2Bytes == 0 {
 		out.Geometry = radix.PaperMachine()
+	}
+	if out.OffHeap && out.Arena == nil {
+		out.Arena = exec.SharedOffHeap
 	}
 	return out
 }

@@ -84,7 +84,8 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 	var lt *hashtable.LinearTable
 	var err error
 	if j.array {
-		at = hashtable.NewArrayTable(0, domain)
+		at = hashtable.NewArrayTableArena(0, domain, o.Arena)
+		defer at.Free()
 		err = pool.Run("build", func(w *exec.Worker) {
 			c := buildChunks[w.ID]
 			bs := &bstates[w.ID]
@@ -102,7 +103,8 @@ func (j *nopJoin) RunContext(ctx context.Context, build, probe tuple.Relation, o
 		})
 		at.FinishConcurrentBuild()
 	} else {
-		lt = hashtable.NewLinearTable(len(build), o.Hash)
+		lt = hashtable.NewLinearTableArena(len(build), o.Hash, o.Arena)
+		defer lt.Free()
 		err = pool.Run("build", func(w *exec.Worker) {
 			c := buildChunks[w.ID]
 			bs := &bstates[w.ID]

@@ -1,0 +1,128 @@
+package join
+
+import (
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+)
+
+// TestOffHeapOptionImpliesSharedArena pins the normalize() wiring: the
+// OffHeap flag routes table and buffer storage to the process-wide
+// off-heap arena unless the caller already supplied its own.
+func TestOffHeapOptionImpliesSharedArena(t *testing.T) {
+	o := (&Options{OffHeap: true}).normalize()
+	if o.Arena != exec.SharedOffHeap {
+		t.Fatal("OffHeap without Arena should imply exec.SharedOffHeap")
+	}
+	own := exec.NewArenaOffHeap()
+	o = (&Options{OffHeap: true, Arena: own}).normalize()
+	if o.Arena != own {
+		t.Fatal("explicit Arena must win over the OffHeap default")
+	}
+	o = (&Options{}).normalize()
+	if o.Arena != nil {
+		t.Fatal("default options must keep heap-allocated tables (nil arena)")
+	}
+}
+
+// TestAllJoinsArenaLeakFree runs every algorithm — Table 2 and the
+// ablation registry — against a private off-heap-mode arena and asserts
+// the allocation balance returns to zero afterwards. With an off-heap
+// arena an unfreed join table is invisible to the GC, so this is the
+// leak contract the differential oracle also enforces per case.
+func TestAllJoinsArenaLeakFree(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 11, ProbeSize: 1 << 13, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := append(Algorithms(), AblationAlgorithms()...)
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			a := exec.NewArenaOffHeap()
+			o := Options{Threads: 2, Arena: a, Domain: w.Domain}
+			res, err := spec.New().Run(w.Build, w.Probe, &o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				t.Fatalf("%s: result diverged under arena-backed tables", spec.Name)
+			}
+			if got := a.Outstanding(); got != 0 {
+				t.Fatalf("%s: arena outstanding after join = %d, want 0", spec.Name, got)
+			}
+		})
+	}
+}
+
+// TestSkewSplitArenaLeakFree covers the skew-aware join phase: shared
+// tables and concatenated probe copies must return to the arena on the
+// success path.
+func TestSkewSplitArenaLeakFree(t *testing.T) {
+	w, err := datagen.Generate(datagen.Config{BuildSize: 1 << 11, ProbeSize: 1 << 14, Zipf: 0.99, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(w.Build, w.Probe, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"PRO", "PRL", "PRA", "CPRL"} {
+		alg, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := exec.NewArenaOffHeap()
+		o := Options{Threads: 4, Arena: a, Domain: w.Domain, SplitSkewedTasks: true}
+		res, err := alg.Run(w.Build, w.Probe, &o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+			t.Fatalf("%s: result diverged under skew-split arena run", name)
+		}
+		if got := a.Outstanding(); got != 0 {
+			t.Fatalf("%s: arena outstanding after skew-split join = %d, want 0", name, got)
+		}
+	}
+}
+
+// TestGenerateArenaWorkload materializes a workload from an off-heap
+// arena, joins it, frees it, and checks the balance.
+func TestGenerateArenaWorkload(t *testing.T) {
+	a := exec.NewArenaOffHeap()
+	w, err := datagen.GenerateArena(datagen.Config{BuildSize: 1 << 11, ProbeSize: 1 << 13, Seed: 7}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapW, err := datagen.Generate(datagen.Config{BuildSize: 1 << 11, ProbeSize: 1 << 13, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (Reference{}).Run(heapW.Build, heapW.Probe, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := New("PRO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Threads: 2, Arena: a, Domain: w.Domain}
+	res, err := alg.Run(w.Build, w.Probe, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+		t.Fatal("arena-materialized workload diverged from heap workload")
+	}
+	w.Free()
+	w.Free() // idempotent
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("arena outstanding after workload Free = %d, want 0", got)
+	}
+}

@@ -299,7 +299,7 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 		err = pool.RunQueue("join", sched.NewLIFO(order), func(w *exec.Worker, p int) {
 			wk := states[w.ID]
 			if wk == nil {
-				wk = newWorkerState(j.table, o.Hash, domainPerPart)
+				wk = newWorkerState(j.table, o.Hash, domainPerPart, o.Arena)
 				states[w.ID] = wk
 				w.AddAllocs(1)
 			}
@@ -316,6 +316,7 @@ func (j *radixJoin) RunContext(ctx context.Context, build, probe tuple.Relation,
 				j.joinTaskBatch(w, wk, &sinks[w.ID], bits, wk.buildScratch, wk.probeScratch, bl, pl, op)
 			}
 		})
+		freeWorkerStates(states)
 	}
 	if err != nil {
 		release()
@@ -400,6 +401,7 @@ func (j *radixJoin) opBytes() int64 {
 type workerState struct {
 	kind          tableKind
 	hash          func(tuple.Key) uint64
+	a             *exec.Arena // backs the tables' storage; nil = plain heap
 	chained       *hashtable.ChainedTable
 	chainedCap    int
 	linear        *hashtable.LinearTable
@@ -415,19 +417,50 @@ type workerState struct {
 	probeScratch []tuple.Relation
 }
 
-func newWorkerState(kind tableKind, hash func(tuple.Key) uint64, domainPerPart int) *workerState {
-	wk := &workerState{kind: kind, hash: hash, domainPerPart: domainPerPart}
+func newWorkerState(kind tableKind, hash func(tuple.Key) uint64, domainPerPart int, a *exec.Arena) *workerState {
+	wk := &workerState{kind: kind, hash: hash, domainPerPart: domainPerPart, a: a}
 	if kind == arrayKind {
-		wk.array = hashtable.NewArrayTable(0, domainPerPart)
+		wk.array = hashtable.NewArrayTableArena(0, domainPerPart, a)
 	}
 	return wk
+}
+
+// free returns the worker's cached table storage to the arena. The join
+// phase calls it on success and error exits alike — with an arena-backed
+// (possibly off-heap) run the storage is invisible to the GC, so an
+// unfreed table is a real leak, not garbage.
+func (wk *workerState) free() {
+	if wk.chained != nil {
+		wk.chained.Free()
+		wk.chained = nil
+		wk.chainedCap = 0
+	}
+	if wk.linear != nil {
+		wk.linear.Free()
+		wk.linear = nil
+	}
+	if wk.array != nil {
+		wk.array.Free()
+		wk.array = nil
+	}
+}
+
+func freeWorkerStates(states []*workerState) {
+	for _, wk := range states {
+		if wk != nil {
+			wk.free()
+		}
+	}
 }
 
 // chainedFor returns a chained table sized for n tuples, reusing the
 // cached one when possible.
 func (wk *workerState) chainedFor(n int) *hashtable.ChainedTable {
 	if wk.chained == nil || n > wk.chainedCap {
-		wk.chained = hashtable.NewChainedTable(n, wk.hash)
+		if wk.chained != nil {
+			wk.chained.Free()
+		}
+		wk.chained = hashtable.NewChainedTableArena(n, wk.hash, wk.a)
 		wk.chainedCap = n
 	} else {
 		wk.chained.Reset()
@@ -438,7 +471,10 @@ func (wk *workerState) chainedFor(n int) *hashtable.ChainedTable {
 // linearFor returns a linear-probing table with capacity for n tuples.
 func (wk *workerState) linearFor(n int) *hashtable.LinearTable {
 	if wk.linear == nil || n*2 > wk.linear.Slots() {
-		wk.linear = hashtable.NewLinearTable(n, wk.hash)
+		if wk.linear != nil {
+			wk.linear.Free()
+		}
+		wk.linear = hashtable.NewLinearTableArena(n, wk.hash, wk.a)
 	} else {
 		wk.linear.Reset()
 	}

@@ -30,6 +30,20 @@ type sharedTable struct {
 	array   *hashtable.ArrayTable
 }
 
+// free returns the shared table's arena-drawn storage (a no-op for
+// heap-backed tables).
+func (st *sharedTable) free() {
+	if st.chained != nil {
+		st.chained.Free()
+	}
+	if st.linear != nil {
+		st.linear.Free()
+	}
+	if st.array != nil {
+		st.array.Free()
+	}
+}
+
 // asKindTable returns whichever table is populated behind the kind-path
 // probe contract (non-inner joins; see kind.go).
 func (st *sharedTable) asKindTable() kindProbeTable {
@@ -97,25 +111,25 @@ func planSkewSplit(probeLens []int, order []int, threads int) []skewTask {
 
 // buildSharedTable builds the read-only table for one oversized
 // partition.
-func (j *radixJoin) buildSharedTable(bits uint, frags []tuple.Relation, buildLen, domainPerPart int, hash func(tuple.Key) uint64) *sharedTable {
+func (j *radixJoin) buildSharedTable(bits uint, frags []tuple.Relation, buildLen, domainPerPart int, hash func(tuple.Key) uint64, a *exec.Arena) *sharedTable {
 	st := &sharedTable{}
 	switch j.table {
 	case chainedKind:
-		st.chained = hashtable.NewChainedTable(buildLen, hash)
+		st.chained = hashtable.NewChainedTableArena(buildLen, hash, a)
 		for _, frag := range frags {
 			for _, tp := range frag {
 				st.chained.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
 			}
 		}
 	case linearKind:
-		st.linear = hashtable.NewLinearTable(buildLen, hash)
+		st.linear = hashtable.NewLinearTableArena(buildLen, hash, a)
 		for _, frag := range frags {
 			for _, tp := range frag {
 				st.linear.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
 			}
 		}
 	case arrayKind:
-		st.array = hashtable.NewArrayTable(0, domainPerPart)
+		st.array = hashtable.NewArrayTableArena(0, domainPerPart, a)
 		for _, frag := range frags {
 			for _, tp := range frag {
 				st.array.Insert(tuple.Tuple{Key: tp.Key >> bits, Payload: tp.Payload})
@@ -209,7 +223,7 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	err := pool.RunQueue("skew-prebuild", exec.NewRange(len(splitList)), func(w *exec.Worker, i int) {
 		p := splitList[i]
 		bl := buildLen(p)
-		st := j.buildSharedTable(bits, buildFrags(nil, p), bl, domainPerPart, o.Hash)
+		st := j.buildSharedTable(bits, buildFrags(nil, p), bl, domainPerPart, o.Hash, o.Arena)
 		if o.Kind.padsBuild() {
 			// Marks are set atomically by the concurrent range probes;
 			// the unmatched post-pass runs once after the join phase.
@@ -227,9 +241,12 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	})
 	if err != nil {
 		// Partitions prebuilt before the cancellation hit still hold
-		// arena probe copies; release them or they leak.
+		// arena probe copies and table storage; release them or they leak.
 		for _, probe := range sharedProbe {
 			pool.Arena().PutTuples(probe)
+		}
+		for _, st := range shared {
+			st.free()
 		}
 		return err
 	}
@@ -263,7 +280,7 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 		}
 		wk := states[w.ID]
 		if wk == nil {
-			wk = newWorkerState(j.table, o.Hash, domainPerPart)
+			wk = newWorkerState(j.table, o.Hash, domainPerPart, o.Arena)
 			states[w.ID] = wk
 			w.AddAllocs(1)
 		}
@@ -291,6 +308,10 @@ func (j *radixJoin) runJoinPhaseSkewAware(
 	for _, probe := range sharedProbe {
 		pool.Arena().PutTuples(probe)
 	}
+	for _, st := range shared {
+		st.free()
+	}
+	freeWorkerStates(states)
 	return err
 }
 

@@ -13,7 +13,11 @@
 // counts hits, misses and page walks.
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"mmjoin/internal/offheap"
+)
 
 // Geometry describes one simulated memory hierarchy.
 type Geometry struct {
@@ -63,6 +67,15 @@ func PaperGeometry(pageBytes int64) Geometry {
 	}
 	g.TLB = TLBFor(pageBytes)
 	return g
+}
+
+// HostGeometry returns PaperGeometry at the page size the off-heap
+// allocator actually steers toward on this host: 2 MB when huge pages
+// (MAP_HUGETLB or transparent-huge-page advice) are in play, the OS base
+// page otherwise. It ties the Figure 8 TLB model to the allocator that
+// backs -offheap runs instead of to a hand-picked page size.
+func HostGeometry() Geometry {
+	return PaperGeometry(int64(offheap.PreferredPageBytes()))
 }
 
 // ScaledGeometry shrinks all cache levels by factor (power of two) so

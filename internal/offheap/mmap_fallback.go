@@ -1,0 +1,11 @@
+//go:build !linux
+
+package offheap
+
+const platformSupported = false
+
+// mmapAnon on unsupported platforms always fails; callers fall back to
+// the Go heap.
+func mmapAnon(size int) ([]byte, bool) { return nil, false }
+
+func munmapRegion(b []byte) {}

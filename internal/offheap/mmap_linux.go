@@ -1,0 +1,38 @@
+//go:build linux
+
+package offheap
+
+import "syscall"
+
+const platformSupported = true
+
+// mmapAnon maps size bytes of zeroed anonymous memory, preferring an
+// explicit huge-page mapping for large requests. The returned slice is
+// page-rounded; huge reports whether MAP_HUGETLB succeeded.
+func mmapAnon(size int) (b []byte, huge bool) {
+	const prot = syscall.PROT_READ | syscall.PROT_WRITE
+	if size >= hugePageBytes {
+		hsz := (size + hugePageBytes - 1) &^ (hugePageBytes - 1)
+		// MAP_HUGETLB reserves from the configured hugetlb pool at map
+		// time and fails with ENOMEM when the pool is empty, so a
+		// success here cannot SIGBUS on first touch.
+		if m, err := syscall.Mmap(-1, 0, hsz, prot, syscall.MAP_ANON|syscall.MAP_PRIVATE|syscall.MAP_HUGETLB); err == nil {
+			return m, true
+		}
+	}
+	ps := syscall.Getpagesize()
+	sz := (size + ps - 1) &^ (ps - 1)
+	m, err := syscall.Mmap(-1, 0, sz, prot, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false
+	}
+	if sz >= hugePageBytes {
+		// Best-effort transparent-huge-page advice; EINVAL on kernels
+		// without THP is fine, the mapping still works.
+		_ = syscall.Madvise(m, syscall.MADV_HUGEPAGE)
+	}
+	return m, false
+}
+
+// munmapRegion releases a mapping created by mmapAnon.
+func munmapRegion(b []byte) { _ = syscall.Munmap(b) }

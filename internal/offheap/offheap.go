@@ -1,0 +1,269 @@
+// Package offheap provides mmap-backed allocations that are invisible
+// to the Go garbage collector. The hot gigabytes of a join — relation
+// payloads, hash-table backing arrays, radix partition buffers — are
+// pointer-free arrays the GC nevertheless has to scan (slices of
+// structs containing no pointers are skipped, but the heap they sit on
+// still inflates mark-phase metadata, pacing and RSS). Moving them into
+// anonymous mappings removes them from the GC's world entirely, the
+// same move every C/C++ join implementation in the study gets for free
+// from malloc.
+//
+// # Safety contract
+//
+// Off-heap memory MUST NOT store Go pointers: the collector cannot see
+// them, so the heap objects they reference can be freed underneath
+// them. Every type allocated through this package is required to be
+// pointer-free (tuple.Tuple, uint32, uint64, and the pointer-free
+// bucket structs of internal/hashtable). The exec.Arena size classes
+// built on top only traffic in such types.
+//
+// # Huge pages
+//
+// Allocations of at least 2 MiB first try an explicit MAP_HUGETLB
+// mapping (which fails cleanly when no hugetlb pool is configured) and
+// otherwise fall back to a normal mapping with madvise(MADV_HUGEPAGE),
+// letting transparent huge pages collapse the range. Either way the
+// radix partitioning passes see fewer TLB misses — the Fig. 8 effect
+// the paper measures with 2 MB pages.
+//
+// # Fallback
+//
+// On non-Linux platforms, when MMJOIN_OFFHEAP=off is set, or when mmap
+// fails (restricted containers), every allocation returns nil and the
+// caller falls back to the Go heap. The fallback is exercised in CI so
+// the package never becomes Linux-only-correct.
+package offheap
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// EnvVar disables off-heap allocation when set to "off", "0" or
+// "false" — the switch the CI heap-fallback matrix leg uses.
+const EnvVar = "MMJOIN_OFFHEAP"
+
+// hugePageBytes is the x86-64 huge page size targeted by both the
+// MAP_HUGETLB attempt and the MADV_HUGEPAGE advice.
+const hugePageBytes = 2 << 20
+
+type region struct {
+	mapped []byte // the full page-rounded mapping
+	size   int    // requested bytes
+	huge   bool   // MAP_HUGETLB succeeded
+	origin string // allocation site, for leak and double-free reports
+}
+
+var (
+	mu      sync.Mutex
+	regions = map[uintptr]region{}
+	// freed remembers the first release site of every region address so
+	// a double Free panics with both origins instead of silently
+	// treating the dangling slice as a heap buffer. Entries are dropped
+	// when the address is handed out again by a later mapping.
+	freed = map[uintptr]string{}
+
+	liveCount atomic.Int64
+	liveBytes atomic.Int64
+	hugeBytes atomic.Int64
+
+	disabled atomic.Bool
+)
+
+func init() {
+	switch os.Getenv(EnvVar) {
+	case "off", "0", "false":
+		disabled.Store(true)
+	}
+}
+
+// Available reports whether off-heap allocation can be attempted:
+// the platform supports it and it has not been disabled via EnvVar or
+// SetEnabled.
+func Available() bool { return platformSupported && !disabled.Load() }
+
+// SetEnabled force-enables or -disables off-heap allocation at runtime
+// and returns the previous state. Tests use it to run the heap-fallback
+// path on Linux; it does not release existing regions.
+func SetEnabled(on bool) (prev bool) {
+	prev = !disabled.Load()
+	disabled.Store(!on)
+	return prev
+}
+
+// AllocBytes returns a zeroed off-heap buffer of exactly size bytes
+// (capacity clipped to size so append never walks off the requested
+// length), or nil when off-heap allocation is unavailable or the
+// mapping fails. The caller owns the buffer until FreeBytes.
+func AllocBytes(size int) []byte {
+	if size <= 0 || !Available() {
+		return nil
+	}
+	b, huge := mmapAnon(size)
+	if b == nil {
+		return nil
+	}
+	ptr := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	origin := callerOrigin(2)
+	mu.Lock()
+	regions[ptr] = region{mapped: b, size: size, huge: huge, origin: origin}
+	delete(freed, ptr)
+	mu.Unlock()
+	liveCount.Add(1)
+	liveBytes.Add(int64(len(b)))
+	if huge {
+		hugeBytes.Add(int64(len(b)))
+	}
+	return b[:size:size]
+}
+
+// freePtr releases the region whose data pointer is p. It reports false
+// when p is not (or no longer) an off-heap region — the caller then
+// treats the buffer as ordinary heap memory. A pointer that was already
+// freed panics with both release sites.
+func freePtr(p unsafe.Pointer) bool {
+	ptr := uintptr(p)
+	mu.Lock()
+	r, ok := regions[ptr]
+	if !ok {
+		first := freed[ptr]
+		mu.Unlock()
+		if first != "" {
+			panic(fmt.Sprintf("offheap: double free of region %#x (allocated at %s is gone; first freed at %s, freed again at %s)",
+				ptr, "<unknown>", first, callerOrigin(3)))
+		}
+		return false
+	}
+	delete(regions, ptr)
+	freed[ptr] = callerOrigin(3)
+	mu.Unlock()
+	liveCount.Add(-1)
+	liveBytes.Add(int64(-len(r.mapped)))
+	if r.huge {
+		hugeBytes.Add(int64(-len(r.mapped)))
+	}
+	munmapRegion(r.mapped)
+	return true
+}
+
+// FreeBytes releases a buffer obtained from AllocBytes. It reports
+// false for buffers that are not off-heap regions.
+func FreeBytes(b []byte) bool {
+	if cap(b) == 0 {
+		return false
+	}
+	return freePtr(unsafe.Pointer(unsafe.SliceData(b)))
+}
+
+// Slice allocates a zeroed off-heap slice of n elements of the
+// pointer-free type T, or nil when off-heap allocation is unavailable.
+// T must not contain Go pointers (see the package comment); violating
+// this silently breaks the collector.
+func Slice[T any](n int) []T {
+	var z T
+	esz := int(unsafe.Sizeof(z))
+	if n <= 0 || esz == 0 {
+		return nil
+	}
+	b := AllocBytes(n * esz)
+	if b == nil {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// Free releases a slice obtained from Slice. The argument must be the
+// original slice (same base pointer); a reslice of the front works, a
+// reslice past the front does not. It reports false for heap slices,
+// letting callers route mixed populations.
+func Free[T any](s []T) bool {
+	if cap(s) == 0 {
+		return false
+	}
+	return freePtr(unsafe.Pointer(unsafe.SliceData(s[:cap(s)])))
+}
+
+// IsOffHeap reports whether p is the base pointer of a live off-heap
+// region.
+func IsOffHeap(p unsafe.Pointer) bool {
+	mu.Lock()
+	_, ok := regions[uintptr(p)]
+	mu.Unlock()
+	return ok
+}
+
+// IsOffHeapSlice reports whether s is backed by a live off-heap region.
+func IsOffHeapSlice[T any](s []T) bool {
+	if cap(s) == 0 {
+		return false
+	}
+	return IsOffHeap(unsafe.Pointer(unsafe.SliceData(s[:cap(s)])))
+}
+
+// Outstanding returns the number of live off-heap regions. A harness
+// that snapshots it before a run and compares after teardown catches
+// leaks through the new allocator the same way exec.Arena.Outstanding
+// catches leaked arena buffers.
+func Outstanding() int64 { return liveCount.Load() }
+
+// OutstandingBytes returns the mapped bytes of all live regions.
+func OutstandingBytes() int64 { return liveBytes.Load() }
+
+// MemStats is a snapshot of the allocator's live state.
+type MemStats struct {
+	Regions   int64 // live mappings
+	Bytes     int64 // mapped bytes (page-rounded)
+	HugeBytes int64 // bytes in explicit MAP_HUGETLB mappings
+}
+
+// ReadStats returns current allocator statistics.
+func ReadStats() MemStats {
+	return MemStats{Regions: liveCount.Load(), Bytes: liveBytes.Load(), HugeBytes: hugeBytes.Load()}
+}
+
+// LeakReport formats the origins of up to max live regions — the
+// oracle's post-case diagnostics when Outstanding won't return to its
+// baseline.
+func LeakReport(max int) string {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(regions) == 0 {
+		return "offheap: no live regions"
+	}
+	out := fmt.Sprintf("offheap: %d live region(s):", len(regions))
+	i := 0
+	for _, r := range regions {
+		if i >= max {
+			out += fmt.Sprintf("\n  ... and %d more", len(regions)-i)
+			break
+		}
+		out += fmt.Sprintf("\n  %d bytes allocated at %s", r.size, r.origin)
+		i++
+	}
+	return out
+}
+
+// PreferredPageBytes returns the page size the allocator is steering
+// toward: the 2 MiB huge page when off-heap allocation is available
+// (either MAP_HUGETLB or the MADV_HUGEPAGE advice), the OS base page
+// otherwise. memsim uses it to run the Fig. 8 TLB model against the
+// real allocator's geometry.
+func PreferredPageBytes() int {
+	if Available() {
+		return hugePageBytes
+	}
+	return os.Getpagesize()
+}
+
+// callerOrigin formats the file:line of the caller `skip` frames up.
+func callerOrigin(skip int) string {
+	_, file, line, ok := runtime.Caller(skip)
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -1,0 +1,115 @@
+package offheap
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	if !Available() {
+		t.Skip("offheap unavailable on this platform/config")
+	}
+	before := Outstanding()
+	b := AllocBytes(1 << 20)
+	if b == nil {
+		t.Skip("mmap failed (restricted environment); fallback path covered elsewhere")
+	}
+	if len(b) != 1<<20 {
+		t.Fatalf("len = %d, want %d", len(b), 1<<20)
+	}
+	for i := 0; i < len(b); i += 4096 {
+		if b[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+	b[0], b[len(b)-1] = 1, 2
+	if Outstanding() != before+1 {
+		t.Fatalf("Outstanding = %d, want %d", Outstanding(), before+1)
+	}
+	if !IsOffHeapSlice(b) {
+		t.Fatal("IsOffHeapSlice = false for live region")
+	}
+	if !FreeBytes(b) {
+		t.Fatal("FreeBytes reported heap for an off-heap region")
+	}
+	if Outstanding() != before {
+		t.Fatalf("Outstanding after free = %d, want %d", Outstanding(), before)
+	}
+}
+
+func TestSliceTypedRoundTrip(t *testing.T) {
+	if !Available() {
+		t.Skip("offheap unavailable")
+	}
+	s := Slice[uint64](1 << 16)
+	if s == nil {
+		t.Skip("mmap failed (restricted environment)")
+	}
+	for i := range s {
+		s[i] = uint64(i)
+	}
+	for i := range s {
+		if s[i] != uint64(i) {
+			t.Fatalf("s[%d] = %d", i, s[i])
+		}
+	}
+	if !Free(s) {
+		t.Fatal("Free reported heap for an off-heap slice")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	if !Available() {
+		t.Skip("offheap unavailable")
+	}
+	b := AllocBytes(4096)
+	if b == nil {
+		t.Skip("mmap failed")
+	}
+	if !FreeBytes(b) {
+		t.Fatal("first free failed")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second FreeBytes did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "double free") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	// The region address is gone from the registry but remembered in the
+	// freed set; releasing it again must panic, not fall through to the
+	// heap path.
+	freePtr(unsafe.Pointer(unsafe.SliceData(b[:cap(b)])))
+}
+
+func TestHeapFallbackDisabled(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if Available() {
+		t.Fatal("Available after SetEnabled(false)")
+	}
+	if b := AllocBytes(4096); b != nil {
+		t.Fatal("AllocBytes succeeded while disabled")
+	}
+	if s := Slice[uint32](128); s != nil {
+		t.Fatal("Slice succeeded while disabled")
+	}
+	// Heap slices route through the false branch of Free.
+	if Free(make([]uint32, 8)) {
+		t.Fatal("Free claimed a heap slice")
+	}
+}
+
+func TestPreferredPageBytes(t *testing.T) {
+	if got := PreferredPageBytes(); got <= 0 {
+		t.Fatalf("PreferredPageBytes = %d", got)
+	}
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if got := PreferredPageBytes(); got == hugePageBytes && platformSupported {
+		t.Fatal("disabled allocator still advertises huge pages")
+	}
+}

@@ -38,6 +38,11 @@ type SweepConfig struct {
 	// MaxShrinkEvals bounds the shrinking of each failure; zero means
 	// 64, negative disables shrinking.
 	MaxShrinkEvals int
+	// OffHeap runs every case with off-heap per-case arenas (see
+	// OffHeapArenas): tables and buffers live in GC-invisible mmap
+	// regions and each case additionally checks the process-wide
+	// off-heap region balance.
+	OffHeap bool
 	// Out receives progress lines; nil silences them.
 	Out io.Writer
 }
@@ -139,6 +144,11 @@ func Sweep(ctx context.Context, cfg SweepConfig) ([]Failure, error) {
 		if cfg.Out != nil {
 			fmt.Fprintf(cfg.Out, format+"\n", args...)
 		}
+	}
+	if cfg.OffHeap {
+		prev := OffHeapArenas
+		OffHeapArenas = true
+		defer func() { OffHeapArenas = prev }()
 	}
 
 	index := make(map[string]int, len(algorithmNames))

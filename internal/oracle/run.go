@@ -9,9 +9,27 @@ import (
 	"mmjoin/internal/datagen"
 	"mmjoin/internal/exec"
 	"mmjoin/internal/join"
+	"mmjoin/internal/offheap"
 	"mmjoin/internal/spill"
 	"mmjoin/internal/trace"
 )
+
+// OffHeapArenas switches every case's private arena into off-heap mode:
+// table and buffer storage comes from GC-invisible mmap regions, each
+// case destroys its arena afterwards, and RunCase additionally checks
+// that the process-wide off-heap region count returns to its pre-case
+// level — a region-level leak check on top of the buffer-level arena
+// balance. Set by the -offheap flags of joinbench and joinoracle before
+// a sweep; do not toggle while cases are in flight.
+var OffHeapArenas bool
+
+// newCaseArena returns the per-case private arena in the configured mode.
+func newCaseArena() *exec.Arena {
+	if OffHeapArenas {
+		return exec.NewArenaOffHeap()
+	}
+	return exec.NewArena()
+}
 
 // Divergence is one failed cross-check.
 type Divergence struct {
@@ -108,11 +126,18 @@ type runArtifacts struct {
 	spillDir string // per-run temp dir for budgeted cases; "" otherwise
 }
 
-// cleanup removes the run's spill directory (idempotent).
+// cleanup removes the run's spill directory and returns the arena's
+// off-heap regions to the OS (idempotent; the Outstanding check must
+// run before it).
 func (a *runArtifacts) cleanup() {
-	if a != nil && a.spillDir != "" {
-		os.RemoveAll(a.spillDir)
+	if a == nil {
+		return
 	}
+	if a.spillDir != "" {
+		os.RemoveAll(a.spillDir)
+		a.spillDir = ""
+	}
+	a.arena.Destroy()
 }
 
 // leftoverSpillFiles counts filesystem entries the run abandoned under
@@ -166,7 +191,7 @@ func runOne(ctx context.Context, c Case, w *datagen.Workload, scalar bool, injec
 	art := &runArtifacts{
 		scalar: scalar,
 		tracer: trace.New(),
-		arena:  exec.NewArena(),
+		arena:  newCaseArena(),
 	}
 	opts := &join.Options{
 		Threads:       c.Threads(),
@@ -301,6 +326,26 @@ func checkRun(art *runArtifacts, ref *RefResult) []Divergence {
 	return divs
 }
 
+// checkOffHeapBalance (off-heap mode only) destroys the runs' arenas
+// and verifies the process-wide off-heap region count returned to the
+// pre-case baseline — a leak at the mmap level that the per-arena
+// buffer balance cannot see (e.g. a freelist that lost track of a
+// region). cleanup is idempotent, so the deferred calls that follow are
+// harmless.
+func checkOffHeapBalance(base int64, runs ...*runArtifacts) []Divergence {
+	if !OffHeapArenas {
+		return nil
+	}
+	for _, r := range runs {
+		r.cleanup()
+	}
+	if got := offheap.Outstanding() - base; got != 0 {
+		return []Divergence{{"offheap",
+			fmt.Sprintf("off-heap region balance %+d vs pre-case baseline after arena destroy", got)}}
+	}
+	return nil
+}
+
 // checkFailedRun audits the error path of a run that returned an
 // execution error (an injected spill fault): the join must have
 // unwound cleanly — arena balanced, no temp files left.
@@ -359,6 +404,7 @@ func RunCase(ctx context.Context, c Case, inject Fault) ([]Divergence, error) {
 		return nil, fmt.Errorf("oracle: generate %s: %w", c, err)
 	}
 	ref := referenceJoin(w.Build, w.Probe, c.Kind)
+	baseRegions := offheap.Outstanding()
 
 	primary, err := runOne(ctx, c, w, c.Scalar, inject)
 	defer primary.cleanup()
@@ -373,7 +419,8 @@ func RunCase(ctx context.Context, c Case, inject Fault) ([]Divergence, error) {
 			(errors.Is(err, spill.ErrInjected) || errors.Is(err, spill.ErrChecksum)) {
 			divs := []Divergence{{"spill-fault",
 				fmt.Sprintf("injected %s surfaced cleanly: %v", inject, err)}}
-			return append(divs, checkFailedRun(primary)...), nil
+			divs = append(divs, checkFailedRun(primary)...)
+			return append(divs, checkOffHeapBalance(baseRegions, primary)...), nil
 		}
 		return nil, fmt.Errorf("oracle: %s: %w", c, err)
 	}
@@ -390,5 +437,6 @@ func RunCase(ctx context.Context, c Case, inject Fault) ([]Divergence, error) {
 		batch, scalar = counterpart, primary
 	}
 	divs = append(divs, compareAccounting(batch, scalar)...)
+	divs = append(divs, checkOffHeapBalance(baseRegions, primary, counterpart)...)
 	return divs, nil
 }

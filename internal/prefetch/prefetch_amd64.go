@@ -1,0 +1,28 @@
+//go:build amd64
+
+// Package prefetch exposes the CPU's software-prefetch instruction to
+// the AMAC batch kernels. A prefetch is a hint, never a fault: issuing
+// one on any address (even unmapped) is architecturally safe, so the
+// kernels can prefetch `dist` lanes ahead without bounds anxiety.
+//
+// The function is assembly because Go has no intrinsic for PREFETCHT0
+// and a plain dereference would be a demand load — a stall, the exact
+// thing the batch pipeline exists to avoid. The //go:noescape
+// declaration keeps the argument off the heap, so calls inside
+// //mmjoin:noescape regions stay clean under the perfgate analyzer, and
+// assembly is invisible to the race detector, so concurrent builds can
+// prefetch each other's cache lines without report noise.
+package prefetch
+
+import "unsafe"
+
+// Supported is true when T0 compiles to a real prefetch. Kernels guard
+// with `if prefetch.Supported && dist > 0` so the whole pipeline folds
+// away on other architectures.
+const Supported = true
+
+// T0 prefetches the cache line containing p into all cache levels
+// (PREFETCHT0).
+//
+//go:noescape
+func T0(p unsafe.Pointer)

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package prefetch
+
+import "unsafe"
+
+// Supported is false: T0 is a no-op the compiler eliminates.
+const Supported = false
+
+// T0 is a no-op on architectures without a wired prefetch instruction.
+func T0(p unsafe.Pointer) {}
