@@ -1,0 +1,245 @@
+// Command joinserver runs the multi-tenant join service: a long-running
+// process that admits many concurrent join queries over registered
+// relations, shares built hash tables across queries through a
+// fingerprint-keyed cache, and sheds load instead of queueing without
+// bound.
+//
+// Usage:
+//
+//	joinserver -listen :8080                 # serve HTTP with demo relations
+//	joinserver -loadtest                     # closed-loop load test, text report
+//	joinserver -loadtest -duration 10s -clients 16 -design linear
+//	joinserver -loadtest -overload           # drive past the budget, expect sheds
+//	joinserver -loadtest -json               # machine-readable report
+//	joinserver -loadtest -duration 3s -selfcheck   # CI smoke: exits nonzero on
+//	                                               # no hits, leaks, or no sheds
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/join"
+	"mmjoin/internal/offheap"
+	"mmjoin/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("joinserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen   = fs.String("listen", "", "serve HTTP on this address (e.g. :8080)")
+		loadtest = fs.Bool("loadtest", false, "run the closed-loop load test and exit")
+
+		threads  = fs.Int("threads", 0, "per-query worker threads (0 = GOMAXPROCS)")
+		slots    = fs.Int("slots", 0, "shared CPU slots across all queries (0 = GOMAXPROCS)")
+		budgetMB = fs.Int64("budget-mb", 0, "admission memory budget in MiB (0 = 256)")
+		cacheMB  = fs.Int64("cache-mb", 0, "build cache capacity in MiB (0 = 256)")
+		queue    = fs.Int("queue", 0, "max queries waiting for admission (0 = 64)")
+		wait     = fs.Duration("admit-wait", 0, "max admission wait before shedding (0 = 100ms)")
+		useOff   = fs.Bool("offheap", false, "place cached tables in GC-free off-heap arenas")
+		design   = fs.String("design", "", "default cached table design: chained, linear, robinhood, array, cht, sparse")
+
+		duration  = fs.Duration("duration", 5*time.Second, "loadtest window")
+		clients   = fs.Int("clients", 8, "loadtest closed-loop clients")
+		buildSize = fs.Int("build-size", 1<<18, "loadtest hot build cardinality")
+		probeSize = fs.Int("probe-size", 1024, "loadtest small probe cardinality")
+		scanEvery = fs.Int("scan-every", 64, "every Nth query per client is a big scan (<0 disables)")
+		overload  = fs.Bool("overload", false, "loadtest: cold uncacheable joins past the budget (expect sheds)")
+		asJSON    = fs.Bool("json", false, "emit the loadtest report as JSON")
+		selfcheck = fs.Bool("selfcheck", false, "verify cache hits, shedding and leak-freedom; exit nonzero on failure")
+		seed      = fs.Uint64("seed", 0, "workload seed (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := server.Config{
+		Threads:      *threads,
+		WorkerSlots:  *slots,
+		MemoryBudget: *budgetMB << 20,
+		MaxQueued:    *queue,
+		AdmitWait:    *wait,
+		CacheBytes:   *cacheMB << 20,
+		OffHeap:      *useOff,
+	}
+	if *design != "" {
+		d, err := join.ParseTableDesign(*design)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		cfg.Design = d
+	}
+
+	switch {
+	case *loadtest:
+		lc := server.LoadConfig{
+			Duration:  *duration,
+			Clients:   *clients,
+			BuildSize: *buildSize,
+			ProbeSize: *probeSize,
+			ScanEvery: *scanEvery,
+			Design:    *design,
+			Overload:  *overload,
+			Seed:      *seed,
+		}
+		return runLoadtest(cfg, lc, *selfcheck, *asJSON, stdout, stderr)
+	case *listen != "":
+		return serve(cfg, *listen, *buildSize, *probeSize, *seed, stdout, stderr)
+	default:
+		fmt.Fprintln(stderr, "joinserver: nothing to do (pass -listen or -loadtest)")
+		fs.Usage()
+		return 2
+	}
+}
+
+// runLoadtest drives the closed loop, prints the report, and — under
+// -selfcheck — verifies the service's headline invariants: the cache
+// produced hits, overload produced typed sheds (not errors or queue
+// growth), and closing the server leaks no off-heap regions.
+func runLoadtest(cfg server.Config, lc server.LoadConfig, selfcheck, asJSON bool, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	baseRegions := offheap.Outstanding()
+	s := server.Open(cfg)
+	report, err := server.RunLoad(ctx, s, lc)
+	if err != nil {
+		fmt.Fprintf(stderr, "joinserver: loadtest: %v\n", err)
+		s.Close()
+		return 1
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(stderr, "joinserver: close: %v\n", err)
+		return 1
+	}
+	leaked := offheap.Outstanding() - baseRegions
+
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		fmt.Fprintln(stdout, report.String())
+	}
+
+	if !selfcheck {
+		return 0
+	}
+	failures := 0
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			failures++
+			fmt.Fprintf(stderr, "selfcheck: FAIL: "+format+"\n", args...)
+		}
+	}
+	check(leaked == 0, "%d off-heap regions leaked after Close", leaked)
+	check(report.Errors == 0, "%d unexpected query errors", report.Errors)
+	if lc.Overload {
+		check(report.Shed > 0, "overload run shed nothing")
+	} else {
+		check(report.Hits > 0, "no cache hits in a cacheable run")
+		check(report.Speedup > 1, "warm probe not faster than cold (%.2fx)", report.Speedup)
+		// Shedding needs its own pass: a fresh server with a budget that
+		// fits exactly one build, driven by uncacheable queries.
+		shed := overloadProbe(ctx, lc, stderr)
+		check(shed > 0, "overload probe shed nothing")
+	}
+	if failures > 0 {
+		return 1
+	}
+	fmt.Fprintln(stdout, "selfcheck: ok")
+	return 0
+}
+
+// overloadProbe runs a short overload burst against a deliberately
+// tiny admission budget and reports how many queries shed. The modeled
+// footprint is 16 B per build tuple (DESIGN.md §13), so a budget of
+// half the hot build's footprint admits queries one at a time and the
+// closed-loop surplus must shed with ErrOverloaded.
+func overloadProbe(ctx context.Context, lc server.LoadConfig, stderr io.Writer) int64 {
+	small := server.Open(server.Config{
+		MemoryBudget: 16 * int64(lc.BuildSize),
+		MaxQueued:    2,
+		AdmitWait:    5 * time.Millisecond,
+	})
+	defer small.Close()
+	probeCfg := lc
+	probeCfg.Duration = time.Second
+	probeCfg.Overload = true
+	probeCfg.ScanEvery = -1
+	rep, err := server.RunLoad(ctx, small, probeCfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "selfcheck: overload probe: %v\n", err)
+		return 0
+	}
+	return rep.Shed
+}
+
+// serve registers a demo PK/FK workload (a query can reference "build"
+// and "probe" immediately) and serves the HTTP API until interrupted.
+func serve(cfg server.Config, addr string, buildSize, probeSize int, seed uint64, stdout, stderr io.Writer) int {
+	if seed == 0 {
+		seed = 1
+	}
+	w, err := datagen.Generate(datagen.Config{
+		BuildSize: buildSize,
+		ProbeSize: max(probeSize, 1024),
+		Zipf:      0.5,
+		Seed:      seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	s := server.Open(cfg)
+	if err := s.RegisterRelation("build", w.Build); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := s.RegisterRelation("probe", w.Probe); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "joinserver: listening on %s (relations: build[%d], probe[%d])\n",
+		addr, len(w.Build), len(w.Probe))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "joinserver: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx)
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(stderr, "joinserver: close: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "joinserver: shut down cleanly")
+	return 0
+}

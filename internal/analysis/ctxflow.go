@@ -29,6 +29,7 @@ var ctxflowPackages = []string{
 	"internal/join",
 	"internal/exec",
 	"internal/bench",
+	"internal/server",
 }
 
 func ctxflowCovers(path string) bool {

@@ -306,13 +306,13 @@ func microbenchSize(cfg MicrobenchConfig, lg int) ([]MicrobenchRecord, error) {
 		}
 	}
 
-	defaultDist := hashtable.PrefetchDist
-	defer func() { hashtable.PrefetchDist = defaultDist }()
+	defaultDist := hashtable.PrefetchDistance()
+	defer hashtable.SetPrefetchDistance(defaultDist)
 	runCell := func(c *microCell) {
 		if c.dist >= 0 {
-			hashtable.PrefetchDist = c.dist
+			hashtable.SetPrefetchDistance(c.dist)
 		} else {
-			hashtable.PrefetchDist = defaultDist
+			hashtable.SetPrefetchDistance(defaultDist)
 		}
 	}
 	var recs []MicrobenchRecord

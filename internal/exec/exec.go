@@ -82,6 +82,10 @@ type Pool struct {
 	// sched, when non-nil, replaces concurrent execution with the
 	// deterministic single-goroutine replay of schedule.go.
 	sched SchedulePolicy
+	// gate, when non-nil, is the shared worker-slot limiter: every
+	// worker holds a slot while running and offers it back at morsel and
+	// task-pop boundaries (see Gate).
+	gate *Gate
 }
 
 // NewPool creates a pool of `threads` workers (minimum 1) bound to ctx.
@@ -111,6 +115,14 @@ func (p *Pool) SetArena(a *Arena) {
 // start of every phase, before any worker runs. Used for tracing and
 // for deterministic cancellation tests.
 func (p *Pool) SetPhaseHook(fn func(phase string)) { p.phaseHook = fn }
+
+// SetGate attaches a shared worker-slot gate: each of the pool's
+// workers acquires one slot before running a phase and yields it at
+// morsel/task boundaries whenever other workers (typically another
+// query's pool) are waiting. A nil gate (the default) keeps the
+// original ungated execution. Deterministic schedule replays ignore
+// the gate — they are single-goroutine by construction.
+func (p *Pool) SetGate(g *Gate) { p.gate = g }
 
 // SetQueueStrategy records the scheduling strategy of the join phase
 // (e.g. "lifo(sequential)", "lifo(round-robin)") in the stats.
@@ -182,7 +194,11 @@ type Worker struct {
 	// tr carries this worker's tracing state for the current phase; nil
 	// when tracing is off (the fast-path check of Morsels and RunQueue).
 	tr *workerTrace
-	_  [4]byte // separate hot counters of adjacent workers
+	// slotLost records that a TryYield failed to re-acquire the gate
+	// slot (context expired between release and re-acquire): the worker
+	// returns slotless and Run must not release on its behalf.
+	slotLost bool
+	_        [4]byte // separate hot counters of adjacent workers
 }
 
 // workerTrace is one worker's per-phase tracing state: its span shard
@@ -220,8 +236,13 @@ func (w *Worker) Morsels(n int, fn func(begin, end int)) bool {
 		return w.morselsTraced(n, fn)
 	}
 	ctx := w.pool.ctx
+	gate := w.pool.gate
 	for begin := 0; begin < n; begin += MorselTuples {
 		if ctx.Err() != nil {
+			return false
+		}
+		if gate.TryYield(ctx) != nil {
+			w.slotLost = true
 			return false
 		}
 		end := begin + MorselTuples
@@ -240,10 +261,15 @@ func (w *Worker) Morsels(n int, fn func(begin, end int)) bool {
 // allocation beyond the shard's amortized span append.
 func (w *Worker) morselsTraced(n int, fn func(begin, end int)) bool {
 	ctx := w.pool.ctx
+	gate := w.pool.gate
 	tr := w.tr
 	stride := 0
 	for begin := 0; begin < n; begin += MorselTuples {
 		if ctx.Err() != nil {
+			return false
+		}
+		if gate.TryYield(ctx) != nil {
+			w.slotLost = true
 			return false
 		}
 		end := begin + MorselTuples
@@ -306,13 +332,29 @@ func (p *Pool) Run(phase string, fn func(w *Worker)) error {
 			call(&workers[i])
 		}
 	case p.threads == 1:
-		call(&workers[0])
+		if p.gate.Acquire(p.ctx) == nil {
+			call(&workers[0])
+			if !workers[0].slotLost {
+				p.gate.Release()
+			}
+		}
 	default:
 		var wg sync.WaitGroup
 		for i := range workers {
 			wg.Add(1)
 			go func(w *Worker) {
 				defer wg.Done()
+				if p.gate.Acquire(p.ctx) != nil {
+					return
+				}
+				// The worker may lose its slot inside call (a TryYield
+				// whose re-acquire raced a cancelled context): releasing
+				// here again would over-credit the gate.
+				defer func() {
+					if !w.slotLost {
+						p.gate.Release()
+					}
+				}()
 				call(w)
 			}(&workers[i])
 		}
@@ -355,8 +397,13 @@ func (p *Pool) RunQueue(phase string, q Queue, fn func(w *Worker, task int)) err
 			return
 		}
 		ctx := p.ctx
+		gate := p.gate
 		for {
 			if ctx.Err() != nil {
+				return
+			}
+			if gate.TryYield(ctx) != nil {
+				w.slotLost = true
 				return
 			}
 			t, ok := q.Pop()
@@ -446,9 +493,14 @@ func (p *Pool) runQueueScheduled(phase string, q Queue, fn func(w *Worker, task 
 // deltas.
 func (w *Worker) drainTraced(q Queue, fn func(w *Worker, task int)) {
 	ctx := w.pool.ctx
+	gate := w.pool.gate
 	tr := w.tr
 	for {
 		if ctx.Err() != nil {
+			return
+		}
+		if gate.TryYield(ctx) != nil {
+			w.slotLost = true
 			return
 		}
 		popStart := time.Now()

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Gate is a process-wide worker-slot limiter shared by the pools of
+// concurrent queries: a counting semaphore over CPU slots plus a
+// cooperative yield protocol that keeps one query's long phase from
+// monopolizing the machine.
+//
+// Without a gate, N concurrent queries each spawn Threads workers and
+// the OS scheduler time-slices Threads×N goroutines — throughput
+// survives, but tail latency does not: a huge scan's workers and a
+// small probe's workers get equal CPU shares, so the small query's
+// 100 µs of work waits behind milliseconds of someone else's morsels.
+// With a gate, at most `slots` workers run at once, and every worker
+// offers its slot back at morsel/task boundaries whenever another
+// worker is waiting (TryYield). Since a morsel is bounded work
+// (MorselTuples), a newly admitted query acquires its first slot within
+// one morsel's latency of the slowest holder, not one phase's.
+//
+// The gate deliberately lives below admission control: admission
+// (internal/server) bounds how many queries hold *memory* at once, the
+// gate bounds how many goroutines hold *cores* at once. A Pool without
+// a gate behaves exactly as before — the fast path is one nil check.
+type Gate struct {
+	slots   chan struct{}
+	waiters atomic.Int64
+}
+
+// NewGate returns a gate with the given number of worker slots
+// (minimum 1).
+func NewGate(slots int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	g := &Gate{slots: make(chan struct{}, slots)}
+	for i := 0; i < slots; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// Slots returns the gate's slot count.
+func (g *Gate) Slots() int { return cap(g.slots) }
+
+// Acquire blocks until a worker slot is free or ctx is done. A nil gate
+// always admits.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	// Fast path: a free slot means no queueing state to maintain.
+	select {
+	case <-g.slots:
+		return nil
+	default:
+	}
+	g.waiters.Add(1)
+	defer g.waiters.Add(-1)
+	select {
+	case <-g.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a worker slot. Releasing more slots than were
+// acquired panics (channel overflow would silently widen the gate).
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	select {
+	case g.slots <- struct{}{}:
+	default:
+		panic("exec: Gate.Release without a matching Acquire")
+	}
+}
+
+// TryYield gives the slot up and immediately re-queues for it — but
+// only when another worker is actually waiting, so the uncontended cost
+// is one atomic load per call. Callers invoke it at morsel and task-pop
+// boundaries; the runtime's FIFO channel queue hands the slot to the
+// longest waiter, then this worker parks until a slot cycles back.
+// Returns ctx's error if the context expires while re-acquiring (the
+// slot is NOT held on error).
+func (g *Gate) TryYield(ctx context.Context) error {
+	if g == nil || g.waiters.Load() == 0 {
+		return nil
+	}
+	g.Release()
+	return g.Acquire(ctx)
+}

@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const slots = 2
+	g := NewGate(slots)
+	if g.Slots() != slots {
+		t.Fatalf("Slots() = %d, want %d", g.Slots(), slots)
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > slots {
+		t.Fatalf("observed %d concurrent holders, gate allows %d", peak.Load(), slots)
+	}
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire on a full gate = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	g := NewGate(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release beyond capacity did not panic")
+		}
+	}()
+	g.Release()
+}
+
+func TestNilGateIsInert(t *testing.T) {
+	var g *Gate
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	if err := g.TryYield(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateYieldHandsSlotToWaiter pins the fairness mechanism: a worker
+// that holds the only slot and yields at its morsel boundaries lets a
+// waiting pool in before the holder's phase ends.
+func TestGateYieldHandsSlotToWaiter(t *testing.T) {
+	g := NewGate(1)
+	ctx := context.Background()
+
+	big := NewPool(ctx, 1)
+	big.SetGate(g)
+	small := NewPool(ctx, 1)
+	small.SetGate(g)
+
+	var smallDone atomic.Bool
+	started := make(chan struct{})
+	go func() {
+		<-started
+		err := small.Run("small", func(w *Worker) {
+			w.Morsels(1, func(int, int) {})
+		})
+		if err != nil {
+			t.Errorf("small pool: %v", err)
+		}
+		smallDone.Store(true)
+	}()
+
+	// The big phase walks many morsels; the small query must finish
+	// while the big one is still running, not after it.
+	var sawSmallFinishMidPhase bool
+	err := big.Run("big", func(w *Worker) {
+		w.Morsels(64*MorselTuples, func(begin, end int) {
+			if begin == 0 {
+				close(started)
+				// Give the small query time to park on the gate.
+				time.Sleep(5 * time.Millisecond)
+			}
+			time.Sleep(100 * time.Microsecond)
+			if smallDone.Load() {
+				sawSmallFinishMidPhase = true
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawSmallFinishMidPhase {
+		t.Fatal("small query did not finish while the big phase was still yielding")
+	}
+}
+
+// TestGatedPoolMatchesUngated pins that gating changes scheduling, not
+// results: the same morsel sum under a 1-slot gate and no gate.
+func TestGatedPoolMatchesUngated(t *testing.T) {
+	ctx := context.Background()
+	sum := func(g *Gate) int64 {
+		p := NewPool(ctx, 4)
+		p.SetGate(g)
+		var total atomic.Int64
+		if err := p.Run("sum", func(w *Worker) {
+			w.Morsels(3*MorselTuples+17, func(begin, end int) {
+				total.Add(int64(end - begin))
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return total.Load()
+	}
+	want := sum(nil)
+	got := sum(NewGate(1))
+	if got != want {
+		t.Fatalf("gated sum %d != ungated sum %d", got, want)
+	}
+	// Every worker walks the full range, so the total is threads×n.
+	if want != 4*(3*MorselTuples+17) {
+		t.Fatalf("ungated sum = %d, want %d", want, 4*(3*MorselTuples+17))
+	}
+}
+
+// TestRunSkipsReleaseWhenYieldLosesSlot is the regression test for the
+// gate's double-release: a worker whose TryYield gives the slot to a
+// waiter and then fails to re-acquire (context cancelled while parked)
+// returns slotless — Pool.Run must not release on its behalf, or the
+// gate gains a phantom slot and the waiter's own Release panics.
+func TestRunSkipsReleaseWhenYieldLosesSlot(t *testing.T) {
+	g := NewGate(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pool := NewPool(ctx, 1)
+	pool.SetGate(g)
+
+	acquired := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		// Parks: the pool's worker holds the only slot. TryYield hands
+		// it over here, then the cancel strands the worker's re-acquire.
+		if err := g.Acquire(context.Background()); err != nil {
+			t.Error(err)
+			return
+		}
+		close(acquired)
+		cancel()
+		<-released
+		g.Release()
+	}()
+
+	pool.Run("work", func(w *Worker) {
+		w.Morsels(4*MorselTuples, func(begin, end int) {
+			// Spin until the external waiter is parked, so the next
+			// morsel boundary's TryYield actually gives up the slot.
+			for g.waiters.Load() == 0 {
+				time.Sleep(10 * time.Microsecond)
+			}
+		})
+	})
+	<-acquired
+	close(released)
+
+	// Whatever interleaving ran, the gate must end balanced: exactly
+	// one slot on a one-slot gate.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-g.slots:
+		t.Fatal("gate over-credited: two slots free on a one-slot gate")
+	default:
+	}
+	g.Release()
+}

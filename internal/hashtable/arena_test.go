@@ -108,12 +108,12 @@ func TestPrefetchDistSettings(t *testing.T) {
 		ct.Insert(tp)
 		lt.Insert(tp)
 	}
-	defer func(prev int) { PrefetchDist = prev }(PrefetchDist)
+	defer SetPrefetchDistance(PrefetchDistance())
 	var s BatchScratch
 	payloads := make([]tuple.Payload, BatchSize)
 	found := make([]bool, BatchSize)
 	for _, dist := range []int{0, 4, 8, 16} {
-		PrefetchDist = dist
+		SetPrefetchDistance(dist)
 		for lo := 0; lo < len(keys); lo += BatchSize {
 			hi := min(lo+BatchSize, len(keys))
 			batch := keys[lo:hi]

@@ -1,23 +1,45 @@
 package hashtable
 
 import (
+	"sync/atomic"
 	"unsafe"
 
 	"mmjoin/internal/prefetch"
 )
 
-// PrefetchDist is the software-prefetch look-ahead distance, in lanes,
+// prefetchDistV is the software-prefetch look-ahead distance, in lanes,
 // of the batch kernels' gather passes: while resolving lane li, the
-// kernel issues a prefetch hint for lane li+PrefetchDist's first
-// table access, and chain-walking rounds prefetch a surviving lane's
-// next bucket the moment its link is read. The AMAC-style interleaving
+// kernel issues a prefetch hint for lane li+distance's first table
+// access, and chain-walking rounds prefetch a surviving lane's next
+// bucket the moment its link is read. The AMAC-style interleaving
 // already overlaps misses up to the core's out-of-order window; the
 // explicit prefetch extends that overlap beyond it. 0 disables all
 // prefetching. The default was picked by the prefetch-distance sweep in
-// the offheap experiment (joinbench -microbench -microdists); it is a
-// plain package variable so the sweep can re-point it between runs —
-// do not change it concurrently with running kernels.
-var PrefetchDist = 8
+// the offheap experiment (joinbench -microbench -microdists).
+//
+// The distance is stored atomically because it is a process-wide
+// tunable read by kernels that may run on many concurrent queries at
+// once (the joinserver workload): a sweep re-pointing a plain variable
+// mid-flight would be a data race. Kernels read it once per batch call
+// through prefetchDist(), so the atomic load is noise.
+var prefetchDistV atomic.Int32
+
+func init() { prefetchDistV.Store(8) }
+
+// PrefetchDistance returns the current prefetch look-ahead distance.
+func PrefetchDistance() int { return int(prefetchDistV.Load()) }
+
+// SetPrefetchDistance re-points the prefetch look-ahead distance and
+// returns the previous value. Safe to call concurrently with running
+// kernels: in-flight batches finish under whichever distance they
+// loaded, subsequent batches see the new one. Distances below zero are
+// clamped to 0 (prefetching off).
+func SetPrefetchDistance(d int) (prev int) {
+	if d < 0 {
+		d = 0
+	}
+	return int(prefetchDistV.Swap(int32(d)))
+}
 
 // prefetchDist resolves the effective distance: 0 on architectures
 // without a prefetch instruction, so the kernels' prefetch branches
@@ -29,7 +51,7 @@ func prefetchDist() int {
 	if !prefetch.Supported {
 		return 0
 	}
-	return PrefetchDist
+	return int(prefetchDistV.Load())
 }
 
 // pf issues a T0 (all cache levels) prefetch hint for p. A hint only:

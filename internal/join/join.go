@@ -105,6 +105,14 @@ type Options struct {
 	// the execution layer attach PhaseMetrics to Result.Exec. Nil
 	// (trace.Disabled) keeps the hot loops on their untraced fast path.
 	Tracer *trace.Tracer
+	// Gate, when non-nil, makes the execution's workers acquire shared
+	// CPU slots before running and yield them at morsel boundaries
+	// whenever another execution is waiting (see exec.Gate). The join
+	// service hands every query the same gate so concurrent queries
+	// share cores fairly instead of oversubscribing Threads × queries
+	// goroutines; nil (single-query harnesses) costs one nil check per
+	// morsel.
+	Gate *exec.Gate
 	// Schedule, when non-nil, pins the execution to a deterministic
 	// single-goroutine replay of one task interleaving (see
 	// exec.SchedulePolicy). Used by the differential oracle to make a
@@ -253,6 +261,7 @@ type Algorithm interface {
 func newPool(ctx context.Context, o *Options, label string) *exec.Pool {
 	pool := exec.NewPool(ctx, o.Threads)
 	pool.SetArena(o.Arena)
+	pool.SetGate(o.Gate)
 	pool.SetPhaseHook(o.PhaseHook)
 	if o.Tracer != nil {
 		pool.SetTracer(o.Tracer, label)

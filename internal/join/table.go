@@ -1,0 +1,387 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mmjoin/internal/exec"
+	"mmjoin/internal/hashtable"
+	"mmjoin/internal/tuple"
+)
+
+// Cache-aware table construction: the join service (internal/server)
+// caches ready build-side hash tables keyed by relation fingerprint, so
+// the build phase of a hot relation is paid once and every later query
+// runs probe-only. This file splits the algorithms' fused
+// build-then-probe shape into two standalone halves — BuildTable
+// produces a BuiltTable that outlives one execution, ProbeTable runs
+// the probe phase of a Table 2 no-partitioning join against it — while
+// keeping the storage discipline of the fused joins: table storage is
+// drawn from Options.Arena (possibly off-heap) and returned through the
+// tables' existing Free paths exactly once, at Release.
+
+// TableDesign selects which of the six hash-table designs backs a
+// cached build table. The designs are exactly the structures the Table
+// 2 algorithms build (Section 5): a cached probe against DesignLinear
+// is NOP's probe phase, DesignArray is NOPA's, DesignCHT is CHTJ's.
+type TableDesign int
+
+const (
+	// DesignChained is the bucket-chaining table (PRB's design).
+	DesignChained TableDesign = iota
+	// DesignLinear is the linear-probing table (NOP/PRO's design).
+	DesignLinear
+	// DesignRobinHood is linear probing with Robin Hood displacement.
+	DesignRobinHood
+	// DesignArray is the key-indexed array (NOPA/PRA's design); builds
+	// allocate Domain slots, so it suits dense key domains only.
+	DesignArray
+	// DesignCHT is the concise hash table (CHTJ's design).
+	DesignCHT
+	// DesignSparse is the dynamically growing sparse bitmap table. It is
+	// heap-only: the per-group dense slices cannot live in an arena.
+	DesignSparse
+)
+
+// String returns the design's wire name (accepted by ParseTableDesign).
+func (d TableDesign) String() string {
+	switch d {
+	case DesignChained:
+		return "chained"
+	case DesignLinear:
+		return "linear"
+	case DesignRobinHood:
+		return "robinhood"
+	case DesignArray:
+		return "array"
+	case DesignCHT:
+		return "cht"
+	case DesignSparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("TableDesign(%d)", int(d))
+}
+
+// ParseTableDesign maps a wire name back to its design.
+func ParseTableDesign(s string) (TableDesign, error) {
+	for _, d := range TableDesigns() {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("join: unknown table design %q", s)
+}
+
+// TableDesigns returns all six designs in declaration order.
+func TableDesigns() []TableDesign {
+	return []TableDesign{DesignChained, DesignLinear, DesignRobinHood,
+		DesignArray, DesignCHT, DesignSparse}
+}
+
+// cachedProbeTable is the read-only slice of the table API a cached
+// probe needs; all six designs implement it.
+type cachedProbeTable interface {
+	Lookup(k tuple.Key) (tuple.Payload, bool)
+	ForEachMatch(k tuple.Key, fn func(tuple.Payload))
+	SizeBytes() int64
+	ProbeJoinBatch(keys []tuple.Key, probePayloads []tuple.Payload, s *hashtable.BatchScratch, out *hashtable.MatchBatch)
+}
+
+// BuiltTable is one ready build-side hash table whose lifetime is
+// decoupled from any single query: the server's build cache holds one
+// per (relation fingerprint, design) and probes borrow it read-only.
+// The owner must call Release exactly once when the table is dropped
+// (for arena-backed designs that is what returns the slot arrays to the
+// arena); Release while probes are still running is the
+// use-after-free the cache's refcount pinning exists to prevent.
+type BuiltTable struct {
+	design   TableDesign
+	table    cachedProbeTable
+	free     func()
+	bytes    int64
+	buildLen int
+	buildDur time.Duration
+	released atomic.Bool
+}
+
+// Design returns the table's design.
+func (bt *BuiltTable) Design() TableDesign { return bt.design }
+
+// SizeBytes returns the table's actual storage footprint — the
+// cache's LRU-by-bytes currency. (Admission control uses the modeled
+// 16 B/build-tuple figure instead; see Options.MemoryBudget.)
+func (bt *BuiltTable) SizeBytes() int64 { return bt.bytes }
+
+// BuildLen returns the build-relation cardinality the table holds.
+func (bt *BuiltTable) BuildLen() int { return bt.buildLen }
+
+// BuildTime returns how long the build phase took.
+func (bt *BuiltTable) BuildTime() time.Duration { return bt.buildDur }
+
+// Released reports whether Release has run.
+func (bt *BuiltTable) Released() bool { return bt.released.Load() }
+
+// Release frees the table's storage through the design's existing Free
+// path (a no-op for the heap-only sparse design, which the collector
+// reclaims). Exactly-once: a second Release panics, because the first
+// already returned arena storage that may since have been reissued.
+func (bt *BuiltTable) Release() {
+	if bt.released.Swap(true) {
+		panic("join: BuiltTable.Release called twice")
+	}
+	if bt.free != nil {
+		bt.free()
+	}
+}
+
+// tableOpBytes is the modeled per-probe traffic of each design (see
+// internal/hashtable/bytes.go for the coefficients' rationale).
+func tableOpBytes(d TableDesign) int64 {
+	switch d {
+	case DesignChained:
+		return hashtable.ChainedOpBytes
+	case DesignLinear, DesignRobinHood:
+		return hashtable.LinearOpBytes
+	case DesignArray:
+		return hashtable.ArrayOpBytes
+	default: // CHT and the CHT-shaped sparse table: bitmap line + dense line.
+		return hashtable.CHTOpBytes
+	}
+}
+
+// BuildTable runs the build phase of a no-partitioning join in
+// isolation: a morsel-driven parallel build of one global table of the
+// given design over the build relation. Chained, linear and array
+// designs build concurrently from all workers (latched, CAS and atomic
+// protocols respectively); the CHT bulk-loads disjoint bitmap regions
+// per worker exactly like CHTJ; Robin Hood and sparse are single-writer
+// structures, so one worker inserts while the pool keeps cancellation
+// responsive at morsel boundaries.
+//
+// The inputs carry the same contract as the fused joins: cached tables
+// serve inner joins over null-free keys (Options.NullableKeys is
+// rejected — null padding is per-query state that cannot live in a
+// shared table), and DesignArray additionally requires unique build
+// keys, like NOPA.
+//
+// On success the caller owns the returned BuiltTable and must Release
+// it; on error (including cancellation) all storage has already been
+// returned to the arena.
+func BuildTable(ctx context.Context, build tuple.Relation, design TableDesign, opts *Options) (*BuiltTable, error) {
+	o := opts.normalize()
+	if o.Kind != Inner {
+		return nil, fmt.Errorf("join: cached tables serve inner joins only, not %v", o.Kind)
+	}
+	if o.NullableKeys {
+		return nil, fmt.Errorf("join: cached tables do not support nullable keys")
+	}
+
+	pool := newPool(ctx, &o, "BUILD("+design.String()+")")
+	buildChunks := tuple.Chunks(len(build), o.Threads)
+	bstates := make([]batchState, o.Threads)
+	op := tableOpBytes(design)
+	start := time.Now()
+
+	// concurrentBuild drives the shared-global-table protocol of the
+	// no-partitioning joins (all workers insert their chunks at once).
+	concurrentBuild := func(ht batchConcurrentBuildTable, scalarInsert func(tuple.Tuple)) error {
+		return pool.Run("build", func(w *exec.Worker) {
+			c := buildChunks[w.ID]
+			bs := &bstates[w.ID]
+			w.Morsels(c.Len(), func(begin, end int) {
+				run := build[c.Begin+begin : c.Begin+end]
+				if o.ScalarKernels {
+					for _, tp := range run {
+						scalarInsert(tp)
+					}
+					w.AddBytes(int64(end-begin) * (tuple.Bytes + op))
+				} else {
+					bs.buildRunConcurrent(w, ht, run, op)
+				}
+			})
+		})
+	}
+	// singleWriterBuild keeps single-writer structures on one worker
+	// while morsel boundaries keep the build cancellable.
+	singleWriterBuild := func(insert func(tuple.Tuple)) error {
+		return pool.Run("build", func(w *exec.Worker) {
+			if w.ID != 0 {
+				return
+			}
+			w.Morsels(len(build), func(begin, end int) {
+				for _, tp := range build[begin:end] {
+					insert(tp)
+				}
+				w.AddBytes(int64(end-begin) * (tuple.Bytes + op))
+			})
+		})
+	}
+
+	var table cachedProbeTable
+	var free func()
+	var err error
+	switch design {
+	case DesignChained:
+		t := hashtable.NewChainedTableArena(len(build), o.Hash, o.Arena)
+		t.PrepareConcurrent()
+		err = concurrentBuild(t, t.InsertConcurrent)
+		t.FinishConcurrentBuild()
+		table, free = t, t.Free
+	case DesignLinear:
+		t := hashtable.NewLinearTableArena(len(build), o.Hash, o.Arena)
+		err = concurrentBuild(t, t.InsertConcurrent)
+		table, free = t, t.Free
+	case DesignArray:
+		domain := o.Domain
+		if domain == 0 {
+			domain = maxKeyDomain(build)
+		}
+		t := hashtable.NewArrayTableArena(0, domain, o.Arena)
+		err = concurrentBuild(t, t.InsertConcurrent)
+		t.FinishConcurrentBuild()
+		table, free = t, t.Free
+	case DesignRobinHood:
+		t := hashtable.NewRobinHoodTableArena(len(build), 0, o.Hash, o.Arena)
+		err = singleWriterBuild(t.Insert)
+		table, free = t, t.Free
+	case DesignSparse:
+		t := hashtable.NewSparseTable(len(build), o.Hash)
+		err = singleWriterBuild(t.Insert)
+		table, free = t, nil // heap-only: the collector reclaims it
+	case DesignCHT:
+		table, free, err = buildCHT(pool, build, buildChunks, &o)
+	default:
+		return nil, fmt.Errorf("join: unknown table design %d", int(design))
+	}
+	if err != nil {
+		if free != nil {
+			free()
+		}
+		return nil, err
+	}
+	return &BuiltTable{
+		design:   design,
+		table:    table,
+		free:     free,
+		bytes:    table.SizeBytes(),
+		buildLen: len(build),
+		buildDur: time.Since(start),
+	}, nil
+}
+
+// buildCHT is BuildTable's CHT leg: CHTJ's classify-then-bulkload
+// parallel build (each worker loads disjoint bitmap regions without
+// synchronization), detached from CHTJ's probe phase.
+func buildCHT(pool *exec.Pool, build tuple.Relation, buildChunks []tuple.Chunk, o *Options) (cachedProbeTable, func(), error) {
+	// Spread the hash over the 8n bitmap buckets, as in chtj.go.
+	userHash := o.Hash
+	spread := func(k tuple.Key) uint64 { return userHash(k) * 8 }
+	builder := hashtable.NewCHTBuilderArena(len(build), o.Threads, spread, o.Arena)
+	regions := builder.Regions()
+
+	perWorker := make([][][]tuple.Tuple, o.Threads)
+	err := pool.Run("classify", func(w *exec.Worker) {
+		lists := make([][]tuple.Tuple, regions)
+		c := buildChunks[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			for _, tp := range build[c.Begin+begin : c.Begin+end] {
+				r := builder.RegionOf(tp.Key)
+				lists[r] = append(lists[r], tp)
+			}
+			w.AddBytes(2 * int64(end-begin) * tuple.Bytes)
+		})
+		perWorker[w.ID] = lists
+		w.AddAllocs(1)
+	})
+	if err != nil {
+		builder.Free()
+		return nil, nil, err
+	}
+	err = pool.RunQueue("bulkload", exec.NewRange(regions), func(w *exec.Worker, r int) {
+		var merged []tuple.Tuple
+		for _, lists := range perWorker {
+			merged = append(merged, lists[r]...)
+		}
+		builder.LoadRegion(r, merged)
+		w.AddBytes(int64(len(merged)) * (2*tuple.Bytes + hashtable.CHTOpBytes))
+		w.AddAllocs(1)
+	})
+	if err != nil {
+		builder.Free()
+		return nil, nil, err
+	}
+	cht := builder.Finalize()
+	return cht, cht.Free, nil
+}
+
+// ProbeTable runs the probe phase of a no-partitioning join against a
+// previously built (possibly cached and shared) table: every worker
+// probes its chunk of the probe relation read-only, so any number of
+// concurrent ProbeTable calls may share one BuiltTable. The Result is
+// shaped like the fused algorithms' with the build phase absent:
+// Algorithm is "CACHED(<design>)", BuildOrPartition is zero and
+// InputTuples counts only the probe side (the build side was not
+// processed by this execution).
+//
+// Inner joins over null-free keys only, matching BuildTable's contract;
+// other kinds must run a fused algorithm instead.
+func ProbeTable(ctx context.Context, bt *BuiltTable, probe tuple.Relation, opts *Options) (*Result, error) {
+	o := opts.normalize()
+	if o.Kind != Inner {
+		return nil, fmt.Errorf("join: cached tables serve inner joins only, not %v", o.Kind)
+	}
+	if o.NullableKeys {
+		return nil, fmt.Errorf("join: cached tables do not support nullable keys")
+	}
+	if bt.Released() {
+		return nil, fmt.Errorf("join: probe against a released table")
+	}
+
+	res := &Result{
+		Algorithm:   "CACHED(" + bt.design.String() + ")",
+		Threads:     o.Threads,
+		InputTuples: int64(len(probe)),
+	}
+	pool := newPool(ctx, &o, res.Algorithm)
+	probeChunks := tuple.Chunks(len(probe), o.Threads)
+	sinks := make([]sink, o.Threads)
+	for i := range sinks {
+		sinks[i].materialize = o.Materialize
+	}
+	bstates := make([]batchState, o.Threads)
+	ht := bt.table
+	op := tableOpBytes(bt.design)
+
+	start := time.Now()
+	err := pool.Run("probe", func(w *exec.Worker) {
+		s := &sinks[w.ID]
+		c := probeChunks[w.ID]
+		bs := &bstates[w.ID]
+		w.Morsels(c.Len(), func(begin, end int) {
+			run := probe[c.Begin+begin : c.Begin+end]
+			if !o.ScalarKernels {
+				bs.probeRun(w, ht, run, 0, op, s)
+				return
+			}
+			for _, tp := range run {
+				probePayload := tp.Payload
+				ht.ForEachMatch(tp.Key, func(p tuple.Payload) {
+					s.emit(p, probePayload)
+				})
+			}
+			w.AddBytes(int64(end-begin) * (tuple.Bytes + op))
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	end := time.Now()
+
+	res.ProbeOrJoin = end.Sub(start)
+	res.Total = end.Sub(start)
+	mergeSinks(res, sinks)
+	res.Exec = pool.Stats()
+	return res, nil
+}

@@ -253,9 +253,15 @@ func injectFault(art *runArtifacts, f Fault) {
 		//mmjoin:allow(arenapair) fault injection: the leak is the point — Outstanding must catch it
 		_ = art.arena.Tuples(1 << 10)
 	case FaultDoubleFree:
+		// The injected fault targets the *accounting* catch (negative
+		// arena balance → a replayable divergence), so park the
+		// double-free guard — on race builds it would panic right here,
+		// at the injection site, before the oracle ever checks.
+		prev := exec.SetDebugGuard(false)
 		buf := art.arena.Tuples(1 << 10)
 		art.arena.PutTuples(buf)
 		art.arena.PutTuples(buf)
+		exec.SetDebugGuard(prev)
 	}
 }
 

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// admission is the memory admission controller: a byte-budget semaphore
+// with a bounded FIFO wait queue. Queries reserve their modeled build
+// footprint (footprintBytes) before running and release it when the
+// build-phase memory dies. Two shed conditions replace unbounded
+// queueing: a full queue sheds immediately, and a waiter that outlives
+// maxWait sheds on its way out — both with ErrOverloaded, which callers
+// can distinguish from real failures.
+//
+// FIFO granting (a new query never jumps waiters, even when its bytes
+// would fit) trades a little utilization for starvation-freedom: a big
+// query at the head cannot be passed forever by a stream of small ones.
+type admission struct {
+	budget  int64
+	maxQ    int
+	maxWait time.Duration
+
+	mu      sync.Mutex
+	used    int64
+	waiters list.List // of *admitWaiter, FIFO
+}
+
+type admitWaiter struct {
+	bytes   int64
+	ready   chan struct{}
+	granted bool // guarded by admission.mu; set before ready closes
+}
+
+func newAdmission(budget int64, maxQueued int, maxWait time.Duration) *admission {
+	return &admission{budget: budget, maxQ: maxQueued, maxWait: maxWait}
+}
+
+// admit reserves bytes of the budget, blocking FIFO behind earlier
+// waiters. It returns the matching release (idempotency is the
+// caller's job: call it exactly once) or ErrOverloaded / ctx.Err().
+// Requests larger than the whole budget are clamped to it — an
+// oversized query runs alone rather than never.
+func (a *admission) admit(ctx context.Context, bytes int64) (release func(), err error) {
+	if bytes <= 0 {
+		return func() {}, nil
+	}
+	if bytes > a.budget {
+		bytes = a.budget
+	}
+	a.mu.Lock()
+	if a.waiters.Len() == 0 && a.used+bytes <= a.budget {
+		a.used += bytes
+		a.mu.Unlock()
+		return func() { a.release(bytes) }, nil
+	}
+	if a.waiters.Len() >= a.maxQ {
+		a.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	w := &admitWaiter{bytes: bytes, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if a.maxWait > 0 {
+		t := time.NewTimer(a.maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ready:
+		return func() { a.release(bytes) }, nil
+	case <-ctx.Done():
+		a.abandon(elem, w)
+		return nil, ctx.Err()
+	case <-timeout:
+		a.abandon(elem, w)
+		return nil, ErrOverloaded
+	}
+}
+
+// abandon removes a waiter that gave up. The grant may have raced the
+// give-up (release closed w.ready concurrently); then the reservation
+// is already counted and must be handed back.
+func (a *admission) abandon(elem *list.Element, w *admitWaiter) {
+	a.mu.Lock()
+	granted := w.granted
+	if !granted {
+		a.waiters.Remove(elem)
+	}
+	a.mu.Unlock()
+	if granted {
+		a.release(w.bytes)
+	}
+}
+
+// release returns a reservation and grants as many head-of-queue
+// waiters as now fit.
+func (a *admission) release(bytes int64) {
+	a.mu.Lock()
+	a.used -= bytes
+	for {
+		front := a.waiters.Front()
+		if front == nil {
+			break
+		}
+		w := front.Value.(*admitWaiter)
+		if a.used+w.bytes > a.budget {
+			break
+		}
+		a.waiters.Remove(front)
+		a.used += w.bytes
+		w.granted = true
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// usedBytes and queued expose the controller's state for metrics.
+func (a *admission) usedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiters.Len()
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPathAndRelease(t *testing.T) {
+	a := newAdmission(100, 4, time.Second)
+	r1, err := a.admit(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.admit(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.usedBytes(); got != 100 {
+		t.Fatalf("used = %d", got)
+	}
+	r1()
+	r2()
+	if got := a.usedBytes(); got != 0 {
+		t.Fatalf("used after release = %d", got)
+	}
+}
+
+func TestAdmissionZeroBytesAlwaysPasses(t *testing.T) {
+	a := newAdmission(10, 1, time.Millisecond)
+	hold, err := a.admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	release, err := a.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+func TestAdmissionOversizedClampsToBudget(t *testing.T) {
+	a := newAdmission(100, 4, time.Second)
+	release, err := a.admit(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.usedBytes(); got != 100 {
+		t.Fatalf("oversized request reserved %d, want the whole budget", got)
+	}
+	release()
+	if got := a.usedBytes(); got != 0 {
+		t.Fatalf("used after release = %d", got)
+	}
+}
+
+func TestAdmissionShedsOnFullQueue(t *testing.T) {
+	a := newAdmission(10, 1, time.Hour)
+	hold, err := a.admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	// One waiter fits the queue...
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		_, err := a.admit(ctx, 5)
+		done <- err
+	}()
+	waitForQueued(t, a, 1)
+	// ...the second sheds immediately.
+	if _, err := a.admit(context.Background(), 5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	hold()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestAdmissionShedsAfterMaxWait(t *testing.T) {
+	a := newAdmission(10, 8, 15*time.Millisecond)
+	hold, err := a.admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	start := time.Now()
+	if _, err := a.admit(context.Background(), 5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("shed took %v", waited)
+	}
+	if got := a.queued(); got != 0 {
+		t.Fatalf("abandoned waiter still queued: %d", got)
+	}
+}
+
+func TestAdmissionHonorsContext(t *testing.T) {
+	a := newAdmission(10, 8, time.Hour)
+	hold, err := a.admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx, 5)
+		done <- err
+	}()
+	waitForQueued(t, a, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+// TestAdmissionFIFOGranting checks release wakes waiters in arrival
+// order and never over-grants the budget.
+func TestAdmissionFIFOGranting(t *testing.T) {
+	a := newAdmission(100, 16, time.Hour)
+	hold, err := a.admit(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Full-budget requests serialize grants, so arrival order is
+			// observable as grant order.
+			release, err := a.admit(context.Background(), 100)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			release()
+		}(i)
+		waitForQueued(t, a, i+1) // enforce arrival order
+	}
+	hold()
+	wg.Wait()
+	if a.usedBytes() != 0 {
+		t.Fatalf("used after drain = %d", a.usedBytes())
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("grant order %v is not FIFO", order)
+		}
+	}
+}
+
+func waitForQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, a.queued())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

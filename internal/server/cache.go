@@ -1,0 +1,187 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"mmjoin/internal/join"
+)
+
+// cacheKey identifies one cached build table: the build relation's
+// content fingerprint plus the table design built over it. Two
+// registrations of identical content share entries; a re-registration
+// with new content simply misses (the stale entry ages out by LRU).
+type cacheKey struct {
+	fp     uint64
+	design join.TableDesign
+}
+
+// cacheEntry is one table's cache lifetime. States, in order:
+//
+//	building: in the index, ready open. The creating query (the
+//	          "leader") builds; others pin and wait on ready.
+//	ready:    ready closed with bt set; on the LRU list, bytes counted.
+//	dead:     out of the index (evicted, flushed, or failed). Storage
+//	          is released by whoever drops the refcount to zero — the
+//	          evictor if no probes hold pins, else the last unpin.
+//
+// refs counts pins (queries between pin and unpin). All fields except
+// bt/err after the ready barrier are guarded by buildCache.mu; waiters
+// read bt and err only after <-ready, which orders them.
+type cacheEntry struct {
+	key   cacheKey
+	ready chan struct{}
+	bt    *join.BuiltTable
+	err   error
+
+	bytes int64
+	refs  int
+	dead  bool
+	elem  *list.Element
+}
+
+// buildCache is the fingerprint-keyed build-side table cache: bounded
+// by actual table bytes, evicting least-recently-pinned first. Its one
+// subtle contract is lifetime under concurrency — eviction must never
+// free a table a probe is reading, and a dead entry must be freed
+// exactly once — which pin/unpin/evict encode with a refcount instead
+// of relying on probes being short.
+type buildCache struct {
+	capacity int64
+
+	mu      sync.Mutex
+	bytes   int64
+	entries map[cacheKey]*cacheEntry
+	lru     list.List // front = most recently pinned; ready entries only
+}
+
+func newBuildCache(capacity int64) *buildCache {
+	return &buildCache{capacity: capacity, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// pin returns the entry for key with its refcount raised. leader=true
+// means the caller created the entry and owns the build: it must call
+// exactly one of publish or fail before unpinning. leader=false means
+// the caller waits on e.ready, then reads e.err/e.bt.
+func (c *buildCache) pin(key cacheKey) (e *cacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil {
+		e.refs++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		return e, false
+	}
+	e = &cacheEntry{key: key, ready: make(chan struct{}), refs: 1}
+	c.entries[key] = e
+	return e, true
+}
+
+// publish transitions a building entry to ready: account its bytes,
+// put it on the LRU, wake waiters, and evict over capacity. If the
+// entry was flushed while building (dead already), the table is not
+// indexed; it dies when its current pins drain.
+func (c *buildCache) publish(e *cacheEntry, bt *join.BuiltTable) {
+	c.mu.Lock()
+	e.bt = bt
+	e.bytes = bt.SizeBytes()
+	var victims []*cacheEntry
+	if !e.dead {
+		c.bytes += e.bytes
+		e.elem = c.lru.PushFront(e)
+		victims = c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	releaseAll(victims)
+}
+
+// fail transitions a building entry to dead without a table, so later
+// queries retry the build instead of caching the error.
+func (c *buildCache) fail(e *cacheEntry, err error) {
+	c.mu.Lock()
+	e.err = err
+	e.dead = true
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// unpin drops one pin; the last pin off a dead entry frees its table.
+func (c *buildCache) unpin(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	free := e.dead && e.refs == 0 && e.bt != nil
+	c.mu.Unlock()
+	if free {
+		e.bt.Release()
+	}
+}
+
+// evictLocked drops least-recently-pinned ready entries until the cache
+// fits its capacity. Evicted entries leave the index immediately —
+// their bytes stop counting and new queries rebuild — but only entries
+// with no pins are returned for release; pinned ones are freed by
+// their last unpin. Requires c.mu.
+func (c *buildCache) evictLocked() []*cacheEntry {
+	var victims []*cacheEntry
+	for c.bytes > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		e.dead = true
+		if e.refs == 0 {
+			victims = append(victims, e)
+		}
+	}
+	return victims
+}
+
+// flush evicts every ready entry regardless of capacity and returns how
+// many were dropped. Building entries are left to their leaders.
+func (c *buildCache) flush() int {
+	c.mu.Lock()
+	var victims []*cacheEntry
+	n := 0
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		e := elem.Value.(*cacheEntry)
+		c.lru.Remove(elem)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		e.dead = true
+		if e.refs == 0 {
+			victims = append(victims, e)
+		}
+		n++
+		elem = next
+	}
+	c.mu.Unlock()
+	releaseAll(victims)
+	return n
+}
+
+func releaseAll(victims []*cacheEntry) {
+	for _, e := range victims {
+		if e.bt != nil {
+			e.bt.Release()
+		}
+	}
+}
+
+// stats reports the cache's resident state for metrics.
+func (c *buildCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+	"mmjoin/internal/join"
+	"mmjoin/internal/offheap"
+)
+
+// TestEvictionWhilePinnedNeitherFreesNorLeaks is the cache-lifetime
+// regression test: evicting a pinned entry must not free the (possibly
+// off-heap) table under the running probe, and once the probe unpins,
+// the storage must actually be freed — asserted through the arena
+// buffer balance and the process-wide off-heap region balance.
+func TestEvictionWhilePinnedNeitherFreesNorLeaks(t *testing.T) {
+	baseRegions := offheap.Outstanding()
+	arena := exec.NewArenaOffHeap()
+	build := pkRelation(8192)
+	probe := datagen.UniformRelation(4096, 8192, 4)
+	ref, err := (join.Reference{}).Run(build, probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &join.Options{Threads: 2, Arena: arena}
+
+	c := newBuildCache(1) // capacity below any real table: every publish evicts
+	key := cacheKey{fp: build.Fingerprint(), design: join.DesignChained}
+
+	// Build and publish the entry, keeping our pin (the "probe in
+	// flight").
+	e, leader := c.pin(key)
+	if !leader {
+		t.Fatal("first pin was not the leader")
+	}
+	bt, err := join.BuildTable(context.Background(), build, join.DesignChained, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.publish(e, bt) // over capacity: evicts itself immediately, while pinned
+
+	if entries, bytes := c.stats(); entries != 0 || bytes != 0 {
+		t.Fatalf("pinned entry still indexed after eviction: %d entries, %d bytes", entries, bytes)
+	}
+	if bt.Released() {
+		t.Fatal("eviction released the table under a live pin")
+	}
+	// The pinned table must still answer probes correctly.
+	res, err := join.ProbeTable(context.Background(), bt, probe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+		t.Fatalf("probe against evicted-but-pinned table: %d/%d, want %d/%d",
+			res.Matches, res.Checksum, ref.Matches, ref.Checksum)
+	}
+
+	// Dropping the last pin frees the storage: arena balance returns to
+	// zero and, after Destroy, the off-heap region count to baseline.
+	c.unpin(e)
+	if !bt.Released() {
+		t.Fatal("last unpin did not release the dead entry's table")
+	}
+	if out := arena.Outstanding(); out != 0 {
+		t.Fatalf("arena outstanding after last unpin = %d", out)
+	}
+	arena.Destroy()
+	if got := offheap.Outstanding(); got != baseRegions {
+		t.Fatalf("off-heap regions leaked: %d outstanding, baseline %d", got, baseRegions)
+	}
+}
+
+// TestFailedBuildIsRetriedNotCached pins the fail path: a leader that
+// errors removes the entry, so the next pin is a fresh leader.
+func TestFailedBuildIsRetriedNotCached(t *testing.T) {
+	c := newBuildCache(1 << 20)
+	key := cacheKey{fp: 42, design: join.DesignLinear}
+	e, leader := c.pin(key)
+	if !leader {
+		t.Fatal("not leader")
+	}
+	sentinel := errors.New("boom")
+	c.fail(e, sentinel)
+	select {
+	case <-e.ready:
+	default:
+		t.Fatal("fail did not close ready")
+	}
+	if !errors.Is(e.err, sentinel) {
+		t.Fatalf("entry err = %v", e.err)
+	}
+	c.unpin(e)
+	if e2, leader := c.pin(key); !leader {
+		t.Fatal("retry after failure did not get a fresh leader")
+	} else {
+		c.fail(e2, sentinel)
+		c.unpin(e2)
+	}
+}
+
+// TestFollowerSharesOneBuild checks the singleflight shape: a follower
+// pinning a building entry waits for the leader's publish and then
+// reads the same table.
+func TestFollowerSharesOneBuild(t *testing.T) {
+	c := newBuildCache(1 << 30)
+	build := pkRelation(1024)
+	key := cacheKey{fp: build.Fingerprint(), design: join.DesignLinear}
+	e, leader := c.pin(key)
+	if !leader {
+		t.Fatal("not leader")
+	}
+	follower, followerLeads := c.pin(key)
+	if followerLeads || follower != e {
+		t.Fatal("follower did not share the building entry")
+	}
+	bt, err := join.BuildTable(context.Background(), build, join.DesignLinear, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.publish(e, bt)
+	<-follower.ready
+	if follower.bt != bt {
+		t.Fatal("follower read a different table")
+	}
+	c.unpin(e)
+	c.unpin(follower)
+	if entries, _ := c.stats(); entries != 1 {
+		t.Fatalf("entries = %d, want the table cached", entries)
+	}
+	if c.flush() != 1 {
+		t.Fatal("flush did not drop the entry")
+	}
+	if !bt.Released() {
+		t.Fatal("flush did not release the unpinned table")
+	}
+}
+
+// TestLRUEvictsColdestFirst fills the cache past capacity and checks
+// the least-recently-pinned entry goes first.
+func TestLRUEvictsColdestFirst(t *testing.T) {
+	relA := datagen.UniformRelation(2048, 1<<30, 11)
+	relB := datagen.UniformRelation(2048, 1<<30, 12)
+	relC := datagen.UniformRelation(2048, 1<<30, 13)
+	btA, err := join.BuildTable(context.Background(), relA, join.DesignLinear, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btB, err := join.BuildTable(context.Background(), relB, join.DesignLinear, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btC, err := join.BuildTable(context.Background(), relC, join.DesignLinear, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newBuildCache(btA.SizeBytes() + btB.SizeBytes()) // room for two
+	for i, pair := range []struct {
+		fp uint64
+		bt *join.BuiltTable
+	}{{relA.Fingerprint(), btA}, {relB.Fingerprint(), btB}, {relC.Fingerprint(), btC}} {
+		e, leader := c.pin(cacheKey{fp: pair.fp, design: join.DesignLinear})
+		if !leader {
+			t.Fatalf("entry %d: not leader", i)
+		}
+		c.publish(e, pair.bt)
+		c.unpin(e)
+	}
+	// A was pinned least recently: it must be the evicted one.
+	if !btA.Released() {
+		t.Fatal("oldest entry not evicted")
+	}
+	if btB.Released() || btC.Released() {
+		t.Fatal("newer entries evicted out of order")
+	}
+	if c.flush() != 2 {
+		t.Fatal("flush count wrong")
+	}
+}

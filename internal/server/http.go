@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"mmjoin/internal/join"
+)
+
+// HTTP front end, stdlib-only. Three endpoints:
+//
+//	POST /query     — run one join (Query JSON in, queryReply JSON out)
+//	GET  /metrics   — Metrics snapshot
+//	GET  /relations — registered relations
+//
+// Error mapping keeps the service's typed failures visible to load
+// balancers: 503 for shed/closed, 504 for expired deadlines, 404 for
+// unknown relations, 400 for malformed requests.
+
+// httpQuery is the wire form of Query: durations in milliseconds so
+// curl-written requests stay readable.
+type httpQuery struct {
+	Build        string `json:"build"`
+	Probe        string `json:"probe"`
+	Algorithm    string `json:"algorithm"`
+	Design       string `json:"design"`
+	Kind         string `json:"kind"`
+	NullableKeys bool   `json:"nullable_keys"`
+	Threads      int    `json:"threads"`
+	DeadlineMS   int64  `json:"deadline_ms"`
+	NoCache      bool   `json:"no_cache"`
+}
+
+// queryReply is the wire form of a successful Response.
+type queryReply struct {
+	Algorithm string        `json:"algorithm"`
+	Matches   int64         `json:"matches"`
+	Checksum  uint64        `json:"checksum"`
+	CacheHit  bool          `json:"cache_hit"`
+	LatencyNS int64         `json:"latency_ns"`
+	BuildTime time.Duration `json:"build_or_partition_ns"`
+	ProbeTime time.Duration `json:"probe_or_join_ns"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /relations", s.handleRelations)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var hq httpQuery
+	if err := json.NewDecoder(r.Body).Decode(&hq); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := Query{
+		Build:        hq.Build,
+		Probe:        hq.Probe,
+		Algorithm:    hq.Algorithm,
+		Design:       hq.Design,
+		NullableKeys: hq.NullableKeys,
+		Threads:      hq.Threads,
+		Deadline:     time.Duration(hq.DeadlineMS) * time.Millisecond,
+		NoCache:      hq.NoCache,
+	}
+	if hq.Kind != "" {
+		kind, err := join.ParseKind(hq.Kind)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		q.Kind = kind
+	}
+	resp, err := s.Join(r.Context(), q)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, queryReply{
+		Algorithm: resp.Result.Algorithm,
+		Matches:   resp.Result.Matches,
+		Checksum:  resp.Result.Checksum,
+		CacheHit:  resp.CacheHit,
+		LatencyNS: resp.Latency.Nanoseconds(),
+		BuildTime: resp.Result.BuildOrPartition,
+		ProbeTime: resp.Result.ProbeOrJoin,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Metrics())
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Relations())
+}
+
+// statusFor maps service errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is the de-facto convention.
+		return 499
+	case errors.Is(err, ErrUnknownRelation):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		// The connection is gone; nothing useful left to do.
+		return
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}

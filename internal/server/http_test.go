@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/join"
+)
+
+func httpTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := Open(Config{Threads: 2})
+	build := pkRelation(2048)
+	probe := datagen.UniformRelation(4096, 2048, 10)
+	if err := srv.RegisterRelation("b", build); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterRelation("p", probe); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, out
+}
+
+func TestHTTPQueryRoundTrip(t *testing.T) {
+	srv, ts := httpTestServer(t)
+	srv.mu.RLock()
+	build, probe := srv.rels["b"].rel, srv.rels["p"].rel
+	srv.mu.RUnlock()
+	ref, err := (join.Reference{}).Run(build, probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold then warm: second answer must be a cache hit, same result.
+	for i, wantHit := range []bool{false, true} {
+		resp, out := postQuery(t, ts, `{"build":"b","probe":"p"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %v", resp.StatusCode, out)
+		}
+		if int64(out["matches"].(float64)) != ref.Matches {
+			t.Fatalf("query %d: matches = %v, want %d", i, out["matches"], ref.Matches)
+		}
+		if out["cache_hit"].(bool) != wantHit {
+			t.Fatalf("query %d: cache_hit = %v, want %v", i, out["cache_hit"], wantHit)
+		}
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	_, ts := httpTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown relation", `{"build":"nope","probe":"p"}`, http.StatusNotFound},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"bad design", `{"build":"b","probe":"p","design":"btree"}`, http.StatusInternalServerError},
+		{"bad kind", `{"build":"b","probe":"p","kind":"sideways"}`, http.StatusBadRequest},
+		{"bad algorithm", `{"build":"b","probe":"p","algorithm":"QUANTUM"}`, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, out := postQuery(t, ts, c.body)
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d (%v)", resp.StatusCode, c.want, out)
+			}
+			if _, ok := out["error"]; !ok {
+				t.Fatalf("error body missing: %v", out)
+			}
+		})
+	}
+}
+
+func TestHTTPMetricsAndRelations(t *testing.T) {
+	_, ts := httpTestServer(t)
+	if _, out := postQuery(t, ts, `{"build":"b","probe":"p"}`); out["error"] != nil {
+		t.Fatalf("seed query failed: %v", out)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries < 1 || m.Misses < 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	resp, err = http.Get(ts.URL + "/relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rels []RelationInfo
+	if err := json.NewDecoder(resp.Body).Decode(&rels); err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 2 {
+		t.Fatalf("relations = %+v", rels)
+	}
+	for _, r := range rels {
+		if r.Fingerprint == 0 || r.Tuples == 0 {
+			t.Fatalf("relation %+v missing metadata", r)
+		}
+	}
+}
+
+func TestHTTPDeadline(t *testing.T) {
+	srv, ts := httpTestServer(t)
+	// Re-register a large build so a 1 ms deadline expires mid-run.
+	if err := srv.RegisterRelation("big", pkRelation(1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postQuery(t, ts, `{"build":"big","probe":"p","deadline_ms":1,"no_cache":true}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%v), want 504", resp.StatusCode, out)
+	}
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/trace"
+	"mmjoin/internal/tuple"
+)
+
+// pkRelation builds a dense primary-key relation: every key in
+// [0, n) exactly once. Build sides must have unique keys — the paper's
+// workloads are PK/FK joins and the kernels' first-match lookups
+// depend on it — while probe sides may repeat keys freely.
+func pkRelation(n int) tuple.Relation {
+	rel := make(tuple.Relation, n)
+	for i := range rel {
+		rel[i] = tuple.Tuple{Key: tuple.Key(i), Payload: tuple.Payload(2*i + 1)}
+	}
+	return rel
+}
+
+// LoadConfig shapes one closed-loop load test: Clients goroutines each
+// issue the next query as soon as the previous answer returns. The mix
+// is the service's worst case for fairness — a stream of small cached
+// probes with an occasional huge scan riding the same gate — plus an
+// optional overload mode that drives cold, uncacheable builds past the
+// admission budget to exercise shedding.
+type LoadConfig struct {
+	// Duration is the measured closed-loop window (0 = 5s).
+	Duration time.Duration
+	// Clients is the closed-loop client count (0 = 8).
+	Clients int
+	// BuildSize is the hot build relation's cardinality (0 = 1<<18).
+	BuildSize int
+	// ProbeSize is the small probes' cardinality (0 = 1024).
+	ProbeSize int
+	// ScanEvery makes every Nth query per client a big scan over
+	// ScanProbeSize tuples (0 = 64; <0 disables scans).
+	ScanEvery int
+	// ScanProbeSize is the big scan's probe cardinality (0 = 1<<20).
+	ScanProbeSize int
+	// Design is the cached table design wire name ("" = server default).
+	Design string
+	// Overload switches every client to cold uncacheable joins (NoCache)
+	// so their combined footprint overruns the admission budget; the
+	// expected outcome is shed queries, not queue growth or OOM.
+	Overload bool
+	// Seed makes the generated relations deterministic (0 = 1).
+	Seed uint64
+}
+
+func (lc LoadConfig) withDefaults() LoadConfig {
+	if lc.Duration <= 0 {
+		lc.Duration = 5 * time.Second
+	}
+	if lc.Clients <= 0 {
+		lc.Clients = 8
+	}
+	if lc.BuildSize <= 0 {
+		lc.BuildSize = 1 << 18
+	}
+	if lc.ProbeSize <= 0 {
+		lc.ProbeSize = 1024
+	}
+	if lc.ScanEvery == 0 {
+		lc.ScanEvery = 64
+	}
+	if lc.ScanProbeSize <= 0 {
+		lc.ScanProbeSize = 1 << 20
+	}
+	if lc.Seed == 0 {
+		lc.Seed = 1
+	}
+	return lc
+}
+
+// LoadReport is one load test's outcome, quantiles from the service's
+// trace histograms plus the cold/warm cache comparison.
+type LoadReport struct {
+	Config   LoadConfig    `json:"config"`
+	Duration time.Duration `json:"duration"`
+	// Queries counts completed queries in the measured window; QPS is
+	// Queries over the window.
+	Queries int64   `json:"queries"`
+	QPS     float64 `json:"qps"`
+	// Latency quantiles over the window's successful queries.
+	P50  time.Duration `json:"p50"`
+	P99  time.Duration `json:"p99"`
+	Mean time.Duration `json:"mean"`
+	// Cache and shedding outcomes over the window.
+	Hits    int64   `json:"cache_hits"`
+	Misses  int64   `json:"cache_misses"`
+	HitRate float64 `json:"hit_rate"`
+	Shed    int64   `json:"shed"`
+	Errors  int64   `json:"errors"`
+	// ColdLatency is a small probe with a flushed cache (pays the
+	// build), WarmLatency the same probe again (cache hit); Speedup is
+	// their ratio — the cached-vs-cold headline number.
+	ColdLatency time.Duration `json:"cold_latency"`
+	WarmLatency time.Duration `json:"warm_latency"`
+	Speedup     float64       `json:"speedup"`
+	// Server is the service-side metrics snapshot at the end.
+	Server Metrics `json:"server"`
+}
+
+// String renders the report for terminals.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"loadtest: %d queries in %v (%.0f qps)\n"+
+			"  latency: p50=%v p99=%v mean=%v\n"+
+			"  cache:   hits=%d misses=%d hit-rate=%.1f%%\n"+
+			"  shed=%d errors=%d\n"+
+			"  cold=%v warm=%v speedup=%.1fx",
+		r.Queries, r.Duration.Round(time.Millisecond), r.QPS,
+		r.P50, r.P99, r.Mean,
+		r.Hits, r.Misses, 100*r.HitRate,
+		r.Shed, r.Errors,
+		r.ColdLatency, r.WarmLatency, r.Speedup)
+}
+
+// loadClient is one client's private tally, merged after the run (the
+// histograms are single-writer, so no locking inside the loop).
+type loadClient struct {
+	hist   trace.Histogram
+	hits   int64
+	misses int64
+	shed   int64
+	errs   int64
+}
+
+// RunLoad registers the workload's relations on s and drives the
+// closed loop until the window ends or ctx is cancelled. The server
+// keeps running afterwards; the caller owns Close (and any post-close
+// leak assertions).
+func RunLoad(ctx context.Context, s *Server, lc LoadConfig) (*LoadReport, error) {
+	lc = lc.withDefaults()
+
+	// The hot build side plus per-client small probes (distinct
+	// relations, identical shape) and one big scan probe.
+	build := pkRelation(lc.BuildSize)
+	if err := s.RegisterRelation("hot_build", build); err != nil {
+		return nil, err
+	}
+	for i := 0; i < lc.Clients; i++ {
+		probe := datagen.UniformRelation(lc.ProbeSize, lc.BuildSize, lc.Seed+uint64(i)+1)
+		if err := s.RegisterRelation(fmt.Sprintf("probe_%d", i), probe); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.RegisterRelation("scan_probe",
+		datagen.UniformRelation(lc.ScanProbeSize, lc.BuildSize, lc.Seed+1<<32)); err != nil {
+		return nil, err
+	}
+
+	report := &LoadReport{Config: lc}
+
+	// Cold/warm comparison on a quiet server: the first probe pays the
+	// build, the second hits the cache.
+	if !lc.Overload {
+		s.FlushCache()
+		cold, err := s.Join(ctx, Query{Build: "hot_build", Probe: "probe_0", Design: lc.Design})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: cold query: %w", err)
+		}
+		warm, err := s.Join(ctx, Query{Build: "hot_build", Probe: "probe_0", Design: lc.Design})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: warm query: %w", err)
+		}
+		if !warm.CacheHit || cold.CacheHit {
+			return nil, fmt.Errorf("loadgen: cold/warm cache outcomes wrong (cold hit=%v, warm hit=%v)",
+				cold.CacheHit, warm.CacheHit)
+		}
+		report.ColdLatency = cold.Latency
+		report.WarmLatency = warm.Latency
+		if warm.Latency > 0 {
+			report.Speedup = float64(cold.Latency) / float64(warm.Latency)
+		}
+	}
+
+	// Closed loop: each client issues its next query on return of the
+	// previous one, so offered load adapts to service capacity (no
+	// coordinated-omission artifacts from an open-loop schedule).
+	runCtx, cancel := context.WithTimeout(ctx, lc.Duration)
+	defer cancel()
+	clients := make([]loadClient, lc.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < lc.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := &clients[id]
+			smallProbe := fmt.Sprintf("probe_%d", id)
+			for n := 0; ; n++ {
+				if runCtx.Err() != nil {
+					return
+				}
+				q := Query{Build: "hot_build", Probe: smallProbe, Design: lc.Design}
+				if lc.Overload {
+					q.NoCache = true
+				} else if lc.ScanEvery > 0 && n%lc.ScanEvery == lc.ScanEvery-1 {
+					q.Probe = "scan_probe"
+				}
+				t0 := time.Now()
+				resp, err := s.Join(runCtx, q)
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					c.shed++
+					// Back off briefly: an immediate retry against a full
+					// budget would just measure the shed fast path.
+					time.Sleep(time.Millisecond)
+				case err != nil:
+					if runCtx.Err() != nil {
+						return // window closed mid-query
+					}
+					c.errs++
+				default:
+					c.hist.Observe(time.Since(t0))
+					if resp.CacheHit {
+						c.hits++
+					} else {
+						c.misses++
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var merged trace.Histogram
+	for i := range clients {
+		c := &clients[i]
+		merged.Merge(&c.hist)
+		report.Hits += c.hits
+		report.Misses += c.misses
+		report.Shed += c.shed
+		report.Errors += c.errs
+	}
+	report.Duration = elapsed
+	report.Queries = merged.Count()
+	if elapsed > 0 {
+		report.QPS = float64(report.Queries) / elapsed.Seconds()
+	}
+	report.P50 = merged.Quantile(0.50)
+	report.P99 = merged.Quantile(0.99)
+	report.Mean = merged.Mean()
+	if total := report.Hits + report.Misses; total > 0 {
+		report.HitRate = float64(report.Hits) / float64(total)
+	}
+	report.Server = s.Metrics()
+	return report, nil
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"mmjoin/internal/trace"
+)
+
+// metrics aggregates service-level telemetry. Latency distributions
+// reuse the repository's log2 trace.Histogram (the structure behind the
+// per-phase quantiles of exec.Stats), guarded by a mutex because the
+// histogram itself is single-writer.
+type metrics struct {
+	mu        sync.Mutex
+	queries   int64
+	hits      int64
+	misses    int64
+	shed      int64
+	deadlines int64
+	failures  int64
+	all       trace.Histogram
+	hitLat    trace.Histogram
+	missLat   trace.Histogram
+}
+
+// observe records one finished query. cacheable marks queries eligible
+// for the cached path (only they count hits/misses); hit marks a cache
+// hit among them.
+func (m *metrics) observe(d time.Duration, cacheable, hit bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		m.shed++
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		m.deadlines++
+		return
+	case err != nil:
+		m.failures++
+		return
+	}
+	m.all.Observe(d)
+	if cacheable {
+		if hit {
+			m.hits++
+			m.hitLat.Observe(d)
+		} else {
+			m.misses++
+			m.missLat.Observe(d)
+		}
+	}
+}
+
+// Metrics is a consistent snapshot of the service counters.
+type Metrics struct {
+	// Queries counts every Join call that reached execution or
+	// shedding (unknown relations and closed-server errors excluded).
+	Queries int64 `json:"queries"`
+	// Hits and Misses partition the cacheable queries that completed.
+	Hits   int64 `json:"cache_hits"`
+	Misses int64 `json:"cache_misses"`
+	// Shed counts queries rejected with ErrOverloaded.
+	Shed int64 `json:"shed"`
+	// Deadlines counts queries that expired mid-run.
+	Deadlines int64 `json:"deadlines"`
+	// Failures counts other errors.
+	Failures int64 `json:"failures"`
+	// Latency quantiles over successful queries (service time,
+	// admission wait included), split by cache outcome.
+	P50     time.Duration `json:"p50"`
+	P99     time.Duration `json:"p99"`
+	Mean    time.Duration `json:"mean"`
+	HitP50  time.Duration `json:"hit_p50"`
+	HitP99  time.Duration `json:"hit_p99"`
+	MissP50 time.Duration `json:"miss_p50"`
+	MissP99 time.Duration `json:"miss_p99"`
+	// Cache occupancy and admission pressure at snapshot time.
+	CacheEntries  int   `json:"cache_entries"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	QueuedQueries int   `json:"queued_queries"`
+}
+
+// HitRate returns hits / (hits + misses), 0 when no cacheable queries ran.
+func (mt Metrics) HitRate() float64 {
+	total := mt.Hits + mt.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(mt.Hits) / float64(total)
+}
+
+// Metrics snapshots the server's counters, latency quantiles, cache
+// occupancy and admission pressure.
+func (s *Server) Metrics() Metrics {
+	s.met.mu.Lock()
+	mt := Metrics{
+		Queries:   s.met.queries,
+		Hits:      s.met.hits,
+		Misses:    s.met.misses,
+		Shed:      s.met.shed,
+		Deadlines: s.met.deadlines,
+		Failures:  s.met.failures,
+		P50:       s.met.all.Quantile(0.50),
+		P99:       s.met.all.Quantile(0.99),
+		Mean:      s.met.all.Mean(),
+		HitP50:    s.met.hitLat.Quantile(0.50),
+		HitP99:    s.met.hitLat.Quantile(0.99),
+		MissP50:   s.met.missLat.Quantile(0.50),
+		MissP99:   s.met.missLat.Quantile(0.99),
+	}
+	s.met.mu.Unlock()
+	mt.CacheEntries, mt.CacheBytes = s.cache.stats()
+	mt.AdmittedBytes = s.adm.usedBytes()
+	mt.QueuedQueries = s.adm.queued()
+	return mt
+}

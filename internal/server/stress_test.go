@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmjoin/internal/datagen"
+	"mmjoin/internal/exec"
+	"mmjoin/internal/join"
+	"mmjoin/internal/offheap"
+)
+
+// TestConcurrentQueriesStress is the shared-state race net for the
+// whole service: many goroutines issue overlapping queries that mix
+// cache hits, cold builds across designs, fused algorithms, traced
+// runs, deadlines and cache flushes, all against one server with a
+// deliberately small cache (forcing eviction under load). Run under
+// -race in CI; every successful answer must equal the reference.
+func TestConcurrentQueriesStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short")
+	}
+	baseRegions := offheap.Outstanding()
+	srv := Open(Config{
+		Threads:     2,
+		WorkerSlots: 4,
+		CacheBytes:  1 << 20, // a handful of tables: constant eviction churn
+		OffHeap:     true,
+	})
+	build := pkRelation(8192)
+	probe := datagen.UniformRelation(8192, 8192, 22)
+	if err := srv.RegisterRelation("b", build); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterRelation("p", probe); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (join.Reference{}).Run(build, probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 8
+		iterations = 30
+	)
+	designs := join.TableDesigns()
+	var successes, flushes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				q := Query{Build: "b", Probe: "p"}
+				switch (g + i) % 6 {
+				case 0:
+					q.Design = designs[i%len(designs)].String()
+				case 1:
+					q.Algorithm = "NOP"
+				case 2:
+					q.Trace = true
+				case 3:
+					q.Deadline = time.Duration(1+i%3) * time.Millisecond
+				case 4:
+					q.NoCache = true
+				case 5:
+					srv.FlushCache()
+					flushes.Add(1)
+				}
+				resp, err := srv.Join(context.Background(), q)
+				switch {
+				case err == nil:
+					if resp.Result.Matches != ref.Matches || resp.Result.Checksum != ref.Checksum {
+						t.Errorf("g%d i%d: matches=%d checksum=%d, want %d/%d",
+							g, i, resp.Result.Matches, resp.Result.Checksum, ref.Matches, ref.Checksum)
+						return
+					}
+					successes.Add(1)
+				case errors.Is(err, context.DeadlineExceeded),
+					errors.Is(err, ErrOverloaded):
+					// Expected under the tiny deadlines and churn.
+				default:
+					t.Errorf("g%d i%d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if successes.Load() == 0 {
+		t.Fatal("stress produced zero successful queries")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := offheap.Outstanding(); got != baseRegions {
+		t.Fatalf("off-heap regions leaked under stress: %d outstanding, baseline %d", got, baseRegions)
+	}
+}
+
+// TestSharedArenaConcurrentJoins drives the fused algorithms of several
+// independent executions over one shared arena concurrently — the exact
+// shape that exposes freelist races in exec.Arena (the single-query
+// assumption this PR's audit covered). Deterministic answers prove no
+// buffer was handed to two executions at once.
+func TestSharedArenaConcurrentJoins(t *testing.T) {
+	arena := exec.NewArenaOffHeap()
+	defer arena.Destroy()
+	build := pkRelation(4096)
+	probe := datagen.UniformRelation(8192, 4096, 32)
+	ref, err := (join.Reference{}).Run(build, probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []string{"NOP", "NOPA", "CHTJ", "PRO", "CPRL"}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			alg := join.MustNew(algos[i%len(algos)])
+			res, err := alg.RunContext(context.Background(), build, probe,
+				&join.Options{Threads: 2, Arena: arena, Domain: 4096})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Matches != ref.Matches || res.Checksum != ref.Checksum {
+				errs[i] = fmt.Errorf("%s: matches=%d checksum=%d, want %d/%d",
+					alg.Name(), res.Matches, res.Checksum, ref.Matches, ref.Checksum)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out := arena.Outstanding(); out != 0 {
+		t.Fatalf("shared arena outstanding after concurrent joins = %d", out)
+	}
+}

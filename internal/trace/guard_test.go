@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResetWhileActivePanics pins the one-tracer-per-query guard:
+// Reset during an acquired execution is the span-truncation bug the
+// join service must never hit, so it trips deterministically.
+func TestResetWhileActivePanics(t *testing.T) {
+	tr := New()
+	release := tr.Acquire()
+	defer release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Reset during an active execution did not panic")
+		}
+		if !strings.Contains(r.(string), "Reset") {
+			t.Fatalf("panic message %q does not name the operation", r)
+		}
+	}()
+	tr.Reset()
+}
+
+func TestSpansWhileActivePanics(t *testing.T) {
+	tr := New()
+	release := tr.Acquire()
+	defer release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spans during an active execution did not panic")
+		}
+	}()
+	tr.Spans()
+}
+
+func TestReleaseIsIdempotentAndReenables(t *testing.T) {
+	tr := New()
+	release := tr.Acquire()
+	release()
+	release() // double release must not underflow the count
+	r2 := tr.Acquire()
+	r2()
+	tr.Reset() // idle again: must not panic
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("spans after reset = %d, want 0", got)
+	}
+}
+
+func TestNilTracerAcquireIsInert(t *testing.T) {
+	var tr *Tracer
+	release := tr.Acquire()
+	release()
+	tr.Reset()
+}
+
+// TestPerQueryTracersDoNotMix runs two concurrent traced "queries",
+// each on its own tracer, and checks neither timeline contains the
+// other's spans — the isolation contract the server relies on.
+func TestPerQueryTracersDoNotMix(t *testing.T) {
+	run := func(tr *Tracer, label string, n int) {
+		release := tr.Acquire()
+		defer release()
+		pid := tr.NewProcess(label)
+		sh := tr.NewShard(pid, 1, "w0")
+		for i := 0; i < n; i++ {
+			sp := sh.Begin(label, i)
+			time.Sleep(10 * time.Microsecond)
+			sp.End()
+		}
+	}
+	ta, tb := New(), New()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); run(ta, "qa", 7) }()
+	go func() { defer wg.Done(); run(tb, "qb", 11) }()
+	wg.Wait()
+	for _, c := range []struct {
+		tr    *Tracer
+		want  string
+		count int
+	}{{ta, "qa", 7}, {tb, "qb", 11}} {
+		spans := c.tr.Spans()
+		if len(spans) != c.count {
+			t.Fatalf("tracer %s recorded %d spans, want %d", c.want, len(spans), c.count)
+		}
+		for _, sp := range spans {
+			if sp.Name != c.want {
+				t.Fatalf("tracer %s contains foreign span %q", c.want, sp.Name)
+			}
+		}
+	}
+}

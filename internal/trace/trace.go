@@ -17,7 +17,9 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -68,8 +70,22 @@ type counterSample struct {
 // are registered under a mutex but written without one (each shard is
 // owned by a single goroutine at a time); export must therefore happen
 // only after the traced work has completed.
+//
+// One tracer, one query: a tracer may record several executions, but
+// only sequentially. Two overlapping queries sharing a tracer would
+// interleave their processes on one timeline and — far worse — a Reset
+// issued between them would truncate the shard of a query still
+// writing. Long-running multi-query callers (the join service) give
+// every query its own tracer and bracket the execution with Acquire;
+// Reset and Spans enforce the bracket by panicking when a run is still
+// active.
 type Tracer struct {
 	epoch time.Time
+
+	// active counts Acquire brackets not yet released. It exists purely
+	// to catch cross-query tracer reuse deterministically, rather than
+	// leaving it to the race detector's schedule luck.
+	active atomic.Int32
 
 	mu       sync.Mutex
 	procs    []process
@@ -88,6 +104,32 @@ func (t *Tracer) Enabled() bool { return t != nil }
 
 // Since converts an absolute time into a tracer-relative timestamp.
 func (t *Tracer) Since(at time.Time) time.Duration { return at.Sub(t.epoch) }
+
+// Acquire marks the start of one traced execution (query) and returns
+// the matching release. It is the one-tracer-per-query guard: while any
+// acquisition is outstanding, Reset panics (it would truncate shards a
+// live query is still writing) and Spans/CounterSamples panic (they
+// read shards without synchronization). Acquire itself is reentrant in
+// the counting sense — nested pools of the same query may each acquire
+// — because the guard only needs to know whether the count is nonzero.
+// A nil tracer returns a no-op release, keeping the disabled path free
+// of conditionals at call sites.
+func (t *Tracer) Acquire() (release func()) {
+	if t == nil {
+		return func() {}
+	}
+	t.active.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { t.active.Add(-1) }) }
+}
+
+// mustBeIdle panics when a traced execution is still active — the
+// deterministic trip-wire behind the one-tracer-per-query contract.
+func (t *Tracer) mustBeIdle(op string) {
+	if n := t.active.Load(); n != 0 {
+		panic(fmt.Sprintf("trace: %s while %d traced execution(s) are still active — a Tracer must not be shared by overlapping queries (give each query its own Tracer, or release before %s)", op, n, op))
+	}
+}
 
 // NewProcess registers a process track (one join execution, one
 // simulation replay) and returns its pid. Safe for concurrent use.
@@ -139,8 +181,10 @@ func (t *Tracer) CounterSamples(name string) []float64 {
 }
 
 // Spans returns all recorded spans in shard registration order. Only
-// valid after the traced work has completed.
+// valid after the traced work has completed; panics while an Acquired
+// execution is still active.
 func (t *Tracer) Spans() []Span {
+	t.mustBeIdle("Spans")
 	t.mu.Lock()
 	shards := t.shards
 	t.mu.Unlock()
@@ -157,10 +201,14 @@ func (t *Tracer) Spans() []Span {
 // tracer (warm benchmark loops) reaches a steady state where span
 // recording never reallocates. Only valid between traced runs, for the
 // same single-writer reason as export.
+// Reset panics while an Acquired execution is still active: truncating
+// a shard a live query is writing is exactly the span-mixing bug the
+// guard exists to catch.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
+	t.mustBeIdle("Reset")
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, s := range t.shards {

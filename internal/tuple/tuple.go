@@ -74,6 +74,31 @@ func (r Relation) Len() int { return len(r) }
 // SizeBytes returns the in-memory footprint of the relation.
 func (r Relation) SizeBytes() int64 { return int64(len(r)) * Bytes }
 
+// Fingerprint returns a content hash of the relation: FNV-1a over the
+// tuple stream, seeded with the length. Two relations with identical
+// tuple sequences share a fingerprint, so a build-side cache keyed by
+// it can serve any query whose build relation has the same content —
+// regardless of which registered name or slice header it arrived
+// under. The hash is order-dependent (a relation is a sequence, and
+// registered relations are hashed once), and it is not cryptographic:
+// it keys an in-process cache, not an integrity check.
+func (r Relation) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(len(r))
+	h *= prime64
+	for _, tp := range r {
+		h ^= uint64(tp.Key)
+		h *= prime64
+		h ^= uint64(tp.Payload)
+		h *= prime64
+	}
+	return h
+}
+
 // Chunk is a half-open tuple index range [Begin, End) of a relation,
 // typically the share of one worker thread.
 type Chunk struct {
